@@ -1,0 +1,44 @@
+// Ablation: append_entries batching and pipelining (DESIGN.md design choice).
+// Sweeps max_entries_per_ae x max_outstanding_ae for a 3-node HovercRaft++
+// cluster at the Figure 7 workload and reports max throughput under the SLO
+// and unloaded p99. Batching amortizes per-message costs; pipelining keeps
+// the replication stream full when round-trips inflate under load — the
+// batch*depth product caps entries in flight per RTT.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace hovercraft {
+namespace {
+
+void Run() {
+  benchutil::PrintHeader(
+      "Ablation: append_entries batch size x pipelining depth, HovercRaft++ N=3",
+      "implementation design choice (paper section 6.2 operates likewise)");
+
+  SyntheticWorkloadConfig workload;
+  workload.service_time = std::make_shared<FixedDistribution>(Micros(1));
+
+  std::printf("%8s %8s %18s %16s\n", "batch", "depth", "max kRPS (SLO)", "p99 @ 100kRPS");
+  for (uint32_t batch : {8u, 64u}) {
+    for (uint32_t depth : {1u, 2u, 4u}) {
+      ExperimentConfig config = benchutil::MakeSyntheticExperiment(
+          ClusterMode::kHovercRaftPP, 3, workload, ReplierPolicy::kLeaderOnly, 128, 42);
+      config.cluster.raft.max_entries_per_ae = batch;
+      config.cluster.raft.max_outstanding_ae = depth;
+      const LoadMetrics unloaded = RunLoadPoint(config, 100e3);
+      const SloResult r = FindMaxThroughputUnderSlo(config, benchutil::kSlo, 50e3, 1'050e3, 5);
+      std::printf("%8u %8u %15.0fk %13.1fus\n", batch, depth, r.max_rps_under_slo / 1e3,
+                  static_cast<double>(unloaded.p99_ns) / 1e3);
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main() {
+  hovercraft::Run();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation (paper section 3.4/3.6): sweep the bounded-queue depth B for a
+// 3-node HovercRaft++ cluster on the Figure 11 workload and report, for each
+// B: the max throughput under SLO and the replies lost when a follower dies
+// mid-run. Small B limits lost replies on failure but throttles the
+// scheduler; large B admits more in-flight work at a higher failure cost.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/loadgen/client.h"
+
+namespace hovercraft {
+namespace {
+
+uint64_t LostRepliesOnFollowerCrash(int64_t bound) {
+  ClusterConfig config = benchutil::MakeClusterConfig(ClusterMode::kHovercRaftPP, 3,
+                                                      ReplierPolicy::kJbsq, bound, 42);
+  Cluster cluster(config);
+  if (cluster.WaitForLeader() == kInvalidNode) {
+    return 0;
+  }
+  SyntheticWorkloadConfig workload;
+  workload.read_only_fraction = 0.75;
+  workload.service_time = std::make_shared<BimodalDistribution>(Micros(10), 0.1, 10.0);
+  auto client = std::make_unique<ClientHost>(
+      &cluster.sim(), config.costs, [&cluster]() { return cluster.ClientTarget(); },
+      std::make_unique<SyntheticWorkload>(workload), 100'000, 11);
+  cluster.network().Attach(client.get());
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(300));
+  cluster.sim().RunUntil(t0 + Millis(100));
+  // Kill a follower (not the leader): its assigned-but-unanswered replies
+  // are gone; bounded queues cap how many.
+  const NodeId leader = cluster.LeaderId();
+  cluster.KillNode((leader + 1) % 3);
+  cluster.sim().RunUntil(t0 + Millis(600));
+  return client->total_sent() - client->total_completed();
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "Ablation: bounded queue depth B vs throughput under SLO and failure cost",
+      "Kogias & Bugnion, HovercRaft (EuroSys'20), sections 3.4 / 3.6");
+
+  SyntheticWorkloadConfig workload;
+  workload.read_only_fraction = 0.75;
+  workload.service_time = std::make_shared<BimodalDistribution>(Micros(10), 0.1, 10.0);
+
+  std::printf("%6s %18s %24s\n", "B", "max kRPS (SLO)", "lost on follower crash");
+  for (int64_t bound : {2, 4, 8, 16, 32, 128, 512}) {
+    ExperimentConfig config = benchutil::MakeSyntheticExperiment(
+        ClusterMode::kHovercRaftPP, 3, workload, ReplierPolicy::kJbsq, bound, 42);
+    const SloResult r = FindMaxThroughputUnderSlo(config, benchutil::kSlo, 20e3, 260e3, 5);
+    const uint64_t lost = LostRepliesOnFollowerCrash(bound);
+    std::printf("%6lld %15.0fk %24llu\n", static_cast<long long>(bound),
+                r.max_rps_under_slo / 1e3, static_cast<unsigned long long>(lost));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main() {
+  hovercraft::Run();
+  return 0;
+}

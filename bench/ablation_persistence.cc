@@ -1,0 +1,56 @@
+// Ablation: log durability latency (paper section 2.3).
+// The paper assumes modern NVM makes the write-ahead log essentially free
+// and focuses on CPU/IO bottlenecks. This bench quantifies that assumption:
+// followers must persist entries before acknowledging, and we sweep the
+// persistence latency from NVM (0) through NVMe (~10us) to SATA-era
+// (~100us) devices on the Figure 7 workload. Throughput survives (the
+// pipelined replication stream overlaps the writes) but commit latency
+// absorbs the persist time — exactly why us-scale SMR needs NVM.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace hovercraft {
+namespace {
+
+void Run() {
+  benchutil::PrintHeader(
+      "Ablation: WAL persistence latency, HovercRaft++ N=3, S=1us workload",
+      "Kogias & Bugnion, HovercRaft (EuroSys'20), section 2.3 discussion");
+
+  SyntheticWorkloadConfig workload;
+  workload.service_time = std::make_shared<FixedDistribution>(Micros(1));
+
+  struct Device {
+    const char* name;
+    TimeNs persist;
+  };
+  const Device devices[] = {
+      {"NVM (paper)", 0},
+      {"Optane-like", Micros(2)},
+      {"NVMe SSD", Micros(10)},
+      {"SATA SSD", Micros(100)},
+  };
+
+  std::printf("%-14s %12s %16s %18s\n", "device", "persist", "p99 @ 200kRPS",
+              "max kRPS (SLO)");
+  for (const Device& device : devices) {
+    ExperimentConfig config = benchutil::MakeSyntheticExperiment(
+        ClusterMode::kHovercRaftPP, 3, workload, ReplierPolicy::kLeaderOnly, 128, 42);
+    config.cluster.raft.persist_latency = device.persist;
+    const LoadMetrics m = RunLoadPoint(config, 200e3);
+    const SloResult r = FindMaxThroughputUnderSlo(config, benchutil::kSlo, 50e3, 1'050e3, 5);
+    std::printf("%-14s %9.0fus %13.1fus %15.0fk\n", device.name,
+                static_cast<double>(device.persist) / 1e3,
+                static_cast<double>(m.p99_ns) / 1e3, r.max_rps_under_slo / 1e3);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main() {
+  hovercraft::Run();
+  return 0;
+}

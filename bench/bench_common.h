@@ -1,0 +1,64 @@
+// Shared configuration and reporting helpers for the figure/table benches.
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for results).
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/app/synthetic.h"
+#include "src/core/cluster.h"
+#include "src/loadgen/experiment.h"
+#include "src/loadgen/workload.h"
+
+namespace hovercraft {
+namespace benchutil {
+
+// The paper's SLO: 99th percentile within 500us (section 7).
+constexpr TimeNs kSlo = Micros(500);
+
+inline ClusterConfig MakeClusterConfig(ClusterMode mode, int32_t nodes,
+                                       ReplierPolicy policy = ReplierPolicy::kLeaderOnly,
+                                       int64_t bounded_queue = 128, uint64_t seed = 1) {
+  ClusterConfig config;
+  config.mode = mode;
+  config.nodes = nodes;
+  config.seed = seed;
+  config.replier_policy = policy;
+  config.bounded_queue_depth = bounded_queue;
+  config.app_factory = []() { return std::make_unique<SyntheticService>(); };
+  return config;
+}
+
+inline ExperimentConfig MakeSyntheticExperiment(ClusterMode mode, int32_t nodes,
+                                                const SyntheticWorkloadConfig& workload,
+                                                ReplierPolicy policy = ReplierPolicy::kLeaderOnly,
+                                                int64_t bounded_queue = 128, uint64_t seed = 1) {
+  ExperimentConfig config;
+  config.cluster = MakeClusterConfig(mode, nodes, policy, bounded_queue, seed);
+  config.workload_factory = [workload]() { return std::make_unique<SyntheticWorkload>(workload); };
+  config.seed = seed;
+  return config;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("=====================================================================\n");
+}
+
+inline void PrintCurvePoint(const char* system, const LoadMetrics& m) {
+  std::printf("%-14s offered=%9.0f achieved=%9.0f rps  p50=%7.1fus  p99=%7.1fus  "
+              "nack=%6.0f lost=%llu\n",
+              system, m.offered_rps, m.achieved_rps, static_cast<double>(m.p50_ns) / 1e3,
+              static_cast<double>(m.p99_ns) / 1e3, m.nack_rps,
+              static_cast<unsigned long long>(m.lost));
+}
+
+}  // namespace benchutil
+}  // namespace hovercraft
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,110 @@
+// Characterization: service downtime across a leader failure as a function
+// of the election timeout (supplements Figure 12). For each timeout setting
+// the bench kills the leader under steady load, measures the gap until a new
+// leader exists and until the first post-crash completion, and reports
+// min/median/max over several seeds. The classic trade-off: short timeouts
+// recover fast but false-trigger on delay spikes; long timeouts waste
+// milliseconds of availability per failure.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/loadgen/client.h"
+
+namespace hovercraft {
+namespace {
+
+struct Downtime {
+  TimeNs until_new_leader = 0;
+  TimeNs until_first_completion = 0;
+};
+
+Downtime MeasureOne(TimeNs timeout_min, uint64_t seed) {
+  ClusterConfig config = benchutil::MakeClusterConfig(ClusterMode::kHovercRaftPP, 3,
+                                                      ReplierPolicy::kJbsq, 32, seed);
+  config.flow_control_threshold = 1000;
+  config.raft.election_timeout_min = timeout_min;
+  config.raft.election_timeout_max = timeout_min * 2;
+  config.raft.heartbeat_interval = std::max<TimeNs>(timeout_min / 4, Micros(100));
+  config.stagger_first_election = true;
+  Cluster cluster(config);
+  if (cluster.WaitForLeader() == kInvalidNode) {
+    return Downtime{};
+  }
+
+  SyntheticWorkloadConfig workload;
+  workload.service_time = std::make_shared<FixedDistribution>(Micros(2));
+  auto client = std::make_unique<ClientHost>(
+      &cluster.sim(), config.costs, [&cluster]() { return cluster.ClientTarget(); },
+      std::make_unique<SyntheticWorkload>(workload), 50'000, seed ^ 0xD07);
+  cluster.network().Attach(client.get());
+
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(400));
+  const TimeNs kill_at = t0 + Millis(50);
+  cluster.sim().RunUntil(kill_at);
+  const NodeId first = cluster.LeaderId();
+  cluster.KillLeader();
+  const uint64_t completed_at_kill = client->total_completed();
+
+  Downtime out;
+  const TimeNs deadline = kill_at + Millis(300);
+  while (cluster.sim().Now() < deadline &&
+         (out.until_new_leader == 0 || out.until_first_completion == 0)) {
+    cluster.sim().RunUntil(cluster.sim().Now() + Micros(100));
+    const NodeId leader = cluster.LeaderId();
+    if (out.until_new_leader == 0 && leader != kInvalidNode && leader != first) {
+      out.until_new_leader = cluster.sim().Now() - kill_at;
+    }
+    if (out.until_first_completion == 0 && client->total_completed() > completed_at_kill) {
+      out.until_first_completion = cluster.sim().Now() - kill_at;
+    }
+  }
+  return out;
+}
+
+void Run() {
+  benchutil::PrintHeader(
+      "Characterization: failover downtime vs election timeout, HovercRaft++ N=3",
+      "supplements Kogias & Bugnion (EuroSys'20) Figure 12");
+
+  std::printf("%14s | %28s | %28s\n", "timeout", "new leader (min/med/max)",
+              "first completion (min/med/max)");
+  for (TimeNs timeout : {Millis(1), Millis(2), Millis(5), Millis(10), Millis(20)}) {
+    std::vector<TimeNs> leader_times;
+    std::vector<TimeNs> completion_times;
+    for (uint64_t seed = 1; seed <= 9; ++seed) {
+      const Downtime d = MeasureOne(timeout, seed * 97);
+      if (d.until_new_leader > 0) {
+        leader_times.push_back(d.until_new_leader);
+      }
+      if (d.until_first_completion > 0) {
+        completion_times.push_back(d.until_first_completion);
+      }
+    }
+    std::sort(leader_times.begin(), leader_times.end());
+    std::sort(completion_times.begin(), completion_times.end());
+    auto fmt = [](const std::vector<TimeNs>& v, int which) {
+      if (v.empty()) {
+        return 0.0;
+      }
+      const size_t idx = which == 0 ? 0 : which == 1 ? v.size() / 2 : v.size() - 1;
+      return static_cast<double>(v[idx]) / 1e6;
+    };
+    std::printf("%12lldms | %7.2f / %7.2f / %7.2fms | %7.2f / %7.2f / %7.2fms\n",
+                static_cast<long long>(timeout / kNanosPerMilli), fmt(leader_times, 0),
+                fmt(leader_times, 1), fmt(leader_times, 2), fmt(completion_times, 0),
+                fmt(completion_times, 1), fmt(completion_times, 2));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main() {
+  hovercraft::Run();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 12: behaviour across a leader failure. 3-node HovercRaft++ running
+// the Figure 11 workload (bimodal mean 10us, 75% read-only) at a fixed
+// 165 kRPS — below the 3-node capacity (~200k) but above the 2-node capacity
+// (~160k). Flow control admits at most 1000 in-flight requests. At t=3s the
+// leader is killed: throughput dips during the election, recovers to the
+// 2-node capacity, and the flow-control middlebox NACKs the ~5 kRPS excess
+// instead of letting latency collapse.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/loadgen/client.h"
+#include "src/stats/timeseries.h"
+
+namespace hovercraft {
+namespace {
+
+constexpr double kOfferedRps = 165e3;
+constexpr TimeNs kKillAt = Seconds(3);
+constexpr TimeNs kDuration = Seconds(8);
+constexpr int kClients = 8;
+
+void Run() {
+  benchutil::PrintHeader(
+      "Figure 12: leader failure timeline, HovercRaft++ N=3, 165 kRPS offered,"
+      " flow control cap 1000",
+      "Kogias & Bugnion, HovercRaft (EuroSys'20), Figure 12");
+
+  ClusterConfig cluster_config = benchutil::MakeClusterConfig(
+      ClusterMode::kHovercRaftPP, 3, ReplierPolicy::kJbsq, /*bounded_queue=*/32, 42);
+  cluster_config.flow_control_threshold = 1000;
+  Cluster cluster(cluster_config);
+  if (cluster.WaitForLeader() == kInvalidNode) {
+    std::printf("no leader elected\n");
+    return;
+  }
+
+  SyntheticWorkloadConfig workload;
+  workload.read_only_fraction = 0.75;
+  workload.service_time = std::make_shared<BimodalDistribution>(Micros(10), 0.1, 10.0);
+
+  Timeseries timeline(Millis(500));
+  std::vector<std::unique_ptr<ClientHost>> clients;
+  const TimeNs t0 = cluster.sim().Now();
+  for (int c = 0; c < kClients; ++c) {
+    auto client = std::make_unique<ClientHost>(
+        &cluster.sim(), cluster_config.costs, [&cluster]() { return cluster.ClientTarget(); },
+        std::make_unique<SyntheticWorkload>(workload), kOfferedRps / kClients,
+        1000 + static_cast<uint64_t>(c));
+    cluster.network().Attach(client.get());
+    client->set_timeseries(&timeline);
+    client->StartLoad(t0, t0 + kDuration);
+    clients.push_back(std::move(client));
+  }
+
+  cluster.sim().At(t0 + kKillAt, [&cluster]() { cluster.KillLeader(); });
+  cluster.sim().RunUntil(t0 + kDuration + Millis(200));
+
+  std::printf("%8s %12s %12s %12s %12s\n", "t(s)", "kRPS", "nack kRPS", "p50(us)", "p99(us)");
+  const double bin_sec = 0.5;
+  for (const Timeseries::Point& p : timeline.Points()) {
+    std::printf("%8.1f %12.1f %12.1f %12.1f %12.1f%s\n",
+                static_cast<double>(p.start) / 1e9,
+                static_cast<double>(p.samples) / bin_sec / 1e3,
+                static_cast<double>(p.events) / bin_sec / 1e3,
+                static_cast<double>(p.p50) / 1e3, static_cast<double>(p.p99) / 1e3,
+                p.start <= kKillAt && kKillAt < p.start + timeline.bin_width()
+                    ? "   <-- leader killed"
+                    : "");
+  }
+  std::printf("\nfinal leader: node %d (term %llu)\n", cluster.LeaderId(),
+              static_cast<unsigned long long>(
+                  cluster.server(cluster.LeaderId()).raft()->term()));
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main() {
+  hovercraft::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 8: achieved throughput under the 500us SLO as the request size
+// grows (24B, 64B, 512B). VanillaRaft degrades because the leader replicates
+// full payloads to every follower; HovercRaft/++ rely on client multicast
+// and are insensitive to request size.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace hovercraft {
+namespace {
+
+void Run() {
+  benchutil::PrintHeader(
+      "Figure 8: max kRPS under 500us SLO vs request size, S=1us, 8B reply, N=3",
+      "Kogias & Bugnion, HovercRaft (EuroSys'20), Figure 8");
+
+  struct Setup {
+    const char* name;
+    ClusterMode mode;
+  };
+  const Setup setups[] = {
+      {"VanillaRaft", ClusterMode::kVanillaRaft},
+      {"HovercRaft", ClusterMode::kHovercRaft},
+      {"HovercRaft++", ClusterMode::kHovercRaftPP},
+      {"UnRep", ClusterMode::kUnreplicated},
+  };
+  const int32_t request_sizes[] = {24, 64, 512};
+
+  std::printf("%-14s %10s %10s %10s\n", "system", "24B", "64B", "512B");
+  for (const Setup& setup : setups) {
+    std::printf("%-14s", setup.name);
+    for (int32_t size : request_sizes) {
+      SyntheticWorkloadConfig workload;
+      workload.request_bytes = size;
+      workload.reply_bytes = 8;
+      workload.service_time = std::make_shared<FixedDistribution>(Micros(1));
+      const ExperimentConfig config = benchutil::MakeSyntheticExperiment(
+          setup.mode, 3, workload, ReplierPolicy::kLeaderOnly, 128, 42);
+      const SloResult r = FindMaxThroughputUnderSlo(config, benchutil::kSlo, 50e3, 1'050e3);
+      std::printf(" %8.0fk ", r.max_rps_under_slo / 1e3);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main() {
+  hovercraft::Run();
+  return 0;
+}

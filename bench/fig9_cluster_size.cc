@@ -1,0 +1,53 @@
+// Figure 9: achieved throughput under the 500us SLO for cluster sizes
+// 3/5/7/9. VanillaRaft degrades the most with cluster size, HovercRaft is
+// unaffected up to 5 nodes, and HovercRaft++'s in-network aggregation keeps
+// leader cost constant for any size.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace hovercraft {
+namespace {
+
+void Run() {
+  benchutil::PrintHeader(
+      "Figure 9: max kRPS under 500us SLO vs cluster size, S=1us, 24B req / 8B reply",
+      "Kogias & Bugnion, HovercRaft (EuroSys'20), Figure 9");
+
+  struct Setup {
+    const char* name;
+    ClusterMode mode;
+  };
+  const Setup setups[] = {
+      {"VanillaRaft", ClusterMode::kVanillaRaft},
+      {"HovercRaft", ClusterMode::kHovercRaft},
+      {"HovercRaft++", ClusterMode::kHovercRaftPP},
+  };
+  const int32_t sizes[] = {3, 5, 7, 9};
+
+  SyntheticWorkloadConfig workload;
+  workload.request_bytes = 24;
+  workload.reply_bytes = 8;
+  workload.service_time = std::make_shared<FixedDistribution>(Micros(1));
+
+  std::printf("%-14s %9s %9s %9s %9s\n", "system", "N=3", "N=5", "N=7", "N=9");
+  for (const Setup& setup : setups) {
+    std::printf("%-14s", setup.name);
+    for (int32_t nodes : sizes) {
+      const ExperimentConfig config = benchutil::MakeSyntheticExperiment(
+          setup.mode, nodes, workload, ReplierPolicy::kLeaderOnly, 128, 42);
+      const SloResult r = FindMaxThroughputUnderSlo(config, benchutil::kSlo, 50e3, 1'050e3);
+      std::printf(" %7.0fk ", r.max_rps_under_slo / 1e3);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main() {
+  hovercraft::Run();
+  return 0;
+}

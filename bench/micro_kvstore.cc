@@ -1,0 +1,131 @@
+// Microbenchmarks for the kvstore data structures and command codec
+// (google-benchmark). These measure real wall-clock costs of the store the
+// simulator's cost model abstracts.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/app/kvstore/command.h"
+#include "src/app/kvstore/service.h"
+#include "src/app/ycsb.h"
+#include "src/common/random.h"
+
+namespace hovercraft {
+namespace {
+
+void BM_StoreSetGet(benchmark::State& state) {
+  KvStore store;
+  Rng rng(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "key:" + std::to_string(i % 10'000);
+    store.Set(key, "value-0123456789");
+    benchmark::DoNotOptimize(store.Get(key));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_StoreSetGet);
+
+void BM_YcsbInsert(benchmark::State& state) {
+  KvService svc;
+  YcsbEGenerator gen(YcsbEConfig{});
+  Rng rng(2);
+  KvCommand cmd;
+  cmd.op = KvOpcode::kYInsert;
+  cmd.key = "conv:1";
+  cmd.value = gen.MakeRecord(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.Apply(cmd));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(cmd.value.size()));
+}
+BENCHMARK(BM_YcsbInsert);
+
+void BM_YcsbScan(benchmark::State& state) {
+  KvService svc;
+  YcsbEGenerator gen(YcsbEConfig{});
+  Rng rng(3);
+  KvCommand insert;
+  insert.op = KvOpcode::kYInsert;
+  insert.key = "conv:1";
+  for (int i = 0; i < 100; ++i) {
+    insert.value = gen.MakeRecord(rng);
+    svc.Apply(insert);
+  }
+  KvCommand scan;
+  scan.op = KvOpcode::kYScan;
+  scan.key = "conv:1";
+  scan.scan_limit = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.Apply(scan));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_YcsbScan);
+
+void BM_CommandEncodeDecode(benchmark::State& state) {
+  YcsbEGenerator gen(YcsbEConfig{});
+  Rng rng(4);
+  KvCommand cmd;
+  cmd.op = KvOpcode::kYInsert;
+  cmd.key = "conv:42";
+  cmd.value = gen.MakeRecord(rng);
+  for (auto _ : state) {
+    Body body = EncodeKvCommand(cmd);
+    auto decoded = DecodeKvCommand(body);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CommandEncodeDecode);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  YcsbEGenerator gen(YcsbEConfig{});
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next(rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void BM_Counters(benchmark::State& state) {
+  KvService svc;
+  KvCommand incr;
+  incr.op = KvOpcode::kIncr;
+  incr.key = "hits";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.Apply(incr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Counters);
+
+void BM_SetMembership(benchmark::State& state) {
+  KvService svc;
+  KvCommand sadd;
+  sadd.op = KvOpcode::kSadd;
+  sadd.key = "members";
+  for (int i = 0; i < 10'000; ++i) {
+    sadd.value = "user:" + std::to_string(i);
+    svc.Apply(sadd);
+  }
+  KvCommand probe;
+  probe.op = KvOpcode::kSismember;
+  probe.key = "members";
+  uint64_t i = 0;
+  for (auto _ : state) {
+    probe.value = "user:" + std::to_string(i++ % 20'000);
+    benchmark::DoNotOptimize(svc.Apply(probe));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SetMembership);
+
+}  // namespace
+}  // namespace hovercraft
+
+BENCHMARK_MAIN();

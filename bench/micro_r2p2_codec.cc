@@ -1,0 +1,99 @@
+// Microbenchmarks for the R2P2 wire codec and packetizer (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/r2p2/packetizer.h"
+#include "src/r2p2/serdes.h"
+#include "src/r2p2/wire.h"
+
+namespace hovercraft {
+namespace {
+
+WireHeader SampleHeader() {
+  WireHeader h;
+  h.type = WireType::kRequest;
+  h.policy = 1;
+  h.req_id = 1234;
+  h.src_ip = 0x0A000001;
+  h.src_port = 9999;
+  return h;
+}
+
+void BM_EncodeHeader(benchmark::State& state) {
+  const WireHeader h = SampleHeader();
+  std::vector<uint8_t> buf(kWireHeaderBytes);
+  for (auto _ : state) {
+    EncodeWireHeader(h, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EncodeHeader);
+
+void BM_DecodeHeader(benchmark::State& state) {
+  std::vector<uint8_t> buf(kWireHeaderBytes);
+  EncodeWireHeader(SampleHeader(), buf);
+  for (auto _ : state) {
+    auto result = DecodeWireHeader(buf);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DecodeHeader);
+
+void BM_FragmentMessage(benchmark::State& state) {
+  const std::vector<uint8_t> body(static_cast<size_t>(state.range(0)), 0xAB);
+  const WireHeader h = SampleHeader();
+  for (auto _ : state) {
+    auto packets = Fragment(h, body, 1436);
+    benchmark::DoNotOptimize(packets);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FragmentMessage)->Arg(24)->Arg(512)->Arg(6000)->Arg(65536);
+
+void BM_ReassembleMessage(benchmark::State& state) {
+  const std::vector<uint8_t> body(static_cast<size_t>(state.range(0)), 0xCD);
+  WireHeader h = SampleHeader();
+  uint16_t req = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    h.req_id = ++req;
+    auto packets = Fragment(h, body, 1436);
+    state.ResumeTiming();
+    Reassembler r;
+    for (const auto& pkt : packets) {
+      auto done = r.Feed(pkt, 0);
+      benchmark::DoNotOptimize(done);
+    }
+    auto complete = r.TakeCompleted();
+    benchmark::DoNotOptimize(complete);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_ReassembleMessage)->Arg(1436)->Arg(6000)->Arg(65536);
+
+void BM_SerializeRequestEndToEnd(benchmark::State& state) {
+  // Full wire path: typed message -> header + fragments -> reassemble -> typed.
+  std::vector<uint8_t> body(static_cast<size_t>(state.range(0)), 0x5A);
+  RpcRequest req(RequestId{1, 99}, R2p2Policy::kReplicatedReq, MakeBody(std::move(body)));
+  for (auto _ : state) {
+    auto packets = SerializeRequest(req, 1436);
+    Reassembler r;
+    for (const auto& pkt : packets) {
+      auto done = r.Feed(pkt, 0);
+      benchmark::DoNotOptimize(done);
+    }
+    auto decoded = DecodeR2p2Message(r.TakeCompleted());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SerializeRequestEndToEnd)->Arg(24)->Arg(512)->Arg(6000);
+
+}  // namespace
+}  // namespace hovercraft
+
+BENCHMARK_MAIN();

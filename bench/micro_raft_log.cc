@@ -1,0 +1,79 @@
+// Microbenchmarks for the Raft log hot paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/raft/log.h"
+
+namespace hovercraft {
+namespace {
+
+LogEntry MakeEntry(uint64_t seq) {
+  LogEntry e;
+  e.term = 1;
+  e.rid = RequestId{1, seq};
+  e.request = std::make_shared<RpcRequest>(e.rid, R2p2Policy::kReplicatedReq,
+                                           MakeBody(std::vector<uint8_t>(24)));
+  return e;
+}
+
+void BM_LogAppend(benchmark::State& state) {
+  RaftLog log;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    log.Append(MakeEntry(++seq));
+    if (log.size() >= 100'000) {
+      state.PauseTiming();
+      log.CompactPrefix(log.last_index());
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LogAppend);
+
+void BM_LogAppendCompactSteadyState(benchmark::State& state) {
+  // The shape long benchmark runs exercise: append at the head, compact the
+  // tail, bounded working set.
+  RaftLog log;
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    log.Append(MakeEntry(++seq));
+    if (log.size() > 4096) {
+      log.CompactPrefix(log.last_index() - 2048);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LogAppendCompactSteadyState);
+
+void BM_LogFindRequest(benchmark::State& state) {
+  RaftLog log;
+  for (uint64_t i = 1; i <= 10'000; ++i) {
+    log.Append(MakeEntry(i));
+  }
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.FindRequest(RequestId{1, (seq++ % 10'000) + 1}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LogFindRequest);
+
+void BM_LogTermAt(benchmark::State& state) {
+  RaftLog log;
+  for (uint64_t i = 1; i <= 10'000; ++i) {
+    log.Append(MakeEntry(i));
+  }
+  uint64_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(log.TermAt((idx++ % 10'000) + 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LogTermAt);
+
+}  // namespace
+}  // namespace hovercraft
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Microbenchmarks for the simulator event loop and the stats primitives —
+// the substrate everything else runs on. Millions of simulated events per
+// wall second are what make the figure benches tractable.
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+
+namespace hovercraft {
+namespace {
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int remaining = 10'000;
+    std::function<void()> chain = [&]() {
+      if (--remaining > 0) {
+        sim.After(10, chain);
+      }
+    };
+    sim.At(0, chain);
+    sim.RunToCompletion();
+    benchmark::DoNotOptimize(sim.Now());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void BM_SimulatorWideHeap(benchmark::State& state) {
+  // Many concurrent pending events, as in a loaded cluster.
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.At(i * 3 % 1000, []() {});
+    }
+    sim.RunToCompletion();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_SimulatorWideHeap);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Record(static_cast<int64_t>(rng.NextBelow(10'000'000)));
+  }
+  benchmark::DoNotOptimize(h.Percentile(99));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramQuantile(benchmark::State& state) {
+  Histogram h;
+  Rng rng(2);
+  for (int i = 0; i < 1'000'000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextExponential(50'000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.Percentile(99));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngNext);
+
+}  // namespace
+}  // namespace hovercraft
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Example: replication that *adds* throughput.
+//
+// The paper's headline claim is that with HovercRaft, adding replicas for
+// fault-tolerance also raises capacity, because linearizable read-only
+// requests execute on only one (load-balanced) replica. This example runs
+// the same read-heavy synthetic service unreplicated and on 3- and 5-node
+// HovercRaft++ clusters at the same offered load and prints the achieved
+// throughput and tail latency side by side.
+//
+//   ./build/examples/readonly_scaling
+#include <cstdio>
+#include <memory>
+
+#include "src/app/synthetic.h"
+#include "src/loadgen/experiment.h"
+#include "src/loadgen/workload.h"
+
+namespace hovercraft {
+namespace {
+
+void Run() {
+  std::printf("== Read-mostly service: replication as a throughput feature ==\n\n");
+  std::printf("workload: S=10us per op, 90%% linearizable reads, open-loop Poisson\n\n");
+
+  SyntheticWorkloadConfig workload;
+  workload.read_only_fraction = 0.9;
+  workload.service_time = std::make_shared<FixedDistribution>(Micros(10));
+
+  struct Deployment {
+    const char* label;
+    ClusterMode mode;
+    int32_t nodes;
+  };
+  const Deployment deployments[] = {
+      {"unreplicated (no fault tolerance)", ClusterMode::kUnreplicated, 1},
+      {"HovercRaft++ N=3 (tolerates 1 fault)", ClusterMode::kHovercRaftPP, 3},
+      {"HovercRaft++ N=5 (tolerates 2 faults)", ClusterMode::kHovercRaftPP, 5},
+  };
+
+  // The unreplicated capacity is 1/S = 100 kRPS. Offer 150 kRPS to all
+  // three deployments.
+  const double offered = 150e3;
+  std::printf("offered load: %.0f kRPS (unreplicated capacity is ~100 kRPS)\n\n", offered / 1e3);
+  std::printf("%-40s %12s %12s %10s\n", "deployment", "achieved", "p99", "kept up?");
+  for (const Deployment& d : deployments) {
+    ExperimentConfig config;
+    config.cluster.mode = d.mode;
+    config.cluster.nodes = d.nodes;
+    config.cluster.replier_policy = ReplierPolicy::kJbsq;
+    config.cluster.bounded_queue_depth = 64;
+    config.cluster.app_factory = []() { return std::make_unique<SyntheticService>(); };
+    config.workload_factory = [&workload]() {
+      return std::make_unique<SyntheticWorkload>(workload);
+    };
+    const LoadMetrics m = RunLoadPoint(config, offered);
+    const bool kept_up = m.achieved_rps > 0.95 * offered && m.p99_ns < Micros(500);
+    std::printf("%-40s %9.0f kRPS %9.1f us %10s\n", d.label, m.achieved_rps / 1e3,
+                static_cast<double>(m.p99_ns) / 1e3, kept_up ? "yes" : "NO");
+  }
+  std::printf(
+      "\nThe unreplicated server saturates and its tail explodes; the replicated\n"
+      "deployments spread the reads and absorb the same load with microsecond\n"
+      "tails -- while also surviving node failures.\n");
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main() {
+  hovercraft::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Wire commands for the in-memory data-structure store.
+//
+// The store plays the role of Redis in the paper's evaluation (section 7.5):
+// basic string/hash/list operations, plus the two YCSB-E operations that the
+// paper implements as a user-defined Redis module so each executes as one
+// atomic, totally-ordered SMR operation: YINSERT appends a 1 KB record to a
+// conversation thread and YSCAN reads the latest posts.
+#ifndef SRC_APP_KVSTORE_COMMAND_H_
+#define SRC_APP_KVSTORE_COMMAND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/r2p2/messages.h"
+
+namespace hovercraft {
+
+enum class KvOpcode : uint8_t {
+  kSet = 0,
+  kGet = 1,
+  kDel = 2,
+  kHset = 3,
+  kHget = 4,
+  kRpush = 5,
+  kLrange = 6,
+  kYInsert = 7,
+  kYScan = 8,
+  // Extended command surface (Redis-style):
+  kIncr = 9,       // integer increment; creates the key at 1
+  kAppend = 10,    // string append; returns new length
+  kSetnx = 11,     // set-if-absent; returns 1/0
+  kExists = 12,    // key existence probe (read-only)
+  kHdel = 13,      // delete a hash field
+  kLpop = 14,      // pop the list head
+  kLlen = 15,      // list length (read-only)
+  kSadd = 16,      // add a set member; returns 1 if new
+  kSrem = 17,      // remove a set member
+  kSismember = 18, // set membership probe (read-only)
+  kScard = 19,     // set cardinality (read-only)
+};
+
+struct KvCommand {
+  KvOpcode op = KvOpcode::kGet;
+  std::string key;
+  std::string field;           // kHset/kHget
+  std::string value;           // kSet/kHset/kRpush/kYInsert (record blob)
+  int32_t range_start = 0;     // kLrange
+  int32_t range_stop = -1;     // kLrange
+  int32_t scan_limit = 0;      // kYScan
+
+  bool IsReadOnly() const {
+    return op == KvOpcode::kGet || op == KvOpcode::kHget || op == KvOpcode::kLrange ||
+           op == KvOpcode::kYScan || op == KvOpcode::kExists || op == KvOpcode::kLlen ||
+           op == KvOpcode::kSismember || op == KvOpcode::kScard;
+  }
+};
+
+Body EncodeKvCommand(const KvCommand& cmd);
+Result<KvCommand> DecodeKvCommand(const Body& body);
+
+// Replies: a status byte, then zero or more length-prefixed values.
+enum class KvReplyStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kWrongType = 2,
+  kError = 3,
+};
+
+struct KvReply {
+  KvReplyStatus status = KvReplyStatus::kOk;
+  std::vector<std::string> values;
+};
+
+Body EncodeKvReply(const KvReply& reply);
+Result<KvReply> DecodeKvReply(const Body& body);
+
+}  // namespace hovercraft
+
+#endif  // SRC_APP_KVSTORE_COMMAND_H_

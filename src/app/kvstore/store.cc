@@ -1,0 +1,421 @@
+#include "src/app/kvstore/store.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "src/common/buffer.h"
+
+namespace hovercraft {
+
+const KvStore::Value* KvStore::Find(std::string_view key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+KvStore::Value* KvStore::Find(std::string_view key) {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void KvStore::Set(std::string_view key, std::string_view value) {
+  map_[std::string(key)] = StringValue(value);
+}
+
+Result<std::string> KvStore::Get(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return NotFoundError("no such key");
+  }
+  const auto* s = std::get_if<StringValue>(v);
+  if (s == nullptr) {
+    return FailedPreconditionError("wrong type");
+  }
+  return *s;
+}
+
+bool KvStore::Del(std::string_view key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return false;
+  }
+  map_.erase(it);
+  return true;
+}
+
+Status KvStore::Hset(std::string_view key, std::string_view field, std::string_view value) {
+  Value* v = Find(key);
+  if (v == nullptr) {
+    HashValue h;
+    h.emplace(std::string(field), std::string(value));
+    map_.emplace(std::string(key), std::move(h));
+    return Status::Ok();
+  }
+  auto* h = std::get_if<HashValue>(v);
+  if (h == nullptr) {
+    return FailedPreconditionError("wrong type");
+  }
+  (*h)[std::string(field)] = std::string(value);
+  return Status::Ok();
+}
+
+Result<std::string> KvStore::Hget(std::string_view key, std::string_view field) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return NotFoundError("no such key");
+  }
+  const auto* h = std::get_if<HashValue>(v);
+  if (h == nullptr) {
+    return FailedPreconditionError("wrong type");
+  }
+  auto it = h->find(std::string(field));
+  if (it == h->end()) {
+    return NotFoundError("no such field");
+  }
+  return it->second;
+}
+
+Result<size_t> KvStore::Rpush(std::string_view key, std::string_view value) {
+  Value* v = Find(key);
+  if (v == nullptr) {
+    ListValue l;
+    l.emplace_back(value);
+    map_.emplace(std::string(key), std::move(l));
+    return size_t{1};
+  }
+  auto* l = std::get_if<ListValue>(v);
+  if (l == nullptr) {
+    return Result<size_t>(FailedPreconditionError("wrong type"));
+  }
+  l->emplace_back(value);
+  return l->size();
+}
+
+Result<std::vector<std::string>> KvStore::Lrange(std::string_view key, int32_t start,
+                                                 int32_t stop) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return NotFoundError("no such key");
+  }
+  const auto* l = std::get_if<ListValue>(v);
+  if (l == nullptr) {
+    return Result<std::vector<std::string>>(FailedPreconditionError("wrong type"));
+  }
+  const int64_t n = static_cast<int64_t>(l->size());
+  int64_t a = start < 0 ? n + start : start;
+  int64_t b = stop < 0 ? n + stop : stop;
+  a = std::clamp<int64_t>(a, 0, n);
+  b = std::clamp<int64_t>(b, -1, n - 1);
+  std::vector<std::string> out;
+  for (int64_t i = a; i <= b; ++i) {
+    out.push_back((*l)[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> KvStore::ScanTail(std::string_view key, int32_t limit) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return NotFoundError("no such key");
+  }
+  const auto* l = std::get_if<ListValue>(v);
+  if (l == nullptr) {
+    return Result<std::vector<std::string>>(FailedPreconditionError("wrong type"));
+  }
+  const size_t count = std::min<size_t>(static_cast<size_t>(std::max(limit, 0)), l->size());
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back((*l)[l->size() - 1 - i]);  // newest first
+  }
+  return out;
+}
+
+
+Result<int64_t> KvStore::Incr(std::string_view key) {
+  Value* v = Find(key);
+  if (v == nullptr) {
+    map_.emplace(std::string(key), StringValue("1"));
+    return int64_t{1};
+  }
+  auto* s = std::get_if<StringValue>(v);
+  if (s == nullptr) {
+    return Result<int64_t>(FailedPreconditionError("wrong type"));
+  }
+  int64_t current = 0;
+  const auto [ptr, ec] = std::from_chars(s->data(), s->data() + s->size(), current);
+  if (ec != std::errc{} || ptr != s->data() + s->size()) {
+    return Result<int64_t>(FailedPreconditionError("value is not an integer"));
+  }
+  ++current;
+  *s = std::to_string(current);
+  return current;
+}
+
+Result<size_t> KvStore::Append(std::string_view key, std::string_view suffix) {
+  Value* v = Find(key);
+  if (v == nullptr) {
+    map_.emplace(std::string(key), StringValue(suffix));
+    return suffix.size();
+  }
+  auto* s = std::get_if<StringValue>(v);
+  if (s == nullptr) {
+    return Result<size_t>(FailedPreconditionError("wrong type"));
+  }
+  s->append(suffix);
+  return s->size();
+}
+
+Result<bool> KvStore::Setnx(std::string_view key, std::string_view value) {
+  if (Find(key) != nullptr) {
+    return false;
+  }
+  map_.emplace(std::string(key), StringValue(value));
+  return true;
+}
+
+Result<bool> KvStore::Hdel(std::string_view key, std::string_view field) {
+  Value* v = Find(key);
+  if (v == nullptr) {
+    return NotFoundError("no such key");
+  }
+  auto* h = std::get_if<HashValue>(v);
+  if (h == nullptr) {
+    return Result<bool>(FailedPreconditionError("wrong type"));
+  }
+  return h->erase(std::string(field)) > 0;
+}
+
+Result<std::string> KvStore::Lpop(std::string_view key) {
+  Value* v = Find(key);
+  if (v == nullptr) {
+    return NotFoundError("no such key");
+  }
+  auto* l = std::get_if<ListValue>(v);
+  if (l == nullptr) {
+    return Result<std::string>(FailedPreconditionError("wrong type"));
+  }
+  if (l->empty()) {
+    return NotFoundError("empty list");
+  }
+  std::string out = std::move(l->front());
+  l->pop_front();
+  return out;
+}
+
+Result<size_t> KvStore::Llen(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return size_t{0};
+  }
+  const auto* l = std::get_if<ListValue>(v);
+  if (l == nullptr) {
+    return Result<size_t>(FailedPreconditionError("wrong type"));
+  }
+  return l->size();
+}
+
+Result<bool> KvStore::Sadd(std::string_view key, std::string_view member) {
+  Value* v = Find(key);
+  if (v == nullptr) {
+    SetValue set;
+    set.emplace(member);
+    map_.emplace(std::string(key), std::move(set));
+    return true;
+  }
+  auto* set = std::get_if<SetValue>(v);
+  if (set == nullptr) {
+    return Result<bool>(FailedPreconditionError("wrong type"));
+  }
+  return set->emplace(member).second;
+}
+
+Result<bool> KvStore::Srem(std::string_view key, std::string_view member) {
+  Value* v = Find(key);
+  if (v == nullptr) {
+    return NotFoundError("no such key");
+  }
+  auto* set = std::get_if<SetValue>(v);
+  if (set == nullptr) {
+    return Result<bool>(FailedPreconditionError("wrong type"));
+  }
+  return set->erase(std::string(member)) > 0;
+}
+
+Result<bool> KvStore::Sismember(std::string_view key, std::string_view member) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return false;
+  }
+  const auto* set = std::get_if<SetValue>(v);
+  if (set == nullptr) {
+    return Result<bool>(FailedPreconditionError("wrong type"));
+  }
+  return set->count(std::string(member)) > 0;
+}
+
+Result<size_t> KvStore::Scard(std::string_view key) const {
+  const Value* v = Find(key);
+  if (v == nullptr) {
+    return size_t{0};
+  }
+  const auto* set = std::get_if<SetValue>(v);
+  if (set == nullptr) {
+    return Result<size_t>(FailedPreconditionError("wrong type"));
+  }
+  return set->size();
+}
+
+uint64_t KvStore::ContentDigest() const {
+  uint64_t digest = 0;
+  for (const auto& [key, value] : map_) {
+    uint64_t h = Fnv1aHash(key);
+    if (const auto* s = std::get_if<StringValue>(&value)) {
+      h = Fnv1aHash(*s, h ^ 1);
+    } else if (const auto* hv = std::get_if<HashValue>(&value)) {
+      uint64_t inner = 0;
+      for (const auto& [f, val] : *hv) {
+        inner ^= Fnv1aHash(val, Fnv1aHash(f) ^ 2);
+      }
+      h ^= inner;
+    } else if (const auto* l = std::get_if<ListValue>(&value)) {
+      uint64_t seq = h ^ 3;
+      for (const std::string& item : *l) {
+        seq = Fnv1aHash(item, seq);
+      }
+      h = seq;
+    } else if (const auto* set = std::get_if<SetValue>(&value)) {
+      uint64_t inner = 0;
+      for (const std::string& member : *set) {
+        inner ^= Fnv1aHash(member, h ^ 4);  // order-insensitive within the set
+      }
+      h ^= inner;
+    }
+    digest ^= h;  // order-insensitive across keys
+  }
+  return digest;
+}
+
+namespace {
+
+enum class ValueTag : uint8_t { kString = 0, kHash = 1, kList = 2, kSet = 3 };
+
+}  // namespace
+
+void KvStore::SerializeTo(BufferWriter& out) const {
+  out.PutU64(map_.size());
+  for (const auto& [key, value] : map_) {
+    out.PutString(key);
+    if (const auto* s = std::get_if<StringValue>(&value)) {
+      out.PutU8(static_cast<uint8_t>(ValueTag::kString));
+      out.PutString(*s);
+    } else if (const auto* h = std::get_if<HashValue>(&value)) {
+      out.PutU8(static_cast<uint8_t>(ValueTag::kHash));
+      out.PutU64(h->size());
+      for (const auto& [field, v] : *h) {
+        out.PutString(field);
+        out.PutString(v);
+      }
+    } else if (const auto* l = std::get_if<ListValue>(&value)) {
+      out.PutU8(static_cast<uint8_t>(ValueTag::kList));
+      out.PutU64(l->size());
+      for (const std::string& item : *l) {
+        out.PutString(item);
+      }
+    } else if (const auto* set = std::get_if<SetValue>(&value)) {
+      out.PutU8(static_cast<uint8_t>(ValueTag::kSet));
+      out.PutU64(set->size());
+      for (const std::string& member : *set) {
+        out.PutString(member);
+      }
+    }
+  }
+}
+
+Status KvStore::DeserializeFrom(BufferReader& in) {
+  uint64_t count = 0;
+  if (Status s = in.GetU64(count); !s.ok()) {
+    return s;
+  }
+  decltype(map_) fresh;
+  fresh.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    uint8_t tag = 0;
+    if (Status s = in.GetString(key); !s.ok()) {
+      return s;
+    }
+    if (Status s = in.GetU8(tag); !s.ok()) {
+      return s;
+    }
+    switch (static_cast<ValueTag>(tag)) {
+      case ValueTag::kString: {
+        std::string v;
+        if (Status s = in.GetString(v); !s.ok()) {
+          return s;
+        }
+        fresh.emplace(std::move(key), std::move(v));
+        break;
+      }
+      case ValueTag::kHash: {
+        uint64_t n = 0;
+        if (Status s = in.GetU64(n); !s.ok()) {
+          return s;
+        }
+        HashValue h;
+        h.reserve(n);
+        for (uint64_t j = 0; j < n; ++j) {
+          std::string field;
+          std::string v;
+          if (Status s = in.GetString(field); !s.ok()) {
+            return s;
+          }
+          if (Status s = in.GetString(v); !s.ok()) {
+            return s;
+          }
+          h.emplace(std::move(field), std::move(v));
+        }
+        fresh.emplace(std::move(key), std::move(h));
+        break;
+      }
+      case ValueTag::kList: {
+        uint64_t n = 0;
+        if (Status s = in.GetU64(n); !s.ok()) {
+          return s;
+        }
+        ListValue l;
+        for (uint64_t j = 0; j < n; ++j) {
+          std::string item;
+          if (Status s = in.GetString(item); !s.ok()) {
+            return s;
+          }
+          l.push_back(std::move(item));
+        }
+        fresh.emplace(std::move(key), std::move(l));
+        break;
+      }
+      case ValueTag::kSet: {
+        uint64_t n = 0;
+        if (Status s = in.GetU64(n); !s.ok()) {
+          return s;
+        }
+        SetValue set;
+        set.reserve(n);
+        for (uint64_t j = 0; j < n; ++j) {
+          std::string member;
+          if (Status s = in.GetString(member); !s.ok()) {
+            return s;
+          }
+          set.insert(std::move(member));
+        }
+        fresh.emplace(std::move(key), std::move(set));
+        break;
+      }
+      default:
+        return InvalidArgumentError("unknown kv value tag");
+    }
+  }
+  map_ = std::move(fresh);
+  return Status::Ok();
+}
+
+}  // namespace hovercraft

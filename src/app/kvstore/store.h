@@ -1,0 +1,99 @@
+// The in-memory data-structure store (the paper's Redis stand-in).
+// Pure data structures + operations; no costs, no I/O — KvService layers the
+// cost model and the StateMachine interface on top.
+#ifndef SRC_APP_KVSTORE_STORE_H_
+#define SRC_APP_KVSTORE_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/status.h"
+
+namespace hovercraft {
+
+class KvStore {
+ public:
+  using StringValue = std::string;
+  using HashValue = std::unordered_map<std::string, std::string>;
+  using ListValue = std::deque<std::string>;
+  using SetValue = std::unordered_set<std::string>;
+  using Value = std::variant<StringValue, HashValue, ListValue, SetValue>;
+
+  // -- strings --
+  void Set(std::string_view key, std::string_view value);
+  Result<std::string> Get(std::string_view key) const;
+  bool Del(std::string_view key);
+
+  // Atomic integer increment (the value must parse as a decimal integer or
+  // be absent); returns the new value.
+  Result<int64_t> Incr(std::string_view key);
+  // Appends to a string value (creating it); returns the new length.
+  Result<size_t> Append(std::string_view key, std::string_view suffix);
+  // Sets only if the key is absent; returns true if it was set.
+  Result<bool> Setnx(std::string_view key, std::string_view value);
+
+  // -- hashes --
+  Status Hset(std::string_view key, std::string_view field, std::string_view value);
+  Result<std::string> Hget(std::string_view key, std::string_view field) const;
+  // Removes a field; returns true if it existed.
+  Result<bool> Hdel(std::string_view key, std::string_view field);
+
+  // -- lists --
+  // Appends and returns the new length.
+  Result<size_t> Rpush(std::string_view key, std::string_view value);
+  // Negative indices count from the tail, Redis-style (-1 = last element).
+  Result<std::vector<std::string>> Lrange(std::string_view key, int32_t start,
+                                          int32_t stop) const;
+  // The last min(limit, length) elements, newest first — the YCSB-E SCAN
+  // ("query the last posts in a conversation").
+  Result<std::vector<std::string>> ScanTail(std::string_view key, int32_t limit) const;
+
+  // Pops the list head; kNotFound on missing/empty.
+  Result<std::string> Lpop(std::string_view key);
+  Result<size_t> Llen(std::string_view key) const;
+
+  // -- sets --
+  Result<bool> Sadd(std::string_view key, std::string_view member);
+  Result<bool> Srem(std::string_view key, std::string_view member);
+  Result<bool> Sismember(std::string_view key, std::string_view member) const;
+  Result<size_t> Scard(std::string_view key) const;
+
+  size_t key_count() const { return map_.size(); }
+  bool Exists(std::string_view key) const { return Find(key) != nullptr; }
+
+  // Order-insensitive digest over all keys and values; replicas with equal
+  // content produce equal digests.
+  uint64_t ContentDigest() const;
+
+  // Full-store serialization for snapshot transfers. Deserialize replaces
+  // the current contents.
+  void SerializeTo(BufferWriter& out) const;
+  Status DeserializeFrom(BufferReader& in);
+
+ private:
+  const Value* Find(std::string_view key) const;
+  Value* Find(std::string_view key);
+
+  // Heterogeneous lookup so string_view probes do not allocate.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+
+  std::unordered_map<std::string, Value, Hash, Eq> map_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_APP_KVSTORE_STORE_H_

@@ -1,0 +1,51 @@
+// The deterministic application interface.
+//
+// HovercRaft's promise (paper section 3.1) is that any RPC service with
+// deterministic behaviour becomes fault-tolerant with no code changes: the
+// SMR layer feeds it totally-ordered requests. A StateMachine implementation
+// must satisfy: identical request sequences produce identical state and
+// identical replies on every replica (checked by Digest() in tests).
+//
+// Execution cost is returned as virtual nanoseconds and charged to the
+// executing node's app thread — the simulator's substitute for really
+// burning CPU (see DESIGN.md, substitution table).
+#ifndef SRC_APP_STATE_MACHINE_H_
+#define SRC_APP_STATE_MACHINE_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/r2p2/messages.h"
+
+namespace hovercraft {
+
+struct ExecResult {
+  TimeNs service_time = 0;  // app-thread CPU consumed
+  Body reply;               // reply body (may be null for empty replies)
+};
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  // Executes one request. Called in log order; mutates state for read-write
+  // requests. Read-only requests (request.read_only()) must not mutate.
+  virtual ExecResult Execute(const RpcRequest& request) = 0;
+
+  // Order-sensitive digest of the current state; equal digests on two
+  // replicas imply identical state. Used by the replication tests.
+  virtual uint64_t Digest() const = 0;
+
+  // Number of read-write operations applied (convenience for tests).
+  virtual uint64_t ApplyCount() const = 0;
+
+  // Serializes the complete state for InstallSnapshot transfers. Restore on
+  // a fresh instance must reproduce Digest()/ApplyCount() exactly.
+  virtual Body SnapshotState() const = 0;
+  virtual Status RestoreState(const Body& snapshot) = 0;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_APP_STATE_MACHINE_H_

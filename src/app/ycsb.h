@@ -1,0 +1,53 @@
+// YCSB workload E (paper section 7.5): threaded conversations.
+// 95% SCAN (read the latest posts of a conversation) and 5% INSERT (append a
+// new 1 KB post of 10 x 100 B fields), with conversation popularity drawn
+// from the standard YCSB zipfian distribution.
+#ifndef SRC_APP_YCSB_H_
+#define SRC_APP_YCSB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/app/kvstore/command.h"
+#include "src/common/random.h"
+
+namespace hovercraft {
+
+struct YcsbEConfig {
+  uint64_t conversation_count = 2'000;
+  double zipf_theta = 0.99;
+  double scan_fraction = 0.95;
+  int32_t scan_limit = 10;  // max elements returned by SCAN (paper setting)
+  int32_t record_fields = 10;
+  int32_t field_bytes = 100;  // 1 KB records
+  // Posts inserted per conversation before measurement starts, so early
+  // scans see realistic records.
+  int32_t preload_per_conversation = 10;
+};
+
+class YcsbEGenerator {
+ public:
+  explicit YcsbEGenerator(const YcsbEConfig& config);
+
+  // Next operation of the E mix. Read-only iff the command is a SCAN.
+  KvCommand Next(Rng& rng) const;
+
+  // Commands that populate the store before the run.
+  std::vector<KvCommand> PreloadCommands(Rng& rng) const;
+
+  // One 1 KB record: `record_fields` fields of `field_bytes` each.
+  std::string MakeRecord(Rng& rng) const;
+
+  static std::string ConversationKey(uint64_t id);
+
+  const YcsbEConfig& config() const { return config_; }
+
+ private:
+  YcsbEConfig config_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_APP_YCSB_H_

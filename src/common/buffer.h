@@ -1,0 +1,134 @@
+// Byte-buffer writer/reader pair used by the wire codecs (R2P2 headers, Raft
+// messages, kvstore commands). Little-endian fixed-width encoding with
+// explicit bounds checks on the read side.
+#ifndef SRC_COMMON_BUFFER_H_
+#define SRC_COMMON_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace hovercraft {
+
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+  explicit BufferWriter(size_t reserve) { bytes_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU16(uint16_t v) { PutLittleEndian(v); }
+  void PutU32(uint32_t v) { PutLittleEndian(v); }
+  void PutU64(uint64_t v) { PutLittleEndian(v); }
+  void PutI64(int64_t v) { PutLittleEndian(static_cast<uint64_t>(v)); }
+
+  void PutBytes(std::span<const uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  // Length-prefixed (u32) string.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const uint8_t*>(s.data());
+    bytes_.insert(bytes_.end(), p, p + s.size());
+  }
+
+  size_t size() const { return bytes_.size(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  template <typename T>
+  void PutLittleEndian(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const uint8_t> data) : data_(data) {}
+
+  Status GetU8(uint8_t& out) { return GetLittleEndian(out); }
+  Status GetU16(uint16_t& out) { return GetLittleEndian(out); }
+  Status GetU32(uint32_t& out) { return GetLittleEndian(out); }
+  Status GetU64(uint64_t& out) { return GetLittleEndian(out); }
+  Status GetI64(int64_t& out) {
+    uint64_t raw = 0;
+    Status s = GetLittleEndian(raw);
+    out = static_cast<int64_t>(raw);
+    return s;
+  }
+
+  Status GetBytes(size_t count, std::vector<uint8_t>& out) {
+    if (remaining() < count) {
+      return OutOfRangeError("buffer underrun");
+    }
+    out.assign(data_.begin() + static_cast<ptrdiff_t>(pos_),
+               data_.begin() + static_cast<ptrdiff_t>(pos_ + count));
+    pos_ += count;
+    return Status::Ok();
+  }
+
+  Status GetString(std::string& out) {
+    uint32_t len = 0;
+    if (Status s = GetU32(len); !s.ok()) {
+      return s;
+    }
+    if (remaining() < len) {
+      return OutOfRangeError("string length exceeds buffer");
+    }
+    out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return Status::Ok();
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  Status GetLittleEndian(T& out) {
+    if (remaining() < sizeof(T)) {
+      return OutOfRangeError("buffer underrun");
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    out = v;
+    return Status::Ok();
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+// FNV-1a 64-bit hash; used for request-body hashes (paper section 5) and
+// state-machine digests in tests.
+inline uint64_t Fnv1aHash(std::span<const uint8_t> data, uint64_t seed = 0xCBF29CE484222325ull) {
+  uint64_t h = seed;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1aHash(std::string_view s, uint64_t seed = 0xCBF29CE484222325ull) {
+  return Fnv1aHash(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size()),
+                   seed);
+}
+
+}  // namespace hovercraft
+
+#endif  // SRC_COMMON_BUFFER_H_

@@ -1,0 +1,33 @@
+// Always-on invariant checks. Systems code in this repository uses CHECK for
+// conditions that indicate a programming error (never for recoverable I/O or
+// protocol conditions, which use Status/Result instead).
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hovercraft {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace hovercraft
+
+#define HC_CHECK(expr)                                    \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      ::hovercraft::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                     \
+  } while (0)
+
+#define HC_CHECK_GE(a, b) HC_CHECK((a) >= (b))
+#define HC_CHECK_GT(a, b) HC_CHECK((a) > (b))
+#define HC_CHECK_LE(a, b) HC_CHECK((a) <= (b))
+#define HC_CHECK_LT(a, b) HC_CHECK((a) < (b))
+#define HC_CHECK_EQ(a, b) HC_CHECK((a) == (b))
+#define HC_CHECK_NE(a, b) HC_CHECK((a) != (b))
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,39 @@
+#include "src/common/logging.h"
+
+namespace hovercraft {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+void LogMessage(LogLevel level, const char* file, int line, const char* format, ...) {
+  std::fprintf(stderr, "[%s %s:%d] ", LevelTag(level), file, line);
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace hovercraft

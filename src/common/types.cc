@@ -1,0 +1,31 @@
+#include "src/common/types.h"
+
+namespace hovercraft {
+
+const char* ClusterModeName(ClusterMode mode) {
+  switch (mode) {
+    case ClusterMode::kUnreplicated:
+      return "UnRep";
+    case ClusterMode::kVanillaRaft:
+      return "VanillaRaft";
+    case ClusterMode::kHovercRaft:
+      return "HovercRaft";
+    case ClusterMode::kHovercRaftPP:
+      return "HovercRaft++";
+  }
+  return "unknown";
+}
+
+const char* ReplierPolicyName(ReplierPolicy policy) {
+  switch (policy) {
+    case ReplierPolicy::kLeaderOnly:
+      return "LEADER";
+    case ReplierPolicy::kRandom:
+      return "RANDOM";
+    case ReplierPolicy::kJbsq:
+      return "JBSQ";
+  }
+  return "unknown";
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,148 @@
+#include "src/core/aggregator.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace hovercraft {
+
+Aggregator::Aggregator(Simulator* sim, const CostModel& costs, int32_t cluster_size)
+    : Host(sim, costs, Kind::kDevice),
+      cluster_size_(cluster_size),
+      match_(static_cast<size_t>(cluster_size), 0),
+      completed_(static_cast<size_t>(cluster_size), 0) {
+  HC_CHECK_GT(cluster_size, 0);
+}
+
+void Aggregator::Configure(std::vector<HostId> node_hosts, Addr group_all,
+                           std::vector<Addr> groups_excluding) {
+  HC_CHECK_EQ(node_hosts.size(), static_cast<size_t>(cluster_size_));
+  HC_CHECK_EQ(groups_excluding.size(), static_cast<size_t>(cluster_size_));
+  node_hosts_ = std::move(node_hosts);
+  group_all_ = group_all;
+  groups_excluding_ = std::move(groups_excluding);
+}
+
+NodeId Aggregator::NodeOfHost(HostId host) const {
+  for (size_t i = 0; i < node_hosts_.size(); ++i) {
+    if (node_hosts_[i] == host) {
+      return static_cast<NodeId>(i);
+    }
+  }
+  return kInvalidNode;
+}
+
+void Aggregator::Flush(Term term) {
+  term_ = term;
+  leader_ = kInvalidNode;
+  std::fill(match_.begin(), match_.end(), 0);
+  std::fill(completed_.begin(), completed_.end(), 0);
+  leader_last_ = 0;
+  last_announced_ = 0;
+  commit_ = 0;
+  pending_ = false;
+  ++stats_.flushes;
+}
+
+void Aggregator::HandleMessage(HostId src, const MessagePtr& msg) {
+  if (const auto* vote = dynamic_cast<const AggVoteReq*>(msg.get())) {
+    // Post-election handshake: flush on a new term and confirm liveness.
+    if (vote->term() > term_) {
+      Flush(vote->term());
+    }
+    leader_ = NodeOfHost(src);
+    Send(src, std::make_shared<AggVoteRep>(vote->term()));
+    return;
+  }
+  if (const auto* ae = dynamic_cast<const AppendEntriesReq*>(msg.get())) {
+    OnLeaderAppend(src, *ae);
+    return;
+  }
+  if (const auto* rep = dynamic_cast<const AppendEntriesRep*>(msg.get())) {
+    OnFollowerReply(src, *rep);
+    return;
+  }
+  HC_LOG_WARN("aggregator: unexpected message %s", msg->Name());
+}
+
+void Aggregator::OnLeaderAppend(HostId src, const AppendEntriesReq& req) {
+  if (req.term() < term_) {
+    return;  // stale leader; drop
+  }
+  if (req.term() > term_) {
+    Flush(req.term());
+  }
+  const NodeId leader = NodeOfHost(src);
+  HC_CHECK_NE(leader, kInvalidNode);
+  leader_ = leader;
+  const LogIndex announced = req.prev_idx() + req.entries().size();
+  if (announced <= last_announced_) {
+    // The leader re-announced an index we already saw (heartbeat or a lost
+    // message): remember to emit an AGG_COMMIT on the next reply even if the
+    // commit index does not advance (check_log_idx / set_pending stages).
+    pending_ = true;
+  } else {
+    last_announced_ = announced;
+  }
+  leader_last_ = std::max(leader_last_, announced);
+
+  // Forward with the destination rewritten to the multicast group that
+  // excludes the leader.
+  ++stats_.ae_forwarded;
+  Send(groups_excluding_[static_cast<size_t>(leader)],
+       std::make_shared<AppendEntriesReq>(req));
+}
+
+void Aggregator::OnFollowerReply(HostId src, const AppendEntriesRep& rep) {
+  if (rep.term() != term_) {
+    if (rep.term() > term_) {
+      Flush(rep.term());
+    }
+    return;
+  }
+  const NodeId follower = NodeOfHost(src);
+  if (follower == kInvalidNode || !rep.success()) {
+    return;  // failure replies go directly to the leader, not here
+  }
+  ++stats_.replies_absorbed;
+  auto& match = match_[static_cast<size_t>(follower)];
+  match = std::max(match, rep.match());
+  auto& completed = completed_[static_cast<size_t>(follower)];
+  completed = std::max(completed, rep.applied());
+
+  // Quorum commit: the leader always holds its announced entries, so the
+  // commit index is the (majority-1)-th largest follower match, capped by
+  // what the leader announced.
+  std::vector<LogIndex> sorted;
+  sorted.reserve(match_.size());
+  for (NodeId n = 0; n < cluster_size_; ++n) {
+    if (n != leader_) {
+      sorted.push_back(match_[static_cast<size_t>(n)]);
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(), std::greater<LogIndex>());
+  const int32_t needed = cluster_size_ / 2;  // majority - 1 followers
+  HC_CHECK_GE(static_cast<int32_t>(sorted.size()), needed);
+  const LogIndex quorum = needed == 0 ? leader_last_ : sorted[static_cast<size_t>(needed - 1)];
+  const LogIndex candidate = std::min(quorum, leader_last_);
+
+  if (candidate > commit_) {
+    commit_ = candidate;
+    SendAggCommit();
+    pending_ = false;
+  } else if (pending_) {
+    SendAggCommit();
+    pending_ = false;
+  }
+}
+
+void Aggregator::SendAggCommit() {
+  ++stats_.commits_sent;
+  Send(group_all_, std::make_shared<AggCommitMsg>(term_, commit_, completed_));
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,71 @@
+// The in-network aggregator (HovercRaft++, paper sections 4 and 6.4).
+//
+// Models the Tofino P4 pipeline as a line-rate device holding only soft
+// state: per-follower match registers (ingress), per-follower completed
+// registers (egress), the current term, and the pending flag. It fans the
+// leader's single append_entries out to the follower multicast group,
+// absorbs the fan-in of replies, and multicasts AGG_COMMIT when the quorum
+// commit index advances. All state is flushed when a higher term appears
+// (new leader election) — a replacement switch can take over from empty
+// state, which is the paper's argument against sequencer-style designs.
+#ifndef SRC_CORE_AGGREGATOR_H_
+#define SRC_CORE_AGGREGATOR_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/host.h"
+#include "src/raft/messages.h"
+
+namespace hovercraft {
+
+class Aggregator final : public Host {
+ public:
+  Aggregator(Simulator* sim, const CostModel& costs, int32_t cluster_size);
+
+  // Wiring, called by the cluster builder after network attachment:
+  // host id of each Raft node, the all-nodes multicast group, and one group
+  // per node that excludes it (the fan-out target for that node as leader).
+  void Configure(std::vector<HostId> node_hosts, Addr group_all,
+                 std::vector<Addr> groups_excluding);
+
+  void HandleMessage(HostId src, const MessagePtr& msg) override;
+
+  struct AggStats {
+    uint64_t ae_forwarded = 0;
+    uint64_t replies_absorbed = 0;
+    uint64_t commits_sent = 0;
+    uint64_t flushes = 0;
+  };
+  const AggStats& agg_stats() const { return stats_; }
+  Term term() const { return term_; }
+  LogIndex commit() const { return commit_; }
+
+ private:
+  NodeId NodeOfHost(HostId host) const;
+  void Flush(Term term);
+  void OnLeaderAppend(HostId src, const AppendEntriesReq& req);
+  void OnFollowerReply(HostId src, const AppendEntriesRep& rep);
+  void SendAggCommit();
+
+  int32_t cluster_size_;
+  std::vector<HostId> node_hosts_;
+  Addr group_all_ = kInvalidHost;
+  std::vector<Addr> groups_excluding_;
+
+  // Soft state (the P4 registers).
+  Term term_ = 0;
+  NodeId leader_ = kInvalidNode;
+  std::vector<LogIndex> match_;      // ingress registers
+  std::vector<LogIndex> completed_;  // egress registers (applied indices)
+  LogIndex leader_last_ = 0;
+  LogIndex last_announced_ = 0;
+  LogIndex commit_ = 0;
+  bool pending_ = false;
+
+  AggStats stats_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_CORE_AGGREGATOR_H_

@@ -1,0 +1,150 @@
+#include "src/core/cluster.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), net_(&sim_, config_.costs, config.seed ^ 0xFEEDFACE12345678ull) {
+  HC_CHECK(config_.app_factory != nullptr);
+  HC_CHECK_GT(config_.nodes, 0);
+  const bool replicated = config_.mode != ClusterMode::kUnreplicated;
+  const int32_t nodes = replicated ? config_.nodes : 1;
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    ServerConfig sc = config_.server_template;
+    sc.mode = config_.mode;
+    sc.raft = config_.raft;
+    sc.raft.id = n;
+    sc.raft.cluster_size = nodes;
+    switch (config_.mode) {
+      case ClusterMode::kUnreplicated:
+      case ClusterMode::kVanillaRaft:
+        sc.raft.metadata_only = false;
+        sc.raft.assign_repliers = false;
+        sc.raft.use_aggregator = false;
+        sc.raft.replier_policy = ReplierPolicy::kLeaderOnly;
+        break;
+      case ClusterMode::kHovercRaft:
+      case ClusterMode::kHovercRaftPP:
+        sc.raft.metadata_only = true;
+        // Replier assignment (and its bounded-queue gating, section 3.4) is
+        // part of the load-balancing design; with kLeaderOnly the paper's
+        // "reply load balancing disabled" baseline applies and the leader
+        // answers everything, like vanilla Raft.
+        sc.raft.assign_repliers = (config_.replier_policy != ReplierPolicy::kLeaderOnly);
+        sc.raft.replier_policy = config_.replier_policy;
+        sc.raft.bounded_queue_depth = config_.bounded_queue_depth;
+        sc.raft.use_aggregator = (config_.mode == ClusterMode::kHovercRaftPP);
+        break;
+    }
+    if (config_.stagger_first_election && n == 0) {
+      sc.raft.election_timeout_min = Millis(1);
+      sc.raft.election_timeout_max = Millis(2);
+    }
+    auto server = std::make_unique<ReplicatedServer>(&sim_, config_.costs, sc,
+                                                     config_.app_factory(),
+                                                     config_.seed + 0x1000u + static_cast<uint64_t>(n));
+    server_hosts_.push_back(net_.Attach(server.get()));
+    servers_.push_back(std::move(server));
+  }
+
+  HostId aggregator_host = kInvalidHost;
+  HostId flow_control_host = kInvalidHost;
+
+  if (config_.mode == ClusterMode::kHovercRaft || config_.mode == ClusterMode::kHovercRaftPP) {
+    group_all_ = net_.CreateMulticastGroup(server_hosts_);
+
+    if (config_.mode == ClusterMode::kHovercRaftPP) {
+      aggregator_ = std::make_unique<Aggregator>(&sim_, config_.costs, nodes);
+      aggregator_host = net_.Attach(aggregator_.get());
+      std::vector<Addr> groups_excluding;
+      for (NodeId n = 0; n < nodes; ++n) {
+        std::vector<HostId> members;
+        for (NodeId m = 0; m < nodes; ++m) {
+          if (m != n) {
+            members.push_back(server_hosts_[static_cast<size_t>(m)]);
+          }
+        }
+        groups_excluding.push_back(net_.CreateMulticastGroup(std::move(members)));
+      }
+      aggregator_->Configure(server_hosts_, group_all_, std::move(groups_excluding));
+    }
+
+    flow_control_ = std::make_unique<FlowControl>(&sim_, config_.costs, group_all_,
+                                                  config_.flow_control_threshold);
+    flow_control_host = net_.Attach(flow_control_.get());
+  }
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    servers_[static_cast<size_t>(n)]->Wire(server_hosts_, aggregator_host, flow_control_host);
+  }
+  for (NodeId n = 0; n < nodes; ++n) {
+    servers_[static_cast<size_t>(n)]->Start();
+  }
+}
+
+Cluster::~Cluster() = default;
+
+NodeId Cluster::LeaderId() const {
+  for (size_t n = 0; n < servers_.size(); ++n) {
+    if (!servers_[n]->failed() && servers_[n]->IsLeader()) {
+      return static_cast<NodeId>(n);
+    }
+  }
+  return kInvalidNode;
+}
+
+NodeId Cluster::WaitForLeader(TimeNs deadline) {
+  if (config_.mode == ClusterMode::kUnreplicated) {
+    return 0;
+  }
+  while (LeaderId() == kInvalidNode && sim_.Now() < deadline) {
+    if (!sim_.Step()) {
+      break;
+    }
+  }
+  return LeaderId();
+}
+
+Addr Cluster::ClientTarget() const {
+  switch (config_.mode) {
+    case ClusterMode::kUnreplicated:
+      return server_hosts_[0];
+    case ClusterMode::kVanillaRaft: {
+      const NodeId leader = LeaderId();
+      return server_hosts_[static_cast<size_t>(leader == kInvalidNode ? 0 : leader)];
+    }
+    case ClusterMode::kHovercRaft:
+    case ClusterMode::kHovercRaftPP:
+      HC_CHECK(flow_control_ != nullptr);
+      return flow_control_->id();
+  }
+  return server_hosts_[0];
+}
+
+void Cluster::KillNode(NodeId node) {
+  HC_CHECK_GE(node, 0);
+  HC_CHECK_LT(static_cast<size_t>(node), servers_.size());
+  servers_[static_cast<size_t>(node)]->set_failed(true);
+}
+
+uint64_t Cluster::TotalReplies() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    total += s->server_stats().replies_sent;
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalExecuted() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) {
+    total += s->server_stats().ops_executed;
+  }
+  return total;
+}
+
+}  // namespace hovercraft

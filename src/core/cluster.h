@@ -1,0 +1,101 @@
+// Builds and owns a complete simulated deployment: N server hosts running one
+// of the four cluster modes, the client-side middleboxes (flow control,
+// aggregator) the mode needs, and the multicast groups. The benches,
+// examples and integration tests all start from here.
+#ifndef SRC_CORE_CLUSTER_H_
+#define SRC_CORE_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/app/state_machine.h"
+#include "src/common/types.h"
+#include "src/core/aggregator.h"
+#include "src/core/flow_control.h"
+#include "src/core/server.h"
+#include "src/net/network.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/simulator.h"
+
+namespace hovercraft {
+
+struct ClusterConfig {
+  ClusterMode mode = ClusterMode::kHovercRaft;
+  int32_t nodes = 3;
+  // Factory invoked once per node so every replica owns its own state.
+  std::function<std::unique_ptr<StateMachine>()> app_factory;
+
+  // Reply / read-only load balancing (paper sections 3.3-3.6). kLeaderOnly
+  // reproduces the "load balancing disabled" baseline of section 7.1.
+  ReplierPolicy replier_policy = ReplierPolicy::kLeaderOnly;
+  int64_t bounded_queue_depth = 128;
+
+  // Flow control threshold (paper section 6.3); <= 0 disables the cap.
+  int64_t flow_control_threshold = 0;
+
+  CostModel costs;
+  RaftOptions raft;  // timeouts / batching template; id & mode flags filled in
+  ServerConfig server_template;
+  uint64_t seed = 1;
+
+  // Stagger node 0's election timeout low so the first election is prompt
+  // and deterministic (pure convenience for experiments; disable to test
+  // real contention).
+  bool stagger_first_election = true;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Network& network() { return net_; }
+  const ClusterConfig& config() const { return config_; }
+
+  // Runs the simulator until a leader exists (replicated modes). Returns the
+  // leader's node id.
+  NodeId WaitForLeader(TimeNs deadline = Seconds(2));
+
+  // Current leader, or kInvalidNode.
+  NodeId LeaderId() const;
+
+  // Where clients should address requests in the current mode: the server
+  // (UnRep), the leader (VanillaRaft), or the flow-control middlebox
+  // (HovercRaft/++ — it rewrites to the multicast group).
+  Addr ClientTarget() const;
+
+  // Crash injection (fail-stop).
+  void KillNode(NodeId node);
+  void KillLeader() { KillNode(LeaderId()); }
+
+  int32_t node_count() const { return config_.nodes; }
+  ReplicatedServer& server(NodeId node) { return *servers_[static_cast<size_t>(node)]; }
+  const ReplicatedServer& server(NodeId node) const {
+    return *servers_[static_cast<size_t>(node)];
+  }
+  HostId server_host(NodeId node) const { return server_hosts_[static_cast<size_t>(node)]; }
+  Aggregator* aggregator() { return aggregator_.get(); }
+  FlowControl* flow_control() { return flow_control_.get(); }
+
+  // Sum of a per-server statistic across live nodes.
+  uint64_t TotalReplies() const;
+  uint64_t TotalExecuted() const;
+
+ private:
+  ClusterConfig config_;
+  Simulator sim_;
+  Network net_;
+  std::vector<std::unique_ptr<ReplicatedServer>> servers_;
+  std::vector<HostId> server_hosts_;
+  std::unique_ptr<Aggregator> aggregator_;
+  std::unique_ptr<FlowControl> flow_control_;
+  Addr group_all_ = kInvalidHost;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_CORE_CLUSTER_H_

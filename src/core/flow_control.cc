@@ -1,0 +1,34 @@
+#include "src/core/flow_control.h"
+
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/r2p2/messages.h"
+
+namespace hovercraft {
+
+FlowControl::FlowControl(Simulator* sim, const CostModel& costs, Addr group, int64_t threshold)
+    : Host(sim, costs, Kind::kDevice), group_(group), threshold_(threshold) {}
+
+void FlowControl::HandleMessage(HostId src, const MessagePtr& msg) {
+  if (const auto* req = dynamic_cast<const RpcRequest*>(msg.get())) {
+    if (threshold_ > 0 && outstanding_ >= threshold_) {
+      ++nacked_;
+      Send(src, std::make_shared<NackMsg>(req->rid()));
+      return;
+    }
+    ++outstanding_;
+    ++forwarded_;
+    Send(group_, msg);
+    return;
+  }
+  if (dynamic_cast<const FeedbackMsg*>(msg.get()) != nullptr) {
+    if (outstanding_ > 0) {
+      --outstanding_;
+    }
+    return;
+  }
+  HC_LOG_WARN("flow control: unexpected message %s", msg->Name());
+}
+
+}  // namespace hovercraft

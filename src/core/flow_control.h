@@ -1,0 +1,41 @@
+// The flow-control middlebox (paper section 6.3).
+//
+// HovercRaft replaces the implicit backpressure of a single leader with an
+// explicit in-network counter: clients address requests to the middlebox,
+// which rewrites the destination to the fault-tolerance group's multicast IP
+// while the number of outstanding requests is under the threshold, and NACKs
+// new requests otherwise. R2P2 FEEDBACK messages sent by repliers decrement
+// the counter. Like the aggregator, this is a line-rate device with a single
+// register of soft state.
+#ifndef SRC_CORE_FLOW_CONTROL_H_
+#define SRC_CORE_FLOW_CONTROL_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/net/host.h"
+
+namespace hovercraft {
+
+class FlowControl final : public Host {
+ public:
+  // threshold <= 0 disables the cap (pure forwarder).
+  FlowControl(Simulator* sim, const CostModel& costs, Addr group, int64_t threshold);
+
+  void HandleMessage(HostId src, const MessagePtr& msg) override;
+
+  int64_t outstanding() const { return outstanding_; }
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t nacked() const { return nacked_; }
+
+ private:
+  Addr group_;
+  int64_t threshold_;
+  int64_t outstanding_ = 0;
+  uint64_t forwarded_ = 0;
+  uint64_t nacked_ = 0;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_CORE_FLOW_CONTROL_H_

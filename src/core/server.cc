@@ -1,0 +1,332 @@
+#include "src/core/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/raft/messages.h"
+
+namespace hovercraft {
+
+ReplicatedServer::ReplicatedServer(Simulator* sim, const CostModel& costs,
+                                   const ServerConfig& config, std::unique_ptr<StateMachine> app,
+                                   uint64_t seed)
+    : Host(sim, costs, Kind::kServer),
+      config_(config),
+      app_(std::move(app)),
+      app_thread_(sim) {
+  HC_CHECK(app_ != nullptr);
+  if (IsReplicated()) {
+    raft_ = std::make_unique<RaftNode>(sim, seed, config_.raft, this);
+  }
+}
+
+ReplicatedServer::~ReplicatedServer() = default;
+
+void ReplicatedServer::Wire(std::vector<HostId> node_hosts, HostId aggregator_host,
+                            HostId flow_control_host) {
+  node_hosts_ = std::move(node_hosts);
+  aggregator_host_ = aggregator_host;
+  flow_control_host_ = flow_control_host;
+}
+
+void ReplicatedServer::Start() {
+  if (raft_ != nullptr) {
+    raft_->Start();
+    ArmMaintenanceTimers();
+  }
+}
+
+void ReplicatedServer::set_failed(bool failed_now) {
+  const bool was_failed = failed();
+  Host::set_failed(failed_now);
+  if (raft_ == nullptr) {
+    return;
+  }
+  if (failed_now && !was_failed) {
+    raft_->Halt();
+  } else if (!failed_now && was_failed) {
+    raft_->Resume();
+    ArmMaintenanceTimers();  // GC/compaction timers died with the process
+  }
+}
+
+void ReplicatedServer::ArmMaintenanceTimers() {
+  sim()->After(config_.gc_interval, [this]() {
+    if (failed()) {
+      return;
+    }
+    stats_.unordered_gc += unordered_.GarbageCollect(sim()->Now(), config_.unordered_ttl);
+    ArmMaintenanceTimers();
+  });
+  sim()->After(config_.compaction_interval, [this]() {
+    if (failed() || raft_ == nullptr) {
+      return;
+    }
+    CompactNow();
+    ArmCompactionTimer();
+  });
+}
+
+void ReplicatedServer::ArmCompactionTimer() {
+  sim()->After(config_.compaction_interval, [this]() {
+    if (failed() || raft_ == nullptr) {
+      return;
+    }
+    CompactNow();
+    ArmCompactionTimer();
+  });
+}
+
+void ReplicatedServer::CompactNow() {
+  // Compact to the slowest node's applied index — but do not let one dead or
+  // glacial straggler pin memory forever: beyond the allowance, compaction
+  // proceeds and the straggler is repaired by snapshot when it returns.
+  LogIndex target = raft_->MinAppliedKnown();
+  const LogIndex applied = raft_->applied_index();
+  if (applied > config_.straggler_lag_entries) {
+    target = std::max(target, applied - config_.straggler_lag_entries);
+  }
+  raft_->CompactLog(target);
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+TimeNs ReplicatedServer::ProtocolCpu(const Message& msg) const {
+  if (const auto* ae = dynamic_cast<const AppendEntriesReq*>(&msg)) {
+    // Marshalling: fixed cost + per-entry bookkeeping + a copy of everything
+    // beyond the fixed header (entry metadata and, in VanillaRaft mode, the
+    // embedded request payloads).
+    const int32_t marshalled = ae->PayloadBytes() - kAeFixedBytes;
+    return costs().ae_fixed_ns +
+           costs().raft_entry_ns * static_cast<TimeNs>(ae->entries().size()) +
+           static_cast<TimeNs>(costs().ae_payload_byte_ns * marshalled);
+  }
+  if (dynamic_cast<const AppendEntriesRep*>(&msg) != nullptr) {
+    return costs().raft_entry_ns;
+  }
+  if (dynamic_cast<const AggCommitMsg*>(&msg) != nullptr) {
+    return costs().ae_fixed_ns;
+  }
+  if (const auto* snap = dynamic_cast<const InstallSnapshotReq*>(&msg)) {
+    // Serializing / installing a state image costs a copy of its bytes.
+    return costs().ae_fixed_ns +
+           static_cast<TimeNs>(costs().ae_payload_byte_ns * snap->PayloadBytes());
+  }
+  return 0;
+}
+
+void ReplicatedServer::HandleMessage(HostId src, const MessagePtr& msg) {
+  if (auto req = std::dynamic_pointer_cast<const RpcRequest>(msg)) {
+    ++stats_.client_requests;
+    OnClientRequest(std::move(req));
+    return;
+  }
+  if (raft_ == nullptr) {
+    HC_LOG_WARN("unreplicated server got %s", msg->Name());
+    return;
+  }
+  const TimeNs extra = ProtocolCpu(*msg);
+  if (extra > 0) {
+    // Protocol processing beyond raw packet handling stays on the net thread.
+    net_thread().Submit(extra, nullptr);
+  }
+  if (const auto* ae = dynamic_cast<const AppendEntriesReq*>(msg.get())) {
+    raft_->OnAppendEntries(*ae, /*via_aggregator=*/src == aggregator_host_);
+  } else if (const auto* rep = dynamic_cast<const AppendEntriesRep*>(msg.get())) {
+    raft_->OnAppendEntriesRep(*rep);
+  } else if (const auto* vote = dynamic_cast<const RequestVoteReq*>(msg.get())) {
+    raft_->OnRequestVote(*vote);
+  } else if (const auto* vrep = dynamic_cast<const RequestVoteRep*>(msg.get())) {
+    raft_->OnRequestVoteRep(*vrep);
+  } else if (const auto* agg = dynamic_cast<const AggCommitMsg*>(msg.get())) {
+    raft_->OnAggCommit(*agg);
+  } else if (const auto* avr = dynamic_cast<const AggVoteRep*>(msg.get())) {
+    raft_->OnAggVoteRep(*avr);
+  } else if (const auto* rreq = dynamic_cast<const RecoveryReq*>(msg.get())) {
+    raft_->OnRecoveryReq(*rreq);
+  } else if (const auto* rrep = dynamic_cast<const RecoveryRep*>(msg.get())) {
+    raft_->OnRecoveryRep(*rrep);
+  } else if (const auto* snap = dynamic_cast<const InstallSnapshotReq*>(msg.get())) {
+    raft_->OnInstallSnapshot(*snap);
+  } else if (const auto* srep = dynamic_cast<const InstallSnapshotRep*>(msg.get())) {
+    raft_->OnInstallSnapshotRep(*srep);
+  } else {
+    HC_LOG_WARN("server %d: unexpected message %s", node_id(), msg->Name());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client requests
+// ---------------------------------------------------------------------------
+
+void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request) {
+  if (request->policy() == R2p2Policy::kUnrestricted) {
+    // Non-replicated request (paper section 6.1): served by whichever
+    // replica the client picked, bypassing consensus, with the possibility
+    // of stale data. The client is responsible for only sending operations
+    // that tolerate this (it must not mutate the state machine).
+    ++stats_.unrestricted_served;
+    ExecuteUnreplicated(request);
+    return;
+  }
+  switch (config_.mode) {
+    case ClusterMode::kUnreplicated:
+      ExecuteUnreplicated(request);
+      return;
+    case ClusterMode::kVanillaRaft:
+      // Clients address the leader directly; a deposed leader drops the
+      // request (at-most-once semantics).
+      raft_->SubmitRequest(std::move(request));
+      return;
+    case ClusterMode::kHovercRaft:
+    case ClusterMode::kHovercRaftPP:
+      // Multicast delivery: the leader orders immediately, everyone else
+      // parks the payload in the unordered set (paper section 3.2).
+      if (raft_->IsLeader()) {
+        if (raft_->SubmitRequest(request)) {
+          return;
+        }
+      }
+      unordered_.Insert(std::move(request), sim()->Now());
+      return;
+  }
+}
+
+void ReplicatedServer::ExecuteUnreplicated(const std::shared_ptr<const RpcRequest>& request) {
+  ExecResult result = app_->Execute(*request);
+  ++stats_.ops_executed;
+  // An unreplicated server wired behind an R2P2 router / flow-control box
+  // owes FEEDBACK per completion; unrestricted requests inside a replicated
+  // group bypassed the middlebox, so none is owed for them.
+  const bool send_feedback = (config_.mode == ClusterMode::kUnreplicated);
+  app_thread_.Submit(result.service_time,
+                     [this, rid = request->rid(), body = std::move(result.reply),
+                      send_feedback]() { SendReply(rid, body, send_feedback); });
+}
+
+// ---------------------------------------------------------------------------
+// Apply pipeline
+// ---------------------------------------------------------------------------
+
+void ReplicatedServer::OnCommitAdvanced(LogIndex commit) {
+  while (apply_cursor_ < commit) {
+    ++apply_cursor_;
+    ScheduleApply(apply_cursor_);
+  }
+}
+
+void ReplicatedServer::ScheduleApply(LogIndex idx) {
+  const LogEntry& entry = raft_->log().At(idx);
+  const NodeId self = node_id();
+
+  if (entry.noop) {
+    app_thread_.Submit(0, [this, idx]() { raft_->OnApplied(idx); });
+    return;
+  }
+  HC_CHECK(entry.request != nullptr);
+
+  if (entry.read_only && entry.replier != self) {
+    // Totally ordered, but executed only by the designated replier
+    // (paper section 3.5).
+    ++stats_.ro_skipped;
+    app_thread_.Submit(0, [this, idx]() { raft_->OnApplied(idx); });
+    return;
+  }
+
+  // Execute now (in log order — the state machine sees exactly the committed
+  // prefix) and charge the service time to the app thread; the reply leaves
+  // when the virtual execution completes.
+  ExecResult result = app_->Execute(*entry.request);
+  ++stats_.ops_executed;
+  const bool reply_here = (entry.replier == self);
+  const RequestId rid = entry.rid;
+  app_thread_.Submit(result.service_time,
+                     [this, idx, rid, reply_here, body = std::move(result.reply)]() {
+                       raft_->OnApplied(idx);
+                       if (reply_here) {
+                         SendReply(rid, body);
+                       }
+                     });
+}
+
+void ReplicatedServer::SendReply(const RequestId& rid, Body body, bool send_feedback) {
+  if (failed()) {
+    return;
+  }
+  ++stats_.replies_sent;
+  // R2P2 lets the reply's source differ from the request's destination — the
+  // mechanism enabling reply load balancing (paper section 3.3).
+  Send(rid.client, std::make_shared<RpcResponse>(rid, std::move(body)));
+  if (send_feedback && flow_control_host_ != kInvalidHost) {
+    ++stats_.feedback_sent;
+    Send(flow_control_host_, std::make_shared<FeedbackMsg>(rid));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RaftNode::Env plumbing
+// ---------------------------------------------------------------------------
+
+void ReplicatedServer::SendToPeer(NodeId peer, MessagePtr msg) {
+  HC_CHECK_GE(peer, 0);
+  HC_CHECK_LT(static_cast<size_t>(peer), node_hosts_.size());
+  const TimeNs extra = ProtocolCpu(*msg);
+  Send(node_hosts_[static_cast<size_t>(peer)], std::move(msg), extra);
+}
+
+void ReplicatedServer::SendToAggregator(MessagePtr msg) {
+  if (aggregator_host_ == kInvalidHost) {
+    return;
+  }
+  const TimeNs extra = ProtocolCpu(*msg);
+  Send(aggregator_host_, std::move(msg), extra);
+}
+
+std::shared_ptr<const RpcRequest> ReplicatedServer::LookupUnordered(const RequestId& rid) {
+  return unordered_.Lookup(rid);
+}
+
+void ReplicatedServer::ConsumeUnordered(const RequestId& rid) { unordered_.Erase(rid); }
+
+void ReplicatedServer::StoreRecovered(const RequestId& rid,
+                                      std::shared_ptr<const RpcRequest> request) {
+  HC_CHECK(request != nullptr);
+  HC_CHECK(rid == request->rid());
+  unordered_.Insert(std::move(request), sim()->Now());
+}
+
+RaftNode::Env::SnapshotCapture ReplicatedServer::CaptureSnapshot() {
+  // The application state reflects exactly the entries already handed to the
+  // app thread (Execute runs synchronously at scheduling time), i.e. the
+  // prefix through apply_cursor_.
+  SnapshotCapture capture;
+  capture.state = app_->SnapshotState();
+  capture.last_included = apply_cursor_;
+  return capture;
+}
+
+void ReplicatedServer::RestoreSnapshot(const Body& state, LogIndex last_included) {
+  const Status status = app_->RestoreState(state);
+  HC_CHECK(status.ok());
+  ++stats_.snapshots_restored;
+  if (last_included > apply_cursor_) {
+    apply_cursor_ = last_included;
+  }
+}
+
+void ReplicatedServer::OnLeadershipChanged(bool is_leader) {
+  HC_LOG_INFO("node %d leadership=%d at %lld us", node_id(), is_leader ? 1 : 0,
+              static_cast<long long>(sim()->Now() / kNanosPerMicro));
+}
+
+void ReplicatedServer::DrainUnorderedIntoLog() {
+  unordered_.Drain([this](std::shared_ptr<const RpcRequest> req) {
+    raft_->SubmitRequest(std::move(req));
+  });
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,127 @@
+// The SMR-aware RPC server (paper section 3.1): one host class serves all
+// four evaluated configurations.
+//
+//   kUnreplicated — requests execute directly on the app thread.
+//   kVanillaRaft  — Raft inside the RPC layer; the leader replicates full
+//                   payloads and answers every client itself.
+//   kHovercRaft   — requests arrive by multicast on every node; the leader
+//                   orders metadata; replies and read-only execution are
+//                   load-balanced with bounded queues.
+//   kHovercRaftPP — HovercRaft plus the in-network aggregator.
+//
+// The application is any deterministic StateMachine; it needs no knowledge
+// of replication (the paper's application-agnostic claim).
+#ifndef SRC_CORE_SERVER_H_
+#define SRC_CORE_SERVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/app/state_machine.h"
+#include "src/common/types.h"
+#include "src/core/unordered_store.h"
+#include "src/net/host.h"
+#include "src/raft/node.h"
+#include "src/raft/options.h"
+
+namespace hovercraft {
+
+struct ServerConfig {
+  ClusterMode mode = ClusterMode::kUnreplicated;
+  RaftOptions raft;  // unused for kUnreplicated
+  // Unordered-set garbage collection (paper section 5).
+  TimeNs unordered_ttl = Millis(50);
+  TimeNs gc_interval = Millis(10);
+  // Log prefix compaction cadence (memory bound for long runs).
+  TimeNs compaction_interval = Millis(20);
+  // How far a straggler may lag before compaction proceeds without it and
+  // the leader repairs it with an InstallSnapshot state transfer.
+  LogIndex straggler_lag_entries = 65'536;
+};
+
+struct ServerStats {
+  uint64_t client_requests = 0;
+  uint64_t replies_sent = 0;
+  uint64_t ops_executed = 0;   // state-machine executions on this node
+  uint64_t ro_skipped = 0;     // read-only entries this node did not execute
+  uint64_t unordered_gc = 0;
+  uint64_t feedback_sent = 0;
+  // Non-replicated (kUnrestricted) requests served locally (section 6.1).
+  uint64_t unrestricted_served = 0;
+  uint64_t snapshots_restored = 0;
+};
+
+class ReplicatedServer final : public Host, public RaftNode::Env {
+ public:
+  ReplicatedServer(Simulator* sim, const CostModel& costs, const ServerConfig& config,
+                   std::unique_ptr<StateMachine> app, uint64_t seed);
+  ~ReplicatedServer() override;
+
+  // Wiring (after Network::Attach of all hosts). `node_hosts[i]` is the host
+  // id of Raft node i; aggregator/flow-control may be kInvalidHost.
+  void Wire(std::vector<HostId> node_hosts, HostId aggregator_host, HostId flow_control_host);
+
+  // Starts Raft (replicated modes) and the maintenance timers.
+  void Start();
+
+  // --- Host ---
+  void HandleMessage(HostId src, const MessagePtr& msg) override;
+  // Crash/restart injection: halts or resumes the Raft timers along with
+  // the network interface (fail-stop model).
+  void set_failed(bool failed) override;
+
+  // --- RaftNode::Env ---
+  void SendToPeer(NodeId peer, MessagePtr msg) override;
+  void SendToAggregator(MessagePtr msg) override;
+  std::shared_ptr<const RpcRequest> LookupUnordered(const RequestId& rid) override;
+  void ConsumeUnordered(const RequestId& rid) override;
+  void StoreRecovered(const RequestId& rid, std::shared_ptr<const RpcRequest> request) override;
+  SnapshotCapture CaptureSnapshot() override;
+  void RestoreSnapshot(const Body& state, LogIndex last_included) override;
+  void OnCommitAdvanced(LogIndex commit) override;
+  void OnLeadershipChanged(bool is_leader) override;
+  void DrainUnorderedIntoLog() override;
+
+  // --- queries ---
+  bool IsLeader() const { return raft_ != nullptr && raft_->IsLeader(); }
+  RaftNode* raft() { return raft_.get(); }
+  const RaftNode* raft() const { return raft_.get(); }
+  StateMachine& app() { return *app_; }
+  const StateMachine& app() const { return *app_; }
+  const ServerStats& server_stats() const { return stats_; }
+  const UnorderedStore& unordered() const { return unordered_; }
+  NodeId node_id() const { return config_.raft.id; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  bool IsReplicated() const { return config_.mode != ClusterMode::kUnreplicated; }
+
+  void OnClientRequest(std::shared_ptr<const RpcRequest> request);
+  void ExecuteUnreplicated(const std::shared_ptr<const RpcRequest>& request);
+  void ScheduleApply(LogIndex idx);
+  void SendReply(const RequestId& rid, Body body, bool send_feedback = true);
+  // Protocol CPU beyond raw byte handling, charged on the net thread.
+  TimeNs ProtocolCpu(const Message& msg) const;
+  void ArmMaintenanceTimers();
+  void ArmCompactionTimer();
+  void CompactNow();
+
+  ServerConfig config_;
+  std::unique_ptr<StateMachine> app_;
+  std::unique_ptr<RaftNode> raft_;
+  SerialResource app_thread_;
+  UnorderedStore unordered_;
+
+  std::vector<HostId> node_hosts_;
+  HostId aggregator_host_ = kInvalidHost;
+  HostId flow_control_host_ = kInvalidHost;
+
+  // Apply pipeline: last log index handed to the app thread.
+  LogIndex apply_cursor_ = 0;
+
+  ServerStats stats_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_CORE_SERVER_H_

@@ -1,0 +1,115 @@
+#include "src/loadgen/client.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/r2p2/messages.h"
+
+namespace hovercraft {
+
+ClientHost::ClientHost(Simulator* sim, const CostModel& costs, TargetFn target,
+                       std::unique_ptr<Workload> workload, double rate_rps, uint64_t seed)
+    : Host(sim, costs, Kind::kServer),
+      target_(std::move(target)),
+      workload_(std::move(workload)),
+      rate_rps_(rate_rps),
+      rng_(seed) {
+  HC_CHECK(target_ != nullptr);
+  HC_CHECK(workload_ != nullptr);
+  HC_CHECK_GT(rate_rps, 0.0);
+}
+
+void ClientHost::StartLoad(TimeNs start, TimeNs stop) {
+  HC_CHECK_GT(stop, start);
+  stop_time_ = stop;
+  running_ = true;
+  // First arrival an exponential gap after `start` (stationary process).
+  const TimeNs gap =
+      static_cast<TimeNs>(rng_.NextExponential(1e9 / rate_rps_));
+  sim()->At(start + gap, [this]() { SendOne(); });
+}
+
+void ClientHost::ScheduleNextArrival() {
+  const TimeNs gap = static_cast<TimeNs>(rng_.NextExponential(1e9 / rate_rps_));
+  const TimeNs next = sim()->Now() + gap;
+  if (next >= stop_time_) {
+    running_ = false;
+    return;
+  }
+  sim()->At(next, [this]() { SendOne(); });
+}
+
+void ClientHost::SendOne() {
+  if (!running_ || sim()->Now() >= stop_time_) {
+    running_ = false;
+    return;
+  }
+  ScheduleNextArrival();
+
+  Workload::Op op = workload_->Next(rng_);
+  const uint64_t seq = next_seq_++;
+  const RequestId rid{id(), seq};
+  const bool unrestricted = op.unrestricted && !unrestricted_targets_.empty();
+  const R2p2Policy policy =
+      unrestricted ? R2p2Policy::kUnrestricted
+                   : (op.read_only ? R2p2Policy::kReplicatedReqRo : R2p2Policy::kReplicatedReq);
+  const TimeNs now = sim()->Now();
+  outstanding_.emplace(seq, now);
+  ++total_sent_;
+  if (InWindow(now)) {
+    ++sent_in_window_;
+  }
+  const Addr dst =
+      unrestricted
+          ? unrestricted_targets_[rng_.NextBelow(unrestricted_targets_.size())]
+          : target_();
+  Send(dst, std::make_shared<RpcRequest>(rid, policy, std::move(op.body)));
+}
+
+void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
+  if (const auto* resp = dynamic_cast<const RpcResponse*>(msg.get())) {
+    auto it = outstanding_.find(resp->rid().seq);
+    if (it == outstanding_.end()) {
+      return;  // duplicate or post-accounting reply
+    }
+    const TimeNs sent = it->second;
+    outstanding_.erase(it);
+    ++total_completed_;
+    const TimeNs latency = sim()->Now() - sent;
+    if (InWindow(sent)) {
+      ++completed_in_window_;
+      latencies_.Record(latency);
+    }
+    if (timeseries_ != nullptr) {
+      timeseries_->Record(sim()->Now(), latency);
+    }
+    return;
+  }
+  if (const auto* nack = dynamic_cast<const NackMsg*>(msg.get())) {
+    auto it = outstanding_.find(nack->rid().seq);
+    if (it == outstanding_.end()) {
+      return;
+    }
+    const TimeNs sent = it->second;
+    outstanding_.erase(it);
+    if (InWindow(sent)) {
+      ++nacked_in_window_;
+    }
+    if (timeseries_ != nullptr) {
+      timeseries_->Count(sim()->Now());
+    }
+    return;
+  }
+}
+
+void ClientHost::AccountLost(TimeNs penalty_ns) {
+  for (const auto& [seq, sent] : outstanding_) {
+    if (InWindow(sent)) {
+      ++lost_in_window_;
+      latencies_.Record(penalty_ns);
+    }
+  }
+  outstanding_.clear();
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,94 @@
+// An open-loop load-generating client, modelled on Lancet (paper section 7):
+// Poisson arrivals at a fixed rate, independent of responses, with latency
+// measured per request and aggregated over a measurement window.
+#ifndef SRC_LOADGEN_CLIENT_H_
+#define SRC_LOADGEN_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/loadgen/workload.h"
+#include "src/net/host.h"
+#include "src/stats/histogram.h"
+#include "src/stats/timeseries.h"
+
+namespace hovercraft {
+
+class ClientHost final : public Host {
+ public:
+  // `target` is re-evaluated per request so clients follow, e.g., the
+  // current VanillaRaft leader.
+  using TargetFn = std::function<Addr()>;
+
+  ClientHost(Simulator* sim, const CostModel& costs, TargetFn target,
+             std::unique_ptr<Workload> workload, double rate_rps, uint64_t seed);
+
+  // Generates arrivals in [start, stop).
+  void StartLoad(TimeNs start, TimeNs stop);
+
+  // Requests *sent* inside [start, end) count toward the metrics.
+  void SetMeasureWindow(TimeNs start, TimeNs end) {
+    measure_start_ = start;
+    measure_end_ = end;
+  }
+
+  // Optional shared per-wall-clock-bin recorder (failure timelines, Fig. 12).
+  void set_timeseries(Timeseries* ts) { timeseries_ = ts; }
+
+  // Destinations for kUnrestricted (stale-tolerant) requests: picked
+  // uniformly per request, client-side load balancing as in R2P2.
+  void set_unrestricted_targets(std::vector<Addr> targets) {
+    unrestricted_targets_ = std::move(targets);
+  }
+
+  void HandleMessage(HostId src, const MessagePtr& msg) override;
+
+  // Marks still-outstanding in-window requests as lost, recording
+  // `penalty_ns` as their latency (they would have blown any SLO).
+  void AccountLost(TimeNs penalty_ns);
+
+  const Histogram& latencies() const { return latencies_; }
+  uint64_t sent_in_window() const { return sent_in_window_; }
+  uint64_t completed_in_window() const { return completed_in_window_; }
+  uint64_t nacked_in_window() const { return nacked_in_window_; }
+  uint64_t lost_in_window() const { return lost_in_window_; }
+  uint64_t total_sent() const { return total_sent_; }
+  uint64_t total_completed() const { return total_completed_; }
+
+ private:
+  void ScheduleNextArrival();
+  void SendOne();
+  bool InWindow(TimeNs t) const { return t >= measure_start_ && t < measure_end_; }
+
+  TargetFn target_;
+  std::unique_ptr<Workload> workload_;
+  double rate_rps_;
+  Rng rng_;
+  std::vector<Addr> unrestricted_targets_;
+
+  TimeNs stop_time_ = 0;
+  bool running_ = false;
+
+  uint64_t next_seq_ = 1;
+  std::unordered_map<uint64_t, TimeNs> outstanding_;  // seq -> send time
+
+  TimeNs measure_start_ = 0;
+  TimeNs measure_end_ = 0;
+  Histogram latencies_;
+  Timeseries* timeseries_ = nullptr;
+
+  uint64_t total_sent_ = 0;
+  uint64_t total_completed_ = 0;
+  uint64_t sent_in_window_ = 0;
+  uint64_t completed_in_window_ = 0;
+  uint64_t nacked_in_window_ = 0;
+  uint64_t lost_in_window_ = 0;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_LOADGEN_CLIENT_H_

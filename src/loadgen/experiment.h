@@ -1,0 +1,64 @@
+// Experiment harness: builds a cluster + client fleet, drives a load point,
+// and searches for the maximum throughput under a tail-latency SLO — the two
+// measurements every figure of the paper's evaluation is built from.
+#ifndef SRC_LOADGEN_EXPERIMENT_H_
+#define SRC_LOADGEN_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/loadgen/client.h"
+#include "src/loadgen/workload.h"
+
+namespace hovercraft {
+
+struct ExperimentConfig {
+  ClusterConfig cluster;
+  std::function<std::unique_ptr<Workload>()> workload_factory;
+  // Offered load is split evenly over this many client machines so client
+  // NICs/CPU never bottleneck the system under test.
+  int32_t client_count = 8;
+  TimeNs warmup = Millis(80);
+  TimeNs measure = Millis(200);
+  // Extra simulated time after the window closes so in-window requests can
+  // drain; whatever is still outstanding counts as lost with this latency.
+  TimeNs drain = Millis(150);
+  uint64_t seed = 1;
+};
+
+struct LoadMetrics {
+  double offered_rps = 0;
+  double achieved_rps = 0;  // completions of in-window requests / window
+  double nack_rps = 0;
+  double mean_ns = 0;
+  int64_t p50_ns = 0;
+  int64_t p99_ns = 0;
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  uint64_t nacked = 0;
+  uint64_t lost = 0;
+};
+
+// Runs one fixed offered load and reports the window metrics.
+LoadMetrics RunLoadPoint(const ExperimentConfig& config, double rate_rps);
+
+// Largest achieved throughput whose p99 stays within `slo_p99`
+// (paper: "achieved throughput under a 500us SLO"). Geometric bracketing
+// followed by bisection on the offered rate.
+struct SloResult {
+  double max_rps_under_slo = 0;
+  double offered_at_max = 0;
+  int64_t p99_at_max = 0;
+};
+SloResult FindMaxThroughputUnderSlo(const ExperimentConfig& config, TimeNs slo_p99,
+                                    double lo_rps, double hi_rps, int iterations = 5);
+
+// Latency/throughput curve: one RunLoadPoint per rate.
+std::vector<LoadMetrics> SweepRates(const ExperimentConfig& config,
+                                    const std::vector<double>& rates);
+
+}  // namespace hovercraft
+
+#endif  // SRC_LOADGEN_EXPERIMENT_H_

@@ -1,0 +1,86 @@
+// Workload generators: what a client sends.
+//
+// The synthetic workload reproduces the paper's microbenchmarks: the client
+// samples the per-request service time (fixed or bimodal), tags requests
+// read-only with the configured probability, and pads the body to the
+// requested size. The YCSB-E workload encodes real kvstore commands.
+#ifndef SRC_LOADGEN_WORKLOAD_H_
+#define SRC_LOADGEN_WORKLOAD_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/app/synthetic.h"
+#include "src/app/ycsb.h"
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/r2p2/messages.h"
+#include "src/sim/distributions.h"
+
+namespace hovercraft {
+
+class Workload {
+ public:
+  struct Op {
+    Body body;
+    bool read_only = false;
+    // True for reads that tolerate staleness: sent with the kUnrestricted
+    // policy straight to one replica, bypassing consensus (section 6.1).
+    bool unrestricted = false;
+  };
+
+  virtual ~Workload() = default;
+  virtual Op Next(Rng& rng) = 0;
+};
+
+struct SyntheticWorkloadConfig {
+  int32_t request_bytes = 24;
+  int32_t reply_bytes = 8;
+  double read_only_fraction = 0.0;
+  // Fraction of the read-only requests that tolerate stale data and skip
+  // consensus entirely.
+  double unrestricted_fraction = 0.0;
+  std::shared_ptr<const ServiceTimeDistribution> service_time =
+      std::make_shared<FixedDistribution>(Micros(1));
+};
+
+class SyntheticWorkload final : public Workload {
+ public:
+  explicit SyntheticWorkload(SyntheticWorkloadConfig config) : config_(std::move(config)) {}
+
+  Op Next(Rng& rng) override {
+    SyntheticOp op;
+    op.service_time = config_.service_time->Sample(rng);
+    op.reply_bytes = config_.reply_bytes;
+    Op out;
+    out.body = EncodeSyntheticOp(op, config_.request_bytes);
+    out.read_only = rng.NextBool(config_.read_only_fraction);
+    if (out.read_only && config_.unrestricted_fraction > 0.0) {
+      out.unrestricted = rng.NextBool(config_.unrestricted_fraction);
+    }
+    return out;
+  }
+
+ private:
+  SyntheticWorkloadConfig config_;
+};
+
+class YcsbEWorkload final : public Workload {
+ public:
+  explicit YcsbEWorkload(const YcsbEConfig& config) : generator_(config) {}
+
+  Op Next(Rng& rng) override {
+    const KvCommand cmd = generator_.Next(rng);
+    Op out;
+    out.body = EncodeKvCommand(cmd);
+    out.read_only = cmd.IsReadOnly();
+    return out;
+  }
+
+ private:
+  YcsbEGenerator generator_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_LOADGEN_WORKLOAD_H_

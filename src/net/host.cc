@@ -1,0 +1,76 @@
+#include "src/net/host.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/net/network.h"
+
+namespace hovercraft {
+
+Host::Host(Simulator* sim, const CostModel& costs, Kind kind)
+    : sim_(sim), costs_(costs), kind_(kind), net_thread_(sim), nic_tx_(sim) {
+  HC_CHECK(sim != nullptr);
+}
+
+void Host::Send(Addr dst, MessagePtr msg, TimeNs extra_cpu) {
+  HC_CHECK(network_ != nullptr);
+  HC_CHECK(msg != nullptr);
+  if (failed_) {
+    return;
+  }
+  const int32_t bytes = msg->PayloadBytes();
+  counters_.tx_msgs++;
+  counters_.tx_frames += static_cast<uint64_t>(costs_.FramesFor(bytes));
+  counters_.tx_payload_bytes += static_cast<uint64_t>(bytes);
+  counters_.tx_by_type[msg->Name()]++;
+
+  Packet packet{id_, dst, std::move(msg)};
+  if (kind_ == Kind::kDevice) {
+    // Line-rate device: no CPU queueing; the pipeline latency is paid on the
+    // receive side, so transmission is immediate.
+    network_->Transmit(packet);
+    return;
+  }
+  // Net thread builds the message, then the NIC serializes it on the wire.
+  net_thread_.Submit(costs_.TxCpu(bytes) + extra_cpu,
+                     [this, packet = std::move(packet), bytes]() {
+    if (failed_) {
+      return;
+    }
+    nic_tx_.Submit(costs_.SerializationDelay(bytes),
+                   [this, packet]() {
+                     if (!failed_) {
+                       network_->Transmit(packet);
+                     }
+                   });
+  });
+}
+
+void Host::Receive(HostId src, MessagePtr msg) {
+  if (failed_) {
+    return;
+  }
+  const int32_t bytes = msg->PayloadBytes();
+  counters_.rx_msgs++;
+  counters_.rx_frames += static_cast<uint64_t>(costs_.FramesFor(bytes));
+  counters_.rx_payload_bytes += static_cast<uint64_t>(bytes);
+  counters_.rx_by_type[msg->Name()]++;
+
+  if (kind_ == Kind::kDevice) {
+    // Fixed pipeline latency, unbounded parallelism (the ASIC runs at line
+    // rate regardless of message rate).
+    sim_->After(costs_.aggregator_latency_ns, [this, src, msg = std::move(msg)]() {
+      if (!failed_) {
+        HandleMessage(src, msg);
+      }
+    });
+    return;
+  }
+  net_thread_.Submit(costs_.RxCpu(bytes), [this, src, msg = std::move(msg)]() {
+    if (!failed_) {
+      HandleMessage(src, msg);
+    }
+  });
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,98 @@
+// A host attached to the simulated fabric.
+//
+// Server hosts follow the paper's two-thread model (section 6): a polling
+// *net thread* runs R2P2 + consensus and pays per-frame/per-byte CPU costs,
+// while an *app thread* executes state-machine operations. In-network
+// devices (the aggregator, the flow-control middlebox) instead process at
+// line rate with a fixed pipeline latency.
+#ifndef SRC_NET_HOST_H_
+#define SRC_NET_HOST_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/types.h"
+#include "src/net/packet.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/serial_resource.h"
+#include "src/sim/simulator.h"
+
+namespace hovercraft {
+
+class Network;
+
+struct NetCounters {
+  uint64_t tx_msgs = 0;
+  uint64_t rx_msgs = 0;
+  uint64_t tx_frames = 0;
+  uint64_t rx_frames = 0;
+  uint64_t tx_payload_bytes = 0;
+  uint64_t rx_payload_bytes = 0;
+  std::unordered_map<std::string, uint64_t> tx_by_type;
+  std::unordered_map<std::string, uint64_t> rx_by_type;
+
+  void Clear() { *this = NetCounters(); }
+};
+
+class Host {
+ public:
+  enum class Kind {
+    kServer,  // CPU model: serial net thread + NIC serialization
+    kDevice,  // line-rate device: fixed pipeline latency, no CPU queueing
+  };
+
+  Host(Simulator* sim, const CostModel& costs, Kind kind);
+  virtual ~Host() = default;
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  // Invoked by Network after the receive path completes.
+  virtual void HandleMessage(HostId src, const MessagePtr& msg) = 0;
+
+  // Sends `msg` to `dst` (unicast host or multicast group). On a server this
+  // charges net-thread TX CPU (plus `extra_cpu` of protocol processing, e.g.
+  // building an append_entries), then NIC serialization, then hands the
+  // packet to the fabric; on a device it leaves after the pipeline latency.
+  void Send(Addr dst, MessagePtr msg, TimeNs extra_cpu = 0);
+
+  // Called by Network when a packet arrives at this host's NIC.
+  void Receive(HostId src, MessagePtr msg);
+
+  // A failed host neither sends nor receives. Used for crash injection;
+  // subclasses extend it to halt their own timers (fail-stop semantics).
+  virtual void set_failed(bool failed) { failed_ = failed; }
+  bool failed() const { return failed_; }
+
+  HostId id() const { return id_; }
+  Kind kind() const { return kind_; }
+  Simulator* sim() const { return sim_; }
+  const CostModel& costs() const { return costs_; }
+  const NetCounters& counters() const { return counters_; }
+  NetCounters& counters() { return counters_; }
+  SerialResource& net_thread() { return net_thread_; }
+
+  // Called by Network::Attach.
+  void AttachTo(Network* network, HostId id) {
+    network_ = network;
+    id_ = id;
+  }
+
+ protected:
+  Network* network() const { return network_; }
+
+ private:
+  Simulator* sim_;
+  const CostModel& costs_;
+  Kind kind_;
+  Network* network_ = nullptr;
+  HostId id_ = kInvalidHost;
+  bool failed_ = false;
+  SerialResource net_thread_;
+  SerialResource nic_tx_;
+  NetCounters counters_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_NET_HOST_H_

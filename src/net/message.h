@@ -1,0 +1,31 @@
+// Base type for everything that travels over the simulated fabric.
+//
+// The simulator carries typed message objects end-to-end (the way ns-3 does)
+// instead of serializing on the hot path; each message declares the payload
+// size it would occupy on the wire, and the wire codecs in src/r2p2 are
+// exercised by their own tests and microbenchmarks.
+#ifndef SRC_NET_MESSAGE_H_
+#define SRC_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace hovercraft {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  // Bytes of R2P2 payload this message occupies on the wire (headers and
+  // framing are accounted separately by the cost model).
+  virtual int32_t PayloadBytes() const = 0;
+
+  // Stable short name used for per-type message accounting (Table 1).
+  virtual const char* Name() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace hovercraft
+
+#endif  // SRC_NET_MESSAGE_H_

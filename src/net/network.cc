@@ -1,0 +1,78 @@
+#include "src/net/network.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+
+Network::Network(Simulator* sim, const CostModel& costs, uint64_t seed)
+    : sim_(sim), costs_(costs), rng_(seed) {
+  HC_CHECK(sim != nullptr);
+}
+
+HostId Network::Attach(Host* host) {
+  HC_CHECK(host != nullptr);
+  const HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(host);
+  host->AttachTo(this, id);
+  return id;
+}
+
+Addr Network::CreateMulticastGroup(std::vector<HostId> members) {
+  for (HostId m : members) {
+    HC_CHECK_GE(m, 0);
+    HC_CHECK_LT(static_cast<size_t>(m), hosts_.size());
+  }
+  groups_.push_back(std::move(members));
+  return MulticastAddr(static_cast<int32_t>(groups_.size()) - 1);
+}
+
+const std::vector<HostId>& Network::GroupMembers(Addr group) const {
+  HC_CHECK(IsMulticastAddr(group));
+  const size_t idx = static_cast<size_t>(MulticastGroupOf(group));
+  HC_CHECK_LT(idx, groups_.size());
+  return groups_[idx];
+}
+
+void Network::Transmit(const Packet& packet) {
+  // Packet reaches the switch after one link propagation, is forwarded after
+  // the cut-through latency, and fans out to each destination port.
+  const TimeNs at_switch = sim_->Now() + costs_.link_propagation_ns + costs_.switch_latency_ns;
+  sim_->At(at_switch, [this, packet]() {
+    if (IsMulticastAddr(packet.dst)) {
+      for (HostId member : GroupMembers(packet.dst)) {
+        if (member != packet.src) {
+          DeliverCopy(packet, member);
+        }
+      }
+    } else {
+      DeliverCopy(packet, packet.dst);
+    }
+  });
+}
+
+void Network::DeliverCopy(const Packet& packet, HostId dst) {
+  HC_CHECK_GE(dst, 0);
+  HC_CHECK_LT(static_cast<size_t>(dst), hosts_.size());
+  if (drop_filter_ && drop_filter_(packet, dst)) {
+    ++dropped_msgs_;
+    return;
+  }
+  if (loss_probability_ > 0.0) {
+    // A message survives only if every frame does.
+    const int32_t frames = costs_.FramesFor(packet.msg->PayloadBytes());
+    for (int32_t i = 0; i < frames; ++i) {
+      if (rng_.NextBool(loss_probability_)) {
+        ++dropped_msgs_;
+        return;
+      }
+    }
+  }
+  ++delivered_msgs_;
+  Host* host = hosts_[static_cast<size_t>(dst)];
+  sim_->After(costs_.link_propagation_ns,
+              [host, src = packet.src, msg = packet.msg]() { host->Receive(src, msg); });
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,66 @@
+// The simulated datacenter fabric: one cut-through switch, one link per host,
+// IP multicast groups, and hooks for loss injection.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/net/host.h"
+#include "src/net/packet.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/simulator.h"
+
+namespace hovercraft {
+
+class Network {
+ public:
+  Network(Simulator* sim, const CostModel& costs, uint64_t seed);
+
+  // Registers a host and assigns its id. The network does not own hosts.
+  HostId Attach(Host* host);
+
+  // Creates a multicast group; packets addressed to it are replicated to all
+  // members except the sender.
+  Addr CreateMulticastGroup(std::vector<HostId> members);
+
+  const std::vector<HostId>& GroupMembers(Addr group) const;
+
+  // Entry point used by Host::Send once the packet leaves the NIC.
+  void Transmit(const Packet& packet);
+
+  // Uniform per-frame loss probability (a message is lost if any of its
+  // frames is). Applied independently per destination, so multicast can
+  // reach a subset of the group — the case HovercRaft's recovery handles.
+  void set_loss_probability(double p) { loss_probability_ = p; }
+
+  // Arbitrary drop filter for targeted failure injection in tests. Returning
+  // true drops the copy headed to `dst`.
+  using DropFilter = std::function<bool(const Packet&, HostId dst)>;
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+  uint64_t delivered_msgs() const { return delivered_msgs_; }
+  uint64_t dropped_msgs() const { return dropped_msgs_; }
+
+  Host* host(HostId id) const { return hosts_[static_cast<size_t>(id)]; }
+  size_t host_count() const { return hosts_.size(); }
+
+ private:
+  void DeliverCopy(const Packet& packet, HostId dst);
+
+  Simulator* sim_;
+  const CostModel& costs_;
+  Rng rng_;
+  std::vector<Host*> hosts_;
+  std::vector<std::vector<HostId>> groups_;
+  double loss_probability_ = 0.0;
+  DropFilter drop_filter_;
+  uint64_t delivered_msgs_ = 0;
+  uint64_t dropped_msgs_ = 0;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_NET_NETWORK_H_

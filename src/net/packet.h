@@ -1,0 +1,28 @@
+// Network addressing and the in-flight packet record.
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/net/message.h"
+
+namespace hovercraft {
+
+// Destination address: either a HostId or a multicast group.
+using Addr = int32_t;
+constexpr Addr kMulticastAddrBase = 1'000'000;
+
+constexpr bool IsMulticastAddr(Addr a) { return a >= kMulticastAddrBase; }
+constexpr Addr MulticastAddr(int32_t group) { return kMulticastAddrBase + group; }
+constexpr int32_t MulticastGroupOf(Addr a) { return a - kMulticastAddrBase; }
+
+struct Packet {
+  HostId src = kInvalidHost;
+  Addr dst = kInvalidHost;
+  MessagePtr msg;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_NET_PACKET_H_

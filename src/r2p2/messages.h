@@ -1,0 +1,105 @@
+// R2P2-level messages exchanged between clients, servers and middleboxes.
+#ifndef SRC_R2P2_MESSAGES_H_
+#define SRC_R2P2_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/net/message.h"
+#include "src/r2p2/request_id.h"
+
+namespace hovercraft {
+
+// R2P2 POLICY field values relevant to HovercRaft (paper section 6.1).
+// kUnrestricted requests are served without consensus (possible staleness);
+// kReplicatedReq requests read-modify the state machine; kReplicatedReqRo
+// requests are read-only but still totally ordered.
+enum class R2p2Policy : uint8_t {
+  kUnrestricted = 0,
+  kReplicatedReq = 1,
+  kReplicatedReqRo = 2,
+};
+
+// Only kReplicatedReq requests may mutate the state machine: kReplicatedReqRo
+// is a totally-ordered read, and kUnrestricted requests bypass consensus and
+// must therefore be stale-tolerant reads (client contract, section 6.1).
+inline bool IsReadOnly(R2p2Policy p) { return p != R2p2Policy::kReplicatedReq; }
+
+using Body = std::shared_ptr<const std::vector<uint8_t>>;
+
+inline Body MakeBody(std::vector<uint8_t> bytes) {
+  return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+}
+
+inline int32_t BodySize(const Body& body) {
+  return body == nullptr ? 0 : static_cast<int32_t>(body->size());
+}
+
+class RpcRequest final : public Message {
+ public:
+  RpcRequest(RequestId rid, R2p2Policy policy, Body body)
+      : rid_(rid), policy_(policy), body_(std::move(body)) {}
+
+  int32_t PayloadBytes() const override { return BodySize(body_); }
+  const char* Name() const override { return "REQUEST"; }
+
+  const RequestId& rid() const { return rid_; }
+  R2p2Policy policy() const { return policy_; }
+  const Body& body() const { return body_; }
+  bool read_only() const { return IsReadOnly(policy_); }
+
+ private:
+  RequestId rid_;
+  R2p2Policy policy_;
+  Body body_;
+};
+
+class RpcResponse final : public Message {
+ public:
+  RpcResponse(RequestId rid, Body body) : rid_(rid), body_(std::move(body)) {}
+
+  int32_t PayloadBytes() const override { return BodySize(body_); }
+  const char* Name() const override { return "RESPONSE"; }
+
+  const RequestId& rid() const { return rid_; }
+  const Body& body() const { return body_; }
+
+ private:
+  RequestId rid_;
+  Body body_;
+};
+
+// R2P2 FEEDBACK, repurposed by HovercRaft as the flow-control decrement
+// (paper section 6.3).
+class FeedbackMsg final : public Message {
+ public:
+  explicit FeedbackMsg(RequestId rid) : rid_(rid) {}
+
+  int32_t PayloadBytes() const override { return 16; }
+  const char* Name() const override { return "FEEDBACK"; }
+
+  const RequestId& rid() const { return rid_; }
+
+ private:
+  RequestId rid_;
+};
+
+// Sent by the flow-control middlebox when the in-flight cap is reached.
+class NackMsg final : public Message {
+ public:
+  explicit NackMsg(RequestId rid) : rid_(rid) {}
+
+  int32_t PayloadBytes() const override { return 16; }
+  const char* Name() const override { return "NACK"; }
+
+  const RequestId& rid() const { return rid_; }
+
+ private:
+  RequestId rid_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_R2P2_MESSAGES_H_

@@ -1,0 +1,95 @@
+#include "src/r2p2/packetizer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+
+std::vector<WirePacket> Fragment(const WireHeader& base, std::span<const uint8_t> body,
+                                 size_t mtu_payload) {
+  HC_CHECK_GT(mtu_payload, 0u);
+  const size_t count = std::max<size_t>(1, (body.size() + mtu_payload - 1) / mtu_payload);
+  HC_CHECK_LE(count, 0xFFFFu);
+  std::vector<WirePacket> packets;
+  packets.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t begin = i * mtu_payload;
+    const size_t len = std::min(mtu_payload, body.size() - std::min(begin, body.size()));
+    WireHeader h = base;
+    h.packet_id = static_cast<uint16_t>(i);
+    h.first = (i == 0);
+    h.last = (i == count - 1);
+    h.packet_count = static_cast<uint16_t>(count);
+    WirePacket pkt(kWireHeaderBytes + len);
+    EncodeWireHeader(h, pkt);
+    if (len > 0) {
+      std::copy_n(body.data() + begin, len, pkt.data() + kWireHeaderBytes);
+    }
+    packets.push_back(std::move(pkt));
+  }
+  return packets;
+}
+
+Result<bool> Reassembler::Feed(std::span<const uint8_t> packet, TimeNs now) {
+  Result<WireHeader> header = DecodeWireHeader(packet);
+  if (!header.ok()) {
+    return header.status();
+  }
+  const WireHeader& h = header.value();
+  std::span<const uint8_t> payload = packet.subspan(kWireHeaderBytes);
+
+  const Key key{h.src_ip, h.src_port, h.req_id, static_cast<uint8_t>(h.type)};
+  Partial& partial = pending_[key];
+  if (partial.fragments.empty()) {
+    partial.created = now;
+  }
+  if (h.first) {
+    partial.have_first = true;
+    partial.first_header = h;
+    partial.expected = h.packet_count;
+  }
+  if (partial.expected != 0 && h.packet_id >= partial.expected) {
+    return InvalidArgumentError("fragment index out of range");
+  }
+  // Duplicate fragments are ignored.
+  partial.fragments.emplace(h.packet_id, std::vector<uint8_t>(payload.begin(), payload.end()));
+
+  if (!partial.have_first || partial.fragments.size() < partial.expected) {
+    return false;
+  }
+  // Assemble in fragment order.
+  Complete out;
+  out.header = partial.first_header;
+  for (uint16_t i = 0; i < partial.expected; ++i) {
+    auto it = partial.fragments.find(i);
+    HC_CHECK(it != partial.fragments.end());
+    out.body.insert(out.body.end(), it->second.begin(), it->second.end());
+  }
+  pending_.erase(key);
+  completed_ = std::move(out);
+  has_completed_ = true;
+  return true;
+}
+
+Reassembler::Complete Reassembler::TakeCompleted() {
+  HC_CHECK(has_completed_);
+  has_completed_ = false;
+  return std::move(completed_);
+}
+
+size_t Reassembler::GarbageCollect(TimeNs now, TimeNs age) {
+  size_t dropped = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.created >= age) {
+      it = pending_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace hovercraft

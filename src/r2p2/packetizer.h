@@ -1,0 +1,83 @@
+// Fragmentation and reassembly of R2P2 messages across MTU-sized packets.
+//
+// R2P2 sends a message as a REQ0 packet (header + first payload slice)
+// followed by REQN packets. The reassembler tolerates out-of-order and
+// duplicated fragments, and garbage-collects incomplete messages after a
+// timeout — the behaviour HovercRaft's multicast recovery relies on.
+#ifndef SRC_R2P2_PACKETIZER_H_
+#define SRC_R2P2_PACKETIZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/r2p2/wire.h"
+
+namespace hovercraft {
+
+// One wire packet: 16-byte header followed by a payload slice.
+using WirePacket = std::vector<uint8_t>;
+
+// Splits `body` into packets of at most `mtu_payload` payload bytes each.
+// A zero-length body still yields one (FIRST|LAST) packet.
+std::vector<WirePacket> Fragment(const WireHeader& base, std::span<const uint8_t> body,
+                                 size_t mtu_payload);
+
+class Reassembler {
+ public:
+  struct Complete {
+    WireHeader header;  // header of the FIRST fragment
+    std::vector<uint8_t> body;
+  };
+
+  // Feeds one packet. Returns a Complete message when the last missing
+  // fragment arrives, kOk-with-nothing (nullopt-like empty result signalled
+  // via has_value) otherwise, or an error for malformed input.
+  Result<bool> Feed(std::span<const uint8_t> packet, TimeNs now);
+
+  // Retrieves and removes the completed message, if Feed returned true.
+  Complete TakeCompleted();
+
+  // Drops partial messages older than `age`. Returns how many were dropped.
+  size_t GarbageCollect(TimeNs now, TimeNs age);
+
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Key {
+    uint32_t src_ip;
+    uint16_t src_port;
+    uint16_t req_id;
+    uint8_t type;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.src_ip == b.src_ip && a.src_port == b.src_port && a.req_id == b.req_id &&
+             a.type == b.type;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t x = (static_cast<uint64_t>(k.src_ip) << 32) |
+                   (static_cast<uint64_t>(k.src_port) << 16) | k.req_id;
+      x ^= static_cast<uint64_t>(k.type) << 56;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+  struct Partial {
+    WireHeader first_header;
+    bool have_first = false;
+    uint16_t expected = 0;  // 0 = unknown until FIRST arrives
+    std::unordered_map<uint16_t, std::vector<uint8_t>> fragments;
+    TimeNs created = 0;
+  };
+
+  std::unordered_map<Key, Partial, KeyHash> pending_;
+  bool has_completed_ = false;
+  Complete completed_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_R2P2_PACKETIZER_H_

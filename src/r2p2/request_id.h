@@ -1,0 +1,38 @@
+// R2P2 identifies an RPC by the (req_id, src_port, src_ip) 3-tuple set by the
+// client (paper section 3.2). In the simulator the client host id plays the
+// role of (src_ip, src_port) and a per-client sequence number the role of
+// req_id; the wire codec in src/r2p2/wire.h maps these onto the packed
+// header fields.
+#ifndef SRC_R2P2_REQUEST_ID_H_
+#define SRC_R2P2_REQUEST_ID_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/types.h"
+
+namespace hovercraft {
+
+struct RequestId {
+  HostId client = kInvalidHost;
+  uint64_t seq = 0;
+
+  friend bool operator==(const RequestId& a, const RequestId& b) {
+    return a.client == b.client && a.seq == b.seq;
+  }
+  friend bool operator!=(const RequestId& a, const RequestId& b) { return !(a == b); }
+};
+
+struct RequestIdHash {
+  size_t operator()(const RequestId& rid) const {
+    // Mix the two fields; splitmix64 finalizer.
+    uint64_t x = static_cast<uint64_t>(rid.client) * 0x9E3779B97F4A7C15ull + rid.seq;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_R2P2_REQUEST_ID_H_

@@ -1,0 +1,61 @@
+// The R2P2 request router (Kogias et al., USENIX ATC'19) — the in-network
+// JBSQ(n) load balancer HovercRaft builds on (paper sections 2.3, 3.4, 3.6)
+// and the path non-replicated traffic takes across stateless servers.
+//
+// Join-Bounded-Shortest-Queue splits queueing between one central queue in
+// the router and a bounded queue per server: requests are delegated to the
+// least-loaded eligible server, and held centrally when every server is at
+// its bound, approximating an ideal single-queue system. Servers return an
+// R2P2 FEEDBACK message per completed request to release a slot.
+#ifndef SRC_R2P2_ROUTER_H_
+#define SRC_R2P2_ROUTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/net/host.h"
+#include "src/net/packet.h"
+
+namespace hovercraft {
+
+enum class RouterPolicy {
+  kRandom,  // uniform among servers, no queue bound (classic L4 spraying)
+  kJbsq,    // Join-Bounded-Shortest-Queue with FEEDBACK-driven slots
+};
+
+class R2p2Router final : public Host {
+ public:
+  R2p2Router(Simulator* sim, const CostModel& costs, std::vector<HostId> servers,
+             RouterPolicy policy, int64_t queue_bound, uint64_t seed);
+
+  void HandleMessage(HostId src, const MessagePtr& msg) override;
+
+  struct RouterStats {
+    uint64_t forwarded = 0;
+    uint64_t held_central = 0;  // requests that waited in the central queue
+    size_t central_queue_peak = 0;
+  };
+  const RouterStats& router_stats() const { return stats_; }
+  int64_t OutstandingOf(size_t server) const { return outstanding_[server]; }
+  size_t central_queue_depth() const { return central_.size(); }
+
+ private:
+  // Picks the eligible server with the shortest bounded queue, or -1.
+  int32_t PickServer();
+  void Dispatch(const MessagePtr& msg, int32_t server);
+
+  std::vector<HostId> servers_;
+  RouterPolicy policy_;
+  int64_t queue_bound_;
+  Rng rng_;
+  std::vector<int64_t> outstanding_;
+  std::deque<MessagePtr> central_;
+  RouterStats stats_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_R2P2_ROUTER_H_

@@ -1,0 +1,89 @@
+#include "src/r2p2/serdes.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+namespace {
+
+// seq is split across req_id (low 16 bits are the wire-visible id, as in
+// real R2P2) and src_port (next 16 bits) so moderate wraps stay unambiguous.
+constexpr uint64_t kSeqLowMask = 0xFFFFull;
+
+std::vector<WirePacket> SerializeBody(const WireHeader& header, const Body& body,
+                                      size_t mtu_payload) {
+  static const std::vector<uint8_t> kEmpty;
+  const std::vector<uint8_t>& bytes = body == nullptr ? kEmpty : *body;
+  return Fragment(header, bytes, mtu_payload);
+}
+
+}  // namespace
+
+WireHeader HeaderForRequest(const RequestId& rid, R2p2Policy policy, WireType type) {
+  WireHeader h;
+  h.type = type;
+  h.policy = static_cast<uint8_t>(policy);
+  h.req_id = static_cast<uint16_t>(rid.seq & kSeqLowMask);
+  h.src_port = static_cast<uint16_t>((rid.seq >> 16) & kSeqLowMask);
+  h.src_ip = static_cast<uint32_t>(rid.client);
+  return h;
+}
+
+RequestId RequestIdFromHeader(const WireHeader& header) {
+  RequestId rid;
+  rid.client = static_cast<HostId>(header.src_ip);
+  rid.seq = (static_cast<uint64_t>(header.src_port) << 16) | header.req_id;
+  return rid;
+}
+
+std::vector<WirePacket> SerializeRequest(const RpcRequest& request, size_t mtu_payload) {
+  const WireHeader h = HeaderForRequest(request.rid(), request.policy(), WireType::kRequest);
+  return SerializeBody(h, request.body(), mtu_payload);
+}
+
+std::vector<WirePacket> SerializeResponse(const RpcResponse& response, size_t mtu_payload) {
+  const WireHeader h =
+      HeaderForRequest(response.rid(), R2p2Policy::kUnrestricted, WireType::kResponse);
+  return SerializeBody(h, response.body(), mtu_payload);
+}
+
+std::vector<WirePacket> SerializeFeedback(const FeedbackMsg& feedback) {
+  const WireHeader h =
+      HeaderForRequest(feedback.rid(), R2p2Policy::kUnrestricted, WireType::kFeedback);
+  return SerializeBody(h, nullptr, kWireHeaderBytes);
+}
+
+std::vector<WirePacket> SerializeNack(const NackMsg& nack) {
+  const WireHeader h = HeaderForRequest(nack.rid(), R2p2Policy::kUnrestricted, WireType::kNack);
+  return SerializeBody(h, nullptr, kWireHeaderBytes);
+}
+
+Result<DecodedR2p2Message> DecodeR2p2Message(const Reassembler::Complete& complete) {
+  DecodedR2p2Message out;
+  out.type = complete.header.type;
+  out.rid = RequestIdFromHeader(complete.header);
+  switch (complete.header.type) {
+    case WireType::kRequest: {
+      if (complete.header.policy > static_cast<uint8_t>(R2p2Policy::kReplicatedReqRo)) {
+        return InvalidArgumentError("bad policy on request");
+      }
+      out.request = std::make_shared<RpcRequest>(
+          out.rid, static_cast<R2p2Policy>(complete.header.policy),
+          MakeBody(std::vector<uint8_t>(complete.body)));
+      return out;
+    }
+    case WireType::kResponse: {
+      out.response =
+          std::make_shared<RpcResponse>(out.rid, MakeBody(std::vector<uint8_t>(complete.body)));
+      return out;
+    }
+    case WireType::kFeedback:
+    case WireType::kNack:
+      return out;
+    default:
+      return InvalidArgumentError("unsupported wire type for R2P2 decode");
+  }
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,47 @@
+// Serialization of R2P2 messages onto wire packets.
+//
+// Maps the typed message objects the simulator carries onto the exact R2P2
+// packet layout (16-byte header + MTU-sized fragments). This is the path a
+// DPDK deployment would use verbatim; the simulator skips it on the hot path
+// but conformance tests and microbenches exercise it end-to-end so the wire
+// format stays honest.
+#ifndef SRC_R2P2_SERDES_H_
+#define SRC_R2P2_SERDES_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/r2p2/messages.h"
+#include "src/r2p2/packetizer.h"
+#include "src/r2p2/wire.h"
+
+namespace hovercraft {
+
+// The R2P2 identity fields (src_ip, src_port, req_id) pack the simulator's
+// (client HostId, sequence number) identity. The 16-bit wire req_id wraps;
+// receivers distinguish concurrent requests by the full 3-tuple, which is
+// what the paper relies on (sections 3.2, 5).
+WireHeader HeaderForRequest(const RequestId& rid, R2p2Policy policy, WireType type);
+RequestId RequestIdFromHeader(const WireHeader& header);
+
+// Fragments a client request / response / control message into wire packets.
+std::vector<WirePacket> SerializeRequest(const RpcRequest& request, size_t mtu_payload);
+std::vector<WirePacket> SerializeResponse(const RpcResponse& response, size_t mtu_payload);
+std::vector<WirePacket> SerializeFeedback(const FeedbackMsg& feedback);
+std::vector<WirePacket> SerializeNack(const NackMsg& nack);
+
+// Reassembled message -> typed object. The header type selects the variant.
+struct DecodedR2p2Message {
+  WireType type = WireType::kRequest;
+  std::shared_ptr<RpcRequest> request;    // kRequest
+  std::shared_ptr<RpcResponse> response;  // kResponse
+  RequestId rid;                          // all types
+};
+
+Result<DecodedR2p2Message> DecodeR2p2Message(const Reassembler::Complete& complete);
+
+}  // namespace hovercraft
+
+#endif  // SRC_R2P2_SERDES_H_

@@ -1,0 +1,82 @@
+#include "src/r2p2/wire.h"
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+namespace {
+
+void PutU16(std::span<uint8_t> out, size_t offset, uint16_t v) {
+  out[offset] = static_cast<uint8_t>(v);
+  out[offset + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+void PutU32(std::span<uint8_t> out, size_t offset, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint16_t GetU16(std::span<const uint8_t> in, size_t offset) {
+  return static_cast<uint16_t>(in[offset] | (in[offset + 1] << 8));
+}
+
+uint32_t GetU32(std::span<const uint8_t> in, size_t offset) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(in[offset + static_cast<size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void EncodeWireHeader(const WireHeader& header, std::span<uint8_t> out) {
+  HC_CHECK_GE(out.size(), kWireHeaderBytes);
+  out[0] = kWireMagic;
+  out[1] = kWireVersion;
+  out[2] = static_cast<uint8_t>(header.type);
+  uint8_t pf = header.policy & 0x0F;
+  if (header.first) {
+    pf |= kFlagFirst;
+  }
+  if (header.last) {
+    pf |= kFlagLast;
+  }
+  out[3] = pf;
+  PutU16(out, 4, header.req_id);
+  PutU16(out, 6, header.packet_id);
+  PutU32(out, 8, header.src_ip);
+  PutU16(out, 12, header.src_port);
+  PutU16(out, 14, header.packet_count);
+}
+
+Result<WireHeader> DecodeWireHeader(std::span<const uint8_t> data) {
+  if (data.size() < kWireHeaderBytes) {
+    return OutOfRangeError("short R2P2 header");
+  }
+  if (data[0] != kWireMagic) {
+    return InvalidArgumentError("bad R2P2 magic");
+  }
+  if (data[1] != kWireVersion) {
+    return InvalidArgumentError("unsupported R2P2 version");
+  }
+  if (data[2] > static_cast<uint8_t>(WireType::kRecoveryRep)) {
+    return InvalidArgumentError("unknown R2P2 message type");
+  }
+  WireHeader h;
+  h.type = static_cast<WireType>(data[2]);
+  h.policy = data[3] & 0x0F;
+  if (h.policy > 2) {
+    return InvalidArgumentError("unknown R2P2 policy");
+  }
+  h.first = (data[3] & kFlagFirst) != 0;
+  h.last = (data[3] & kFlagLast) != 0;
+  h.req_id = GetU16(data, 4);
+  h.packet_id = GetU16(data, 6);
+  h.src_ip = GetU32(data, 8);
+  h.src_port = GetU16(data, 12);
+  h.packet_count = GetU16(data, 14);
+  return h;
+}
+
+}  // namespace hovercraft

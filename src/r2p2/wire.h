@@ -1,0 +1,76 @@
+// Binary wire format for R2P2 with the HovercRaft extensions.
+//
+// Layout (16 bytes, little-endian), following the R2P2 header design with the
+// two message types HovercRaft adds for Raft traffic (paper section 6.1):
+//
+//   offset  size  field
+//   0       1     magic (0x52)
+//   1       1     version (1)
+//   2       1     message type (WireType)
+//   3       1     policy (low nibble) | flags (high nibble: FIRST, LAST)
+//   4       2     req_id
+//   6       2     packet_id (fragment index)
+//   8       4     src_ip
+//   12      2     src_port
+//   14      2     packet_count (total fragments; valid on FIRST)
+#ifndef SRC_R2P2_WIRE_H_
+#define SRC_R2P2_WIRE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/common/status.h"
+
+namespace hovercraft {
+
+// Wire-level message types. REQUEST/RESPONSE/FEEDBACK/NACK come from R2P2;
+// RAFT_REQ/RAFT_REP are the types HovercRaft adds so the consensus logic in
+// the transport can dispatch on them; AGG_COMMIT is emitted by the in-network
+// aggregator; RECOVERY_* implement payload recovery (paper section 5).
+enum class WireType : uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+  kFeedback = 2,
+  kNack = 3,
+  kRaftReq = 4,
+  kRaftRep = 5,
+  kAggCommit = 6,
+  kRecoveryReq = 7,
+  kRecoveryRep = 8,
+};
+
+constexpr uint8_t kWireMagic = 0x52;
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kWireHeaderBytes = 16;
+
+constexpr uint8_t kFlagFirst = 0x10;
+constexpr uint8_t kFlagLast = 0x20;
+
+struct WireHeader {
+  WireType type = WireType::kRequest;
+  uint8_t policy = 0;  // R2p2Policy value
+  bool first = false;
+  bool last = false;
+  uint16_t req_id = 0;
+  uint16_t packet_id = 0;
+  uint32_t src_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t packet_count = 0;
+
+  friend bool operator==(const WireHeader& a, const WireHeader& b) {
+    return a.type == b.type && a.policy == b.policy && a.first == b.first && a.last == b.last &&
+           a.req_id == b.req_id && a.packet_id == b.packet_id && a.src_ip == b.src_ip &&
+           a.src_port == b.src_port && a.packet_count == b.packet_count;
+  }
+};
+
+// Writes exactly kWireHeaderBytes into `out` (must have room).
+void EncodeWireHeader(const WireHeader& header, std::span<uint8_t> out);
+
+// Parses and validates a header. Fails on short buffers, bad magic/version,
+// unknown type, or out-of-range policy.
+Result<WireHeader> DecodeWireHeader(std::span<const uint8_t> data);
+
+}  // namespace hovercraft
+
+#endif  // SRC_R2P2_WIRE_H_

@@ -1,0 +1,104 @@
+// The replicated log. Indices are 1-based; index 0 is the sentinel "before
+// the log". Supports prefix compaction so long benchmark runs do not hold
+// the entire history in memory: the compaction point remembers its term so
+// the AppendEntries consistency check still works at the boundary.
+#ifndef SRC_RAFT_LOG_H_
+#define SRC_RAFT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/r2p2/messages.h"
+#include "src/r2p2/request_id.h"
+
+namespace hovercraft {
+
+struct LogEntry {
+  Term term = 0;
+  bool noop = false;
+  bool read_only = false;
+  // Designated replier (paper section 3.3); immutable once announced.
+  NodeId replier = kInvalidNode;
+  RequestId rid;
+  // FNV-1a hash of the request body, computed once at append; shipped with
+  // metadata-only entries so followers can verify their unordered-set hit
+  // (paper section 5).
+  uint64_t body_hash = 0;
+  std::shared_ptr<const RpcRequest> request;  // null only for noop entries
+};
+
+// Canonical body hash for log entries.
+uint64_t HashRequestBody(const RpcRequest& request);
+
+class RaftLog {
+ public:
+  RaftLog() = default;
+
+  // First index still present (after compaction). first_index() - 1 is the
+  // compaction point whose term is base_term().
+  LogIndex first_index() const { return base_index_ + 1; }
+  LogIndex last_index() const { return base_index_ + entries_.size(); }
+  Term base_term() const { return base_term_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  Term last_term() const { return entries_.empty() ? base_term_ : entries_.back().term; }
+
+  // Term at `idx`; valid for idx in [base_index, last_index].
+  Term TermAt(LogIndex idx) const {
+    if (idx == base_index_) {
+      return base_term_;
+    }
+    return At(idx).term;
+  }
+
+  bool Contains(LogIndex idx) const { return idx >= first_index() && idx <= last_index(); }
+
+  const LogEntry& At(LogIndex idx) const {
+    if (!Contains(idx)) {
+      std::fprintf(stderr, "RaftLog::At(%llu) out of range [%llu, %llu]\n",
+                   static_cast<unsigned long long>(idx),
+                   static_cast<unsigned long long>(first_index()),
+                   static_cast<unsigned long long>(last_index()));
+    }
+    HC_CHECK(Contains(idx));
+    return entries_[static_cast<size_t>(idx - base_index_ - 1)];
+  }
+  LogEntry& At(LogIndex idx) {
+    HC_CHECK(Contains(idx));
+    return entries_[static_cast<size_t>(idx - base_index_ - 1)];
+  }
+
+  // Appends at the tail; returns the new entry's index.
+  LogIndex Append(LogEntry entry);
+
+  // Removes all entries with index >= idx (conflict resolution on followers).
+  void TruncateFrom(LogIndex idx);
+
+  // Drops entries with index <= idx. idx must be <= last_index and at or
+  // below any point still needed (callers enforce applied/match constraints).
+  void CompactPrefix(LogIndex idx);
+
+  // Discards the whole log and restarts it after a snapshot at (idx, term).
+  // Used when an InstallSnapshot replaces a conflicting or missing history.
+  void ResetTo(LogIndex idx, Term term);
+
+  // Finds the log index holding `rid`, or kNoLogIndex. Used for duplicate
+  // detection and for serving payload recovery.
+  LogIndex FindRequest(const RequestId& rid) const;
+
+ private:
+  LogIndex base_index_ = 0;  // compaction point (0 = nothing compacted)
+  Term base_term_ = 0;
+  std::deque<LogEntry> entries_;
+  std::unordered_map<RequestId, LogIndex, RequestIdHash> rid_index_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_RAFT_LOG_H_

@@ -1,0 +1,309 @@
+// Raft protocol messages, including the HovercRaft extensions: metadata-only
+// log entries, the replier/read-only fields, applied-index piggybacking on
+// append_entries replies, the aggregator's AGG_COMMIT, and payload recovery.
+//
+// Wire sizes follow the R2P2-framed layouts: each message declares the bytes
+// it would occupy so the network model charges bandwidth and CPU accurately.
+#ifndef SRC_RAFT_MESSAGES_H_
+#define SRC_RAFT_MESSAGES_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/message.h"
+#include "src/r2p2/messages.h"
+#include "src/r2p2/request_id.h"
+
+namespace hovercraft {
+
+// Fixed header bytes of an append_entries message (term, leader, prev index,
+// prev term, leader commit).
+constexpr int32_t kAeFixedBytes = 40;
+// Metadata bytes per log entry: (req_id, src_port, src_ip) 3-tuple + term +
+// type/replier fields + body hash (paper section 5).
+constexpr int32_t kEntryMetaBytes = 24;
+constexpr int32_t kAeReplyBytes = 40;
+constexpr int32_t kVoteBytes = 32;
+constexpr int32_t kAggCommitFixedBytes = 24;
+constexpr int32_t kAggCommitPerNodeBytes = 8;
+constexpr int32_t kRecoveryReqBytes = 24;
+constexpr int32_t kRecoveryRepFixedBytes = 24;
+// VanillaRaft embeds the client request inside append_entries as received:
+// the R2P2 header plus transport framing travel with it (the leader re-
+// encapsulates the whole RPC, paper section 3.1).
+constexpr int32_t kPayloadEncapBytes = 40;
+
+// A log entry as carried inside append_entries. In VanillaRaft mode `request`
+// is set and its body counts toward the wire size; in HovercRaft mode the
+// leader sends metadata only and `request` is still referenced in memory at
+// the leader but contributes 0 payload bytes on the wire.
+struct WireEntry {
+  Term term = 0;
+  bool noop = false;
+  bool read_only = false;
+  NodeId replier = kInvalidNode;
+  RequestId rid;
+  // Hash of the request body (paper section 5): metadata-only entries carry
+  // it so followers detect identity collisions / corrupt unordered-set hits
+  // and fall back to recovery instead of diverging.
+  uint64_t body_hash = 0;
+  std::shared_ptr<const RpcRequest> request;  // may be null for noop
+  bool carries_payload = false;               // true in VanillaRaft mode
+
+  int32_t WireBytes() const {
+    int32_t bytes = kEntryMetaBytes;
+    if (carries_payload && request != nullptr) {
+      bytes += request->PayloadBytes() + kPayloadEncapBytes;
+    }
+    return bytes;
+  }
+};
+
+class AppendEntriesReq final : public Message {
+ public:
+  AppendEntriesReq(Term term, NodeId leader, LogIndex prev_idx, Term prev_term,
+                   LogIndex leader_commit, std::vector<WireEntry> entries)
+      : term_(term),
+        leader_(leader),
+        prev_idx_(prev_idx),
+        prev_term_(prev_term),
+        leader_commit_(leader_commit),
+        entries_(std::move(entries)) {
+    payload_bytes_ = kAeFixedBytes;
+    for (const WireEntry& e : entries_) {
+      payload_bytes_ += e.WireBytes();
+    }
+  }
+
+  int32_t PayloadBytes() const override { return payload_bytes_; }
+  const char* Name() const override { return "AE_REQ"; }
+
+  Term term() const { return term_; }
+  NodeId leader() const { return leader_; }
+  LogIndex prev_idx() const { return prev_idx_; }
+  Term prev_term() const { return prev_term_; }
+  LogIndex leader_commit() const { return leader_commit_; }
+  const std::vector<WireEntry>& entries() const { return entries_; }
+
+ private:
+  Term term_;
+  NodeId leader_;
+  LogIndex prev_idx_;
+  Term prev_term_;
+  LogIndex leader_commit_;
+  std::vector<WireEntry> entries_;
+  int32_t payload_bytes_;
+};
+
+class AppendEntriesRep final : public Message {
+ public:
+  AppendEntriesRep(NodeId from, Term term, bool success, LogIndex match, LogIndex applied,
+                   LogIndex last_hint, bool waiting_recovery)
+      : from_(from),
+        term_(term),
+        success_(success),
+        match_(match),
+        applied_(applied),
+        last_hint_(last_hint),
+        waiting_recovery_(waiting_recovery) {}
+
+  int32_t PayloadBytes() const override { return kAeReplyBytes; }
+  const char* Name() const override { return "AE_REP"; }
+
+  NodeId from() const { return from_; }
+  Term term() const { return term_; }
+  bool success() const { return success_; }
+  LogIndex match() const { return match_; }
+  LogIndex applied() const { return applied_; }
+  LogIndex last_hint() const { return last_hint_; }
+  bool waiting_recovery() const { return waiting_recovery_; }
+
+ private:
+  NodeId from_;
+  Term term_;
+  bool success_;
+  LogIndex match_;
+  LogIndex applied_;
+  LogIndex last_hint_;
+  bool waiting_recovery_;
+};
+
+class RequestVoteReq final : public Message {
+ public:
+  RequestVoteReq(Term term, NodeId candidate, LogIndex last_idx, Term last_term)
+      : term_(term), candidate_(candidate), last_idx_(last_idx), last_term_(last_term) {}
+
+  int32_t PayloadBytes() const override { return kVoteBytes; }
+  const char* Name() const override { return "VOTE_REQ"; }
+
+  Term term() const { return term_; }
+  NodeId candidate() const { return candidate_; }
+  LogIndex last_idx() const { return last_idx_; }
+  Term last_term() const { return last_term_; }
+
+ private:
+  Term term_;
+  NodeId candidate_;
+  LogIndex last_idx_;
+  Term last_term_;
+};
+
+class RequestVoteRep final : public Message {
+ public:
+  RequestVoteRep(NodeId from, Term term, bool granted)
+      : from_(from), term_(term), granted_(granted) {}
+
+  int32_t PayloadBytes() const override { return kVoteBytes; }
+  const char* Name() const override { return "VOTE_REP"; }
+
+  NodeId from() const { return from_; }
+  Term term() const { return term_; }
+  bool granted() const { return granted_; }
+
+ private:
+  NodeId from_;
+  Term term_;
+  bool granted_;
+};
+
+// Multicast by the aggregator when the commit index advances (paper
+// section 6.4). Carries per-node applied counts ("completed requests") so the
+// leader can run JBSQ without seeing individual append_entries replies.
+class AggCommitMsg final : public Message {
+ public:
+  AggCommitMsg(Term term, LogIndex commit, std::vector<LogIndex> applied)
+      : term_(term), commit_(commit), applied_(std::move(applied)) {}
+
+  int32_t PayloadBytes() const override {
+    return kAggCommitFixedBytes + kAggCommitPerNodeBytes * static_cast<int32_t>(applied_.size());
+  }
+  const char* Name() const override { return "AGG_COMMIT"; }
+
+  Term term() const { return term_; }
+  LogIndex commit() const { return commit_; }
+  const std::vector<LogIndex>& applied() const { return applied_; }
+
+ private:
+  Term term_;
+  LogIndex commit_;
+  std::vector<LogIndex> applied_;
+};
+
+// Post-election handshake between a new leader and the aggregator (paper
+// section 6.4): the vote_reply tells the leader the aggregator is alive, and
+// the vote_request's term flushes aggregator soft state.
+class AggVoteReq final : public Message {
+ public:
+  explicit AggVoteReq(Term term) : term_(term) {}
+  int32_t PayloadBytes() const override { return kVoteBytes; }
+  const char* Name() const override { return "AGG_VOTE_REQ"; }
+  Term term() const { return term_; }
+
+ private:
+  Term term_;
+};
+
+class AggVoteRep final : public Message {
+ public:
+  explicit AggVoteRep(Term term) : term_(term) {}
+  int32_t PayloadBytes() const override { return kVoteBytes; }
+  const char* Name() const override { return "AGG_VOTE_REP"; }
+  Term term() const { return term_; }
+
+ private:
+  Term term_;
+};
+
+constexpr int32_t kSnapshotFixedBytes = 40;
+
+// Leader -> straggler state transfer: when log compaction has passed the
+// entries a follower needs, the leader ships the full application state as
+// of `last_included` instead (Raft's InstallSnapshot; an extension beyond
+// the paper, which never runs long enough to compact).
+class InstallSnapshotReq final : public Message {
+ public:
+  InstallSnapshotReq(Term term, NodeId leader, LogIndex last_included, Term included_term,
+                     Body state)
+      : term_(term),
+        leader_(leader),
+        last_included_(last_included),
+        included_term_(included_term),
+        state_(std::move(state)) {}
+
+  int32_t PayloadBytes() const override { return kSnapshotFixedBytes + BodySize(state_); }
+  const char* Name() const override { return "SNAPSHOT_REQ"; }
+
+  Term term() const { return term_; }
+  NodeId leader() const { return leader_; }
+  LogIndex last_included() const { return last_included_; }
+  Term included_term() const { return included_term_; }
+  const Body& state() const { return state_; }
+
+ private:
+  Term term_;
+  NodeId leader_;
+  LogIndex last_included_;
+  Term included_term_;
+  Body state_;
+};
+
+class InstallSnapshotRep final : public Message {
+ public:
+  InstallSnapshotRep(NodeId from, Term term, LogIndex last_included)
+      : from_(from), term_(term), last_included_(last_included) {}
+
+  int32_t PayloadBytes() const override { return kSnapshotFixedBytes; }
+  const char* Name() const override { return "SNAPSHOT_REP"; }
+
+  NodeId from() const { return from_; }
+  Term term() const { return term_; }
+  LogIndex last_included() const { return last_included_; }
+
+ private:
+  NodeId from_;
+  Term term_;
+  LogIndex last_included_;
+};
+
+// Follower -> leader request for a client payload it missed on multicast
+// (paper section 5, recovery_request).
+class RecoveryReq final : public Message {
+ public:
+  RecoveryReq(NodeId from, RequestId rid) : from_(from), rid_(rid) {}
+
+  int32_t PayloadBytes() const override { return kRecoveryReqBytes; }
+  const char* Name() const override { return "RECOVERY_REQ"; }
+
+  NodeId from() const { return from_; }
+  const RequestId& rid() const { return rid_; }
+
+ private:
+  NodeId from_;
+  RequestId rid_;
+};
+
+class RecoveryRep final : public Message {
+ public:
+  RecoveryRep(RequestId rid, std::shared_ptr<const RpcRequest> request)
+      : rid_(rid), request_(std::move(request)) {}
+
+  int32_t PayloadBytes() const override {
+    return kRecoveryRepFixedBytes + (request_ ? request_->PayloadBytes() : 0);
+  }
+  const char* Name() const override { return "RECOVERY_REP"; }
+
+  const RequestId& rid() const { return rid_; }
+  bool found() const { return request_ != nullptr; }
+  const std::shared_ptr<const RpcRequest>& request() const { return request_; }
+
+ private:
+  RequestId rid_;
+  std::shared_ptr<const RpcRequest> request_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_RAFT_MESSAGES_H_

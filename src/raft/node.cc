@@ -1,0 +1,907 @@
+#include "src/raft/node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace hovercraft {
+
+const char* RaftRoleName(RaftRole role) {
+  switch (role) {
+    case RaftRole::kFollower:
+      return "follower";
+    case RaftRole::kCandidate:
+      return "candidate";
+    case RaftRole::kLeader:
+      return "leader";
+  }
+  return "unknown";
+}
+
+RaftNode::RaftNode(Simulator* sim, uint64_t seed, const RaftOptions& options, Env* env)
+    : sim_(sim),
+      options_(options),
+      env_(env),
+      rng_(seed),
+      peers_(static_cast<size_t>(options.cluster_size)),
+      scheduler_(options.cluster_size, options.id, options.replier_policy,
+                 options.bounded_queue_depth, seed ^ 0x5EED5EED5EED5EEDull) {
+  HC_CHECK(sim != nullptr);
+  HC_CHECK(env != nullptr);
+  HC_CHECK_GE(options.id, 0);
+  HC_CHECK_LT(options.id, options.cluster_size);
+}
+
+void RaftNode::Start() {
+  if (options_.cluster_size == 1) {
+    // Degenerate single-node group: immediately leader.
+    current_term_ = 1;
+    BecomeLeader();
+    return;
+  }
+  ArmElectionTimer();
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void RaftNode::Halt() {
+  halted_ = true;
+}
+
+void RaftNode::Resume() {
+  if (!halted_) {
+    return;
+  }
+  halted_ = false;
+  // A restarted process comes back as a follower with its persistent state
+  // (term, vote, log) intact; volatile leadership is abandoned.
+  if (role_ != RaftRole::kFollower) {
+    BecomeFollower(current_term_, /*reset_vote=*/false);
+  } else {
+    ArmElectionTimer();
+  }
+}
+
+void RaftNode::ArmElectionTimer() {
+  const uint64_t epoch = ++election_epoch_;
+  const TimeNs span = options_.election_timeout_max - options_.election_timeout_min;
+  const TimeNs delay =
+      options_.election_timeout_min +
+      (span > 0 ? static_cast<TimeNs>(rng_.NextBelow(static_cast<uint64_t>(span))) : 0);
+  sim_->After(delay, [this, epoch]() {
+    if (halted_) {
+      return;
+    }
+    if (epoch == election_epoch_ && role_ != RaftRole::kLeader) {
+      StartElection();
+    }
+  });
+}
+
+void RaftNode::ArmHeartbeatTimer() {
+  const uint64_t epoch = ++heartbeat_epoch_;
+  sim_->After(options_.heartbeat_interval, [this, epoch]() {
+    if (halted_) {
+      return;
+    }
+    if (epoch == heartbeat_epoch_ && role_ == RaftRole::kLeader) {
+      OnHeartbeat();
+      ArmHeartbeatTimer();
+    }
+  });
+}
+
+void RaftNode::OnHeartbeat() {
+  // A heartbeat acts only on peers whose stream has been quiet for a full
+  // interval: an actively flowing (pipelined) stream is its own liveness
+  // signal, and rewinding it would retransmit the whole in-flight window.
+  const TimeNs quiet_before = sim_->Now() - options_.heartbeat_interval;
+  for (NodeId p = 0; p < options_.cluster_size; ++p) {
+    if (p == options_.id) {
+      continue;
+    }
+    if (peers_[static_cast<size_t>(p)].last_send > quiet_before) {
+      continue;
+    }
+    MaybeSendAppend(p, /*heartbeat=*/true);
+  }
+  if (options_.use_aggregator) {
+    if (agg_active_) {
+      if (agg_last_send_ <= quiet_before) {
+        MaybeSendAggAppend(/*heartbeat=*/true);
+      }
+    } else {
+      // The aggregator may have (re)appeared; re-probe it.
+      env_->SendToAggregator(std::make_shared<AggVoteReq>(current_term_));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Role transitions
+// ---------------------------------------------------------------------------
+
+void RaftNode::BecomeFollower(Term term, bool reset_vote) {
+  const bool was_leader = (role_ == RaftRole::kLeader);
+  if (term > current_term_) {
+    current_term_ = term;
+    voted_for_ = kInvalidNode;
+  } else if (reset_vote) {
+    voted_for_ = kInvalidNode;
+  }
+  role_ = RaftRole::kFollower;
+  agg_active_ = false;
+  ++heartbeat_epoch_;  // stop heartbeats
+  if (was_leader) {
+    env_->OnLeadershipChanged(false);
+  }
+  ArmElectionTimer();
+}
+
+void RaftNode::StartElection() {
+  ++stats_.elections_started;
+  role_ = RaftRole::kCandidate;
+  ++current_term_;
+  voted_for_ = options_.id;
+  votes_ = 1;
+  leader_hint_ = kInvalidNode;
+  HC_LOG_INFO("node %d starts election for term %llu", options_.id,
+              static_cast<unsigned long long>(current_term_));
+  ArmElectionTimer();  // retry on split vote
+  if (votes_ >= options_.majority()) {
+    BecomeLeader();
+    return;
+  }
+  auto req = std::make_shared<RequestVoteReq>(current_term_, options_.id, log_.last_index(),
+                                              log_.last_term());
+  for (NodeId p = 0; p < options_.cluster_size; ++p) {
+    if (p != options_.id) {
+      env_->SendToPeer(p, req);
+    }
+  }
+}
+
+void RaftNode::BecomeLeader() {
+  HC_CHECK(role_ != RaftRole::kLeader);
+  role_ = RaftRole::kLeader;
+  leader_hint_ = options_.id;
+  ++stats_.times_leader;
+  HC_LOG_INFO("node %d becomes leader of term %llu", options_.id,
+              static_cast<unsigned long long>(current_term_));
+
+  for (NodeId p = 0; p < options_.cluster_size; ++p) {
+    PeerState& st = peers_[static_cast<size_t>(p)];
+    st.next_idx = log_.last_index() + 1;
+    st.match_idx = 0;
+    st.applied_idx = 0;
+    st.inflight = 0;
+    st.commit_sent = 0;
+    st.paused_recovery = false;
+    // Until the aggregator handshake completes, replicate point-to-point.
+    st.direct_mode = options_.use_aggregator;
+  }
+  agg_active_ = false;
+  agg_inflight_ = 0;
+  agg_commit_sent_ = 0;
+  agg_next_idx_ = log_.last_index() + 1;
+
+  scheduler_.Reset();
+  scheduler_.UpdateApplied(options_.id, applied_idx_);
+  // Entries inherited from previous terms were already announced by their
+  // leader (their replier field is immutable and replicated); announcement
+  // resumes from the tail.
+  announced_idx_ = log_.last_index();
+
+  ++election_epoch_;  // cancel the election timer
+  ArmHeartbeatTimer();
+
+  if (options_.leader_noop) {
+    LogEntry noop;
+    noop.term = current_term_;
+    noop.noop = true;
+    noop.replier = options_.id;
+    const LogIndex idx = log_.Append(std::move(noop));
+    ++stats_.entries_appended;
+    if (!options_.assign_repliers) {
+      announced_idx_ = idx;
+    }
+  }
+
+  env_->OnLeadershipChanged(true);
+  // Re-order client requests orphaned by the previous leader (section 5).
+  env_->DrainUnorderedIntoLog();
+
+  if (options_.use_aggregator) {
+    env_->SendToAggregator(std::make_shared<AggVoteReq>(current_term_));
+  }
+
+  TryAnnounce();
+  TrySendAll();
+}
+
+// ---------------------------------------------------------------------------
+// Client requests (leader)
+// ---------------------------------------------------------------------------
+
+bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request) {
+  HC_CHECK(request != nullptr);
+  if (role_ != RaftRole::kLeader) {
+    ++stats_.submits_rejected;
+    return false;
+  }
+  if (log_.FindRequest(request->rid()) != kNoLogIndex) {
+    ++stats_.submits_rejected;
+    return false;  // duplicate (e.g. unordered drain raced with an old entry)
+  }
+  LogEntry entry;
+  entry.term = current_term_;
+  entry.read_only = request->read_only();
+  entry.rid = request->rid();
+  if (options_.metadata_only) {
+    entry.body_hash = HashRequestBody(*request);
+  }
+  entry.request = std::move(request);
+  if (!options_.assign_repliers) {
+    entry.replier = options_.id;
+  }
+  const LogIndex idx = log_.Append(std::move(entry));
+  ++stats_.entries_appended;
+  if (!options_.assign_repliers) {
+    announced_idx_ = idx;
+  }
+  TryAnnounce();
+  TrySendAll();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Replier announcement (HovercRaft sections 3.3-3.6)
+// ---------------------------------------------------------------------------
+
+void RaftNode::TryAnnounce() {
+  if (role_ != RaftRole::kLeader || !options_.assign_repliers) {
+    return;
+  }
+  bool changed = false;
+  while (announced_idx_ < log_.last_index()) {
+    const LogIndex idx = announced_idx_ + 1;
+    LogEntry& entry = log_.At(idx);
+    if (entry.noop) {
+      entry.replier = options_.id;
+      announced_idx_ = idx;
+      changed = true;
+      continue;
+    }
+    const NodeId replier = scheduler_.Assign(idx);
+    if (replier == kInvalidNode) {
+      // No eligible node under the bounded-queue invariant; retry when
+      // applied indices advance (never blocks liveness, section 3.4).
+      break;
+    }
+    entry.replier = replier;
+    announced_idx_ = idx;
+    changed = true;
+  }
+  if (changed) {
+    TrySendAll();
+  }
+}
+
+bool RaftNode::IsReplicationTarget(LogIndex idx) const {
+  if (options_.assign_repliers) {
+    return idx <= announced_idx_;
+  }
+  return idx <= log_.last_index();
+}
+
+// ---------------------------------------------------------------------------
+// Leader replication
+// ---------------------------------------------------------------------------
+
+std::vector<WireEntry> RaftNode::CollectEntries(LogIndex from, LogIndex to) const {
+  std::vector<WireEntry> out;
+  if (to < from) {
+    return out;
+  }
+  out.reserve(static_cast<size_t>(to - from + 1));
+  for (LogIndex idx = from; idx <= to; ++idx) {
+    const LogEntry& e = log_.At(idx);
+    WireEntry w;
+    w.term = e.term;
+    w.noop = e.noop;
+    w.read_only = e.read_only;
+    w.replier = e.replier;
+    w.rid = e.rid;
+    w.body_hash = e.body_hash;
+    if (!options_.metadata_only) {
+      // VanillaRaft ships the request payload inside append_entries.
+      w.request = e.request;
+      w.carries_payload = true;
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+void RaftNode::TrySendAll() {
+  if (role_ != RaftRole::kLeader) {
+    return;
+  }
+  for (NodeId p = 0; p < options_.cluster_size; ++p) {
+    if (p != options_.id) {
+      MaybeSendAppend(p, /*heartbeat=*/false);
+    }
+  }
+  MaybeSendAggAppend(/*heartbeat=*/false);
+}
+
+void RaftNode::MaybeSendAppend(NodeId peer, bool heartbeat) {
+  if (role_ != RaftRole::kLeader) {
+    return;
+  }
+  PeerState& st = peers_[static_cast<size_t>(peer)];
+  if (options_.use_aggregator && agg_active_ && !st.direct_mode) {
+    return;  // this follower is served by the aggregator's multicast
+  }
+  if (heartbeat && st.inflight > 0) {
+    // Retransmission: a reply was lost; rewind to the last acknowledged
+    // position and resend.
+    st.next_idx = st.match_idx + 1;
+    st.inflight = 0;
+  }
+  if (st.next_idx < log_.first_index()) {
+    // The entries this follower needs are compacted away: repair it with a
+    // state transfer instead (InstallSnapshot).
+    if (heartbeat) {
+      st.snapshot_inflight = false;  // retransmit a possibly-lost snapshot
+    }
+    if (!st.snapshot_inflight) {
+      SendSnapshot(peer);
+    }
+    return;
+  }
+  if (!heartbeat) {
+    if (st.inflight >= options_.max_outstanding_ae || st.paused_recovery) {
+      return;
+    }
+  }
+  const LogIndex limit =
+      options_.assign_repliers ? announced_idx_ : log_.last_index();
+  LogIndex end = 0;
+  if (limit >= st.next_idx) {
+    end = std::min(limit, st.next_idx + options_.max_entries_per_ae - 1);
+  }
+  const bool has_entries = end >= st.next_idx;
+  const bool commit_news = st.commit_sent < commit_idx_;
+  if (!heartbeat && !has_entries && !commit_news) {
+    return;
+  }
+  const LogIndex prev = st.next_idx - 1;
+  auto msg = std::make_shared<AppendEntriesReq>(
+      current_term_, options_.id, prev, log_.TermAt(prev), commit_idx_,
+      has_entries ? CollectEntries(st.next_idx, end) : std::vector<WireEntry>{});
+  ++st.inflight;
+  st.commit_sent = commit_idx_;
+  st.last_send = sim_->Now();
+  if (has_entries) {
+    st.next_idx = end + 1;
+  }
+  ++stats_.ae_sent;
+  env_->SendToPeer(peer, std::move(msg));
+}
+
+void RaftNode::MaybeSendAggAppend(bool heartbeat) {
+  if (role_ != RaftRole::kLeader || !options_.use_aggregator || !agg_active_) {
+    return;
+  }
+  // Compaction can overtake the aggregator stream when followers progressed
+  // through the direct path: anything below the compaction point has been
+  // applied cluster-wide, so the stream can skip ahead safely.
+  agg_next_idx_ = std::max(agg_next_idx_, log_.first_index());
+  if (heartbeat && agg_inflight_ > 0) {
+    // Possible loss in the aggregation path; rewind to the last index the
+    // aggregator confirmed (the commit index it announced).
+    agg_next_idx_ = std::max(commit_idx_ + 1, log_.first_index());
+    agg_inflight_ = 0;
+  }
+  if (!heartbeat && agg_inflight_ >= options_.max_outstanding_ae) {
+    return;
+  }
+  const LogIndex limit =
+      options_.assign_repliers ? announced_idx_ : log_.last_index();
+  LogIndex end = 0;
+  if (limit >= agg_next_idx_) {
+    end = std::min(limit, agg_next_idx_ + options_.max_entries_per_ae - 1);
+  }
+  const bool has_entries = end >= agg_next_idx_;
+  // Unlike the direct streams, the aggregator path never sends commit-only
+  // append_entries: AGG_COMMIT already tells every node the commit index,
+  // and echoing it back would create an AE <-> AGG_COMMIT ping-pong that
+  // floods the followers (and defeats the pipelining cap, since every
+  // AGG_COMMIT frees the in-flight slots).
+  if (!heartbeat && !has_entries) {
+    return;
+  }
+  const LogIndex prev = agg_next_idx_ - 1;
+  auto msg = std::make_shared<AppendEntriesReq>(
+      current_term_, options_.id, prev, log_.TermAt(prev), commit_idx_,
+      has_entries ? CollectEntries(agg_next_idx_, end) : std::vector<WireEntry>{});
+  ++agg_inflight_;
+  agg_commit_sent_ = commit_idx_;
+  agg_last_send_ = sim_->Now();
+  if (has_entries) {
+    agg_next_idx_ = end + 1;
+  }
+  ++stats_.ae_sent;
+  env_->SendToAggregator(std::move(msg));
+}
+
+void RaftNode::SendSnapshot(NodeId peer) {
+  PeerState& st = peers_[static_cast<size_t>(peer)];
+  Env::SnapshotCapture capture = env_->CaptureSnapshot();
+  if (capture.last_included == kNoLogIndex ||
+      capture.last_included < log_.first_index() - 1) {
+    return;  // nothing coherent to ship yet
+  }
+  st.snapshot_inflight = true;
+  st.last_send = sim_->Now();
+  ++stats_.snapshots_sent;
+  env_->SendToPeer(peer, std::make_shared<InstallSnapshotReq>(
+                             current_term_, options_.id, capture.last_included,
+                             log_.TermAt(capture.last_included), std::move(capture.state)));
+}
+
+void RaftNode::OnInstallSnapshot(const InstallSnapshotReq& req) {
+  if (req.term() < current_term_) {
+    env_->SendToPeer(req.leader(), std::make_shared<InstallSnapshotRep>(
+                                       options_.id, current_term_, LogIndex{0}));
+    return;
+  }
+  if (req.term() > current_term_ || role_ != RaftRole::kFollower) {
+    BecomeFollower(req.term(), req.term() > current_term_);
+  }
+  leader_hint_ = req.leader();
+  ArmElectionTimer();
+
+  if (req.last_included() > commit_idx_) {
+    ++stats_.snapshots_installed;
+    if (log_.Contains(req.last_included()) &&
+        log_.TermAt(req.last_included()) == req.included_term()) {
+      // Our log already matches through the snapshot point; keep the suffix.
+      log_.CompactPrefix(req.last_included());
+    } else {
+      log_.ResetTo(req.last_included(), req.included_term());
+    }
+    env_->RestoreSnapshot(req.state(), req.last_included());
+    commit_idx_ = req.last_included();
+    applied_idx_ = std::max(applied_idx_, req.last_included());
+    pending_ae_.reset();
+  }
+  env_->SendToPeer(req.leader(), std::make_shared<InstallSnapshotRep>(
+                                     options_.id, current_term_, req.last_included()));
+}
+
+void RaftNode::OnInstallSnapshotRep(const InstallSnapshotRep& rep) {
+  if (rep.term() > current_term_) {
+    BecomeFollower(rep.term(), true);
+    return;
+  }
+  if (role_ != RaftRole::kLeader || rep.term() < current_term_) {
+    return;
+  }
+  PeerState& st = peers_[static_cast<size_t>(rep.from())];
+  st.snapshot_inflight = false;
+  if (rep.last_included() > 0) {
+    st.match_idx = std::max(st.match_idx, rep.last_included());
+    st.next_idx = std::max(st.next_idx, rep.last_included() + 1);
+    if (rep.last_included() > st.applied_idx) {
+      st.applied_idx = rep.last_included();
+      scheduler_.UpdateApplied(rep.from(), st.applied_idx);
+    }
+    AdvanceCommitFromMatches();
+    TryAnnounce();
+    MaybeSendAppend(rep.from(), false);
+  }
+}
+
+void RaftNode::AdvanceCommitFromMatches() {
+  if (role_ != RaftRole::kLeader) {
+    return;
+  }
+  // k-th largest match (self counts with its full log) where k = majority.
+  std::vector<LogIndex> matches;
+  matches.reserve(static_cast<size_t>(options_.cluster_size));
+  for (NodeId p = 0; p < options_.cluster_size; ++p) {
+    matches.push_back(p == options_.id ? log_.last_index()
+                                       : peers_[static_cast<size_t>(p)].match_idx);
+  }
+  std::nth_element(matches.begin(), matches.begin() + (options_.majority() - 1), matches.end(),
+                   std::greater<LogIndex>());
+  const LogIndex candidate = matches[static_cast<size_t>(options_.majority() - 1)];
+  // candidate > commit implies candidate is above the compaction point
+  // (base <= applied <= commit), so TermAt is safe to consult.
+  if (candidate > commit_idx_ && log_.TermAt(candidate) == current_term_) {
+    SetCommit(candidate);
+  }
+}
+
+void RaftNode::SetCommit(LogIndex commit) {
+  HC_CHECK_GE(commit, commit_idx_);
+  HC_CHECK_LE(commit, log_.last_index());
+  if (commit == commit_idx_) {
+    return;
+  }
+  commit_idx_ = commit;
+  env_->OnCommitAdvanced(commit_idx_);
+  if (role_ == RaftRole::kLeader) {
+    // Followers learn the new commit index with the next append_entries.
+    TrySendAll();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Follower append path
+// ---------------------------------------------------------------------------
+
+void RaftNode::OnAppendEntries(const AppendEntriesReq& req, bool via_aggregator) {
+  ++stats_.ae_received;
+  if (req.term() < current_term_) {
+    env_->SendToPeer(req.leader(),
+                     std::make_shared<AppendEntriesRep>(options_.id, current_term_, false,
+                                                        LogIndex{0}, applied_idx_,
+                                                        log_.last_index(), false));
+    return;
+  }
+  if (req.term() > current_term_ || role_ != RaftRole::kFollower) {
+    BecomeFollower(req.term(), /*reset_vote=*/req.term() > current_term_);
+  }
+  leader_hint_ = req.leader();
+  ArmElectionTimer();
+
+  // Consistency check at prev. Anything at or below our compaction point is
+  // committed and therefore matches by construction.
+  LogIndex prev = req.prev_idx();
+  Term prev_term = req.prev_term();
+  const LogIndex base = log_.first_index() - 1;
+  if (prev > log_.last_index()) {
+    env_->SendToPeer(req.leader(),
+                     std::make_shared<AppendEntriesRep>(options_.id, current_term_, false,
+                                                        LogIndex{0}, applied_idx_,
+                                                        log_.last_index(), false));
+    return;
+  }
+  if (prev >= base && log_.TermAt(prev) != prev_term) {
+    const LogIndex hint = std::min(log_.last_index(), prev - 1);
+    env_->SendToPeer(req.leader(),
+                     std::make_shared<AppendEntriesRep>(options_.id, current_term_, false,
+                                                        LogIndex{0}, applied_idx_, hint, false));
+    return;
+  }
+
+  const AppendOutcome outcome = AppendResolvedEntries(req);
+  if (outcome.waiting_recovery) {
+    pending_ae_ = std::make_unique<AppendEntriesReq>(req);
+    pending_ae_via_agg_ = via_aggregator;
+  } else {
+    pending_ae_.reset();
+  }
+
+  const LogIndex new_commit = std::min(req.leader_commit(), outcome.match);
+  if (new_commit > commit_idx_) {
+    SetCommit(new_commit);
+  }
+
+  auto rep = std::make_shared<AppendEntriesRep>(options_.id, current_term_, true, outcome.match,
+                                                applied_idx_, log_.last_index(),
+                                                outcome.waiting_recovery);
+  // Durability: the acknowledged entries must hit the local WAL first.
+  // Persist writes are issued in arrival order, so deferred replies stay
+  // FIFO and the leader's match index remains monotone.
+  const NodeId reply_leader = req.leader();
+  if (options_.persist_latency > 0 && !req.entries().empty()) {
+    sim_->After(options_.persist_latency,
+                [this, rep = std::move(rep), via_aggregator, reply_leader]() {
+                  if (via_aggregator) {
+                    env_->SendToAggregator(rep);
+                  } else {
+                    env_->SendToPeer(reply_leader, rep);
+                  }
+                });
+    return;
+  }
+  if (via_aggregator) {
+    env_->SendToAggregator(std::move(rep));
+  } else {
+    env_->SendToPeer(reply_leader, std::move(rep));
+  }
+}
+
+RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& req) {
+  AppendOutcome outcome;
+  LogIndex idx = req.prev_idx();
+  outcome.match = std::max(idx, log_.first_index() - 1);
+  for (const WireEntry& w : req.entries()) {
+    ++idx;
+    if (idx < log_.first_index()) {
+      outcome.match = std::max(outcome.match, idx);
+      continue;  // compacted, therefore committed and identical
+    }
+    if (log_.Contains(idx)) {
+      if (log_.TermAt(idx) == w.term) {
+        outcome.match = idx;
+        continue;  // already have it
+      }
+      // Conflict: a stale extension from a deposed leader. Committed entries
+      // can never conflict, so truncation is safe.
+      HC_CHECK_GT(idx, commit_idx_);
+      log_.TruncateFrom(idx);
+    }
+    HC_CHECK_EQ(idx, log_.last_index() + 1);
+
+    LogEntry entry;
+    entry.term = w.term;
+    entry.noop = w.noop;
+    entry.read_only = w.read_only;
+    entry.replier = w.replier;
+    entry.rid = w.rid;
+    entry.body_hash = w.body_hash;
+    if (!w.noop) {
+      if (w.carries_payload) {
+        HC_CHECK(w.request != nullptr);
+        entry.request = w.request;
+      } else {
+        // HovercRaft: resolve the payload from the unordered set and verify
+        // the body hash the leader shipped with the metadata (section 5) —
+        // a mismatched hit is discarded and recovered point-to-point.
+        entry.request = env_->LookupUnordered(w.rid);
+        if (entry.request != nullptr && HashRequestBody(*entry.request) != w.body_hash) {
+          env_->ConsumeUnordered(w.rid);
+          entry.request = nullptr;
+        }
+        if (entry.request == nullptr) {
+          // Missed the client multicast; fetch it point-to-point and stop
+          // appending here — we must not acknowledge entries whose payload
+          // we cannot produce.
+          RequestRecovery(w.rid);
+          outcome.waiting_recovery = true;
+          break;
+        }
+        env_->ConsumeUnordered(w.rid);
+      }
+    }
+    log_.Append(std::move(entry));
+    ++stats_.entries_appended;
+    outcome.match = idx;
+  }
+  return outcome;
+}
+
+void RaftNode::RequestRecovery(const RequestId& rid) {
+  const TimeNs now = sim_->Now();
+  auto it = recovery_inflight_.find(rid);
+  if (it != recovery_inflight_.end() && now - it->second < options_.heartbeat_interval) {
+    return;  // a request is already in flight
+  }
+  recovery_inflight_[rid] = now;
+  if (leader_hint_ == kInvalidNode || leader_hint_ == options_.id) {
+    return;
+  }
+  ++stats_.recoveries_requested;
+  env_->SendToPeer(leader_hint_, std::make_shared<RecoveryReq>(options_.id, rid));
+}
+
+void RaftNode::OnRecoveryReq(const RecoveryReq& req) {
+  std::shared_ptr<const RpcRequest> payload;
+  const LogIndex idx = log_.FindRequest(req.rid());
+  if (idx != kNoLogIndex) {
+    payload = log_.At(idx).request;
+  } else {
+    payload = env_->LookupUnordered(req.rid());
+  }
+  if (payload != nullptr) {
+    ++stats_.recoveries_served;
+  }
+  env_->SendToPeer(req.from(), std::make_shared<RecoveryRep>(req.rid(), std::move(payload)));
+}
+
+void RaftNode::OnRecoveryRep(const RecoveryRep& rep) {
+  recovery_inflight_.erase(rep.rid());
+  if (!rep.found()) {
+    return;  // the leader no longer has it; the next heartbeat retries
+  }
+  env_->StoreRecovered(rep.rid(), rep.request());
+  if (pending_ae_ != nullptr) {
+    const std::unique_ptr<AppendEntriesReq> ae = std::move(pending_ae_);
+    const bool via_agg = pending_ae_via_agg_;
+    OnAppendEntries(*ae, via_agg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Leader reply handling
+// ---------------------------------------------------------------------------
+
+void RaftNode::OnAppendEntriesRep(const AppendEntriesRep& rep) {
+  if (rep.term() > current_term_) {
+    BecomeFollower(rep.term(), true);
+    return;
+  }
+  if (role_ != RaftRole::kLeader || rep.term() < current_term_) {
+    return;
+  }
+  PeerState& st = peers_[static_cast<size_t>(rep.from())];
+  if (st.inflight > 0) {
+    --st.inflight;
+  }
+  if (rep.applied() > st.applied_idx) {
+    st.applied_idx = rep.applied();
+    scheduler_.UpdateApplied(rep.from(), rep.applied());
+  }
+  if (rep.success()) {
+    st.match_idx = std::max(st.match_idx, rep.match());
+    st.next_idx = std::max(st.next_idx, st.match_idx + 1);
+    st.paused_recovery = rep.waiting_recovery();
+    if (options_.use_aggregator && st.direct_mode && agg_active_ &&
+        st.match_idx + 1 >= agg_next_idx_) {
+      st.direct_mode = false;  // caught up; the aggregator stream covers it
+    }
+    AdvanceCommitFromMatches();
+    TryAnnounce();
+    if (!st.paused_recovery) {
+      MaybeSendAppend(rep.from(), false);
+    }
+  } else {
+    // Do not clamp to the compaction point here: a follower whose hint lies
+    // below first_index needs a state transfer, which MaybeSendAppend
+    // triggers when it sees next_idx below the log's first index.
+    const LogIndex backoff = std::min(st.next_idx - 1, rep.last_hint() + 1);
+    st.next_idx = std::max(backoff, st.match_idx + 1);
+    st.inflight = 0;
+    if (options_.use_aggregator) {
+      st.direct_mode = true;
+    }
+    MaybeSendAppend(rep.from(), false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elections
+// ---------------------------------------------------------------------------
+
+void RaftNode::OnRequestVote(const RequestVoteReq& req) {
+  if (req.term() > current_term_) {
+    BecomeFollower(req.term(), true);
+  }
+  bool granted = false;
+  if (req.term() == current_term_ &&
+      (voted_for_ == kInvalidNode || voted_for_ == req.candidate())) {
+    const bool up_to_date =
+        req.last_term() > log_.last_term() ||
+        (req.last_term() == log_.last_term() && req.last_idx() >= log_.last_index());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = req.candidate();
+      ArmElectionTimer();
+    }
+  }
+  env_->SendToPeer(req.candidate(),
+                   std::make_shared<RequestVoteRep>(options_.id, current_term_, granted));
+}
+
+void RaftNode::OnRequestVoteRep(const RequestVoteRep& rep) {
+  if (rep.term() > current_term_) {
+    BecomeFollower(rep.term(), true);
+    return;
+  }
+  if (role_ != RaftRole::kCandidate || rep.term() < current_term_ || !rep.granted()) {
+    return;
+  }
+  ++votes_;
+  if (votes_ >= options_.majority()) {
+    BecomeLeader();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator interaction (HovercRaft++)
+// ---------------------------------------------------------------------------
+
+void RaftNode::OnAggCommit(const AggCommitMsg& msg) {
+  if (msg.term() < current_term_) {
+    return;
+  }
+  if (msg.term() > current_term_) {
+    BecomeFollower(msg.term(), true);
+  }
+  if (role_ == RaftRole::kFollower) {
+    // AGG_COMMIT is leader liveness: the aggregator only emits it while a
+    // current-term leader feeds it.
+    ArmElectionTimer();
+  }
+  if (role_ == RaftRole::kLeader) {
+    agg_inflight_ = 0;
+    const auto& applied = msg.applied();
+    for (NodeId p = 0; p < options_.cluster_size && static_cast<size_t>(p) < applied.size();
+         ++p) {
+      if (p == options_.id) {
+        continue;
+      }
+      PeerState& st = peers_[static_cast<size_t>(p)];
+      if (applied[static_cast<size_t>(p)] > st.applied_idx) {
+        st.applied_idx = applied[static_cast<size_t>(p)];
+        scheduler_.UpdateApplied(p, st.applied_idx);
+      }
+    }
+  }
+  const LogIndex new_commit = std::min(msg.commit(), log_.last_index());
+  if (new_commit > commit_idx_ && log_.TermAt(new_commit) == current_term_) {
+    SetCommit(new_commit);
+  }
+  if (role_ == RaftRole::kLeader) {
+    TryAnnounce();
+    MaybeSendAggAppend(false);
+  }
+}
+
+void RaftNode::OnAggVoteRep(const AggVoteRep& rep) {
+  if (role_ != RaftRole::kLeader || rep.term() != current_term_ || !options_.use_aggregator) {
+    return;
+  }
+  if (agg_active_) {
+    return;
+  }
+  agg_active_ = true;
+  // Stream from the last quorum-confirmed point; overlapping entries are
+  // deduplicated by the followers' consistency check.
+  agg_next_idx_ = std::max(commit_idx_ + 1, log_.first_index());
+  for (PeerState& st : peers_) {
+    st.direct_mode = false;
+  }
+  MaybeSendAggAppend(false);
+}
+
+// ---------------------------------------------------------------------------
+// Application feedback and compaction
+// ---------------------------------------------------------------------------
+
+void RaftNode::OnApplied(LogIndex idx) {
+  if (idx > applied_idx_) {
+    applied_idx_ = idx;
+  }
+  if (role_ == RaftRole::kLeader) {
+    scheduler_.UpdateApplied(options_.id, applied_idx_);
+    TryAnnounce();
+  }
+}
+
+LogIndex RaftNode::MinAppliedKnown() const {
+  LogIndex min_applied = applied_idx_;
+  if (role_ == RaftRole::kLeader) {
+    for (NodeId p = 0; p < options_.cluster_size; ++p) {
+      if (p != options_.id) {
+        min_applied = std::min(min_applied, peers_[static_cast<size_t>(p)].applied_idx);
+      }
+    }
+  }
+  return min_applied;
+}
+
+void RaftNode::CompactLog(LogIndex idx) {
+  LogIndex safe = std::min(idx, applied_idx_);
+  // Keep a tail window beyond the strictly-safe point: if this node is later
+  // elected, it can still repair moderately lagging followers point-to-point
+  // instead of needing a full state transfer.
+  if (log_.last_index() <= options_.log_retention_entries) {
+    return;
+  }
+  safe = std::min(safe, log_.last_index() - options_.log_retention_entries);
+  if (safe >= log_.first_index()) {
+    log_.CompactPrefix(safe);
+  }
+}
+
+}  // namespace hovercraft

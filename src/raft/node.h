@@ -1,0 +1,224 @@
+// The Raft protocol engine with HovercRaft extensions.
+//
+// One class implements all three replicated configurations of the paper;
+// RaftOptions selects the behaviour:
+//   - VanillaRaft: full request payloads travel in append_entries; the
+//     leader executes everything and replies to every client.
+//   - HovercRaft: clients multicast payloads to every node; append_entries
+//     carries ordering metadata only; the leader assigns repliers under
+//     bounded queues; missing payloads are recovered point-to-point.
+//   - HovercRaft++: the append_entries fan-out/fan-in is delegated to the
+//     in-network aggregator; commit is learned from AGG_COMMIT.
+//
+// The core algorithm (election, log matching, commit rule) is identical in
+// all modes — the extensions only change who transports what, which is the
+// paper's central claim (section 5).
+#ifndef SRC_RAFT_NODE_H_
+#define SRC_RAFT_NODE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/raft/log.h"
+#include "src/raft/messages.h"
+#include "src/raft/options.h"
+#include "src/raft/replier_scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace hovercraft {
+
+enum class RaftRole { kFollower, kCandidate, kLeader };
+
+const char* RaftRoleName(RaftRole role);
+
+struct RaftStats {
+  uint64_t elections_started = 0;
+  uint64_t times_leader = 0;
+  uint64_t ae_sent = 0;
+  uint64_t ae_received = 0;
+  uint64_t entries_appended = 0;
+  uint64_t recoveries_requested = 0;
+  uint64_t recoveries_served = 0;
+  uint64_t submits_rejected = 0;
+  uint64_t snapshots_sent = 0;
+  uint64_t snapshots_installed = 0;
+};
+
+class RaftNode {
+ public:
+  // Environment provided by the hosting server: message transport, the
+  // unordered request store, and application callbacks.
+  class Env {
+   public:
+    virtual ~Env() = default;
+    virtual void SendToPeer(NodeId peer, MessagePtr msg) = 0;
+    virtual void SendToAggregator(MessagePtr msg) = 0;
+    // Unordered request set (paper section 3.2). Lookup does not remove;
+    // Consume removes once the request enters the log.
+    virtual std::shared_ptr<const RpcRequest> LookupUnordered(const RequestId& rid) = 0;
+    virtual void ConsumeUnordered(const RequestId& rid) = 0;
+    virtual void StoreRecovered(const RequestId& rid,
+                                std::shared_ptr<const RpcRequest> request) = 0;
+    // Snapshot transfer (straggler repair). Capture serializes the current
+    // application state together with the log index it reflects; Restore
+    // replaces the application state with a received snapshot.
+    struct SnapshotCapture {
+      Body state;
+      LogIndex last_included = 0;
+    };
+    virtual SnapshotCapture CaptureSnapshot() = 0;
+    virtual void RestoreSnapshot(const Body& state, LogIndex last_included) = 0;
+    // Commit index advanced; the server applies log entries in order and
+    // reports completion through OnApplied.
+    virtual void OnCommitAdvanced(LogIndex commit) = 0;
+    virtual void OnLeadershipChanged(bool is_leader) = 0;
+    // A fresh leader re-orders client requests orphaned by its predecessor
+    // (paper section 5, bounded queues discussion).
+    virtual void DrainUnorderedIntoLog() = 0;
+  };
+
+  RaftNode(Simulator* sim, uint64_t seed, const RaftOptions& options, Env* env);
+
+  // Arms the election timer. Call once after construction.
+  void Start();
+
+  // Fail-stop crash injection: a halted node's timers stop firing (its host
+  // already drops all traffic). Resume models a process restart with the
+  // persistent state (term, vote, log) intact: it rejoins as a follower.
+  void Halt();
+  void Resume();
+  bool halted() const { return halted_; }
+
+  // --- client-request path (leader only) ---
+  // Returns false when this node is not the leader or the request is already
+  // in the log (duplicate from the unordered drain).
+  bool SubmitRequest(std::shared_ptr<const RpcRequest> request);
+
+  // --- message handlers, invoked by the hosting server ---
+  void OnAppendEntries(const AppendEntriesReq& req, bool via_aggregator);
+  void OnAppendEntriesRep(const AppendEntriesRep& rep);
+  void OnRequestVote(const RequestVoteReq& req);
+  void OnRequestVoteRep(const RequestVoteRep& rep);
+  void OnAggCommit(const AggCommitMsg& msg);
+  void OnAggVoteRep(const AggVoteRep& rep);
+  void OnRecoveryReq(const RecoveryReq& req);
+  void OnRecoveryRep(const RecoveryRep& rep);
+  void OnInstallSnapshot(const InstallSnapshotReq& req);
+  void OnInstallSnapshotRep(const InstallSnapshotRep& rep);
+
+  // --- application feedback ---
+  // The server applied the entry at `idx` on its app thread.
+  void OnApplied(LogIndex idx);
+
+  // Drops log entries at or below `idx` once every live node has applied
+  // them. Callers (the server's periodic GC) enforce the safety bound.
+  void CompactLog(LogIndex idx);
+
+  // --- queries ---
+  RaftRole role() const { return role_; }
+  bool IsLeader() const { return role_ == RaftRole::kLeader; }
+  Term term() const { return current_term_; }
+  NodeId id() const { return options_.id; }
+  NodeId leader_hint() const { return leader_hint_; }
+  LogIndex commit_index() const { return commit_idx_; }
+  LogIndex applied_index() const { return applied_idx_; }
+  LogIndex announced_index() const { return announced_idx_; }
+  const RaftLog& log() const { return log_; }
+  const RaftOptions& options() const { return options_; }
+  const RaftStats& stats() const { return stats_; }
+  const ReplierScheduler& scheduler() const { return scheduler_; }
+  // Smallest applied index across the cluster as known to this leader;
+  // safe upper bound for compaction.
+  LogIndex MinAppliedKnown() const;
+
+ private:
+  struct PeerState {
+    LogIndex next_idx = 1;
+    LogIndex match_idx = 0;
+    LogIndex applied_idx = 0;
+    uint32_t inflight = 0;
+    LogIndex commit_sent = 0;
+    bool paused_recovery = false;  // follower told us it awaits a payload
+    bool direct_mode = false;      // ++: fell back to point-to-point
+    bool snapshot_inflight = false;
+    TimeNs last_send = 0;  // last AE/snapshot handed to this peer
+  };
+
+  // -- role transitions --
+  void BecomeFollower(Term term, bool reset_vote);
+  void StartElection();
+  void BecomeLeader();
+
+  // -- timers (epoch-checked, so re-arming invalidates older ones) --
+  void ArmElectionTimer();
+  void ArmHeartbeatTimer();
+  void OnHeartbeat();
+
+  // -- leader replication --
+  void TryAnnounce();
+  void TrySendAll();
+  void MaybeSendAppend(NodeId peer, bool heartbeat);
+  void SendSnapshot(NodeId peer);
+  void MaybeSendAggAppend(bool heartbeat);
+  std::vector<WireEntry> CollectEntries(LogIndex from, LogIndex to) const;
+  void AdvanceCommitFromMatches();
+  void SetCommit(LogIndex commit);
+
+  // -- follower append path --
+  // Appends as many entries as have resolvable payloads; returns the new
+  // match index and whether a payload is missing.
+  struct AppendOutcome {
+    LogIndex match = 0;
+    bool waiting_recovery = false;
+  };
+  AppendOutcome AppendResolvedEntries(const AppendEntriesReq& req);
+  void RequestRecovery(const RequestId& rid);
+
+  bool IsReplicationTarget(LogIndex idx) const;
+
+  Simulator* sim_;
+  RaftOptions options_;
+  Env* env_;
+  Rng rng_;
+
+  // Persistent state (kept in memory; the simulated machines lose it only on
+  // permanent crash, which matches the paper's fail-stop model).
+  Term current_term_ = 0;
+  NodeId voted_for_ = kInvalidNode;
+  RaftLog log_;
+
+  // Volatile state.
+  RaftRole role_ = RaftRole::kFollower;
+  NodeId leader_hint_ = kInvalidNode;
+  LogIndex commit_idx_ = 0;
+  LogIndex applied_idx_ = 0;
+  LogIndex announced_idx_ = 0;
+  int32_t votes_ = 0;
+  std::vector<PeerState> peers_;
+
+  // Aggregator stream state (HovercRaft++, leader side).
+  bool agg_active_ = false;
+  LogIndex agg_next_idx_ = 1;
+  uint32_t agg_inflight_ = 0;
+  LogIndex agg_commit_sent_ = 0;
+  TimeNs agg_last_send_ = 0;
+
+  // Follower-side recovery state.
+  std::unique_ptr<AppendEntriesReq> pending_ae_;
+  bool pending_ae_via_agg_ = false;
+  std::unordered_map<RequestId, TimeNs, RequestIdHash> recovery_inflight_;
+
+  uint64_t election_epoch_ = 0;
+  uint64_t heartbeat_epoch_ = 0;
+  bool halted_ = false;
+
+  ReplierScheduler scheduler_;
+  RaftStats stats_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_RAFT_NODE_H_

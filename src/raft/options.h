@@ -1,0 +1,65 @@
+// Configuration of a Raft node, including the HovercRaft extension switches.
+// The extension flags compose: VanillaRaft sets none of them; HovercRaft sets
+// metadata_only + assign_repliers; HovercRaft++ additionally use_aggregator.
+#ifndef SRC_RAFT_OPTIONS_H_
+#define SRC_RAFT_OPTIONS_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace hovercraft {
+
+struct RaftOptions {
+  NodeId id = kInvalidNode;
+  int32_t cluster_size = 3;
+
+  // Election timeout is drawn uniformly from [min, max] and re-armed on any
+  // valid leader contact. The heartbeat doubles as the retransmission timer.
+  TimeNs election_timeout_min = Millis(5);
+  TimeNs election_timeout_max = Millis(10);
+  TimeNs heartbeat_interval = Millis(1);
+
+  // Replication pipelining: entries per append_entries and outstanding
+  // append_entries per peer (per-stream for the aggregator path). The
+  // product bounds entries in flight per round-trip; production Rafts
+  // pipeline so queueing delay at a follower does not cap throughput.
+  uint32_t max_entries_per_ae = 64;
+  uint32_t max_outstanding_ae = 2;
+
+  // HovercRaft: separate request replication (client multicast) from
+  // ordering; append_entries carries request metadata only (section 3.2).
+  bool metadata_only = false;
+
+  // HovercRaft: delegate client replies / read-only execution (section 3.3,
+  // 3.5) with bounded queues (section 3.4).
+  bool assign_repliers = false;
+  ReplierPolicy replier_policy = ReplierPolicy::kLeaderOnly;
+  int64_t bounded_queue_depth = 128;
+
+  // HovercRaft++: route the append_entries fan-out/fan-in through the
+  // in-network aggregator (section 4).
+  bool use_aggregator = false;
+
+  // Append a no-op entry on winning an election, so entries from previous
+  // terms commit promptly (Raft section 8 requirement).
+  bool leader_noop = true;
+
+  // Compaction retention: CompactLog always keeps at least this many of the
+  // newest entries so a fresh leader can repair lagging followers.
+  LogIndex log_retention_entries = 4096;
+
+  // Durability model: time to persist appended entries to the local write-
+  // ahead log before acknowledging them (paper section 2.3). 0 models NVM /
+  // battery-backed memory (the paper's assumption); ~10us models an NVMe
+  // SSD; ~100us a SATA-era device. The leader's own write overlaps the
+  // replication round-trip; a follower's write delays its append_entries
+  // reply. See bench/ablation_persistence.
+  TimeNs persist_latency = 0;
+
+  int32_t majority() const { return cluster_size / 2 + 1; }
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_RAFT_OPTIONS_H_

@@ -1,0 +1,100 @@
+#include "src/raft/replier_scheduler.h"
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+
+ReplierScheduler::ReplierScheduler(int32_t cluster_size, NodeId self, ReplierPolicy policy,
+                                   int64_t bound, uint64_t seed)
+    : cluster_size_(cluster_size),
+      self_(self),
+      policy_(policy),
+      bound_(bound),
+      rng_(seed),
+      assigned_(static_cast<size_t>(cluster_size)),
+      applied_(static_cast<size_t>(cluster_size), 0) {
+  HC_CHECK_GT(cluster_size, 0);
+  HC_CHECK_GT(bound, 0);
+}
+
+void ReplierScheduler::UpdateApplied(NodeId node, LogIndex applied) {
+  HC_CHECK_GE(node, 0);
+  HC_CHECK_LT(node, cluster_size_);
+  auto& a = applied_[static_cast<size_t>(node)];
+  if (applied > a) {
+    a = applied;
+  }
+  auto& queue = assigned_[static_cast<size_t>(node)];
+  while (!queue.empty() && queue.front() <= a) {
+    queue.pop_front();
+  }
+}
+
+bool ReplierScheduler::Eligible(NodeId node) const {
+  return PendingOf(node) < bound_;
+}
+
+int64_t ReplierScheduler::PendingOf(NodeId node) const {
+  HC_CHECK_GE(node, 0);
+  HC_CHECK_LT(node, cluster_size_);
+  return static_cast<int64_t>(assigned_[static_cast<size_t>(node)].size());
+}
+
+NodeId ReplierScheduler::Assign(LogIndex idx) {
+  if (policy_ == ReplierPolicy::kLeaderOnly) {
+    // The bound still applies to the leader itself: an overwhelmed leader
+    // stops announcing rather than growing an unbounded apply backlog.
+    if (!Eligible(self_)) {
+      return kInvalidNode;
+    }
+    assigned_[static_cast<size_t>(self_)].push_back(idx);
+    return self_;
+  }
+
+  NodeId chosen = kInvalidNode;
+  if (policy_ == ReplierPolicy::kRandom) {
+    // Reservoir-sample uniformly among eligible nodes.
+    int32_t seen = 0;
+    for (NodeId n = 0; n < cluster_size_; ++n) {
+      if (!Eligible(n)) {
+        continue;
+      }
+      ++seen;
+      if (rng_.NextBelow(static_cast<uint64_t>(seen)) == 0) {
+        chosen = n;
+      }
+    }
+  } else {  // kJbsq
+    int64_t best = bound_;
+    int32_t ties = 0;
+    for (NodeId n = 0; n < cluster_size_; ++n) {
+      const int64_t pending = PendingOf(n);
+      if (pending >= bound_) {
+        continue;
+      }
+      if (pending < best) {
+        best = pending;
+        chosen = n;
+        ties = 1;
+      } else if (pending == best) {
+        // Break ties randomly so the first node is not systematically favored.
+        ++ties;
+        if (rng_.NextBelow(static_cast<uint64_t>(ties)) == 0) {
+          chosen = n;
+        }
+      }
+    }
+  }
+  if (chosen != kInvalidNode) {
+    assigned_[static_cast<size_t>(chosen)].push_back(idx);
+  }
+  return chosen;
+}
+
+void ReplierScheduler::Reset() {
+  for (auto& q : assigned_) {
+    q.clear();
+  }
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,75 @@
+// Service-time distributions used by the synthetic workloads (paper section 7:
+// fixed S=1us, and a bimodal distribution where 10% of requests are 10x
+// longer than the rest).
+#ifndef SRC_SIM_DISTRIBUTIONS_H_
+#define SRC_SIM_DISTRIBUTIONS_H_
+
+#include <memory>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+#include "src/common/types.h"
+
+namespace hovercraft {
+
+class ServiceTimeDistribution {
+ public:
+  virtual ~ServiceTimeDistribution() = default;
+  virtual TimeNs Sample(Rng& rng) const = 0;
+  virtual TimeNs Mean() const = 0;
+};
+
+class FixedDistribution final : public ServiceTimeDistribution {
+ public:
+  explicit FixedDistribution(TimeNs value) : value_(value) { HC_CHECK_GE(value, 0); }
+  TimeNs Sample(Rng&) const override { return value_; }
+  TimeNs Mean() const override { return value_; }
+
+ private:
+  TimeNs value_;
+};
+
+class ExponentialDistribution final : public ServiceTimeDistribution {
+ public:
+  explicit ExponentialDistribution(TimeNs mean) : mean_(mean) { HC_CHECK_GT(mean, 0); }
+  TimeNs Sample(Rng& rng) const override {
+    return static_cast<TimeNs>(rng.NextExponential(static_cast<double>(mean_)));
+  }
+  TimeNs Mean() const override { return mean_; }
+
+ private:
+  TimeNs mean_;
+};
+
+// Two-point distribution: with probability `long_fraction` the request takes
+// `ratio` times the short service time. Parameterized by the overall mean so
+// configs read like the paper ("bimodal with mean 10us, 10% are 10x longer").
+class BimodalDistribution final : public ServiceTimeDistribution {
+ public:
+  BimodalDistribution(TimeNs mean, double long_fraction, double ratio)
+      : mean_(mean), long_fraction_(long_fraction) {
+    HC_CHECK_GT(mean, 0);
+    HC_CHECK(long_fraction > 0.0 && long_fraction < 1.0);
+    HC_CHECK(ratio > 1.0);
+    // mean = (1-f)*short + f*ratio*short  =>  short = mean / (1 - f + f*ratio)
+    const double denom = 1.0 - long_fraction + long_fraction * ratio;
+    short_ = static_cast<TimeNs>(static_cast<double>(mean) / denom);
+    long_ = static_cast<TimeNs>(static_cast<double>(short_) * ratio);
+  }
+
+  TimeNs Sample(Rng& rng) const override { return rng.NextBool(long_fraction_) ? long_ : short_; }
+  TimeNs Mean() const override { return mean_; }
+
+  TimeNs short_value() const { return short_; }
+  TimeNs long_value() const { return long_; }
+
+ private:
+  TimeNs mean_;
+  double long_fraction_;
+  TimeNs short_;
+  TimeNs long_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_SIM_DISTRIBUTIONS_H_

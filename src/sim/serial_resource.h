@@ -1,0 +1,57 @@
+// SerialResource models a single hardware thread (or a NIC TX engine) in
+// virtual time: submitted work items execute one at a time in FIFO order.
+// Queueing delay emerges naturally when the offered load exceeds capacity.
+#ifndef SRC_SIM_SERIAL_RESOURCE_H_
+#define SRC_SIM_SERIAL_RESOURCE_H_
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace hovercraft {
+
+class SerialResource {
+ public:
+  explicit SerialResource(Simulator* sim) : sim_(sim) { HC_CHECK(sim != nullptr); }
+
+  // Enqueues a work item costing `cost` ns; `on_done` (may be empty) runs at
+  // completion time. Returns the completion time.
+  TimeNs Submit(TimeNs cost, std::function<void()> on_done = nullptr) {
+    HC_CHECK_GE(cost, 0);
+    const TimeNs start = std::max(sim_->Now(), busy_until_);
+    const TimeNs done = start + cost;
+    busy_until_ = done;
+    ++queued_;
+    total_busy_ += cost;
+    sim_->At(done, [this, on_done = std::move(on_done)]() {
+      --queued_;
+      if (on_done) {
+        on_done();
+      }
+    });
+    return done;
+  }
+
+  // Number of submitted-but-not-finished items (includes the one in service).
+  int64_t queue_length() const { return queued_; }
+
+  // Virtual time when the resource drains, given no further submissions.
+  TimeNs busy_until() const { return busy_until_; }
+
+  // Total busy nanoseconds accumulated; used for utilization accounting.
+  TimeNs total_busy() const { return total_busy_; }
+
+ private:
+  Simulator* sim_;
+  TimeNs busy_until_ = 0;
+  int64_t queued_ = 0;
+  TimeNs total_busy_ = 0;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_SIM_SERIAL_RESOURCE_H_

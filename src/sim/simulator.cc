@@ -1,0 +1,67 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace hovercraft {
+
+EventId Simulator::At(TimeNs when, std::function<void()> fn) {
+  HC_CHECK_GE(when, now_);
+  const EventId id = next_id_++;
+  heap_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) {
+    return false;
+  }
+  // We cannot remove from the middle of the heap; mark and skip on pop.
+  auto [it, inserted] = cancelled_.insert(id);
+  (void)it;
+  return inserted;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the function object must be moved out, so
+    // we const_cast here — the element is popped immediately afterwards.
+    Event& top = const_cast<Event&>(heap_.top());
+    const TimeNs when = top.when;
+    const EventId id = top.id;
+    std::function<void()> fn = std::move(top.fn);
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    now_ = when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulator::RunUntil(TimeNs until) {
+  uint64_t ran = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    if (Step()) {
+      ++ran;
+    }
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return ran;
+}
+
+uint64_t Simulator::RunToCompletion() {
+  uint64_t ran = 0;
+  while (Step()) {
+    ++ran;
+  }
+  return ran;
+}
+
+}  // namespace hovercraft

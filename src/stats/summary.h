@@ -1,0 +1,50 @@
+// Small streaming summary (count/mean/variance/min/max) via Welford's method.
+#ifndef SRC_STATS_SUMMARY_H_
+#define SRC_STATS_SUMMARY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace hovercraft {
+
+class Summary {
+ public:
+  void Record(double x) {
+    ++count_;
+    if (count_ == 1) {
+      min_ = x;
+      max_ = x;
+      mean_ = x;
+      m2_ = 0.0;
+      return;
+    }
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double Variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  void Clear() { *this = Summary(); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_STATS_SUMMARY_H_

@@ -1,0 +1,266 @@
+// Failure-injection tests at full-stack level: leader crashes under load,
+// multicast loss and the recovery path, aggregator failure, follower
+// crashes, and the flow-control NACK path (paper sections 5, 6.3, 7.4).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/app/synthetic.h"
+#include "src/core/cluster.h"
+#include "src/loadgen/client.h"
+#include "src/loadgen/workload.h"
+
+namespace hovercraft {
+namespace {
+
+ClusterConfig Config(ClusterMode mode, int32_t nodes, uint64_t seed) {
+  ClusterConfig config;
+  config.mode = mode;
+  config.nodes = nodes;
+  config.seed = seed;
+  config.app_factory = []() { return std::make_unique<SyntheticService>(); };
+  config.replier_policy = ReplierPolicy::kJbsq;
+  config.bounded_queue_depth = 32;
+  return config;
+}
+
+std::unique_ptr<Workload> FastWorkload() {
+  SyntheticWorkloadConfig wc;
+  wc.service_time = std::make_shared<FixedDistribution>(Micros(1));
+  return std::make_unique<SyntheticWorkload>(wc);
+}
+
+std::unique_ptr<ClientHost> AttachClient(Cluster& cluster, double rate, uint64_t seed) {
+  auto client = std::make_unique<ClientHost>(
+      &cluster.sim(), cluster.config().costs, [&cluster]() { return cluster.ClientTarget(); },
+      FastWorkload(), rate, seed);
+  cluster.network().Attach(client.get());
+  return client;
+}
+
+TEST(FailureTest, HovercraftSurvivesLeaderCrashUnderLoad) {
+  Cluster cluster(Config(ClusterMode::kHovercRaft, 3, 61));
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+  auto client = AttachClient(cluster, 50'000, 3);
+
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(200));
+  cluster.sim().RunUntil(t0 + Millis(50));
+  const NodeId first = cluster.LeaderId();
+  const uint64_t before_kill = client->total_completed();
+  EXPECT_GT(before_kill, 1000u);
+
+  cluster.KillLeader();
+  cluster.sim().RunUntil(t0 + Millis(300));
+
+  const NodeId second = cluster.LeaderId();
+  ASSERT_NE(second, kInvalidNode);
+  EXPECT_NE(second, first);
+  // Traffic resumed after failover.
+  EXPECT_GT(client->total_completed(), before_kill + 1000u);
+  // Survivors agree on state.
+  uint64_t digest = 0;
+  bool have_digest = false;
+  for (NodeId n = 0; n < 3; ++n) {
+    if (n == first) {
+      continue;
+    }
+    if (!have_digest) {
+      digest = cluster.server(n).app().Digest();
+      have_digest = true;
+    } else {
+      EXPECT_EQ(cluster.server(n).app().Digest(), digest);
+    }
+  }
+}
+
+TEST(FailureTest, HovercraftPPSurvivesLeaderCrash) {
+  Cluster cluster(Config(ClusterMode::kHovercRaftPP, 3, 67));
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+  auto client = AttachClient(cluster, 50'000, 5);
+
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(300));
+  cluster.sim().RunUntil(t0 + Millis(50));
+  const uint64_t before_kill = client->total_completed();
+  cluster.KillLeader();
+  cluster.sim().RunUntil(t0 + Millis(400));
+  ASSERT_NE(cluster.LeaderId(), kInvalidNode);
+  EXPECT_GT(client->total_completed(), before_kill + 1000u);
+  // The aggregator was flushed by the new term and reused.
+  EXPECT_GE(cluster.aggregator()->agg_stats().flushes, 1u);
+  EXPECT_EQ(cluster.aggregator()->term(),
+            cluster.server(cluster.LeaderId()).raft()->term());
+}
+
+TEST(FailureTest, FollowerCrashDoesNotStopProgress) {
+  Cluster cluster(Config(ClusterMode::kHovercRaft, 3, 71));
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+  auto client = AttachClient(cluster, 50'000, 7);
+
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(200));
+  cluster.sim().RunUntil(t0 + Millis(50));
+  const NodeId leader = cluster.LeaderId();
+  const NodeId follower = (leader + 1) % 3;
+  cluster.KillNode(follower);
+  const uint64_t before = client->total_completed();
+  cluster.sim().RunUntil(t0 + Millis(300));
+  // Majority alive: the system keeps committing. The dead node may cost up
+  // to `bounded_queue_depth` lost replies, no more (paper section 3.4).
+  EXPECT_GT(client->total_completed(), before + 1000u);
+  EXPECT_EQ(cluster.LeaderId(), leader);
+  const uint64_t lost =
+      client->total_sent() - client->total_completed();
+  EXPECT_LE(lost, 32u + 64u);  // bound + in-flight margin
+}
+
+TEST(FailureTest, MulticastLossTriggersRecoveryNotStall) {
+  Cluster cluster(Config(ClusterMode::kHovercRaft, 3, 73));
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+  const NodeId leader = cluster.LeaderId();
+  const NodeId starved = (leader + 1) % 3;
+  // Drop every multicast client request headed to one follower.
+  cluster.network().set_drop_filter([&cluster, starved](const Packet& p, HostId dst) {
+    return dst == cluster.server_host(starved) &&
+           dynamic_cast<const RpcRequest*>(p.msg.get()) != nullptr;
+  });
+
+  auto client = AttachClient(cluster, 20'000, 11);
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(100));
+  cluster.sim().RunUntil(t0 + Millis(250));
+
+  // The starved follower recovered payloads point-to-point and kept up.
+  EXPECT_GT(cluster.server(starved).raft()->stats().recoveries_requested, 100u);
+  EXPECT_EQ(cluster.server(starved).app().Digest(), cluster.server(leader).app().Digest());
+  EXPECT_GT(client->total_completed(), 1000u);
+}
+
+TEST(FailureTest, UniformLossDoesNotBreakSafety) {
+  Cluster cluster(Config(ClusterMode::kHovercRaft, 3, 79));
+  cluster.network().set_loss_probability(0.01);  // 1% of all frames
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+  auto client = AttachClient(cluster, 50'000, 13);
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(200));
+  cluster.sim().RunUntil(t0 + Millis(400));
+
+  EXPECT_GT(client->total_completed(), 5000u);
+  // Convergence despite loss: let retransmissions settle, then compare.
+  const uint64_t count0 = cluster.server(0).app().ApplyCount();
+  EXPECT_GT(count0, 0u);
+  for (NodeId n = 1; n < 3; ++n) {
+    EXPECT_EQ(cluster.server(n).app().ApplyCount(), count0);
+    EXPECT_EQ(cluster.server(n).app().Digest(), cluster.server(0).app().Digest());
+  }
+}
+
+TEST(FailureTest, AggregatorCrashFallsBackAndRecovers) {
+  Cluster cluster(Config(ClusterMode::kHovercRaftPP, 3, 83));
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+  auto client = AttachClient(cluster, 30'000, 17);
+
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(900));
+  cluster.sim().RunUntil(t0 + Millis(50));
+  const uint64_t before = client->total_completed();
+  EXPECT_GT(before, 500u);
+
+  // Kill the aggregator: followers stop hearing append_entries, a new
+  // election follows, and the new leader falls back to direct replication
+  // when its aggregator probe goes unanswered (paper section 5).
+  cluster.aggregator()->set_failed(true);
+  cluster.sim().RunUntil(t0 + Millis(500));
+  ASSERT_NE(cluster.LeaderId(), kInvalidNode);
+  EXPECT_GT(client->total_completed(), before + 1000u);
+
+  // The aggregator comes back; the leader re-probes on heartbeat and
+  // switches the fan-out back to the switch.
+  const auto forwarded_before = cluster.aggregator()->agg_stats().ae_forwarded;
+  cluster.aggregator()->set_failed(false);
+  const uint64_t at_revival = client->total_completed();
+  cluster.sim().RunUntil(t0 + Millis(900));
+  EXPECT_GT(client->total_completed(), at_revival + 1000u);
+  EXPECT_GT(cluster.aggregator()->agg_stats().ae_forwarded, forwarded_before);
+}
+
+TEST(FailureTest, FlowControlNacksWhenSaturated) {
+  ClusterConfig config = Config(ClusterMode::kHovercRaft, 3, 89);
+  config.flow_control_threshold = 100;
+  Cluster cluster(config);
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+
+  // Offer far beyond capacity; the middlebox must shed load instead of
+  // letting queues collapse.
+  SyntheticWorkloadConfig wc;
+  wc.service_time = std::make_shared<FixedDistribution>(Micros(50));
+  auto client = std::make_unique<ClientHost>(
+      &cluster.sim(), config.costs, [&cluster]() { return cluster.ClientTarget(); },
+      std::make_unique<SyntheticWorkload>(wc), 100'000, 19);
+  cluster.network().Attach(client.get());
+  client->SetMeasureWindow(0, Seconds(1));
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(100));
+  cluster.sim().RunUntil(t0 + Millis(300));
+
+  EXPECT_GT(cluster.flow_control()->nacked(), 100u);
+  EXPECT_GT(client->nacked_in_window(), 100u);
+  // In-system requests stayed bounded by the threshold.
+  EXPECT_LE(cluster.flow_control()->outstanding(), 100);
+  // The admitted requests completed.
+  EXPECT_GT(client->total_completed(), 1000u);
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+namespace hovercraft {
+namespace {
+
+TEST(FailureTest, VanillaClientsRetargetAfterLeaderChange) {
+  // VanillaRaft clients address the leader directly; Cluster::ClientTarget
+  // re-resolves it per request, modelling a client-side redirect.
+  Cluster cluster(Config(ClusterMode::kVanillaRaft, 3, 91));
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+  auto client = AttachClient(cluster, 30'000, 23);
+
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(300));
+  cluster.sim().RunUntil(t0 + Millis(50));
+  const NodeId first = cluster.LeaderId();
+  const uint64_t before = client->total_completed();
+  cluster.KillLeader();
+  cluster.sim().RunUntil(t0 + Millis(400));
+
+  const NodeId second = cluster.LeaderId();
+  ASSERT_NE(second, kInvalidNode);
+  ASSERT_NE(second, first);
+  EXPECT_GT(client->total_completed(), before + 1000u);
+  // The new leader, not the dead one, sends the replies now.
+  EXPECT_GT(cluster.server(second).server_stats().replies_sent, 0u);
+}
+
+TEST(FailureTest, PersistenceLatencyDelaysCommitNotSafety) {
+  ClusterConfig slow = Config(ClusterMode::kHovercRaft, 3, 93);
+  slow.raft.persist_latency = Micros(50);
+  Cluster cluster(slow);
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+  auto client = AttachClient(cluster, 20'000, 29);
+  const TimeNs t0 = cluster.sim().Now();
+  client->SetMeasureWindow(t0, t0 + Millis(100));
+  client->StartLoad(t0, t0 + Millis(100));
+  cluster.sim().RunUntil(t0 + Millis(300));
+
+  EXPECT_GT(client->total_completed(), 1000u);
+  // The WAL write shows up in end-to-end latency...
+  EXPECT_GT(client->latencies().Percentile(50), Micros(50));
+  // ...but replicas still converge.
+  const uint64_t digest0 = cluster.server(0).app().Digest();
+  for (NodeId n = 1; n < 3; ++n) {
+    EXPECT_EQ(cluster.server(n).app().Digest(), digest0);
+  }
+}
+
+}  // namespace
+}  // namespace hovercraft

@@ -1,0 +1,438 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/app/kvstore/command.h"
+#include "src/app/kvstore/service.h"
+#include "src/app/kvstore/store.h"
+
+namespace hovercraft {
+namespace {
+
+// ---------------------------------------------------------------------------
+// KvStore data structures
+// ---------------------------------------------------------------------------
+
+TEST(KvStoreTest, StringSetGetDel) {
+  KvStore store;
+  store.Set("k", "v1");
+  ASSERT_TRUE(store.Get("k").ok());
+  EXPECT_EQ(store.Get("k").value(), "v1");
+  store.Set("k", "v2");  // overwrite
+  EXPECT_EQ(store.Get("k").value(), "v2");
+  EXPECT_TRUE(store.Del("k"));
+  EXPECT_FALSE(store.Del("k"));
+  EXPECT_EQ(store.Get("k").status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreTest, HashOperations) {
+  KvStore store;
+  ASSERT_TRUE(store.Hset("h", "f1", "a").ok());
+  ASSERT_TRUE(store.Hset("h", "f2", "b").ok());
+  ASSERT_TRUE(store.Hset("h", "f1", "c").ok());
+  EXPECT_EQ(store.Hget("h", "f1").value(), "c");
+  EXPECT_EQ(store.Hget("h", "f2").value(), "b");
+  EXPECT_EQ(store.Hget("h", "nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Hget("missing", "f").status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreTest, WrongTypeErrors) {
+  KvStore store;
+  store.Set("s", "x");
+  EXPECT_EQ(store.Hset("s", "f", "v").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.Hget("s", "f").status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(store.Rpush("s", "v").ok());
+  EXPECT_FALSE(store.Lrange("s", 0, -1).ok());
+  ASSERT_TRUE(store.Hset("h", "f", "v").ok());
+  EXPECT_EQ(store.Get("h").status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(KvStoreTest, ListPushAndRange) {
+  KvStore store;
+  EXPECT_EQ(store.Rpush("l", "a").value(), 1u);
+  EXPECT_EQ(store.Rpush("l", "b").value(), 2u);
+  EXPECT_EQ(store.Rpush("l", "c").value(), 3u);
+  EXPECT_EQ(store.Lrange("l", 0, -1).value(), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(store.Lrange("l", 1, 1).value(), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(store.Lrange("l", -2, -1).value(), (std::vector<std::string>{"b", "c"}));
+  EXPECT_TRUE(store.Lrange("l", 5, 9).value().empty());
+}
+
+TEST(KvStoreTest, ScanTailNewestFirst) {
+  KvStore store;
+  for (const char* v : {"p1", "p2", "p3", "p4"}) {
+    ASSERT_TRUE(store.Rpush("conv", v).ok());
+  }
+  EXPECT_EQ(store.ScanTail("conv", 2).value(), (std::vector<std::string>{"p4", "p3"}));
+  EXPECT_EQ(store.ScanTail("conv", 10).value(),
+            (std::vector<std::string>{"p4", "p3", "p2", "p1"}));
+  EXPECT_EQ(store.ScanTail("conv", 0).value().size(), 0u);
+  EXPECT_EQ(store.ScanTail("missing", 3).status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreTest, ContentDigestDetectsDifferences) {
+  KvStore a;
+  KvStore b;
+  EXPECT_EQ(a.ContentDigest(), b.ContentDigest());
+  a.Set("k", "v");
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+  b.Set("k", "v");
+  EXPECT_EQ(a.ContentDigest(), b.ContentDigest());
+  // List order matters.
+  a.Rpush("l", "1");
+  a.Rpush("l", "2");
+  b.Rpush("l", "2");
+  b.Rpush("l", "1");
+  EXPECT_NE(a.ContentDigest(), b.ContentDigest());
+}
+
+TEST(KvStoreTest, DigestInsensitiveToKeyInsertionOrder) {
+  KvStore a;
+  KvStore b;
+  a.Set("x", "1");
+  a.Set("y", "2");
+  b.Set("y", "2");
+  b.Set("x", "1");
+  EXPECT_EQ(a.ContentDigest(), b.ContentDigest());
+}
+
+// ---------------------------------------------------------------------------
+// Command codec
+// ---------------------------------------------------------------------------
+
+TEST(KvCommandTest, RoundTripAllOpcodes) {
+  std::vector<KvCommand> commands;
+  {
+    KvCommand c;
+    c.op = KvOpcode::kSet;
+    c.key = "k";
+    c.value = "v";
+    commands.push_back(c);
+  }
+  {
+    KvCommand c;
+    c.op = KvOpcode::kGet;
+    c.key = "k";
+    commands.push_back(c);
+  }
+  {
+    KvCommand c;
+    c.op = KvOpcode::kDel;
+    c.key = "k";
+    commands.push_back(c);
+  }
+  {
+    KvCommand c;
+    c.op = KvOpcode::kHset;
+    c.key = "h";
+    c.field = "f";
+    c.value = "v";
+    commands.push_back(c);
+  }
+  {
+    KvCommand c;
+    c.op = KvOpcode::kHget;
+    c.key = "h";
+    c.field = "f";
+    commands.push_back(c);
+  }
+  {
+    KvCommand c;
+    c.op = KvOpcode::kRpush;
+    c.key = "l";
+    c.value = "item";
+    commands.push_back(c);
+  }
+  {
+    KvCommand c;
+    c.op = KvOpcode::kLrange;
+    c.key = "l";
+    c.range_start = -5;
+    c.range_stop = -1;
+    commands.push_back(c);
+  }
+  {
+    KvCommand c;
+    c.op = KvOpcode::kYInsert;
+    c.key = "conv:1";
+    c.value = std::string(1000, 'x');
+    commands.push_back(c);
+  }
+  {
+    KvCommand c;
+    c.op = KvOpcode::kYScan;
+    c.key = "conv:1";
+    c.scan_limit = 10;
+    commands.push_back(c);
+  }
+
+  for (const KvCommand& cmd : commands) {
+    Body body = EncodeKvCommand(cmd);
+    Result<KvCommand> decoded = DecodeKvCommand(body);
+    ASSERT_TRUE(decoded.ok());
+    const KvCommand& d = decoded.value();
+    EXPECT_EQ(d.op, cmd.op);
+    EXPECT_EQ(d.key, cmd.key);
+    EXPECT_EQ(d.field, cmd.field);
+    EXPECT_EQ(d.value, cmd.value);
+    EXPECT_EQ(d.range_start, cmd.range_start);
+    EXPECT_EQ(d.range_stop, cmd.range_stop);
+    EXPECT_EQ(d.scan_limit, cmd.scan_limit);
+  }
+}
+
+TEST(KvCommandTest, ReadOnlyClassification) {
+  KvCommand c;
+  c.op = KvOpcode::kGet;
+  EXPECT_TRUE(c.IsReadOnly());
+  c.op = KvOpcode::kYScan;
+  EXPECT_TRUE(c.IsReadOnly());
+  c.op = KvOpcode::kLrange;
+  EXPECT_TRUE(c.IsReadOnly());
+  c.op = KvOpcode::kHget;
+  EXPECT_TRUE(c.IsReadOnly());
+  c.op = KvOpcode::kSet;
+  EXPECT_FALSE(c.IsReadOnly());
+  c.op = KvOpcode::kYInsert;
+  EXPECT_FALSE(c.IsReadOnly());
+}
+
+TEST(KvCommandTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeKvCommand(nullptr).ok());
+  EXPECT_FALSE(DecodeKvCommand(MakeBody({})).ok());
+  EXPECT_FALSE(DecodeKvCommand(MakeBody({0xFF, 0x01})).ok());
+}
+
+TEST(KvReplyTest, RoundTrip) {
+  KvReply reply;
+  reply.status = KvReplyStatus::kOk;
+  reply.values = {"a", "", "ccc"};
+  Result<KvReply> decoded = DecodeKvReply(EncodeKvReply(reply));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().status, KvReplyStatus::kOk);
+  EXPECT_EQ(decoded.value().values, reply.values);
+}
+
+// ---------------------------------------------------------------------------
+// KvService (StateMachine adapter + cost model)
+// ---------------------------------------------------------------------------
+
+RpcRequest MakeKvRequest(const KvCommand& cmd, uint64_t seq) {
+  return RpcRequest(RequestId{1, seq},
+                    cmd.IsReadOnly() ? R2p2Policy::kReplicatedReqRo : R2p2Policy::kReplicatedReq,
+                    EncodeKvCommand(cmd));
+}
+
+TEST(KvServiceTest, ExecuteMutatesAndReplies) {
+  KvService svc;
+  KvCommand set;
+  set.op = KvOpcode::kSet;
+  set.key = "k";
+  set.value = "hello";
+  ExecResult r = svc.Execute(MakeKvRequest(set, 1));
+  EXPECT_GT(r.service_time, 0);
+  EXPECT_EQ(svc.ApplyCount(), 1u);
+
+  KvCommand get;
+  get.op = KvOpcode::kGet;
+  get.key = "k";
+  ExecResult g = svc.Execute(MakeKvRequest(get, 2));
+  Result<KvReply> reply = DecodeKvReply(g.reply);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().status, KvReplyStatus::kOk);
+  ASSERT_EQ(reply.value().values.size(), 1u);
+  EXPECT_EQ(reply.value().values[0], "hello");
+  // Read did not change the apply count.
+  EXPECT_EQ(svc.ApplyCount(), 1u);
+}
+
+TEST(KvServiceTest, InsertCostsMoreThanScan) {
+  // The Amdahl shape of Figure 13 depends on INSERT being the expensive,
+  // serial (executed-everywhere) operation.
+  KvService svc;
+  KvCommand insert;
+  insert.op = KvOpcode::kYInsert;
+  insert.key = "conv:1";
+  insert.value = std::string(1000, 'r');
+  TimeNs insert_cost = 0;
+  svc.Apply(insert, &insert_cost);
+  for (int i = 0; i < 20; ++i) {
+    svc.Apply(insert);
+  }
+
+  KvCommand scan;
+  scan.op = KvOpcode::kYScan;
+  scan.key = "conv:1";
+  scan.scan_limit = 10;
+  TimeNs scan_cost = 0;
+  KvReply reply = svc.Apply(scan, &scan_cost);
+  EXPECT_EQ(reply.values.size(), 10u);
+  EXPECT_GT(insert_cost, scan_cost);
+  EXPECT_GT(scan_cost, Micros(5));
+}
+
+TEST(KvServiceTest, DigestTracksDivergence) {
+  KvService a;
+  KvService b;
+  KvCommand set;
+  set.op = KvOpcode::kSet;
+  set.key = "k";
+  set.value = "v";
+  a.Execute(MakeKvRequest(set, 1));
+  b.Execute(MakeKvRequest(set, 1));
+  EXPECT_EQ(a.Digest(), b.Digest());
+  set.value = "other";
+  b.Execute(MakeKvRequest(set, 2));
+  EXPECT_NE(a.Digest(), b.Digest());
+}
+
+TEST(KvServiceTest, ScanOnMissingThreadIsNotFoundButCheap) {
+  KvService svc;
+  KvCommand scan;
+  scan.op = KvOpcode::kYScan;
+  scan.key = "conv:404";
+  scan.scan_limit = 10;
+  TimeNs cost = 0;
+  KvReply reply = svc.Apply(scan, &cost);
+  EXPECT_EQ(reply.status, KvReplyStatus::kNotFound);
+  EXPECT_LT(cost, Micros(10));
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+namespace hovercraft {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Extended command surface (counters, string ops, sets)
+// ---------------------------------------------------------------------------
+
+TEST(KvStoreExtTest, IncrCreatesAndCounts) {
+  KvStore store;
+  EXPECT_EQ(store.Incr("n").value(), 1);
+  EXPECT_EQ(store.Incr("n").value(), 2);
+  EXPECT_EQ(store.Incr("n").value(), 3);
+  EXPECT_EQ(store.Get("n").value(), "3");
+  store.Set("s", "not-a-number");
+  EXPECT_FALSE(store.Incr("s").ok());
+  store.Rpush("l", "x");
+  EXPECT_FALSE(store.Incr("l").ok());
+}
+
+TEST(KvStoreExtTest, AppendGrowsString) {
+  KvStore store;
+  EXPECT_EQ(store.Append("k", "foo").value(), 3u);
+  EXPECT_EQ(store.Append("k", "bar").value(), 6u);
+  EXPECT_EQ(store.Get("k").value(), "foobar");
+}
+
+TEST(KvStoreExtTest, SetnxOnlyFirstWins) {
+  KvStore store;
+  EXPECT_TRUE(store.Setnx("k", "first").value());
+  EXPECT_FALSE(store.Setnx("k", "second").value());
+  EXPECT_EQ(store.Get("k").value(), "first");
+}
+
+TEST(KvStoreExtTest, HdelRemovesField) {
+  KvStore store;
+  ASSERT_TRUE(store.Hset("h", "f", "v").ok());
+  EXPECT_TRUE(store.Hdel("h", "f").value());
+  EXPECT_FALSE(store.Hdel("h", "f").value());
+  EXPECT_EQ(store.Hget("h", "f").status().code(), StatusCode::kNotFound);
+}
+
+TEST(KvStoreExtTest, LpopAndLlen) {
+  KvStore store;
+  store.Rpush("l", "a");
+  store.Rpush("l", "b");
+  EXPECT_EQ(store.Llen("l").value(), 2u);
+  EXPECT_EQ(store.Lpop("l").value(), "a");
+  EXPECT_EQ(store.Lpop("l").value(), "b");
+  EXPECT_EQ(store.Lpop("l").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Llen("missing").value(), 0u);
+}
+
+TEST(KvStoreExtTest, SetOperations) {
+  KvStore store;
+  EXPECT_TRUE(store.Sadd("s", "a").value());
+  EXPECT_TRUE(store.Sadd("s", "b").value());
+  EXPECT_FALSE(store.Sadd("s", "a").value());  // duplicate
+  EXPECT_EQ(store.Scard("s").value(), 2u);
+  EXPECT_TRUE(store.Sismember("s", "a").value());
+  EXPECT_FALSE(store.Sismember("s", "z").value());
+  EXPECT_TRUE(store.Srem("s", "a").value());
+  EXPECT_FALSE(store.Srem("s", "a").value());
+  EXPECT_EQ(store.Scard("s").value(), 1u);
+  EXPECT_FALSE(store.Sismember("missing", "x").value());
+  EXPECT_EQ(store.Scard("missing").value(), 0u);
+}
+
+TEST(KvStoreExtTest, SetsInDigestAndSnapshot) {
+  KvStore a;
+  a.Sadd("s", "m1");
+  a.Sadd("s", "m2");
+  KvStore b;
+  b.Sadd("s", "m2");
+  b.Sadd("s", "m1");
+  EXPECT_EQ(a.ContentDigest(), b.ContentDigest());  // insertion order irrelevant
+
+  BufferWriter w;
+  a.SerializeTo(w);
+  KvStore c;
+  BufferReader r(w.bytes());
+  ASSERT_TRUE(c.DeserializeFrom(r).ok());
+  EXPECT_EQ(c.ContentDigest(), a.ContentDigest());
+  EXPECT_TRUE(c.Sismember("s", "m1").value());
+}
+
+TEST(KvCommandExtTest, NewOpcodesRoundTrip) {
+  for (KvOpcode op : {KvOpcode::kIncr, KvOpcode::kAppend, KvOpcode::kSetnx, KvOpcode::kExists,
+                      KvOpcode::kHdel, KvOpcode::kLpop, KvOpcode::kLlen, KvOpcode::kSadd,
+                      KvOpcode::kSrem, KvOpcode::kSismember, KvOpcode::kScard}) {
+    KvCommand cmd;
+    cmd.op = op;
+    cmd.key = "key";
+    cmd.field = "field";
+    cmd.value = "value";
+    Result<KvCommand> decoded = DecodeKvCommand(EncodeKvCommand(cmd));
+    ASSERT_TRUE(decoded.ok()) << static_cast<int>(op);
+    EXPECT_EQ(decoded.value().op, op);
+    EXPECT_EQ(decoded.value().key, "key");
+  }
+}
+
+TEST(KvCommandExtTest, ReadOnlyClassificationForNewOps) {
+  KvCommand c;
+  for (KvOpcode op : {KvOpcode::kExists, KvOpcode::kLlen, KvOpcode::kSismember, KvOpcode::kScard}) {
+    c.op = op;
+    EXPECT_TRUE(c.IsReadOnly()) << static_cast<int>(op);
+  }
+  for (KvOpcode op : {KvOpcode::kIncr, KvOpcode::kAppend, KvOpcode::kSetnx, KvOpcode::kHdel,
+                      KvOpcode::kLpop, KvOpcode::kSadd, KvOpcode::kSrem}) {
+    c.op = op;
+    EXPECT_FALSE(c.IsReadOnly()) << static_cast<int>(op);
+  }
+}
+
+TEST(KvServiceExtTest, CounterThroughService) {
+  KvService svc;
+  KvCommand incr;
+  incr.op = KvOpcode::kIncr;
+  incr.key = "hits";
+  KvReply r1 = svc.Apply(incr);
+  KvReply r2 = svc.Apply(incr);
+  EXPECT_EQ(r1.values[0], "1");
+  EXPECT_EQ(r2.values[0], "2");
+
+  KvCommand exists;
+  exists.op = KvOpcode::kExists;
+  exists.key = "hits";
+  EXPECT_EQ(svc.Apply(exists).values[0], "1");
+  exists.key = "nope";
+  EXPECT_EQ(svc.Apply(exists).values[0], "0");
+}
+
+}  // namespace
+}  // namespace hovercraft

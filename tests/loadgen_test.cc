@@ -1,0 +1,127 @@
+// Tests for the Lancet-like load generator and the experiment harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/app/synthetic.h"
+#include "src/core/cluster.h"
+#include "src/loadgen/client.h"
+#include "src/loadgen/experiment.h"
+#include "src/loadgen/workload.h"
+
+namespace hovercraft {
+namespace {
+
+ExperimentConfig QuickExperiment(uint64_t seed = 1) {
+  ExperimentConfig config;
+  config.cluster.mode = ClusterMode::kUnreplicated;
+  config.cluster.nodes = 1;
+  config.cluster.seed = seed;
+  config.cluster.app_factory = []() { return std::make_unique<SyntheticService>(); };
+  config.workload_factory = []() {
+    SyntheticWorkloadConfig wc;
+    wc.service_time = std::make_shared<FixedDistribution>(Micros(1));
+    return std::make_unique<SyntheticWorkload>(wc);
+  };
+  config.client_count = 2;
+  config.warmup = Millis(10);
+  config.measure = Millis(50);
+  config.drain = Millis(50);
+  config.seed = seed;
+  return config;
+}
+
+TEST(LoadgenTest, AchievedTracksOfferedBelowCapacity) {
+  const LoadMetrics m = RunLoadPoint(QuickExperiment(), 100'000);
+  EXPECT_NEAR(m.achieved_rps, 100'000, 10'000);
+  EXPECT_EQ(m.lost, 0u);
+  EXPECT_GT(m.p50_ns, 0);
+  EXPECT_GE(m.p99_ns, m.p50_ns);
+}
+
+TEST(LoadgenTest, PoissonArrivalsAreOpenLoop) {
+  // Offered load far above the 1us-service capacity: an open-loop generator
+  // keeps sending and the tail explodes instead of the send count dropping.
+  const LoadMetrics m = RunLoadPoint(QuickExperiment(3), 1'500'000);
+  EXPECT_GT(m.sent, 60'000u);  // ~1.5M * 50ms
+  EXPECT_GT(m.p99_ns, Millis(1));
+}
+
+TEST(LoadgenTest, DeterministicAcrossRuns) {
+  const LoadMetrics a = RunLoadPoint(QuickExperiment(42), 50'000);
+  const LoadMetrics b = RunLoadPoint(QuickExperiment(42), 50'000);
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.p99_ns, b.p99_ns);
+  EXPECT_EQ(a.p50_ns, b.p50_ns);
+}
+
+TEST(LoadgenTest, SeedChangesRun) {
+  const LoadMetrics a = RunLoadPoint(QuickExperiment(1), 50'000);
+  const LoadMetrics b = RunLoadPoint(QuickExperiment(2), 50'000);
+  EXPECT_NE(a.sent, b.sent);
+}
+
+TEST(LoadgenTest, SweepRatesReturnsOnePointPerRate) {
+  const auto points = SweepRates(QuickExperiment(), {10'000, 50'000});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_LT(points[0].achieved_rps, points[1].achieved_rps);
+}
+
+TEST(LoadgenTest, SloSearchFindsCapacityRegion) {
+  // UnRep with S=1us saturates at ~1M RPS; the search must land in the
+  // upper half of that and never above it.
+  const SloResult r =
+      FindMaxThroughputUnderSlo(QuickExperiment(), Micros(500), 100e3, 1'300e3, 6);
+  EXPECT_GT(r.max_rps_under_slo, 700e3);
+  EXPECT_LE(r.max_rps_under_slo, 1'100e3);
+  EXPECT_LE(r.p99_at_max, Micros(500));
+}
+
+TEST(LoadgenTest, ClientTracksNacksSeparately) {
+  ExperimentConfig config = QuickExperiment(7);
+  config.cluster.mode = ClusterMode::kHovercRaft;
+  config.cluster.nodes = 3;
+  config.cluster.flow_control_threshold = 32;
+  config.workload_factory = []() {
+    SyntheticWorkloadConfig wc;
+    wc.service_time = std::make_shared<FixedDistribution>(Micros(100));
+    return std::make_unique<SyntheticWorkload>(wc);
+  };
+  // Far above the ~10k capacity of S=100us: NACKs must appear.
+  const LoadMetrics m = RunLoadPoint(config, 100'000);
+  EXPECT_GT(m.nacked, 0u);
+  EXPECT_GT(m.completed, 0u);
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+namespace hovercraft {
+namespace {
+
+TEST(LoadgenTest, SloSearchReportsZeroWhenFloorViolates) {
+  // S=100us caps the server at ~10k RPS; a floor of 50k already blows the
+  // SLO, so the search must report no feasible point instead of guessing.
+  ExperimentConfig config = QuickExperiment(11);
+  config.workload_factory = []() {
+    SyntheticWorkloadConfig wc;
+    wc.service_time = std::make_shared<FixedDistribution>(Micros(100));
+    return std::make_unique<SyntheticWorkload>(wc);
+  };
+  const SloResult r = FindMaxThroughputUnderSlo(config, Micros(500), 50e3, 200e3, 4);
+  EXPECT_EQ(r.max_rps_under_slo, 0.0);
+}
+
+TEST(LoadgenTest, MeasureWindowExcludesWarmupTraffic) {
+  ExperimentConfig config = QuickExperiment(13);
+  config.warmup = Millis(50);
+  config.measure = Millis(50);
+  const LoadMetrics m = RunLoadPoint(config, 100'000);
+  // Sent-in-window must reflect only the 50ms window, not the 100ms total.
+  EXPECT_NEAR(static_cast<double>(m.sent), 100e3 * 0.05, 1500);
+}
+
+}  // namespace
+}  // namespace hovercraft

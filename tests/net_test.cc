@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/host.h"
+#include "src/net/network.h"
+#include "src/net/packet.h"
+#include "src/r2p2/messages.h"
+
+namespace hovercraft {
+namespace {
+
+// A host that records everything it receives and can echo.
+class EchoHost final : public Host {
+ public:
+  EchoHost(Simulator* sim, const CostModel& costs, Kind kind = Kind::kServer)
+      : Host(sim, costs, kind) {}
+
+  void HandleMessage(HostId src, const MessagePtr& msg) override {
+    received.push_back({src, msg, sim()->Now()});
+    if (echo) {
+      Send(src, msg);
+    }
+  }
+
+  struct Received {
+    HostId src;
+    MessagePtr msg;
+    TimeNs at;
+  };
+  std::vector<Received> received;
+  bool echo = false;
+};
+
+MessagePtr SmallRequest(HostId client, uint64_t seq, int32_t bytes = 24) {
+  return std::make_shared<RpcRequest>(RequestId{client, seq}, R2p2Policy::kReplicatedReq,
+                                      MakeBody(std::vector<uint8_t>(static_cast<size_t>(bytes))));
+}
+
+struct NetFixture {
+  Simulator sim;
+  CostModel costs;
+  Network net{&sim, costs, 1};
+};
+
+TEST(NetworkTest, UnicastDelivery) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+
+  f.sim.At(0, [&]() { a.Send(b.id(), SmallRequest(a.id(), 1)); });
+  f.sim.RunToCompletion();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].src, a.id());
+  EXPECT_TRUE(a.received.empty());
+}
+
+TEST(NetworkTest, EndToEndLatencyIsPhysical) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+
+  f.sim.At(0, [&]() { a.Send(b.id(), SmallRequest(a.id(), 1)); });
+  f.sim.RunToCompletion();
+  ASSERT_EQ(b.received.size(), 1u);
+  // tx cpu + serialization + 2 propagations + switch + rx cpu: single-digit us.
+  EXPECT_GT(b.received[0].at, Micros(1));
+  EXPECT_LT(b.received[0].at, Micros(10));
+}
+
+TEST(NetworkTest, MulticastExcludesSender) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  EchoHost c(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  f.net.Attach(&c);
+  const Addr group = f.net.CreateMulticastGroup({a.id(), b.id(), c.id()});
+
+  f.sim.At(0, [&]() { a.Send(group, SmallRequest(a.id(), 1)); });
+  f.sim.RunToCompletion();
+  EXPECT_EQ(a.received.size(), 0u);
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(NetworkTest, MulticastFromNonMemberReachesAll) {
+  NetFixture f;
+  EchoHost client(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  EchoHost c(&f.sim, f.costs);
+  f.net.Attach(&client);
+  f.net.Attach(&b);
+  f.net.Attach(&c);
+  const Addr group = f.net.CreateMulticastGroup({b.id(), c.id()});
+
+  f.sim.At(0, [&]() { client.Send(group, SmallRequest(client.id(), 1)); });
+  f.sim.RunToCompletion();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(NetworkTest, DropFilterTargetsOneDestination) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  EchoHost c(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  f.net.Attach(&c);
+  const Addr group = f.net.CreateMulticastGroup({a.id(), b.id(), c.id()});
+  f.net.set_drop_filter([&](const Packet&, HostId dst) { return dst == b.id(); });
+
+  f.sim.At(0, [&]() { a.Send(group, SmallRequest(a.id(), 1)); });
+  f.sim.RunToCompletion();
+  EXPECT_EQ(b.received.size(), 0u);
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(f.net.dropped_msgs(), 1u);
+  EXPECT_EQ(f.net.delivered_msgs(), 1u);
+}
+
+TEST(NetworkTest, UniformLossDropsSome) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  f.net.set_loss_probability(0.5);
+
+  for (int i = 0; i < 200; ++i) {
+    f.sim.At(i * 1000, [&, i]() { a.Send(b.id(), SmallRequest(a.id(), 100 + i)); });
+  }
+  f.sim.RunToCompletion();
+  EXPECT_GT(b.received.size(), 50u);
+  EXPECT_LT(b.received.size(), 150u);
+}
+
+TEST(NetworkTest, FailedHostNeitherSendsNorReceives) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+
+  b.set_failed(true);
+  f.sim.At(0, [&]() { a.Send(b.id(), SmallRequest(a.id(), 1)); });
+  f.sim.At(1000, [&]() { b.Send(a.id(), SmallRequest(b.id(), 2)); });
+  f.sim.RunToCompletion();
+  EXPECT_EQ(b.received.size(), 0u);
+  EXPECT_EQ(a.received.size(), 0u);
+}
+
+TEST(NetworkTest, CountersTrackTraffic) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  b.echo = true;
+
+  f.sim.At(0, [&]() { a.Send(b.id(), SmallRequest(a.id(), 1, 512)); });
+  f.sim.RunToCompletion();
+  EXPECT_EQ(a.counters().tx_msgs, 1u);
+  EXPECT_EQ(a.counters().rx_msgs, 1u);
+  EXPECT_EQ(b.counters().rx_msgs, 1u);
+  EXPECT_EQ(b.counters().tx_msgs, 1u);
+  EXPECT_EQ(a.counters().tx_payload_bytes, 512u);
+  EXPECT_EQ(a.counters().tx_by_type.at("REQUEST"), 1u);
+}
+
+TEST(NetworkTest, DeviceHostForwardsWithFixedLatency) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost dev(&f.sim, f.costs, Host::Kind::kDevice);
+  EchoHost c(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&dev);
+  f.net.Attach(&c);
+  dev.echo = true;  // bounce back to sender
+
+  f.sim.At(0, [&]() { a.Send(dev.id(), SmallRequest(a.id(), 1)); });
+  f.sim.RunToCompletion();
+  ASSERT_EQ(dev.received.size(), 1u);
+  ASSERT_EQ(a.received.size(), 1u);
+}
+
+TEST(NetworkTest, NicSerializationThrottlesLargeMessages) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+
+  // Send 100 x 6KB back-to-back; the NIC serializes ~5us per message, so the
+  // last arrives no earlier than ~500us.
+  f.sim.At(0, [&]() {
+    for (uint64_t i = 0; i < 100; ++i) {
+      a.Send(b.id(), SmallRequest(a.id(), i, 6000));
+    }
+  });
+  f.sim.RunToCompletion();
+  ASSERT_EQ(b.received.size(), 100u);
+  EXPECT_GT(b.received.back().at, Micros(450));
+}
+
+}  // namespace
+}  // namespace hovercraft

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/r2p2/messages.h"
+#include "src/r2p2/packetizer.h"
+#include "src/r2p2/request_id.h"
+#include "src/r2p2/wire.h"
+
+namespace hovercraft {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire header codec
+// ---------------------------------------------------------------------------
+
+WireHeader SampleHeader() {
+  WireHeader h;
+  h.type = WireType::kRaftReq;
+  h.policy = 2;
+  h.first = true;
+  h.last = false;
+  h.req_id = 0xABCD;
+  h.packet_id = 7;
+  h.src_ip = 0x0A000001;
+  h.src_port = 31337;
+  h.packet_count = 9;
+  return h;
+}
+
+TEST(WireTest, HeaderRoundTrip) {
+  const WireHeader h = SampleHeader();
+  std::vector<uint8_t> buf(kWireHeaderBytes);
+  EncodeWireHeader(h, buf);
+  Result<WireHeader> decoded = DecodeWireHeader(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), h);
+}
+
+TEST(WireTest, AllTypesRoundTrip) {
+  for (uint8_t t = 0; t <= static_cast<uint8_t>(WireType::kRecoveryRep); ++t) {
+    WireHeader h = SampleHeader();
+    h.type = static_cast<WireType>(t);
+    std::vector<uint8_t> buf(kWireHeaderBytes);
+    EncodeWireHeader(h, buf);
+    Result<WireHeader> decoded = DecodeWireHeader(buf);
+    ASSERT_TRUE(decoded.ok()) << "type " << static_cast<int>(t);
+    EXPECT_EQ(decoded.value().type, h.type);
+  }
+}
+
+TEST(WireTest, RejectsShortBuffer) {
+  std::vector<uint8_t> buf(kWireHeaderBytes - 1);
+  EXPECT_FALSE(DecodeWireHeader(buf).ok());
+}
+
+TEST(WireTest, RejectsBadMagic) {
+  std::vector<uint8_t> buf(kWireHeaderBytes);
+  EncodeWireHeader(SampleHeader(), buf);
+  buf[0] = 0x00;
+  EXPECT_FALSE(DecodeWireHeader(buf).ok());
+}
+
+TEST(WireTest, RejectsBadVersion) {
+  std::vector<uint8_t> buf(kWireHeaderBytes);
+  EncodeWireHeader(SampleHeader(), buf);
+  buf[1] = 99;
+  EXPECT_FALSE(DecodeWireHeader(buf).ok());
+}
+
+TEST(WireTest, RejectsUnknownType) {
+  std::vector<uint8_t> buf(kWireHeaderBytes);
+  EncodeWireHeader(SampleHeader(), buf);
+  buf[2] = 0x7F;
+  EXPECT_FALSE(DecodeWireHeader(buf).ok());
+}
+
+TEST(WireTest, RejectsUnknownPolicy) {
+  std::vector<uint8_t> buf(kWireHeaderBytes);
+  EncodeWireHeader(SampleHeader(), buf);
+  buf[3] = 0x0F;  // policy nibble = 15
+  EXPECT_FALSE(DecodeWireHeader(buf).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Fragmentation / reassembly
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> PatternBody(size_t n) {
+  std::vector<uint8_t> body(n);
+  for (size_t i = 0; i < n; ++i) {
+    body[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  return body;
+}
+
+TEST(PacketizerTest, SinglePacketMessage) {
+  WireHeader h = SampleHeader();
+  const std::vector<uint8_t> body = PatternBody(100);
+  auto packets = Fragment(h, body, 1436);
+  ASSERT_EQ(packets.size(), 1u);
+
+  Reassembler r;
+  Result<bool> done = r.Feed(packets[0], 0);
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done.value());
+  auto complete = r.TakeCompleted();
+  EXPECT_EQ(complete.body, body);
+  EXPECT_TRUE(complete.header.first);
+}
+
+TEST(PacketizerTest, EmptyBodyStillOnePacket) {
+  auto packets = Fragment(SampleHeader(), {}, 1436);
+  ASSERT_EQ(packets.size(), 1u);
+  Result<WireHeader> h = DecodeWireHeader(packets[0]);
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h.value().first);
+  EXPECT_TRUE(h.value().last);
+  EXPECT_EQ(h.value().packet_count, 1);
+}
+
+TEST(PacketizerTest, MultiPacketRoundTripInOrder) {
+  const std::vector<uint8_t> body = PatternBody(6000);
+  auto packets = Fragment(SampleHeader(), body, 1436);
+  EXPECT_EQ(packets.size(), 5u);
+
+  Reassembler r;
+  for (size_t i = 0; i < packets.size(); ++i) {
+    Result<bool> done = r.Feed(packets[i], 0);
+    ASSERT_TRUE(done.ok());
+    EXPECT_EQ(done.value(), i == packets.size() - 1);
+  }
+  EXPECT_EQ(r.TakeCompleted().body, body);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(PacketizerTest, OutOfOrderReassembly) {
+  const std::vector<uint8_t> body = PatternBody(4000);
+  auto packets = Fragment(SampleHeader(), body, 1436);
+  ASSERT_EQ(packets.size(), 3u);
+
+  Reassembler r;
+  ASSERT_TRUE(r.Feed(packets[2], 0).ok());
+  ASSERT_TRUE(r.Feed(packets[0], 0).ok());
+  Result<bool> done = r.Feed(packets[1], 0);
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done.value());
+  EXPECT_EQ(r.TakeCompleted().body, body);
+}
+
+TEST(PacketizerTest, DuplicateFragmentsIgnored) {
+  const std::vector<uint8_t> body = PatternBody(3000);
+  auto packets = Fragment(SampleHeader(), body, 1436);
+
+  Reassembler r;
+  ASSERT_TRUE(r.Feed(packets[0], 0).ok());
+  ASSERT_TRUE(r.Feed(packets[0], 0).ok());  // dup
+  ASSERT_TRUE(r.Feed(packets[1], 0).ok());
+  Result<bool> done = r.Feed(packets[2], 0);
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done.value());
+  EXPECT_EQ(r.TakeCompleted().body, body);
+}
+
+TEST(PacketizerTest, InterleavedMessagesFromDifferentSenders) {
+  const std::vector<uint8_t> body_a = PatternBody(3000);
+  WireHeader ha = SampleHeader();
+  ha.src_port = 1;
+  WireHeader hb = SampleHeader();
+  hb.src_port = 2;
+  auto pa = Fragment(ha, body_a, 1436);
+  const std::vector<uint8_t> body_b = PatternBody(2000);
+  auto pb = Fragment(hb, body_b, 1436);
+
+  Reassembler r;
+  ASSERT_TRUE(r.Feed(pa[0], 0).ok());
+  ASSERT_TRUE(r.Feed(pb[0], 0).ok());
+  ASSERT_TRUE(r.Feed(pa[1], 0).ok());
+  Result<bool> done_b = r.Feed(pb[1], 0);
+  ASSERT_TRUE(done_b.ok());
+  ASSERT_TRUE(done_b.value());
+  EXPECT_EQ(r.TakeCompleted().body, body_b);
+  Result<bool> done_a = r.Feed(pa[2], 0);
+  ASSERT_TRUE(done_a.ok());
+  ASSERT_TRUE(done_a.value());
+  EXPECT_EQ(r.TakeCompleted().body, body_a);
+}
+
+TEST(PacketizerTest, GarbageCollectDropsStale) {
+  const std::vector<uint8_t> body = PatternBody(3000);
+  auto packets = Fragment(SampleHeader(), body, 1436);
+
+  Reassembler r;
+  ASSERT_TRUE(r.Feed(packets[0], /*now=*/0).ok());
+  EXPECT_EQ(r.pending(), 1u);
+  EXPECT_EQ(r.GarbageCollect(Millis(10), Millis(50)), 0u);
+  EXPECT_EQ(r.GarbageCollect(Millis(60), Millis(50)), 1u);
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+TEST(PacketizerTest, RejectsFragmentIndexBeyondCount) {
+  const std::vector<uint8_t> body = PatternBody(3000);
+  auto packets = Fragment(SampleHeader(), body, 1436);
+  // Corrupt packet 1's packet_id to an out-of-range index.
+  Reassembler r;
+  ASSERT_TRUE(r.Feed(packets[0], 0).ok());
+  WireHeader bad = SampleHeader();
+  bad.first = false;
+  bad.last = false;
+  bad.packet_id = 40;
+  std::vector<uint8_t> pkt(kWireHeaderBytes + 10);
+  EncodeWireHeader(bad, pkt);
+  EXPECT_FALSE(r.Feed(pkt, 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Message types
+// ---------------------------------------------------------------------------
+
+TEST(MessagesTest, RequestCarriesMetadata) {
+  auto body = MakeBody(std::vector<uint8_t>(24));
+  RpcRequest req(RequestId{3, 99}, R2p2Policy::kReplicatedReqRo, body);
+  EXPECT_EQ(req.PayloadBytes(), 24);
+  EXPECT_TRUE(req.read_only());
+  EXPECT_EQ(req.rid().client, 3);
+  EXPECT_EQ(req.rid().seq, 99u);
+  EXPECT_STREQ(req.Name(), "REQUEST");
+}
+
+TEST(MessagesTest, ResponseAndControlSizes) {
+  RpcResponse resp(RequestId{1, 2}, MakeBody(std::vector<uint8_t>(6000)));
+  EXPECT_EQ(resp.PayloadBytes(), 6000);
+  FeedbackMsg fb(RequestId{1, 2});
+  NackMsg nack(RequestId{1, 2});
+  EXPECT_EQ(fb.PayloadBytes(), 16);
+  EXPECT_EQ(nack.PayloadBytes(), 16);
+}
+
+TEST(MessagesTest, RequestIdHashAndEquality) {
+  RequestId a{1, 7};
+  RequestId b{1, 7};
+  RequestId c{2, 7};
+  RequestId d{1, 8};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  RequestIdHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));
+}
+
+}  // namespace
+}  // namespace hovercraft

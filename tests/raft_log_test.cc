@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/raft/log.h"
+
+namespace hovercraft {
+namespace {
+
+LogEntry MakeEntry(Term term, HostId client, uint64_t seq, bool read_only = false) {
+  LogEntry e;
+  e.term = term;
+  e.read_only = read_only;
+  e.rid = RequestId{client, seq};
+  e.request = std::make_shared<RpcRequest>(e.rid, R2p2Policy::kReplicatedReq,
+                                           MakeBody(std::vector<uint8_t>(24)));
+  return e;
+}
+
+LogEntry Noop(Term term) {
+  LogEntry e;
+  e.term = term;
+  e.noop = true;
+  return e;
+}
+
+TEST(RaftLogTest, EmptyLog) {
+  RaftLog log;
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.first_index(), 1u);
+  EXPECT_EQ(log.last_index(), 0u);
+  EXPECT_EQ(log.last_term(), 0u);
+  EXPECT_EQ(log.TermAt(0), 0u);
+  EXPECT_FALSE(log.Contains(1));
+}
+
+TEST(RaftLogTest, AppendAssignsSequentialIndices) {
+  RaftLog log;
+  EXPECT_EQ(log.Append(MakeEntry(1, 1, 1)), 1u);
+  EXPECT_EQ(log.Append(MakeEntry(1, 1, 2)), 2u);
+  EXPECT_EQ(log.Append(MakeEntry(2, 1, 3)), 3u);
+  EXPECT_EQ(log.last_index(), 3u);
+  EXPECT_EQ(log.last_term(), 2u);
+  EXPECT_EQ(log.TermAt(1), 1u);
+  EXPECT_EQ(log.TermAt(3), 2u);
+  EXPECT_TRUE(log.Contains(1));
+  EXPECT_TRUE(log.Contains(3));
+  EXPECT_FALSE(log.Contains(4));
+}
+
+TEST(RaftLogTest, FindRequestByRid) {
+  RaftLog log;
+  log.Append(MakeEntry(1, 5, 100));
+  log.Append(Noop(1));
+  log.Append(MakeEntry(1, 5, 101));
+  EXPECT_EQ(log.FindRequest(RequestId{5, 100}), 1u);
+  EXPECT_EQ(log.FindRequest(RequestId{5, 101}), 3u);
+  EXPECT_EQ(log.FindRequest(RequestId{5, 999}), kNoLogIndex);
+}
+
+TEST(RaftLogTest, TruncateRemovesSuffixAndRidIndex) {
+  RaftLog log;
+  log.Append(MakeEntry(1, 1, 1));
+  log.Append(MakeEntry(1, 1, 2));
+  log.Append(MakeEntry(1, 1, 3));
+  log.TruncateFrom(2);
+  EXPECT_EQ(log.last_index(), 1u);
+  EXPECT_EQ(log.FindRequest(RequestId{1, 2}), kNoLogIndex);
+  EXPECT_EQ(log.FindRequest(RequestId{1, 3}), kNoLogIndex);
+  EXPECT_EQ(log.FindRequest(RequestId{1, 1}), 1u);
+  // Re-append after truncation continues from the new tail.
+  EXPECT_EQ(log.Append(MakeEntry(2, 1, 4)), 2u);
+  EXPECT_EQ(log.TermAt(2), 2u);
+}
+
+TEST(RaftLogTest, CompactPrefixKeepsTailAndBaseTerm) {
+  RaftLog log;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    log.Append(MakeEntry(i <= 5 ? 1 : 2, 1, i));
+  }
+  log.CompactPrefix(6);
+  EXPECT_EQ(log.first_index(), 7u);
+  EXPECT_EQ(log.last_index(), 10u);
+  EXPECT_EQ(log.base_term(), 2u);   // term of entry 6
+  EXPECT_EQ(log.TermAt(6), 2u);     // the compaction point keeps its term
+  EXPECT_FALSE(log.Contains(6));
+  EXPECT_TRUE(log.Contains(7));
+  EXPECT_EQ(log.At(7).rid.seq, 7u);
+  // Compacted rids are forgotten.
+  EXPECT_EQ(log.FindRequest(RequestId{1, 3}), kNoLogIndex);
+  EXPECT_EQ(log.FindRequest(RequestId{1, 8}), 8u);
+}
+
+TEST(RaftLogTest, CompactIsIdempotentAndMonotone) {
+  RaftLog log;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    log.Append(MakeEntry(1, 1, i));
+  }
+  log.CompactPrefix(3);
+  log.CompactPrefix(2);  // below the base: no-op
+  EXPECT_EQ(log.first_index(), 4u);
+  log.CompactPrefix(5);
+  EXPECT_EQ(log.first_index(), 6u);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.last_index(), 5u);
+  EXPECT_EQ(log.last_term(), 1u);  // falls back to base term
+  // Appending after full compaction continues the sequence.
+  EXPECT_EQ(log.Append(MakeEntry(2, 1, 6)), 6u);
+}
+
+TEST(RaftLogTest, TruncateAfterCompaction) {
+  RaftLog log;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    log.Append(MakeEntry(1, 1, i));
+  }
+  log.CompactPrefix(2);
+  log.TruncateFrom(5);
+  EXPECT_EQ(log.last_index(), 4u);
+  EXPECT_EQ(log.first_index(), 3u);
+  EXPECT_TRUE(log.Contains(3));
+  EXPECT_FALSE(log.Contains(5));
+}
+
+TEST(RaftLogTest, NoopEntriesHaveNoRid) {
+  RaftLog log;
+  log.Append(Noop(1));
+  EXPECT_EQ(log.At(1).request, nullptr);
+  EXPECT_TRUE(log.At(1).noop);
+}
+
+}  // namespace
+}  // namespace hovercraft

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/raft/replier_scheduler.h"
+
+namespace hovercraft {
+namespace {
+
+TEST(ReplierSchedulerTest, LeaderOnlyAlwaysPicksSelf) {
+  ReplierScheduler sched(3, /*self=*/0, ReplierPolicy::kLeaderOnly, /*bound=*/4, 1);
+  for (LogIndex i = 1; i <= 4; ++i) {
+    EXPECT_EQ(sched.Assign(i), 0);
+  }
+  // Bound reached: even the leader becomes ineligible until it applies.
+  EXPECT_EQ(sched.Assign(5), kInvalidNode);
+  sched.UpdateApplied(0, 2);
+  EXPECT_EQ(sched.PendingOf(0), 2);
+  EXPECT_EQ(sched.Assign(5), 0);
+}
+
+TEST(ReplierSchedulerTest, JbsqPicksShortestQueue) {
+  ReplierScheduler sched(3, 0, ReplierPolicy::kJbsq, /*bound=*/8, 2);
+  // Give node 1 a backlog of 3, node 2 a backlog of 1, node 0 a backlog of 2.
+  std::map<NodeId, int> assigned;
+  LogIndex idx = 1;
+  // All equal initially; assignments spread.
+  for (int i = 0; i < 6; ++i) {
+    const NodeId n = sched.Assign(idx++);
+    ASSERT_NE(n, kInvalidNode);
+    assigned[n]++;
+  }
+  // Equal backlog of 2 everywhere.
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(sched.PendingOf(n), 2);
+  }
+  // Node 1 applies everything: it must win the next assignments.
+  sched.UpdateApplied(1, idx);
+  EXPECT_EQ(sched.Assign(idx), 1);
+}
+
+TEST(ReplierSchedulerTest, JbsqRespectsBound) {
+  ReplierScheduler sched(2, 0, ReplierPolicy::kJbsq, /*bound=*/2, 3);
+  EXPECT_NE(sched.Assign(1), kInvalidNode);
+  EXPECT_NE(sched.Assign(2), kInvalidNode);
+  EXPECT_NE(sched.Assign(3), kInvalidNode);
+  EXPECT_NE(sched.Assign(4), kInvalidNode);
+  // Both nodes at the bound.
+  EXPECT_EQ(sched.Assign(5), kInvalidNode);
+  sched.UpdateApplied(0, 5);
+  const NodeId n = sched.Assign(5);
+  EXPECT_EQ(n, 0);  // only node 0 is eligible again
+}
+
+TEST(ReplierSchedulerTest, RandomSpreadsAcrossEligible) {
+  ReplierScheduler sched(4, 0, ReplierPolicy::kRandom, /*bound=*/1'000'000, 4);
+  std::map<NodeId, int> counts;
+  for (LogIndex i = 1; i <= 4000; ++i) {
+    const NodeId n = sched.Assign(i);
+    ASSERT_NE(n, kInvalidNode);
+    counts[n]++;
+    // Immediately apply so the bound never binds.
+    sched.UpdateApplied(n, i);
+  }
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [node, count] : counts) {
+    EXPECT_GT(count, 800) << "node " << node;
+    EXPECT_LT(count, 1200) << "node " << node;
+  }
+}
+
+TEST(ReplierSchedulerTest, RandomSkipsSaturatedNodes) {
+  ReplierScheduler sched(3, 0, ReplierPolicy::kRandom, /*bound=*/2, 5);
+  // Saturate node 0 and node 1 by applying nothing; keep node 2 drained.
+  int node2 = 0;
+  for (LogIndex i = 1; i <= 6; ++i) {
+    const NodeId n = sched.Assign(i);
+    ASSERT_NE(n, kInvalidNode);
+    if (n == 2) {
+      ++node2;
+      sched.UpdateApplied(2, i);
+    }
+  }
+  // Nodes 0/1 hold at most bound each; node 2 absorbed the rest.
+  EXPECT_LE(sched.PendingOf(0), 2);
+  EXPECT_LE(sched.PendingOf(1), 2);
+  EXPECT_GE(node2, 2);
+}
+
+TEST(ReplierSchedulerTest, StalledNodeStopsReceivingWork) {
+  // The failure-masking property of bounded queues (paper section 3.4): a
+  // node whose applied index stops advancing gets at most `bound` more
+  // assignments.
+  ReplierScheduler sched(3, 0, ReplierPolicy::kJbsq, /*bound=*/4, 6);
+  int stalled_assignments = 0;
+  LogIndex idx = 1;
+  for (int i = 0; i < 1000; ++i) {
+    const NodeId n = sched.Assign(idx);
+    if (n == kInvalidNode) {
+      break;
+    }
+    if (n == 2) {
+      ++stalled_assignments;  // node 2 never applies
+    } else {
+      sched.UpdateApplied(n, idx);
+    }
+    ++idx;
+  }
+  EXPECT_LE(stalled_assignments, 4);
+  EXPECT_GT(idx, 500u);  // the healthy nodes kept absorbing work
+}
+
+TEST(ReplierSchedulerTest, UpdateAppliedIsMonotone) {
+  ReplierScheduler sched(2, 0, ReplierPolicy::kJbsq, 8, 7);
+  sched.Assign(1);
+  sched.Assign(2);
+  sched.UpdateApplied(0, 2);
+  sched.UpdateApplied(1, 2);
+  sched.UpdateApplied(0, 1);  // stale update must not resurrect backlog
+  sched.UpdateApplied(1, 1);
+  EXPECT_EQ(sched.PendingOf(0) + sched.PendingOf(1), 0);
+}
+
+TEST(ReplierSchedulerTest, ResetClearsAssignments) {
+  ReplierScheduler sched(2, 0, ReplierPolicy::kJbsq, 2, 8);
+  sched.Assign(1);
+  sched.Assign(2);
+  sched.Assign(3);
+  sched.Assign(4);
+  EXPECT_EQ(sched.Assign(5), kInvalidNode);
+  sched.Reset();
+  EXPECT_EQ(sched.PendingOf(0), 0);
+  EXPECT_EQ(sched.PendingOf(1), 0);
+  EXPECT_NE(sched.Assign(5), kInvalidNode);
+}
+
+}  // namespace
+}  // namespace hovercraft

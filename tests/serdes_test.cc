@@ -1,0 +1,127 @@
+// Wire conformance: typed R2P2 messages survive a full serialize ->
+// fragment -> (shuffle) -> reassemble -> decode round trip.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/random.h"
+#include "src/r2p2/serdes.h"
+
+namespace hovercraft {
+namespace {
+
+constexpr size_t kMtu = 1436;
+
+Body PatternBody(size_t n) {
+  std::vector<uint8_t> bytes(n);
+  for (size_t i = 0; i < n; ++i) {
+    bytes[i] = static_cast<uint8_t>(i * 131 + 3);
+  }
+  return MakeBody(std::move(bytes));
+}
+
+Result<DecodedR2p2Message> RoundTrip(const std::vector<WirePacket>& packets, Rng* shuffle_rng) {
+  std::vector<size_t> order(packets.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  if (shuffle_rng != nullptr) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[shuffle_rng->NextBelow(i)]);
+    }
+  }
+  Reassembler reassembler;
+  for (size_t i = 0; i < order.size(); ++i) {
+    Result<bool> done = reassembler.Feed(packets[order[i]], 0);
+    if (!done.ok()) {
+      return done.status();
+    }
+    if (done.value()) {
+      EXPECT_EQ(i, order.size() - 1) << "completed before all fragments fed";
+      return DecodeR2p2Message(reassembler.TakeCompleted());
+    }
+  }
+  return InternalError("message never completed");
+}
+
+TEST(SerdesTest, RequestIdentityRoundTrip) {
+  const RequestId rid{42, 0x12345678ull};
+  const WireHeader h = HeaderForRequest(rid, R2p2Policy::kReplicatedReq, WireType::kRequest);
+  EXPECT_EQ(RequestIdFromHeader(h), rid);
+}
+
+TEST(SerdesTest, SmallRequestRoundTrip) {
+  RpcRequest req(RequestId{7, 99}, R2p2Policy::kReplicatedReqRo, PatternBody(24));
+  auto packets = SerializeRequest(req, kMtu);
+  ASSERT_EQ(packets.size(), 1u);
+  auto decoded = RoundTrip(packets, nullptr);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().type, WireType::kRequest);
+  ASSERT_NE(decoded.value().request, nullptr);
+  EXPECT_EQ(decoded.value().request->rid(), req.rid());
+  EXPECT_EQ(decoded.value().request->policy(), R2p2Policy::kReplicatedReqRo);
+  EXPECT_EQ(*decoded.value().request->body(), *req.body());
+}
+
+TEST(SerdesTest, LargeResponseRoundTripShuffled) {
+  RpcResponse resp(RequestId{3, 1234567ull}, PatternBody(60'000));
+  auto packets = SerializeResponse(resp, kMtu);
+  EXPECT_GT(packets.size(), 40u);
+  Rng rng(5);
+  auto decoded = RoundTrip(packets, &rng);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().type, WireType::kResponse);
+  ASSERT_NE(decoded.value().response, nullptr);
+  EXPECT_EQ(decoded.value().response->rid(), resp.rid());
+  EXPECT_EQ(*decoded.value().response->body(), *resp.body());
+}
+
+TEST(SerdesTest, EmptyBodyRequest) {
+  RpcRequest req(RequestId{1, 1}, R2p2Policy::kReplicatedReq, nullptr);
+  auto packets = SerializeRequest(req, kMtu);
+  ASSERT_EQ(packets.size(), 1u);
+  auto decoded = RoundTrip(packets, nullptr);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().request->body()->size(), 0u);
+}
+
+TEST(SerdesTest, FeedbackAndNackCarryIdentityOnly) {
+  const RequestId rid{9, 777};
+  auto fb = SerializeFeedback(FeedbackMsg(rid));
+  ASSERT_EQ(fb.size(), 1u);
+  auto decoded_fb = RoundTrip(fb, nullptr);
+  ASSERT_TRUE(decoded_fb.ok());
+  EXPECT_EQ(decoded_fb.value().type, WireType::kFeedback);
+  EXPECT_EQ(decoded_fb.value().rid, rid);
+
+  auto nack = SerializeNack(NackMsg(rid));
+  auto decoded_nack = RoundTrip(nack, nullptr);
+  ASSERT_TRUE(decoded_nack.ok());
+  EXPECT_EQ(decoded_nack.value().type, WireType::kNack);
+  EXPECT_EQ(decoded_nack.value().rid, rid);
+}
+
+TEST(SerdesTest, PolicySurvivesTheWire) {
+  for (R2p2Policy policy : {R2p2Policy::kUnrestricted, R2p2Policy::kReplicatedReq,
+                            R2p2Policy::kReplicatedReqRo}) {
+    RpcRequest req(RequestId{2, 5}, policy, PatternBody(8));
+    auto decoded = RoundTrip(SerializeRequest(req, kMtu), nullptr);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value().request->policy(), policy);
+  }
+}
+
+TEST(SerdesTest, SequenceWrapsStayDistinctWithin32Bits) {
+  // The packed (req_id, src_port) fields disambiguate 2^32 in-flight seqs.
+  const RequestId a{1, 0x0000FFFFull};
+  const RequestId b{1, 0x0001FFFFull};
+  const WireHeader ha = HeaderForRequest(a, R2p2Policy::kReplicatedReq, WireType::kRequest);
+  const WireHeader hb = HeaderForRequest(b, R2p2Policy::kReplicatedReq, WireType::kRequest);
+  EXPECT_NE(RequestIdFromHeader(ha), RequestIdFromHeader(hb));
+  EXPECT_EQ(RequestIdFromHeader(ha), a);
+  EXPECT_EQ(RequestIdFromHeader(hb), b);
+}
+
+}  // namespace
+}  // namespace hovercraft

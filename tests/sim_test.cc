@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/distributions.h"
+#include "src/sim/serial_resource.h"
+#include "src/sim/simulator.h"
+
+namespace hovercraft {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30, [&]() { order.push_back(3); });
+  sim.At(10, [&]() { order.push_back(1); });
+  sim.At(20, [&]() { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(10, [&]() { order.push_back(1); });
+  sim.At(10, [&]() { order.push_back(2); });
+  sim.At(10, [&]() { order.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, AfterIsRelative) {
+  Simulator sim;
+  TimeNs fired_at = -1;
+  sim.At(100, [&]() {
+    sim.After(50, [&]() { fired_at = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.At(10, [&]() { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunToCompletion();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelTwiceFails) {
+  Simulator sim;
+  const EventId id = sim.At(10, []() {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(kInvalidEvent));
+  sim.RunToCompletion();
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.At(10, [&]() { ++count; });
+  sim.At(20, [&]() { ++count; });
+  sim.At(30, [&]() { ++count; });
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunToCompletion();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) {
+      sim.After(1, recurse);
+    }
+  };
+  sim.At(0, recurse);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 99);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.At(i, []() {});
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// SerialResource
+// ---------------------------------------------------------------------------
+
+TEST(SerialResourceTest, FifoAndQueueing) {
+  Simulator sim;
+  SerialResource res(&sim);
+  std::vector<TimeNs> done;
+  sim.At(0, [&]() {
+    res.Submit(100, [&]() { done.push_back(sim.Now()); });
+    res.Submit(50, [&]() { done.push_back(sim.Now()); });
+  });
+  sim.RunToCompletion();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 100);  // first item finishes at t=100
+  EXPECT_EQ(done[1], 150);  // second queues behind it
+}
+
+TEST(SerialResourceTest, IdleResourceStartsImmediately) {
+  Simulator sim;
+  SerialResource res(&sim);
+  TimeNs done = -1;
+  sim.At(500, [&]() { res.Submit(10, [&]() { done = sim.Now(); }); });
+  sim.RunToCompletion();
+  EXPECT_EQ(done, 510);
+}
+
+TEST(SerialResourceTest, TracksQueueLengthAndBusy) {
+  Simulator sim;
+  SerialResource res(&sim);
+  sim.At(0, [&]() {
+    res.Submit(100);
+    res.Submit(100);
+    EXPECT_EQ(res.queue_length(), 2);
+    EXPECT_EQ(res.busy_until(), 200);
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(res.queue_length(), 0);
+  EXPECT_EQ(res.total_busy(), 200);
+}
+
+TEST(SerialResourceTest, ZeroCostWorkIsOrdered) {
+  Simulator sim;
+  SerialResource res(&sim);
+  std::vector<int> order;
+  sim.At(0, [&]() {
+    res.Submit(10, [&]() { order.push_back(1); });
+    res.Submit(0, [&]() { order.push_back(2); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------------
+
+TEST(DistributionsTest, FixedAlwaysSame) {
+  FixedDistribution d(Micros(1));
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(d.Sample(rng), Micros(1));
+  }
+  EXPECT_EQ(d.Mean(), Micros(1));
+}
+
+TEST(DistributionsTest, ExponentialMean) {
+  ExponentialDistribution d(Micros(10));
+  Rng rng(2);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(d.Sample(rng));
+  }
+  EXPECT_NEAR(sum / n, static_cast<double>(Micros(10)), Micros(10) * 0.05);
+}
+
+TEST(DistributionsTest, BimodalMatchesPaperShape) {
+  // Paper section 7.3: mean 10us, 10% of requests are 10x longer.
+  BimodalDistribution d(Micros(10), 0.1, 10.0);
+  EXPECT_EQ(d.Mean(), Micros(10));
+  EXPECT_EQ(d.long_value(), d.short_value() * 10);
+  Rng rng(3);
+  int long_count = 0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const TimeNs s = d.Sample(rng);
+    sum += static_cast<double>(s);
+    if (s == d.long_value()) {
+      ++long_count;
+    } else {
+      EXPECT_EQ(s, d.short_value());
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(long_count) / n, 0.1, 0.01);
+  EXPECT_NEAR(sum / n, static_cast<double>(Micros(10)), Micros(10) * 0.03);
+}
+
+// ---------------------------------------------------------------------------
+// CostModel
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, FramesForSizes) {
+  CostModel cm;
+  EXPECT_EQ(cm.FramesFor(0), 1);
+  EXPECT_EQ(cm.FramesFor(1), 1);
+  EXPECT_EQ(cm.FramesFor(cm.mtu_payload_bytes), 1);
+  EXPECT_EQ(cm.FramesFor(cm.mtu_payload_bytes + 1), 2);
+  EXPECT_EQ(cm.FramesFor(6000), (6000 + cm.mtu_payload_bytes - 1) / cm.mtu_payload_bytes);
+}
+
+TEST(CostModelTest, SerializationMatchesLinkRate) {
+  CostModel cm;
+  // 6KB reply on a 10G link: ~5 frames, ~(6000+5*64)*8/10 ns ≈ 5056 ns.
+  const TimeNs t = cm.SerializationDelay(6000);
+  EXPECT_GT(t, Micros(4));
+  EXPECT_LT(t, Micros(6));
+  // A tiny message still pays one frame.
+  EXPECT_GT(cm.SerializationDelay(8), 0);
+}
+
+TEST(CostModelTest, CpuScalesWithSize) {
+  CostModel cm;
+  EXPECT_GT(cm.RxCpu(512), cm.RxCpu(24));
+  EXPECT_GT(cm.TxCpu(6000), cm.TxCpu(512));
+  // Multi-frame messages pay per-frame cost.
+  EXPECT_GE(cm.RxCpu(cm.mtu_payload_bytes * 3), 3 * cm.per_frame_rx_ns);
+}
+
+}  // namespace
+}  // namespace hovercraft

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/stats/histogram.h"
+#include "src/stats/summary.h"
+#include "src/stats/timeseries.h"
+
+namespace hovercraft {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_EQ(h.Percentile(50), 1234);
+  EXPECT_EQ(h.Percentile(99), 1234);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h(7);
+  for (int64_t v = 0; v < 128; ++v) {
+    h.Record(v);
+  }
+  // Values below 2^7 land in exact buckets; either median of 0..127 is fine.
+  EXPECT_GE(h.ValueAtQuantile(0.5), 63);
+  EXPECT_LE(h.ValueAtQuantile(0.5), 64);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 127);
+}
+
+TEST(HistogramTest, RelativeErrorBounded) {
+  Histogram h(7);
+  Rng rng(17);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextBelow(100'000'000)) + 1;
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const int64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    const int64_t approx = h.ValueAtQuantile(q);
+    const double rel_err =
+        std::abs(static_cast<double>(approx - exact)) / static_cast<double>(exact);
+    EXPECT_LT(rel_err, 0.02) << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, MeanMatches) {
+  Histogram h;
+  for (int64_t v : {10, 20, 30, 40}) {
+    h.Record(v);
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), 25.0);
+}
+
+TEST(HistogramTest, RecordNWeightsCount) {
+  Histogram h;
+  h.RecordN(100, 99);
+  h.RecordN(1'000'000, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.Percentile(50), 101);
+  EXPECT_GE(h.Percentile(99.5), 990'000);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_GE(a.max(), 1000);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(int64_t{1} << 60);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.max(), int64_t{1} << 60);
+  EXPECT_GE(h.Percentile(50), (int64_t{1} << 60) - ((int64_t{1} << 60) >> 6));
+}
+
+// Quantiles are monotone in q.
+TEST(HistogramTest, QuantilesMonotone) {
+  Histogram h;
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextExponential(50'000)));
+  }
+  int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const int64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+TEST(SummaryTest, Empty) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(SummaryTest, MeanAndVariance) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Record(v);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timeseries
+// ---------------------------------------------------------------------------
+
+TEST(TimeseriesTest, BinsByTime) {
+  Timeseries ts(Seconds(1));
+  ts.Record(Millis(100), 10);
+  ts.Record(Millis(900), 20);
+  ts.Record(Seconds(1) + Millis(1), 30);
+  const auto points = ts.Points();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].samples, 2u);
+  EXPECT_EQ(points[1].samples, 1u);
+  EXPECT_EQ(points[0].start, 0);
+  EXPECT_EQ(points[1].start, Seconds(1));
+}
+
+TEST(TimeseriesTest, CountsEvents) {
+  Timeseries ts(Millis(100));
+  ts.Count(Millis(50));
+  ts.Count(Millis(60), 4);
+  const auto points = ts.Points();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].events, 5u);
+  EXPECT_EQ(points[0].samples, 0u);
+}
+
+TEST(TimeseriesTest, PercentilesPerBin) {
+  Timeseries ts(Millis(10));
+  for (int i = 0; i < 100; ++i) {
+    ts.Record(Millis(5), i < 99 ? 100 : 10'000);
+  }
+  const auto points = ts.Points();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_LE(points[0].p50, 101);
+  EXPECT_GE(points[0].p99, 100);
+}
+
+}  // namespace
+}  // namespace hovercraft

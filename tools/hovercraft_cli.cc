@@ -1,0 +1,236 @@
+// hovercraft_cli — run a HovercRaft deployment from the command line.
+//
+// Builds a cluster in any of the four modes, drives it with the synthetic or
+// YCSB-E workload at a fixed rate (or searches for the max throughput under
+// an SLO), and prints the measured latency distribution. Every run is
+// deterministic in --seed.
+//
+// Examples:
+//   hovercraft_cli --mode=hovercraft++ --nodes=5 --rate=500000
+//   hovercraft_cli --mode=vanilla --nodes=3 --request-bytes=512 --rate=300000
+//   hovercraft_cli --mode=hovercraft++ --nodes=3 --workload=ycsbe --slo-search
+//   hovercraft_cli --mode=unrep --rate=800000 --service-us=1
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/app/kvstore/service.h"
+#include "src/app/ycsb.h"
+#include "src/loadgen/experiment.h"
+#include "src/loadgen/workload.h"
+
+namespace hovercraft {
+namespace {
+
+struct CliOptions {
+  std::string mode = "hovercraft++";
+  int32_t nodes = 3;
+  std::string workload = "synthetic";
+  double rate = 100e3;
+  bool slo_search = false;
+  TimeNs slo = Micros(500);
+  int32_t request_bytes = 24;
+  int32_t reply_bytes = 8;
+  TimeNs service = Micros(1);
+  double read_only = 0.0;
+  double bimodal_ratio = 0.0;  // >1 enables the bimodal distribution
+  std::string policy = "jbsq";
+  int64_t bounded_queue = 128;
+  int64_t flow_control = 0;
+  TimeNs warmup = Millis(100);
+  TimeNs measure = Millis(300);
+  uint64_t seed = 42;
+  int32_t clients = 8;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: hovercraft_cli [flags]\n"
+      "  --mode=unrep|vanilla|hovercraft|hovercraft++   (default hovercraft++)\n"
+      "  --nodes=N                cluster size (default 3)\n"
+      "  --workload=synthetic|ycsbe\n"
+      "  --rate=RPS               offered load (default 100000)\n"
+      "  --slo-search             find max throughput under --slo-us instead\n"
+      "  --slo-us=U               tail SLO for the search (default 500)\n"
+      "  --request-bytes=B --reply-bytes=B (synthetic)\n"
+      "  --service-us=U           synthetic service time (default 1)\n"
+      "  --bimodal-ratio=R        10%% of requests take R x the base time\n"
+      "  --read-only=F            read-only fraction 0..1 (default 0)\n"
+      "  --policy=jbsq|random|leader\n"
+      "  --bounded-queue=B        replier queue bound (default 128)\n"
+      "  --flow-control=N         middlebox in-flight cap (0 = off)\n"
+      "  --warmup-ms=M --measure-ms=M\n"
+      "  --clients=N --seed=S\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string& out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseOptions(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      opts.help = true;
+    } else if (ParseFlag(a, "--mode", v)) {
+      opts.mode = v;
+    } else if (ParseFlag(a, "--nodes", v)) {
+      opts.nodes = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--workload", v)) {
+      opts.workload = v;
+    } else if (ParseFlag(a, "--rate", v)) {
+      opts.rate = std::atof(v.c_str());
+    } else if (std::strcmp(a, "--slo-search") == 0) {
+      opts.slo_search = true;
+    } else if (ParseFlag(a, "--slo-us", v)) {
+      opts.slo = Micros(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--request-bytes", v)) {
+      opts.request_bytes = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--reply-bytes", v)) {
+      opts.reply_bytes = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--service-us", v)) {
+      opts.service = Micros(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--bimodal-ratio", v)) {
+      opts.bimodal_ratio = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--read-only", v)) {
+      opts.read_only = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--policy", v)) {
+      opts.policy = v;
+    } else if (ParseFlag(a, "--bounded-queue", v)) {
+      opts.bounded_queue = std::atoll(v.c_str());
+    } else if (ParseFlag(a, "--flow-control", v)) {
+      opts.flow_control = std::atoll(v.c_str());
+    } else if (ParseFlag(a, "--warmup-ms", v)) {
+      opts.warmup = Millis(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--measure-ms", v)) {
+      opts.measure = Millis(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--clients", v)) {
+      opts.clients = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--seed", v)) {
+      opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const CliOptions& opts) {
+  ClusterMode mode;
+  if (opts.mode == "unrep") {
+    mode = ClusterMode::kUnreplicated;
+  } else if (opts.mode == "vanilla") {
+    mode = ClusterMode::kVanillaRaft;
+  } else if (opts.mode == "hovercraft") {
+    mode = ClusterMode::kHovercRaft;
+  } else if (opts.mode == "hovercraft++") {
+    mode = ClusterMode::kHovercRaftPP;
+  } else {
+    std::fprintf(stderr, "bad --mode=%s\n", opts.mode.c_str());
+    return 2;
+  }
+
+  ReplierPolicy policy;
+  if (opts.policy == "jbsq") {
+    policy = ReplierPolicy::kJbsq;
+  } else if (opts.policy == "random") {
+    policy = ReplierPolicy::kRandom;
+  } else if (opts.policy == "leader") {
+    policy = ReplierPolicy::kLeaderOnly;
+  } else {
+    std::fprintf(stderr, "bad --policy=%s\n", opts.policy.c_str());
+    return 2;
+  }
+
+  ExperimentConfig config;
+  config.cluster.mode = mode;
+  config.cluster.nodes = opts.nodes;
+  config.cluster.replier_policy = policy;
+  config.cluster.bounded_queue_depth = opts.bounded_queue;
+  config.cluster.flow_control_threshold = opts.flow_control;
+  config.cluster.seed = opts.seed;
+  config.client_count = opts.clients;
+  config.warmup = opts.warmup;
+  config.measure = opts.measure;
+  config.seed = opts.seed;
+
+  if (opts.workload == "synthetic") {
+    config.cluster.app_factory = []() { return std::make_unique<SyntheticService>(); };
+    SyntheticWorkloadConfig wc;
+    wc.request_bytes = opts.request_bytes;
+    wc.reply_bytes = opts.reply_bytes;
+    wc.read_only_fraction = opts.read_only;
+    if (opts.bimodal_ratio > 1.0) {
+      wc.service_time =
+          std::make_shared<BimodalDistribution>(opts.service, 0.1, opts.bimodal_ratio);
+    } else {
+      wc.service_time = std::make_shared<FixedDistribution>(opts.service);
+    }
+    config.workload_factory = [wc]() { return std::make_unique<SyntheticWorkload>(wc); };
+  } else if (opts.workload == "ycsbe") {
+    YcsbEConfig ycsb;
+    config.cluster.app_factory = [ycsb]() {
+      auto svc = std::make_unique<KvService>();
+      Rng rng(0xFEED5EED);
+      YcsbEGenerator gen(ycsb);
+      for (const KvCommand& cmd : gen.PreloadCommands(rng)) {
+        svc->Apply(cmd);
+      }
+      return svc;
+    };
+    config.workload_factory = [ycsb]() { return std::make_unique<YcsbEWorkload>(ycsb); };
+  } else {
+    std::fprintf(stderr, "bad --workload=%s\n", opts.workload.c_str());
+    return 2;
+  }
+
+  std::printf("# mode=%s nodes=%d workload=%s policy=%s seed=%llu\n", opts.mode.c_str(),
+              opts.nodes, opts.workload.c_str(), opts.policy.c_str(),
+              static_cast<unsigned long long>(opts.seed));
+
+  if (opts.slo_search) {
+    const SloResult r =
+        FindMaxThroughputUnderSlo(config, opts.slo, 0.05 * opts.rate, 2.0 * opts.rate);
+    std::printf("max throughput under %.0fus p99 SLO: %.0f rps (p99=%.1fus at offered %.0f)\n",
+                static_cast<double>(opts.slo) / 1e3, r.max_rps_under_slo,
+                static_cast<double>(r.p99_at_max) / 1e3, r.offered_at_max);
+    return 0;
+  }
+
+  const LoadMetrics m = RunLoadPoint(config, opts.rate);
+  std::printf("offered:   %10.0f rps\n", m.offered_rps);
+  std::printf("achieved:  %10.0f rps\n", m.achieved_rps);
+  std::printf("latency:   p50=%.1fus  p99=%.1fus  mean=%.1fus\n",
+              static_cast<double>(m.p50_ns) / 1e3, static_cast<double>(m.p99_ns) / 1e3,
+              m.mean_ns / 1e3);
+  std::printf("counters:  sent=%llu completed=%llu nacked=%llu lost=%llu\n",
+              static_cast<unsigned long long>(m.sent), static_cast<unsigned long long>(m.completed),
+              static_cast<unsigned long long>(m.nacked), static_cast<unsigned long long>(m.lost));
+  return 0;
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main(int argc, char** argv) {
+  hovercraft::CliOptions opts;
+  if (!hovercraft::ParseOptions(argc, argv, opts)) {
+    hovercraft::PrintUsage();
+    return 2;
+  }
+  if (opts.help) {
+    hovercraft::PrintUsage();
+    return 0;
+  }
+  return hovercraft::Run(opts);
+}
