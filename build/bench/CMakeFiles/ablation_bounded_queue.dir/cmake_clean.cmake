@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bounded_queue.dir/ablation_bounded_queue.cc.o"
+  "CMakeFiles/ablation_bounded_queue.dir/ablation_bounded_queue.cc.o.d"
+  "ablation_bounded_queue"
+  "ablation_bounded_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bounded_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

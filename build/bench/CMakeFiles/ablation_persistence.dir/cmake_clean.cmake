@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_persistence.dir/ablation_persistence.cc.o"
+  "CMakeFiles/ablation_persistence.dir/ablation_persistence.cc.o.d"
+  "ablation_persistence"
+  "ablation_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

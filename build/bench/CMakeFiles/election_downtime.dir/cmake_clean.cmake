@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/election_downtime.dir/election_downtime.cc.o"
+  "CMakeFiles/election_downtime.dir/election_downtime.cc.o.d"
+  "election_downtime"
+  "election_downtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/election_downtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_readonly_lb.dir/fig11_readonly_lb.cc.o"
+  "CMakeFiles/fig11_readonly_lb.dir/fig11_readonly_lb.cc.o.d"
+  "fig11_readonly_lb"
+  "fig11_readonly_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_readonly_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

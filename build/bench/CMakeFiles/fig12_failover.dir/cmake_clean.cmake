@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_failover.dir/fig12_failover.cc.o"
+  "CMakeFiles/fig12_failover.dir/fig12_failover.cc.o.d"
+  "fig12_failover"
+  "fig12_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ycsb_kvstore.dir/fig13_ycsb_kvstore.cc.o"
+  "CMakeFiles/fig13_ycsb_kvstore.dir/fig13_ycsb_kvstore.cc.o.d"
+  "fig13_ycsb_kvstore"
+  "fig13_ycsb_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ycsb_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_request_size.dir/fig8_request_size.cc.o"
+  "CMakeFiles/fig8_request_size.dir/fig8_request_size.cc.o.d"
+  "fig8_request_size"
+  "fig8_request_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_request_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

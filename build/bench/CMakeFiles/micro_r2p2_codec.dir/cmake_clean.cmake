@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_r2p2_codec.dir/micro_r2p2_codec.cc.o"
+  "CMakeFiles/micro_r2p2_codec.dir/micro_r2p2_codec.cc.o.d"
+  "micro_r2p2_codec"
+  "micro_r2p2_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_r2p2_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

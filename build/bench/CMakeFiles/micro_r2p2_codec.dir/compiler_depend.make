@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for micro_r2p2_codec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_raft_log.dir/micro_raft_log.cc.o"
+  "CMakeFiles/micro_raft_log.dir/micro_raft_log.cc.o.d"
+  "micro_raft_log"
+  "micro_raft_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_raft_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_stats.dir/micro_sim_stats.cc.o"
+  "CMakeFiles/micro_sim_stats.dir/micro_sim_stats.cc.o.d"
+  "micro_sim_stats"
+  "micro_sim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

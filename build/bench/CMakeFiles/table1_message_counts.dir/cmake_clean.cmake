@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_message_counts.dir/table1_message_counts.cc.o"
+  "CMakeFiles/table1_message_counts.dir/table1_message_counts.cc.o.d"
+  "table1_message_counts"
+  "table1_message_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_message_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/kvstore/command.cc" "src/app/CMakeFiles/hc_app.dir/kvstore/command.cc.o" "gcc" "src/app/CMakeFiles/hc_app.dir/kvstore/command.cc.o.d"
+  "/root/repo/src/app/kvstore/service.cc" "src/app/CMakeFiles/hc_app.dir/kvstore/service.cc.o" "gcc" "src/app/CMakeFiles/hc_app.dir/kvstore/service.cc.o.d"
+  "/root/repo/src/app/kvstore/store.cc" "src/app/CMakeFiles/hc_app.dir/kvstore/store.cc.o" "gcc" "src/app/CMakeFiles/hc_app.dir/kvstore/store.cc.o.d"
+  "/root/repo/src/app/lock_service.cc" "src/app/CMakeFiles/hc_app.dir/lock_service.cc.o" "gcc" "src/app/CMakeFiles/hc_app.dir/lock_service.cc.o.d"
+  "/root/repo/src/app/synthetic.cc" "src/app/CMakeFiles/hc_app.dir/synthetic.cc.o" "gcc" "src/app/CMakeFiles/hc_app.dir/synthetic.cc.o.d"
+  "/root/repo/src/app/ycsb.cc" "src/app/CMakeFiles/hc_app.dir/ycsb.cc.o" "gcc" "src/app/CMakeFiles/hc_app.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/r2p2/CMakeFiles/hc_r2p2.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

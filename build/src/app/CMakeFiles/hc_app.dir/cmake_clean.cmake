@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_app.dir/kvstore/command.cc.o"
+  "CMakeFiles/hc_app.dir/kvstore/command.cc.o.d"
+  "CMakeFiles/hc_app.dir/kvstore/service.cc.o"
+  "CMakeFiles/hc_app.dir/kvstore/service.cc.o.d"
+  "CMakeFiles/hc_app.dir/kvstore/store.cc.o"
+  "CMakeFiles/hc_app.dir/kvstore/store.cc.o.d"
+  "CMakeFiles/hc_app.dir/lock_service.cc.o"
+  "CMakeFiles/hc_app.dir/lock_service.cc.o.d"
+  "CMakeFiles/hc_app.dir/synthetic.cc.o"
+  "CMakeFiles/hc_app.dir/synthetic.cc.o.d"
+  "CMakeFiles/hc_app.dir/ycsb.cc.o"
+  "CMakeFiles/hc_app.dir/ycsb.cc.o.d"
+  "libhc_app.a"
+  "libhc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_common.dir/logging.cc.o"
+  "CMakeFiles/hc_common.dir/logging.cc.o.d"
+  "CMakeFiles/hc_common.dir/random.cc.o"
+  "CMakeFiles/hc_common.dir/random.cc.o.d"
+  "CMakeFiles/hc_common.dir/status.cc.o"
+  "CMakeFiles/hc_common.dir/status.cc.o.d"
+  "CMakeFiles/hc_common.dir/types.cc.o"
+  "CMakeFiles/hc_common.dir/types.cc.o.d"
+  "libhc_common.a"
+  "libhc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_core.dir/aggregator.cc.o"
+  "CMakeFiles/hc_core.dir/aggregator.cc.o.d"
+  "CMakeFiles/hc_core.dir/cluster.cc.o"
+  "CMakeFiles/hc_core.dir/cluster.cc.o.d"
+  "CMakeFiles/hc_core.dir/flow_control.cc.o"
+  "CMakeFiles/hc_core.dir/flow_control.cc.o.d"
+  "CMakeFiles/hc_core.dir/server.cc.o"
+  "CMakeFiles/hc_core.dir/server.cc.o.d"
+  "CMakeFiles/hc_core.dir/unordered_store.cc.o"
+  "CMakeFiles/hc_core.dir/unordered_store.cc.o.d"
+  "libhc_core.a"
+  "libhc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

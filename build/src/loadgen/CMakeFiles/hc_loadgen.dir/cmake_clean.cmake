@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_loadgen.dir/client.cc.o"
+  "CMakeFiles/hc_loadgen.dir/client.cc.o.d"
+  "CMakeFiles/hc_loadgen.dir/experiment.cc.o"
+  "CMakeFiles/hc_loadgen.dir/experiment.cc.o.d"
+  "libhc_loadgen.a"
+  "libhc_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/r2p2/packetizer.cc" "src/r2p2/CMakeFiles/hc_r2p2.dir/packetizer.cc.o" "gcc" "src/r2p2/CMakeFiles/hc_r2p2.dir/packetizer.cc.o.d"
+  "/root/repo/src/r2p2/router.cc" "src/r2p2/CMakeFiles/hc_r2p2.dir/router.cc.o" "gcc" "src/r2p2/CMakeFiles/hc_r2p2.dir/router.cc.o.d"
+  "/root/repo/src/r2p2/serdes.cc" "src/r2p2/CMakeFiles/hc_r2p2.dir/serdes.cc.o" "gcc" "src/r2p2/CMakeFiles/hc_r2p2.dir/serdes.cc.o.d"
+  "/root/repo/src/r2p2/wire.cc" "src/r2p2/CMakeFiles/hc_r2p2.dir/wire.cc.o" "gcc" "src/r2p2/CMakeFiles/hc_r2p2.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

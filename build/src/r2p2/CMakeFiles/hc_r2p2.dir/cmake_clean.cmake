@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_r2p2.dir/packetizer.cc.o"
+  "CMakeFiles/hc_r2p2.dir/packetizer.cc.o.d"
+  "CMakeFiles/hc_r2p2.dir/router.cc.o"
+  "CMakeFiles/hc_r2p2.dir/router.cc.o.d"
+  "CMakeFiles/hc_r2p2.dir/serdes.cc.o"
+  "CMakeFiles/hc_r2p2.dir/serdes.cc.o.d"
+  "CMakeFiles/hc_r2p2.dir/wire.cc.o"
+  "CMakeFiles/hc_r2p2.dir/wire.cc.o.d"
+  "libhc_r2p2.a"
+  "libhc_r2p2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_r2p2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hc_r2p2.
+# This may be replaced when dependencies are built.

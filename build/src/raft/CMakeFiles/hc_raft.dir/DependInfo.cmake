@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raft/log.cc" "src/raft/CMakeFiles/hc_raft.dir/log.cc.o" "gcc" "src/raft/CMakeFiles/hc_raft.dir/log.cc.o.d"
+  "/root/repo/src/raft/node.cc" "src/raft/CMakeFiles/hc_raft.dir/node.cc.o" "gcc" "src/raft/CMakeFiles/hc_raft.dir/node.cc.o.d"
+  "/root/repo/src/raft/replier_scheduler.cc" "src/raft/CMakeFiles/hc_raft.dir/replier_scheduler.cc.o" "gcc" "src/raft/CMakeFiles/hc_raft.dir/replier_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/r2p2/CMakeFiles/hc_r2p2.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hc_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

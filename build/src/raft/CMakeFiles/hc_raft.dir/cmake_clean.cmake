@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_raft.dir/log.cc.o"
+  "CMakeFiles/hc_raft.dir/log.cc.o.d"
+  "CMakeFiles/hc_raft.dir/node.cc.o"
+  "CMakeFiles/hc_raft.dir/node.cc.o.d"
+  "CMakeFiles/hc_raft.dir/replier_scheduler.cc.o"
+  "CMakeFiles/hc_raft.dir/replier_scheduler.cc.o.d"
+  "libhc_raft.a"
+  "libhc_raft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_raft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

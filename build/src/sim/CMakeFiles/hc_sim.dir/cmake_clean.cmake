@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_sim.dir/simulator.cc.o"
+  "CMakeFiles/hc_sim.dir/simulator.cc.o.d"
+  "libhc_sim.a"
+  "libhc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hc_stats.dir/histogram.cc.o"
+  "CMakeFiles/hc_stats.dir/histogram.cc.o.d"
+  "libhc_stats.a"
+  "libhc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

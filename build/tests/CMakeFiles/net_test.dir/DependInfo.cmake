@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/net_test.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/loadgen/CMakeFiles/hc_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/raft/CMakeFiles/hc_raft.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/hc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/r2p2/CMakeFiles/hc_r2p2.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/r2p2_test.dir/r2p2_test.cc.o"
+  "CMakeFiles/r2p2_test.dir/r2p2_test.cc.o.d"
+  "r2p2_test"
+  "r2p2_test.pdb"
+  "r2p2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/r2p2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

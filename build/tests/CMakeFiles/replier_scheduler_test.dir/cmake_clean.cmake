@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replier_scheduler_test.dir/replier_scheduler_test.cc.o"
+  "CMakeFiles/replier_scheduler_test.dir/replier_scheduler_test.cc.o.d"
+  "replier_scheduler_test"
+  "replier_scheduler_test.pdb"
+  "replier_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replier_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

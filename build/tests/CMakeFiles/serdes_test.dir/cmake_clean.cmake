@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serdes_test.dir/serdes_test.cc.o"
+  "CMakeFiles/serdes_test.dir/serdes_test.cc.o.d"
+  "serdes_test"
+  "serdes_test.pdb"
+  "serdes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serdes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

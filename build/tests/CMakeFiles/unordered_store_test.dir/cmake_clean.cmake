@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unordered_store_test.dir/unordered_store_test.cc.o"
+  "CMakeFiles/unordered_store_test.dir/unordered_store_test.cc.o.d"
+  "unordered_store_test"
+  "unordered_store_test.pdb"
+  "unordered_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unordered_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hovercraft_cli.dir/hovercraft_cli.cc.o"
+  "CMakeFiles/hovercraft_cli.dir/hovercraft_cli.cc.o.d"
+  "hovercraft_cli"
+  "hovercraft_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hovercraft_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke_hovercraftpp "/root/repo/build/tools/hovercraft_cli" "--mode=hovercraft++" "--nodes=3" "--rate=20000" "--warmup-ms=10" "--measure-ms=30")
+set_tests_properties(cli_smoke_hovercraftpp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_vanilla "/root/repo/build/tools/hovercraft_cli" "--mode=vanilla" "--nodes=3" "--rate=20000" "--warmup-ms=10" "--measure-ms=30")
+set_tests_properties(cli_smoke_vanilla PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_ycsbe "/root/repo/build/tools/hovercraft_cli" "--mode=hovercraft" "--nodes=3" "--workload=ycsbe" "--rate=5000" "--warmup-ms=10" "--measure-ms=30")
+set_tests_properties(cli_smoke_ycsbe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
