@@ -1,0 +1,55 @@
+#include "src/chaos/history.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+
+void KvHistoryRecorder::OnInvoke(HostId client, uint64_t seq, R2p2Policy /*policy*/,
+                                 const Body& body, TimeNs at) {
+  Result<KvCommand> cmd = DecodeKvCommand(body);
+  HC_CHECK(cmd.ok());  // the chaos workload only sends KV commands
+  Slot slot;
+  slot.op.client = client;
+  slot.op.seq = seq;
+  slot.op.invoke = at;
+  slot.op.cmd = cmd.TakeValue();
+  const size_t idx = ops_.size();
+  ops_.push_back(std::move(slot));
+  const bool inserted = index_.emplace(Key{client, seq}, idx).second;
+  HC_CHECK(inserted);  // (client, seq) is unique by construction
+}
+
+void KvHistoryRecorder::OnComplete(HostId client, uint64_t seq, const Body& reply, TimeNs at) {
+  auto it = index_.find(Key{client, seq});
+  HC_CHECK(it != index_.end());
+  Slot& slot = ops_[it->second];
+  HC_CHECK(slot.op.open());  // ClientHost delivers at most one completion
+  slot.op.complete = at;
+  Result<KvReply> decoded = DecodeKvReply(reply);
+  HC_CHECK(decoded.ok());
+  slot.op.reply = decoded.TakeValue();
+  slot.op.has_reply = true;
+  ++completed_;
+}
+
+void KvHistoryRecorder::OnNack(HostId client, uint64_t seq, TimeNs /*at*/) {
+  auto it = index_.find(Key{client, seq});
+  HC_CHECK(it != index_.end());
+  ops_[it->second].nacked = true;
+  ++nacked_;
+}
+
+std::vector<KvOperation> KvHistoryRecorder::History() const {
+  std::vector<KvOperation> out;
+  out.reserve(ops_.size());
+  for (const Slot& slot : ops_) {
+    if (!slot.nacked) {
+      out.push_back(slot.op);
+    }
+  }
+  return out;
+}
+
+}  // namespace hovercraft

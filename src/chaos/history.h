@@ -1,0 +1,80 @@
+// Client-observed history capture for the chaos harness.
+//
+// A KvHistoryRecorder attaches to one or more ClientHosts (via the
+// ClientHost::Observer hook) and records, per request, the invoke/complete
+// interval together with the decoded KV command and reply. The resulting
+// history is what the linearizability checker consumes: correctness is judged
+// by what clients saw, not by internal replica state.
+#ifndef SRC_CHAOS_HISTORY_H_
+#define SRC_CHAOS_HISTORY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/app/kvstore/command.h"
+#include "src/common/types.h"
+#include "src/loadgen/client.h"
+
+namespace hovercraft {
+
+// One client-observed KV operation. `complete < 0` means the client never
+// received a response: the operation is open-ended and may have taken effect
+// at any time after `invoke`, or never.
+struct KvOperation {
+  HostId client = kInvalidHost;
+  uint64_t seq = 0;
+  TimeNs invoke = 0;
+  TimeNs complete = -1;
+  KvCommand cmd;
+  bool has_reply = false;
+  KvReply reply;
+
+  bool open() const { return complete < 0; }
+};
+
+class KvHistoryRecorder final : public ClientHost::Observer {
+ public:
+  void OnInvoke(HostId client, uint64_t seq, R2p2Policy policy, const Body& body,
+                TimeNs at) override;
+  void OnComplete(HostId client, uint64_t seq, const Body& reply, TimeNs at) override;
+  void OnNack(HostId client, uint64_t seq, TimeNs at) override;
+
+  // The recorded history in invocation order. NACKed requests are excluded:
+  // the flow-control middlebox rejects them before they reach consensus, so
+  // they never took effect. The recorder keeps recording afterwards.
+  std::vector<KvOperation> History() const;
+
+  size_t invoked() const { return ops_.size(); }
+  size_t completed() const { return completed_; }
+  size_t nacked() const { return nacked_; }
+
+ private:
+  struct Slot {
+    KvOperation op;
+    bool nacked = false;
+  };
+  struct Key {
+    HostId client;
+    uint64_t seq;
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.client == b.client && a.seq == b.seq;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t x = static_cast<uint64_t>(k.client) * 0x9E3779B97F4A7C15ull + k.seq;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+
+  std::vector<Slot> ops_;                          // invocation order
+  std::unordered_map<Key, size_t, KeyHash> index_;  // (client, seq) -> slot
+  size_t completed_ = 0;
+  size_t nacked_ = 0;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_CHAOS_HISTORY_H_

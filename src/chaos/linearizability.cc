@@ -1,0 +1,163 @@
+#include "src/chaos/linearizability.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/app/kvstore/service.h"
+#include "src/common/random.h"
+
+namespace hovercraft {
+namespace {
+
+bool RepliesEqual(const KvReply& a, const KvReply& b) {
+  return a.status == b.status && a.values == b.values;
+}
+
+// Search over one key's sub-history. The model is a KvService holding only
+// this key, so copying it per branch is cheap and its store digest doubles
+// as the memoization state hash.
+class KeySearch {
+ public:
+  KeySearch(std::vector<const KvOperation*> ops, uint64_t* states_budget)
+      : ops_(std::move(ops)), states_budget_(states_budget) {
+    std::sort(ops_.begin(), ops_.end(), [](const KvOperation* a, const KvOperation* b) {
+      if (a->invoke != b->invoke) {
+        return a->invoke < b->invoke;
+      }
+      return std::pair(a->client, a->seq) < std::pair(b->client, b->seq);
+    });
+    // Zobrist tags for the remaining-set hash; fixed seed so verdicts replay.
+    Rng rng(0x11EA21ab1e5eed00ull ^ static_cast<uint64_t>(ops_.size()));
+    tags_.reserve(ops_.size());
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      tags_.push_back(rng.Next());
+    }
+  }
+
+  // True if a linearization witness exists.
+  bool Run(bool* budget_exhausted) {
+    remaining_.assign(ops_.size(), 1);
+    size_t with_reply = 0;
+    uint64_t rem_hash = 0;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i]->has_reply) {
+        ++with_reply;
+      }
+      rem_hash ^= tags_[i];
+    }
+    const bool ok = Dfs(KvService{}, with_reply, rem_hash);
+    if (budget_hit_) {
+      *budget_exhausted = true;
+    }
+    return ok;
+  }
+
+ private:
+  bool Dfs(KvService model, size_t with_reply, uint64_t rem_hash) {
+    if (with_reply == 0) {
+      return true;  // only open invocations remain; they may all be dropped
+    }
+    if (budget_hit_) {
+      return false;
+    }
+    const uint64_t sig = rem_hash ^ model.store().ContentDigest();
+    if (!visited_.insert(sig).second) {
+      return false;  // an equivalent configuration already failed
+    }
+    if (*states_budget_ == 0) {
+      budget_hit_ = true;
+      return false;
+    }
+    --*states_budget_;
+
+    // An operation may be linearized next iff no other remaining operation
+    // completed before it was invoked.
+    TimeNs min_complete = std::numeric_limits<TimeNs>::max();
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (remaining_[i] && !ops_[i]->open()) {
+        min_complete = std::min(min_complete, ops_[i]->complete);
+      }
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (!remaining_[i] || ops_[i]->invoke > min_complete) {
+        continue;
+      }
+      const KvOperation& op = *ops_[i];
+      if (op.has_reply) {
+        KvService next = model;
+        const KvReply expected = next.Apply(op.cmd);
+        if (!RepliesEqual(expected, op.reply)) {
+          continue;
+        }
+        remaining_[i] = 0;
+        if (Dfs(std::move(next), with_reply - 1, rem_hash ^ tags_[i])) {
+          return true;
+        }
+        remaining_[i] = 1;
+      } else {
+        // An open invocation either took effect at this point (its result
+        // was never observed, so any reply is consistent) ...
+        KvService next = model;
+        next.Apply(op.cmd);
+        remaining_[i] = 0;
+        if (Dfs(std::move(next), with_reply, rem_hash ^ tags_[i])) {
+          return true;
+        }
+        // ... or never took effect at all.
+        if (Dfs(model, with_reply, rem_hash ^ tags_[i])) {
+          return true;
+        }
+        remaining_[i] = 1;
+      }
+    }
+    return false;
+  }
+
+  std::vector<const KvOperation*> ops_;
+  std::vector<uint64_t> tags_;
+  std::vector<char> remaining_;
+  std::unordered_set<uint64_t> visited_;
+  uint64_t* states_budget_;
+  bool budget_hit_ = false;
+};
+
+}  // namespace
+
+LinearizabilityResult CheckKvLinearizability(const std::vector<KvOperation>& history,
+                                             uint64_t max_states) {
+  LinearizabilityResult result;
+  result.checked_ops = history.size();
+
+  // Partition by key (linearizability is compositional over objects).
+  // std::map keeps key order deterministic across runs.
+  std::map<std::string, std::vector<const KvOperation*>> by_key;
+  for (const KvOperation& op : history) {
+    if (op.open()) {
+      ++result.open_ops;
+    }
+    by_key[op.cmd.key].push_back(&op);
+  }
+  result.keys = by_key.size();
+
+  uint64_t budget = max_states;
+  for (auto& [key, ops] : by_key) {
+    KeySearch search(std::move(ops), &budget);
+    bool exhausted = false;
+    const bool ok = search.Run(&exhausted);
+    result.states_explored = max_states - budget;
+    if (exhausted) {
+      result.budget_exhausted = true;
+    }
+    if (!ok) {
+      result.linearizable = false;
+      result.failure_key = key;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,49 @@
+// Offline linearizability checker for client-observed KV histories.
+//
+// Wing & Gong style exhaustive search over linearization orders, with two
+// standard optimizations: the history is first partitioned by key (every
+// KvCommand touches exactly one key, and linearizability is compositional —
+// Herlihy & Wing), and the search memoizes visited (remaining-ops, model
+// state) configurations so equivalent interleavings are explored once.
+//
+// The sequential specification is KvService::Apply itself, so the checker
+// accepts exactly the replies a single serial KvService would produce.
+//
+// Scope/limits: single-key operations only (all current KvCommands qualify);
+// open invocations (no response observed) may be linearized at any point
+// after their invoke or dropped entirely; NACKed requests must be stripped
+// before checking (KvHistoryRecorder does this). The search is exponential
+// in the worst case — `max_states` bounds it, and a run that exhausts the
+// budget reports conclusive() == false rather than guessing.
+#ifndef SRC_CHAOS_LINEARIZABILITY_H_
+#define SRC_CHAOS_LINEARIZABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chaos/history.h"
+
+namespace hovercraft {
+
+struct LinearizabilityResult {
+  bool linearizable = true;
+  bool budget_exhausted = false;
+  std::string failure_key;   // first key whose sub-history has no witness
+  size_t checked_ops = 0;    // ops examined (complete + open)
+  size_t open_ops = 0;       // invocations with no observed response
+  size_t keys = 0;           // distinct keys in the history
+  uint64_t states_explored = 0;
+
+  // True when the verdict is definitive (the search was not cut short).
+  bool conclusive() const { return linearizable || !budget_exhausted; }
+};
+
+// Checks the history for linearizability. `max_states` caps the total number
+// of memoized search states across all keys.
+LinearizabilityResult CheckKvLinearizability(const std::vector<KvOperation>& history,
+                                             uint64_t max_states = 20'000'000);
+
+}  // namespace hovercraft
+
+#endif  // SRC_CHAOS_LINEARIZABILITY_H_

@@ -1,0 +1,307 @@
+#include "src/chaos/nemesis.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+namespace {
+
+// Scripted fault kinds the "random" schedule draws from.
+enum class RandomFault {
+  kIsolateLeader = 0,
+  kSplitHalves,
+  kAsymLeader,
+  kDelay,
+  kReorder,
+  kFlap,
+  kCrashFollower,
+  kCrashLeader,
+  kCount,
+};
+
+std::string FormatMs(TimeNs t) {
+  return std::to_string(t / 1'000'000) + "." + std::to_string((t / 100'000) % 10) + "ms";
+}
+
+}  // namespace
+
+const std::vector<std::string>& Nemesis::ScheduleNames() {
+  static const std::vector<std::string> kNames = {
+      "none",           "partition-leader", "partition-halves", "asym-leader",
+      "delay",          "reorder",          "flap",             "crash-follower",
+      "crash-leader",   "random",
+  };
+  return kNames;
+}
+
+bool Nemesis::IsValidSchedule(const std::string& name) {
+  const auto& names = ScheduleNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Nemesis::Nemesis(Cluster* cluster, const NemesisConfig& config)
+    : cluster_(cluster), config_(config), rng_(config.seed ^ 0xC4A05C4A05ull) {
+  HC_CHECK(IsValidSchedule(config_.schedule));
+  HC_CHECK_LE(config_.start, config_.end);
+}
+
+void Nemesis::At(TimeNs when, std::function<void()> fn) {
+  cluster_->sim().At(when, std::move(fn));
+}
+
+void Nemesis::Log(const std::string& text) {
+  events_.push_back(FormatMs(cluster_->sim().Now()) + " " + text);
+}
+
+NodeId Nemesis::CurrentLeaderOr(NodeId fallback) {
+  const NodeId leader = cluster_->LeaderId();
+  return leader == kInvalidNode ? fallback : leader;
+}
+
+NodeId Nemesis::PickFollower(NodeId leader) {
+  const int32_t n = cluster_->node_count();
+  // A live non-leader if one exists; otherwise any non-leader.
+  std::vector<NodeId> live;
+  std::vector<NodeId> any;
+  for (NodeId node = 0; node < n; ++node) {
+    if (node == leader) {
+      continue;
+    }
+    any.push_back(node);
+    if (!cluster_->server(node).failed()) {
+      live.push_back(node);
+    }
+  }
+  const auto& pool = live.empty() ? any : live;
+  return pool[rng_.NextBelow(pool.size())];
+}
+
+void Nemesis::IsolateLeader() {
+  const NodeId leader = CurrentLeaderOr(0);
+  cluster_->network().SetPartitions({{cluster_->server_host(leader)}});
+  Log("partition: isolate node " + std::to_string(leader) + " (leader)");
+}
+
+void Nemesis::SplitHalves() {
+  // Cut off a minority that contains the current leader, forcing the
+  // majority side (which also holds clients and middleboxes — they stay in
+  // group 0) to elect a new leader.
+  const NodeId leader = CurrentLeaderOr(0);
+  const int32_t minority = (cluster_->node_count() - 1) / 2;
+  std::vector<HostId> cut = {cluster_->server_host(leader)};
+  while (static_cast<int32_t>(cut.size()) < minority) {
+    const NodeId extra = PickFollower(leader);
+    const HostId host = cluster_->server_host(extra);
+    if (std::find(cut.begin(), cut.end(), host) == cut.end()) {
+      cut.push_back(host);
+    }
+  }
+  cluster_->network().SetPartitions({cut});
+  Log("partition: split off " + std::to_string(cut.size()) +
+      " node(s) incl. leader node " + std::to_string(leader));
+}
+
+void Nemesis::AsymBlockLeader() {
+  // One-way cut: the leader hears everyone but its own frames vanish.
+  // Followers miss heartbeats and start an election; the stale leader learns
+  // the new term from the inbound traffic it still receives.
+  const NodeId leader = CurrentLeaderOr(0);
+  const HostId src = cluster_->server_host(leader);
+  for (NodeId node = 0; node < cluster_->node_count(); ++node) {
+    if (node == leader) {
+      continue;
+    }
+    const HostId dst = cluster_->server_host(node);
+    cluster_->network().BlockLink(src, dst);
+    cut_links_.emplace_back(src, dst);
+  }
+  Log("asym: block outbound links of node " + std::to_string(leader) + " (leader)");
+}
+
+void Nemesis::InjectDelay(TimeNs extra) {
+  // Slow every server-to-server link; client traffic keeps normal latency,
+  // so replication lags the multicast data path (stresses the unordered
+  // store and recovery).
+  const int32_t n = cluster_->node_count();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b) {
+        cluster_->network().SetLinkDelay(cluster_->server_host(a), cluster_->server_host(b),
+                                         extra);
+      }
+    }
+  }
+  Log("delay: +" + FormatMs(extra) + " on all server-server links");
+}
+
+void Nemesis::InjectReorder(double probability, TimeNs max_extra) {
+  cluster_->network().SetReorder(probability, max_extra);
+  Log("reorder: p=" + std::to_string(probability) + " max_extra=" + FormatMs(max_extra));
+}
+
+void Nemesis::FlapLink(bool block) {
+  if (block) {
+    const NodeId leader = CurrentLeaderOr(0);
+    const NodeId follower = PickFollower(leader);
+    const HostId a = cluster_->server_host(leader);
+    const HostId b = cluster_->server_host(follower);
+    cluster_->network().BlockLink(a, b);
+    cluster_->network().BlockLink(b, a);
+    cut_links_.emplace_back(a, b);
+    cut_links_.emplace_back(b, a);
+    Log("flap: cut link node " + std::to_string(leader) + " <-> node " +
+        std::to_string(follower));
+  } else {
+    for (const auto& [src, dst] : cut_links_) {
+      cluster_->network().UnblockLink(src, dst);
+    }
+    cut_links_.clear();
+    Log("flap: restore links");
+  }
+}
+
+void Nemesis::CrashOne(bool leader) {
+  // Keep a majority alive: only crash when every node is up. (With the
+  // smallest practical cluster, n = 3, a second simultaneous crash would
+  // stall the window and the post-settle liveness check.)
+  if (cluster_->LiveNodeCount() < cluster_->node_count()) {
+    Log("crash: skipped (a node is already down)");
+    return;
+  }
+  const NodeId victim =
+      leader ? CurrentLeaderOr(0) : PickFollower(CurrentLeaderOr(0));
+  cluster_->KillNode(victim);
+  Log("crash: node " + std::to_string(victim) + (leader ? " (leader)" : " (follower)"));
+}
+
+void Nemesis::RestartDead() {
+  for (NodeId node = 0; node < cluster_->node_count(); ++node) {
+    if (cluster_->server(node).failed()) {
+      cluster_->RestartNode(node);
+      Log("restart: node " + std::to_string(node));
+    }
+  }
+}
+
+void Nemesis::HealNetwork() {
+  cluster_->network().ClearFaults();
+  cut_links_.clear();
+  Log("heal: clear all network faults");
+}
+
+void Nemesis::HealAll() {
+  HealNetwork();
+  RestartDead();
+}
+
+void Nemesis::Arm() {
+  if (config_.schedule == "none") {
+    return;
+  }
+  if (config_.schedule == "random") {
+    ArmRandom();
+  } else {
+    ArmScripted();
+  }
+  // Safety net: whatever the schedule did, the window ends clean so the
+  // settle phase can demand a live leader and converged replicas.
+  At(config_.end, [this] { HealAll(); });
+}
+
+void Nemesis::ArmScripted() {
+  const TimeNs s = config_.start;
+  const TimeNs w = config_.end - config_.start;
+  const std::string& name = config_.schedule;
+
+  if (name == "partition-leader") {
+    At(s + w / 8, [this] { IsolateLeader(); });
+    At(s + w / 2, [this] { HealNetwork(); });
+    At(s + 5 * w / 8, [this] { IsolateLeader(); });
+    At(s + 7 * w / 8, [this] { HealNetwork(); });
+  } else if (name == "partition-halves") {
+    At(s + w / 8, [this] { SplitHalves(); });
+    At(s + w / 2, [this] { HealNetwork(); });
+    At(s + 5 * w / 8, [this] { SplitHalves(); });
+    At(s + 7 * w / 8, [this] { HealNetwork(); });
+  } else if (name == "asym-leader") {
+    At(s + w / 8, [this] { AsymBlockLeader(); });
+    At(s + 5 * w / 8, [this] { HealNetwork(); });
+  } else if (name == "delay") {
+    // Comparable to the election timeout: enough to trigger spurious
+    // elections and deep reordering against the client multicast path.
+    At(s + w / 8, [this] { InjectDelay(Millis(3)); });
+    At(s + 3 * w / 4, [this] { HealNetwork(); });
+  } else if (name == "reorder") {
+    At(s + w / 8, [this] { InjectReorder(0.3, Millis(2)); });
+    At(s + 3 * w / 4, [this] { HealNetwork(); });
+  } else if (name == "flap") {
+    for (int i = 0; i < 4; ++i) {
+      const TimeNs cut = s + w / 8 + i * (w / 6);
+      At(cut, [this] { FlapLink(true); });
+      At(cut + w / 12, [this] { FlapLink(false); });
+    }
+  } else if (name == "crash-follower") {
+    At(s + w / 8, [this] { CrashOne(false); });
+    At(s + w / 2, [this] { RestartDead(); });
+    At(s + 5 * w / 8, [this] { CrashOne(false); });
+    At(s + 7 * w / 8, [this] { RestartDead(); });
+  } else if (name == "crash-leader") {
+    At(s + w / 8, [this] { CrashOne(true); });
+    At(s + 5 * w / 8, [this] { RestartDead(); });
+  } else {
+    HC_CHECK(false);  // IsValidSchedule covered everything else
+  }
+}
+
+void Nemesis::ArmRandom() {
+  At(config_.start + (config_.end - config_.start) / 16, [this] { RandomStep(); });
+}
+
+void Nemesis::RandomStep() {
+  const TimeNs now = cluster_->sim().Now();
+  const TimeNs w = config_.end - config_.start;
+  // Stop injecting once a fault + heal no longer fits before the window end.
+  if (now + w / 8 >= config_.end) {
+    return;
+  }
+  const auto fault =
+      static_cast<RandomFault>(rng_.NextBelow(static_cast<uint64_t>(RandomFault::kCount)));
+  switch (fault) {
+    case RandomFault::kIsolateLeader:
+      IsolateLeader();
+      break;
+    case RandomFault::kSplitHalves:
+      SplitHalves();
+      break;
+    case RandomFault::kAsymLeader:
+      AsymBlockLeader();
+      break;
+    case RandomFault::kDelay:
+      InjectDelay(Millis(static_cast<int64_t>(rng_.NextInRange(1, 4))));
+      break;
+    case RandomFault::kReorder:
+      InjectReorder(0.1 + 0.3 * rng_.NextDouble(), Millis(2));
+      break;
+    case RandomFault::kFlap:
+      FlapLink(true);
+      break;
+    case RandomFault::kCrashFollower:
+      CrashOne(false);
+      break;
+    case RandomFault::kCrashLeader:
+      CrashOne(true);
+      break;
+    case RandomFault::kCount:
+      break;
+  }
+  // Hold the fault for a random slice of the window, heal, breathe, repeat.
+  const TimeNs hold = w / 16 + static_cast<TimeNs>(rng_.NextBelow(
+                                   static_cast<uint64_t>(w / 8)));
+  const TimeNs gap = w / 32 + static_cast<TimeNs>(rng_.NextBelow(
+                                  static_cast<uint64_t>(w / 16)));
+  At(now + hold, [this] { HealAll(); });
+  At(now + hold + gap, [this] { RandomStep(); });
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,89 @@
+// The nemesis: drives fault schedules against a live Cluster.
+//
+// A Nemesis is armed once over a window [start, end] of virtual time and
+// schedules fault-injection events on the cluster's simulator: symmetric and
+// asymmetric network partitions, per-link extra delay, probabilistic
+// reordering, link flaps, and node crash + restart. Every decision that
+// depends on run state (e.g. "the current leader") is resolved at event fire
+// time, so the same (schedule, seed, cluster config) triple replays the
+// exact same fault sequence — the harness's whole point.
+//
+// Invariants the nemesis maintains:
+//  - a majority of nodes stays alive at all times (crashes are gated on
+//    LiveNodeCount(), so liveness checks after the window are meaningful);
+//  - by `end`, all network faults are healed and all crashed nodes have been
+//    restarted, so the post-window settle phase can expect convergence.
+#ifndef SRC_CHAOS_NEMESIS_H_
+#define SRC_CHAOS_NEMESIS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/core/cluster.h"
+
+namespace hovercraft {
+
+struct NemesisConfig {
+  // One of Nemesis::ScheduleNames(), or "none" for a quiet control run.
+  std::string schedule = "random";
+  uint64_t seed = 1;
+  TimeNs start = 0;
+  TimeNs end = 0;
+};
+
+class Nemesis {
+ public:
+  // Scripted schedules plus "random" (a seeded sequence of the scripted
+  // faults) and "none".
+  static const std::vector<std::string>& ScheduleNames();
+  static bool IsValidSchedule(const std::string& name);
+
+  Nemesis(Cluster* cluster, const NemesisConfig& config);
+
+  // Schedules the fault events for the configured window. Call once, before
+  // running the simulator past `config.start`.
+  void Arm();
+
+  // Human-readable log of every fault fired, in order ("12.3ms isolate
+  // leader node 1"). Lets a failing test print exactly what the nemesis did.
+  const std::vector<std::string>& events() const { return events_; }
+
+ private:
+  void At(TimeNs when, std::function<void()> fn);
+  void Log(const std::string& text);
+
+  // Fire-time helpers; each resolves leader/followers at call time.
+  NodeId CurrentLeaderOr(NodeId fallback);
+  NodeId PickFollower(NodeId leader);
+  void IsolateLeader();
+  void SplitHalves();
+  void AsymBlockLeader();
+  void InjectDelay(TimeNs extra);
+  void InjectReorder(double probability, TimeNs max_extra);
+  void FlapLink(bool block);
+  void CrashOne(bool leader);
+  void RestartDead();
+  void HealNetwork();
+  void HealAll();
+
+  void ArmScripted();
+  void ArmRandom();
+  void RandomStep();
+
+  Cluster* cluster_;
+  NemesisConfig config_;
+  Rng rng_;
+  std::vector<std::string> events_;
+  // The link currently flapping / blocked asymmetrically, so heal events
+  // operate on what was actually cut rather than re-resolving the leader.
+  std::vector<std::pair<HostId, HostId>> cut_links_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_CHAOS_NEMESIS_H_

@@ -1,0 +1,117 @@
+#include "src/chaos/runner.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/app/kvstore/service.h"
+#include "src/chaos/history.h"
+#include "src/chaos/kv_workload.h"
+#include "src/chaos/nemesis.h"
+#include "src/core/cluster.h"
+#include "src/loadgen/client.h"
+
+namespace hovercraft {
+
+std::string ChaosRunResult::Describe() const {
+  std::ostringstream out;
+  out << "leader_alive=" << leader_alive << " digests_converged=" << digests_converged
+      << " linearizable=" << linearizability.linearizable
+      << " conclusive=" << linearizability.conclusive() << "\n"
+      << "ops: invoked=" << invoked << " completed=" << completed << " nacked=" << nacked
+      << " open=" << linearizability.open_ops << " keys=" << linearizability.keys
+      << " states=" << linearizability.states_explored << "\n";
+  if (!linearizability.failure_key.empty()) {
+    out << "non-linearizable key: " << linearizability.failure_key << "\n";
+  }
+  out << "dropped_by_fault=" << dropped_by_fault << "\n";
+  for (const std::string& state : node_states) {
+    out << state << "\n";
+  }
+  out << "nemesis events:\n";
+  for (const std::string& event : nemesis_events) {
+    out << "  " << event << "\n";
+  }
+  return out.str();
+}
+
+ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
+  ClusterConfig cc;
+  cc.mode = config.mode;
+  cc.nodes = config.nodes;
+  cc.seed = config.seed;
+  cc.replier_policy = ReplierPolicy::kJbsq;
+  cc.bounded_queue_depth = config.bounded_queue_depth;
+  cc.flow_control_threshold = config.flow_control_threshold;
+  cc.app_factory = config.app_factory
+                       ? config.app_factory
+                       : []() { return std::make_unique<KvService>(); };
+  // The stagger shortcut gives node 0 a permanently shorter election timeout.
+  // Without pre-vote, a healed-but-stale node 0 then livelocks elections:
+  // its 1-2 ms timer bumps the term faster than the 5-10 ms peers can elect.
+  // Chaos runs need the symmetric timeouts real deployments would have.
+  cc.stagger_first_election = false;
+  Cluster cluster(cc);
+
+  ChaosRunResult result;
+  if (cluster.WaitForLeader() == kInvalidNode) {
+    return result;  // leader_alive stays false
+  }
+
+  KvHistoryRecorder recorder;
+  std::vector<std::unique_ptr<ClientHost>> clients;
+  for (int32_t i = 0; i < config.clients; ++i) {
+    ChaosKvWorkloadConfig wc;
+    wc.keys = config.keys;
+    wc.value_tag = static_cast<uint64_t>(i);  // written values unique per client
+    auto client = std::make_unique<ClientHost>(
+        &cluster.sim(), cluster.config().costs, [&cluster]() { return cluster.ClientTarget(); },
+        std::make_unique<ChaosKvWorkload>(wc), config.rate_rps_per_client,
+        config.seed * 1000 + static_cast<uint64_t>(i));
+    client->set_outstanding_limit(config.outstanding_limit, config.give_up);
+    client->set_observer(&recorder);
+    cluster.network().Attach(client.get());
+    clients.push_back(std::move(client));
+  }
+
+  const TimeNs t0 = cluster.sim().Now();
+  NemesisConfig nc;
+  nc.schedule = config.schedule;
+  nc.seed = config.seed;
+  nc.start = t0;
+  nc.end = t0 + config.duration;
+  Nemesis nemesis(&cluster, nc);
+  nemesis.Arm();
+
+  for (auto& client : clients) {
+    client->StartLoad(t0, t0 + config.duration);
+  }
+  cluster.sim().RunUntil(t0 + config.duration + config.settle);
+
+  result.leader_alive = cluster.LeaderId() != kInvalidNode;
+  result.digests_converged = true;
+  const uint64_t digest0 = cluster.server(0).app().Digest();
+  for (NodeId node = 0; node < cluster.node_count(); ++node) {
+    const ReplicatedServer& server = cluster.server(node);
+    if (server.app().Digest() != digest0) {
+      result.digests_converged = false;
+    }
+    std::ostringstream state;
+    state << "node " << node << ": term=" << server.raft()->term()
+          << (server.IsLeader() ? " leader" : "")
+          << (server.failed() ? " dead" : "")
+          << " applied=" << server.app().ApplyCount() << " digest=" << std::hex
+          << server.app().Digest();
+    result.node_states.push_back(state.str());
+  }
+
+  result.invoked = recorder.invoked();
+  result.completed = recorder.completed();
+  result.nacked = recorder.nacked();
+  result.dropped_by_fault = cluster.network().dropped_by_fault();
+  result.nemesis_events = nemesis.events();
+  result.linearizability =
+      CheckKvLinearizability(recorder.History(), config.checker_max_states);
+  return result;
+}
+
+}  // namespace hovercraft

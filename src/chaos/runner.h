@@ -1,0 +1,83 @@
+// One chaos run, end to end: build a cluster, drive a KV workload from
+// open-loop clients while the nemesis injects faults, settle, then check.
+//
+// Shared by tests/chaos_test.cc and tools/chaos_runner so a failing seed
+// from CI replays identically from the command line:
+//
+//   chaos_runner --schedule=partition-leader --seed=42 --mode=hovercraft
+#ifndef SRC_CHAOS_RUNNER_H_
+#define SRC_CHAOS_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/linearizability.h"
+#include "src/common/types.h"
+
+namespace hovercraft {
+
+class StateMachine;
+
+struct ChaosRunConfig {
+  ClusterMode mode = ClusterMode::kHovercRaft;
+  std::string schedule = "random";
+  uint64_t seed = 1;
+
+  int32_t nodes = 3;
+  int32_t clients = 2;
+  double rate_rps_per_client = 4'000;
+  int32_t keys = 8;
+  // Per-client concurrency bound + abandonment timeout (see ClientHost::
+  // set_outstanding_limit). Keeps the number of forever-open operations —
+  // requests swallowed by a partition — small enough to check exhaustively.
+  size_t outstanding_limit = 4;
+  TimeNs give_up = Millis(30);
+
+  TimeNs duration = Millis(150);  // nemesis + load window
+  TimeNs settle = Millis(100);    // quiet period before the final checks
+
+  // <= 0 disables the flow-control cap (HovercRaft modes only).
+  int64_t flow_control_threshold = 0;
+  int64_t bounded_queue_depth = 64;
+
+  // Override the replicated application; defaults to a KvService per node.
+  // Exists so tests can plant a deliberately broken state machine and prove
+  // the checker catches it.
+  std::function<std::unique_ptr<StateMachine>()> app_factory;
+
+  uint64_t checker_max_states = 4'000'000;
+};
+
+struct ChaosRunResult {
+  // Liveness after the window + settle (the nemesis healed everything).
+  bool leader_alive = false;
+  // All nodes applied the same state (order-sensitive digest match).
+  bool digests_converged = false;
+
+  LinearizabilityResult linearizability;
+
+  size_t invoked = 0;
+  size_t completed = 0;
+  size_t nacked = 0;
+  uint64_t dropped_by_fault = 0;
+  std::vector<std::string> nemesis_events;
+  // Per node: "node 2: term=5 leader alive digest=..." — final state, for
+  // diagnosing a failed run.
+  std::vector<std::string> node_states;
+
+  bool ok() const {
+    return leader_alive && digests_converged && linearizability.linearizable &&
+           linearizability.conclusive();
+  }
+  // Multi-line report for test failure messages.
+  std::string Describe() const;
+};
+
+ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config);
+
+}  // namespace hovercraft
+
+#endif  // SRC_CHAOS_RUNNER_H_

@@ -126,9 +126,28 @@ Addr Cluster::ClientTarget() const {
 }
 
 void Cluster::KillNode(NodeId node) {
+  if (node == kInvalidNode) {
+    return;  // e.g. KillLeader during an election window
+  }
   HC_CHECK_GE(node, 0);
   HC_CHECK_LT(static_cast<size_t>(node), servers_.size());
   servers_[static_cast<size_t>(node)]->set_failed(true);
+}
+
+void Cluster::RestartNode(NodeId node) {
+  HC_CHECK_GE(node, 0);
+  HC_CHECK_LT(static_cast<size_t>(node), servers_.size());
+  servers_[static_cast<size_t>(node)]->Restart();
+}
+
+int32_t Cluster::LiveNodeCount() const {
+  int32_t live = 0;
+  for (const auto& s : servers_) {
+    if (!s->failed()) {
+      ++live;
+    }
+  }
+  return live;
 }
 
 uint64_t Cluster::TotalReplies() const {

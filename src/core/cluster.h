@@ -68,9 +68,22 @@ class Cluster {
   // (HovercRaft/++ — it rewrites to the multicast group).
   Addr ClientTarget() const;
 
-  // Crash injection (fail-stop).
+  // Crash injection (fail-stop). Killing an already-dead node is a no-op;
+  // killing every node (including the last majority member) stalls progress
+  // but never crashes the simulation. KillLeader with no live leader is a
+  // no-op.
   void KillNode(NodeId node);
   void KillLeader() { KillNode(LeaderId()); }
+
+  // Restarts a killed node: persistent state (term, vote, log, snapshot and
+  // the applied application state it determines) is replayed intact; soft
+  // state (the unordered set) is lost; the node rejoins as a follower and
+  // is caught up by the leader via AppendEntries or InstallSnapshot. No-op
+  // on a live node.
+  void RestartNode(NodeId node);
+
+  // Number of nodes currently not failed.
+  int32_t LiveNodeCount() const;
 
   int32_t node_count() const { return config_.nodes; }
   ReplicatedServer& server(NodeId node) { return *servers_[static_cast<size_t>(node)]; }

@@ -52,6 +52,17 @@ void ReplicatedServer::set_failed(bool failed_now) {
   }
 }
 
+void ReplicatedServer::Restart() {
+  if (!failed()) {
+    return;
+  }
+  // The unordered set lived in DRAM of the crashed process; requests the log
+  // references but the set no longer holds are re-fetched point-to-point by
+  // the recovery path when the node catches up.
+  unordered_.Clear();
+  set_failed(false);
+}
+
 void ReplicatedServer::ArmMaintenanceTimers() {
   sim()->After(config_.gc_interval, [this]() {
     if (failed()) {

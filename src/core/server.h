@@ -70,6 +70,14 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   // the network interface (fail-stop model).
   void set_failed(bool failed) override;
 
+  // Process restart after a crash. Persistent state (term, vote, log,
+  // snapshot — and the application state, which is the deterministic replay
+  // of the applied prefix of that log) survives; soft state (the unordered
+  // request set) is lost. The node rejoins as a follower and any entries it
+  // missed are repaired through the normal AppendEntries / InstallSnapshot
+  // recovery path. No-op on a live node.
+  void Restart();
+
   // --- RaftNode::Env ---
   void SendToPeer(NodeId peer, MessagePtr msg) override;
   void SendToAggregator(MessagePtr msg) override;

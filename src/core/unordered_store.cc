@@ -64,4 +64,9 @@ void UnorderedStore::Drain(const std::function<void(std::shared_ptr<const RpcReq
   }
 }
 
+void UnorderedStore::Clear() {
+  by_rid_.clear();
+  order_.clear();
+}
+
 }  // namespace hovercraft

@@ -33,6 +33,11 @@ class UnorderedStore {
   // Used by a freshly elected leader to order orphaned requests.
   void Drain(const std::function<void(std::shared_ptr<const RpcRequest>)>& fn);
 
+  // Discards everything. The unordered set is soft state: a crashed process
+  // loses it, and the recovery path (section 5) re-fetches what the log
+  // still needs.
+  void Clear();
+
   size_t size() const { return by_rid_.size(); }
   bool empty() const { return by_rid_.empty(); }
 

@@ -46,6 +46,22 @@ void ClientHost::SendOne() {
   }
   ScheduleNextArrival();
 
+  if (outstanding_limit_ > 0 && outstanding_.size() >= outstanding_limit_) {
+    // Abandon requests the client has given up on; they stay unresolved in
+    // any attached observer's history (open operations).
+    const TimeNs now = sim()->Now();
+    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+      if (it->second + give_up_ <= now) {
+        it = outstanding_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (outstanding_.size() >= outstanding_limit_) {
+      return;  // still saturated: shed this arrival
+    }
+  }
+
   Workload::Op op = workload_->Next(rng_);
   const uint64_t seq = next_seq_++;
   const RequestId rid{id(), seq};
@@ -63,7 +79,11 @@ void ClientHost::SendOne() {
       unrestricted
           ? unrestricted_targets_[rng_.NextBelow(unrestricted_targets_.size())]
           : target_();
-  Send(dst, std::make_shared<RpcRequest>(rid, policy, std::move(op.body)));
+  auto request = std::make_shared<RpcRequest>(rid, policy, std::move(op.body));
+  if (observer_ != nullptr) {
+    observer_->OnInvoke(id(), seq, policy, request->body(), now);
+  }
+  Send(dst, std::move(request));
 }
 
 void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
@@ -83,6 +103,9 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
     if (timeseries_ != nullptr) {
       timeseries_->Record(sim()->Now(), latency);
     }
+    if (observer_ != nullptr) {
+      observer_->OnComplete(id(), resp->rid().seq, resp->body(), sim()->Now());
+    }
     return;
   }
   if (const auto* nack = dynamic_cast<const NackMsg*>(msg.get())) {
@@ -97,6 +120,9 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
     }
     if (timeseries_ != nullptr) {
       timeseries_->Count(sim()->Now());
+    }
+    if (observer_ != nullptr) {
+      observer_->OnNack(id(), nack->rid().seq, sim()->Now());
     }
     return;
   }

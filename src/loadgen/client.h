@@ -27,6 +27,19 @@ class ClientHost final : public Host {
   ClientHost(Simulator* sim, const CostModel& costs, TargetFn target,
              std::unique_ptr<Workload> workload, double rate_rps, uint64_t seed);
 
+  // Observes the client-visible history: one OnInvoke per request sent, at
+  // most one OnComplete (first response) or OnNack per request. Used by the
+  // chaos harness to record histories for linearizability checking.
+  class Observer {
+   public:
+    virtual ~Observer() = default;
+    virtual void OnInvoke(HostId client, uint64_t seq, R2p2Policy policy, const Body& body,
+                          TimeNs at) = 0;
+    virtual void OnComplete(HostId client, uint64_t seq, const Body& reply, TimeNs at) = 0;
+    virtual void OnNack(HostId client, uint64_t seq, TimeNs at) = 0;
+  };
+  void set_observer(Observer* observer) { observer_ = observer; }
+
   // Generates arrivals in [start, stop).
   void StartLoad(TimeNs start, TimeNs stop);
 
@@ -43,6 +56,18 @@ class ClientHost final : public Host {
   // uniformly per request, client-side load balancing as in R2P2.
   void set_unrestricted_targets(std::vector<Addr> targets) {
     unrestricted_targets_ = std::move(targets);
+  }
+
+  // Bounds concurrency: with a limit set, an arrival is skipped (not sent,
+  // not recorded) while `limit` requests are outstanding, and a request
+  // outstanding longer than `give_up` stops counting toward the limit (the
+  // client abandons it; no completion is ever recorded for it). The chaos
+  // harness needs this: unbounded fire-and-forget at a partitioned leader
+  // piles up open operations faster than any linearizability checker can
+  // absorb. 0 = unlimited (the default; benches are unaffected).
+  void set_outstanding_limit(size_t limit, TimeNs give_up) {
+    outstanding_limit_ = limit;
+    give_up_ = give_up;
   }
 
   void HandleMessage(HostId src, const MessagePtr& msg) override;
@@ -75,11 +100,14 @@ class ClientHost final : public Host {
 
   uint64_t next_seq_ = 1;
   std::unordered_map<uint64_t, TimeNs> outstanding_;  // seq -> send time
+  size_t outstanding_limit_ = 0;
+  TimeNs give_up_ = 0;
 
   TimeNs measure_start_ = 0;
   TimeNs measure_end_ = 0;
   Histogram latencies_;
   Timeseries* timeseries_ = nullptr;
+  Observer* observer_ = nullptr;
 
   uint64_t total_sent_ = 0;
   uint64_t total_completed_ = 0;

@@ -35,6 +35,53 @@ const std::vector<HostId>& Network::GroupMembers(Addr group) const {
   return groups_[idx];
 }
 
+void Network::SetPartitions(const std::vector<std::vector<HostId>>& groups) {
+  partition_of_.assign(hosts_.size(), 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (HostId id : groups[g]) {
+      HC_CHECK_GE(id, 0);
+      HC_CHECK_LT(static_cast<size_t>(id), hosts_.size());
+      partition_of_[static_cast<size_t>(id)] = static_cast<int32_t>(g) + 1;
+    }
+  }
+}
+
+int32_t Network::PartitionOf(HostId id) const {
+  const size_t idx = static_cast<size_t>(id);
+  return idx < partition_of_.size() ? partition_of_[idx] : 0;
+}
+
+bool Network::Partitioned(HostId a, HostId b) const {
+  return PartitionOf(a) != PartitionOf(b);
+}
+
+void Network::BlockLink(HostId src, HostId dst) { blocked_links_.insert(LinkKey(src, dst)); }
+
+void Network::UnblockLink(HostId src, HostId dst) { blocked_links_.erase(LinkKey(src, dst)); }
+
+void Network::SetLinkDelay(HostId src, HostId dst, TimeNs extra) {
+  if (extra > 0) {
+    link_delay_[LinkKey(src, dst)] = extra;
+  } else {
+    link_delay_.erase(LinkKey(src, dst));
+  }
+}
+
+void Network::SetReorder(double probability, TimeNs max_extra) {
+  HC_CHECK_GE(probability, 0.0);
+  HC_CHECK_GE(max_extra, 0);
+  reorder_probability_ = probability;
+  reorder_max_extra_ = max_extra;
+}
+
+void Network::ClearFaults() {
+  partition_of_.clear();
+  blocked_links_.clear();
+  link_delay_.clear();
+  reorder_probability_ = 0.0;
+  reorder_max_extra_ = 0;
+}
+
 void Network::Transmit(const Packet& packet) {
   // Packet reaches the switch after one link propagation, is forwarded after
   // the cut-through latency, and fans out to each destination port.
@@ -55,6 +102,14 @@ void Network::Transmit(const Packet& packet) {
 void Network::DeliverCopy(const Packet& packet, HostId dst) {
   HC_CHECK_GE(dst, 0);
   HC_CHECK_LT(static_cast<size_t>(dst), hosts_.size());
+  // Every drop cause below counts once per copy, so a multicast message
+  // suppressed for k of its destinations adds k to dropped_msgs_.
+  if (Partitioned(packet.src, dst) ||
+      blocked_links_.count(LinkKey(packet.src, dst)) != 0) {
+    ++dropped_msgs_;
+    ++dropped_by_fault_;
+    return;
+  }
   if (drop_filter_ && drop_filter_(packet, dst)) {
     ++dropped_msgs_;
     return;
@@ -70,9 +125,20 @@ void Network::DeliverCopy(const Packet& packet, HostId dst) {
     }
   }
   ++delivered_msgs_;
+  TimeNs delay = costs_.link_propagation_ns;
+  if (!link_delay_.empty()) {
+    auto it = link_delay_.find(LinkKey(packet.src, dst));
+    if (it != link_delay_.end()) {
+      delay += it->second;
+    }
+  }
+  if (reorder_probability_ > 0.0 && reorder_max_extra_ > 0 &&
+      rng_.NextBool(reorder_probability_)) {
+    delay += static_cast<TimeNs>(
+        rng_.NextBelow(static_cast<uint64_t>(reorder_max_extra_) + 1));
+  }
   Host* host = hosts_[static_cast<size_t>(dst)];
-  sim_->After(costs_.link_propagation_ns,
-              [host, src = packet.src, msg = packet.msg]() { host->Receive(src, msg); });
+  sim_->After(delay, [host, src = packet.src, msg = packet.msg]() { host->Receive(src, msg); });
 }
 
 }  // namespace hovercraft

@@ -283,6 +283,48 @@ TEST_F(FlowControlTest, CounterNeverGoesNegative) {
   EXPECT_EQ(fc->outstanding(), 0);
 }
 
+TEST_F(FlowControlTest, DuplicateFeedbackDoesNotCorruptAdmission) {
+  // The middlebox holds one register, not a request table: a duplicate
+  // FEEDBACK (e.g. two repliers answering the same request after a replier
+  // reassignment) decrements twice. This pins that the counter saturates at
+  // zero instead of going negative and silently widening the window.
+  auto fc = MakeMiddlebox(2);
+  SendRequest(*fc, 1);
+  SendRequest(*fc, 2);
+  EXPECT_EQ(fc->outstanding(), 2);
+  for (int i = 0; i < 4; ++i) {  // 2 legitimate + 2 duplicate
+    server_a_->Send(fc->id(), std::make_shared<FeedbackMsg>(RequestId{client_->id(), 1}));
+  }
+  sim_.RunToCompletion();
+  EXPECT_EQ(fc->outstanding(), 0);
+
+  // Admission still behaves: capacity is 2, the third request is NACKed.
+  SendRequest(*fc, 3);
+  SendRequest(*fc, 4);
+  SendRequest(*fc, 5);
+  EXPECT_EQ(fc->outstanding(), 2);
+  EXPECT_EQ(fc->nacked(), 1u);
+  EXPECT_EQ(client_->Of<NackMsg>().back()->rid().seq, 5u);
+}
+
+TEST_F(FlowControlTest, NackedRequestLeavesNoResidualState) {
+  // A NACKed request must not occupy a slot: after the NACK, one FEEDBACK
+  // for an admitted request reopens exactly one slot.
+  auto fc = MakeMiddlebox(1);
+  SendRequest(*fc, 1);   // admitted
+  SendRequest(*fc, 2);   // NACKed
+  SendRequest(*fc, 3);   // NACKed
+  EXPECT_EQ(fc->outstanding(), 1);
+  EXPECT_EQ(fc->nacked(), 2u);
+  server_a_->Send(fc->id(), std::make_shared<FeedbackMsg>(RequestId{client_->id(), 1}));
+  sim_.RunToCompletion();
+  SendRequest(*fc, 4);   // admitted into the freed slot
+  SendRequest(*fc, 5);   // NACKed again
+  EXPECT_EQ(fc->forwarded(), 2u);
+  EXPECT_EQ(fc->nacked(), 3u);
+  EXPECT_EQ(fc->outstanding(), 1);
+}
+
 // ---------------------------------------------------------------------------
 // Unrestricted (stale-read) requests at the server (section 6.1)
 // ---------------------------------------------------------------------------

@@ -262,5 +262,105 @@ TEST(FailureTest, PersistenceLatencyDelaysCommitNotSafety) {
   }
 }
 
+TEST(FailureTest, KillingDeadNodeIsIdempotent) {
+  Cluster cluster(Config(ClusterMode::kHovercRaft, 3, 95));
+  const NodeId leader = cluster.WaitForLeader();
+  ASSERT_NE(leader, kInvalidNode);
+  const NodeId follower = (leader + 1) % 3;
+  cluster.KillNode(follower);
+  EXPECT_EQ(cluster.LiveNodeCount(), 2);
+  // Killing the same corpse again changes nothing.
+  cluster.KillNode(follower);
+  cluster.KillNode(follower);
+  EXPECT_EQ(cluster.LiveNodeCount(), 2);
+  // The surviving majority still serves traffic.
+  auto client = AttachClient(cluster, 20'000, 31);
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(100));
+  cluster.sim().RunUntil(t0 + Millis(150));
+  EXPECT_GT(client->total_completed(), 500u);
+}
+
+TEST(FailureTest, KillLeaderDuringElectionWindowIsNoOp) {
+  Cluster cluster(Config(ClusterMode::kHovercRaft, 3, 97));
+  const NodeId first = cluster.WaitForLeader();
+  ASSERT_NE(first, kInvalidNode);
+  cluster.KillLeader();
+  ASSERT_EQ(cluster.LeaderId(), kInvalidNode);
+  // No live leader yet: KillLeader resolves to kInvalidNode and must not
+  // kill anything (nor crash on the invalid id).
+  cluster.KillLeader();
+  cluster.KillLeader();
+  EXPECT_EQ(cluster.LiveNodeCount(), 2);
+  const NodeId second = cluster.WaitForLeader(cluster.sim().Now() + Seconds(2));
+  ASSERT_NE(second, kInvalidNode);
+  EXPECT_NE(second, first);
+}
+
+TEST(FailureTest, MajorityLossStallsThenRestartRecovers) {
+  ClusterConfig config = Config(ClusterMode::kHovercRaft, 3, 99);
+  // A restarted node must not livelock elections with a permanently short
+  // timeout (see ChaosRunConfig); use uniform timeouts for restart tests.
+  config.stagger_first_election = false;
+  Cluster cluster(config);
+  const NodeId first = cluster.WaitForLeader();
+  ASSERT_NE(first, kInvalidNode);
+  auto client = AttachClient(cluster, 20'000, 37);
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(400));
+  cluster.sim().RunUntil(t0 + Millis(50));
+  const uint64_t before = client->total_completed();
+  EXPECT_GT(before, 500u);
+
+  // Kill a majority — including the only remaining majority member. The
+  // cluster stalls (no quorum, no leader) but the simulation keeps running.
+  const NodeId dead_a = first;
+  const NodeId dead_b = (first + 1) % 3;
+  cluster.KillNode(dead_a);
+  cluster.KillNode(dead_b);
+  EXPECT_EQ(cluster.LiveNodeCount(), 1);
+  cluster.sim().RunUntil(t0 + Millis(150));
+  EXPECT_EQ(cluster.LeaderId(), kInvalidNode);
+  const uint64_t stalled = client->total_completed();
+  cluster.sim().RunUntil(t0 + Millis(200));
+  // No quorum: nothing new commits, nothing new completes.
+  EXPECT_EQ(client->total_completed(), stalled);
+
+  // Restarting the dead nodes restores quorum; a leader re-emerges and
+  // traffic resumes.
+  cluster.RestartNode(dead_a);
+  cluster.RestartNode(dead_b);
+  const NodeId second = cluster.WaitForLeader(cluster.sim().Now() + Seconds(2));
+  ASSERT_NE(second, kInvalidNode);
+  cluster.sim().RunUntil(t0 + Millis(500));
+  EXPECT_GT(client->total_completed(), stalled + 500u);
+  // All three replicas — including the two restarted from persistent state —
+  // agree byte-for-byte.
+  const uint64_t digest0 = cluster.server(0).app().Digest();
+  for (NodeId n = 1; n < 3; ++n) {
+    EXPECT_EQ(cluster.server(n).app().Digest(), digest0);
+  }
+}
+
+TEST(FailureTest, RestartingLiveNodeIsNoOp) {
+  ClusterConfig config = Config(ClusterMode::kHovercRaft, 3, 101);
+  config.stagger_first_election = false;
+  Cluster cluster(config);
+  const NodeId leader = cluster.WaitForLeader();
+  ASSERT_NE(leader, kInvalidNode);
+  auto client = AttachClient(cluster, 20'000, 41);
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(100));
+  cluster.sim().RunUntil(t0 + Millis(50));
+  // Restarting nodes that never failed must not disturb the cluster.
+  for (NodeId n = 0; n < 3; ++n) {
+    cluster.RestartNode(n);
+  }
+  EXPECT_EQ(cluster.LiveNodeCount(), 3);
+  EXPECT_EQ(cluster.LeaderId(), leader);
+  cluster.sim().RunUntil(t0 + Millis(200));
+  EXPECT_GT(client->total_completed(), 1000u);
+}
+
 }  // namespace
 }  // namespace hovercraft

@@ -209,5 +209,165 @@ TEST(NetworkTest, NicSerializationThrottlesLargeMessages) {
   EXPECT_GT(b.received.back().at, Micros(450));
 }
 
+// ---------------------------------------------------------------------------
+// Drop accounting: everything counts per delivered *copy*
+// ---------------------------------------------------------------------------
+
+TEST(NetworkTest, MulticastDropsCountPerCopy) {
+  // One multicast suppressed for 2 of its 3 destinations adds exactly 2 to
+  // dropped_msgs and 1 to delivered_msgs. Pins the per-copy semantics the
+  // chaos harness relies on.
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  EchoHost c(&f.sim, f.costs);
+  EchoHost d(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  f.net.Attach(&c);
+  f.net.Attach(&d);
+  const Addr group = f.net.CreateMulticastGroup({a.id(), b.id(), c.id(), d.id()});
+  f.net.set_drop_filter([&](const Packet&, HostId dst) { return dst != b.id(); });
+
+  f.sim.At(0, [&]() { a.Send(group, SmallRequest(a.id(), 1)); });
+  f.sim.RunToCompletion();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(f.net.delivered_msgs(), 1u);
+  EXPECT_EQ(f.net.dropped_msgs(), 2u);
+  EXPECT_EQ(f.net.dropped_by_fault(), 0u);  // filter drops are not fault drops
+}
+
+TEST(NetworkTest, PartitionDropsCrossGroupCopiesOnly) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  EchoHost c(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  f.net.Attach(&c);
+  const Addr group = f.net.CreateMulticastGroup({a.id(), b.id(), c.id()});
+  // a alone in partition 1; b and c (unlisted) stay in partition 0.
+  f.net.SetPartitions({{a.id()}});
+
+  f.sim.At(0, [&]() { a.Send(group, SmallRequest(a.id(), 1)); });   // both copies cut
+  f.sim.At(1000, [&]() { b.Send(c.id(), SmallRequest(b.id(), 2)); });  // same side: ok
+  f.sim.At(2000, [&]() { b.Send(a.id(), SmallRequest(b.id(), 3)); });  // cross: cut
+  f.sim.RunToCompletion();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(f.net.dropped_by_fault(), 3u);  // 2 multicast copies + 1 unicast
+  EXPECT_EQ(f.net.dropped_msgs(), 3u);
+
+  f.net.HealPartitions();
+  f.sim.At(Micros(10), [&]() { a.Send(b.id(), SmallRequest(a.id(), 4)); });
+  f.sim.RunToCompletion();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(f.net.dropped_by_fault(), 3u);  // healed: counter stops moving
+}
+
+TEST(NetworkTest, BlockLinkIsOneWay) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  f.net.BlockLink(a.id(), b.id());
+
+  f.sim.At(0, [&]() { a.Send(b.id(), SmallRequest(a.id(), 1)); });
+  f.sim.At(1000, [&]() { b.Send(a.id(), SmallRequest(b.id(), 2)); });
+  f.sim.RunToCompletion();
+  EXPECT_TRUE(b.received.empty());        // a -> b cut
+  EXPECT_EQ(a.received.size(), 1u);       // b -> a unaffected
+  EXPECT_EQ(f.net.dropped_by_fault(), 1u);
+
+  f.net.UnblockLink(a.id(), b.id());
+  f.sim.At(Micros(10), [&]() { a.Send(b.id(), SmallRequest(a.id(), 3)); });
+  f.sim.RunToCompletion();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(NetworkTest, LinkDelayIsPerDirection) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  f.net.SetLinkDelay(a.id(), b.id(), Millis(1));
+
+  f.sim.At(0, [&]() { a.Send(b.id(), SmallRequest(a.id(), 1)); });
+  f.sim.At(0, [&]() { b.Send(a.id(), SmallRequest(b.id(), 2)); });
+  f.sim.RunToCompletion();
+  ASSERT_EQ(b.received.size(), 1u);
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_GT(b.received[0].at, Millis(1));   // delayed direction
+  EXPECT_LT(a.received[0].at, Micros(100)); // reverse unaffected
+
+  f.net.SetLinkDelay(a.id(), b.id(), 0);  // 0 clears
+  b.received.clear();
+  f.sim.At(f.sim.Now(), [&]() { a.Send(b.id(), SmallRequest(a.id(), 3)); });
+  const TimeNs before = f.sim.Now();
+  f.sim.RunToCompletion();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_LT(b.received[0].at - before, Micros(100));
+}
+
+TEST(NetworkTest, ReorderingOvertakesInFlightCopies) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  f.net.SetReorder(0.5, Micros(300));
+
+  for (uint64_t i = 0; i < 50; ++i) {
+    f.sim.At(static_cast<TimeNs>(i) * Micros(20),
+             [&, i]() { a.Send(b.id(), SmallRequest(a.id(), i)); });
+  }
+  f.sim.RunToCompletion();
+  ASSERT_EQ(b.received.size(), 50u);
+  bool out_of_order = false;
+  for (size_t i = 1; i < b.received.size(); ++i) {
+    const auto* prev = dynamic_cast<const RpcRequest*>(b.received[i - 1].msg.get());
+    const auto* cur = dynamic_cast<const RpcRequest*>(b.received[i].msg.get());
+    if (cur->rid().seq < prev->rid().seq) {
+      out_of_order = true;
+    }
+  }
+  EXPECT_TRUE(out_of_order);  // seed 1: deterministic inversion
+
+  f.net.ClearFaults();
+  b.received.clear();
+  const TimeNs t = f.sim.Now();
+  for (uint64_t i = 0; i < 20; ++i) {
+    f.sim.At(t + static_cast<TimeNs>(i) * Micros(20),
+             [&, i]() { a.Send(b.id(), SmallRequest(a.id(), 100 + i)); });
+  }
+  f.sim.RunToCompletion();
+  for (size_t i = 1; i < b.received.size(); ++i) {
+    const auto* prev = dynamic_cast<const RpcRequest*>(b.received[i - 1].msg.get());
+    const auto* cur = dynamic_cast<const RpcRequest*>(b.received[i].msg.get());
+    EXPECT_LT(prev->rid().seq, cur->rid().seq);  // in order again
+  }
+}
+
+TEST(NetworkTest, ClearFaultsLeavesLossAndFilterAlone) {
+  NetFixture f;
+  EchoHost a(&f.sim, f.costs);
+  EchoHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+  f.net.set_drop_filter([](const Packet&, HostId) { return true; });
+  f.net.SetPartitions({{a.id()}});
+  f.net.ClearFaults();
+
+  // The partition is gone but the test-owned drop filter still applies.
+  f.sim.At(0, [&]() { a.Send(b.id(), SmallRequest(a.id(), 1)); });
+  f.sim.RunToCompletion();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(f.net.dropped_by_fault(), 0u);
+  EXPECT_EQ(f.net.dropped_msgs(), 1u);
+}
+
 }  // namespace
 }  // namespace hovercraft

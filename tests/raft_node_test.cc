@@ -486,6 +486,55 @@ TEST(RaftNodeTest, NewLeaderDrainsUnorderedRequests) {
   EXPECT_EQ(h.env(second).applied_rids[0].seq, 42u);
 }
 
+TEST(RaftNodeTest, RecoveryForUnknownRequestReturnsNotFound) {
+  MiniHarness h(3, MetadataOptions());
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  const NodeId asker = (leader + 1) % 3;
+  // A rid the leader has never seen: neither in its log nor its unordered set.
+  const RequestId unknown{7, 999};
+  h.node(leader).OnRecoveryReq(RecoveryReq(asker, unknown));
+  h.Run(Millis(50));
+  // The leader answered found() == false and counted no served recovery...
+  EXPECT_EQ(h.node(leader).stats().recoveries_served, 0u);
+  // ...and the asker stored nothing: a not-found reply leaves no state behind.
+  EXPECT_EQ(h.env(asker).LookupUnordered(unknown), nullptr);
+  // The exchange was harmless: normal replication still works afterwards.
+  auto req = MiniHarness::Req(1, 1);
+  for (NodeId n = 0; n < 3; ++n) {
+    if (n != leader) {
+      h.env(n).AddUnordered(req);
+    }
+  }
+  h.node(leader).SubmitRequest(req);
+  h.Run(Millis(100));
+  EXPECT_EQ(h.env(asker).applied_rids.size(), 1u);
+}
+
+TEST(RaftNodeTest, DuplicateRecoveryRepliesAreIdempotent) {
+  MiniHarness h(3, MetadataOptions());
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  const NodeId starved = (leader + 1) % 3;
+  const NodeId healthy = (leader + 2) % 3;
+  // Same setup as MissingPayloadRecoveredFromLeader: the starved follower
+  // misses the multicast and recovers the payload point-to-point.
+  auto req = MiniHarness::Req(1, 1);
+  h.env(healthy).AddUnordered(req);
+  h.node(leader).SubmitRequest(req);
+  h.Run(Millis(100));
+  ASSERT_EQ(h.env(starved).applied_rids.size(), 1u);
+  const LogIndex commit_before = h.node(starved).commit_index();
+  // Heartbeat-driven retries can deliver the same recovery reply again after
+  // the first already unblocked the follower. Late duplicates must be inert.
+  h.node(starved).OnRecoveryRep(RecoveryRep(req->rid(), req));
+  h.node(starved).OnRecoveryRep(RecoveryRep(req->rid(), req));
+  h.Run(Millis(100));
+  EXPECT_EQ(h.env(starved).applied_rids.size(), 1u);
+  EXPECT_GE(h.node(starved).commit_index(), commit_before);
+  EXPECT_EQ(h.node(starved).commit_index(), h.node(leader).commit_index());
+}
+
 TEST(RaftNodeTest, CompactionPreservesReplication) {
   RaftOptions opts;
   opts.log_retention_entries = 8;

@@ -121,6 +121,53 @@ TEST(ReplierSchedulerTest, UpdateAppliedIsMonotone) {
   EXPECT_EQ(sched.PendingOf(0) + sched.PendingOf(1), 0);
 }
 
+TEST(ReplierSchedulerTest, JbsqAllQueuesEquallyFullReturnsInvalid) {
+  // Saturate every queue to exactly the bound; JBSQ has no eligible node and
+  // must keep saying so — repeatedly and without losing state — until some
+  // node applies progress. The "tie at the bound" is the worst case of the
+  // paper's bounded-queue rule (section 3.4): ties below the bound spread
+  // load, ties at the bound must stall.
+  ReplierScheduler sched(3, 0, ReplierPolicy::kJbsq, /*bound=*/2, 5);
+  LogIndex idx = 1;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_NE(sched.Assign(idx++), kInvalidNode);
+  }
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_EQ(sched.PendingOf(n), 2);  // perfectly equal, all at the bound
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sched.Assign(idx), kInvalidNode);  // idempotent: no side effects
+  }
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(sched.PendingOf(n), 2);  // failed assigns did not grow queues
+  }
+  // One node drains: it becomes the unique winner of the next assignments.
+  sched.UpdateApplied(2, idx);
+  EXPECT_EQ(sched.Assign(idx), 2);
+  EXPECT_EQ(sched.Assign(idx + 1), 2);
+  // Node 2 is back at the bound; everyone is equal again -> stall again.
+  EXPECT_EQ(sched.Assign(idx + 2), kInvalidNode);
+}
+
+TEST(ReplierSchedulerTest, JbsqEqualQueuesSpreadDeterministically) {
+  // Below the bound, an all-equal tie must both spread across all nodes and
+  // replay identically for the same seed.
+  ReplierScheduler a(4, 0, ReplierPolicy::kJbsq, /*bound=*/100, 17);
+  ReplierScheduler b(4, 0, ReplierPolicy::kJbsq, /*bound=*/100, 17);
+  std::map<NodeId, int> counts;
+  for (LogIndex i = 1; i <= 40; ++i) {
+    const NodeId na = a.Assign(i);
+    ASSERT_EQ(na, b.Assign(i));  // same seed, same tie-breaks
+    counts[na]++;
+  }
+  // 40 assignments over 4 always-equal queues: exactly 10 each, because every
+  // assignment makes the chosen queue longest until the others catch up.
+  ASSERT_EQ(counts.size(), 4u);
+  for (const auto& [node, count] : counts) {
+    EXPECT_EQ(count, 10) << "node " << node;
+  }
+}
+
 TEST(ReplierSchedulerTest, ResetClearsAssignments) {
   ReplierScheduler sched(2, 0, ReplierPolicy::kJbsq, 2, 8);
   sched.Assign(1);

@@ -1,0 +1,166 @@
+// chaos_runner — replay one chaos schedule from the command line.
+//
+// Runs exactly what tests/chaos_test.cc runs for a single (schedule, seed,
+// mode) triple and prints the verdict plus the nemesis event log, so a seed
+// that failed in CI can be replayed and inspected deterministically:
+//
+//   chaos_runner --schedule=partition-leader --seed=42 --mode=hovercraft
+//   chaos_runner --schedule=random --seed=7 --mode=hovercraft++ --duration-ms=300
+//   chaos_runner --list-schedules
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/chaos/nemesis.h"
+#include "src/chaos/runner.h"
+#include "src/common/logging.h"
+
+namespace hovercraft {
+namespace {
+
+struct CliOptions {
+  std::string mode = "hovercraft";
+  std::string schedule = "random";
+  uint64_t seed = 1;
+  int32_t nodes = 3;
+  int32_t clients = 2;
+  double rate = 4'000;
+  int32_t keys = 8;
+  TimeNs duration = Millis(150);
+  TimeNs settle = Millis(100);
+  int64_t flow_control = 0;
+  uint64_t max_states = 4'000'000;
+  bool list_schedules = false;
+  bool verbose = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: chaos_runner [flags]\n"
+      "  --schedule=NAME          fault schedule (default random); see --list-schedules\n"
+      "  --seed=S                 replay seed (default 1)\n"
+      "  --mode=vanilla|hovercraft|hovercraft++   (default hovercraft)\n"
+      "  --nodes=N                cluster size (default 3)\n"
+      "  --clients=N              load generators (default 2)\n"
+      "  --rate=RPS               per-client offered load (default 4000)\n"
+      "  --keys=K                 hot keyspace size (default 8)\n"
+      "  --duration-ms=M          fault + load window (default 150)\n"
+      "  --settle-ms=M            quiet period before checks (default 100)\n"
+      "  --flow-control=N         middlebox in-flight cap (0 = off)\n"
+      "  --max-states=N           linearizability search budget (default 4000000)\n"
+      "  --list-schedules         print schedule names and exit\n"
+      "  --verbose                protocol-level log while the run executes\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string& out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseOptions(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    const char* a = argv[i];
+    if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      opts.help = true;
+    } else if (std::strcmp(a, "--list-schedules") == 0) {
+      opts.list_schedules = true;
+    } else if (std::strcmp(a, "--verbose") == 0) {
+      opts.verbose = true;
+    } else if (ParseFlag(a, "--mode", v)) {
+      opts.mode = v;
+    } else if (ParseFlag(a, "--schedule", v)) {
+      opts.schedule = v;
+    } else if (ParseFlag(a, "--seed", v)) {
+      opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(a, "--nodes", v)) {
+      opts.nodes = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--clients", v)) {
+      opts.clients = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--rate", v)) {
+      opts.rate = std::atof(v.c_str());
+    } else if (ParseFlag(a, "--keys", v)) {
+      opts.keys = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--duration-ms", v)) {
+      opts.duration = Millis(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--settle-ms", v)) {
+      opts.settle = Millis(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--flow-control", v)) {
+      opts.flow_control = std::atoll(v.c_str());
+    } else if (ParseFlag(a, "--max-states", v)) {
+      opts.max_states = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const CliOptions& opts) {
+  if (opts.verbose) {
+    SetLogLevel(LogLevel::kInfo);
+  }
+  ChaosRunConfig config;
+  if (opts.mode == "vanilla") {
+    config.mode = ClusterMode::kVanillaRaft;
+  } else if (opts.mode == "hovercraft") {
+    config.mode = ClusterMode::kHovercRaft;
+  } else if (opts.mode == "hovercraft++") {
+    config.mode = ClusterMode::kHovercRaftPP;
+  } else {
+    std::fprintf(stderr, "bad --mode=%s (chaos needs a replicated mode)\n", opts.mode.c_str());
+    return 2;
+  }
+  if (!Nemesis::IsValidSchedule(opts.schedule)) {
+    std::fprintf(stderr, "bad --schedule=%s; try --list-schedules\n", opts.schedule.c_str());
+    return 2;
+  }
+  config.schedule = opts.schedule;
+  config.seed = opts.seed;
+  config.nodes = opts.nodes;
+  config.clients = opts.clients;
+  config.rate_rps_per_client = opts.rate;
+  config.keys = opts.keys;
+  config.duration = opts.duration;
+  config.settle = opts.settle;
+  config.flow_control_threshold = opts.flow_control;
+  config.checker_max_states = opts.max_states;
+
+  std::printf("chaos_runner: mode=%s schedule=%s seed=%llu nodes=%d duration=%lldms\n",
+              opts.mode.c_str(), opts.schedule.c_str(),
+              static_cast<unsigned long long>(opts.seed), opts.nodes,
+              static_cast<long long>(opts.duration / 1'000'000));
+  const ChaosRunResult result = RunChaosSchedule(config);
+  std::printf("%s", result.Describe().c_str());
+  std::printf("verdict: %s\n", result.ok() ? "OK" : "FAIL");
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main(int argc, char** argv) {
+  hovercraft::CliOptions opts;
+  if (!hovercraft::ParseOptions(argc, argv, opts)) {
+    hovercraft::PrintUsage();
+    return 2;
+  }
+  if (opts.help) {
+    hovercraft::PrintUsage();
+    return 0;
+  }
+  if (opts.list_schedules) {
+    for (const std::string& name : hovercraft::Nemesis::ScheduleNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  return hovercraft::Run(opts);
+}
