@@ -30,7 +30,7 @@ const std::vector<std::string>& Nemesis::ScheduleNames() {
   static const std::vector<std::string> kNames = {
       "none",           "partition-leader", "partition-halves", "asym-leader",
       "delay",          "reorder",          "flap",             "crash-follower",
-      "crash-leader",   "random",
+      "crash-leader",   "drop-replies",     "crash-replier",    "random",
   };
   return kNames;
 }
@@ -175,6 +175,67 @@ void Nemesis::CrashOne(bool leader) {
   Log("crash: node " + std::to_string(victim) + (leader ? " (leader)" : " (follower)"));
 }
 
+void Nemesis::DropReplies() {
+  // Cut every live server's links toward the clients: requests still arrive,
+  // get ordered and executed, but no reply (and no NACK) makes it back. Only
+  // client retransmission can complete these operations — and only server-
+  // side dedup keeps the retries from re-executing them.
+  if (config_.clients.empty()) {
+    Log("drop-replies: skipped (no client hosts configured)");
+    return;
+  }
+  int cut = 0;
+  for (NodeId node = 0; node < cluster_->node_count(); ++node) {
+    if (cluster_->server(node).failed()) {
+      continue;
+    }
+    const HostId src = cluster_->server_host(node);
+    for (HostId client : config_.clients) {
+      cluster_->network().BlockLink(src, client);
+      cut_links_.emplace_back(src, client);
+      ++cut;
+    }
+  }
+  Log("drop-replies: cut " + std::to_string(cut) + " server->client link(s)");
+}
+
+void Nemesis::CutReplierReplies() {
+  // Phase 1 of the crash-replier fault: a designated replier keeps executing
+  // but its replies vanish. In the multicast modes any follower replies
+  // under JBSQ; in VanillaRaft only the leader ever answers clients, so the
+  // leader is the node whose silence loses replies.
+  if (config_.clients.empty()) {
+    Log("crash-replier: skipped (no client hosts configured)");
+    return;
+  }
+  const NodeId victim = cluster_->config().mode == ClusterMode::kVanillaRaft
+                            ? CurrentLeaderOr(0)
+                            : PickFollower(CurrentLeaderOr(0));
+  replier_victim_ = victim;
+  const HostId src = cluster_->server_host(victim);
+  for (HostId client : config_.clients) {
+    cluster_->network().BlockLink(src, client);
+    cut_links_.emplace_back(src, client);
+  }
+  Log("crash-replier: drop replies of node " + std::to_string(victim));
+}
+
+void Nemesis::CrashReplierVictim() {
+  // Phase 2: kill the muted replier. Requests it executed-but-never-answered
+  // now depend entirely on retransmission against the survivors.
+  if (replier_victim_ == kInvalidNode) {
+    return;
+  }
+  if (cluster_->LiveNodeCount() < cluster_->node_count()) {
+    Log("crash-replier: crash skipped (a node is already down)");
+    replier_victim_ = kInvalidNode;
+    return;
+  }
+  cluster_->KillNode(replier_victim_);
+  Log("crash-replier: crash node " + std::to_string(replier_victim_));
+  replier_victim_ = kInvalidNode;
+}
+
 void Nemesis::RestartDead() {
   for (NodeId node = 0; node < cluster_->node_count(); ++node) {
     if (cluster_->server(node).failed()) {
@@ -249,6 +310,21 @@ void Nemesis::ArmScripted() {
   } else if (name == "crash-leader") {
     At(s + w / 8, [this] { CrashOne(true); });
     At(s + 5 * w / 8, [this] { RestartDead(); });
+  } else if (name == "drop-replies") {
+    At(s + w / 8, [this] { DropReplies(); });
+    At(s + w / 2, [this] { HealNetwork(); });
+    At(s + 5 * w / 8, [this] { DropReplies(); });
+    At(s + 7 * w / 8, [this] { HealNetwork(); });
+  } else if (name == "crash-replier") {
+    // Mute a replier's client-facing links, let it execute in the dark for a
+    // slice of the window, then crash it: every request it answered-but-not-
+    // delivered must be recovered by retransmission without double-applying.
+    At(s + w / 8, [this] { CutReplierReplies(); });
+    At(s + 3 * w / 16, [this] { CrashReplierVictim(); });
+    At(s + w / 2, [this] { HealAll(); });
+    At(s + 5 * w / 8, [this] { CutReplierReplies(); });
+    At(s + 11 * w / 16, [this] { CrashReplierVictim(); });
+    At(s + 7 * w / 8, [this] { HealAll(); });
   } else {
     HC_CHECK(false);  // IsValidSchedule covered everything else
   }

@@ -34,6 +34,10 @@ struct NemesisConfig {
   uint64_t seed = 1;
   TimeNs start = 0;
   TimeNs end = 0;
+  // Client host ids, needed by the reply-facing schedules ("drop-replies",
+  // "crash-replier"): they cut server->client links so requests execute but
+  // their replies vanish — the retransmission/dedup stress case.
+  std::vector<HostId> clients;
 };
 
 class Nemesis {
@@ -67,6 +71,10 @@ class Nemesis {
   void InjectReorder(double probability, TimeNs max_extra);
   void FlapLink(bool block);
   void CrashOne(bool leader);
+  // Reply-facing faults: executed requests whose replies never arrive.
+  void DropReplies();
+  void CutReplierReplies();
+  void CrashReplierVictim();
   void RestartDead();
   void HealNetwork();
   void HealAll();
@@ -82,6 +90,10 @@ class Nemesis {
   // The link currently flapping / blocked asymmetrically, so heal events
   // operate on what was actually cut rather than re-resolving the leader.
   std::vector<std::pair<HostId, HostId>> cut_links_;
+  // Node whose replies were cut by CutReplierReplies; CrashReplierVictim
+  // kills exactly that node so the fault models "replier crashed between
+  // execute and reply".
+  NodeId replier_victim_ = kInvalidNode;
 };
 
 }  // namespace hovercraft

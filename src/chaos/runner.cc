@@ -23,7 +23,12 @@ std::string ChaosRunResult::Describe() const {
   if (!linearizability.failure_key.empty()) {
     out << "non-linearizable key: " << linearizability.failure_key << "\n";
   }
-  out << "dropped_by_fault=" << dropped_by_fault << "\n";
+  out << "dropped_by_fault=" << dropped_by_fault << "\n"
+      << "retry: retransmits=" << retransmits
+      << " completed_after_retry=" << completed_after_retry << " abandoned=" << abandoned
+      << " late_completions=" << late_completions << "\n"
+      << "dedup: hits=" << dedup_hits << " cached_replies=" << dedup_replies
+      << " double_applies=" << double_applies << "\n";
   for (const std::string& state : node_states) {
     out << state << "\n";
   }
@@ -45,6 +50,7 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   cc.app_factory = config.app_factory
                        ? config.app_factory
                        : []() { return std::make_unique<KvService>(); };
+  cc.server_template.dedup_enabled = config.dedup_enabled;
   // The stagger shortcut gives node 0 a permanently shorter election timeout.
   // Without pre-vote, a healed-but-stale node 0 then livelocks elections:
   // its 1-2 ms timer bumps the term faster than the 5-10 ms peers can elect.
@@ -68,6 +74,17 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
         std::make_unique<ChaosKvWorkload>(wc), config.rate_rps_per_client,
         config.seed * 1000 + static_cast<uint64_t>(i));
     client->set_outstanding_limit(config.outstanding_limit, config.give_up);
+    if (config.retry_enabled) {
+      ClientHost::RetryPolicy rp;
+      rp.enabled = true;
+      rp.initial_backoff = config.retry_initial_backoff;
+      rp.max_backoff = config.retry_max_backoff;
+      rp.max_attempts = config.retry_max_attempts;
+      client->set_retry_policy(rp);
+      // Retries bypass the flow-control middlebox (see Cluster::RetryTarget):
+      // the first attempt consumed the admission slot already.
+      client->set_retry_target([&cluster]() { return cluster.RetryTarget(); });
+    }
     client->set_observer(&recorder);
     cluster.network().Attach(client.get());
     clients.push_back(std::move(client));
@@ -79,6 +96,9 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   nc.seed = config.seed;
   nc.start = t0;
   nc.end = t0 + config.duration;
+  for (const auto& client : clients) {
+    nc.clients.push_back(client->id());
+  }
   Nemesis nemesis(&cluster, nc);
   nemesis.Arm();
 
@@ -108,6 +128,18 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   result.completed = recorder.completed();
   result.nacked = recorder.nacked();
   result.dropped_by_fault = cluster.network().dropped_by_fault();
+  for (const auto& client : clients) {
+    result.retransmits += client->total_retransmits();
+    result.completed_after_retry += client->completed_after_retry();
+    result.abandoned += client->total_abandoned();
+    result.late_completions += client->late_completions();
+  }
+  for (NodeId node = 0; node < cluster.node_count(); ++node) {
+    const ServerStats& stats = cluster.server(node).server_stats();
+    result.dedup_hits += stats.dedup_hits;
+    result.dedup_replies += stats.dedup_replies;
+    result.double_applies += stats.double_applies;
+  }
   result.nemesis_events = nemesis.events();
   result.linearizability =
       CheckKvLinearizability(recorder.History(), config.checker_max_states);

@@ -43,6 +43,18 @@ struct ChaosRunConfig {
   int64_t flow_control_threshold = 0;
   int64_t bounded_queue_depth = 64;
 
+  // Client retransmission (exactly-once stress). Disabled by default: the
+  // legacy schedules run fire-and-forget clients; the reply-facing schedules
+  // need retries to make progress at all.
+  bool retry_enabled = false;
+  TimeNs retry_initial_backoff = Micros(500);
+  TimeNs retry_max_backoff = Millis(4);
+  uint32_t retry_max_attempts = 0;  // 0 = bounded by give_up only
+  // Server-side session dedup. Turning it off with retries on demonstrates
+  // the double-apply anomaly (ServerStats::double_applies, and typically a
+  // linearizability violation).
+  bool dedup_enabled = true;
+
   // Override the replicated application; defaults to a KvService per node.
   // Exists so tests can plant a deliberately broken state machine and prove
   // the checker catches it.
@@ -63,6 +75,15 @@ struct ChaosRunResult {
   size_t completed = 0;
   size_t nacked = 0;
   uint64_t dropped_by_fault = 0;
+  // Client-side retry accounting (sums over all clients).
+  uint64_t retransmits = 0;
+  uint64_t completed_after_retry = 0;
+  uint64_t abandoned = 0;
+  uint64_t late_completions = 0;
+  // Server-side exactly-once accounting (sums over all nodes).
+  uint64_t dedup_hits = 0;
+  uint64_t dedup_replies = 0;
+  uint64_t double_applies = 0;
   std::vector<std::string> nemesis_events;
   // Per node: "node 2: term=5 leader alive digest=..." — final state, for
   // diagnosing a failed run.

@@ -125,6 +125,17 @@ Addr Cluster::ClientTarget() const {
   return server_hosts_[0];
 }
 
+Addr Cluster::RetryTarget() const {
+  switch (config_.mode) {
+    case ClusterMode::kHovercRaft:
+    case ClusterMode::kHovercRaftPP:
+      HC_CHECK(group_all_ != kInvalidHost);
+      return group_all_;
+    default:
+      return ClientTarget();
+  }
+}
+
 void Cluster::KillNode(NodeId node) {
   if (node == kInvalidNode) {
     return;  // e.g. KillLeader during an election window

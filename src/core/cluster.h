@@ -68,6 +68,13 @@ class Cluster {
   // (HovercRaft/++ — it rewrites to the multicast group).
   Addr ClientTarget() const;
 
+  // Where client retransmissions go. In the multicast modes they address the
+  // replication group directly, bypassing the flow-control middlebox: the
+  // first attempt already consumed (and will repay) the admission slot, so
+  // re-admitting a retry would leak slots and double-count load. In the
+  // other modes retries follow ClientTarget(), which re-resolves the leader.
+  Addr RetryTarget() const;
+
   // Crash injection (fail-stop). Killing an already-dead node is a no-op;
   // killing every node (including the last majority member) stalls progress
   // but never crashes the simulation. KillLeader with no live leader is a

@@ -58,7 +58,9 @@ void ReplicatedServer::Restart() {
   }
   // The unordered set lived in DRAM of the crashed process; requests the log
   // references but the set no longer holds are re-fetched point-to-point by
-  // the recovery path when the node catches up.
+  // the recovery path when the node catches up. The session table survives
+  // for the same reason the application state does: it is the deterministic
+  // replay of the applied log prefix, which is persistent.
   unordered_.Clear();
   set_failed(false);
 }
@@ -184,21 +186,61 @@ void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request
     ExecuteUnreplicated(request);
     return;
   }
+  if (config_.mode == ClusterMode::kUnreplicated) {
+    ExecuteUnreplicated(request);
+    return;
+  }
+  // Exactly-once fast path (Raft section 8): a retransmitted write whose
+  // original already executed is answered from the session cache — ordering
+  // it again would re-apply it. An Executed() hit with no cached reply means
+  // the client's own ack watermark passed this sequence (it saw the reply),
+  // so any retransmit still in flight is stale and safe to drop.
+  if (raft_->IsLeader() && config_.dedup_enabled && !request->read_only() &&
+      sessions_.Executed(request->rid())) {
+    ++stats_.dedup_hits;
+    Body cached = sessions_.CachedReply(request->rid());
+    if (cached != nullptr) {
+      ++stats_.dedup_replies;
+      // Retransmissions bypass the flow-control middlebox, so no FEEDBACK
+      // is owed for a cached reply.
+      SendReply(request->rid(), std::move(cached), /*send_feedback=*/false);
+    }
+    return;
+  }
+  // A retransmitted read-only request whose original is already ordered but
+  // not yet applied is still in the pipeline: its reply is coming. Drop the
+  // retransmit — re-ordering it would turn every retry tick of every queued
+  // request into a fresh log entry, and under a post-failover backlog that
+  // amplification snowballs into congestion collapse. Only an applied
+  // instance (reply possibly lost) is re-ordered to regenerate the reply.
+  if (request->is_retransmit() && request->read_only() && config_.dedup_enabled &&
+      raft_->IsLeader()) {
+    const LogIndex ordered = raft_->log().FindRequest(request->rid());
+    if (ordered != kNoLogIndex && ordered > raft_->applied_index()) {
+      ++stats_.retransmits_inflight;
+      return;
+    }
+  }
+  // A retransmitted read-only request may be re-ordered (re-execution is
+  // side-effect free and regenerates the reply); dedup-disabled mode lets
+  // write retransmits through too, which is exactly the double-apply anomaly
+  // the chaos harness demonstrates.
+  const bool allow_duplicate =
+      request->is_retransmit() && (request->read_only() || !config_.dedup_enabled);
   switch (config_.mode) {
     case ClusterMode::kUnreplicated:
-      ExecuteUnreplicated(request);
-      return;
+      return;  // handled above
     case ClusterMode::kVanillaRaft:
       // Clients address the leader directly; a deposed leader drops the
-      // request (at-most-once semantics).
-      raft_->SubmitRequest(std::move(request));
+      // request (the client's retransmission timer chases the new leader).
+      raft_->SubmitRequest(std::move(request), allow_duplicate);
       return;
     case ClusterMode::kHovercRaft:
     case ClusterMode::kHovercRaftPP:
       // Multicast delivery: the leader orders immediately, everyone else
       // parks the payload in the unordered set (paper section 3.2).
       if (raft_->IsLeader()) {
-        if (raft_->SubmitRequest(request)) {
+        if (raft_->SubmitRequest(request, allow_duplicate)) {
           return;
         }
       }
@@ -208,12 +250,39 @@ void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request
 }
 
 void ReplicatedServer::ExecuteUnreplicated(const std::shared_ptr<const RpcRequest>& request) {
+  // Session bookkeeping applies to writes served by the unreplicated
+  // configuration; kUnrestricted requests are read-ish by contract and
+  // read-only requests are harmless to re-execute.
+  const bool track_session =
+      config_.mode == ClusterMode::kUnreplicated && !request->read_only();
+  if (track_session) {
+    sessions_.Acknowledge(request->rid().client, request->ack_watermark());
+    if (sessions_.Executed(request->rid())) {
+      if (config_.dedup_enabled) {
+        ++stats_.dedup_hits;
+        Body cached = sessions_.CachedReply(request->rid());
+        if (cached != nullptr) {
+          ++stats_.dedup_replies;
+          app_thread_.Submit(0, [this, rid = request->rid(), cached = std::move(cached)]() {
+            SendReply(rid, cached, /*send_feedback=*/false);
+          });
+        }
+        return;
+      }
+      ++stats_.double_applies;
+    }
+  }
   ExecResult result = app_->Execute(*request);
   ++stats_.ops_executed;
+  if (track_session) {
+    sessions_.Record(request->rid(), result.reply);
+  }
   // An unreplicated server wired behind an R2P2 router / flow-control box
   // owes FEEDBACK per completion; unrestricted requests inside a replicated
-  // group bypassed the middlebox, so none is owed for them.
-  const bool send_feedback = (config_.mode == ClusterMode::kUnreplicated);
+  // group bypassed the middlebox, so none is owed for them. Retransmissions
+  // bypass the middlebox as well.
+  const bool send_feedback =
+      (config_.mode == ClusterMode::kUnreplicated) && !request->is_retransmit();
   app_thread_.Submit(result.service_time,
                      [this, rid = request->rid(), body = std::move(result.reply),
                       send_feedback]() { SendReply(rid, body, send_feedback); });
@@ -240,12 +309,53 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
   }
   HC_CHECK(entry.request != nullptr);
 
+  // Session-table GC rides in the log entry: every replica raises the
+  // client's ack watermark at the same log position (deterministic state).
+  sessions_.Acknowledge(entry.rid.client, entry.ack_watermark);
+
+  // Is this the first ordered instance of this rid? Every replica evaluates
+  // the same session state at the same log position, so the answer is
+  // deterministic cluster-wide. It decides FEEDBACK: the middlebox admission
+  // slot charged to the request is repaid exactly once per rid — no matter
+  // which attempt's copy got ordered (a request whose admitted first attempt
+  // died with a leader is recovered by a retransmitted copy, which must
+  // repay in its place) and no matter how often a read-only retransmit is
+  // re-ordered for freshness (later instances repay nothing).
+  const bool first_instance = !sessions_.Executed(entry.rid);
+
   if (entry.read_only && entry.replier != self) {
     // Totally ordered, but executed only by the designated replier
-    // (paper section 3.5).
+    // (paper section 3.5). Still mark the rid as seen so this replica's
+    // session table stays identical to the replier's.
     ++stats_.ro_skipped;
+    sessions_.Record(entry.rid, nullptr);
     app_thread_.Submit(0, [this, idx]() { raft_->OnApplied(idx); });
     return;
+  }
+
+  // Exactly-once on the apply path (Raft section 8): an already-executed
+  // write re-entered the log (retransmit ordered by a new leader, or the
+  // unordered drain raced a committed entry). Answer from the reply cache
+  // instead of re-applying it.
+  const bool duplicate = !entry.read_only && sessions_.Executed(entry.rid);
+  if (duplicate && config_.dedup_enabled) {
+    ++stats_.dedup_hits;
+    const bool reply_here = (entry.replier == self);
+    Body cached = sessions_.CachedReply(entry.rid);
+    if (reply_here && cached != nullptr) {
+      ++stats_.dedup_replies;
+    }
+    app_thread_.Submit(0, [this, idx, rid = entry.rid, reply_here,
+                           cached = std::move(cached)]() {
+      raft_->OnApplied(idx);
+      if (reply_here && cached != nullptr) {
+        SendReply(rid, cached, /*send_feedback=*/false);
+      }
+    });
+    return;
+  }
+  if (duplicate) {
+    ++stats_.double_applies;  // dedup disabled: the anomaly, made visible
   }
 
   // Execute now (in log order — the state machine sees exactly the committed
@@ -253,13 +363,20 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
   // when the virtual execution completes.
   ExecResult result = app_->Execute(*entry.request);
   ++stats_.ops_executed;
+  // Writes cache their reply for dedup; read-onlys record a null marker (a
+  // retransmitted read is always re-executed for freshness, so there is
+  // nothing to cache — the entry only pins down "first instance" above and
+  // keeps every replica's session table byte-identical).
+  sessions_.Record(entry.rid, entry.read_only ? nullptr : result.reply);
   const bool reply_here = (entry.replier == self);
   const RequestId rid = entry.rid;
+  const bool send_feedback = first_instance;
   app_thread_.Submit(result.service_time,
-                     [this, idx, rid, reply_here, body = std::move(result.reply)]() {
+                     [this, idx, rid, reply_here, send_feedback,
+                      body = std::move(result.reply)]() {
                        raft_->OnApplied(idx);
                        if (reply_here) {
-                         SendReply(rid, body);
+                         SendReply(rid, body, send_feedback);
                        }
                      });
 }
@@ -313,15 +430,31 @@ void ReplicatedServer::StoreRecovered(const RequestId& rid,
 RaftNode::Env::SnapshotCapture ReplicatedServer::CaptureSnapshot() {
   // The application state reflects exactly the entries already handed to the
   // app thread (Execute runs synchronously at scheduling time), i.e. the
-  // prefix through apply_cursor_.
+  // prefix through apply_cursor_. The session table is maintained at the
+  // same points, so it is captured alongside: a straggler repaired by state
+  // transfer must keep recognizing retransmits of compacted-away requests.
+  // Layout: [session table (self-delimiting)][application state bytes].
   SnapshotCapture capture;
-  capture.state = app_->SnapshotState();
+  BufferWriter w;
+  sessions_.Serialize(&w);
+  const Body app_state = app_->SnapshotState();
+  if (app_state != nullptr) {
+    w.PutBytes(*app_state);
+  }
+  capture.state = MakeBody(w.TakeBytes());
   capture.last_included = apply_cursor_;
   return capture;
 }
 
 void ReplicatedServer::RestoreSnapshot(const Body& state, LogIndex last_included) {
-  const Status status = app_->RestoreState(state);
+  HC_CHECK(state != nullptr);
+  BufferReader r(*state);
+  const Status sessions_ok = sessions_.Restore(&r);
+  HC_CHECK(sessions_ok.ok());
+  std::vector<uint8_t> app_bytes;
+  const Status app_ok = r.GetBytes(r.remaining(), app_bytes);
+  HC_CHECK(app_ok.ok());
+  const Status status = app_->RestoreState(MakeBody(std::move(app_bytes)));
   HC_CHECK(status.ok());
   ++stats_.snapshots_restored;
   if (last_included > apply_cursor_) {
@@ -336,6 +469,12 @@ void ReplicatedServer::OnLeadershipChanged(bool is_leader) {
 
 void ReplicatedServer::DrainUnorderedIntoLog() {
   unordered_.Drain([this](std::shared_ptr<const RpcRequest> req) {
+    // A parked retransmit of an already-executed write must not re-enter the
+    // log: the client either has the reply or will retransmit again and be
+    // answered from the session cache.
+    if (config_.dedup_enabled && !req->read_only() && sessions_.Executed(req->rid())) {
+      return;
+    }
     raft_->SubmitRequest(std::move(req));
   });
 }

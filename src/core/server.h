@@ -19,6 +19,7 @@
 
 #include "src/app/state_machine.h"
 #include "src/common/types.h"
+#include "src/core/session_table.h"
 #include "src/core/unordered_store.h"
 #include "src/net/host.h"
 #include "src/raft/node.h"
@@ -37,6 +38,11 @@ struct ServerConfig {
   // How far a straggler may lag before compaction proceeds without it and
   // the leader repairs it with an InstallSnapshot state transfer.
   LogIndex straggler_lag_entries = 65'536;
+  // Client-session dedup (Raft section 8): retransmitted writes are answered
+  // from the reply cache instead of re-executed. Disabling it models naive
+  // at-least-once retries — the chaos harness uses that to demonstrate the
+  // double-apply anomaly the table exists to prevent.
+  bool dedup_enabled = true;
 };
 
 struct ServerStats {
@@ -49,6 +55,13 @@ struct ServerStats {
   // Non-replicated (kUnrestricted) requests served locally (section 6.1).
   uint64_t unrestricted_served = 0;
   uint64_t snapshots_restored = 0;
+  // Exactly-once accounting (Raft section 8 client sessions).
+  uint64_t dedup_hits = 0;      // retransmits recognized as already executed
+  uint64_t dedup_replies = 0;   // replies served from the session cache
+  uint64_t double_applies = 0;  // re-executions that dedup would have stopped
+  // Read-only retransmits dropped because their rid is already ordered but
+  // not yet applied: the original's reply is still in the pipeline.
+  uint64_t retransmits_inflight = 0;
 };
 
 class ReplicatedServer final : public Host, public RaftNode::Env {
@@ -98,6 +111,7 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   const StateMachine& app() const { return *app_; }
   const ServerStats& server_stats() const { return stats_; }
   const UnorderedStore& unordered() const { return unordered_; }
+  const SessionTable& sessions() const { return sessions_; }
   NodeId node_id() const { return config_.raft.id; }
   const ServerConfig& config() const { return config_; }
 
@@ -119,6 +133,10 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   std::unique_ptr<RaftNode> raft_;
   SerialResource app_thread_;
   UnorderedStore unordered_;
+  // Replicated client sessions: a deterministic function of the applied log
+  // prefix, so it survives Restart() alongside the application state and
+  // travels inside snapshots (serialized ahead of the app bytes).
+  SessionTable sessions_;
 
   std::vector<HostId> node_hosts_;
   HostId aggregator_host_ = kInvalidHost;

@@ -1,0 +1,118 @@
+#include "src/core/session_table.h"
+
+#include <utility>
+#include <vector>
+
+namespace hovercraft {
+
+void SessionTable::Record(const RequestId& rid, Body reply) {
+  ClientSession& session = sessions_[rid.client];
+  if (rid.seq <= session.ack_watermark) {
+    return;  // already acknowledged; nothing can still ask for this reply
+  }
+  session.replies[rid.seq] = std::move(reply);
+}
+
+bool SessionTable::Executed(const RequestId& rid) const {
+  auto it = sessions_.find(rid.client);
+  if (it == sessions_.end()) {
+    return false;
+  }
+  const ClientSession& session = it->second;
+  return rid.seq <= session.ack_watermark || session.replies.count(rid.seq) > 0;
+}
+
+Body SessionTable::CachedReply(const RequestId& rid) const {
+  auto it = sessions_.find(rid.client);
+  if (it == sessions_.end()) {
+    return nullptr;
+  }
+  auto reply = it->second.replies.find(rid.seq);
+  return reply == it->second.replies.end() ? nullptr : reply->second;
+}
+
+void SessionTable::Acknowledge(HostId client, uint64_t watermark) {
+  if (watermark == 0) {
+    return;
+  }
+  ClientSession& session = sessions_[client];
+  if (watermark <= session.ack_watermark) {
+    return;  // watermarks are monotone; an older attempt carries a stale one
+  }
+  session.ack_watermark = watermark;
+  session.replies.erase(session.replies.begin(),
+                        session.replies.upper_bound(watermark));
+}
+
+void SessionTable::Serialize(BufferWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(sessions_.size()));
+  for (const auto& [client, session] : sessions_) {
+    w->PutI64(static_cast<int64_t>(client));
+    w->PutU64(session.ack_watermark);
+    w->PutU32(static_cast<uint32_t>(session.replies.size()));
+    for (const auto& [seq, reply] : session.replies) {
+      w->PutU64(seq);
+      if (reply == nullptr) {
+        w->PutU32(0);
+      } else {
+        w->PutU32(static_cast<uint32_t>(reply->size()));
+        w->PutBytes(*reply);
+      }
+    }
+  }
+}
+
+Status SessionTable::Restore(BufferReader* r) {
+  std::map<HostId, ClientSession> restored;
+  uint32_t client_count = 0;
+  if (Status s = r->GetU32(client_count); !s.ok()) {
+    return s;
+  }
+  for (uint32_t c = 0; c < client_count; ++c) {
+    int64_t client = 0;
+    ClientSession session;
+    uint32_t reply_count = 0;
+    if (Status s = r->GetI64(client); !s.ok()) {
+      return s;
+    }
+    if (Status s = r->GetU64(session.ack_watermark); !s.ok()) {
+      return s;
+    }
+    if (Status s = r->GetU32(reply_count); !s.ok()) {
+      return s;
+    }
+    for (uint32_t i = 0; i < reply_count; ++i) {
+      uint64_t seq = 0;
+      uint32_t len = 0;
+      if (Status s = r->GetU64(seq); !s.ok()) {
+        return s;
+      }
+      if (Status s = r->GetU32(len); !s.ok()) {
+        return s;
+      }
+      std::vector<uint8_t> bytes;
+      if (Status s = r->GetBytes(len, bytes); !s.ok()) {
+        return s;
+      }
+      session.replies[seq] = MakeBody(std::move(bytes));
+    }
+    restored[static_cast<HostId>(client)] = std::move(session);
+  }
+  sessions_ = std::move(restored);
+  return Status::Ok();
+}
+
+size_t SessionTable::cached_replies() const {
+  size_t total = 0;
+  for (const auto& [client, session] : sessions_) {
+    total += session.replies.size();
+  }
+  return total;
+}
+
+uint64_t SessionTable::AckWatermark(HostId client) const {
+  auto it = sessions_.find(client);
+  return it == sessions_.end() ? 0 : it->second.ack_watermark;
+}
+
+}  // namespace hovercraft

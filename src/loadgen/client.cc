@@ -1,9 +1,9 @@
 #include "src/loadgen/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
-#include "src/r2p2/messages.h"
 
 namespace hovercraft {
 
@@ -39,6 +39,17 @@ void ClientHost::ScheduleNextArrival() {
   sim()->At(next, [this]() { SendOne(); });
 }
 
+Addr ClientHost::ResolveTarget(const Pending& pending) {
+  if (pending.unrestricted) {
+    return unrestricted_targets_[rng_.NextBelow(unrestricted_targets_.size())];
+  }
+  // Re-resolved per attempt: retries chase the current leader / retry path.
+  if (retry_target_ != nullptr && pending.attempts > 1) {
+    return retry_target_();
+  }
+  return target_();
+}
+
 void ClientHost::SendOne() {
   if (!running_ || sim()->Now() >= stop_time_) {
     running_ = false;
@@ -47,15 +58,17 @@ void ClientHost::SendOne() {
   ScheduleNextArrival();
 
   if (outstanding_limit_ > 0 && outstanding_.size() >= outstanding_limit_) {
-    // Abandon requests the client has given up on; they stay unresolved in
-    // any attached observer's history (open operations).
+    // Abandon requests the client has given up on. Without retries this is
+    // the only give-up path (retries abandon from their timer chain).
     const TimeNs now = sim()->Now();
-    for (auto it = outstanding_.begin(); it != outstanding_.end();) {
-      if (it->second + give_up_ <= now) {
-        it = outstanding_.erase(it);
-      } else {
-        ++it;
+    std::vector<uint64_t> expired;
+    for (const auto& [seq, pending] : outstanding_) {
+      if (pending.first_sent + give_up_ <= now) {
+        expired.push_back(seq);
       }
+    }
+    for (uint64_t seq : expired) {
+      Abandon(seq);
     }
     if (outstanding_.size() >= outstanding_limit_) {
       return;  // still saturated: shed this arrival
@@ -70,50 +83,157 @@ void ClientHost::SendOne() {
       unrestricted ? R2p2Policy::kUnrestricted
                    : (op.read_only ? R2p2Policy::kReplicatedReqRo : R2p2Policy::kReplicatedReq);
   const TimeNs now = sim()->Now();
-  outstanding_.emplace(seq, now);
+  Pending pending;
+  pending.first_sent = now;
+  pending.policy = policy;
+  pending.body = std::move(op.body);
+  pending.unrestricted = unrestricted;
+  const Addr dst = ResolveTarget(pending);
+  auto request =
+      std::make_shared<RpcRequest>(rid, policy, pending.body, /*attempt=*/1, ack_floor_);
+  outstanding_.emplace(seq, std::move(pending));
   ++total_sent_;
   if (InWindow(now)) {
     ++sent_in_window_;
   }
-  const Addr dst =
-      unrestricted
-          ? unrestricted_targets_[rng_.NextBelow(unrestricted_targets_.size())]
-          : target_();
-  auto request = std::make_shared<RpcRequest>(rid, policy, std::move(op.body));
   if (observer_ != nullptr) {
     observer_->OnInvoke(id(), seq, policy, request->body(), now);
   }
   Send(dst, std::move(request));
+  if (retry_policy_.enabled) {
+    ArmRetryTimer(seq, 1);
+  }
+}
+
+TimeNs ClientHost::BackoffAfter(uint32_t attempt) {
+  HC_CHECK_GE(attempt, 1u);
+  double backoff = static_cast<double>(retry_policy_.initial_backoff);
+  for (uint32_t i = 1; i < attempt; ++i) {
+    backoff *= retry_policy_.multiplier;
+    if (backoff >= static_cast<double>(retry_policy_.max_backoff)) {
+      break;
+    }
+  }
+  backoff = std::min(backoff, static_cast<double>(retry_policy_.max_backoff));
+  const double jitter = retry_policy_.jitter;
+  if (jitter > 0.0) {
+    backoff *= 1.0 - jitter + 2.0 * jitter * rng_.NextDouble();
+  }
+  return std::max<TimeNs>(1, static_cast<TimeNs>(backoff));
+}
+
+void ClientHost::ArmRetryTimer(uint64_t seq, uint32_t attempt) {
+  sim()->After(BackoffAfter(attempt), [this, seq, attempt]() {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end() || it->second.attempts != attempt) {
+      return;  // completed, abandoned, or superseded by a newer attempt
+    }
+    Pending& pending = it->second;
+    const TimeNs now = sim()->Now();
+    const bool attempts_exhausted = retry_policy_.max_attempts > 0 &&
+                                    pending.attempts >= retry_policy_.max_attempts;
+    const bool timed_out = give_up_ > 0 && now - pending.first_sent >= give_up_;
+    if (attempts_exhausted || timed_out) {
+      Abandon(seq);
+      return;
+    }
+    ++pending.attempts;
+    ++total_retransmits_;
+    const RequestId rid{id(), seq};
+    auto request = std::make_shared<RpcRequest>(rid, pending.policy, pending.body,
+                                                pending.attempts, ack_floor_);
+    Send(ResolveTarget(pending), std::move(request));
+    ArmRetryTimer(seq, pending.attempts);
+  });
+}
+
+void ClientHost::Abandon(uint64_t seq) {
+  auto it = outstanding_.find(seq);
+  HC_CHECK(it != outstanding_.end());
+  // The operation stays unresolved (open in any observer's history) and its
+  // sequence deliberately never advances the ack watermark: acknowledging it
+  // would let the servers GC a session entry a stale retransmit could still
+  // re-execute. A late reply resolves it exactly once.
+  abandoned_.emplace(seq, it->second.first_sent);
+  outstanding_.erase(it);
+  ++total_abandoned_;
+}
+
+void ClientHost::ResolveForAck(uint64_t seq) {
+  if (seq <= ack_floor_) {
+    return;
+  }
+  resolved_above_floor_.insert(seq);
+  while (!resolved_above_floor_.empty() &&
+         *resolved_above_floor_.begin() == ack_floor_ + 1) {
+    ++ack_floor_;
+    resolved_above_floor_.erase(resolved_above_floor_.begin());
+  }
 }
 
 void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
   if (const auto* resp = dynamic_cast<const RpcResponse*>(msg.get())) {
-    auto it = outstanding_.find(resp->rid().seq);
-    if (it == outstanding_.end()) {
-      return;  // duplicate or post-accounting reply
+    const uint64_t seq = resp->rid().seq;
+    auto it = outstanding_.find(seq);
+    if (it != outstanding_.end()) {
+      const Pending pending = std::move(it->second);
+      outstanding_.erase(it);
+      ++total_completed_;
+      if (pending.attempts > 1) {
+        ++completed_after_retry_;
+        if (InWindow(pending.first_sent)) {
+          ++recovered_in_window_;
+        }
+      }
+      const TimeNs latency = sim()->Now() - pending.first_sent;
+      if (InWindow(pending.first_sent)) {
+        ++completed_in_window_;
+        latencies_.Record(latency);
+      }
+      if (timeseries_ != nullptr) {
+        timeseries_->Record(sim()->Now(), latency);
+      }
+      ResolveForAck(seq);
+      if (observer_ != nullptr) {
+        observer_->OnComplete(id(), seq, resp->body(), sim()->Now());
+      }
+      return;
     }
-    const TimeNs sent = it->second;
-    outstanding_.erase(it);
-    ++total_completed_;
-    const TimeNs latency = sim()->Now() - sent;
-    if (InWindow(sent)) {
-      ++completed_in_window_;
-      latencies_.Record(latency);
+    auto ab = abandoned_.find(seq);
+    if (ab != abandoned_.end()) {
+      // Late completion of an abandoned request: counted exactly once, never
+      // resurrected into the outstanding set.
+      const TimeNs first_sent = ab->second;
+      abandoned_.erase(ab);
+      ++total_completed_;
+      ++late_completions_;
+      const TimeNs latency = sim()->Now() - first_sent;
+      if (InWindow(first_sent)) {
+        ++completed_in_window_;
+        latencies_.Record(latency);
+      }
+      if (timeseries_ != nullptr) {
+        timeseries_->Record(sim()->Now(), latency);
+      }
+      ResolveForAck(seq);
+      if (observer_ != nullptr) {
+        observer_->OnComplete(id(), seq, resp->body(), sim()->Now());
+      }
+      return;
     }
-    if (timeseries_ != nullptr) {
-      timeseries_->Record(sim()->Now(), latency);
-    }
-    if (observer_ != nullptr) {
-      observer_->OnComplete(id(), resp->rid().seq, resp->body(), sim()->Now());
-    }
-    return;
+    return;  // duplicate reply (already completed) — suppressed
   }
   if (const auto* nack = dynamic_cast<const NackMsg*>(msg.get())) {
     auto it = outstanding_.find(nack->rid().seq);
     if (it == outstanding_.end()) {
       return;
     }
-    const TimeNs sent = it->second;
+    if (it->second.attempts > 1) {
+      // A stale NACK from the first attempt racing a retransmission that
+      // bypassed the middlebox: the retry may still succeed, keep waiting.
+      return;
+    }
+    const TimeNs sent = it->second.first_sent;
     outstanding_.erase(it);
     if (InWindow(sent)) {
       ++nacked_in_window_;
@@ -121,6 +241,9 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
     if (timeseries_ != nullptr) {
       timeseries_->Count(sim()->Now());
     }
+    // A NACKed request was never admitted, so it can never execute: safe to
+    // acknowledge for session-table GC.
+    ResolveForAck(nack->rid().seq);
     if (observer_ != nullptr) {
       observer_->OnNack(id(), nack->rid().seq, sim()->Now());
     }
@@ -129,13 +252,20 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
 }
 
 void ClientHost::AccountLost(TimeNs penalty_ns) {
-  for (const auto& [seq, sent] : outstanding_) {
-    if (InWindow(sent)) {
+  for (const auto& [seq, pending] : outstanding_) {
+    if (InWindow(pending.first_sent)) {
       ++lost_in_window_;
       latencies_.Record(penalty_ns);
     }
   }
   outstanding_.clear();
+  for (const auto& [seq, first_sent] : abandoned_) {
+    if (InWindow(first_sent)) {
+      ++lost_in_window_;
+      latencies_.Record(penalty_ns);
+    }
+  }
+  abandoned_.clear();
 }
 
 }  // namespace hovercraft

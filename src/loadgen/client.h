@@ -1,11 +1,19 @@
 // An open-loop load-generating client, modelled on Lancet (paper section 7):
 // Poisson arrivals at a fixed rate, independent of responses, with latency
 // measured per request and aggregated over a measurement window.
+//
+// The client implements the client half of exactly-once RPC: per-request
+// retransmission timers with capped exponential backoff and jitter, duplicate
+// reply suppression, and an acknowledged-sequence watermark piggybacked on
+// every request so the servers can garbage-collect their session tables
+// (Raft section 8). Retries re-resolve their destination per attempt, so
+// they chase a new leader after failover.
 #ifndef SRC_LOADGEN_CLIENT_H_
 #define SRC_LOADGEN_CLIENT_H_
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -13,6 +21,7 @@
 #include "src/common/types.h"
 #include "src/loadgen/workload.h"
 #include "src/net/host.h"
+#include "src/r2p2/messages.h"
 #include "src/stats/histogram.h"
 #include "src/stats/timeseries.h"
 
@@ -28,8 +37,9 @@ class ClientHost final : public Host {
              std::unique_ptr<Workload> workload, double rate_rps, uint64_t seed);
 
   // Observes the client-visible history: one OnInvoke per request sent, at
-  // most one OnComplete (first response) or OnNack per request. Used by the
-  // chaos harness to record histories for linearizability checking.
+  // most one OnComplete (first response) or OnNack per request — regardless
+  // of how many attempts were transmitted. Used by the chaos harness to
+  // record histories for linearizability checking.
   class Observer {
    public:
     virtual ~Observer() = default;
@@ -39,6 +49,26 @@ class ClientHost final : public Host {
     virtual void OnNack(HostId client, uint64_t seq, TimeNs at) = 0;
   };
   void set_observer(Observer* observer) { observer_ = observer; }
+
+  // Retransmission with capped exponential backoff and jitter. Attempt n+1
+  // fires min(max_backoff, initial_backoff * multiplier^(n-1)) after attempt
+  // n, jittered by ±jitter (fraction). max_attempts == 0 bounds retries only
+  // by the give-up timeout (set_outstanding_limit); otherwise the request is
+  // abandoned after that many transmissions.
+  struct RetryPolicy {
+    bool enabled = false;
+    TimeNs initial_backoff = Micros(500);
+    TimeNs max_backoff = Millis(8);
+    double multiplier = 2.0;
+    double jitter = 0.2;
+    uint32_t max_attempts = 0;
+  };
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+
+  // Destination for retransmissions; defaults to the primary target
+  // function. The multicast modes route retries straight to the replication
+  // group, bypassing the flow-control middlebox (see Cluster::RetryTarget).
+  void set_retry_target(TargetFn target) { retry_target_ = std::move(target); }
 
   // Generates arrivals in [start, stop).
   void StartLoad(TimeNs start, TimeNs stop);
@@ -60,11 +90,10 @@ class ClientHost final : public Host {
 
   // Bounds concurrency: with a limit set, an arrival is skipped (not sent,
   // not recorded) while `limit` requests are outstanding, and a request
-  // outstanding longer than `give_up` stops counting toward the limit (the
-  // client abandons it; no completion is ever recorded for it). The chaos
-  // harness needs this: unbounded fire-and-forget at a partitioned leader
-  // piles up open operations faster than any linearizability checker can
-  // absorb. 0 = unlimited (the default; benches are unaffected).
+  // outstanding longer than `give_up` is abandoned (it stops counting toward
+  // the limit and is no longer retransmitted). An abandoned request that
+  // later receives a reply is completed exactly once, late. 0 = unlimited
+  // (the default; benches are unaffected).
   void set_outstanding_limit(size_t limit, TimeNs give_up) {
     outstanding_limit_ = limit;
     give_up_ = give_up;
@@ -72,8 +101,8 @@ class ClientHost final : public Host {
 
   void HandleMessage(HostId src, const MessagePtr& msg) override;
 
-  // Marks still-outstanding in-window requests as lost, recording
-  // `penalty_ns` as their latency (they would have blown any SLO).
+  // Marks still-outstanding and abandoned in-window requests as lost,
+  // recording `penalty_ns` as their latency (they would have blown any SLO).
   void AccountLost(TimeNs penalty_ns);
 
   const Histogram& latencies() const { return latencies_; }
@@ -81,27 +110,60 @@ class ClientHost final : public Host {
   uint64_t completed_in_window() const { return completed_in_window_; }
   uint64_t nacked_in_window() const { return nacked_in_window_; }
   uint64_t lost_in_window() const { return lost_in_window_; }
+  uint64_t recovered_in_window() const { return recovered_in_window_; }
   uint64_t total_sent() const { return total_sent_; }
   uint64_t total_completed() const { return total_completed_; }
+  uint64_t total_retransmits() const { return total_retransmits_; }
+  uint64_t total_abandoned() const { return total_abandoned_; }
+  uint64_t completed_after_retry() const { return completed_after_retry_; }
+  uint64_t late_completions() const { return late_completions_; }
+  // Highest sequence with every sequence at or below it resolved (completed
+  // or NACKed); piggybacked on outgoing requests for session-table GC.
+  uint64_t ack_watermark() const { return ack_floor_; }
 
  private:
+  struct Pending {
+    TimeNs first_sent = 0;
+    R2p2Policy policy = R2p2Policy::kReplicatedReq;
+    Body body;
+    uint32_t attempts = 1;
+    bool unrestricted = false;
+  };
+
   void ScheduleNextArrival();
   void SendOne();
+  void ArmRetryTimer(uint64_t seq, uint32_t attempt);
+  TimeNs BackoffAfter(uint32_t attempt);
+  void Abandon(uint64_t seq);
+  // Marks `seq` as acknowledged and advances the contiguous watermark.
+  void ResolveForAck(uint64_t seq);
+  Addr ResolveTarget(const Pending& pending);
   bool InWindow(TimeNs t) const { return t >= measure_start_ && t < measure_end_; }
 
   TargetFn target_;
+  TargetFn retry_target_;  // null = use target_
   std::unique_ptr<Workload> workload_;
   double rate_rps_;
   Rng rng_;
   std::vector<Addr> unrestricted_targets_;
+  RetryPolicy retry_policy_;
 
   TimeNs stop_time_ = 0;
   bool running_ = false;
 
   uint64_t next_seq_ = 1;
-  std::unordered_map<uint64_t, TimeNs> outstanding_;  // seq -> send time
+  std::unordered_map<uint64_t, Pending> outstanding_;
+  // Abandoned but unresolved requests (seq -> first send time): no longer
+  // retransmitted or counted toward the outstanding limit, but a late reply
+  // still completes them exactly once.
+  std::unordered_map<uint64_t, TimeNs> abandoned_;
   size_t outstanding_limit_ = 0;
   TimeNs give_up_ = 0;
+
+  // Ack watermark: every seq <= ack_floor_ is resolved; seqs above it that
+  // resolved out of order wait in the set until the gap below them closes.
+  uint64_t ack_floor_ = 0;
+  std::set<uint64_t> resolved_above_floor_;
 
   TimeNs measure_start_ = 0;
   TimeNs measure_end_ = 0;
@@ -111,10 +173,15 @@ class ClientHost final : public Host {
 
   uint64_t total_sent_ = 0;
   uint64_t total_completed_ = 0;
+  uint64_t total_retransmits_ = 0;
+  uint64_t total_abandoned_ = 0;
+  uint64_t completed_after_retry_ = 0;
+  uint64_t late_completions_ = 0;
   uint64_t sent_in_window_ = 0;
   uint64_t completed_in_window_ = 0;
   uint64_t nacked_in_window_ = 0;
   uint64_t lost_in_window_ = 0;
+  uint64_t recovered_in_window_ = 0;
 };
 
 }  // namespace hovercraft

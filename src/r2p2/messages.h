@@ -39,8 +39,19 @@ inline int32_t BodySize(const Body& body) {
 
 class RpcRequest final : public Message {
  public:
-  RpcRequest(RequestId rid, R2p2Policy policy, Body body)
-      : rid_(rid), policy_(policy), body_(std::move(body)) {}
+  // `attempt` counts transmissions of this rid (1 = original send); clients
+  // bump it on every retransmission so servers can tell a retry from a fresh
+  // request. `ack_watermark` is the client's acknowledged-sequence floor:
+  // every seq <= watermark has been resolved at the client (reply or NACK
+  // received), so servers may garbage-collect cached replies at or below it
+  // (Raft section 8 client sessions).
+  RpcRequest(RequestId rid, R2p2Policy policy, Body body, uint32_t attempt = 1,
+             uint64_t ack_watermark = 0)
+      : rid_(rid),
+        policy_(policy),
+        body_(std::move(body)),
+        attempt_(attempt),
+        ack_watermark_(ack_watermark) {}
 
   int32_t PayloadBytes() const override { return BodySize(body_); }
   const char* Name() const override { return "REQUEST"; }
@@ -49,11 +60,16 @@ class RpcRequest final : public Message {
   R2p2Policy policy() const { return policy_; }
   const Body& body() const { return body_; }
   bool read_only() const { return IsReadOnly(policy_); }
+  uint32_t attempt() const { return attempt_; }
+  bool is_retransmit() const { return attempt_ > 1; }
+  uint64_t ack_watermark() const { return ack_watermark_; }
 
  private:
   RequestId rid_;
   R2p2Policy policy_;
   Body body_;
+  uint32_t attempt_;
+  uint64_t ack_watermark_;
 };
 
 class RpcResponse final : public Message {

@@ -39,7 +39,21 @@ RequestId RequestIdFromHeader(const WireHeader& header) {
 
 std::vector<WirePacket> SerializeRequest(const RpcRequest& request, size_t mtu_payload) {
   const WireHeader h = HeaderForRequest(request.rid(), request.policy(), WireType::kRequest);
-  return SerializeBody(h, request.body(), mtu_payload);
+  // Requests carry a fixed extension ahead of the application body: the
+  // attempt counter and the client's acknowledged-sequence watermark (the
+  // retransmission / session-GC fields, see RpcRequest). Symmetric with the
+  // strip in DecodeR2p2Message.
+  std::vector<uint8_t> framed(kRequestExtensionBytes);
+  for (size_t i = 0; i < 4; ++i) {
+    framed[i] = static_cast<uint8_t>(request.attempt() >> (8 * i));
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    framed[4 + i] = static_cast<uint8_t>(request.ack_watermark() >> (8 * i));
+  }
+  if (request.body() != nullptr) {
+    framed.insert(framed.end(), request.body()->begin(), request.body()->end());
+  }
+  return Fragment(h, framed, mtu_payload);
 }
 
 std::vector<WirePacket> SerializeResponse(const RpcResponse& response, size_t mtu_payload) {
@@ -68,9 +82,25 @@ Result<DecodedR2p2Message> DecodeR2p2Message(const Reassembler::Complete& comple
       if (complete.header.policy > static_cast<uint8_t>(R2p2Policy::kReplicatedReqRo)) {
         return InvalidArgumentError("bad policy on request");
       }
+      if (complete.body.size() < kRequestExtensionBytes) {
+        return InvalidArgumentError("request shorter than its fixed extension");
+      }
+      uint32_t attempt = 0;
+      for (size_t i = 0; i < 4; ++i) {
+        attempt |= static_cast<uint32_t>(complete.body[i]) << (8 * i);
+      }
+      uint64_t watermark = 0;
+      for (size_t i = 0; i < 8; ++i) {
+        watermark |= static_cast<uint64_t>(complete.body[4 + i]) << (8 * i);
+      }
+      if (attempt == 0) {
+        return InvalidArgumentError("request attempt counter must start at 1");
+      }
       out.request = std::make_shared<RpcRequest>(
           out.rid, static_cast<R2p2Policy>(complete.header.policy),
-          MakeBody(std::vector<uint8_t>(complete.body)));
+          MakeBody(std::vector<uint8_t>(complete.body.begin() + kRequestExtensionBytes,
+                                        complete.body.end())),
+          attempt, watermark);
       return out;
     }
     case WireType::kResponse: {

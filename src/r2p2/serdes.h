@@ -26,6 +26,12 @@ namespace hovercraft {
 WireHeader HeaderForRequest(const RequestId& rid, R2p2Policy policy, WireType type);
 RequestId RequestIdFromHeader(const WireHeader& header);
 
+// Every kRequest carries a fixed extension between the R2P2 header and the
+// application body: attempt counter (u32) + client ack watermark (u64). The
+// 16-byte header has no spare fields, so the retransmission / session-GC
+// state rides as the first bytes of the fragmented payload.
+constexpr size_t kRequestExtensionBytes = 12;
+
 // Fragments a client request / response / control message into wire packets.
 std::vector<WirePacket> SerializeRequest(const RpcRequest& request, size_t mtu_payload);
 std::vector<WirePacket> SerializeResponse(const RpcResponse& response, size_t mtu_payload);

@@ -29,6 +29,10 @@ struct LogEntry {
   // metadata-only entries so followers can verify their unordered-set hit
   // (paper section 5).
   uint64_t body_hash = 0;
+  // Client ack watermark, stamped by the leader from the submitted request
+  // and replicated with the metadata. Applied to the session table on the
+  // apply path so reply-cache GC is deterministic across replicas.
+  uint64_t ack_watermark = 0;
   std::shared_ptr<const RpcRequest> request;  // null only for noop entries
 };
 

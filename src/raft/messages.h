@@ -23,8 +23,9 @@ namespace hovercraft {
 // prev term, leader commit).
 constexpr int32_t kAeFixedBytes = 40;
 // Metadata bytes per log entry: (req_id, src_port, src_ip) 3-tuple + term +
-// type/replier fields + body hash (paper section 5).
-constexpr int32_t kEntryMetaBytes = 24;
+// type/replier fields + body hash (paper section 5) + the client ack
+// watermark replicated for session-table GC (Raft section 8).
+constexpr int32_t kEntryMetaBytes = 32;
 constexpr int32_t kAeReplyBytes = 40;
 constexpr int32_t kVoteBytes = 32;
 constexpr int32_t kAggCommitFixedBytes = 24;
@@ -50,6 +51,10 @@ struct WireEntry {
   // it so followers detect identity collisions / corrupt unordered-set hits
   // and fall back to recovery instead of diverging.
   uint64_t body_hash = 0;
+  // Client ack watermark the leader stamped at append time. Replicated so
+  // every node garbage-collects its client-session table at the same log
+  // position, independent of which attempt its unordered set happens to hold.
+  uint64_t ack_watermark = 0;
   std::shared_ptr<const RpcRequest> request;  // may be null for noop
   bool carries_payload = false;               // true in VanillaRaft mode
 

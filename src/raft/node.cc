@@ -227,13 +227,13 @@ void RaftNode::BecomeLeader() {
 // Client requests (leader)
 // ---------------------------------------------------------------------------
 
-bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request) {
+bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request, bool allow_duplicate) {
   HC_CHECK(request != nullptr);
   if (role_ != RaftRole::kLeader) {
     ++stats_.submits_rejected;
     return false;
   }
-  if (log_.FindRequest(request->rid()) != kNoLogIndex) {
+  if (!allow_duplicate && log_.FindRequest(request->rid()) != kNoLogIndex) {
     ++stats_.submits_rejected;
     return false;  // duplicate (e.g. unordered drain raced with an old entry)
   }
@@ -241,6 +241,7 @@ bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request) {
   entry.term = current_term_;
   entry.read_only = request->read_only();
   entry.rid = request->rid();
+  entry.ack_watermark = request->ack_watermark();
   if (options_.metadata_only) {
     entry.body_hash = HashRequestBody(*request);
   }
@@ -317,6 +318,7 @@ std::vector<WireEntry> RaftNode::CollectEntries(LogIndex from, LogIndex to) cons
     w.replier = e.replier;
     w.rid = e.rid;
     w.body_hash = e.body_hash;
+    w.ack_watermark = e.ack_watermark;
     if (!options_.metadata_only) {
       // VanillaRaft ships the request payload inside append_entries.
       w.request = e.request;
@@ -649,6 +651,7 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
     entry.replier = w.replier;
     entry.rid = w.rid;
     entry.body_hash = w.body_hash;
+    entry.ack_watermark = w.ack_watermark;
     if (!w.noop) {
       if (w.carries_payload) {
         HC_CHECK(w.request != nullptr);

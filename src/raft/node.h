@@ -94,8 +94,12 @@ class RaftNode {
 
   // --- client-request path (leader only) ---
   // Returns false when this node is not the leader or the request is already
-  // in the log (duplicate from the unordered drain).
-  bool SubmitRequest(std::shared_ptr<const RpcRequest> request);
+  // in the log (duplicate from the unordered drain). `allow_duplicate` skips
+  // the in-log duplicate check: the server uses it to re-order a
+  // retransmitted read-only request (re-execution is harmless and regenerates
+  // the reply through the totally-ordered path), and to model the naive
+  // no-dedup retry behaviour the chaos tests prove broken.
+  bool SubmitRequest(std::shared_ptr<const RpcRequest> request, bool allow_duplicate = false);
 
   // --- message handlers, invoked by the hosting server ---
   void OnAppendEntries(const AppendEntriesReq& req, bool via_aggregator);

@@ -219,6 +219,66 @@ TEST(ChaosTest, CheckerHandlesOpenOperations) {
   EXPECT_FALSE(CheckKvLinearizability(stale).linearizable);
 }
 
+// The reply-facing schedules kill replies after execution — the hard case
+// for exactly-once: the request WAS applied, only the answer vanished. With
+// retransmission and the session table on, every history stays linearizable
+// and no request is ever applied twice; retries demonstrably fired.
+TEST(ChaosTest, ExactlyOnceUnderReplyFaults) {
+  const std::vector<std::string> schedules = {"drop-replies", "crash-replier"};
+  const std::vector<ClusterMode> modes = {
+      ClusterMode::kVanillaRaft,
+      ClusterMode::kHovercRaft,
+      ClusterMode::kHovercRaftPP,
+  };
+  uint64_t case_index = 0;
+  for (const std::string& schedule : schedules) {
+    for (ClusterMode mode : modes) {
+      const uint64_t seed = 1 + (case_index % 5);
+      ++case_index;
+      SCOPED_TRACE("schedule=" + schedule + " mode=" + ModeName(mode) +
+                   " seed=" + std::to_string(seed));
+      ChaosRunConfig config = BaseConfig(mode, schedule, seed);
+      config.retry_enabled = true;
+      // Outlive the reply blackouts (up to ~56ms) instead of abandoning.
+      config.give_up = Millis(100);
+      const ChaosRunResult result = RunChaosSchedule(config);
+      EXPECT_TRUE(result.ok()) << result.Describe();
+      EXPECT_GT(result.retransmits, 0u) << result.Describe();
+      EXPECT_EQ(result.double_applies, 0u) << result.Describe();
+      EXPECT_GT(result.completed, 200u) << result.Describe();
+    }
+  }
+}
+
+// Negative control: retries without the session table double-apply. The
+// per-replica digests still converge (every replica applies the duplicate
+// the same way), which is exactly why server-side dedup is required — only
+// the double_applies counter and the client-visible history expose it.
+TEST(ChaosTest, RetriesWithoutDedupDoubleApply) {
+  ChaosRunConfig config = BaseConfig(ClusterMode::kHovercRaft, "drop-replies", 3);
+  config.retry_enabled = true;
+  config.dedup_enabled = false;
+  config.give_up = Millis(100);
+  const ChaosRunResult result = RunChaosSchedule(config);
+  EXPECT_GT(result.retransmits, 0u) << result.Describe();
+  EXPECT_GT(result.double_applies, 0u) << result.Describe();
+  EXPECT_TRUE(result.digests_converged) << result.Describe();
+}
+
+// Retry-enabled randomized chaos: the CI sweep runs more seeds of exactly
+// this configuration (see .github/workflows/ci.yml).
+TEST(ChaosTest, RandomScheduleWithRetries) {
+  for (const uint64_t seed : {21, 22, 23}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ChaosRunConfig config = BaseConfig(ClusterMode::kHovercRaftPP, "random", seed);
+    config.retry_enabled = true;
+    config.give_up = Millis(100);
+    const ChaosRunResult result = RunChaosSchedule(config);
+    EXPECT_TRUE(result.ok()) << result.Describe();
+    EXPECT_EQ(result.double_applies, 0u) << result.Describe();
+  }
+}
+
 // Crash-restart schedules exercise the full repair path; the restarted node
 // must catch back up and agree byte-for-byte with its peers.
 TEST(ChaosTest, CrashRestartConverges) {

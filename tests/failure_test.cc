@@ -342,6 +342,72 @@ TEST(FailureTest, MajorityLossStallsThenRestartRecovers) {
   }
 }
 
+TEST(FailureTest, RetriesRecoverLeaderCrashExactlyOnce) {
+  // With retransmission enabled, requests swallowed by a leader failover are
+  // recovered by retries instead of lost — and the session table guarantees
+  // none of them executes twice.
+  ClusterConfig config = Config(ClusterMode::kHovercRaft, 3, 105);
+  config.stagger_first_election = false;
+  Cluster cluster(config);
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+
+  auto client = AttachClient(cluster, 20'000, 43);
+  ClientHost::RetryPolicy rp;
+  rp.enabled = true;
+  rp.initial_backoff = Micros(500);
+  rp.max_backoff = Millis(8);
+  client->set_retry_policy(rp);
+  client->set_retry_target([&cluster]() { return cluster.RetryTarget(); });
+
+  const TimeNs t0 = cluster.sim().Now();
+  client->SetMeasureWindow(t0, t0 + Millis(200));
+  client->StartLoad(t0, t0 + Millis(200));
+  cluster.sim().RunUntil(t0 + Millis(50));
+  cluster.KillLeader();
+  cluster.sim().RunUntil(t0 + Millis(500));
+
+  ASSERT_NE(cluster.LeaderId(), kInvalidNode);
+  // Every request eventually completed, some only via retransmission.
+  EXPECT_EQ(client->total_completed(), client->total_sent());
+  EXPECT_GT(client->total_retransmits(), 0u);
+  EXPECT_GT(client->completed_after_retry(), 0u);
+  client->AccountLost(Seconds(1));
+  EXPECT_EQ(client->lost_in_window(), 0u);
+  // No request executed twice on any surviving replica.
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(cluster.server(n).server_stats().double_applies, 0u);
+  }
+}
+
+TEST(FailureTest, SessionTableSurvivesRestart) {
+  // A crashed-and-restarted node rebuilds its dedup state from the persisted
+  // log, so a retransmission it sees after revival is still deduplicated.
+  ClusterConfig config = Config(ClusterMode::kHovercRaft, 3, 107);
+  config.stagger_first_election = false;
+  Cluster cluster(config);
+  ASSERT_NE(cluster.WaitForLeader(), kInvalidNode);
+
+  auto client = AttachClient(cluster, 20'000, 47);
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(200));
+  cluster.sim().RunUntil(t0 + Millis(50));
+  const NodeId leader = cluster.LeaderId();
+  const NodeId victim = (leader + 1) % 3;
+  cluster.KillNode(victim);
+  cluster.sim().RunUntil(t0 + Millis(120));
+  cluster.RestartNode(victim);
+  cluster.sim().RunUntil(t0 + Millis(500));
+
+  ASSERT_NE(cluster.LeaderId(), kInvalidNode);
+  ASSERT_EQ(cluster.server(victim).raft()->commit_index(),
+            cluster.server(cluster.LeaderId()).raft()->commit_index());
+  // The replayed node's session table matches the ones built live.
+  EXPECT_GT(cluster.server(victim).sessions().client_count(), 0u);
+  EXPECT_TRUE(cluster.server(victim).sessions().Executed(RequestId{client->id(), 1}));
+  EXPECT_EQ(cluster.server(victim).sessions().AckWatermark(client->id()),
+            cluster.server(cluster.LeaderId()).sessions().AckWatermark(client->id()));
+}
+
 TEST(FailureTest, RestartingLiveNodeIsNoOp) {
   ClusterConfig config = Config(ClusterMode::kHovercRaft, 3, 101);
   config.stagger_first_election = false;

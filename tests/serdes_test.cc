@@ -112,6 +112,31 @@ TEST(SerdesTest, PolicySurvivesTheWire) {
   }
 }
 
+TEST(SerdesTest, AttemptAndWatermarkSurviveTheWire) {
+  // The exactly-once extension rides in the request body: attempt number and
+  // the client's ack watermark must round-trip, and the payload after them
+  // must be untouched.
+  RpcRequest req(RequestId{4, 17}, R2p2Policy::kReplicatedReq, PatternBody(40),
+                 /*attempt=*/3, /*ack_watermark=*/0x1122334455667788ull);
+  EXPECT_TRUE(req.is_retransmit());
+  auto decoded = RoundTrip(SerializeRequest(req, kMtu), nullptr);
+  ASSERT_TRUE(decoded.ok());
+  const RpcRequest& out = *decoded.value().request;
+  EXPECT_EQ(out.attempt(), 3u);
+  EXPECT_TRUE(out.is_retransmit());
+  EXPECT_EQ(out.ack_watermark(), 0x1122334455667788ull);
+  EXPECT_EQ(*out.body(), *req.body());
+
+  // First attempts are the default and not retransmissions.
+  RpcRequest fresh(RequestId{4, 18}, R2p2Policy::kReplicatedReq, PatternBody(8));
+  EXPECT_EQ(fresh.attempt(), 1u);
+  EXPECT_FALSE(fresh.is_retransmit());
+  auto fresh_decoded = RoundTrip(SerializeRequest(fresh, kMtu), nullptr);
+  ASSERT_TRUE(fresh_decoded.ok());
+  EXPECT_EQ(fresh_decoded.value().request->attempt(), 1u);
+  EXPECT_EQ(fresh_decoded.value().request->ack_watermark(), 0u);
+}
+
 TEST(SerdesTest, SequenceWrapsStayDistinctWithin32Bits) {
   // The packed (req_id, src_port) fields disambiguate 2^32 in-flight seqs.
   const RequestId a{1, 0x0000FFFFull};

@@ -31,6 +31,10 @@ struct CliOptions {
   TimeNs settle = Millis(100);
   int64_t flow_control = 0;
   uint64_t max_states = 4'000'000;
+  bool retries = false;
+  bool no_dedup = false;
+  TimeNs retry_backoff = Micros(500);
+  uint32_t retry_max_attempts = 0;
   bool list_schedules = false;
   bool verbose = false;
   bool help = false;
@@ -50,6 +54,11 @@ void PrintUsage() {
       "  --settle-ms=M            quiet period before checks (default 100)\n"
       "  --flow-control=N         middlebox in-flight cap (0 = off)\n"
       "  --max-states=N           linearizability search budget (default 4000000)\n"
+      "  --retries                enable client retransmission with backoff\n"
+      "  --retry-backoff-us=N     initial retry backoff in microseconds (default 500)\n"
+      "  --retry-max-attempts=N   abandon after N transmissions (0 = give-up timer only)\n"
+      "  --no-dedup               disable the server session table (demonstrates\n"
+      "                           the double-apply anomaly under --retries)\n"
       "  --list-schedules         print schedule names and exit\n"
       "  --verbose                protocol-level log while the run executes\n");
 }
@@ -73,6 +82,14 @@ bool ParseOptions(int argc, char** argv, CliOptions& opts) {
       opts.list_schedules = true;
     } else if (std::strcmp(a, "--verbose") == 0) {
       opts.verbose = true;
+    } else if (std::strcmp(a, "--retries") == 0) {
+      opts.retries = true;
+    } else if (std::strcmp(a, "--no-dedup") == 0) {
+      opts.no_dedup = true;
+    } else if (ParseFlag(a, "--retry-backoff-us", v)) {
+      opts.retry_backoff = Micros(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--retry-max-attempts", v)) {
+      opts.retry_max_attempts = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
     } else if (ParseFlag(a, "--mode", v)) {
       opts.mode = v;
     } else if (ParseFlag(a, "--schedule", v)) {
@@ -132,11 +149,16 @@ int Run(const CliOptions& opts) {
   config.settle = opts.settle;
   config.flow_control_threshold = opts.flow_control;
   config.checker_max_states = opts.max_states;
+  config.retry_enabled = opts.retries;
+  config.retry_initial_backoff = opts.retry_backoff;
+  config.retry_max_attempts = opts.retry_max_attempts;
+  config.dedup_enabled = !opts.no_dedup;
 
-  std::printf("chaos_runner: mode=%s schedule=%s seed=%llu nodes=%d duration=%lldms\n",
-              opts.mode.c_str(), opts.schedule.c_str(),
-              static_cast<unsigned long long>(opts.seed), opts.nodes,
-              static_cast<long long>(opts.duration / 1'000'000));
+  std::printf(
+      "chaos_runner: mode=%s schedule=%s seed=%llu nodes=%d duration=%lldms retries=%d dedup=%d\n",
+      opts.mode.c_str(), opts.schedule.c_str(), static_cast<unsigned long long>(opts.seed),
+      opts.nodes, static_cast<long long>(opts.duration / 1'000'000), opts.retries ? 1 : 0,
+      opts.no_dedup ? 0 : 1);
   const ChaosRunResult result = RunChaosSchedule(config);
   std::printf("%s", result.Describe().c_str());
   std::printf("verdict: %s\n", result.ok() ? "OK" : "FAIL");
