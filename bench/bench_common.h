@@ -4,7 +4,12 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -12,6 +17,7 @@
 #include "src/core/cluster.h"
 #include "src/loadgen/experiment.h"
 #include "src/loadgen/workload.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 namespace benchutil {
@@ -57,6 +63,170 @@ inline void PrintCurvePoint(const char* system, const LoadMetrics& m) {
               static_cast<double>(m.p99_ns) / 1e3, m.nack_rps,
               static_cast<unsigned long long>(m.lost));
 }
+
+// Shared observability plumbing for the bench binaries. Every fig*/table*
+// bench takes the same flags and emits the same metrics JSON shape through
+// the cluster-wide registry (docs/observability.md):
+//
+//   --trace-out=PATH        Chrome trace-event JSON covering the whole run
+//   --metrics-out=PATH      metrics registry JSON: per-load-point summaries
+//                           plus per-node counters under "<system>/r<rps>/"
+//   --sample-interval-us=N  queue-depth sampling period (default 100)
+//
+// Without flags no Observability is allocated, so the simulation runs on the
+// disabled fast path and the bench output is unchanged. A bench trace
+// superimposes every load point on the same host tracks (each cluster's
+// virtual clock restarts at zero); for a readable single-run trace use
+// tools/chaos_runner or restrict the bench to one point.
+class BenchIo {
+ public:
+  BenchIo(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      std::string v;
+      if (TakeFlag(a, "--trace-out", v)) {
+        trace_out_ = v;
+      } else if (TakeFlag(a, "--metrics-out", v)) {
+        metrics_out_ = v;
+      } else if (TakeFlag(a, "--sample-interval-us", v)) {
+        sample_interval_ = Micros(std::atoll(v.c_str()));
+      } else {
+        std::fprintf(stderr,
+                     "warning: unknown flag %s (supported: --trace-out= --metrics-out= "
+                     "--sample-interval-us=)\n",
+                     a);
+      }
+    }
+    if (!trace_out_.empty() || !metrics_out_.empty()) {
+      obs::Observability::Options oo;
+      oo.tracing = !trace_out_.empty();
+      oo.sampling = !metrics_out_.empty();
+      oo.sample_interval = sample_interval_;
+      obs_ = std::make_unique<obs::Observability>(oo);
+    }
+  }
+
+  obs::Observability* obs() { return obs_.get(); }
+
+  // "HovercRaft/r150000/" — canonical per-load-point metric scope.
+  static std::string PointScope(const char* system, double offered_rps) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s/r%lld/", system,
+                  static_cast<long long>(std::llround(offered_rps)));
+    return buf;
+  }
+
+  // Wires the bundle into one run; `scope` prefixes every metric the cluster
+  // exports. No-ops when observability is off.
+  void Attach(ExperimentConfig* config, const std::string& scope) {
+    if (obs_ == nullptr) return;
+    config->cluster.obs = obs_.get();
+    config->cluster.obs_scope = scope;
+  }
+  void Attach(ClusterConfig* config, const std::string& scope) {
+    if (obs_ == nullptr) return;
+    config->obs = obs_.get();
+    config->obs_scope = scope;
+  }
+
+  // Writes the uniform per-load-point summary into the registry. Rates are
+  // rounded to integer RPS so the JSON stays byte-deterministic.
+  void RecordLoadPoint(const std::string& scope, const LoadMetrics& m) {
+    if (obs_ == nullptr) return;
+    obs::MetricsRegistry& reg = obs_->metrics();
+    reg.SetGauge(scope + "load.offered_rps", std::llround(m.offered_rps));
+    reg.SetGauge(scope + "load.achieved_rps", std::llround(m.achieved_rps));
+    reg.SetGauge(scope + "load.nack_rps", std::llround(m.nack_rps));
+    reg.SetCounter(scope + "load.sent", m.sent);
+    reg.SetCounter(scope + "load.completed", m.completed);
+    reg.SetCounter(scope + "load.nacked", m.nacked);
+    reg.SetCounter(scope + "load.lost", m.lost);
+    reg.SetGauge(scope + "latency.mean_ns", m.mean_ns);
+    reg.SetGauge(scope + "latency.p50_ns", m.p50_ns);
+    reg.SetGauge(scope + "latency.p99_ns", m.p99_ns);
+  }
+
+  // Records the result of an SLO search under `scope` ("VanillaRaft/24B/").
+  void RecordSlo(const std::string& scope, const SloResult& r) {
+    if (obs_ == nullptr) return;
+    obs::MetricsRegistry& reg = obs_->metrics();
+    reg.SetGauge(scope + "slo.max_rps", std::llround(r.max_rps_under_slo));
+    reg.SetGauge(scope + "slo.offered_at_max", std::llround(r.offered_at_max));
+    reg.SetGauge(scope + "slo.p99_at_max_ns", r.p99_at_max);
+  }
+
+  void RecordGauge(const std::string& name, int64_t value) {
+    if (obs_ != nullptr) obs_->metrics().SetGauge(name, value);
+  }
+  void RecordCounter(const std::string& name, uint64_t value) {
+    if (obs_ != nullptr) obs_->metrics().SetCounter(name, value);
+  }
+
+  // The standard latency/throughput curve step shared by the fig benches:
+  // run one load point with metrics scoped under "<system>/r<rps>/", print
+  // the usual curve line, and record the uniform summary.
+  LoadMetrics RunCurvePoint(const char* system, ExperimentConfig config, double rate_rps) {
+    const std::string scope = PointScope(system, rate_rps);
+    Attach(&config, scope);
+    const LoadMetrics m = RunLoadPoint(config, rate_rps);
+    PrintCurvePoint(system, m);
+    RecordLoadPoint(scope, m);
+    return m;
+  }
+
+  // SLO-search step shared by fig8/fig9: scope the cluster metrics and the
+  // search summary under `scope` (the last probed point wins the cluster
+  // counters; the summary gauges describe the search result).
+  SloResult RunSloPoint(const std::string& scope, ExperimentConfig config, TimeNs slo_p99,
+                        double lo_rps, double hi_rps) {
+    Attach(&config, scope);
+    const SloResult r = FindMaxThroughputUnderSlo(config, slo_p99, lo_rps, hi_rps);
+    RecordSlo(scope, r);
+    return r;
+  }
+
+  // Writes the requested output files; call once at the end of main.
+  // Returns the process exit code (0, or 2 on I/O failure).
+  int Finish() {
+    if (obs_ == nullptr) return 0;
+    if (auto* tracer = obs_->tracer()) {
+      std::ofstream out(trace_out_, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", trace_out_.c_str());
+        return 2;
+      }
+      tracer->WriteChromeJson(out);
+      std::printf("trace: %zu events -> %s (dropped %llu)\n", tracer->event_count(),
+                  trace_out_.c_str(), static_cast<unsigned long long>(tracer->dropped_events()));
+      std::printf("%s", tracer->BreakdownTable().c_str());
+    }
+    if (!metrics_out_.empty()) {
+      std::ofstream out(metrics_out_, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_out_.c_str());
+        return 2;
+      }
+      obs_->metrics().DumpJson(out);
+      std::printf("metrics: %zu entries -> %s\n", obs_->metrics().size(), metrics_out_.c_str());
+    }
+    return 0;
+  }
+
+ private:
+  static bool TakeFlag(const char* arg, const char* name, std::string& out) {
+    const size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      out = arg + len + 1;
+      return true;
+    }
+    return false;
+  }
+
+  std::string trace_out_;
+  std::string metrics_out_;
+  TimeNs sample_interval_ = Micros(100);
+  std::unique_ptr<obs::Observability> obs_;
+};
 
 }  // namespace benchutil
 }  // namespace hovercraft

@@ -11,7 +11,7 @@
 namespace hovercraft {
 namespace {
 
-void Run() {
+void Run(benchutil::BenchIo& io) {
   benchutil::PrintHeader(
       "Figure 10: latency vs throughput, S=1us, 24B req / 6KB reply, reply LB on",
       "Kogias & Bugnion, HovercRaft (EuroSys'20), Figure 10");
@@ -40,8 +40,7 @@ void Run() {
     const std::vector<double> rates = {50e3, 100e3, 150e3, 190e3, 250e3,
                                        400e3, 550e3, 700e3, 850e3, 950e3};
     for (double rate : rates) {
-      const LoadMetrics m = RunLoadPoint(config, rate);
-      benchutil::PrintCurvePoint(setup.name, m);
+      const LoadMetrics m = io.RunCurvePoint(setup.name, config, rate);
       if (m.p99_ns > benchutil::kSlo * 4) {
         break;
       }
@@ -53,7 +52,8 @@ void Run() {
 }  // namespace
 }  // namespace hovercraft
 
-int main() {
-  hovercraft::Run();
-  return 0;
+int main(int argc, char** argv) {
+  hovercraft::benchutil::BenchIo io(argc, argv);
+  hovercraft::Run(io);
+  return io.Finish();
 }

@@ -12,7 +12,7 @@
 namespace hovercraft {
 namespace {
 
-void Run() {
+void Run(benchutil::BenchIo& io) {
   benchutil::PrintHeader(
       "Figure 11: bimodal S=10us (10% are 10x), 75% read-only, N=3, queues B=32",
       "Kogias & Bugnion, HovercRaft (EuroSys'20), Figure 11");
@@ -40,8 +40,7 @@ void Run() {
     ExperimentConfig config = benchutil::MakeSyntheticExperiment(
         setup.mode, setup.nodes, workload, setup.policy, /*bounded_queue=*/32, 42);
     for (double rate : rates) {
-      const LoadMetrics m = RunLoadPoint(config, rate);
-      benchutil::PrintCurvePoint(setup.name, m);
+      const LoadMetrics m = io.RunCurvePoint(setup.name, config, rate);
       if (m.p99_ns > benchutil::kSlo * 4) {
         break;
       }
@@ -53,7 +52,8 @@ void Run() {
 }  // namespace
 }  // namespace hovercraft
 
-int main() {
-  hovercraft::Run();
-  return 0;
+int main(int argc, char** argv) {
+  hovercraft::benchutil::BenchIo io(argc, argv);
+  hovercraft::Run(io);
+  return io.Finish();
 }

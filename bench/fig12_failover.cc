@@ -27,7 +27,7 @@ constexpr TimeNs kKillAt = Seconds(3);
 constexpr TimeNs kDuration = Seconds(8);
 constexpr int kClients = 8;
 
-void Run() {
+void Run(benchutil::BenchIo& io) {
   benchutil::PrintHeader(
       "Figure 12: leader failure timeline, HovercRaft++ N=3, 165 kRPS offered,"
       " flow control cap 1000",
@@ -36,6 +36,7 @@ void Run() {
   ClusterConfig cluster_config = benchutil::MakeClusterConfig(
       ClusterMode::kHovercRaftPP, 3, ReplierPolicy::kJbsq, /*bounded_queue=*/32, 42);
   cluster_config.flow_control_threshold = 1000;
+  io.Attach(&cluster_config, "fig12/");
   Cluster cluster(cluster_config);
   if (cluster.WaitForLeader() == kInvalidNode) {
     std::printf("no leader elected\n");
@@ -70,8 +71,24 @@ void Run() {
     clients.push_back(std::move(client));
   }
 
+  if (obs::Observability* o = io.obs()) {
+    if (auto* tracer = o->tracer()) {
+      for (size_t c = 0; c < clients.size(); ++c) {
+        const int32_t pid = obs::TrackOfHost(clients[c]->id());
+        tracer->NameProcess(pid, "client " + std::to_string(c));
+        tracer->NameThread(pid, obs::kTidNet, "net thread");
+        tracer->NameThread(pid, obs::kTidNic, "nic tx");
+      }
+    }
+    o->StartSampling(&cluster.sim(), t0 + kDuration + Millis(200));
+  }
+
   cluster.sim().At(t0 + kKillAt, [&cluster]() { cluster.KillLeader(); });
   cluster.sim().RunUntil(t0 + kDuration + Millis(200));
+
+  if (obs::Observability* o = io.obs()) {
+    cluster.ExportMetrics(&o->metrics());
+  }
 
   std::printf("%8s %12s %12s %12s %12s\n", "t(s)", "kRPS", "nack kRPS", "p50(us)", "p99(us)");
   const double bin_sec = 0.5;
@@ -116,12 +133,32 @@ void Run() {
   std::printf("final leader: node %d (term %llu)\n", cluster.LeaderId(),
               static_cast<unsigned long long>(
                   cluster.server(cluster.LeaderId()).raft()->term()));
+
+  // Exactly-once summary plus the per-bin timeline into the registry, so the
+  // failover dip/recovery lands in the same JSON shape as the curve benches.
+  io.RecordCounter("fig12/client.sent", sent);
+  io.RecordCounter("fig12/client.completed", completed);
+  io.RecordCounter("fig12/client.nacked", nacked);
+  io.RecordCounter("fig12/client.lost", lost);
+  io.RecordCounter("fig12/client.retransmits", retransmits);
+  io.RecordCounter("fig12/client.recovered_by_retry", recovered);
+  io.RecordCounter("fig12/client.abandoned", abandoned);
+  if (obs::Observability* o = io.obs()) {
+    for (const Timeseries::Point& p : timeline.Points()) {
+      o->metrics().Sample("fig12/timeline.completed", p.start,
+                          static_cast<int64_t>(p.samples));
+      o->metrics().Sample("fig12/timeline.nacked", p.start,
+                          static_cast<int64_t>(p.events));
+      o->metrics().Sample("fig12/timeline.p99_ns", p.start, p.p99);
+    }
+  }
 }
 
 }  // namespace
 }  // namespace hovercraft
 
-int main() {
-  hovercraft::Run();
-  return 0;
+int main(int argc, char** argv) {
+  hovercraft::benchutil::BenchIo io(argc, argv);
+  hovercraft::Run(io);
+  return io.Finish();
 }

@@ -22,7 +22,7 @@ YcsbEConfig YcsbConfig() {
   return config;
 }
 
-void Run() {
+void Run(benchutil::BenchIo& io) {
   benchutil::PrintHeader(
       "Figure 13: YCSB-E (95% SCAN / 5% INSERT) on the kvstore, reply+RO LB on",
       "Kogias & Bugnion, HovercRaft (EuroSys'20), Figure 13");
@@ -61,8 +61,7 @@ void Run() {
     const std::vector<double> rates = {10e3, 20e3, 30e3,  40e3,  60e3,
                                        80e3, 100e3, 120e3, 140e3, 160e3};
     for (double rate : rates) {
-      const LoadMetrics m = RunLoadPoint(config, rate);
-      benchutil::PrintCurvePoint(setup.name, m);
+      const LoadMetrics m = io.RunCurvePoint(setup.name, config, rate);
       if (m.p99_ns > benchutil::kSlo * 4) {
         break;
       }
@@ -74,7 +73,8 @@ void Run() {
 }  // namespace
 }  // namespace hovercraft
 
-int main() {
-  hovercraft::Run();
-  return 0;
+int main(int argc, char** argv) {
+  hovercraft::benchutil::BenchIo io(argc, argv);
+  hovercraft::Run(io);
+  return io.Finish();
 }

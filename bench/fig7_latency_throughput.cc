@@ -11,7 +11,7 @@
 namespace hovercraft {
 namespace {
 
-void Run() {
+void Run(benchutil::BenchIo& io) {
   benchutil::PrintHeader("Figure 7: latency vs throughput, S=1us, 24B req / 8B reply, N=3",
                          "Kogias & Bugnion, HovercRaft (EuroSys'20), Figure 7");
 
@@ -37,8 +37,7 @@ void Run() {
     ExperimentConfig config = benchutil::MakeSyntheticExperiment(
         setup.mode, 3, workload, ReplierPolicy::kLeaderOnly, 128, 42);
     for (double rate : rates) {
-      const LoadMetrics m = RunLoadPoint(config, rate);
-      benchutil::PrintCurvePoint(setup.name, m);
+      const LoadMetrics m = io.RunCurvePoint(setup.name, config, rate);
       if (m.p99_ns > benchutil::kSlo * 4) {
         break;  // far beyond saturation; higher rates only waste time
       }
@@ -50,7 +49,8 @@ void Run() {
 }  // namespace
 }  // namespace hovercraft
 
-int main() {
-  hovercraft::Run();
-  return 0;
+int main(int argc, char** argv) {
+  hovercraft::benchutil::BenchIo io(argc, argv);
+  hovercraft::Run(io);
+  return io.Finish();
 }

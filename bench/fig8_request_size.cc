@@ -9,7 +9,7 @@
 namespace hovercraft {
 namespace {
 
-void Run() {
+void Run(benchutil::BenchIo& io) {
   benchutil::PrintHeader(
       "Figure 8: max kRPS under 500us SLO vs request size, S=1us, 8B reply, N=3",
       "Kogias & Bugnion, HovercRaft (EuroSys'20), Figure 8");
@@ -36,7 +36,9 @@ void Run() {
       workload.service_time = std::make_shared<FixedDistribution>(Micros(1));
       const ExperimentConfig config = benchutil::MakeSyntheticExperiment(
           setup.mode, 3, workload, ReplierPolicy::kLeaderOnly, 128, 42);
-      const SloResult r = FindMaxThroughputUnderSlo(config, benchutil::kSlo, 50e3, 1'050e3);
+      const std::string scope =
+          std::string(setup.name) + "/" + std::to_string(size) + "B/";
+      const SloResult r = io.RunSloPoint(scope, config, benchutil::kSlo, 50e3, 1'050e3);
       std::printf(" %8.0fk ", r.max_rps_under_slo / 1e3);
       std::fflush(stdout);
     }
@@ -47,7 +49,8 @@ void Run() {
 }  // namespace
 }  // namespace hovercraft
 
-int main() {
-  hovercraft::Run();
-  return 0;
+int main(int argc, char** argv) {
+  hovercraft::benchutil::BenchIo io(argc, argv);
+  hovercraft::Run(io);
+  return io.Finish();
 }

@@ -9,7 +9,7 @@
 namespace hovercraft {
 namespace {
 
-void Run() {
+void Run(benchutil::BenchIo& io) {
   benchutil::PrintHeader(
       "Figure 9: max kRPS under 500us SLO vs cluster size, S=1us, 24B req / 8B reply",
       "Kogias & Bugnion, HovercRaft (EuroSys'20), Figure 9");
@@ -36,7 +36,9 @@ void Run() {
     for (int32_t nodes : sizes) {
       const ExperimentConfig config = benchutil::MakeSyntheticExperiment(
           setup.mode, nodes, workload, ReplierPolicy::kLeaderOnly, 128, 42);
-      const SloResult r = FindMaxThroughputUnderSlo(config, benchutil::kSlo, 50e3, 1'050e3);
+      const std::string scope =
+          std::string(setup.name) + "/N" + std::to_string(nodes) + "/";
+      const SloResult r = io.RunSloPoint(scope, config, benchutil::kSlo, 50e3, 1'050e3);
       std::printf(" %7.0fk ", r.max_rps_under_slo / 1e3);
       std::fflush(stdout);
     }
@@ -47,7 +49,8 @@ void Run() {
 }  // namespace
 }  // namespace hovercraft
 
-int main() {
-  hovercraft::Run();
-  return 0;
+int main(int argc, char** argv) {
+  hovercraft::benchutil::BenchIo io(argc, argv);
+  hovercraft::Run(io);
+  return io.Finish();
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 namespace {
@@ -52,6 +53,11 @@ void Nemesis::At(TimeNs when, std::function<void()> fn) {
 
 void Nemesis::Log(const std::string& text) {
   events_.push_back(FormatMs(cluster_->sim().Now()) + " " + text);
+  // Nemesis faults double as trace annotations on the cluster-wide track.
+  if (auto* tracer = obs::TracerOf(&cluster_->sim())) {
+    tracer->Instant(obs::kClusterPid, obs::kTidNemesis, "nemesis",
+                    cluster_->sim().Now(), text);
+  }
 }
 
 NodeId Nemesis::CurrentLeaderOr(NodeId fallback) {

@@ -9,6 +9,7 @@
 #include "src/chaos/nemesis.h"
 #include "src/core/cluster.h"
 #include "src/loadgen/client.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 
@@ -56,6 +57,7 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   // its 1-2 ms timer bumps the term faster than the 5-10 ms peers can elect.
   // Chaos runs need the symmetric timeouts real deployments would have.
   cc.stagger_first_election = false;
+  cc.obs = config.obs;
   Cluster cluster(cc);
 
   ChaosRunResult result;
@@ -102,10 +104,26 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   Nemesis nemesis(&cluster, nc);
   nemesis.Arm();
 
+  if (config.obs != nullptr) {
+    if (auto* tracer = config.obs->tracer()) {
+      for (size_t i = 0; i < clients.size(); ++i) {
+        const int32_t pid = obs::TrackOfHost(clients[i]->id());
+        tracer->NameProcess(pid, "client " + std::to_string(i));
+        tracer->NameThread(pid, obs::kTidNet, "net thread");
+        tracer->NameThread(pid, obs::kTidNic, "nic tx");
+      }
+    }
+    config.obs->StartSampling(&cluster.sim(), t0 + config.duration + config.settle);
+  }
+
   for (auto& client : clients) {
     client->StartLoad(t0, t0 + config.duration);
   }
   cluster.sim().RunUntil(t0 + config.duration + config.settle);
+
+  if (config.obs != nullptr) {
+    cluster.ExportMetrics(&config.obs->metrics());
+  }
 
   result.leader_alive = cluster.LeaderId() != kInvalidNode;
   result.digests_converged = true;

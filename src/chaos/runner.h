@@ -21,6 +21,10 @@ namespace hovercraft {
 
 class StateMachine;
 
+namespace obs {
+class Observability;
+}  // namespace obs
+
 struct ChaosRunConfig {
   ClusterMode mode = ClusterMode::kHovercRaft;
   std::string schedule = "random";
@@ -61,6 +65,11 @@ struct ChaosRunConfig {
   std::function<std::unique_ptr<StateMachine>()> app_factory;
 
   uint64_t checker_max_states = 4'000'000;
+
+  // Optional observability bundle (tracing + metrics). Non-owning; when set,
+  // the run records traces/metrics into it and exports the cluster counters
+  // at the end. Nemesis faults double as trace annotations.
+  obs::Observability* obs = nullptr;
 };
 
 struct ChaosRunResult {

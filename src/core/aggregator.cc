@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 
@@ -142,6 +144,10 @@ void Aggregator::OnFollowerReply(HostId src, const AppendEntriesRep& rep) {
 
 void Aggregator::SendAggCommit() {
   ++stats_.commits_sent;
+  if (auto* tracer = obs::TracerOf(sim())) {
+    tracer->Instant(obs::TrackOfHost(id()), obs::kTidEvents, "agg_commit", sim()->Now(),
+                    "term " + std::to_string(term_) + " commit " + std::to_string(commit_));
+  }
   Send(group_all_, std::make_shared<AggCommitMsg>(term_, commit_, completed_));
 }
 

@@ -1,8 +1,10 @@
 #include "src/core/cluster.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 
@@ -10,6 +12,9 @@ Cluster::Cluster(const ClusterConfig& config)
     : config_(config), net_(&sim_, config_.costs, config.seed ^ 0xFEEDFACE12345678ull) {
   HC_CHECK(config_.app_factory != nullptr);
   HC_CHECK_GT(config_.nodes, 0);
+  if (config_.obs != nullptr) {
+    sim_.set_observability(config_.obs);
+  }
   const bool replicated = config_.mode != ClusterMode::kUnreplicated;
   const int32_t nodes = replicated ? config_.nodes : 1;
 
@@ -84,9 +89,140 @@ Cluster::Cluster(const ClusterConfig& config)
   for (NodeId n = 0; n < nodes; ++n) {
     servers_[static_cast<size_t>(n)]->Start();
   }
+  if (config_.obs != nullptr) {
+    InstallObservability();
+  }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // The samplers close over this cluster's servers and middleboxes; drop
+  // them before the sampled objects die.
+  if (config_.obs != nullptr) {
+    config_.obs->ClearSamplers();
+  }
+}
+
+void Cluster::InstallObservability() {
+  obs::Observability* o = config_.obs;
+  if (auto* tracer = o->tracer()) {
+    for (size_t n = 0; n < servers_.size(); ++n) {
+      const int32_t pid = obs::TrackOfHost(server_hosts_[n]);
+      tracer->NameProcess(pid, "node " + std::to_string(n) + " (server)");
+      tracer->NameThread(pid, obs::kTidEvents, "events");
+      tracer->NameThread(pid, obs::kTidNet, "net thread");
+      tracer->NameThread(pid, obs::kTidApp, "app thread");
+      tracer->NameThread(pid, obs::kTidNic, "nic tx");
+    }
+    if (aggregator_ != nullptr) {
+      const int32_t pid = obs::TrackOfHost(aggregator_->id());
+      tracer->NameProcess(pid, "aggregator");
+      tracer->NameThread(pid, obs::kTidEvents, "events");
+    }
+    if (flow_control_ != nullptr) {
+      const int32_t pid = obs::TrackOfHost(flow_control_->id());
+      tracer->NameProcess(pid, "flow control");
+      tracer->NameThread(pid, obs::kTidEvents, "events");
+    }
+  }
+  // Queue-depth samplers: read-only probes over the simulated resources.
+  // Scheduling them consumes event ids but never reorders same-time work
+  // relative to each other, so simulation outcomes are unchanged.
+  for (size_t n = 0; n < servers_.size(); ++n) {
+    ReplicatedServer* s = servers_[n].get();
+    // The run scope keeps series from successive clusters (one bench binary
+    // runs many load points) separate, so each series stays monotonic in t.
+    const std::string scope = config_.obs_scope + obs::NodeScope(static_cast<NodeId>(n));
+    o->AddSampler(scope + "net_thread.depth",
+                  [s]() { return s->net_thread().queue_length(); });
+    o->AddSampler(scope + "app_thread.depth",
+                  [s]() { return s->app_thread().queue_length(); });
+    o->AddSampler(scope + "nic_tx.depth",
+                  [s]() { return s->nic_tx().queue_length(); });
+    if (s->raft() != nullptr) {
+      o->AddSampler(scope + "raft.commit_lag", [s]() {
+        return static_cast<int64_t>(s->raft()->commit_index() - s->raft()->applied_index());
+      });
+      o->AddSampler(scope + "raft.log_entries",
+                    [s]() { return static_cast<int64_t>(s->raft()->log().size()); });
+      // Bounded replica queue (JBSQ, section 3.4) as the current leader sees
+      // it: entries assigned to this node but not yet reported applied.
+      o->AddSampler(scope + "jbsq.backlog", [this, n]() {
+        const NodeId leader = LeaderId();
+        if (leader == kInvalidNode) {
+          return static_cast<int64_t>(0);
+        }
+        return server(leader).raft()->scheduler().PendingOf(static_cast<NodeId>(n));
+      });
+    }
+  }
+  if (flow_control_ != nullptr) {
+    FlowControl* fc = flow_control_.get();
+    o->AddSampler(config_.obs_scope + "flow_control/outstanding",
+                  [fc]() { return fc->outstanding(); });
+  }
+}
+
+void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
+  HC_CHECK(metrics != nullptr);
+  const std::string& scope = config_.obs_scope;
+  for (size_t n = 0; n < servers_.size(); ++n) {
+    ReplicatedServer& s = *servers_[n];
+    const std::string prefix = scope + obs::NodeScope(static_cast<NodeId>(n));
+    const NetCounters& net = s.counters();
+    metrics->SetCounter(prefix + "net.tx_msgs", net.tx_msgs);
+    metrics->SetCounter(prefix + "net.rx_msgs", net.rx_msgs);
+    metrics->SetCounter(prefix + "net.tx_frames", net.tx_frames);
+    metrics->SetCounter(prefix + "net.rx_frames", net.rx_frames);
+    metrics->SetCounter(prefix + "net.tx_payload_bytes", net.tx_payload_bytes);
+    metrics->SetCounter(prefix + "net.rx_payload_bytes", net.rx_payload_bytes);
+    const ServerStats& st = s.server_stats();
+    metrics->SetCounter(prefix + "server.client_requests", st.client_requests);
+    metrics->SetCounter(prefix + "server.replies_sent", st.replies_sent);
+    metrics->SetCounter(prefix + "server.ops_executed", st.ops_executed);
+    metrics->SetCounter(prefix + "server.ro_skipped", st.ro_skipped);
+    metrics->SetCounter(prefix + "server.feedback_sent", st.feedback_sent);
+    metrics->SetCounter(prefix + "server.dedup_hits", st.dedup_hits);
+    metrics->SetCounter(prefix + "server.dedup_replies", st.dedup_replies);
+    metrics->SetCounter(prefix + "server.double_applies", st.double_applies);
+    metrics->SetCounter(prefix + "server.retransmits_inflight", st.retransmits_inflight);
+    metrics->SetCounter(prefix + "server.unordered_gc", st.unordered_gc);
+    metrics->SetCounter(prefix + "server.snapshots_restored", st.snapshots_restored);
+    if (s.raft() != nullptr) {
+      const RaftStats& rs = s.raft()->stats();
+      metrics->SetCounter(prefix + "raft.elections_started", rs.elections_started);
+      metrics->SetCounter(prefix + "raft.times_leader", rs.times_leader);
+      metrics->SetCounter(prefix + "raft.ae_sent", rs.ae_sent);
+      metrics->SetCounter(prefix + "raft.ae_received", rs.ae_received);
+      metrics->SetCounter(prefix + "raft.entries_appended", rs.entries_appended);
+      metrics->SetCounter(prefix + "raft.recoveries_requested", rs.recoveries_requested);
+      metrics->SetCounter(prefix + "raft.recoveries_served", rs.recoveries_served);
+      metrics->SetCounter(prefix + "raft.submits_rejected", rs.submits_rejected);
+      metrics->SetCounter(prefix + "raft.snapshots_sent", rs.snapshots_sent);
+      metrics->SetCounter(prefix + "raft.snapshots_installed", rs.snapshots_installed);
+      metrics->SetGauge(prefix + "raft.commit_index",
+                        static_cast<int64_t>(s.raft()->commit_index()));
+      metrics->SetGauge(prefix + "raft.applied_index",
+                        static_cast<int64_t>(s.raft()->applied_index()));
+    }
+    metrics->SetGauge(prefix + "net_thread.busy_ns", s.net_thread().total_busy());
+    metrics->SetGauge(prefix + "app_thread.busy_ns", s.app_thread().total_busy());
+  }
+  metrics->SetCounter(scope + "fabric/delivered_msgs", net_.delivered_msgs());
+  metrics->SetCounter(scope + "fabric/dropped_msgs", net_.dropped_msgs());
+  metrics->SetCounter(scope + "fabric/dropped_by_fault", net_.dropped_by_fault());
+  if (flow_control_ != nullptr) {
+    metrics->SetCounter(scope + "flow_control/forwarded", flow_control_->forwarded());
+    metrics->SetCounter(scope + "flow_control/nacked", flow_control_->nacked());
+    metrics->SetGauge(scope + "flow_control/outstanding", flow_control_->outstanding());
+  }
+  if (aggregator_ != nullptr) {
+    const Aggregator::AggStats& as = aggregator_->agg_stats();
+    metrics->SetCounter(scope + "aggregator/ae_forwarded", as.ae_forwarded);
+    metrics->SetCounter(scope + "aggregator/replies_absorbed", as.replies_absorbed);
+    metrics->SetCounter(scope + "aggregator/commits_sent", as.commits_sent);
+    metrics->SetCounter(scope + "aggregator/flushes", as.flushes);
+  }
+}
 
 NodeId Cluster::LeaderId() const {
   for (size_t n = 0; n < servers_.size(); ++n) {

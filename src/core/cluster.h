@@ -7,6 +7,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/app/state_machine.h"
@@ -19,6 +20,11 @@
 #include "src/sim/simulator.h"
 
 namespace hovercraft {
+
+namespace obs {
+class MetricsRegistry;
+class Observability;
+}  // namespace obs
 
 struct ClusterConfig {
   ClusterMode mode = ClusterMode::kHovercRaft;
@@ -43,6 +49,15 @@ struct ClusterConfig {
   // and deterministic (pure convenience for experiments; disable to test
   // real contention).
   bool stagger_first_election = true;
+
+  // Observability bundle (tracing + metrics + samplers). Non-owning; null
+  // leaves every hook disabled. The cluster attaches it to its simulator,
+  // names the trace tracks, and registers queue-depth samplers for its
+  // resources (removed again in the destructor).
+  obs::Observability* obs = nullptr;
+  // Prefix for metric names in ExportMetrics, e.g. "hovercraft/r80000/";
+  // lets several load points share one registry without colliding.
+  std::string obs_scope;
 };
 
 class Cluster {
@@ -105,7 +120,15 @@ class Cluster {
   uint64_t TotalReplies() const;
   uint64_t TotalExecuted() const;
 
+  // Snapshots every counter this deployment maintains (net, server, raft,
+  // flow control, aggregator, fabric) into `metrics`, each name prefixed
+  // with config().obs_scope. Idempotent: counters are Set, not Added.
+  void ExportMetrics(obs::MetricsRegistry* metrics);
+
  private:
+  // Names trace tracks and registers the periodic queue-depth samplers on
+  // config_.obs (called from the constructor when an obs bundle is present).
+  void InstallObservability();
   ClusterConfig config_;
   Simulator sim_;
   Network net_;

@@ -1,8 +1,10 @@
 #include "src/core/flow_control.h"
 
 #include <memory>
+#include <string>
 
 #include "src/common/logging.h"
+#include "src/obs/observability.h"
 #include "src/r2p2/messages.h"
 
 namespace hovercraft {
@@ -14,6 +16,12 @@ void FlowControl::HandleMessage(HostId src, const MessagePtr& msg) {
   if (const auto* req = dynamic_cast<const RpcRequest*>(msg.get())) {
     if (threshold_ > 0 && outstanding_ >= threshold_) {
       ++nacked_;
+      if (auto* tracer = obs::TracerOf(sim())) {
+        tracer->MarkStage(req->rid(), obs::Stage::kNacked, kInvalidNode, sim()->Now());
+        tracer->Instant(obs::TrackOfHost(id()), obs::kTidEvents, "nack", sim()->Now(),
+                        "outstanding " + std::to_string(outstanding_) + "/" +
+                            std::to_string(threshold_));
+      }
       Send(src, std::make_shared<NackMsg>(req->rid()));
       return;
     }

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/observability.h"
 #include "src/raft/messages.h"
 
 namespace hovercraft {
@@ -177,6 +178,9 @@ void ReplicatedServer::HandleMessage(HostId src, const MessagePtr& msg) {
 // ---------------------------------------------------------------------------
 
 void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request) {
+  if (auto* tracer = obs::TracerOf(sim())) {
+    tracer->MarkStage(request->rid(), obs::Stage::kReplicaRx, node_id(), sim()->Now());
+  }
   if (request->policy() == R2p2Policy::kUnrestricted) {
     // Non-replicated request (paper section 6.1): served by whichever
     // replica the client picked, bypassing consensus, with the possibility
@@ -283,6 +287,14 @@ void ReplicatedServer::ExecuteUnreplicated(const std::shared_ptr<const RpcReques
   // bypass the middlebox as well.
   const bool send_feedback =
       (config_.mode == ClusterMode::kUnreplicated) && !request->is_retransmit();
+  if (auto* tracer = obs::TracerOf(sim())) {
+    const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
+    tracer->MarkStage(request->rid(), obs::Stage::kApplyStart, node_id(), apply_start);
+    tracer->MarkStage(request->rid(), obs::Stage::kApplyEnd, node_id(),
+                      apply_start + result.service_time);
+    tracer->Complete(obs::TrackOfHost(id()), obs::kTidApp, "apply", apply_start,
+                     result.service_time);
+  }
   app_thread_.Submit(result.service_time,
                      [this, rid = request->rid(), body = std::move(result.reply),
                       send_feedback]() { SendReply(rid, body, send_feedback); });
@@ -371,6 +383,17 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
   const bool reply_here = (entry.replier == self);
   const RequestId rid = entry.rid;
   const bool send_feedback = first_instance;
+  if (auto* tracer = obs::TracerOf(sim())) {
+    const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
+    if (reply_here) {
+      // Stage marks follow the designated replier — the copy whose execution
+      // produces the reply the client is waiting on.
+      tracer->MarkStage(rid, obs::Stage::kApplyStart, self, apply_start);
+      tracer->MarkStage(rid, obs::Stage::kApplyEnd, self, apply_start + result.service_time);
+    }
+    tracer->Complete(obs::TrackOfHost(id()), obs::kTidApp, "apply", apply_start,
+                     result.service_time);
+  }
   app_thread_.Submit(result.service_time,
                      [this, idx, rid, reply_here, send_feedback,
                       body = std::move(result.reply)]() {
@@ -386,6 +409,9 @@ void ReplicatedServer::SendReply(const RequestId& rid, Body body, bool send_feed
     return;
   }
   ++stats_.replies_sent;
+  if (auto* tracer = obs::TracerOf(sim())) {
+    tracer->MarkStage(rid, obs::Stage::kReplySent, node_id(), sim()->Now());
+  }
   // R2P2 lets the reply's source differ from the request's destination — the
   // mechanism enabling reply load balancing (paper section 3.3).
   Send(rid.client, std::make_shared<RpcResponse>(rid, std::move(body)));

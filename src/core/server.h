@@ -114,6 +114,7 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   const SessionTable& sessions() const { return sessions_; }
   NodeId node_id() const { return config_.raft.id; }
   const ServerConfig& config() const { return config_; }
+  SerialResource& app_thread() { return app_thread_; }
 
  private:
   bool IsReplicated() const { return config_.mode != ClusterMode::kUnreplicated; }

@@ -1,9 +1,11 @@
 #include "src/loadgen/client.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 
@@ -99,6 +101,9 @@ void ClientHost::SendOne() {
   if (observer_ != nullptr) {
     observer_->OnInvoke(id(), seq, policy, request->body(), now);
   }
+  if (auto* tracer = obs::TracerOf(sim())) {
+    tracer->MarkStage(rid, obs::Stage::kClientSend, kInvalidNode, now);
+  }
   Send(dst, std::move(request));
   if (retry_policy_.enabled) {
     ArmRetryTimer(seq, 1);
@@ -140,6 +145,12 @@ void ClientHost::ArmRetryTimer(uint64_t seq, uint32_t attempt) {
     ++pending.attempts;
     ++total_retransmits_;
     const RequestId rid{id(), seq};
+    if (auto* tracer = obs::TracerOf(sim())) {
+      tracer->MarkStage(rid, obs::Stage::kRetransmit, kInvalidNode, now);
+      tracer->Instant(obs::kClusterPid, obs::kTidEvents, "retransmit", now,
+                      "c" + std::to_string(id()) + ":" + std::to_string(seq) +
+                          " attempt " + std::to_string(pending.attempts));
+    }
     auto request = std::make_shared<RpcRequest>(rid, pending.policy, pending.body,
                                                 pending.attempts, ack_floor_);
     Send(ResolveTarget(pending), std::move(request));
@@ -194,6 +205,9 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
         timeseries_->Record(sim()->Now(), latency);
       }
       ResolveForAck(seq);
+      if (auto* tracer = obs::TracerOf(sim())) {
+        tracer->MarkStage(resp->rid(), obs::Stage::kComplete, kInvalidNode, sim()->Now());
+      }
       if (observer_ != nullptr) {
         observer_->OnComplete(id(), seq, resp->body(), sim()->Now());
       }
@@ -216,6 +230,9 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
         timeseries_->Record(sim()->Now(), latency);
       }
       ResolveForAck(seq);
+      if (auto* tracer = obs::TracerOf(sim())) {
+        tracer->MarkStage(resp->rid(), obs::Stage::kComplete, kInvalidNode, sim()->Now());
+      }
       if (observer_ != nullptr) {
         observer_->OnComplete(id(), seq, resp->body(), sim()->Now());
       }

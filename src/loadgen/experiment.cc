@@ -1,10 +1,12 @@
 #include "src/loadgen/experiment.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/observability.h"
 #include "src/stats/histogram.h"
 
 namespace hovercraft {
@@ -30,12 +32,27 @@ LoadMetrics RunLoadPoint(const ExperimentConfig& config, double rate_rps) {
     clients.push_back(std::move(client));
   }
 
+  obs::Observability* o = config.cluster.obs;
+  if (o != nullptr) {
+    if (auto* tracer = o->tracer()) {
+      for (size_t c = 0; c < clients.size(); ++c) {
+        const int32_t pid = obs::TrackOfHost(clients[c]->id());
+        tracer->NameProcess(pid, "client " + std::to_string(c));
+        tracer->NameThread(pid, obs::kTidNet, "net thread");
+        tracer->NameThread(pid, obs::kTidNic, "nic tx");
+      }
+    }
+  }
+
   const TimeNs t0 = cluster.sim().Now();
   const TimeNs window_start = t0 + config.warmup;
   const TimeNs window_end = window_start + config.measure;
   for (auto& client : clients) {
     client->SetMeasureWindow(window_start, window_end);
     client->StartLoad(t0, window_end);
+  }
+  if (o != nullptr) {
+    o->StartSampling(&cluster.sim(), window_end + config.drain);
   }
   cluster.sim().RunUntil(window_end + config.drain);
 
@@ -56,6 +73,9 @@ LoadMetrics RunLoadPoint(const ExperimentConfig& config, double rate_rps) {
   metrics.mean_ns = merged.Mean();
   metrics.p50_ns = merged.Percentile(50);
   metrics.p99_ns = merged.Percentile(99);
+  if (o != nullptr) {
+    cluster.ExportMetrics(&o->metrics());
+  }
   return metrics;
 }
 

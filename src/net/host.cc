@@ -1,9 +1,11 @@
 #include "src/net/host.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
 #include "src/net/network.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 
@@ -32,10 +34,22 @@ void Host::Send(Addr dst, MessagePtr msg, TimeNs extra_cpu) {
     return;
   }
   // Net thread builds the message, then the NIC serializes it on the wire.
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    const TimeNs start = std::max(sim_->Now(), net_thread_.busy_until());
+    tracer->Complete(obs::TrackOfHost(id_), obs::kTidNet,
+                     std::string("tx ") + packet.msg->Name(), start,
+                     costs_.TxCpu(bytes) + extra_cpu);
+  }
   net_thread_.Submit(costs_.TxCpu(bytes) + extra_cpu,
                      [this, packet = std::move(packet), bytes]() {
     if (failed_) {
       return;
+    }
+    if (auto* tracer = obs::TracerOf(sim_)) {
+      const TimeNs start = std::max(sim_->Now(), nic_tx_.busy_until());
+      tracer->Complete(obs::TrackOfHost(id_), obs::kTidNic,
+                       std::string("wire ") + packet.msg->Name(), start,
+                       costs_.SerializationDelay(bytes));
     }
     nic_tx_.Submit(costs_.SerializationDelay(bytes),
                    [this, packet]() {
@@ -65,6 +79,11 @@ void Host::Receive(HostId src, MessagePtr msg) {
       }
     });
     return;
+  }
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    const TimeNs start = std::max(sim_->Now(), net_thread_.busy_until());
+    tracer->Complete(obs::TrackOfHost(id_), obs::kTidNet,
+                     std::string("rx ") + msg->Name(), start, costs_.RxCpu(bytes));
   }
   net_thread_.Submit(costs_.RxCpu(bytes), [this, src, msg = std::move(msg)]() {
     if (!failed_) {

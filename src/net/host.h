@@ -71,6 +71,7 @@ class Host {
   const NetCounters& counters() const { return counters_; }
   NetCounters& counters() { return counters_; }
   SerialResource& net_thread() { return net_thread_; }
+  SerialResource& nic_tx() { return nic_tx_; }
 
   // Called by Network::Attach.
   void AttachTo(Network* network, HostId id) {

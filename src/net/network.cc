@@ -1,8 +1,10 @@
 #include "src/net/network.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 
@@ -108,10 +110,12 @@ void Network::DeliverCopy(const Packet& packet, HostId dst) {
       blocked_links_.count(LinkKey(packet.src, dst)) != 0) {
     ++dropped_msgs_;
     ++dropped_by_fault_;
+    TraceDrop(packet, dst, "fault");
     return;
   }
   if (drop_filter_ && drop_filter_(packet, dst)) {
     ++dropped_msgs_;
+    TraceDrop(packet, dst, "filter");
     return;
   }
   if (loss_probability_ > 0.0) {
@@ -120,6 +124,7 @@ void Network::DeliverCopy(const Packet& packet, HostId dst) {
     for (int32_t i = 0; i < frames; ++i) {
       if (rng_.NextBool(loss_probability_)) {
         ++dropped_msgs_;
+        TraceDrop(packet, dst, "loss");
         return;
       }
     }
@@ -139,6 +144,15 @@ void Network::DeliverCopy(const Packet& packet, HostId dst) {
   }
   Host* host = hosts_[static_cast<size_t>(dst)];
   sim_->After(delay, [host, src = packet.src, msg = packet.msg]() { host->Receive(src, msg); });
+}
+
+void Network::TraceDrop(const Packet& packet, HostId dst, const char* cause) {
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    tracer->Instant(obs::kClusterPid, obs::kTidFabric,
+                    std::string("drop ") + packet.msg->Name(), sim_->Now(),
+                    std::string(cause) + " " + std::to_string(packet.src) +
+                        "->" + std::to_string(dst));
+  }
 }
 
 }  // namespace hovercraft

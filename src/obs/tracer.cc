@@ -1,0 +1,331 @@
+#include "src/obs/tracer.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace hovercraft {
+namespace obs {
+namespace {
+
+// Escapes a string for inclusion inside a JSON string literal.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Chrome trace timestamps are microseconds; keep nanosecond precision as a
+// fixed three-decimal fraction so the output is deterministic.
+std::string FormatTs(TimeNs ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000, ns % 1000);
+  return buf;
+}
+
+std::string RidKey(const RequestId& rid) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "c%d:%" PRIu64, rid.client, rid.seq);
+  return buf;
+}
+
+struct BreakdownSpec {
+  Stage from;
+  Stage to;
+  const char* label;
+};
+
+// Pipeline stage pairs the breakdown report aggregates, in pipeline order.
+constexpr BreakdownSpec kBreakdown[] = {
+    {Stage::kClientSend, Stage::kReplicaRx, "replication (send->rx)"},
+    {Stage::kReplicaRx, Stage::kOrdered, "ordering (rx->ordered)"},
+    {Stage::kOrdered, Stage::kDispatched, "dispatch (ordered->assigned)"},
+    {Stage::kOrdered, Stage::kCommitted, "commit (ordered->committed)"},
+    {Stage::kCommitted, Stage::kApplyStart, "apply queue (committed->apply)"},
+    {Stage::kApplyStart, Stage::kApplyEnd, "apply (execute)"},
+    {Stage::kApplyEnd, Stage::kReplySent, "reply send (apply->tx)"},
+    {Stage::kReplySent, Stage::kComplete, "reply net (tx->client)"},
+    {Stage::kClientSend, Stage::kComplete, "total (send->complete)"},
+};
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kClientSend:
+      return "client_send";
+    case Stage::kRetransmit:
+      return "retransmit";
+    case Stage::kReplicaRx:
+      return "replica_rx";
+    case Stage::kOrdered:
+      return "ordered";
+    case Stage::kCommitted:
+      return "committed";
+    case Stage::kDispatched:
+      return "dispatched";
+    case Stage::kApplyStart:
+      return "apply_start";
+    case Stage::kApplyEnd:
+      return "apply_end";
+    case Stage::kReplySent:
+      return "reply_sent";
+    case Stage::kComplete:
+      return "complete";
+    case Stage::kNacked:
+      return "nacked";
+  }
+  return "?";
+}
+
+Tracer::Tracer(size_t max_events) : max_events_(max_events) {
+  NameProcess(kClusterPid, "cluster");
+  NameThread(kClusterPid, kTidEvents, "requests");
+  NameThread(kClusterPid, kTidFabric, "fabric");
+  NameThread(kClusterPid, kTidNemesis, "nemesis");
+}
+
+void Tracer::NameProcess(int32_t pid, const std::string& name) {
+  process_names_.emplace(pid, name);
+}
+
+void Tracer::NameThread(int32_t pid, int32_t tid, const std::string& name) {
+  thread_names_.emplace(std::make_pair(pid, tid), name);
+}
+
+void Tracer::Complete(int32_t pid, int32_t tid, std::string name, TimeNs start, TimeNs dur) {
+  if (events_.size() >= max_events_) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back(Event{'X', pid, tid, start, dur, std::move(name), std::string()});
+}
+
+void Tracer::Instant(int32_t pid, int32_t tid, std::string name, TimeNs ts,
+                     std::string detail) {
+  if (events_.size() >= max_events_) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back(Event{'i', pid, tid, ts, 0, std::move(name), std::move(detail)});
+}
+
+void Tracer::MarkStage(const RequestId& rid, Stage stage, NodeId node, TimeNs ts) {
+  stage_events_.push_back(StageEvent{rid, stage, node, ts});
+  auto [it, inserted] = first_mark_.try_emplace(rid);
+  if (inserted) {
+    it->second.fill(-1);
+  }
+  TimeNs& slot = it->second[static_cast<size_t>(stage)];
+  if (slot < 0) {
+    slot = ts;
+  }
+}
+
+void Tracer::WriteChromeJson(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    if (!first) {
+      out << ",\n";
+    } else {
+      out << "\n";
+      first = false;
+    }
+    out << obj;
+  };
+
+  // Track metadata. std::map iteration keeps the output deterministic.
+  for (const auto& [pid, name] : process_names_) {
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"args\":{\"name\":\"" + JsonEscape(name) + "\"}}");
+  }
+  for (const auto& [key, name] : thread_names_) {
+    emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(key.first) +
+         ",\"tid\":" + std::to_string(key.second) + ",\"args\":{\"name\":\"" + JsonEscape(name) +
+         "\"}}");
+  }
+
+  // Flatten generic events and per-request stage marks into one list sorted
+  // by timestamp (stable, so equal-time events keep recording order).
+  struct Record {
+    TimeNs ts;
+    int source;   // 0 = generic event, 1 = stage event
+    size_t index;
+  };
+  std::vector<Record> records;
+  records.reserve(events_.size() + stage_events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    records.push_back(Record{events_[i].ts, 0, i});
+  }
+  for (size_t i = 0; i < stage_events_.size(); ++i) {
+    records.push_back(Record{stage_events_[i].ts, 1, i});
+  }
+  std::stable_sort(records.begin(), records.end(), [](const Record& a, const Record& b) {
+    if (a.ts != b.ts) {
+      return a.ts < b.ts;
+    }
+    if (a.source != b.source) {
+      return a.source < b.source;
+    }
+    return a.index < b.index;
+  });
+
+  // Async span bookkeeping: open at a request's first mark, close at its
+  // terminal mark; whatever is still open closes at the end of the trace so
+  // begin/end events always balance.
+  std::unordered_map<RequestId, bool, RequestIdHash> open;
+  TimeNs last_ts = 0;
+  for (const Record& rec : records) {
+    last_ts = std::max(last_ts, rec.ts);
+    if (rec.source == 0) {
+      const Event& e = events_[rec.index];
+      std::string obj = "{\"ph\":\"";
+      obj += e.phase;
+      obj += "\",\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"sim\",\"pid\":" +
+             std::to_string(e.pid) + ",\"tid\":" + std::to_string(e.tid) +
+             ",\"ts\":" + FormatTs(e.ts);
+      if (e.phase == 'X') {
+        obj += ",\"dur\":" + FormatTs(e.dur);
+      } else {
+        obj += ",\"s\":\"t\"";
+      }
+      if (!e.detail.empty()) {
+        obj += ",\"args\":{\"detail\":\"" + JsonEscape(e.detail) + "\"}";
+      }
+      obj += "}";
+      emit(obj);
+      continue;
+    }
+    const StageEvent& s = stage_events_[rec.index];
+    const std::string id = RidKey(s.rid);
+    const bool terminal = s.stage == Stage::kComplete || s.stage == Stage::kNacked;
+    auto [it, inserted] = open.try_emplace(s.rid, false);
+    char phase = 'n';
+    if (!it->second && !terminal) {
+      phase = 'b';
+      it->second = true;
+    } else if (it->second && terminal) {
+      phase = 'e';
+      it->second = false;
+    } else if (!it->second && terminal) {
+      // Terminal mark with no prior mark (cannot happen in practice, but keep
+      // the output balanced regardless): open and close as an instant pair.
+      phase = 'n';
+    }
+    std::string obj = "{\"ph\":\"";
+    obj += phase;
+    obj += "\",\"cat\":\"req\",\"id\":\"" + id + "\",\"name\":\"req " + id +
+           "\",\"pid\":" + std::to_string(kClusterPid) + ",\"tid\":" + std::to_string(kTidEvents) +
+           ",\"ts\":" + FormatTs(s.ts) + ",\"args\":{\"stage\":\"" + StageName(s.stage) + "\"";
+    if (s.node != kInvalidNode) {
+      obj += ",\"node\":" + std::to_string(s.node);
+    }
+    obj += "}}";
+    emit(obj);
+    if (phase == 'b') {
+      // Every stage, including the opening one, also appears as an "n"
+      // instant so the args carry the stage name uniformly.
+      emit("{\"ph\":\"n\",\"cat\":\"req\",\"id\":\"" + id + "\",\"name\":\"req " + id +
+           "\",\"pid\":" + std::to_string(kClusterPid) + ",\"tid\":" +
+           std::to_string(kTidEvents) + ",\"ts\":" + FormatTs(s.ts) +
+           ",\"args\":{\"stage\":\"" + StageName(s.stage) + "\"}}");
+    }
+  }
+  // Balance: close spans of requests that never completed (lost to faults).
+  std::vector<RequestId> unclosed;
+  for (const auto& [rid, is_open] : open) {
+    if (is_open) {
+      unclosed.push_back(rid);
+    }
+  }
+  std::sort(unclosed.begin(), unclosed.end(), [](const RequestId& a, const RequestId& b) {
+    return a.client != b.client ? a.client < b.client : a.seq < b.seq;
+  });
+  for (const RequestId& rid : unclosed) {
+    const std::string id = RidKey(rid);
+    emit("{\"ph\":\"e\",\"cat\":\"req\",\"id\":\"" + id + "\",\"name\":\"req " + id +
+         "\",\"pid\":" + std::to_string(kClusterPid) + ",\"tid\":" + std::to_string(kTidEvents) +
+         ",\"ts\":" + FormatTs(last_ts) + ",\"args\":{\"stage\":\"unresolved\"}}");
+  }
+  out << "\n],\"otherData\":{\"droppedEvents\":" << dropped_events_ << "}}";
+  out << "\n";
+}
+
+std::vector<Tracer::StageRow> Tracer::BreakdownRows() const {
+  // Iterate requests in a deterministic order so floating-point accumulation
+  // (the mean) is byte-stable across runs of the same seed.
+  std::vector<const std::pair<const RequestId, std::array<TimeNs, kStageCount>>*> sorted;
+  sorted.reserve(first_mark_.size());
+  for (const auto& entry : first_mark_) {
+    sorted.push_back(&entry);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const auto* a, const auto* b) {
+    return a->first.client != b->first.client ? a->first.client < b->first.client
+                                              : a->first.seq < b->first.seq;
+  });
+  std::vector<StageRow> rows;
+  for (const BreakdownSpec& spec : kBreakdown) {
+    Histogram h;
+    for (const auto* entry : sorted) {
+      const auto& marks = entry->second;
+      const TimeNs from = marks[static_cast<size_t>(spec.from)];
+      const TimeNs to = marks[static_cast<size_t>(spec.to)];
+      if (from >= 0 && to >= from) {
+        h.Record(to - from);
+      }
+    }
+    if (h.count() == 0) {
+      continue;
+    }
+    StageRow row;
+    row.name = spec.label;
+    row.count = h.count();
+    row.p50_ns = h.Percentile(50);
+    row.p99_ns = h.Percentile(99);
+    row.mean_ns = h.Mean();
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string Tracer::BreakdownTable() const {
+  std::string out =
+      "stage                              count      mean_us       p50_us       p99_us\n";
+  for (const StageRow& row : BreakdownRows()) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-32s %7" PRIu64 " %12.2f %12.2f %12.2f\n",
+                  row.name.c_str(), row.count, row.mean_ns / 1e3,
+                  static_cast<double>(row.p50_ns) / 1e3, static_cast<double>(row.p99_ns) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace hovercraft

@@ -1,0 +1,135 @@
+// Per-request tracer for the simulated HovercRaft pipeline.
+//
+// Records point events, duration ("complete") events and per-RequestId stage
+// marks against the simulator's virtual clock and exports them as Chrome
+// trace-event JSON (the format Perfetto and chrome://tracing load). Each
+// simulated host appears as one "process" with one "thread" per modelled
+// resource (net thread, app thread, NIC); the request flow across nodes is
+// rendered as async events keyed by the RequestId.
+//
+// Determinism contract: the exported bytes are a pure function of the
+// recorded events, which are a pure function of the simulation — the same
+// seed and configuration produce a byte-identical trace file.
+#ifndef SRC_OBS_TRACER_H_
+#define SRC_OBS_TRACER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/r2p2/request_id.h"
+#include "src/stats/histogram.h"
+
+namespace hovercraft {
+namespace obs {
+
+// Trace "process" ids. Host-attached tracks use TrackOfHost(id); pid 0 is the
+// cluster-wide track (fabric drops, nemesis faults, request async flows).
+constexpr int32_t kClusterPid = 0;
+inline int32_t TrackOfHost(HostId id) { return static_cast<int32_t>(id) + 1; }
+
+// Trace "thread" ids inside a host process.
+constexpr int32_t kTidEvents = 0;  // protocol-level point events
+constexpr int32_t kTidNet = 1;     // polling net thread (RX/TX CPU)
+constexpr int32_t kTidApp = 2;     // state-machine app thread
+constexpr int32_t kTidNic = 3;     // NIC TX serialization engine
+// Threads of the cluster pid.
+constexpr int32_t kTidFabric = 1;
+constexpr int32_t kTidNemesis = 2;
+
+// Canonical pipeline stages of one request, in pipeline order. The
+// latency-breakdown report aggregates the durations between consecutive
+// stage marks (first occurrence of each stage per request).
+enum class Stage : uint8_t {
+  kClientSend = 0,  // client hands the request to its NIC
+  kRetransmit,      // a retry attempt left the client (annotation only)
+  kReplicaRx,       // request arrived at a server (multicast replication)
+  kOrdered,         // leader appended the entry (append_entries ordering)
+  kCommitted,       // entry covered by the commit index
+  kDispatched,      // JBSQ/random replier assignment announced
+  kApplyStart,      // state-machine execution began on the app thread
+  kApplyEnd,        // state-machine execution finished
+  kReplySent,       // reply handed to the replier's NIC
+  kComplete,        // client received the (first) reply
+  kNacked,          // flow control pushed the request back (terminal)
+};
+constexpr size_t kStageCount = 11;
+const char* StageName(Stage stage);
+
+class Tracer {
+ public:
+  // `max_events` bounds memory for long runs: past the cap, generic events
+  // are dropped (and counted); stage marks are always kept so the breakdown
+  // report stays complete.
+  explicit Tracer(size_t max_events = 4'000'000);
+
+  // --- track naming (idempotent; call at first use) ---
+  void NameProcess(int32_t pid, const std::string& name);
+  void NameThread(int32_t pid, int32_t tid, const std::string& name);
+
+  // --- event recording ---
+  // Duration event ("X"): work on a serial resource in [start, start + dur].
+  void Complete(int32_t pid, int32_t tid, std::string name, TimeNs start, TimeNs dur);
+  // Instant event ("i"). `detail` lands in args.detail (may be empty).
+  void Instant(int32_t pid, int32_t tid, std::string name, TimeNs ts,
+               std::string detail = std::string());
+  // Pipeline stage mark for one request; `node` is the acting Raft node
+  // (kInvalidNode for client-side stages).
+  void MarkStage(const RequestId& rid, Stage stage, NodeId node, TimeNs ts);
+
+  // --- export ---
+  // Chrome trace-event JSON: {"traceEvents": [...]}. Events are emitted in
+  // (timestamp, record order) — monotonic non-decreasing timestamps.
+  void WriteChromeJson(std::ostream& out) const;
+
+  // Per-stage latency aggregation across all requests with stage marks.
+  struct StageRow {
+    std::string name;  // e.g. "ordering (rx->ordered)"
+    uint64_t count = 0;
+    int64_t p50_ns = 0;
+    int64_t p99_ns = 0;
+    double mean_ns = 0;
+  };
+  std::vector<StageRow> BreakdownRows() const;
+  // The breakdown as a printable table.
+  std::string BreakdownTable() const;
+
+  size_t event_count() const { return events_.size() + stage_events_.size(); }
+  uint64_t dropped_events() const { return dropped_events_; }
+
+ private:
+  struct Event {
+    char phase;  // 'X' or 'i'
+    int32_t pid;
+    int32_t tid;
+    TimeNs ts;
+    TimeNs dur;  // X only
+    std::string name;
+    std::string detail;
+  };
+  struct StageEvent {
+    RequestId rid;
+    Stage stage;
+    NodeId node;
+    TimeNs ts;
+  };
+
+  size_t max_events_;
+  uint64_t dropped_events_ = 0;
+  std::vector<Event> events_;
+  std::vector<StageEvent> stage_events_;
+  // First occurrence of each stage per request, for the breakdown report.
+  std::unordered_map<RequestId, std::array<TimeNs, kStageCount>, RequestIdHash> first_mark_;
+  std::map<int32_t, std::string> process_names_;
+  std::map<std::pair<int32_t, int32_t>, std::string> thread_names_;
+};
+
+}  // namespace obs
+}  // namespace hovercraft
+
+#endif  // SRC_OBS_TRACER_H_

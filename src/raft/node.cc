@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 
@@ -151,6 +152,11 @@ void RaftNode::StartElection() {
   leader_hint_ = kInvalidNode;
   HC_LOG_INFO("node %d starts election for term %llu", options_.id,
               static_cast<unsigned long long>(current_term_));
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    // Servers are attached to the fabric first, so HostId == NodeId here.
+    tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
+                    "election", sim_->Now(), "term " + std::to_string(current_term_));
+  }
   ArmElectionTimer();  // retry on split vote
   if (votes_ >= options_.majority()) {
     BecomeLeader();
@@ -172,6 +178,10 @@ void RaftNode::BecomeLeader() {
   ++stats_.times_leader;
   HC_LOG_INFO("node %d becomes leader of term %llu", options_.id,
               static_cast<unsigned long long>(current_term_));
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
+                    "leader", sim_->Now(), "term " + std::to_string(current_term_));
+  }
 
   for (NodeId p = 0; p < options_.cluster_size; ++p) {
     PeerState& st = peers_[static_cast<size_t>(p)];
@@ -237,10 +247,11 @@ bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request, bool all
     ++stats_.submits_rejected;
     return false;  // duplicate (e.g. unordered drain raced with an old entry)
   }
+  const RequestId rid = request->rid();
   LogEntry entry;
   entry.term = current_term_;
   entry.read_only = request->read_only();
-  entry.rid = request->rid();
+  entry.rid = rid;
   entry.ack_watermark = request->ack_watermark();
   if (options_.metadata_only) {
     entry.body_hash = HashRequestBody(*request);
@@ -251,6 +262,9 @@ bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request, bool all
   }
   const LogIndex idx = log_.Append(std::move(entry));
   ++stats_.entries_appended;
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    tracer->MarkStage(rid, obs::Stage::kOrdered, options_.id, sim_->Now());
+  }
   if (!options_.assign_repliers) {
     announced_idx_ = idx;
   }
@@ -286,6 +300,9 @@ void RaftNode::TryAnnounce() {
     entry.replier = replier;
     announced_idx_ = idx;
     changed = true;
+    if (auto* tracer = obs::TracerOf(sim_)) {
+      tracer->MarkStage(entry.rid, obs::Stage::kDispatched, replier, sim_->Now());
+    }
   }
   if (changed) {
     TrySendAll();
@@ -536,6 +553,16 @@ void RaftNode::SetCommit(LogIndex commit) {
   HC_CHECK_LE(commit, log_.last_index());
   if (commit == commit_idx_) {
     return;
+  }
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    // Every entry in (commit_idx_, commit] is newly committed; those indices
+    // sit above the compaction point (base <= applied <= old commit).
+    for (LogIndex idx = commit_idx_ + 1; idx <= commit; ++idx) {
+      const LogEntry& e = log_.At(idx);
+      if (!e.noop) {
+        tracer->MarkStage(e.rid, obs::Stage::kCommitted, options_.id, sim_->Now());
+      }
+    }
   }
   commit_idx_ = commit;
   env_->OnCommitAdvanced(commit_idx_);

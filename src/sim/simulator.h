@@ -18,6 +18,10 @@
 
 namespace hovercraft {
 
+namespace obs {
+class Observability;  // src/obs/observability.h; attached but never owned
+}
+
 // Token for a scheduled event, usable with Simulator::Cancel.
 using EventId = uint64_t;
 constexpr EventId kInvalidEvent = 0;
@@ -29,6 +33,12 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   TimeNs Now() const { return now_; }
+
+  // Optional observability bundle (tracer + metrics). Null by default: the
+  // trace/metric hooks throughout the codebase reduce to one pointer load
+  // and branch when nothing is installed. The simulator does not own it.
+  obs::Observability* observability() const { return observability_; }
+  void set_observability(obs::Observability* observability) { observability_ = observability; }
 
   // Schedules `fn` to run at absolute virtual time `when` (>= Now()).
   EventId At(TimeNs when, std::function<void()> fn);
@@ -68,6 +78,7 @@ class Simulator {
   };
 
   TimeNs now_ = 0;
+  obs::Observability* observability_ = nullptr;
   EventId next_id_ = 1;
   uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;

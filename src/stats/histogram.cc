@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 
 namespace hovercraft {
 
@@ -40,7 +41,14 @@ int64_t Histogram::BucketUpperBound(size_t bucket) const {
   const uint64_t past = static_cast<uint64_t>(bucket) - static_cast<uint64_t>(sub_bucket_count_);
   const int shift = static_cast<int>(past / half) + 1;
   const uint64_t sub_top = past % half;
-  return static_cast<int64_t>(((sub_top + half + 1) << shift) - 1);
+  const uint64_t top = sub_top + half + 1;
+  // The highest ranges would shift past bit 63; saturate instead of
+  // overflowing (and shift >= 64 is undefined outright). Covers every bucket
+  // index in the array, not just the ones BucketFor can produce.
+  if (shift >= 63 || (top >> (63 - shift)) != 0) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  return static_cast<int64_t>((top << shift) - 1);
 }
 
 void Histogram::Record(int64_t value) { RecordN(value, 1); }
@@ -75,15 +83,25 @@ double Histogram::Mean() const {
 
 int64_t Histogram::ValueAtQuantile(double quantile) const {
   if (count_ == 0) {
-    return 0;
+    return 0;  // no samples: matches min()/max()
   }
-  quantile = std::clamp(quantile, 0.0, 1.0);
-  const uint64_t target = static_cast<uint64_t>(quantile * static_cast<double>(count_) + 0.5);
+  if (quantile <= 0.0) {
+    return min();  // the 0th percentile is the minimum, not a bucket bound
+  }
+  quantile = std::min(quantile, 1.0);
+  // Rank of the sample holding the quantile, clamped to [1, count]: floating
+  // error must not round the target down to 0 (which would match the first
+  // non-empty bucket regardless of quantile) or up past the population
+  // (which would never match and always report max).
+  const uint64_t target = std::clamp<uint64_t>(
+      static_cast<uint64_t>(quantile * static_cast<double>(count_) + 0.5), 1, count_);
   uint64_t running = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     running += buckets_[i];
     if (running >= target && buckets_[i] > 0) {
-      return std::min(BucketUpperBound(i), max_);
+      // The bucket bound brackets the true value; clamping to the observed
+      // range makes single-sample and extreme-quantile answers exact.
+      return std::clamp(BucketUpperBound(i), min_, max_);
     }
   }
   return max_;

@@ -1,0 +1,234 @@
+// Observability contract tests: the Chrome trace JSON is structurally valid,
+// spans balance, timestamps are monotonic, the stage pipeline is covered, the
+// outputs are byte-deterministic, and recording a trace does not perturb the
+// simulation it observes.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chaos/runner.h"
+#include "src/obs/metrics.h"
+#include "src/obs/observability.h"
+#include "src/obs/tracer.h"
+
+namespace hovercraft {
+namespace {
+
+// Minimal structural JSON check: braces/brackets balance outside string
+// literals (escape-aware), the document is one object, and nothing trails it.
+bool JsonStructureValid(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  size_t end = std::string::npos;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (end != std::string::npos) {
+      if (!std::isspace(static_cast<unsigned char>(c))) return false;  // trailing garbage
+      continue;
+    }
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        if (stack.empty()) end = i;
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return end != std::string::npos && stack.empty() && !in_string;
+}
+
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// Extracts every "ts":<number> in emission order.
+std::vector<double> ExtractTimestamps(const std::string& text) {
+  std::vector<double> out;
+  const std::string key = "\"ts\":";
+  for (size_t pos = text.find(key); pos != std::string::npos;
+       pos = text.find(key, pos + key.size())) {
+    out.push_back(std::strtod(text.c_str() + pos + key.size(), nullptr));
+  }
+  return out;
+}
+
+ChaosRunConfig SmallChaosConfig() {
+  ChaosRunConfig config;
+  config.mode = ClusterMode::kHovercRaft;
+  config.schedule = "flap";
+  config.seed = 3;
+  config.nodes = 3;
+  config.clients = 2;
+  config.rate_rps_per_client = 2'000;
+  config.duration = Millis(60);
+  config.settle = Millis(60);
+  return config;
+}
+
+obs::Observability::Options FullObsOptions() {
+  obs::Observability::Options oo;
+  oo.tracing = true;
+  oo.sampling = true;
+  return oo;
+}
+
+TEST(TracerTest, CapDropsGenericEventsButKeepsStageMarks) {
+  obs::Tracer tracer(/*max_events=*/2);
+  tracer.Complete(0, 0, "a", 10, 5);
+  tracer.Instant(0, 0, "b", 20);
+  tracer.Instant(0, 0, "c", 30);  // past the cap: dropped
+  EXPECT_EQ(tracer.dropped_events(), 1u);
+  RequestId rid{1, 7};
+  tracer.MarkStage(rid, obs::Stage::kClientSend, kInvalidNode, 40);
+  tracer.MarkStage(rid, obs::Stage::kComplete, kInvalidNode, 50);
+  EXPECT_EQ(tracer.event_count(), 4u);  // 2 generic + 2 stage marks
+  std::ostringstream out;
+  tracer.WriteChromeJson(out);
+  EXPECT_TRUE(JsonStructureValid(out.str()));
+  EXPECT_NE(out.str().find("client_send"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, DumpHasUniformShapeAndIsDeterministic) {
+  obs::MetricsRegistry reg;
+  reg.AddCounter("node0/rx", 3);
+  reg.SetGauge("node1/depth", -2);
+  reg.GetHistogram("lat").Record(1000);
+  reg.Sample("node0/q", 100, 1);
+  reg.Sample("node0/q", 200, 2);
+  std::ostringstream a;
+  reg.DumpJson(a);
+  std::ostringstream b;
+  reg.DumpJson(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_TRUE(JsonStructureValid(a.str()));
+  for (const char* section : {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"timeseries\""}) {
+    EXPECT_NE(a.str().find(section), std::string::npos) << section;
+  }
+}
+
+// The satellite contract: a 3-node chaos run yields a structurally valid
+// Chrome trace with monotonic timestamps, balanced async begin/end spans and
+// marks for every pipeline stage a healthy request passes through.
+TEST(ObsChaosTest, TraceSchemaIsValid) {
+  obs::Observability bundle(FullObsOptions());
+  ChaosRunConfig config = SmallChaosConfig();
+  config.obs = &bundle;
+  const ChaosRunResult result = RunChaosSchedule(config);
+  EXPECT_TRUE(result.ok()) << result.Describe();
+
+  ASSERT_NE(bundle.tracer(), nullptr);
+  std::ostringstream out;
+  bundle.tracer()->WriteChromeJson(out);
+  const std::string trace = out.str();
+
+  EXPECT_TRUE(JsonStructureValid(trace));
+  EXPECT_EQ(trace.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+
+  // Async request spans balance: every opened span is closed.
+  EXPECT_GT(CountOccurrences(trace, "\"ph\":\"b\""), 0u);
+  EXPECT_EQ(CountOccurrences(trace, "\"ph\":\"b\""), CountOccurrences(trace, "\"ph\":\"e\""));
+
+  // Events are emitted in non-decreasing timestamp order.
+  const std::vector<double> ts = ExtractTimestamps(trace);
+  ASSERT_GT(ts.size(), 100u);
+  for (size_t i = 1; i < ts.size(); ++i) {
+    ASSERT_GE(ts[i], ts[i - 1]) << "at event " << i;
+  }
+
+  // Every stage of the healthy pipeline shows up at least once.
+  for (const char* stage : {"client_send", "replica_rx", "ordered", "committed", "dispatched",
+                            "apply_start", "apply_end", "reply_sent", "complete"}) {
+    EXPECT_GT(CountOccurrences(trace, std::string("\"stage\":\"") + stage + "\""), 0u)
+        << stage;
+  }
+  // The nemesis annotations share the trace ("flap" kills and restarts nodes).
+  EXPECT_GT(CountOccurrences(trace, "\"name\":\"nemesis\""), 0u);
+
+  // The breakdown report aggregates at least the total row.
+  const auto rows = bundle.tracer()->BreakdownRows();
+  ASSERT_FALSE(rows.empty());
+  bool any_counted = false;
+  for (const auto& row : rows) {
+    if (row.count > 0) any_counted = true;
+  }
+  EXPECT_TRUE(any_counted);
+
+  // The metrics snapshot carries the per-node counters and sampled depths.
+  std::ostringstream mout;
+  bundle.metrics().DumpJson(mout);
+  const std::string metrics = mout.str();
+  EXPECT_TRUE(JsonStructureValid(metrics));
+  for (const char* key : {"node0/raft.commit_index", "node0/net_thread.depth",
+                          "node0/server.client_requests"}) {
+    EXPECT_NE(metrics.find(key), std::string::npos) << key;
+  }
+}
+
+// Same seed, same config: both output files are byte-identical across runs.
+TEST(ObsChaosTest, OutputsAreByteDeterministic) {
+  std::string traces[2];
+  std::string metrics[2];
+  for (int i = 0; i < 2; ++i) {
+    obs::Observability bundle(FullObsOptions());
+    ChaosRunConfig config = SmallChaosConfig();
+    config.obs = &bundle;
+    RunChaosSchedule(config);
+    std::ostringstream t;
+    bundle.tracer()->WriteChromeJson(t);
+    traces[i] = t.str();
+    std::ostringstream m;
+    bundle.metrics().DumpJson(m);
+    metrics[i] = m.str();
+  }
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(metrics[0], metrics[1]);
+}
+
+// Observability is read-only: attaching the bundle must not change a single
+// outcome of the simulation it observes.
+TEST(ObsChaosTest, TracingDoesNotPerturbTheRun) {
+  const ChaosRunResult bare = RunChaosSchedule(SmallChaosConfig());
+
+  obs::Observability bundle(FullObsOptions());
+  ChaosRunConfig config = SmallChaosConfig();
+  config.obs = &bundle;
+  const ChaosRunResult traced = RunChaosSchedule(config);
+
+  EXPECT_EQ(bare.Describe(), traced.Describe());
+}
+
+}  // namespace
+}  // namespace hovercraft

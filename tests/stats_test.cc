@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/common/random.h"
@@ -114,6 +115,87 @@ TEST(HistogramTest, LargeValuesDoNotOverflow) {
   EXPECT_EQ(h.count(), 1u);
   EXPECT_GE(h.max(), int64_t{1} << 60);
   EXPECT_GE(h.Percentile(50), (int64_t{1} << 60) - ((int64_t{1} << 60) >> 6));
+}
+
+// The 0th percentile is the observed minimum, not the bound of whatever
+// bucket the minimum landed in.
+TEST(HistogramTest, ZerothQuantileIsMin) {
+  Histogram h;
+  h.Record(1000);  // bucketed: upper bound 1007 at 7 sub-bucket bits
+  h.Record(2000);
+  h.Record(4000);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 1000);
+  EXPECT_EQ(h.ValueAtQuantile(-0.5), 1000);  // out-of-range clamps, not UB
+}
+
+TEST(HistogramTest, FullQuantileIsMax) {
+  Histogram h;
+  for (int64_t v : {1000, 2000, 3000}) {  // count=3: q*count is inexact
+    h.Record(v);
+  }
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 3000);
+  EXPECT_EQ(h.ValueAtQuantile(1.5), 3000);
+}
+
+// A tiny-but-positive quantile must not round its target rank down to zero;
+// it resolves to the first non-empty bucket, clamped to the observed range.
+TEST(HistogramTest, TinyQuantileTargetsFirstSample) {
+  Histogram h;
+  h.Record(1000);
+  h.Record(500'000);
+  const int64_t v = h.ValueAtQuantile(1e-12);
+  EXPECT_GE(v, 1000);
+  EXPECT_LE(v, 1007);  // within the min's bucket, never the 500k sample
+}
+
+// Samples in the top power-of-two range saturate cleanly instead of
+// overflowing the bucket bound into a negative value.
+TEST(HistogramTest, OverflowBucketSaturates) {
+  Histogram h;
+  h.Record(std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Percentile(50), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(h.Percentile(99.99), std::numeric_limits<int64_t>::max());
+  h.Record((int64_t{1} << 62) + 12345);
+  EXPECT_GT(h.Percentile(1), 0);  // never negative
+}
+
+// Merging shards and then asking for quantiles must agree exactly with one
+// histogram that recorded every sample directly (same bucket layout), the
+// property RunLoadPoint relies on when it merges per-client latencies.
+TEST(HistogramTest, MergeThenQuantileMatchesDirect) {
+  Histogram direct;
+  Histogram shards[4];
+  Histogram merged;
+  Rng rng(91);
+  for (int i = 0; i < 40000; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.NextExponential(80'000)) + 1;
+    direct.Record(v);
+    shards[i % 4].Record(v);
+  }
+  for (Histogram& shard : shards) {
+    merged.Merge(shard);
+  }
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+  EXPECT_DOUBLE_EQ(merged.Mean(), direct.Mean());
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.ValueAtQuantile(q), direct.ValueAtQuantile(q)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram populated;
+  populated.Record(42);
+  Histogram empty;
+  populated.Merge(empty);
+  EXPECT_EQ(populated.count(), 1u);
+  EXPECT_EQ(populated.Percentile(50), 42);
+  empty.Merge(populated);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 42);
+  EXPECT_EQ(empty.Percentile(99), 42);
 }
 
 // Quantiles are monotone in q.

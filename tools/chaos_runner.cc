@@ -7,14 +7,24 @@
 //   chaos_runner --schedule=partition-leader --seed=42 --mode=hovercraft
 //   chaos_runner --schedule=random --seed=7 --mode=hovercraft++ --duration-ms=300
 //   chaos_runner --list-schedules
+//
+// With --trace-out the run records a per-request trace and writes Chrome
+// trace-event JSON (load it in Perfetto / chrome://tracing); --metrics-out
+// dumps the metrics registry (counters + sampled queue depths) as JSON.
+// Both outputs are byte-identical across reruns of the same seed.
+//
+//   chaos_runner --schedule=flap --seed=3 --trace-out=trace.json --metrics-out=metrics.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "src/chaos/nemesis.h"
 #include "src/chaos/runner.h"
 #include "src/common/logging.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
 namespace {
@@ -38,6 +48,10 @@ struct CliOptions {
   bool list_schedules = false;
   bool verbose = false;
   bool help = false;
+  std::string trace_out;    // Chrome trace-event JSON path ("" = no tracing)
+  std::string metrics_out;  // metrics registry JSON path ("" = no dump)
+  TimeNs sample_interval = Micros(100);
+  uint64_t max_trace_events = 4'000'000;
 };
 
 void PrintUsage() {
@@ -59,6 +73,10 @@ void PrintUsage() {
       "  --retry-max-attempts=N   abandon after N transmissions (0 = give-up timer only)\n"
       "  --no-dedup               disable the server session table (demonstrates\n"
       "                           the double-apply anomaly under --retries)\n"
+      "  --trace-out=PATH         write a Chrome trace-event JSON (Perfetto-loadable)\n"
+      "  --metrics-out=PATH       write the metrics registry as JSON\n"
+      "  --sample-interval-us=N   queue-depth sampling period (default 100)\n"
+      "  --max-trace-events=N     trace event cap (default 4000000)\n"
       "  --list-schedules         print schedule names and exit\n"
       "  --verbose                protocol-level log while the run executes\n");
 }
@@ -112,6 +130,14 @@ bool ParseOptions(int argc, char** argv, CliOptions& opts) {
       opts.flow_control = std::atoll(v.c_str());
     } else if (ParseFlag(a, "--max-states", v)) {
       opts.max_states = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(a, "--trace-out", v)) {
+      opts.trace_out = v;
+    } else if (ParseFlag(a, "--metrics-out", v)) {
+      opts.metrics_out = v;
+    } else if (ParseFlag(a, "--sample-interval-us", v)) {
+      opts.sample_interval = Micros(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--max-trace-events", v)) {
+      opts.max_trace_events = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return false;
@@ -159,8 +185,48 @@ int Run(const CliOptions& opts) {
       opts.mode.c_str(), opts.schedule.c_str(), static_cast<unsigned long long>(opts.seed),
       opts.nodes, static_cast<long long>(opts.duration / 1'000'000), opts.retries ? 1 : 0,
       opts.no_dedup ? 0 : 1);
+  std::unique_ptr<obs::Observability> observability;
+  const bool want_obs = !opts.trace_out.empty() || !opts.metrics_out.empty();
+  if (want_obs) {
+    obs::Observability::Options oo;
+    oo.tracing = !opts.trace_out.empty();
+    oo.sampling = !opts.metrics_out.empty();
+    oo.sample_interval = opts.sample_interval;
+    oo.max_trace_events = opts.max_trace_events;
+    observability = std::make_unique<obs::Observability>(oo);
+    config.obs = observability.get();
+  }
+
   const ChaosRunResult result = RunChaosSchedule(config);
   std::printf("%s", result.Describe().c_str());
+
+  if (observability != nullptr) {
+    if (auto* tracer = observability->tracer()) {
+      if (!opts.trace_out.empty()) {
+        std::ofstream out(opts.trace_out, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", opts.trace_out.c_str());
+          return 2;
+        }
+        tracer->WriteChromeJson(out);
+        std::printf("trace: %zu events -> %s (dropped %llu)\n", tracer->event_count(),
+                    opts.trace_out.c_str(),
+                    static_cast<unsigned long long>(tracer->dropped_events()));
+      }
+      std::printf("%s", tracer->BreakdownTable().c_str());
+    }
+    if (!opts.metrics_out.empty()) {
+      std::ofstream out(opts.metrics_out, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", opts.metrics_out.c_str());
+        return 2;
+      }
+      observability->metrics().DumpJson(out);
+      std::printf("metrics: %zu entries -> %s\n", observability->metrics().size(),
+                  opts.metrics_out.c_str());
+    }
+  }
+
   std::printf("verdict: %s\n", result.ok() ? "OK" : "FAIL");
   return result.ok() ? 0 : 1;
 }
