@@ -1,0 +1,208 @@
+// Wall-clock throughput of the simulator scheduling core (ISSUE 4).
+//
+// Runs the same self-sustaining event workloads through the production
+// timer-wheel Simulator and the preserved pre-PR binary-heap core
+// (src/sim/reference_heap.h), and reports events/sec and ns/event for four
+// event-queue shapes:
+//
+//   uniform      steady window of timers 0-10us out (the packet-delivery mix)
+//   bimodal      90% short (<2us), 10% long (<1ms) — service-time tails
+//   cancel-heavy every fire arms two timers and cancels one (retransmit-
+//                timer pattern: armed, then cancelled on completion)
+//   far-future   timers up to 100ms out (election-timeout distances), living
+//                in the wheel's deepest level
+//
+// Callbacks are single-pointer captures, inline in both cores, so neither
+// side pays allocation costs and the ratio isolates the scheduling data
+// structures themselves.
+//
+// Both cores execute the identical event sequence (checksums are compared),
+// so the ratio is a pure scheduling-cost comparison. Results are printed and,
+// with --metrics-out=BENCH_sim.json, recorded via the metrics registry:
+//
+//   sim_throughput/<shape>/wheel/ps_per_event   picoseconds, integer
+//   sim_throughput/<shape>/wheel/events_per_sec
+//   sim_throughput/<shape>/heap/...             same, for the reference core
+//   sim_throughput/<shape>/speedup_pct          100 * heap_ps / wheel_ps
+//
+// Flags (in addition to the standard BenchIo set):
+//   --events=N   scheduled events per shape per core (default 1,000,000)
+//   --seed=S     workload seed (default 42; CI pins this)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/check.h"
+#include "src/common/random.h"
+#include "src/sim/reference_heap.h"
+#include "src/sim/simulator.h"
+
+namespace hovercraft {
+namespace {
+
+enum class Shape { kUniform, kBimodal, kCancelHeavy, kFarFuture };
+
+struct ShapeDef {
+  Shape shape;
+  const char* name;
+};
+
+constexpr ShapeDef kShapes[] = {
+    {Shape::kUniform, "uniform"},
+    {Shape::kBimodal, "bimodal"},
+    {Shape::kCancelHeavy, "cancel_heavy"},
+    {Shape::kFarFuture, "far_future"},
+};
+
+TimeNs DrawDelay(Shape shape, Rng& rng) {
+  switch (shape) {
+    case Shape::kUniform:
+      return static_cast<TimeNs>(rng.NextBelow(10'000));
+    case Shape::kBimodal:
+      return rng.NextBelow(10) == 0 ? static_cast<TimeNs>(rng.NextBelow(1'000'000))
+                                    : static_cast<TimeNs>(rng.NextBelow(2'000));
+    case Shape::kCancelHeavy:
+      // Floor of 1ns so a just-armed timer is always still cancellable.
+      return 1 + static_cast<TimeNs>(rng.NextBelow(10'000));
+    case Shape::kFarFuture:
+      return static_cast<TimeNs>(rng.NextBelow(100'000'000));
+  }
+  return 0;
+}
+
+struct RunResult {
+  double seconds = 0;
+  int64_t scheduled = 0;
+  uint64_t executed = 0;
+  int64_t cancelled = 0;
+  uint64_t checksum = 0;
+
+  double EventsPerSec() const { return static_cast<double>(scheduled) / seconds; }
+  int64_t PsPerEvent() const {
+    return static_cast<int64_t>(seconds * 1e12 / static_cast<double>(scheduled));
+  }
+};
+
+// One self-sustaining run: keep a window of outstanding timers; each fired
+// event draws its successors from the shared Rng. Both cores execute the
+// identical sequence (same seed, same order), so their checksums must agree.
+// The scheduled callback is `[this] { Fire(); }` — 8 bytes, inline in the
+// wheel's InlineFunction and in std::function's small-object buffer alike.
+template <typename Scheduler>
+struct Workload {
+  Scheduler sim;
+  Rng rng;
+  Shape shape;
+  int64_t target;
+  RunResult r;
+
+  Workload(Shape s, uint64_t seed, int64_t target_events)
+      : rng(seed), shape(s), target(target_events) {}
+
+  void Fire() {
+    r.checksum = r.checksum * 1099511628211ull + static_cast<uint64_t>(sim.Now()) + 1;
+    ++r.executed;
+    if (r.scheduled >= target) {
+      return;  // drain phase
+    }
+    if (shape == Shape::kCancelHeavy) {
+      // Retransmit-timer pattern: arm two, immediately cancel one of them
+      // (both are strictly in the future, so the cancel always lands).
+      const uint64_t a = sim.After(DrawDelay(shape, rng), [this] { Fire(); });
+      const uint64_t b = sim.After(DrawDelay(shape, rng), [this] { Fire(); });
+      r.scheduled += 2;
+      const bool ok = sim.Cancel(rng.NextBelow(2) == 0 ? a : b);
+      HC_CHECK(ok);
+      ++r.cancelled;
+    } else {
+      sim.After(DrawDelay(shape, rng), [this] { Fire(); });
+      ++r.scheduled;
+    }
+  }
+};
+
+template <typename Scheduler>
+RunResult RunShape(Shape shape, uint64_t seed, int64_t target_events) {
+  constexpr int kWindow = 4096;
+  auto w = std::make_unique<Workload<Scheduler>>(shape, seed, target_events);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kWindow; ++i) {
+    Workload<Scheduler>* p = w.get();
+    w->sim.At(DrawDelay(shape, w->rng), [p] { p->Fire(); });
+    ++w->r.scheduled;
+  }
+  w->sim.RunToCompletion();
+  const auto stop = std::chrono::steady_clock::now();
+  w->r.seconds = std::chrono::duration<double>(stop - start).count();
+  HC_CHECK_EQ(static_cast<int64_t>(w->r.executed) + w->r.cancelled, w->r.scheduled);
+  return w->r;
+}
+
+void Run(benchutil::BenchIo& io, uint64_t seed, int64_t events) {
+  benchutil::PrintHeader("Simulator core throughput: timer wheel vs reference heap",
+                         "ISSUE 4 perf baseline (events/sec, ns/event by queue shape)");
+  std::printf("events/shape: %lld   seed: %llu\n\n", static_cast<long long>(events),
+              static_cast<unsigned long long>(seed));
+  std::printf("%-13s %14s %14s %14s %14s %9s\n", "shape", "wheel ev/s", "heap ev/s",
+              "wheel ns/ev", "heap ns/ev", "speedup");
+
+  io.RecordGauge("sim_throughput/config/events", events);
+  io.RecordGauge("sim_throughput/config/seed", static_cast<int64_t>(seed));
+
+  for (const ShapeDef& def : kShapes) {
+    const RunResult heap = RunShape<ReferenceHeapScheduler>(def.shape, seed, events);
+    const RunResult wheel = RunShape<Simulator>(def.shape, seed, events);
+    // Identical virtual execution is a precondition for comparing costs.
+    HC_CHECK_EQ(wheel.checksum, heap.checksum);
+    HC_CHECK_EQ(wheel.executed, heap.executed);
+
+    const double speedup =
+        static_cast<double>(heap.PsPerEvent()) / static_cast<double>(wheel.PsPerEvent());
+    std::printf("%-13s %14.0f %14.0f %14.1f %14.1f %8.2fx\n", def.name, wheel.EventsPerSec(),
+                heap.EventsPerSec(), static_cast<double>(wheel.PsPerEvent()) / 1000.0,
+                static_cast<double>(heap.PsPerEvent()) / 1000.0, speedup);
+
+    const std::string scope = std::string("sim_throughput/") + def.name + "/";
+    io.RecordGauge(scope + "wheel/ps_per_event", wheel.PsPerEvent());
+    io.RecordGauge(scope + "wheel/events_per_sec",
+                   static_cast<int64_t>(wheel.EventsPerSec()));
+    io.RecordGauge(scope + "heap/ps_per_event", heap.PsPerEvent());
+    io.RecordGauge(scope + "heap/events_per_sec", static_cast<int64_t>(heap.EventsPerSec()));
+    io.RecordGauge(scope + "speedup_pct",
+                   heap.PsPerEvent() * 100 / std::max<int64_t>(1, wheel.PsPerEvent()));
+    io.RecordCounter(scope + "executed", wheel.executed);
+    io.RecordCounter(scope + "cancelled", static_cast<uint64_t>(wheel.cancelled));
+  }
+  std::printf("\nspeedup = heap ns/event over wheel ns/event; >1 means the wheel is faster.\n");
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main(int argc, char** argv) {
+  int64_t events = 1'000'000;
+  uint64_t seed = 42;
+  // Strip this bench's own flags before handing the rest to BenchIo.
+  std::vector<char*> pass;
+  pass.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--events=", 9) == 0) {
+      events = std::atoll(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else {
+      pass.push_back(argv[i]);
+    }
+  }
+  hovercraft::benchutil::BenchIo io(static_cast<int>(pass.size()), pass.data());
+  hovercraft::Run(io, seed, events);
+  return io.Finish();
+}

@@ -67,24 +67,31 @@ void ReplicatedServer::Restart() {
 }
 
 void ReplicatedServer::ArmMaintenanceTimers() {
-  sim()->After(config_.gc_interval, [this]() {
+  // Each chain re-arms only itself, and arming cancels the previous handle:
+  // the GC chain used to re-enter this function and start a *fresh*
+  // compaction chain every gc_interval (on top of the compaction chain
+  // re-arming itself), so compaction chains multiplied over the run — and
+  // Restart() stacked yet another pair on top of the survivors.
+  ArmGcTimer();
+  ArmCompactionTimer();
+}
+
+void ReplicatedServer::ArmGcTimer() {
+  sim()->Cancel(gc_timer_);
+  gc_timer_ = sim()->After(config_.gc_interval, [this]() {
+    gc_timer_ = kInvalidEvent;
     if (failed()) {
       return;
     }
     stats_.unordered_gc += unordered_.GarbageCollect(sim()->Now(), config_.unordered_ttl);
-    ArmMaintenanceTimers();
-  });
-  sim()->After(config_.compaction_interval, [this]() {
-    if (failed() || raft_ == nullptr) {
-      return;
-    }
-    CompactNow();
-    ArmCompactionTimer();
+    ArmGcTimer();
   });
 }
 
 void ReplicatedServer::ArmCompactionTimer() {
-  sim()->After(config_.compaction_interval, [this]() {
+  sim()->Cancel(compaction_timer_);
+  compaction_timer_ = sim()->After(config_.compaction_interval, [this]() {
+    compaction_timer_ = kInvalidEvent;
     if (failed() || raft_ == nullptr) {
       return;
     }
@@ -394,6 +401,11 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
     tracer->Complete(obs::TrackOfHost(id()), obs::kTidApp, "apply", apply_start,
                      result.service_time);
   }
+  // Ownership rule: the reply Body is moved into the completion callback
+  // (never copied); SendReply takes its own reference only when the reply
+  // actually leaves this host. This capture set is the simulator's inline
+  // budget worst case (Simulator::kInlineCallbackBytes) — growing it pushes
+  // the hottest apply-path event onto the heap fallback.
   app_thread_.Submit(result.service_time,
                      [this, idx, rid, reply_here, send_feedback,
                       body = std::move(result.reply)]() {

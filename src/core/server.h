@@ -126,6 +126,7 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   // Protocol CPU beyond raw byte handling, charged on the net thread.
   TimeNs ProtocolCpu(const Message& msg) const;
   void ArmMaintenanceTimers();
+  void ArmGcTimer();
   void ArmCompactionTimer();
   void CompactNow();
 
@@ -145,6 +146,11 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
 
   // Apply pipeline: last log index handed to the app thread.
   LogIndex apply_cursor_ = 0;
+
+  // Maintenance timers; re-arming cancels the previous handle so restarts
+  // never stack duplicate GC/compaction chains.
+  EventId gc_timer_ = kInvalidEvent;
+  EventId compaction_timer_ = kInvalidEvent;
 
   ServerStats stats_;
 };

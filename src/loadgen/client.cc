@@ -128,7 +128,7 @@ TimeNs ClientHost::BackoffAfter(uint32_t attempt) {
 }
 
 void ClientHost::ArmRetryTimer(uint64_t seq, uint32_t attempt) {
-  sim()->After(BackoffAfter(attempt), [this, seq, attempt]() {
+  const EventId timer = sim()->After(BackoffAfter(attempt), [this, seq, attempt]() {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end() || it->second.attempts != attempt) {
       return;  // completed, abandoned, or superseded by a newer attempt
@@ -156,11 +156,16 @@ void ClientHost::ArmRetryTimer(uint64_t seq, uint32_t attempt) {
     Send(ResolveTarget(pending), std::move(request));
     ArmRetryTimer(seq, pending.attempts);
   });
+  auto it = outstanding_.find(seq);
+  if (it != outstanding_.end()) {
+    it->second.retry_timer = timer;
+  }
 }
 
 void ClientHost::Abandon(uint64_t seq) {
   auto it = outstanding_.find(seq);
   HC_CHECK(it != outstanding_.end());
+  sim()->Cancel(it->second.retry_timer);  // no-op when called from the timer itself
   // The operation stays unresolved (open in any observer's history) and its
   // sequence deliberately never advances the ack watermark: acknowledging it
   // would let the servers GC a session entry a stale retransmit could still
@@ -189,6 +194,7 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
     if (it != outstanding_.end()) {
       const Pending pending = std::move(it->second);
       outstanding_.erase(it);
+      sim()->Cancel(pending.retry_timer);
       ++total_completed_;
       if (pending.attempts > 1) {
         ++completed_after_retry_;
@@ -251,6 +257,7 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
       return;
     }
     const TimeNs sent = it->second.first_sent;
+    sim()->Cancel(it->second.retry_timer);
     outstanding_.erase(it);
     if (InWindow(sent)) {
       ++nacked_in_window_;
@@ -270,6 +277,7 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
 
 void ClientHost::AccountLost(TimeNs penalty_ns) {
   for (const auto& [seq, pending] : outstanding_) {
+    sim()->Cancel(pending.retry_timer);
     if (InWindow(pending.first_sent)) {
       ++lost_in_window_;
       latencies_.Record(penalty_ns);

@@ -128,6 +128,9 @@ class ClientHost final : public Host {
     Body body;
     uint32_t attempts = 1;
     bool unrestricted = false;
+    // Armed retry timer, cancelled O(1) when the request resolves. If the
+    // timer already fired, the handle is stale and Cancel is a no-op.
+    EventId retry_timer = kInvalidEvent;
   };
 
   void ScheduleNextArrival();

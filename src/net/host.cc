@@ -30,7 +30,7 @@ void Host::Send(Addr dst, MessagePtr msg, TimeNs extra_cpu) {
   if (kind_ == Kind::kDevice) {
     // Line-rate device: no CPU queueing; the pipeline latency is paid on the
     // receive side, so transmission is immediate.
-    network_->Transmit(packet);
+    network_->Transmit(std::move(packet));
     return;
   }
   // Net thread builds the message, then the NIC serializes it on the wire.
@@ -40,8 +40,11 @@ void Host::Send(Addr dst, MessagePtr msg, TimeNs extra_cpu) {
                      std::string("tx ") + packet.msg->Name(), start,
                      costs_.TxCpu(bytes) + extra_cpu);
   }
+  // Ownership rule: the packet's MessagePtr reference is moved down the TX
+  // pipeline — net thread, then NIC, then fabric — never copied. The lambdas
+  // are mutable solely to allow that handoff.
   net_thread_.Submit(costs_.TxCpu(bytes) + extra_cpu,
-                     [this, packet = std::move(packet), bytes]() {
+                     [this, packet = std::move(packet), bytes]() mutable {
     if (failed_) {
       return;
     }
@@ -52,9 +55,9 @@ void Host::Send(Addr dst, MessagePtr msg, TimeNs extra_cpu) {
                        costs_.SerializationDelay(bytes));
     }
     nic_tx_.Submit(costs_.SerializationDelay(bytes),
-                   [this, packet]() {
+                   [this, packet = std::move(packet)]() mutable {
                      if (!failed_) {
-                       network_->Transmit(packet);
+                       network_->Transmit(std::move(packet));
                      }
                    });
   });

@@ -84,11 +84,14 @@ void Network::ClearFaults() {
   reorder_max_extra_ = 0;
 }
 
-void Network::Transmit(const Packet& packet) {
+void Network::Transmit(Packet packet) {
   // Packet reaches the switch after one link propagation, is forwarded after
   // the cut-through latency, and fans out to each destination port.
+  // Ownership rule: the packet (and its MessagePtr reference) is moved into
+  // the switch-hop event; per-destination references are only taken at
+  // DeliverCopy fan-out.
   const TimeNs at_switch = sim_->Now() + costs_.link_propagation_ns + costs_.switch_latency_ns;
-  sim_->At(at_switch, [this, packet]() {
+  sim_->At(at_switch, [this, packet = std::move(packet)]() {
     if (IsMulticastAddr(packet.dst)) {
       for (HostId member : GroupMembers(packet.dst)) {
         if (member != packet.src) {
@@ -143,6 +146,10 @@ void Network::DeliverCopy(const Packet& packet, HostId dst) {
         rng_.NextBelow(static_cast<uint64_t>(reorder_max_extra_) + 1));
   }
   Host* host = hosts_[static_cast<size_t>(dst)];
+  // Ownership rule: each delivered copy takes its own MessagePtr reference —
+  // a multicast packet fans out to k destinations that outlive the switch
+  // event independently, so this per-copy refcount bump is semantically
+  // required (receivers share the immutable message, never the packet).
   sim_->After(delay, [host, src = packet.src, msg = packet.msg]() { host->Receive(src, msg); });
 }
 

@@ -32,8 +32,10 @@ class Network {
 
   const std::vector<HostId>& GroupMembers(Addr group) const;
 
-  // Entry point used by Host::Send once the packet leaves the NIC.
-  void Transmit(const Packet& packet);
+  // Entry point used by Host::Send once the packet leaves the NIC. Takes the
+  // packet by value: callers hand over their MessagePtr reference and the
+  // fabric moves it through the switch hop without refcount churn.
+  void Transmit(Packet packet);
 
   // Uniform per-frame loss probability (a message is lost if any of its
   // frames is). Applied independently per destination, so multicast can

@@ -68,28 +68,34 @@ void RaftNode::Resume() {
 }
 
 void RaftNode::ArmElectionTimer() {
-  const uint64_t epoch = ++election_epoch_;
+  // Re-arming cancels the previous timer outright (election timeouts re-arm
+  // on every leader contact, so dead timers would otherwise pile up for the
+  // full 5-10ms timeout span). The RNG draw stays one-per-arm, exactly as
+  // under the epoch scheme, so pinned-seed runs are unchanged.
+  sim_->Cancel(election_timer_);
   const TimeNs span = options_.election_timeout_max - options_.election_timeout_min;
   const TimeNs delay =
       options_.election_timeout_min +
       (span > 0 ? static_cast<TimeNs>(rng_.NextBelow(static_cast<uint64_t>(span))) : 0);
-  sim_->After(delay, [this, epoch]() {
+  election_timer_ = sim_->After(delay, [this]() {
+    election_timer_ = kInvalidEvent;
     if (halted_) {
       return;
     }
-    if (epoch == election_epoch_ && role_ != RaftRole::kLeader) {
+    if (role_ != RaftRole::kLeader) {
       StartElection();
     }
   });
 }
 
 void RaftNode::ArmHeartbeatTimer() {
-  const uint64_t epoch = ++heartbeat_epoch_;
-  sim_->After(options_.heartbeat_interval, [this, epoch]() {
+  sim_->Cancel(heartbeat_timer_);
+  heartbeat_timer_ = sim_->After(options_.heartbeat_interval, [this]() {
+    heartbeat_timer_ = kInvalidEvent;
     if (halted_) {
       return;
     }
-    if (epoch == heartbeat_epoch_ && role_ == RaftRole::kLeader) {
+    if (role_ == RaftRole::kLeader) {
       OnHeartbeat();
       ArmHeartbeatTimer();
     }
@@ -136,7 +142,8 @@ void RaftNode::BecomeFollower(Term term, bool reset_vote) {
   }
   role_ = RaftRole::kFollower;
   agg_active_ = false;
-  ++heartbeat_epoch_;  // stop heartbeats
+  sim_->Cancel(heartbeat_timer_);  // stop heartbeats
+  heartbeat_timer_ = kInvalidEvent;
   if (was_leader) {
     env_->OnLeadershipChanged(false);
   }
@@ -206,7 +213,8 @@ void RaftNode::BecomeLeader() {
   // resumes from the tail.
   announced_idx_ = log_.last_index();
 
-  ++election_epoch_;  // cancel the election timer
+  sim_->Cancel(election_timer_);  // cancel the election timer
+  election_timer_ = kInvalidEvent;
   ArmHeartbeatTimer();
 
   if (options_.leader_noop) {

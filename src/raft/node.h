@@ -156,7 +156,8 @@ class RaftNode {
   void StartElection();
   void BecomeLeader();
 
-  // -- timers (epoch-checked, so re-arming invalidates older ones) --
+  // -- timers (cancellable handles: re-arming cancels the previous event in
+  // O(1) instead of leaving a dead timer in the queue) --
   void ArmElectionTimer();
   void ArmHeartbeatTimer();
   void OnHeartbeat();
@@ -215,8 +216,8 @@ class RaftNode {
   bool pending_ae_via_agg_ = false;
   std::unordered_map<RequestId, TimeNs, RequestIdHash> recovery_inflight_;
 
-  uint64_t election_epoch_ = 0;
-  uint64_t heartbeat_epoch_ = 0;
+  EventId election_timer_ = kInvalidEvent;
+  EventId heartbeat_timer_ = kInvalidEvent;
   bool halted_ = false;
 
   ReplierScheduler scheduler_;

@@ -1,0 +1,132 @@
+// The pre-timer-wheel scheduling core, preserved verbatim as an executable
+// specification: one heap-allocated std::function per event pushed through a
+// std::priority_queue, with tombstone-set cancellation.
+//
+// It exists for two reasons:
+//   1. tests/sim_determinism_test.cc replays randomized and golden schedules
+//      through both cores and asserts identical (time, order) sequences —
+//      the proof that the wheel preserves the determinism contract;
+//   2. bench/sim_throughput.cc runs it side by side with the wheel to report
+//      before/after events/sec in BENCH_sim.json (and CI checks the ratio).
+//
+// Deliberately NOT part of the production Simulator API: nothing outside
+// tests and bench may depend on it. Known seed-era quirks are kept as-is
+// (and pinned in tests as the wheel's *fixed* behaviour): Cancel() here
+// accepts already-executed ids, and RunUntil() can overrun `until` when the
+// head of the heap is a tombstone.
+#ifndef SRC_SIM_REFERENCE_HEAP_H_
+#define SRC_SIM_REFERENCE_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace hovercraft {
+
+class ReferenceHeapScheduler {
+ public:
+  using EventId = uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  ReferenceHeapScheduler() = default;
+  ReferenceHeapScheduler(const ReferenceHeapScheduler&) = delete;
+  ReferenceHeapScheduler& operator=(const ReferenceHeapScheduler&) = delete;
+
+  TimeNs Now() const { return now_; }
+
+  EventId At(TimeNs when, std::function<void()> fn) {
+    HC_CHECK_GE(when, now_);
+    const EventId id = next_id_++;
+    heap_.push(Event{when, id, std::move(fn)});
+    return id;
+  }
+
+  EventId After(TimeNs delay, std::function<void()> fn) { return At(now_ + delay, std::move(fn)); }
+
+  bool Cancel(EventId id) {
+    if (id == kInvalidEvent || id >= next_id_) {
+      return false;
+    }
+    // Cannot remove from the middle of the heap; mark and skip on pop.
+    auto [it, inserted] = cancelled_.insert(id);
+    (void)it;
+    return inserted;
+  }
+
+  bool Step() {
+    while (!heap_.empty()) {
+      // priority_queue::top is const; the function object must be moved out,
+      // so we const_cast here — the element is popped immediately afterwards.
+      Event& top = const_cast<Event&>(heap_.top());
+      const TimeNs when = top.when;
+      const EventId id = top.id;
+      std::function<void()> fn = std::move(top.fn);
+      heap_.pop();
+      auto cancelled_it = cancelled_.find(id);
+      if (cancelled_it != cancelled_.end()) {
+        cancelled_.erase(cancelled_it);
+        continue;
+      }
+      now_ = when;
+      ++executed_;
+      fn();
+      return true;
+    }
+    return false;
+  }
+
+  uint64_t RunUntil(TimeNs until) {
+    uint64_t ran = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+      if (Step()) {
+        ++ran;
+      }
+    }
+    if (now_ < until) {
+      now_ = until;
+    }
+    return ran;
+  }
+
+  uint64_t RunToCompletion() {
+    uint64_t ran = 0;
+    while (Step()) {
+      ++ran;
+    }
+    return ran;
+  }
+
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimeNs when;
+    EventId id;  // also the tie-break: ids are strictly increasing
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_SIM_REFERENCE_HEAP_H_

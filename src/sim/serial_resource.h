@@ -5,7 +5,7 @@
 #define SRC_SIM_SERIAL_RESOURCE_H_
 
 #include <algorithm>
-#include <functional>
+#include <deque>
 #include <utility>
 
 #include "src/common/check.h"
@@ -14,26 +14,38 @@
 
 namespace hovercraft {
 
-class SerialResource {
+// This is the hottest recurring event source in the simulation (every packet
+// crosses several SerialResources), so it uses the EventHandler flavour of
+// scheduling: the wheel stores one 8-byte pointer per completion and the
+// completion callback lives inline in done_queue_ — no per-item allocation.
+class SerialResource final : public EventHandler {
  public:
   explicit SerialResource(Simulator* sim) : sim_(sim) { HC_CHECK(sim != nullptr); }
 
   // Enqueues a work item costing `cost` ns; `on_done` (may be empty) runs at
   // completion time. Returns the completion time.
-  TimeNs Submit(TimeNs cost, std::function<void()> on_done = nullptr) {
+  TimeNs Submit(TimeNs cost, Simulator::Callback on_done = nullptr) {
     HC_CHECK_GE(cost, 0);
     const TimeNs start = std::max(sim_->Now(), busy_until_);
     const TimeNs done = start + cost;
     busy_until_ = done;
     ++queued_;
     total_busy_ += cost;
-    sim_->At(done, [this, on_done = std::move(on_done)]() {
-      --queued_;
-      if (on_done) {
-        on_done();
-      }
-    });
+    // Completion times are non-decreasing and equal times fire in schedule
+    // order, so completions pop done_queue_ strictly in submit order.
+    done_queue_.push_back(std::move(on_done));
+    sim_->At(done, this);
     return done;
+  }
+
+  void OnEvent() override {
+    HC_CHECK(!done_queue_.empty());
+    Simulator::Callback on_done = std::move(done_queue_.front());
+    done_queue_.pop_front();
+    --queued_;
+    if (on_done) {
+      on_done();
+    }
   }
 
   // Number of submitted-but-not-finished items (includes the one in service).
@@ -50,6 +62,7 @@ class SerialResource {
   TimeNs busy_until_ = 0;
   int64_t queued_ = 0;
   TimeNs total_busy_ = 0;
+  std::deque<Simulator::Callback> done_queue_;
 };
 
 }  // namespace hovercraft

@@ -1,54 +1,94 @@
 #include "src/sim/simulator.h"
 
+#include <limits>
 #include <utility>
 
 namespace hovercraft {
+namespace {
 
-EventId Simulator::At(TimeNs when, std::function<void()> fn) {
+// 8-byte inline trampoline for the EventHandler flavour of At(): the wheel
+// stores only the pointer, so re-arming a recurring handler never allocates.
+struct HandlerThunk {
+  EventHandler* handler;
+  void operator()() const { handler->OnEvent(); }
+};
+
+// Sentinel limit for Step()/RunToCompletion(): find the next event wherever
+// it is, and leave wheel_pos_ untouched when the queue is empty (clamping to
+// the sentinel would strand the cursor beyond now_).
+constexpr TimeNs kNoLimit = std::numeric_limits<TimeNs>::max();
+
+constexpr int kBlockShift = 32;  // kWheelBits * kLevels; one wheel "block"
+
+}  // namespace
+
+EventId Simulator::ScheduleCallback(TimeNs when, Callback fn) {
   HC_CHECK_GE(when, now_);
-  const EventId id = next_id_++;
-  heap_.push(Event{when, id, std::move(fn)});
-  return id;
+  const uint32_t idx = AllocSlot();
+  Event& e = slot(idx);
+  e.when = when;
+  e.seq = next_seq_++;
+  e.state = SlotState::kPending;
+  e.fn = std::move(fn);
+  ++live_;
+  Place(idx);
+  return MakeId(e.gen, idx);
+}
+
+EventId Simulator::At(TimeNs when, EventHandler* handler) {
+  HC_CHECK(handler != nullptr);
+  return ScheduleCallback(when, Callback(HandlerThunk{handler}));
 }
 
 bool Simulator::Cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_) {
+  if (id == kInvalidEvent) {
     return false;
   }
-  // We cannot remove from the middle of the heap; mark and skip on pop.
-  auto [it, inserted] = cancelled_.insert(id);
-  (void)it;
-  return inserted;
+  const uint32_t idx = static_cast<uint32_t>(id & 0xFFFFFFFFu) - 1;
+  const uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (static_cast<size_t>(idx) >= slabs_.size() * kSlabSize) {
+    return false;
+  }
+  Event& e = slot(idx);
+  // The generation check rejects stale handles in O(1): executed, cancelled
+  // and recycled slots have all moved past the handle's generation.
+  if (e.gen != gen || e.state != SlotState::kPending) {
+    return false;
+  }
+  if (e.level == kLevelOverflow) {
+    // The map node is reclaimed lazily when its block is reached; bump the
+    // generation now so the handle is dead, and drop the callback so any
+    // captured resources (messages, buffers) release immediately.
+    e.state = SlotState::kCancelledOverflow;
+    ++e.gen;
+    e.fn = nullptr;
+  } else {
+    UnlinkFromBucket(idx);
+    FreeSlot(idx);
+  }
+  --live_;
+  ++cancelled_;
+  return true;
 }
 
 bool Simulator::Step() {
-  while (!heap_.empty()) {
-    // priority_queue::top is const; the function object must be moved out, so
-    // we const_cast here — the element is popped immediately afterwards.
-    Event& top = const_cast<Event&>(heap_.top());
-    const TimeNs when = top.when;
-    const EventId id = top.id;
-    std::function<void()> fn = std::move(top.fn);
-    heap_.pop();
-    auto cancelled_it = cancelled_.find(id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
-    now_ = when;
-    ++executed_;
-    fn();
-    return true;
+  const uint32_t idx = FindNext(kNoLimit);
+  if (idx == kNil) {
+    return false;
   }
-  return false;
+  ExecuteSlot(idx);
+  return true;
 }
 
 uint64_t Simulator::RunUntil(TimeNs until) {
   uint64_t ran = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
-    if (Step()) {
-      ++ran;
+  while (true) {
+    const uint32_t idx = FindNext(until);
+    if (idx == kNil) {
+      break;
     }
+    ExecuteSlot(idx);
+    ++ran;
   }
   if (now_ < until) {
     now_ = until;
@@ -62,6 +102,214 @@ uint64_t Simulator::RunToCompletion() {
     ++ran;
   }
   return ran;
+}
+
+void Simulator::ExecuteSlot(uint32_t idx) {
+  Event& e = slot(idx);
+  now_ = e.when;
+  UnlinkFromBucket(idx);
+  // Move the callback out and recycle the slot *before* invoking: the
+  // callback may schedule new events (reusing this very slot) or cancel
+  // others, and the handle must already be stale by then.
+  Callback fn = std::move(e.fn);
+  FreeSlot(idx);
+  --live_;
+  ++executed_;
+  fn();
+}
+
+uint32_t Simulator::AllocSlot() {
+  if (freelist_ == kNil) {
+    const uint32_t base = static_cast<uint32_t>(slabs_.size()) * kSlabSize;
+    slabs_.push_back(std::make_unique<Event[]>(kSlabSize));
+    Event* slab = slabs_.back().get();
+    for (int i = kSlabSize - 1; i >= 0; --i) {
+      slab[i].next = freelist_;
+      freelist_ = base + static_cast<uint32_t>(i);
+    }
+  }
+  const uint32_t idx = freelist_;
+  freelist_ = slot(idx).next;
+  return idx;
+}
+
+void Simulator::FreeSlot(uint32_t idx) {
+  Event& e = slot(idx);
+  e.fn = nullptr;
+  e.state = SlotState::kFree;
+  ++e.gen;  // invalidates every outstanding handle to this slot
+  e.prev = kNil;
+  e.next = freelist_;
+  freelist_ = idx;
+}
+
+void Simulator::Place(uint32_t idx) {
+  Event& e = slot(idx);
+  if ((e.when >> kBlockShift) != (wheel_pos_ >> kBlockShift)) {
+    e.level = kLevelOverflow;
+    overflow_.emplace(std::make_pair(e.when, e.seq), idx);
+  } else {
+    PlaceInWheel(idx);
+  }
+}
+
+void Simulator::PlaceInWheel(uint32_t idx) {
+  Event& e = slot(idx);
+  // Lowest level whose window (relative to the cursor) still contains the
+  // event; an event never lands at its level's *current* index — it would
+  // have matched one level down instead — which is what lets FindNext scan
+  // upper levels from index + 1.
+  for (int level = 0; level < kLevels - 1; ++level) {
+    const int window_shift = (level + 1) * kWheelBits;
+    if ((e.when >> window_shift) == (wheel_pos_ >> window_shift)) {
+      AppendToBucket(level, static_cast<int>((e.when >> (level * kWheelBits)) & (kWheelSize - 1)), idx);
+      return;
+    }
+  }
+  AppendToBucket(kLevels - 1,
+                 static_cast<int>((e.when >> ((kLevels - 1) * kWheelBits)) & (kWheelSize - 1)), idx);
+}
+
+void Simulator::AppendToBucket(int level, int bucket, uint32_t idx) {
+  Event& e = slot(idx);
+  e.level = static_cast<uint8_t>(level);
+  e.bucket = static_cast<uint16_t>(bucket);
+  e.next = kNil;
+  Bucket& b = buckets_[level][bucket];
+  e.prev = b.tail;
+  if (b.tail == kNil) {
+    b.head = idx;
+    bitmap_[level].Set(bucket);
+  } else {
+    slot(b.tail).next = idx;
+  }
+  b.tail = idx;
+}
+
+void Simulator::UnlinkFromBucket(uint32_t idx) {
+  Event& e = slot(idx);
+  Bucket& b = buckets_[e.level][e.bucket];
+  if (e.prev != kNil) {
+    slot(e.prev).next = e.next;
+  } else {
+    b.head = e.next;
+  }
+  if (e.next != kNil) {
+    slot(e.next).prev = e.prev;
+  } else {
+    b.tail = e.prev;
+  }
+  if (b.head == kNil) {
+    bitmap_[e.level].Clear(static_cast<int>(e.bucket));
+  }
+}
+
+void Simulator::CascadeBucket(int level, int bucket) {
+  Bucket& b = buckets_[level][bucket];
+  uint32_t idx = b.head;
+  b.head = kNil;
+  b.tail = kNil;
+  bitmap_[level].Clear(bucket);
+  // Re-filing in list order keeps equal-`when` events in seq order: they
+  // always map to the same lower-level bucket, and appends are in-order.
+  while (idx != kNil) {
+    const uint32_t next = slot(idx).next;
+    PlaceInWheel(idx);
+    idx = next;
+  }
+}
+
+void Simulator::MigrateOverflowBlock() {
+  const TimeNs block = overflow_.begin()->first.first >> kBlockShift;
+  auto it = overflow_.begin();
+  while (it != overflow_.end() && (it->first.first >> kBlockShift) == block) {
+    const uint32_t idx = it->second;
+    it = overflow_.erase(it);
+    Event& e = slot(idx);
+    if (e.state == SlotState::kCancelledOverflow) {
+      FreeSlot(idx);  // lazy reclamation of a cancelled far timer
+    } else {
+      // Map order is (when, seq), so equal-`when` events arrive seq-ordered
+      // and land in their bucket in seq order — the determinism invariant.
+      PlaceInWheel(idx);
+    }
+  }
+}
+
+uint32_t Simulator::FindNext(TimeNs limit) {
+  while (true) {
+    // Level 0: exact 1ns buckets for the current 256ns window. A hit here is
+    // the next event; all events in one bucket share the same `when`, and
+    // list order within a bucket is seq order, so the head is the winner.
+    const int b0 = bitmap_[0].FindAtOrAfter(static_cast<int>(wheel_pos_ & (kWheelSize - 1)));
+    if (b0 >= 0) {
+      const TimeNs t = (wheel_pos_ & ~TimeNs{kWheelSize - 1}) | b0;
+      if (t > limit) {
+        break;
+      }
+      wheel_pos_ = t;
+      return buckets_[0][b0].head;
+    }
+    // Upper levels, nearest first: advance to the next occupied bucket in the
+    // current window and cascade it down. The *current* index at each upper
+    // level is always empty (its events cascaded when the cursor entered the
+    // window), so the scan starts at index + 1 — and a hit at level L is
+    // strictly earlier than anything at level L+1, so the first hit wins.
+    int cascade_level = -1;
+    TimeNs cascade_time = 0;
+    for (int level = 1; level < kLevels; ++level) {
+      const int shift = level * kWheelBits;
+      const int b = bitmap_[level].FindAtOrAfter(
+          static_cast<int>((wheel_pos_ >> shift) & (kWheelSize - 1)) + 1);
+      if (b >= 0) {
+        cascade_level = level;
+        cascade_time =
+            (wheel_pos_ & ~((TimeNs{1} << (shift + kWheelBits)) - 1)) | (TimeNs{b} << shift);
+        break;
+      }
+    }
+    if (cascade_level > 0) {
+      if (cascade_time > limit) {
+        break;
+      }
+      wheel_pos_ = cascade_time;
+      CascadeBucket(cascade_level,
+                    static_cast<int>((cascade_time >> (cascade_level * kWheelBits)) & (kWheelSize - 1)));
+      continue;
+    }
+    // Wheels are empty; the next event, if any, sits in the overflow tier.
+    // Drop lazily-cancelled entries so the head is a pending event.
+    while (!overflow_.empty()) {
+      const uint32_t idx = overflow_.begin()->second;
+      if (slot(idx).state != SlotState::kCancelledOverflow) {
+        break;
+      }
+      overflow_.erase(overflow_.begin());
+      FreeSlot(idx);
+    }
+    if (overflow_.empty()) {
+      break;
+    }
+    const TimeNs block_start = overflow_.begin()->first.first & ~TimeNs{(TimeNs{1} << kBlockShift) - 1};
+    if (block_start > limit) {
+      break;
+    }
+    // Enter the head block and drain it into the wheels, then re-scan. This
+    // must happen as soon as the cursor's block can reach the head's block —
+    // even if the head event itself is beyond `limit` — so that any future
+    // At() into this block appends *after* the (earlier-seq) migrated
+    // events in their shared bucket.
+    wheel_pos_ = block_start;
+    MigrateOverflowBlock();
+  }
+  // Nothing runnable at or before `limit`. Park the cursor at `limit` so it
+  // never trails behind now_ (RunUntil is about to set now_ = until), but
+  // never past it — an unexecuted future event must stay ahead of the
+  // cursor, and with no limit (Step on an empty queue) the cursor stays put.
+  if (limit != kNoLimit && wheel_pos_ < limit) {
+    wheel_pos_ = limit;
+  }
+  return kNil;
 }
 
 }  // namespace hovercraft

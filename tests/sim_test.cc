@@ -100,6 +100,173 @@ TEST(SimulatorTest, CountsExecutedEvents) {
   EXPECT_EQ(sim.executed_events(), 5u);
 }
 
+// Satellite fix (ISSUE 4): counter semantics around cancellation. A
+// cancelled event is never "executed", pending_events() excludes it
+// immediately, and cancelled_events() counts each successful Cancel once.
+TEST(SimulatorTest, CancelledEventsCountedSeparatelyFromExecuted) {
+  Simulator sim;
+  const EventId a = sim.At(10, []() {});
+  sim.At(20, []() {});
+  const EventId c = sim.At(30, []() {});
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_TRUE(sim.Cancel(a));
+  EXPECT_TRUE(sim.Cancel(c));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.cancelled_events(), 2u);
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.executed_events(), 1u);  // cancelled-then-popped must not count
+  EXPECT_EQ(sim.cancelled_events(), 2u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// Regression (seed bug): Cancel() used to accept any previously issued id,
+// including one whose event already ran, permanently corrupting
+// pending_events(). A handle goes stale the moment its event executes.
+TEST(SimulatorTest, CancelAfterExecuteFails) {
+  Simulator sim;
+  const EventId id = sim.At(10, []() {});
+  sim.RunToCompletion();
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.cancelled_events(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// A recycled slot must not resurrect an old handle: cancelling the stale id
+// leaves the new event untouched.
+TEST(SimulatorTest, StaleHandleDoesNotAliasRecycledSlot) {
+  Simulator sim;
+  const EventId old_id = sim.At(10, []() {});
+  ASSERT_TRUE(sim.Cancel(old_id));
+  bool ran = false;
+  sim.At(10, [&]() { ran = true; });  // may reuse the freed slot
+  EXPECT_FALSE(sim.Cancel(old_id));
+  sim.RunToCompletion();
+  EXPECT_TRUE(ran);
+}
+
+// Regression (seed bug): RunUntil checked only the queue head's time, so a
+// cancelled head let it execute an event *beyond* `until`.
+TEST(SimulatorTest, RunUntilWithCancelledHeadDoesNotOverrun) {
+  Simulator sim;
+  bool late_ran = false;
+  const EventId head = sim.At(10, []() {});
+  sim.At(20, [&]() { late_ran = true; });
+  ASSERT_TRUE(sim.Cancel(head));
+  EXPECT_EQ(sim.RunUntil(15), 0u);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.Now(), 15);
+  sim.RunToCompletion();
+  EXPECT_TRUE(late_ran);
+  EXPECT_EQ(sim.Now(), 20);
+}
+
+// Satellite fix (ISSUE 4): At() documents `when >= Now()` and now enforces
+// it — scheduling into the past would silently reorder history.
+TEST(SimulatorDeathTest, AtInThePastChecks) {
+  Simulator sim;
+  sim.At(100, []() {});
+  sim.RunToCompletion();
+  ASSERT_EQ(sim.Now(), 100);
+  EXPECT_DEATH(sim.At(50, []() {}), "when");
+}
+
+namespace {
+struct CountingHandler : EventHandler {
+  Simulator* sim = nullptr;
+  int fires = 0;
+  int rearm_until = 0;
+  TimeNs period = 0;
+  void OnEvent() override {
+    ++fires;
+    if (fires < rearm_until) {
+      sim->After(period, this);  // re-arm: stores only the pointer
+    }
+  }
+};
+}  // namespace
+
+// The EventHandler flavour: recurring events re-arm through a vtable pointer
+// with no callback object at all, and interleave correctly with lambdas.
+TEST(SimulatorTest, EventHandlerPathFiresAndRearms) {
+  Simulator sim;
+  CountingHandler handler;
+  handler.sim = &sim;
+  handler.rearm_until = 5;
+  handler.period = 10;
+  std::vector<int> order;
+  sim.At(10, &handler);
+  sim.At(10, [&]() { order.push_back(1); });  // same time, scheduled later
+  sim.RunToCompletion();
+  EXPECT_EQ(handler.fires, 5);
+  EXPECT_EQ(sim.Now(), 50);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(sim.executed_events(), 6u);
+}
+
+// A handler event is cancellable like any other.
+TEST(SimulatorTest, EventHandlerCancellable) {
+  Simulator sim;
+  CountingHandler handler;
+  handler.sim = &sim;
+  handler.rearm_until = 1;
+  const EventId id = sim.At(10, &handler);
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunToCompletion();
+  EXPECT_EQ(handler.fires, 0);
+}
+
+// Far-future events (beyond the wheel horizon, ~4.3s) cross the overflow
+// tier and still execute in exact (time, schedule order) order, including
+// ties straddling the tier boundary.
+TEST(SimulatorTest, FarFutureEventsPreserveOrderAcrossOverflow) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimeNs far = Millis(5'000);                 // > 2^32 ns: overflow tier
+  sim.At(far, [&]() { order.push_back(1); });
+  sim.At(far + 1, [&]() { order.push_back(2); });
+  sim.At(5, [&]() {
+    // Scheduled *during* the run at the same far time: must run after the
+    // earlier-scheduled overflow event at `far`, before the one at far+1.
+    sim.At(far, [&]() { order.push_back(3); });
+  });
+  sim.At(Millis(100), [&]() { order.push_back(4); });  // deep wheel (level 3)
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{4, 1, 3, 2}));
+  EXPECT_EQ(sim.Now(), far + 1);
+}
+
+// Cancelling a far-future (overflow-tier) event works and the reclaimed
+// slot is accounted exactly once.
+TEST(SimulatorTest, CancelFarFutureEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.At(Millis(6'000), [&]() { ran = true; });
+  sim.At(Millis(5'000), []() {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  sim.RunToCompletion();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.Now(), Millis(5'000));
+  EXPECT_EQ(sim.executed_events(), 1u);
+  EXPECT_EQ(sim.cancelled_events(), 1u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// RunUntil stopping mid-wheel must leave later schedules reachable: an event
+// scheduled exactly at the paused deadline still runs on the next slice.
+TEST(SimulatorTest, ScheduleAtPausedDeadlineRuns) {
+  Simulator sim;
+  sim.At(Millis(30), []() {});  // parked beyond the first slice
+  sim.RunUntil(1000);
+  ASSERT_EQ(sim.Now(), 1000);
+  bool ran = false;
+  sim.At(1000, [&]() { ran = true; });  // exactly at the pause point
+  sim.RunUntil(2000);
+  EXPECT_TRUE(ran);
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.Now(), Millis(30));
+}
+
 // ---------------------------------------------------------------------------
 // SerialResource
 // ---------------------------------------------------------------------------
