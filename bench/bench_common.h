@@ -185,10 +185,16 @@ class BenchIo {
     return r;
   }
 
+  // Marks the run failed: Finish() will return a nonzero exit code after
+  // still writing the requested outputs. For benches that double as
+  // acceptance checks (e.g. fig9_live_rescale, fig12_failover).
+  void Fail() { failed_ = true; }
+
   // Writes the requested output files; call once at the end of main.
-  // Returns the process exit code (0, or 2 on I/O failure).
+  // Returns the process exit code (0; 1 if Fail() was called; 2 on I/O
+  // failure).
   int Finish() {
-    if (obs_ == nullptr) return 0;
+    if (obs_ == nullptr) return failed_ ? 1 : 0;
     if (auto* tracer = obs_->tracer()) {
       std::ofstream out(trace_out_, std::ios::binary);
       if (!out) {
@@ -209,7 +215,7 @@ class BenchIo {
       obs_->metrics().DumpJson(out);
       std::printf("metrics: %zu entries -> %s\n", obs_->metrics().size(), metrics_out_.c_str());
     }
-    return 0;
+    return failed_ ? 1 : 0;
   }
 
  private:
@@ -225,6 +231,7 @@ class BenchIo {
   std::string trace_out_;
   std::string metrics_out_;
   TimeNs sample_interval_ = Micros(100);
+  bool failed_ = false;
   std::unique_ptr<obs::Observability> obs_;
 };
 

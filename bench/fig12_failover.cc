@@ -125,11 +125,26 @@ void Run(benchutil::BenchIo& io) {
   for (NodeId n = 0; n < 3; ++n) {
     feedback += cluster.server(n).server_stats().feedback_sent;
   }
+  const FlowControl& fc = *cluster.flow_control();
   std::printf("flow control: outstanding=%lld forwarded=%llu nacked=%llu feedback=%llu\n",
-              static_cast<long long>(cluster.flow_control()->outstanding()),
-              static_cast<unsigned long long>(cluster.flow_control()->forwarded()),
-              static_cast<unsigned long long>(cluster.flow_control()->nacked()),
+              static_cast<long long>(fc.outstanding()),
+              static_cast<unsigned long long>(fc.forwarded()),
+              static_cast<unsigned long long>(fc.nacked()),
               static_cast<unsigned long long>(feedback));
+  std::printf(
+      "              reconciles=%llu reconciled_released=%llu force_released=%llu\n",
+      static_cast<unsigned long long>(fc.reconciles_started()),
+      static_cast<unsigned long long>(fc.reconciled_released()),
+      static_cast<unsigned long long>(fc.force_released()));
+  // Admission-slot ledger convergence: requests in flight at the instant the
+  // leader died repay their slots through the new leader's reconcile answers
+  // rather than leaking. After the drain the ledger must be exactly empty —
+  // no "known bounded residual" caveat (DESIGN.md section 5c).
+  if (fc.outstanding() != 0) {
+    std::printf("FAIL: flow-control ledger did not converge (outstanding=%lld)\n",
+                static_cast<long long>(fc.outstanding()));
+    io.Fail();
+  }
   std::printf("final leader: node %d (term %llu)\n", cluster.LeaderId(),
               static_cast<unsigned long long>(
                   cluster.server(cluster.LeaderId()).raft()->term()));

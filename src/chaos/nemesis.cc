@@ -29,9 +29,10 @@ std::string FormatMs(TimeNs t) {
 
 const std::vector<std::string>& Nemesis::ScheduleNames() {
   static const std::vector<std::string> kNames = {
-      "none",           "partition-leader", "partition-halves", "asym-leader",
-      "delay",          "reorder",          "flap",             "crash-follower",
-      "crash-leader",   "drop-replies",     "crash-replier",    "random",
+      "none",           "partition-leader", "partition-halves",    "asym-leader",
+      "delay",          "reorder",          "flap",                "crash-follower",
+      "crash-leader",   "drop-replies",     "crash-replier",       "churn-cycle",
+      "churn-remove-leader",                "churn-add-partition", "random",
   };
   return kNames;
 }
@@ -66,11 +67,12 @@ NodeId Nemesis::CurrentLeaderOr(NodeId fallback) {
 }
 
 NodeId Nemesis::PickFollower(NodeId leader) {
-  const int32_t n = cluster_->node_count();
-  // A live non-leader if one exists; otherwise any non-leader.
+  // A live non-leader *member* if one exists; otherwise any non-leader
+  // member. Spares and removed nodes are not followers — faulting them
+  // would waste the fault on a node the cluster no longer depends on.
   std::vector<NodeId> live;
   std::vector<NodeId> any;
-  for (NodeId node = 0; node < n; ++node) {
+  for (NodeId node : cluster_->Members()) {
     if (node == leader) {
       continue;
     }
@@ -80,7 +82,49 @@ NodeId Nemesis::PickFollower(NodeId leader) {
     }
   }
   const auto& pool = live.empty() ? any : live;
+  if (pool.empty()) {
+    return leader;  // single-member cluster; callers degrade to a no-op fault
+  }
   return pool[rng_.NextBelow(pool.size())];
+}
+
+NodeId Nemesis::PickSpare() {
+  // A built-but-unconfigured server the management plane could add.
+  std::vector<NodeId> spares;
+  for (NodeId node = 0; node < cluster_->total_node_count(); ++node) {
+    if (!cluster_->IsMember(node) && !cluster_->server(node).failed() &&
+        cluster_->server(node).raft() != nullptr &&
+        !cluster_->server(node).raft()->retired()) {
+      spares.push_back(node);
+    }
+  }
+  if (spares.empty()) {
+    return kInvalidNode;
+  }
+  return spares[rng_.NextBelow(spares.size())];
+}
+
+void Nemesis::AddSpare() {
+  const NodeId spare = PickSpare();
+  if (spare == kInvalidNode) {
+    Log("churn: add skipped (no spare available)");
+    return;
+  }
+  cluster_->AddServer(spare);
+  Log("churn: add node " + std::to_string(spare));
+}
+
+void Nemesis::RemoveOne(bool leader) {
+  // Never churn below two members: the management plane would happily shrink
+  // to a singleton, but a one-node "cluster" makes every later fault in the
+  // schedule (and the post-window checks) degenerate.
+  if (cluster_->Members().size() <= 2) {
+    Log("churn: remove skipped (membership at minimum)");
+    return;
+  }
+  const NodeId victim = leader ? CurrentLeaderOr(0) : PickFollower(CurrentLeaderOr(0));
+  cluster_->RemoveServer(victim);
+  Log("churn: remove node " + std::to_string(victim) + (leader ? " (leader)" : " (follower)"));
 }
 
 void Nemesis::IsolateLeader() {
@@ -94,7 +138,8 @@ void Nemesis::SplitHalves() {
   // majority side (which also holds clients and middleboxes — they stay in
   // group 0) to elect a new leader.
   const NodeId leader = CurrentLeaderOr(0);
-  const int32_t minority = (cluster_->node_count() - 1) / 2;
+  const int32_t minority =
+      (static_cast<int32_t>(cluster_->Members().size()) - 1) / 2;
   std::vector<HostId> cut = {cluster_->server_host(leader)};
   while (static_cast<int32_t>(cut.size()) < minority) {
     const NodeId extra = PickFollower(leader);
@@ -114,7 +159,7 @@ void Nemesis::AsymBlockLeader() {
   // the new term from the inbound traffic it still receives.
   const NodeId leader = CurrentLeaderOr(0);
   const HostId src = cluster_->server_host(leader);
-  for (NodeId node = 0; node < cluster_->node_count(); ++node) {
+  for (NodeId node = 0; node < cluster_->total_node_count(); ++node) {
     if (node == leader) {
       continue;
     }
@@ -126,10 +171,11 @@ void Nemesis::AsymBlockLeader() {
 }
 
 void Nemesis::InjectDelay(TimeNs extra) {
-  // Slow every server-to-server link; client traffic keeps normal latency,
-  // so replication lags the multicast data path (stresses the unordered
-  // store and recovery).
-  const int32_t n = cluster_->node_count();
+  // Slow every server-to-server link (spares included, so learner catch-up
+  // traffic is slowed too); client traffic keeps normal latency, so
+  // replication lags the multicast data path (stresses the unordered store
+  // and recovery).
+  const int32_t n = cluster_->total_node_count();
   for (NodeId a = 0; a < n; ++a) {
     for (NodeId b = 0; b < n; ++b) {
       if (a != b) {
@@ -168,12 +214,16 @@ void Nemesis::FlapLink(bool block) {
 }
 
 void Nemesis::CrashOne(bool leader) {
-  // Keep a majority alive: only crash when every node is up. (With the
-  // smallest practical cluster, n = 3, a second simultaneous crash would
-  // stall the window and the post-settle liveness check.)
-  if (cluster_->LiveNodeCount() < cluster_->node_count()) {
-    Log("crash: skipped (a node is already down)");
-    return;
+  // Keep a majority of the current membership alive: only crash when every
+  // member is up. (With the smallest practical cluster, n = 3, a second
+  // simultaneous crash would stall the window and the post-settle liveness
+  // check.) Dead spares don't count against the gate — the members carry
+  // the quorum.
+  for (NodeId node : cluster_->Members()) {
+    if (cluster_->server(node).failed()) {
+      Log("crash: skipped (a member is already down)");
+      return;
+    }
   }
   const NodeId victim =
       leader ? CurrentLeaderOr(0) : PickFollower(CurrentLeaderOr(0));
@@ -191,7 +241,7 @@ void Nemesis::DropReplies() {
     return;
   }
   int cut = 0;
-  for (NodeId node = 0; node < cluster_->node_count(); ++node) {
+  for (NodeId node = 0; node < cluster_->total_node_count(); ++node) {
     if (cluster_->server(node).failed()) {
       continue;
     }
@@ -232,10 +282,12 @@ void Nemesis::CrashReplierVictim() {
   if (replier_victim_ == kInvalidNode) {
     return;
   }
-  if (cluster_->LiveNodeCount() < cluster_->node_count()) {
-    Log("crash-replier: crash skipped (a node is already down)");
-    replier_victim_ = kInvalidNode;
-    return;
+  for (NodeId node : cluster_->Members()) {
+    if (cluster_->server(node).failed()) {
+      Log("crash-replier: crash skipped (a member is already down)");
+      replier_victim_ = kInvalidNode;
+      return;
+    }
   }
   cluster_->KillNode(replier_victim_);
   Log("crash-replier: crash node " + std::to_string(replier_victim_));
@@ -243,7 +295,7 @@ void Nemesis::CrashReplierVictim() {
 }
 
 void Nemesis::RestartDead() {
-  for (NodeId node = 0; node < cluster_->node_count(); ++node) {
+  for (NodeId node = 0; node < cluster_->total_node_count(); ++node) {
     if (cluster_->server(node).failed()) {
       cluster_->RestartNode(node);
       Log("restart: node " + std::to_string(node));
@@ -321,6 +373,30 @@ void Nemesis::ArmScripted() {
     At(s + w / 2, [this] { HealNetwork(); });
     At(s + 5 * w / 8, [this] { DropReplies(); });
     At(s + 7 * w / 8, [this] { HealNetwork(); });
+  } else if (name == "churn-cycle") {
+    // Continuous replace loop: grow by a spare, shrink by a follower, twice.
+    // Each change rides the management plane, which retries until commit, so
+    // a proposal landing during an election window still goes through.
+    At(s + w / 8, [this] { AddSpare(); });
+    At(s + 3 * w / 8, [this] { RemoveOne(false); });
+    At(s + 5 * w / 8, [this] { AddSpare(); });
+    At(s + 7 * w / 8, [this] { RemoveOne(false); });
+  } else if (name == "churn-remove-leader") {
+    // Remove the node currently leading: it must commit its own removal,
+    // step down, and retire; a spare then replaces it, and the new leader is
+    // removed in turn.
+    At(s + w / 8, [this] { RemoveOne(true); });
+    At(s + w / 2, [this] { AddSpare(); });
+    At(s + 3 * w / 4, [this] { RemoveOne(true); });
+  } else if (name == "churn-add-partition") {
+    // Propose an add while a partition is live. The split cuts off the old
+    // leader; until the majority side elects, the stale leader may accept
+    // (and later truncate) the config entry — the management plane must not
+    // count that as done. After the heal, the add commits; then shrink back.
+    At(s + w / 8, [this] { SplitHalves(); });
+    At(s + 3 * w / 16, [this] { AddSpare(); });
+    At(s + w / 2, [this] { HealNetwork(); });
+    At(s + 11 * w / 16, [this] { RemoveOne(false); });
   } else if (name == "crash-replier") {
     // Mute a replier's client-facing links, let it execute in the dark for a
     // slice of the window, then crash it: every request it answered-but-not-

@@ -9,8 +9,9 @@
 // exact same fault sequence — the harness's whole point.
 //
 // Invariants the nemesis maintains:
-//  - a majority of nodes stays alive at all times (crashes are gated on
-//    LiveNodeCount(), so liveness checks after the window are meaningful);
+//  - a majority of the *current members* stays alive at all times (crashes
+//    are gated on member liveness, so checks after the window are
+//    meaningful even while the membership churns);
 //  - by `end`, all network faults are healed and all crashed nodes have been
 //    restarted, so the post-window settle phase can expect convergence.
 #ifndef SRC_CHAOS_NEMESIS_H_
@@ -61,9 +62,14 @@ class Nemesis {
   void At(TimeNs when, std::function<void()> fn);
   void Log(const std::string& text);
 
-  // Fire-time helpers; each resolves leader/followers at call time.
+  // Fire-time helpers; each resolves leader/followers/members at call time.
   NodeId CurrentLeaderOr(NodeId fallback);
   NodeId PickFollower(NodeId leader);
+  NodeId PickSpare();
+  // Membership churn (the "churn-*" schedules): propose config changes
+  // through the cluster's management plane, which retries until commit.
+  void AddSpare();
+  void RemoveOne(bool leader);
   void IsolateLeader();
   void SplitHalves();
   void AsymBlockLeader();

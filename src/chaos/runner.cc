@@ -25,6 +25,11 @@ std::string ChaosRunResult::Describe() const {
     out << "non-linearizable key: " << linearizability.failure_key << "\n";
   }
   out << "dropped_by_fault=" << dropped_by_fault << "\n"
+      << "members (config idx " << final_config_idx << "):";
+  for (NodeId m : final_members) {
+    out << " " << m;
+  }
+  out << "\n"
       << "retry: retransmits=" << retransmits
       << " completed_after_retry=" << completed_after_retry << " abandoned=" << abandoned
       << " late_completions=" << late_completions << "\n"
@@ -44,6 +49,7 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   ClusterConfig cc;
   cc.mode = config.mode;
   cc.nodes = config.nodes;
+  cc.spare_nodes = config.spare_nodes;
   cc.seed = config.seed;
   cc.replier_policy = ReplierPolicy::kJbsq;
   cc.bounded_queue_depth = config.bounded_queue_depth;
@@ -104,6 +110,15 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   Nemesis nemesis(&cluster, nc);
   nemesis.Arm();
 
+  // Scripted membership events share the nemesis clock base (offsets from
+  // the start of the load window).
+  for (const auto& ev : config.add_server_at) {
+    cluster.sim().At(t0 + ev.at, [&cluster, ev]() { cluster.AddServer(ev.node); });
+  }
+  for (const auto& ev : config.remove_server_at) {
+    cluster.sim().At(t0 + ev.at, [&cluster, ev]() { cluster.RemoveServer(ev.node); });
+  }
+
   if (config.obs != nullptr) {
     if (auto* tracer = config.obs->tracer()) {
       for (size_t i = 0; i < clients.size(); ++i) {
@@ -126,17 +141,31 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   }
 
   result.leader_alive = cluster.LeaderId() != kInvalidNode;
-  result.digests_converged = true;
-  const uint64_t digest0 = cluster.server(0).app().Digest();
-  for (NodeId node = 0; node < cluster.node_count(); ++node) {
-    const ReplicatedServer& server = cluster.server(node);
-    if (server.app().Digest() != digest0) {
+  result.final_members = cluster.Members();
+  result.final_config_idx = cluster.applied_config_idx();
+  // Convergence is judged over the live members of the final committed
+  // config: a removed (retired) replica or an unused spare legitimately
+  // stops at whatever state it last applied.
+  std::vector<NodeId> check_set;
+  for (NodeId node : result.final_members) {
+    if (!cluster.server(node).failed()) {
+      check_set.push_back(node);
+    }
+  }
+  result.digests_converged = !check_set.empty();
+  const uint64_t digest0 = check_set.empty() ? 0 : cluster.server(check_set[0]).app().Digest();
+  for (NodeId node : check_set) {
+    if (cluster.server(node).app().Digest() != digest0) {
       result.digests_converged = false;
     }
+  }
+  for (NodeId node = 0; node < cluster.total_node_count(); ++node) {
+    const ReplicatedServer& server = cluster.server(node);
     std::ostringstream state;
     state << "node " << node << ": term=" << server.raft()->term()
           << (server.IsLeader() ? " leader" : "")
           << (server.failed() ? " dead" : "")
+          << (cluster.IsMember(node) ? "" : " non-member")
           << " applied=" << server.app().ApplyCount() << " digest=" << std::hex
           << server.app().Digest();
     result.node_states.push_back(state.str());
@@ -152,7 +181,7 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
     result.abandoned += client->total_abandoned();
     result.late_completions += client->late_completions();
   }
-  for (NodeId node = 0; node < cluster.node_count(); ++node) {
+  for (NodeId node = 0; node < cluster.total_node_count(); ++node) {
     const ServerStats& stats = cluster.server(node).server_stats();
     result.dedup_hits += stats.dedup_hits;
     result.dedup_replies += stats.dedup_replies;

@@ -31,6 +31,10 @@ struct ChaosRunConfig {
   uint64_t seed = 1;
 
   int32_t nodes = 3;
+  // Extra servers built but outside the initial config; the churn schedules
+  // and the scripted membership events below draw on them (see
+  // ClusterConfig::spare_nodes).
+  int32_t spare_nodes = 0;
   int32_t clients = 2;
   double rate_rps_per_client = 4'000;
   int32_t keys = 8;
@@ -66,6 +70,18 @@ struct ChaosRunConfig {
 
   uint64_t checker_max_states = 4'000'000;
 
+  // Scripted membership events, offset from the start of the load window
+  // (the same clock base the nemesis uses); fired through the cluster's
+  // management plane, which retries until the change commits. Composable
+  // with any schedule — including one of the churn-* schedules, though
+  // mixing the two makes the event log harder to read.
+  struct MembershipEvent {
+    TimeNs at = 0;
+    NodeId node = kInvalidNode;
+  };
+  std::vector<MembershipEvent> add_server_at;
+  std::vector<MembershipEvent> remove_server_at;
+
   // Optional observability bundle (tracing + metrics). Non-owning; when set,
   // the run records traces/metrics into it and exports the cluster counters
   // at the end. Nemesis faults double as trace annotations.
@@ -75,8 +91,14 @@ struct ChaosRunConfig {
 struct ChaosRunResult {
   // Liveness after the window + settle (the nemesis healed everything).
   bool leader_alive = false;
-  // All nodes applied the same state (order-sensitive digest match).
+  // All live members of the *final committed config* applied the same state
+  // (order-sensitive digest match). Removed nodes and unused spares are
+  // excluded: a retired replica legitimately stops applying.
   bool digests_converged = false;
+  // The committed member set at the end of the run, for asserting that
+  // scripted/churned config changes actually landed.
+  std::vector<NodeId> final_members;
+  LogIndex final_config_idx = 0;
 
   LinearizabilityResult linearizability;
 

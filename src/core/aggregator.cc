@@ -18,15 +18,52 @@ Aggregator::Aggregator(Simulator* sim, const CostModel& costs, int32_t cluster_s
       match_(static_cast<size_t>(cluster_size), 0),
       completed_(static_cast<size_t>(cluster_size), 0) {
   HC_CHECK_GT(cluster_size, 0);
+  voters_.reserve(static_cast<size_t>(cluster_size));
+  for (NodeId n = 0; n < cluster_size; ++n) {
+    voters_.push_back(n);
+  }
 }
 
 void Aggregator::Configure(std::vector<HostId> node_hosts, Addr group_all,
-                           std::vector<Addr> groups_excluding) {
+                           std::vector<Addr> groups_excluding, std::vector<NodeId> voters) {
   HC_CHECK_EQ(node_hosts.size(), static_cast<size_t>(cluster_size_));
   HC_CHECK_EQ(groups_excluding.size(), static_cast<size_t>(cluster_size_));
   node_hosts_ = std::move(node_hosts);
   group_all_ = group_all;
   groups_excluding_ = std::move(groups_excluding);
+  if (!voters.empty()) {
+    for (NodeId v : voters) {
+      HC_CHECK_GE(v, 0);
+      HC_CHECK_LT(v, cluster_size_);
+    }
+    voters_ = std::move(voters);
+    std::sort(voters_.begin(), voters_.end());
+  }
+}
+
+void Aggregator::Reconfigure(const std::vector<NodeId>& voters, LogIndex epoch) {
+  if (epoch == epoch_) {
+    return;  // already installed (duplicate control-plane call)
+  }
+  HC_CHECK(!voters.empty());
+  for (NodeId v : voters) {
+    HC_CHECK_GE(v, 0);
+    HC_CHECK_LT(v, cluster_size_);
+  }
+  voters_ = voters;
+  std::sort(voters_.begin(), voters_.end());
+  epoch_ = epoch;
+  // Registers counted under the old voter set are meaningless under the new
+  // one — rebuild from empty, exactly as on a term change. The leader
+  // re-probes (AGG_VOTE) and re-announces after the config commits.
+  leader_ = kInvalidNode;
+  std::fill(match_.begin(), match_.end(), 0);
+  std::fill(completed_.begin(), completed_.end(), 0);
+  leader_last_ = 0;
+  last_announced_ = 0;
+  commit_ = 0;
+  pending_ = false;
+  ++stats_.reconfigures;
 }
 
 NodeId Aggregator::NodeOfHost(HostId host) const {
@@ -57,7 +94,9 @@ void Aggregator::HandleMessage(HostId src, const MessagePtr& msg) {
       Flush(vote->term());
     }
     leader_ = NodeOfHost(src);
-    Send(src, std::make_shared<AggVoteRep>(vote->term()));
+    // Echo our installed epoch: if it differs from the leader's committed
+    // config the leader ignores the reply and re-probes later.
+    Send(src, std::make_shared<AggVoteRep>(vote->term(), epoch_));
     return;
   }
   if (const auto* ae = dynamic_cast<const AppendEntriesReq*>(msg.get())) {
@@ -116,20 +155,28 @@ void Aggregator::OnFollowerReply(HostId src, const AppendEntriesRep& rep) {
   auto& completed = completed_[static_cast<size_t>(follower)];
   completed = std::max(completed, rep.applied());
 
-  // Quorum commit: the leader always holds its announced entries, so the
-  // commit index is the (majority-1)-th largest follower match, capped by
-  // what the leader announced.
+  // Quorum commit over the configured voter set: a voting leader always holds
+  // its announced entries, so the commit index is the (majority-1)-th largest
+  // voting-follower match, capped by what the leader announced. (A non-voting
+  // leader — mid-removal — contributes nothing, so all `majority` acks must
+  // come from follower matches.)
   std::vector<LogIndex> sorted;
-  sorted.reserve(match_.size());
-  for (NodeId n = 0; n < cluster_size_; ++n) {
+  sorted.reserve(voters_.size());
+  bool leader_votes = false;
+  for (NodeId n : voters_) {
     if (n != leader_) {
       sorted.push_back(match_[static_cast<size_t>(n)]);
+    } else {
+      leader_votes = true;
     }
   }
   std::sort(sorted.begin(), sorted.end(), std::greater<LogIndex>());
-  const int32_t needed = cluster_size_ / 2;  // majority - 1 followers
-  HC_CHECK_GE(static_cast<int32_t>(sorted.size()), needed);
-  const LogIndex quorum = needed == 0 ? leader_last_ : sorted[static_cast<size_t>(needed - 1)];
+  const int32_t majority = static_cast<int32_t>(voters_.size()) / 2 + 1;
+  const int32_t needed = majority - (leader_votes ? 1 : 0);
+  if (static_cast<int32_t>(sorted.size()) < needed) {
+    return;  // not enough voting followers to ever reach quorum
+  }
+  const LogIndex quorum = needed <= 0 ? leader_last_ : sorted[static_cast<size_t>(needed - 1)];
   const LogIndex candidate = std::min(quorum, leader_last_);
 
   if (candidate > commit_) {
@@ -148,7 +195,7 @@ void Aggregator::SendAggCommit() {
     tracer->Instant(obs::TrackOfHost(id()), obs::kTidEvents, "agg_commit", sim()->Now(),
                     "term " + std::to_string(term_) + " commit " + std::to_string(commit_));
   }
-  Send(group_all_, std::make_shared<AggCommitMsg>(term_, commit_, completed_));
+  Send(group_all_, std::make_shared<AggCommitMsg>(term_, commit_, completed_, epoch_));
 }
 
 }  // namespace hovercraft

@@ -26,8 +26,15 @@ class Aggregator final : public Host {
   // Wiring, called by the cluster builder after network attachment:
   // host id of each Raft node, the all-nodes multicast group, and one group
   // per node that excludes it (the fan-out target for that node as leader).
+  // `voters` is the initial voter set; empty means every node votes.
   void Configure(std::vector<HostId> node_hosts, Addr group_all,
-                 std::vector<Addr> groups_excluding);
+                 std::vector<Addr> groups_excluding, std::vector<NodeId> voters = {});
+
+  // Installs the committed voter set for config epoch `epoch` (the log index
+  // of the committed config entry). Registers are rebuilt from empty under
+  // the same soft-state rule as a term change: a quorum must never mix match
+  // indices counted under two different voter sets. Idempotent per epoch.
+  void Reconfigure(const std::vector<NodeId>& voters, LogIndex epoch);
 
   void HandleMessage(HostId src, const MessagePtr& msg) override;
 
@@ -36,10 +43,12 @@ class Aggregator final : public Host {
     uint64_t replies_absorbed = 0;
     uint64_t commits_sent = 0;
     uint64_t flushes = 0;
+    uint64_t reconfigures = 0;
   };
   const AggStats& agg_stats() const { return stats_; }
   Term term() const { return term_; }
   LogIndex commit() const { return commit_; }
+  LogIndex epoch() const { return epoch_; }
 
  private:
   NodeId NodeOfHost(HostId host) const;
@@ -52,6 +61,12 @@ class Aggregator final : public Host {
   std::vector<HostId> node_hosts_;
   Addr group_all_ = kInvalidHost;
   std::vector<Addr> groups_excluding_;
+
+  // Control-plane config: the voter set the quorum is counted over, and the
+  // config epoch it belongs to (stamped into every AGG_COMMIT so replicas can
+  // reject quorums computed under a stale membership).
+  std::vector<NodeId> voters_;
+  LogIndex epoch_ = 0;
 
   // Soft state (the P4 registers).
   Term term_ = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/logging.h"
 #include "src/obs/observability.h"
 
 namespace hovercraft {
@@ -16,7 +17,14 @@ Cluster::Cluster(const ClusterConfig& config)
     sim_.set_observability(config_.obs);
   }
   const bool replicated = config_.mode != ClusterMode::kUnreplicated;
-  const int32_t nodes = replicated ? config_.nodes : 1;
+  HC_CHECK_GE(config_.spare_nodes, 0);
+  // Spares are built and started like members but start outside the voter
+  // set (raft.initial_voters below) and outside the multicast groups.
+  const int32_t members = replicated ? config_.nodes : 1;
+  const int32_t nodes = replicated ? config_.nodes + config_.spare_nodes : 1;
+  for (NodeId n = 0; n < members; ++n) {
+    members_.push_back(n);
+  }
 
   for (NodeId n = 0; n < nodes; ++n) {
     ServerConfig sc = config_.server_template;
@@ -24,6 +32,7 @@ Cluster::Cluster(const ClusterConfig& config)
     sc.raft = config_.raft;
     sc.raft.id = n;
     sc.raft.cluster_size = nodes;
+    sc.raft.initial_voters = members;
     switch (config_.mode) {
       case ClusterMode::kUnreplicated:
       case ClusterMode::kVanillaRaft:
@@ -60,22 +69,24 @@ Cluster::Cluster(const ClusterConfig& config)
   HostId flow_control_host = kInvalidHost;
 
   if (config_.mode == ClusterMode::kHovercRaft || config_.mode == ClusterMode::kHovercRaftPP) {
-    group_all_ = net_.CreateMulticastGroup(server_hosts_);
+    // Multicast groups span the *members*, not the spares: a spare joins the
+    // replication group only when its config change commits.
+    std::vector<HostId> member_hosts(server_hosts_.begin(), server_hosts_.begin() + members);
+    group_all_ = net_.CreateMulticastGroup(member_hosts);
 
     if (config_.mode == ClusterMode::kHovercRaftPP) {
       aggregator_ = std::make_unique<Aggregator>(&sim_, config_.costs, nodes);
       aggregator_host = net_.Attach(aggregator_.get());
-      std::vector<Addr> groups_excluding;
       for (NodeId n = 0; n < nodes; ++n) {
-        std::vector<HostId> members;
-        for (NodeId m = 0; m < nodes; ++m) {
+        std::vector<HostId> group;
+        for (NodeId m = 0; m < members; ++m) {
           if (m != n) {
-            members.push_back(server_hosts_[static_cast<size_t>(m)]);
+            group.push_back(server_hosts_[static_cast<size_t>(m)]);
           }
         }
-        groups_excluding.push_back(net_.CreateMulticastGroup(std::move(members)));
+        groups_excluding_.push_back(net_.CreateMulticastGroup(std::move(group)));
       }
-      aggregator_->Configure(server_hosts_, group_all_, std::move(groups_excluding));
+      aggregator_->Configure(server_hosts_, group_all_, groups_excluding_, members_);
     }
 
     flow_control_ = std::make_unique<FlowControl>(&sim_, config_.costs, group_all_,
@@ -85,6 +96,10 @@ Cluster::Cluster(const ClusterConfig& config)
 
   for (NodeId n = 0; n < nodes; ++n) {
     servers_[static_cast<size_t>(n)]->Wire(server_hosts_, aggregator_host, flow_control_host);
+    servers_[static_cast<size_t>(n)]->set_config_committed_callback(
+        [this](NodeId self, const MembershipConfig& cfg, LogIndex idx) {
+          ApplyCommittedConfig(self, cfg, idx);
+        });
   }
   for (NodeId n = 0; n < nodes; ++n) {
     servers_[static_cast<size_t>(n)]->Start();
@@ -187,6 +202,7 @@ void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
     metrics->SetCounter(prefix + "server.retransmits_inflight", st.retransmits_inflight);
     metrics->SetCounter(prefix + "server.unordered_gc", st.unordered_gc);
     metrics->SetCounter(prefix + "server.snapshots_restored", st.snapshots_restored);
+    metrics->SetCounter(prefix + "server.fc_reconcile_answers", st.fc_reconcile_answers);
     if (s.raft() != nullptr) {
       const RaftStats& rs = s.raft()->stats();
       metrics->SetCounter(prefix + "raft.elections_started", rs.elections_started);
@@ -199,6 +215,11 @@ void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
       metrics->SetCounter(prefix + "raft.submits_rejected", rs.submits_rejected);
       metrics->SetCounter(prefix + "raft.snapshots_sent", rs.snapshots_sent);
       metrics->SetCounter(prefix + "raft.snapshots_installed", rs.snapshots_installed);
+      metrics->SetCounter(prefix + "raft.config_changes_proposed", rs.config_changes_proposed);
+      metrics->SetCounter(prefix + "raft.config_changes_committed", rs.config_changes_committed);
+      metrics->SetCounter(prefix + "raft.config_changes_aborted", rs.config_changes_aborted);
+      metrics->SetCounter(prefix + "raft.learners_promoted", rs.learners_promoted);
+      metrics->SetCounter(prefix + "raft.learner_catchup_ns_total", rs.learner_catchup_ns_total);
       metrics->SetGauge(prefix + "raft.commit_index",
                         static_cast<int64_t>(s.raft()->commit_index()));
       metrics->SetGauge(prefix + "raft.applied_index",
@@ -214,6 +235,11 @@ void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
     metrics->SetCounter(scope + "flow_control/forwarded", flow_control_->forwarded());
     metrics->SetCounter(scope + "flow_control/nacked", flow_control_->nacked());
     metrics->SetGauge(scope + "flow_control/outstanding", flow_control_->outstanding());
+    metrics->SetCounter(scope + "flow_control/reconciles_started",
+                        flow_control_->reconciles_started());
+    metrics->SetCounter(scope + "flow_control/reconciled_released",
+                        flow_control_->reconciled_released());
+    metrics->SetCounter(scope + "flow_control/force_released", flow_control_->force_released());
   }
   if (aggregator_ != nullptr) {
     const Aggregator::AggStats& as = aggregator_->agg_stats();
@@ -221,7 +247,10 @@ void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
     metrics->SetCounter(scope + "aggregator/replies_absorbed", as.replies_absorbed);
     metrics->SetCounter(scope + "aggregator/commits_sent", as.commits_sent);
     metrics->SetCounter(scope + "aggregator/flushes", as.flushes);
+    metrics->SetCounter(scope + "aggregator/reconfigures", as.reconfigures);
   }
+  metrics->SetGauge(scope + "cluster/members", static_cast<int64_t>(members_.size()));
+  metrics->SetGauge(scope + "cluster/config_idx", static_cast<int64_t>(applied_config_idx_));
 }
 
 NodeId Cluster::LeaderId() const {
@@ -285,6 +314,113 @@ void Cluster::RestartNode(NodeId node) {
   HC_CHECK_GE(node, 0);
   HC_CHECK_LT(static_cast<size_t>(node), servers_.size());
   servers_[static_cast<size_t>(node)]->Restart();
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic membership
+// ---------------------------------------------------------------------------
+
+void Cluster::AddServer(NodeId node) {
+  TryConfigChange(node, /*add=*/true, /*attempts_left=*/5000);
+}
+
+void Cluster::RemoveServer(NodeId node) {
+  TryConfigChange(node, /*add=*/false, /*attempts_left=*/5000);
+}
+
+bool Cluster::IsMember(NodeId node) const {
+  for (NodeId m : members_) {
+    if (m == node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Cluster::TryConfigChange(NodeId node, bool add, int32_t attempts_left) {
+  HC_CHECK_GE(node, 0);
+  HC_CHECK_LT(static_cast<size_t>(node), servers_.size());
+  // The goal is reached only when the change *commits* (members_ tracks the
+  // committed config chain): a proposal can be accepted by a stale leader and
+  // truncated away on the next leader change, so acceptance alone is not
+  // success. IsMember covers the learner phase of an add — committing the
+  // learner config is enough; promotion is the leader's job from there.
+  const bool satisfied = add ? IsMember(node) : !IsMember(node);
+  if (satisfied) {
+    return;
+  }
+  const NodeId leader = LeaderId();
+  if (leader != kInvalidNode) {
+    RaftNode* raft = servers_[static_cast<size_t>(leader)]->raft();
+    // May be rejected (a change already in flight, possibly our own earlier
+    // proposal); the retry below re-checks committed state either way.
+    const bool accepted = add ? raft->StartAddServer(node) : raft->StartRemoveServer(node);
+    (void)accepted;
+  }
+  // Not committed yet: retry at the management-plane cadence until the
+  // budget runs out.
+  if (attempts_left <= 0) {
+    HC_LOG_WARN("cluster: giving up on %s of node %d", add ? "AddServer" : "RemoveServer", node);
+    return;
+  }
+  sim_.After(Millis(1), [this, node, add, attempts_left]() {
+    TryConfigChange(node, add, attempts_left - 1);
+  });
+}
+
+void Cluster::ApplyCommittedConfig(NodeId self, const MembershipConfig& config, LogIndex idx) {
+  (void)self;  // the first replica to report a commit applies it for all
+  if (idx <= applied_config_idx_) {
+    return;
+  }
+  applied_config_idx_ = idx;
+  const std::vector<NodeId> previous_members = members_;
+  members_ = config.members;
+
+  // 1. Multicast groups: the replication group tracks the member set (the
+  //    switch joins/leaves replicas), and each per-node exclusion group —
+  //    the aggregator's fan-out target when that node leads — tracks it too.
+  if (group_all_ != kInvalidHost) {
+    std::vector<HostId> member_hosts;
+    member_hosts.reserve(config.members.size());
+    for (NodeId m : config.members) {
+      member_hosts.push_back(server_hosts_[static_cast<size_t>(m)]);
+    }
+    net_.SetGroupMembers(group_all_, member_hosts);
+  }
+  for (size_t n = 0; n < groups_excluding_.size(); ++n) {
+    std::vector<HostId> group;
+    for (NodeId m : config.members) {
+      if (m != static_cast<NodeId>(n)) {
+        group.push_back(server_hosts_[static_cast<size_t>(m)]);
+      }
+    }
+    net_.SetGroupMembers(groups_excluding_[n], std::move(group));
+  }
+
+  // 2. Aggregator: install the new voter set and epoch (flushes registers).
+  if (aggregator_ != nullptr) {
+    aggregator_->Reconfigure(config.voters, idx);
+  }
+
+  // 3. Removed servers are retired from the management plane — a removed
+  //    node that was partitioned when its removal committed never observes
+  //    it locally. Only nodes *leaving* the config are retired; spares that
+  //    were never members stay available for a later AddServer. Deferred so
+  //    this runs outside the Raft callback that delivered the commit.
+  for (NodeId removed : previous_members) {
+    if (config.IsMember(removed)) {
+      continue;
+    }
+    ReplicatedServer* s = servers_[static_cast<size_t>(removed)].get();
+    if (s->raft() != nullptr && !s->raft()->retired()) {
+      sim_.After(0, [s]() {
+        if (!s->failed() && s->raft() != nullptr) {
+          s->raft()->Retire();
+        }
+      });
+    }
+  }
 }
 
 int32_t Cluster::LiveNodeCount() const {

@@ -29,6 +29,11 @@ class Observability;
 struct ClusterConfig {
   ClusterMode mode = ClusterMode::kHovercRaft;
   int32_t nodes = 3;
+  // Extra servers built, wired and started alongside the initial `nodes`
+  // members, but passive: they hold no vote, receive no replication traffic
+  // and never campaign until AddServer() brings them into the config
+  // (dynamic membership). Ignored by kUnreplicated.
+  int32_t spare_nodes = 0;
   // Factory invoked once per node so every replica owns its own state.
   std::function<std::unique_ptr<StateMachine>()> app_factory;
 
@@ -107,7 +112,25 @@ class Cluster {
   // Number of nodes currently not failed.
   int32_t LiveNodeCount() const;
 
+  // --- dynamic membership (management plane) -------------------------------
+  // Asks the current leader to add `node` (a built server, typically a
+  // spare) to the replication group, or to remove a member. The leader is
+  // resolved at call time; if there is none, or it rejects the change
+  // (another change already in flight), the request retries every 1ms until
+  // the config reflects the goal or the retry budget runs out. Use
+  // sim().After(...) to schedule calls at a point in virtual time.
+  void AddServer(NodeId node);
+  void RemoveServer(NodeId node);
+
+  // The member set (voters + learners) of the latest config this cluster
+  // observed committing, and the log index of that config entry.
+  const std::vector<NodeId>& Members() const { return members_; }
+  bool IsMember(NodeId node) const;
+  LogIndex applied_config_idx() const { return applied_config_idx_; }
+
   int32_t node_count() const { return config_.nodes; }
+  // Total servers built, including spares not (yet) in the config.
+  int32_t total_node_count() const { return static_cast<int32_t>(servers_.size()); }
   ReplicatedServer& server(NodeId node) { return *servers_[static_cast<size_t>(node)]; }
   const ReplicatedServer& server(NodeId node) const {
     return *servers_[static_cast<size_t>(node)];
@@ -129,6 +152,16 @@ class Cluster {
   // Names trace tracks and registers the periodic queue-depth samplers on
   // config_.obs (called from the constructor when an obs bundle is present).
   void InstallObservability();
+  // Proposes add/remove to the leader, retrying every 1ms until the active
+  // config reflects the goal (a change may already be in flight, or no
+  // leader may exist yet).
+  void TryConfigChange(NodeId node, bool add, int32_t attempts_left);
+  // Installed on every server as the config-committed callback: applies a
+  // newly committed membership config to the cluster-level machinery
+  // (multicast groups, aggregator epoch, retiring removed servers).
+  // Idempotent per config index — every replica reports the same commit.
+  void ApplyCommittedConfig(NodeId self, const MembershipConfig& config, LogIndex idx);
+
   ClusterConfig config_;
   Simulator sim_;
   Network net_;
@@ -137,6 +170,12 @@ class Cluster {
   std::unique_ptr<Aggregator> aggregator_;
   std::unique_ptr<FlowControl> flow_control_;
   Addr group_all_ = kInvalidHost;
+  // Per-node multicast group excluding that node (aggregator fan-out
+  // targets); rebuilt on every committed config change.
+  std::vector<Addr> groups_excluding_;
+  // Latest committed membership this cluster observed (see Members()).
+  std::vector<NodeId> members_;
+  LogIndex applied_config_idx_ = 0;
 };
 
 }  // namespace hovercraft

@@ -1,7 +1,9 @@
 #include "src/core/flow_control.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/obs/observability.h"
@@ -14,29 +16,93 @@ FlowControl::FlowControl(Simulator* sim, const CostModel& costs, Addr group, int
 
 void FlowControl::HandleMessage(HostId src, const MessagePtr& msg) {
   if (const auto* req = dynamic_cast<const RpcRequest*>(msg.get())) {
-    if (threshold_ > 0 && outstanding_ >= threshold_) {
+    if (threshold_ > 0 && outstanding() >= threshold_ && open_.count(req->rid()) == 0) {
       ++nacked_;
       if (auto* tracer = obs::TracerOf(sim())) {
         tracer->MarkStage(req->rid(), obs::Stage::kNacked, kInvalidNode, sim()->Now());
         tracer->Instant(obs::TrackOfHost(id()), obs::kTidEvents, "nack", sim()->Now(),
-                        "outstanding " + std::to_string(outstanding_) + "/" +
+                        "outstanding " + std::to_string(outstanding()) + "/" +
                             std::to_string(threshold_));
       }
       Send(src, std::make_shared<NackMsg>(req->rid()));
       return;
     }
-    ++outstanding_;
+    // Admission is per rid: a retransmitted attempt re-uses its slot instead
+    // of opening a second one that no FEEDBACK would ever repay.
+    open_.insert(req->rid());
     ++forwarded_;
     Send(group_, msg);
     return;
   }
-  if (dynamic_cast<const FeedbackMsg*>(msg.get()) != nullptr) {
-    if (outstanding_ > 0) {
-      --outstanding_;
+  if (const auto* fb = dynamic_cast<const FeedbackMsg*>(msg.get())) {
+    open_.erase(fb->rid());  // idempotent: duplicate FEEDBACK is a no-op
+    return;
+  }
+  if (const auto* lc = dynamic_cast<const FcLeaderChangeMsg*>(msg.get())) {
+    // Failover: slots whose designated replier died will never see FEEDBACK.
+    // Snapshot the open ledger and have the new leader classify it.
+    leader_ = lc->leader();
+    sim()->Cancel(reconcile_timer_);
+    reconcile_timer_ = kInvalidEvent;
+    reconcile_pending_.assign(open_.begin(), open_.end());
+    std::sort(reconcile_pending_.begin(), reconcile_pending_.end(),
+              [](const RequestId& a, const RequestId& b) {
+                return a.client != b.client ? a.client < b.client : a.seq < b.seq;
+              });
+    reconcile_rounds_ = 0;
+    if (!reconcile_pending_.empty()) {
+      ++reconciles_started_;
+      if (auto* tracer = obs::TracerOf(sim())) {
+        tracer->Instant(obs::TrackOfHost(id()), obs::kTidEvents, "fc-reconcile", sim()->Now(),
+                        std::to_string(reconcile_pending_.size()) + " open slots");
+      }
+      SendReconcileQuery();
     }
     return;
   }
+  if (const auto* rep = dynamic_cast<const FcReconcileRep*>(msg.get())) {
+    for (size_t i = 0; i < rep->rids().size() && i < rep->states().size(); ++i) {
+      if (rep->states()[i] == FcSlotState::kPending) {
+        continue;  // FEEDBACK (or the next round) will cover it
+      }
+      if (open_.erase(rep->rids()[i]) > 0) {
+        ++reconciled_released_;
+      }
+    }
+    if (reconcile_rounds_ >= kMaxReconcileRounds) {
+      // The leader kept reporting these as pending; assume their FEEDBACK is
+      // gone for good rather than pinning the admission window forever.
+      for (const RequestId& rid : reconcile_pending_) {
+        if (open_.erase(rid) > 0) {
+          ++force_released_;
+          HC_LOG_WARN("flow control: force-released slot for rid {%d,%llu}", rid.client,
+                      static_cast<unsigned long long>(rid.seq));
+        }
+      }
+      reconcile_pending_.clear();
+      return;
+    }
+    reconcile_timer_ = sim()->After(kReconcileInterval, [this]() {
+      reconcile_timer_ = kInvalidEvent;
+      SendReconcileQuery();
+    });
+    return;
+  }
   HC_LOG_WARN("flow control: unexpected message %s", msg->Name());
+}
+
+void FlowControl::SendReconcileQuery() {
+  // Drop slots that resolved (FEEDBACK or a previous round) in the meantime.
+  reconcile_pending_.erase(std::remove_if(reconcile_pending_.begin(), reconcile_pending_.end(),
+                                          [this](const RequestId& rid) {
+                                            return open_.count(rid) == 0;
+                                          }),
+                           reconcile_pending_.end());
+  if (reconcile_pending_.empty() || leader_ == kInvalidHost) {
+    return;  // converged
+  }
+  ++reconcile_rounds_;
+  Send(leader_, std::make_shared<FcReconcileReq>(reconcile_pending_));
 }
 
 }  // namespace hovercraft

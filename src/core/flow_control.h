@@ -7,13 +7,24 @@
 // new requests otherwise. R2P2 FEEDBACK messages sent by repliers decrement
 // the counter. Like the aggregator, this is a line-rate device with a single
 // register of soft state.
+//
+// The ledger is a set of request ids rather than a bare counter, so FEEDBACK
+// and forwarding are idempotent per rid, and so the slots left open by a
+// failover (a designated replier that died never sends FEEDBACK) can be
+// reconciled: a new leader announces itself, the middlebox sends it the open
+// rids, and the leader classifies each as executed / pending / unknown.
+// Executed and unknown slots are released immediately; pending ones are
+// re-queried until they drain, with a bounded force-release backstop.
 #ifndef SRC_CORE_FLOW_CONTROL_H_
 #define SRC_CORE_FLOW_CONTROL_H_
 
 #include <cstdint>
+#include <unordered_set>
+#include <vector>
 
 #include "src/common/types.h"
 #include "src/net/host.h"
+#include "src/r2p2/request_id.h"
 
 namespace hovercraft {
 
@@ -24,16 +35,40 @@ class FlowControl final : public Host {
 
   void HandleMessage(HostId src, const MessagePtr& msg) override;
 
-  int64_t outstanding() const { return outstanding_; }
+  // Rewrites the replication target group (dynamic membership). New
+  // admissions multicast to the new member set; open slots are untouched.
+  void SetGroup(Addr group) { group_ = group; }
+
+  int64_t outstanding() const { return static_cast<int64_t>(open_.size()); }
   uint64_t forwarded() const { return forwarded_; }
   uint64_t nacked() const { return nacked_; }
+  uint64_t reconciles_started() const { return reconciles_started_; }
+  uint64_t reconciled_released() const { return reconciled_released_; }
+  uint64_t force_released() const { return force_released_; }
 
  private:
+  // Re-queries pending slots at the heartbeat-ish cadence until the ledger
+  // converges; after this many rounds the remaining slots are force-released
+  // (and counted — a healthy run never gets there).
+  static constexpr int32_t kMaxReconcileRounds = 16;
+  static constexpr TimeNs kReconcileInterval = Millis(1);
+
+  void SendReconcileQuery();
+
   Addr group_;
   int64_t threshold_;
-  int64_t outstanding_ = 0;
+  std::unordered_set<RequestId, RequestIdHash> open_;
   uint64_t forwarded_ = 0;
   uint64_t nacked_ = 0;
+
+  // Reconcile state (one in flight at a time; a new leader restarts it).
+  HostId leader_ = kInvalidHost;
+  std::vector<RequestId> reconcile_pending_;
+  int32_t reconcile_rounds_ = 0;
+  EventId reconcile_timer_ = kInvalidEvent;
+  uint64_t reconciles_started_ = 0;
+  uint64_t reconciled_released_ = 0;
+  uint64_t force_released_ = 0;
 };
 
 }  // namespace hovercraft

@@ -175,6 +175,8 @@ void ReplicatedServer::HandleMessage(HostId src, const MessagePtr& msg) {
     raft_->OnInstallSnapshot(*snap);
   } else if (const auto* srep = dynamic_cast<const InstallSnapshotRep*>(msg.get())) {
     raft_->OnInstallSnapshotRep(*srep);
+  } else if (const auto* fcr = dynamic_cast<const FcReconcileReq*>(msg.get())) {
+    OnFcReconcile(src, *fcr);
   } else {
     HC_LOG_WARN("server %d: unexpected message %s", node_id(), msg->Name());
   }
@@ -258,6 +260,37 @@ void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request
       unordered_.Insert(std::move(request), sim()->Now());
       return;
   }
+}
+
+void ReplicatedServer::OnFcReconcile(HostId src, const FcReconcileReq& req) {
+  // The middlebox asks the leader to classify its still-open admission slots
+  // after a failover. A deposed leader stays silent: a newer leader's own
+  // FC_LEADER announcement restarts the reconcile against fresh state, and a
+  // stale classification could release slots whose FEEDBACK is still coming.
+  if (!raft_->IsLeader()) {
+    return;
+  }
+  ++stats_.fc_reconcile_answers;
+  std::vector<FcSlotState> states;
+  states.reserve(req.rids().size());
+  for (const RequestId& rid : req.rids()) {
+    if (sessions_.Executed(rid)) {
+      // Applied (reply sent or cached): the slot is repaid even if the
+      // replier that owed FEEDBACK died before sending it.
+      states.push_back(FcSlotState::kExecuted);
+    } else if (raft_->log().FindRequest(rid) != kNoLogIndex ||
+               unordered_.Lookup(rid) != nullptr) {
+      // Ordered but not applied, or parked in the unordered set awaiting
+      // ordering: the normal pipeline will repay the slot.
+      states.push_back(FcSlotState::kPending);
+    } else {
+      // No trace: the request died with the old leader. The client's
+      // retransmission bypasses the middlebox, so nothing will repay the
+      // slot — release it.
+      states.push_back(FcSlotState::kUnknown);
+    }
+  }
+  Send(src, std::make_shared<FcReconcileRep>(req.rids(), std::move(states)));
 }
 
 void ReplicatedServer::ExecuteUnreplicated(const std::shared_ptr<const RpcRequest>& request) {
@@ -503,6 +536,21 @@ void ReplicatedServer::RestoreSnapshot(const Body& state, LogIndex last_included
 void ReplicatedServer::OnLeadershipChanged(bool is_leader) {
   HC_LOG_INFO("node %d leadership=%d at %lld us", node_id(), is_leader ? 1 : 0,
               static_cast<long long>(sim()->Now() / kNanosPerMicro));
+  if (is_leader && flow_control_host_ != kInvalidHost) {
+    // Announce the leadership change to the flow-control middlebox so it can
+    // reconcile admission slots orphaned by the failover (DESIGN.md §5c):
+    // slots whose designated replier died with the old regime never see
+    // FEEDBACK and would otherwise pin the admission window shut.
+    Send(flow_control_host_, std::make_shared<FcLeaderChangeMsg>(id()));
+  }
+}
+
+void ReplicatedServer::OnConfigCommitted(const MembershipConfig& config, LogIndex idx) {
+  HC_LOG_INFO("node %d config committed at idx %lld: %s", node_id(),
+              static_cast<long long>(idx), config.Describe().c_str());
+  if (config_committed_cb_) {
+    config_committed_cb_(node_id(), config, idx);
+  }
 }
 
 void ReplicatedServer::DrainUnorderedIntoLog() {

@@ -14,6 +14,7 @@
 #ifndef SRC_CORE_SERVER_H_
 #define SRC_CORE_SERVER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "src/core/session_table.h"
 #include "src/core/unordered_store.h"
 #include "src/net/host.h"
+#include "src/r2p2/messages.h"
 #include "src/raft/node.h"
 #include "src/raft/options.h"
 
@@ -62,6 +64,8 @@ struct ServerStats {
   // Read-only retransmits dropped because their rid is already ordered but
   // not yet applied: the original's reply is still in the pipeline.
   uint64_t retransmits_inflight = 0;
+  // Flow-control ledger reconciliation queries answered as leader.
+  uint64_t fc_reconcile_answers = 0;
 };
 
 class ReplicatedServer final : public Host, public RaftNode::Env {
@@ -101,7 +105,17 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   void RestoreSnapshot(const Body& state, LogIndex last_included) override;
   void OnCommitAdvanced(LogIndex commit) override;
   void OnLeadershipChanged(bool is_leader) override;
+  void OnConfigCommitted(const MembershipConfig& config, LogIndex idx) override;
   void DrainUnorderedIntoLog() override;
+
+  // Installed by the cluster builder: invoked whenever this node's Raft layer
+  // commits a membership config (new multicast groups, aggregator epoch, ...
+  // are cluster-level concerns the server itself cannot reach).
+  using ConfigCommittedCallback =
+      std::function<void(NodeId self, const MembershipConfig& config, LogIndex idx)>;
+  void set_config_committed_callback(ConfigCommittedCallback cb) {
+    config_committed_cb_ = std::move(cb);
+  }
 
   // --- queries ---
   bool IsLeader() const { return raft_ != nullptr && raft_->IsLeader(); }
@@ -120,6 +134,7 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   bool IsReplicated() const { return config_.mode != ClusterMode::kUnreplicated; }
 
   void OnClientRequest(std::shared_ptr<const RpcRequest> request);
+  void OnFcReconcile(HostId src, const FcReconcileReq& req);
   void ExecuteUnreplicated(const std::shared_ptr<const RpcRequest>& request);
   void ScheduleApply(LogIndex idx);
   void SendReply(const RequestId& rid, Body body, bool send_feedback = true);
@@ -151,6 +166,8 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   // never stack duplicate GC/compaction chains.
   EventId gc_timer_ = kInvalidEvent;
   EventId compaction_timer_ = kInvalidEvent;
+
+  ConfigCommittedCallback config_committed_cb_;
 
   ServerStats stats_;
 };

@@ -47,6 +47,12 @@ LoadMetrics RunLoadPoint(const ExperimentConfig& config, double rate_rps) {
   const TimeNs t0 = cluster.sim().Now();
   const TimeNs window_start = t0 + config.warmup;
   const TimeNs window_end = window_start + config.measure;
+  for (const auto& ev : config.add_server_at) {
+    cluster.sim().At(t0 + ev.at, [&cluster, ev]() { cluster.AddServer(ev.node); });
+  }
+  for (const auto& ev : config.remove_server_at) {
+    cluster.sim().At(t0 + ev.at, [&cluster, ev]() { cluster.RemoveServer(ev.node); });
+  }
   for (auto& client : clients) {
     client->SetMeasureWindow(window_start, window_end);
     client->StartLoad(t0, window_end);

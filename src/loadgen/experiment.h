@@ -26,6 +26,17 @@ struct ExperimentConfig {
   // drain; whatever is still outstanding counts as lost with this latency.
   TimeNs drain = Millis(150);
   uint64_t seed = 1;
+
+  // Scripted membership events (offsets from load start, i.e. the beginning
+  // of warmup): AddServer/RemoveServer proposed through the cluster's
+  // management plane, which retries until the change commits. The cluster
+  // needs spare_nodes > 0 for adds to have a server to draw on.
+  struct MembershipEvent {
+    TimeNs at = 0;
+    NodeId node = kInvalidNode;
+  };
+  std::vector<MembershipEvent> add_server_at;
+  std::vector<MembershipEvent> remove_server_at;
 };
 
 struct LoadMetrics {

@@ -37,6 +37,17 @@ const std::vector<HostId>& Network::GroupMembers(Addr group) const {
   return groups_[idx];
 }
 
+void Network::SetGroupMembers(Addr group, std::vector<HostId> members) {
+  HC_CHECK(IsMulticastAddr(group));
+  const size_t idx = static_cast<size_t>(MulticastGroupOf(group));
+  HC_CHECK_LT(idx, groups_.size());
+  for (HostId m : members) {
+    HC_CHECK_GE(m, 0);
+    HC_CHECK_LT(static_cast<size_t>(m), hosts_.size());
+  }
+  groups_[idx] = std::move(members);
+}
+
 void Network::SetPartitions(const std::vector<std::vector<HostId>>& groups) {
   partition_of_.assign(hosts_.size(), 0);
   for (size_t g = 0; g < groups.size(); ++g) {

@@ -32,6 +32,12 @@ class Network {
 
   const std::vector<HostId>& GroupMembers(Addr group) const;
 
+  // Rewrites a multicast group's membership in place (dynamic membership:
+  // the switch joins/leaves replicas on committed config changes). Packets
+  // already in flight toward the group were fanned out under the old
+  // membership and are unaffected.
+  void SetGroupMembers(Addr group, std::vector<HostId> members);
+
   // Entry point used by Host::Send once the packet leaves the NIC. Takes the
   // packet by value: callers hand over their MessagePtr reference and the
   // fabric moves it through the switch hop without refcount churn.

@@ -116,6 +116,67 @@ class NackMsg final : public Message {
   RequestId rid_;
 };
 
+// --- flow-control ledger reconciliation (failover repair) -------------------
+// A replica that wins an election tells the middlebox, which then asks the
+// new leader to classify every admission slot still open in its ledger:
+// requests whose designated replier died would otherwise never send FEEDBACK
+// and would pin the admission window shut (DESIGN.md section 5c).
+
+// New leader -> middlebox: "reconcile your ledger against my state".
+class FcLeaderChangeMsg final : public Message {
+ public:
+  explicit FcLeaderChangeMsg(HostId leader) : leader_(leader) {}
+
+  int32_t PayloadBytes() const override { return 16; }
+  const char* Name() const override { return "FC_LEADER"; }
+
+  HostId leader() const { return leader_; }
+
+ private:
+  HostId leader_;
+};
+
+// Middlebox -> leader: the rids of all still-open admission slots.
+class FcReconcileReq final : public Message {
+ public:
+  explicit FcReconcileReq(std::vector<RequestId> rids) : rids_(std::move(rids)) {}
+
+  int32_t PayloadBytes() const override {
+    return 16 + 16 * static_cast<int32_t>(rids_.size());
+  }
+  const char* Name() const override { return "FC_RECONCILE_REQ"; }
+
+  const std::vector<RequestId>& rids() const { return rids_; }
+
+ private:
+  std::vector<RequestId> rids_;
+};
+
+// Per-rid resolution in the reconcile reply.
+enum class FcSlotState : uint8_t {
+  kExecuted = 0,  // applied (or reply cached): the slot is repaid, release it
+  kPending = 1,   // ordered or still in the unordered set: FEEDBACK will come
+  kUnknown = 2,   // the leader has no trace of it: the request is lost, release
+};
+
+class FcReconcileRep final : public Message {
+ public:
+  FcReconcileRep(std::vector<RequestId> rids, std::vector<FcSlotState> states)
+      : rids_(std::move(rids)), states_(std::move(states)) {}
+
+  int32_t PayloadBytes() const override {
+    return 16 + 17 * static_cast<int32_t>(rids_.size());
+  }
+  const char* Name() const override { return "FC_RECONCILE_REP"; }
+
+  const std::vector<RequestId>& rids() const { return rids_; }
+  const std::vector<FcSlotState>& states() const { return states_; }
+
+ private:
+  std::vector<RequestId> rids_;
+  std::vector<FcSlotState> states_;
+};
+
 }  // namespace hovercraft
 
 #endif  // SRC_R2P2_MESSAGES_H_

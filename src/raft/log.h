@@ -15,6 +15,7 @@
 #include "src/common/types.h"
 #include "src/r2p2/messages.h"
 #include "src/r2p2/request_id.h"
+#include "src/raft/membership.h"
 
 namespace hovercraft {
 
@@ -34,6 +35,10 @@ struct LogEntry {
   // apply path so reply-cache GC is deterministic across replicas.
   uint64_t ack_watermark = 0;
   std::shared_ptr<const RpcRequest> request;  // null only for noop entries
+  // Membership-change entries are noops that additionally carry the new
+  // cluster config; the config takes effect as soon as the entry is appended
+  // (dissertation section 4.1). Null for ordinary entries.
+  MembershipConfigPtr config;
 };
 
 // Canonical body hash for log entries.

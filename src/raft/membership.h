@@ -1,0 +1,131 @@
+#ifndef HOVERCRAFT_RAFT_MEMBERSHIP_H_
+#define HOVERCRAFT_RAFT_MEMBERSHIP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace hovercraft {
+
+// A cluster membership configuration. Voters participate in elections and
+// commit quorums; learners receive the log (AppendEntries / InstallSnapshot)
+// but have no vote — they are voters-in-waiting during catch-up. `members` is
+// the sorted union of both and is what the replication fan-out iterates.
+//
+// Configs are immutable once built; they travel through the log and over the
+// wire as shared_ptr<const MembershipConfig>.
+struct MembershipConfig {
+  std::vector<NodeId> voters;    // sorted, unique
+  std::vector<NodeId> learners;  // sorted, unique, disjoint from voters
+  std::vector<NodeId> members;   // sorted union of voters and learners
+
+  // Quorum size over the voter set.
+  int32_t majority() const { return static_cast<int32_t>(voters.size()) / 2 + 1; }
+
+  bool IsVoter(NodeId n) const { return std::binary_search(voters.begin(), voters.end(), n); }
+  bool IsLearner(NodeId n) const {
+    return std::binary_search(learners.begin(), learners.end(), n);
+  }
+  bool IsMember(NodeId n) const { return std::binary_search(members.begin(), members.end(), n); }
+
+  bool operator==(const MembershipConfig& o) const {
+    return voters == o.voters && learners == o.learners;
+  }
+  bool operator!=(const MembershipConfig& o) const { return !(*this == o); }
+
+  std::string Describe() const {
+    std::ostringstream out;
+    out << "voters={";
+    for (size_t i = 0; i < voters.size(); ++i) {
+      out << (i ? "," : "") << voters[i];
+    }
+    out << "}";
+    if (!learners.empty()) {
+      out << " learners={";
+      for (size_t i = 0; i < learners.size(); ++i) {
+        out << (i ? "," : "") << learners[i];
+      }
+      out << "}";
+    }
+    return out.str();
+  }
+};
+
+using MembershipConfigPtr = std::shared_ptr<const MembershipConfig>;
+
+// Builds a config from (possibly unsorted) voter and learner id lists.
+// Learners that also appear as voters are dropped from the learner set.
+inline MembershipConfigPtr MakeMembershipConfig(std::vector<NodeId> voters,
+                                                std::vector<NodeId> learners = {}) {
+  auto cfg = std::make_shared<MembershipConfig>();
+  std::sort(voters.begin(), voters.end());
+  voters.erase(std::unique(voters.begin(), voters.end()), voters.end());
+  std::sort(learners.begin(), learners.end());
+  learners.erase(std::unique(learners.begin(), learners.end()), learners.end());
+  std::vector<NodeId> pure_learners;
+  for (NodeId n : learners) {
+    if (!std::binary_search(voters.begin(), voters.end(), n)) {
+      pure_learners.push_back(n);
+    }
+  }
+  cfg->members = voters;
+  cfg->members.insert(cfg->members.end(), pure_learners.begin(), pure_learners.end());
+  std::sort(cfg->members.begin(), cfg->members.end());
+  cfg->voters = std::move(voters);
+  cfg->learners = std::move(pure_learners);
+  return cfg;
+}
+
+// A config with the first `n` nodes as voters — the static-membership default.
+inline MembershipConfigPtr MakeInitialConfig(int32_t n) {
+  std::vector<NodeId> voters;
+  voters.reserve(static_cast<size_t>(n));
+  for (NodeId i = 0; i < n; ++i) {
+    voters.push_back(i);
+  }
+  return MakeMembershipConfig(std::move(voters));
+}
+
+// Derived configs for the single-server change protocol.
+inline MembershipConfigPtr WithLearner(const MembershipConfig& base, NodeId learner) {
+  auto learners = base.learners;
+  learners.push_back(learner);
+  return MakeMembershipConfig(base.voters, std::move(learners));
+}
+
+inline MembershipConfigPtr WithPromoted(const MembershipConfig& base, NodeId learner) {
+  auto voters = base.voters;
+  voters.push_back(learner);
+  std::vector<NodeId> learners;
+  for (NodeId n : base.learners) {
+    if (n != learner) {
+      learners.push_back(n);
+    }
+  }
+  return MakeMembershipConfig(std::move(voters), std::move(learners));
+}
+
+inline MembershipConfigPtr WithRemoved(const MembershipConfig& base, NodeId node) {
+  std::vector<NodeId> voters;
+  for (NodeId n : base.voters) {
+    if (n != node) {
+      voters.push_back(n);
+    }
+  }
+  std::vector<NodeId> learners;
+  for (NodeId n : base.learners) {
+    if (n != node) {
+      learners.push_back(n);
+    }
+  }
+  return MakeMembershipConfig(std::move(voters), std::move(learners));
+}
+
+}  // namespace hovercraft
+
+#endif  // HOVERCRAFT_RAFT_MEMBERSHIP_H_

@@ -16,6 +16,7 @@
 #include "src/net/message.h"
 #include "src/r2p2/messages.h"
 #include "src/r2p2/request_id.h"
+#include "src/raft/membership.h"
 
 namespace hovercraft {
 
@@ -36,6 +37,17 @@ constexpr int32_t kRecoveryRepFixedBytes = 24;
 // the R2P2 header plus transport framing travel with it (the leader re-
 // encapsulates the whole RPC, paper section 3.1).
 constexpr int32_t kPayloadEncapBytes = 40;
+// Membership-change entries additionally ship the new config: a fixed header
+// plus one id + role flag per member (dissertation section 4.1).
+constexpr int32_t kConfigFixedBytes = 8;
+constexpr int32_t kConfigPerMemberBytes = 8;
+
+inline int32_t ConfigWireBytes(const MembershipConfigPtr& config) {
+  if (config == nullptr) {
+    return 0;
+  }
+  return kConfigFixedBytes + kConfigPerMemberBytes * static_cast<int32_t>(config->members.size());
+}
 
 // A log entry as carried inside append_entries. In VanillaRaft mode `request`
 // is set and its body counts toward the wire size; in HovercRaft mode the
@@ -57,12 +69,17 @@ struct WireEntry {
   uint64_t ack_watermark = 0;
   std::shared_ptr<const RpcRequest> request;  // may be null for noop
   bool carries_payload = false;               // true in VanillaRaft mode
+  // Set on membership-change entries (which are noops on the apply path):
+  // the new cluster config, effective at the follower as soon as the entry
+  // is appended.
+  MembershipConfigPtr config;
 
   int32_t WireBytes() const {
     int32_t bytes = kEntryMetaBytes;
     if (carries_payload && request != nullptr) {
       bytes += request->PayloadBytes() + kPayloadEncapBytes;
     }
+    bytes += ConfigWireBytes(config);
     return bytes;
   }
 };
@@ -106,14 +123,15 @@ class AppendEntriesReq final : public Message {
 class AppendEntriesRep final : public Message {
  public:
   AppendEntriesRep(NodeId from, Term term, bool success, LogIndex match, LogIndex applied,
-                   LogIndex last_hint, bool waiting_recovery)
+                   LogIndex last_hint, bool waiting_recovery, LogIndex commit = 0)
       : from_(from),
         term_(term),
         success_(success),
         match_(match),
         applied_(applied),
         last_hint_(last_hint),
-        waiting_recovery_(waiting_recovery) {}
+        waiting_recovery_(waiting_recovery),
+        commit_(commit) {}
 
   int32_t PayloadBytes() const override { return kAeReplyBytes; }
   const char* Name() const override { return "AE_REP"; }
@@ -125,6 +143,10 @@ class AppendEntriesRep final : public Message {
   LogIndex applied() const { return applied_; }
   LogIndex last_hint() const { return last_hint_; }
   bool waiting_recovery() const { return waiting_recovery_; }
+  // The follower's commit index at reply time. Lets the leader track how far
+  // each member has observed committed membership configs, gating the switch
+  // back to aggregator-carried commit delivery across a config epoch change.
+  LogIndex commit() const { return commit_; }
 
  private:
   NodeId from_;
@@ -134,6 +156,7 @@ class AppendEntriesRep final : public Message {
   LogIndex applied_;
   LogIndex last_hint_;
   bool waiting_recovery_;
+  LogIndex commit_;
 };
 
 class RequestVoteReq final : public Message {
@@ -179,8 +202,8 @@ class RequestVoteRep final : public Message {
 // leader can run JBSQ without seeing individual append_entries replies.
 class AggCommitMsg final : public Message {
  public:
-  AggCommitMsg(Term term, LogIndex commit, std::vector<LogIndex> applied)
-      : term_(term), commit_(commit), applied_(std::move(applied)) {}
+  AggCommitMsg(Term term, LogIndex commit, std::vector<LogIndex> applied, LogIndex epoch = 0)
+      : term_(term), commit_(commit), applied_(std::move(applied)), epoch_(epoch) {}
 
   int32_t PayloadBytes() const override {
     return kAggCommitFixedBytes + kAggCommitPerNodeBytes * static_cast<int32_t>(applied_.size());
@@ -190,11 +213,17 @@ class AggCommitMsg final : public Message {
   Term term() const { return term_; }
   LogIndex commit() const { return commit_; }
   const std::vector<LogIndex>& applied() const { return applied_; }
+  // Config epoch (log index of the committed config) the aggregator computed
+  // this quorum under. Nodes discard AGG_COMMITs whose epoch does not match
+  // their own committed config: a quorum counted over a stale voter set must
+  // not advance the commit index (docs/membership.md).
+  LogIndex epoch() const { return epoch_; }
 
  private:
   Term term_;
   LogIndex commit_;
   std::vector<LogIndex> applied_;
+  LogIndex epoch_;
 };
 
 // Post-election handshake between a new leader and the aggregator (paper
@@ -202,24 +231,31 @@ class AggCommitMsg final : public Message {
 // the vote_request's term flushes aggregator soft state.
 class AggVoteReq final : public Message {
  public:
-  explicit AggVoteReq(Term term) : term_(term) {}
+  explicit AggVoteReq(Term term, LogIndex epoch = 0) : term_(term), epoch_(epoch) {}
   int32_t PayloadBytes() const override { return kVoteBytes; }
   const char* Name() const override { return "AGG_VOTE_REQ"; }
   Term term() const { return term_; }
+  // The leader's committed config epoch; a probe whose epoch trails the
+  // aggregator's installed config is answered with the aggregator's epoch so
+  // the leader can re-probe after it catches up.
+  LogIndex epoch() const { return epoch_; }
 
  private:
   Term term_;
+  LogIndex epoch_;
 };
 
 class AggVoteRep final : public Message {
  public:
-  explicit AggVoteRep(Term term) : term_(term) {}
+  explicit AggVoteRep(Term term, LogIndex epoch = 0) : term_(term), epoch_(epoch) {}
   int32_t PayloadBytes() const override { return kVoteBytes; }
   const char* Name() const override { return "AGG_VOTE_REP"; }
   Term term() const { return term_; }
+  LogIndex epoch() const { return epoch_; }
 
  private:
   Term term_;
+  LogIndex epoch_;
 };
 
 constexpr int32_t kSnapshotFixedBytes = 40;
@@ -231,14 +267,18 @@ constexpr int32_t kSnapshotFixedBytes = 40;
 class InstallSnapshotReq final : public Message {
  public:
   InstallSnapshotReq(Term term, NodeId leader, LogIndex last_included, Term included_term,
-                     Body state)
+                     Body state, MembershipConfigPtr config = nullptr, LogIndex config_idx = 0)
       : term_(term),
         leader_(leader),
         last_included_(last_included),
         included_term_(included_term),
-        state_(std::move(state)) {}
+        state_(std::move(state)),
+        config_(std::move(config)),
+        config_idx_(config_idx) {}
 
-  int32_t PayloadBytes() const override { return kSnapshotFixedBytes + BodySize(state_); }
+  int32_t PayloadBytes() const override {
+    return kSnapshotFixedBytes + BodySize(state_) + ConfigWireBytes(config_);
+  }
   const char* Name() const override { return "SNAPSHOT_REQ"; }
 
   Term term() const { return term_; }
@@ -246,6 +286,11 @@ class InstallSnapshotReq final : public Message {
   LogIndex last_included() const { return last_included_; }
   Term included_term() const { return included_term_; }
   const Body& state() const { return state_; }
+  // Cluster config as of `last_included`, so a fresh learner whose log starts
+  // from this snapshot still learns the membership (dissertation section 4.1:
+  // snapshots carry the latest config covered by the snapshot).
+  const MembershipConfigPtr& config() const { return config_; }
+  LogIndex config_idx() const { return config_idx_; }
 
  private:
   Term term_;
@@ -253,6 +298,8 @@ class InstallSnapshotReq final : public Message {
   LogIndex last_included_;
   Term included_term_;
   Body state_;
+  MembershipConfigPtr config_;
+  LogIndex config_idx_;
 };
 
 class InstallSnapshotRep final : public Message {

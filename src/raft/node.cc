@@ -33,11 +33,20 @@ RaftNode::RaftNode(Simulator* sim, uint64_t seed, const RaftOptions& options, En
   HC_CHECK(env != nullptr);
   HC_CHECK_GE(options.id, 0);
   HC_CHECK_LT(options.id, options.cluster_size);
+  // cluster_size is the node universe; the initial voter set may be a prefix
+  // of it, leaving the rest as passive spares until AddServer brings them in.
+  const int32_t initial_voters =
+      options_.initial_voters > 0 ? std::min(options_.initial_voters, options_.cluster_size)
+                                  : options_.cluster_size;
+  configs_.emplace_back(LogIndex{0}, MakeInitialConfig(initial_voters));
 }
 
 void RaftNode::Start() {
-  if (options_.cluster_size == 1) {
-    // Degenerate single-node group: immediately leader.
+  if (!CanCampaign()) {
+    return;  // spare: waits for a committed config to add it
+  }
+  if (active_config().voters.size() == 1) {
+    // Degenerate single-voter group: immediately leader.
     current_term_ = 1;
     BecomeLeader();
     return;
@@ -67,12 +76,23 @@ void RaftNode::Resume() {
   }
 }
 
+bool RaftNode::CanCampaign() const {
+  return !halted_ && !retired_ && active_config().IsVoter(options_.id);
+}
+
 void RaftNode::ArmElectionTimer() {
   // Re-arming cancels the previous timer outright (election timeouts re-arm
   // on every leader contact, so dead timers would otherwise pile up for the
   // full 5-10ms timeout span). The RNG draw stays one-per-arm, exactly as
   // under the epoch scheme, so pinned-seed runs are unchanged.
   sim_->Cancel(election_timer_);
+  if (!CanCampaign()) {
+    // Learners, spares, and retired nodes never campaign; the guard sits
+    // before the RNG draw, which is fine for determinism because it can only
+    // trigger on runs that changed membership.
+    election_timer_ = kInvalidEvent;
+    return;
+  }
   const TimeNs span = options_.election_timeout_max - options_.election_timeout_min;
   const TimeNs delay =
       options_.election_timeout_min +
@@ -107,7 +127,7 @@ void RaftNode::OnHeartbeat() {
   // interval: an actively flowing (pipelined) stream is its own liveness
   // signal, and rewinding it would retransmit the whole in-flight window.
   const TimeNs quiet_before = sim_->Now() - options_.heartbeat_interval;
-  for (NodeId p = 0; p < options_.cluster_size; ++p) {
+  for (NodeId p : active_config().members) {
     if (p == options_.id) {
       continue;
     }
@@ -121,9 +141,11 @@ void RaftNode::OnHeartbeat() {
       if (agg_last_send_ <= quiet_before) {
         MaybeSendAggAppend(/*heartbeat=*/true);
       }
-    } else {
-      // The aggregator may have (re)appeared; re-probe it.
-      env_->SendToAggregator(std::make_shared<AggVoteReq>(current_term_));
+    } else if (!ConfigChangeInFlight()) {
+      // The aggregator may have (re)appeared; re-probe it. While a config
+      // change is in flight the fan-in stays point-to-point: a quorum counted
+      // under the wrong voter set must never advance the commit index.
+      env_->SendToAggregator(std::make_shared<AggVoteReq>(current_term_, committed_config_idx_));
     }
   }
 }
@@ -151,6 +173,9 @@ void RaftNode::BecomeFollower(Term term, bool reset_vote) {
 }
 
 void RaftNode::StartElection() {
+  if (!CanCampaign()) {
+    return;
+  }
   ++stats_.elections_started;
   role_ = RaftRole::kCandidate;
   ++current_term_;
@@ -165,13 +190,13 @@ void RaftNode::StartElection() {
                     "election", sim_->Now(), "term " + std::to_string(current_term_));
   }
   ArmElectionTimer();  // retry on split vote
-  if (votes_ >= options_.majority()) {
+  if (votes_ >= active_config().majority()) {
     BecomeLeader();
     return;
   }
   auto req = std::make_shared<RequestVoteReq>(current_term_, options_.id, log_.last_index(),
                                               log_.last_term());
-  for (NodeId p = 0; p < options_.cluster_size; ++p) {
+  for (NodeId p : active_config().voters) {
     if (p != options_.id) {
       env_->SendToPeer(p, req);
     }
@@ -200,6 +225,7 @@ void RaftNode::BecomeLeader() {
     st.paused_recovery = false;
     // Until the aggregator handshake completes, replicate point-to-point.
     st.direct_mode = options_.use_aggregator;
+    st.commit_acked = 0;
   }
   agg_active_ = false;
   agg_inflight_ = 0;
@@ -207,7 +233,14 @@ void RaftNode::BecomeLeader() {
   agg_next_idx_ = log_.last_index() + 1;
 
   scheduler_.Reset();
+  scheduler_.SetMembers(active_config().voters);
   scheduler_.UpdateApplied(options_.id, applied_idx_);
+  // Restart the learner catch-up clocks: progress observed by the old leader
+  // is unknown here.
+  learner_since_.clear();
+  for (NodeId l : active_config().learners) {
+    learner_since_.emplace(l, sim_->Now());
+  }
   // Entries inherited from previous terms were already announced by their
   // leader (their replier field is immutable and replicated); announcement
   // resumes from the tail.
@@ -233,8 +266,8 @@ void RaftNode::BecomeLeader() {
   // Re-order client requests orphaned by the previous leader (section 5).
   env_->DrainUnorderedIntoLog();
 
-  if (options_.use_aggregator) {
-    env_->SendToAggregator(std::make_shared<AggVoteReq>(current_term_));
+  if (options_.use_aggregator && !ConfigChangeInFlight()) {
+    env_->SendToAggregator(std::make_shared<AggVoteReq>(current_term_, committed_config_idx_));
   }
 
   TryAnnounce();
@@ -279,6 +312,189 @@ bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request, bool all
   TryAnnounce();
   TrySendAll();
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Membership changes (dissertation section 4, single-server at a time)
+// ---------------------------------------------------------------------------
+
+bool RaftNode::StartAddServer(NodeId node) {
+  if (role_ != RaftRole::kLeader || ConfigChangeInFlight()) {
+    return false;
+  }
+  if (node < 0 || node >= options_.cluster_size || node == options_.id) {
+    return false;
+  }
+  if (active_config().IsMember(node)) {
+    return false;
+  }
+  // Forget any replication state from a previous stint in the cluster; the
+  // learner is (re)discovered from the log tail, backing off to a snapshot
+  // when its log is too far behind.
+  PeerState& st = peers_[static_cast<size_t>(node)];
+  st = PeerState{};
+  st.next_idx = log_.last_index() + 1;
+  st.direct_mode = options_.use_aggregator;
+  // Catch-up starts now, not at commit: the learner config is effective on
+  // append, so the snapshot/stream repair overlaps the change's own
+  // replication (and often finishes before it commits).
+  learner_since_[node] = sim_->Now();
+  return AppendConfigEntry(WithLearner(active_config(), node));
+}
+
+bool RaftNode::StartRemoveServer(NodeId node) {
+  if (role_ != RaftRole::kLeader || ConfigChangeInFlight()) {
+    return false;
+  }
+  if (!active_config().IsMember(node)) {
+    return false;
+  }
+  MembershipConfigPtr next = WithRemoved(active_config(), node);
+  if (next->voters.empty()) {
+    return false;  // never remove the last voter
+  }
+  if (active_config().IsLearner(node)) {
+    learner_since_.erase(node);
+  }
+  return AppendConfigEntry(std::move(next));
+}
+
+bool RaftNode::AppendConfigEntry(MembershipConfigPtr config) {
+  HC_CHECK(role_ == RaftRole::kLeader);
+  HC_CHECK(config != nullptr);
+  LogEntry entry;
+  entry.term = current_term_;
+  entry.noop = true;  // configs are no-ops on the apply path
+  entry.replier = options_.id;
+  entry.config = std::move(config);
+  const LogIndex idx = log_.Append(std::move(entry));
+  ++stats_.entries_appended;
+  ++stats_.config_changes_proposed;
+  HC_LOG_INFO("node %d proposes config %s at idx %llu", options_.id,
+              log_.At(idx).config->Describe().c_str(), static_cast<unsigned long long>(idx));
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
+                    "config-proposed", sim_->Now(), log_.At(idx).config->Describe());
+  }
+  TrackConfig(idx, log_.At(idx).config);
+  // The change replicates point-to-point: the aggregator's quorum register is
+  // still sized to the old voter set, and an AGG_COMMIT computed under it
+  // must not commit entries at or beyond the config boundary. The heartbeat
+  // re-probes the aggregator once the change commits.
+  if (options_.use_aggregator) {
+    agg_active_ = false;
+    agg_inflight_ = 0;
+    for (PeerState& st : peers_) {
+      st.direct_mode = true;
+    }
+  }
+  if (!options_.assign_repliers) {
+    announced_idx_ = idx;
+  }
+  TryAnnounce();
+  TrySendAll();
+  return true;
+}
+
+void RaftNode::TrackConfig(LogIndex idx, MembershipConfigPtr config) {
+  HC_CHECK(config != nullptr);
+  HC_CHECK_GT(idx, configs_.back().first);
+  configs_.emplace_back(idx, std::move(config));
+  ReconcileRoleWithConfig();
+}
+
+void RaftNode::RollbackConfigsAbove(LogIndex idx) {
+  bool changed = false;
+  while (configs_.size() > 1 && configs_.back().first >= idx) {
+    // A truncated config entry was never committed (committed entries are
+    // never truncated); the previous config becomes active again.
+    configs_.pop_back();
+    ++stats_.config_changes_aborted;
+    changed = true;
+  }
+  if (changed) {
+    ReconcileRoleWithConfig();
+  }
+}
+
+void RaftNode::ReconcileRoleWithConfig() {
+  scheduler_.SetMembers(active_config().voters);
+  if (active_config().IsMember(options_.id)) {
+    retired_ = false;
+  }
+  if (role_ == RaftRole::kLeader) {
+    // A leader that is no longer a voter keeps leading until the removal
+    // entry commits (dissertation section 4.2.2), then steps down in
+    // SetCommit.
+    return;
+  }
+  if (CanCampaign()) {
+    if (election_timer_ == kInvalidEvent) {
+      ArmElectionTimer();
+    }
+  } else {
+    sim_->Cancel(election_timer_);
+    election_timer_ = kInvalidEvent;
+    if (role_ == RaftRole::kCandidate) {
+      role_ = RaftRole::kFollower;
+    }
+  }
+}
+
+void RaftNode::MaybePromoteLearners() {
+  if (role_ != RaftRole::kLeader || ConfigChangeInFlight()) {
+    return;
+  }
+  const MembershipConfig& cfg = active_config();
+  // Caught up means within one append batch of the *replication frontier*:
+  // with replier assignment the streams only carry announced entries, and a
+  // saturated cluster keeps an admitted-but-unannounced backlog far larger
+  // than one batch. Measuring against the raw log tail would then deadlock —
+  // promotion needs catch-up, catch-up is capped at the frontier, and the
+  // frontier only advances once promotion adds replier capacity. A learner
+  // matched to the frontier holds everything any voter can hold, so the
+  // promotion entry reaches it in the same round-trip and it weighs on
+  // quorums no later than a healthy voter would.
+  const LogIndex frontier =
+      options_.assign_repliers ? announced_idx_ : log_.last_index();
+  for (NodeId learner : cfg.learners) {
+    const PeerState& st = peers_[static_cast<size_t>(learner)];
+    // applied_idx also counts: once the aggregator stream covers the learner
+    // its replies bypass the leader and match_idx freezes, but AGG_COMMIT
+    // keeps reporting apply progress (applied never exceeds what it holds).
+    const LogIndex progress = std::max(st.match_idx, st.applied_idx);
+    if (progress + options_.max_entries_per_ae < frontier) {
+      continue;
+    }
+    ++stats_.learners_promoted;
+    auto it = learner_since_.find(learner);
+    if (it != learner_since_.end()) {
+      stats_.learner_catchup_ns_total += static_cast<uint64_t>(sim_->Now() - it->second);
+      learner_since_.erase(it);
+    }
+    HC_LOG_INFO("node %d promotes learner %d", options_.id, learner);
+    AppendConfigEntry(WithPromoted(cfg, learner));
+    return;  // one config change in flight at a time
+  }
+}
+
+void RaftNode::Retire() {
+  if (retired_) {
+    return;
+  }
+  // Management plane: the caller observed a committed config that excludes
+  // this node. Our own log may not have learned that (removal can commit
+  // while we are partitioned away), so retirement does not consult the local
+  // config; a later committed config that re-adds us clears it
+  // (ReconcileRoleWithConfig).
+  retired_ = true;
+  if (role_ == RaftRole::kLeader) {
+    BecomeFollower(current_term_, false);
+  } else {
+    role_ = RaftRole::kFollower;
+    sim_->Cancel(election_timer_);
+    election_timer_ = kInvalidEvent;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -344,6 +560,7 @@ std::vector<WireEntry> RaftNode::CollectEntries(LogIndex from, LogIndex to) cons
     w.rid = e.rid;
     w.body_hash = e.body_hash;
     w.ack_watermark = e.ack_watermark;
+    w.config = e.config;
     if (!options_.metadata_only) {
       // VanillaRaft ships the request payload inside append_entries.
       w.request = e.request;
@@ -358,7 +575,7 @@ void RaftNode::TrySendAll() {
   if (role_ != RaftRole::kLeader) {
     return;
   }
-  for (NodeId p = 0; p < options_.cluster_size; ++p) {
+  for (NodeId p : active_config().members) {
     if (p != options_.id) {
       MaybeSendAppend(p, /*heartbeat=*/false);
     }
@@ -371,8 +588,15 @@ void RaftNode::MaybeSendAppend(NodeId peer, bool heartbeat) {
     return;
   }
   PeerState& st = peers_[static_cast<size_t>(peer)];
-  if (options_.use_aggregator && agg_active_ && !st.direct_mode) {
-    return;  // this follower is served by the aggregator's multicast
+  if (options_.use_aggregator && agg_active_ && !st.direct_mode &&
+      st.commit_acked >= committed_config_idx_) {
+    // This follower is served by the aggregator's multicast. The commit-ack
+    // gate keeps direct commit-carrying appends flowing to any peer that has
+    // not yet observed the committed config: such a peer discards the new
+    // epoch's AGG_COMMITs and would otherwise never learn the commit index.
+    // With static membership committed_config_idx_ is 0 and the gate is
+    // always open.
+    return;
   }
   if (heartbeat && st.inflight > 0) {
     // Retransmission: a reply was lost; rewind to the last acknowledged
@@ -477,9 +701,25 @@ void RaftNode::SendSnapshot(NodeId peer) {
   st.snapshot_inflight = true;
   st.last_send = sim_->Now();
   ++stats_.snapshots_sent;
+  // Ship the latest config covered by the snapshot so a fresh learner whose
+  // log starts here still learns the membership. Elided while it is still
+  // the construction-time initial config (every node already has that), which
+  // keeps the wire image of static-membership runs unchanged.
+  MembershipConfigPtr snap_config;
+  LogIndex snap_config_idx = 0;
+  for (const auto& c : configs_) {
+    if (c.first <= capture.last_included) {
+      snap_config_idx = c.first;
+      snap_config = c.second;
+    }
+  }
+  if (snap_config_idx == 0) {
+    snap_config = nullptr;
+  }
   env_->SendToPeer(peer, std::make_shared<InstallSnapshotReq>(
                              current_term_, options_.id, capture.last_included,
-                             log_.TermAt(capture.last_included), std::move(capture.state)));
+                             log_.TermAt(capture.last_included), std::move(capture.state),
+                             std::move(snap_config), snap_config_idx));
 }
 
 void RaftNode::OnInstallSnapshot(const InstallSnapshotReq& req) {
@@ -492,21 +732,47 @@ void RaftNode::OnInstallSnapshot(const InstallSnapshotReq& req) {
     BecomeFollower(req.term(), req.term() > current_term_);
   }
   leader_hint_ = req.leader();
+  last_leader_contact_ = sim_->Now();
   ArmElectionTimer();
 
   if (req.last_included() > commit_idx_) {
     ++stats_.snapshots_installed;
+    bool kept_suffix = false;
     if (log_.Contains(req.last_included()) &&
         log_.TermAt(req.last_included()) == req.included_term()) {
       // Our log already matches through the snapshot point; keep the suffix.
       log_.CompactPrefix(req.last_included());
+      kept_suffix = true;
     } else {
+      // The discarded suffix takes any configs it introduced with it.
+      RollbackConfigsAbove(req.last_included() + 1);
       log_.ResetTo(req.last_included(), req.included_term());
     }
     env_->RestoreSnapshot(req.state(), req.last_included());
     commit_idx_ = req.last_included();
     applied_idx_ = std::max(applied_idx_, req.last_included());
     pending_ae_.reset();
+    if (req.config() != nullptr) {
+      // The snapshot's config becomes our committed base; config entries in
+      // a kept log suffix stay tracked, a discarded suffix takes its configs
+      // with it.
+      std::vector<std::pair<LogIndex, MembershipConfigPtr>> next;
+      next.emplace_back(req.config_idx(), req.config());
+      if (kept_suffix) {
+        for (const auto& c : configs_) {
+          if (c.first > req.last_included()) {
+            next.push_back(c);
+          }
+        }
+      }
+      configs_ = std::move(next);
+      if (req.config_idx() > committed_config_idx_) {
+        committed_config_idx_ = req.config_idx();
+        ++stats_.config_changes_committed;
+        env_->OnConfigCommitted(*req.config(), req.config_idx());
+      }
+      ReconcileRoleWithConfig();
+    }
   }
   env_->SendToPeer(req.leader(), std::make_shared<InstallSnapshotRep>(
                                      options_.id, current_term_, req.last_included()));
@@ -531,6 +797,9 @@ void RaftNode::OnInstallSnapshotRep(const InstallSnapshotRep& rep) {
     }
     AdvanceCommitFromMatches();
     TryAnnounce();
+    if (!active_config().learners.empty()) {
+      MaybePromoteLearners();
+    }
     MaybeSendAppend(rep.from(), false);
   }
 }
@@ -539,16 +808,21 @@ void RaftNode::AdvanceCommitFromMatches() {
   if (role_ != RaftRole::kLeader) {
     return;
   }
-  // k-th largest match (self counts with its full log) where k = majority.
+  // k-th largest match over the active config's voters (self counts with its
+  // full log) where k = that config's majority. A leader removing itself is
+  // not a voter of the active config and therefore does not count toward the
+  // quorum that commits its own removal (dissertation section 4.2.2).
+  const MembershipConfig& cfg = active_config();
   std::vector<LogIndex> matches;
-  matches.reserve(static_cast<size_t>(options_.cluster_size));
-  for (NodeId p = 0; p < options_.cluster_size; ++p) {
+  matches.reserve(cfg.voters.size());
+  for (NodeId p : cfg.voters) {
     matches.push_back(p == options_.id ? log_.last_index()
                                        : peers_[static_cast<size_t>(p)].match_idx);
   }
-  std::nth_element(matches.begin(), matches.begin() + (options_.majority() - 1), matches.end(),
+  const int32_t majority = cfg.majority();
+  std::nth_element(matches.begin(), matches.begin() + (majority - 1), matches.end(),
                    std::greater<LogIndex>());
-  const LogIndex candidate = matches[static_cast<size_t>(options_.majority() - 1)];
+  const LogIndex candidate = matches[static_cast<size_t>(majority - 1)];
   // candidate > commit implies candidate is above the compaction point
   // (base <= applied <= commit), so TermAt is safe to consult.
   if (candidate > commit_idx_ && log_.TermAt(candidate) == current_term_) {
@@ -573,10 +847,47 @@ void RaftNode::SetCommit(LogIndex commit) {
     }
   }
   commit_idx_ = commit;
+
+  // Membership configs that just committed: record the epoch, tell the
+  // hosting layer (multicast groups, aggregator registers, retirement), and
+  // start the learner catch-up clocks.
+  if (committed_config_idx_ < active_config_idx()) {
+    for (const auto& c : configs_) {
+      if (c.first <= committed_config_idx_ || c.first > commit_idx_) {
+        continue;
+      }
+      committed_config_idx_ = c.first;
+      ++stats_.config_changes_committed;
+      HC_LOG_INFO("node %d: config %s committed at idx %llu", options_.id,
+                  c.second->Describe().c_str(), static_cast<unsigned long long>(c.first));
+      if (auto* tracer = obs::TracerOf(sim_)) {
+        tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
+                        "config-committed", sim_->Now(), c.second->Describe());
+      }
+      if (role_ == RaftRole::kLeader) {
+        for (NodeId l : c.second->learners) {
+          learner_since_.emplace(l, sim_->Now());
+        }
+      }
+      env_->OnConfigCommitted(*c.second, c.first);
+    }
+  }
+
   env_->OnCommitAdvanced(commit_idx_);
   if (role_ == RaftRole::kLeader) {
     // Followers learn the new commit index with the next append_entries.
     TrySendAll();
+    if (!active_config().learners.empty()) {
+      MaybePromoteLearners();
+    }
+    if (!active_config().IsVoter(options_.id) && !ConfigChangeInFlight()) {
+      // Our own removal just committed: the commit index went out with the
+      // appends above; now step down (dissertation section 4.2.2). The
+      // members elect a successor after their election timeouts.
+      HC_LOG_INFO("node %d: self-removal committed; stepping down", options_.id);
+      retired_ = true;
+      BecomeFollower(current_term_, false);
+    }
   }
 }
 
@@ -590,13 +901,14 @@ void RaftNode::OnAppendEntries(const AppendEntriesReq& req, bool via_aggregator)
     env_->SendToPeer(req.leader(),
                      std::make_shared<AppendEntriesRep>(options_.id, current_term_, false,
                                                         LogIndex{0}, applied_idx_,
-                                                        log_.last_index(), false));
+                                                        log_.last_index(), false, commit_idx_));
     return;
   }
   if (req.term() > current_term_ || role_ != RaftRole::kFollower) {
     BecomeFollower(req.term(), /*reset_vote=*/req.term() > current_term_);
   }
   leader_hint_ = req.leader();
+  last_leader_contact_ = sim_->Now();
   ArmElectionTimer();
 
   // Consistency check at prev. Anything at or below our compaction point is
@@ -608,14 +920,15 @@ void RaftNode::OnAppendEntries(const AppendEntriesReq& req, bool via_aggregator)
     env_->SendToPeer(req.leader(),
                      std::make_shared<AppendEntriesRep>(options_.id, current_term_, false,
                                                         LogIndex{0}, applied_idx_,
-                                                        log_.last_index(), false));
+                                                        log_.last_index(), false, commit_idx_));
     return;
   }
   if (prev >= base && log_.TermAt(prev) != prev_term) {
     const LogIndex hint = std::min(log_.last_index(), prev - 1);
     env_->SendToPeer(req.leader(),
                      std::make_shared<AppendEntriesRep>(options_.id, current_term_, false,
-                                                        LogIndex{0}, applied_idx_, hint, false));
+                                                        LogIndex{0}, applied_idx_, hint, false,
+                                                        commit_idx_));
     return;
   }
 
@@ -634,7 +947,7 @@ void RaftNode::OnAppendEntries(const AppendEntriesReq& req, bool via_aggregator)
 
   auto rep = std::make_shared<AppendEntriesRep>(options_.id, current_term_, true, outcome.match,
                                                 applied_idx_, log_.last_index(),
-                                                outcome.waiting_recovery);
+                                                outcome.waiting_recovery, commit_idx_);
   // Durability: the acknowledged entries must hit the local WAL first.
   // Persist writes are issued in arrival order, so deferred replies stay
   // FIFO and the leader's match index remains monotone.
@@ -675,6 +988,7 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
       // Conflict: a stale extension from a deposed leader. Committed entries
       // can never conflict, so truncation is safe.
       HC_CHECK_GT(idx, commit_idx_);
+      RollbackConfigsAbove(idx);
       log_.TruncateFrom(idx);
     }
     HC_CHECK_EQ(idx, log_.last_index() + 1);
@@ -687,6 +1001,7 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
     entry.rid = w.rid;
     entry.body_hash = w.body_hash;
     entry.ack_watermark = w.ack_watermark;
+    entry.config = w.config;
     if (!w.noop) {
       if (w.carries_payload) {
         HC_CHECK(w.request != nullptr);
@@ -714,6 +1029,11 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
     log_.Append(std::move(entry));
     ++stats_.entries_appended;
     outcome.match = idx;
+    if (w.config != nullptr) {
+      // Effective on append (dissertation section 4.1): quorum and role
+      // decisions use the new config before it commits.
+      TrackConfig(idx, w.config);
+    }
   }
   return outcome;
 }
@@ -779,6 +1099,9 @@ void RaftNode::OnAppendEntriesRep(const AppendEntriesRep& rep) {
     st.applied_idx = rep.applied();
     scheduler_.UpdateApplied(rep.from(), rep.applied());
   }
+  if (rep.commit() > st.commit_acked) {
+    st.commit_acked = rep.commit();
+  }
   if (rep.success()) {
     st.match_idx = std::max(st.match_idx, rep.match());
     st.next_idx = std::max(st.next_idx, st.match_idx + 1);
@@ -789,6 +1112,9 @@ void RaftNode::OnAppendEntriesRep(const AppendEntriesRep& rep) {
     }
     AdvanceCommitFromMatches();
     TryAnnounce();
+    if (!active_config().learners.empty()) {
+      MaybePromoteLearners();
+    }
     if (!st.paused_recovery) {
       MaybeSendAppend(rep.from(), false);
     }
@@ -811,6 +1137,17 @@ void RaftNode::OnAppendEntriesRep(const AppendEntriesRep& rep) {
 // ---------------------------------------------------------------------------
 
 void RaftNode::OnRequestVote(const RequestVoteReq& req) {
+  // Disruption prevention (dissertation section 4.2.3): a server removed
+  // from the cluster stops receiving heartbeats before it learns of its own
+  // removal and will campaign with ever-higher terms. While we are hearing
+  // from a live leader, a candidate that is not a member of our active config
+  // is ignored outright — before the term comparison, so its inflated term
+  // cannot depose the leader. Never triggers with static membership (every
+  // node is a member).
+  if (!active_config().IsMember(req.candidate()) && last_leader_contact_ > 0 &&
+      sim_->Now() - last_leader_contact_ < options_.election_timeout_min) {
+    return;
+  }
   if (req.term() > current_term_) {
     BecomeFollower(req.term(), true);
   }
@@ -838,8 +1175,11 @@ void RaftNode::OnRequestVoteRep(const RequestVoteRep& rep) {
   if (role_ != RaftRole::kCandidate || rep.term() < current_term_ || !rep.granted()) {
     return;
   }
+  if (!active_config().IsVoter(rep.from())) {
+    return;  // only active-config voters count toward the quorum
+  }
   ++votes_;
-  if (votes_ >= options_.majority()) {
+  if (votes_ >= active_config().majority()) {
     BecomeLeader();
   }
 }
@@ -855,9 +1195,17 @@ void RaftNode::OnAggCommit(const AggCommitMsg& msg) {
   if (msg.term() > current_term_) {
     BecomeFollower(msg.term(), true);
   }
+  if (msg.epoch() != committed_config_idx_) {
+    // The aggregator counted its quorum under a different config epoch than
+    // our committed one; its commit index cannot be trusted here. Liveness is
+    // unaffected: the leader keeps direct commit-carrying appends flowing to
+    // every peer that has not acked the committed config.
+    return;
+  }
   if (role_ == RaftRole::kFollower) {
     // AGG_COMMIT is leader liveness: the aggregator only emits it while a
     // current-term leader feeds it.
+    last_leader_contact_ = sim_->Now();
     ArmElectionTimer();
   }
   if (role_ == RaftRole::kLeader) {
@@ -873,6 +1221,11 @@ void RaftNode::OnAggCommit(const AggCommitMsg& msg) {
         st.applied_idx = applied[static_cast<size_t>(p)];
         scheduler_.UpdateApplied(p, st.applied_idx);
       }
+    }
+    if (!active_config().learners.empty()) {
+      // A learner served by the aggregator stream reports progress only
+      // through the applied vector above; this is its promotion path.
+      MaybePromoteLearners();
     }
   }
   const LogIndex new_commit = std::min(msg.commit(), log_.last_index());
@@ -891,6 +1244,9 @@ void RaftNode::OnAggVoteRep(const AggVoteRep& rep) {
   }
   if (agg_active_) {
     return;
+  }
+  if (rep.epoch() != committed_config_idx_ || ConfigChangeInFlight()) {
+    return;  // the aggregator is configured for a different voter set
   }
   agg_active_ = true;
   // Stream from the last quorum-confirmed point; overlapping entries are
@@ -919,7 +1275,7 @@ void RaftNode::OnApplied(LogIndex idx) {
 LogIndex RaftNode::MinAppliedKnown() const {
   LogIndex min_applied = applied_idx_;
   if (role_ == RaftRole::kLeader) {
-    for (NodeId p = 0; p < options_.cluster_size; ++p) {
+    for (NodeId p : active_config().members) {
       if (p != options_.id) {
         min_applied = std::min(min_applied, peers_[static_cast<size_t>(p)].applied_idx);
       }

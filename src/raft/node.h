@@ -23,6 +23,7 @@
 #include "src/common/random.h"
 #include "src/common/types.h"
 #include "src/raft/log.h"
+#include "src/raft/membership.h"
 #include "src/raft/messages.h"
 #include "src/raft/options.h"
 #include "src/raft/replier_scheduler.h"
@@ -45,6 +46,14 @@ struct RaftStats {
   uint64_t submits_rejected = 0;
   uint64_t snapshots_sent = 0;
   uint64_t snapshots_installed = 0;
+  // Dynamic membership (docs/membership.md).
+  uint64_t config_changes_proposed = 0;
+  uint64_t config_changes_committed = 0;
+  uint64_t config_changes_aborted = 0;  // rolled back by log truncation
+  uint64_t learners_promoted = 0;
+  // Total time learners spent catching up (committed-as-learner to
+  // promotion-appended), for the mean catch-up duration metric.
+  uint64_t learner_catchup_ns_total = 0;
 };
 
 class RaftNode {
@@ -78,6 +87,14 @@ class RaftNode {
     // A fresh leader re-orders client requests orphaned by its predecessor
     // (paper section 5, bounded queues discussion).
     virtual void DrainUnorderedIntoLog() = 0;
+    // A membership config entry committed at `idx`. Fires on every node (in
+    // commit order) so the hosting layer can reconfigure multicast groups,
+    // the aggregator, and retire removed servers. Default no-op so simple
+    // test environments need not care.
+    virtual void OnConfigCommitted(const MembershipConfig& config, LogIndex idx) {
+      (void)config;
+      (void)idx;
+    }
   };
 
   RaftNode(Simulator* sim, uint64_t seed, const RaftOptions& options, Env* env);
@@ -113,6 +130,29 @@ class RaftNode {
   void OnInstallSnapshot(const InstallSnapshotReq& req);
   void OnInstallSnapshotRep(const InstallSnapshotRep& rep);
 
+  // --- membership change (leader only; dissertation section 4) ---
+  // Starts adding `node`: appends a config entry that carries the active
+  // config plus `node` as a non-voting learner. Once that entry commits and
+  // the learner's log is within one append batch of the leader's tail, the
+  // leader automatically appends the promotion config making it a voter.
+  // Returns false when not leader, a change is already in flight, or `node`
+  // is already a member.
+  bool StartAddServer(NodeId node);
+
+  // Starts removing `node` (voter or learner). The config minus `node` takes
+  // effect at the leader on append: the leader stops replicating to `node`
+  // immediately and, when removing itself, keeps leading until the entry
+  // commits under the new config and then steps down. Returns false when not
+  // leader, a change is in flight, `node` is not a member, or removal would
+  // leave zero voters.
+  bool StartRemoveServer(NodeId node);
+
+  // Management-plane retirement: called when a committed config excludes
+  // this node (possibly learned out-of-band — the node itself may have been
+  // partitioned away when the removal committed). Stops campaigning; message
+  // handlers keep running so a later AddServer can bring the node back.
+  void Retire();
+
   // --- application feedback ---
   // The server applied the entry at `idx` on its app thread.
   void OnApplied(LogIndex idx);
@@ -138,6 +178,16 @@ class RaftNode {
   // safe upper bound for compaction.
   LogIndex MinAppliedKnown() const;
 
+  // --- membership queries ---
+  // The active (latest appended) config; effective immediately per the
+  // dissertation's single-server change rule.
+  const MembershipConfig& active_config() const { return *configs_.back().second; }
+  MembershipConfigPtr active_config_ptr() const { return configs_.back().second; }
+  LogIndex active_config_idx() const { return configs_.back().first; }
+  LogIndex committed_config_idx() const { return committed_config_idx_; }
+  bool ConfigChangeInFlight() const { return active_config_idx() > commit_idx_; }
+  bool retired() const { return retired_; }
+
  private:
   struct PeerState {
     LogIndex next_idx = 1;
@@ -149,6 +199,11 @@ class RaftNode {
     bool direct_mode = false;      // ++: fell back to point-to-point
     bool snapshot_inflight = false;
     TimeNs last_send = 0;  // last AE/snapshot handed to this peer
+    // Highest commit index this peer has confirmed (from its AE replies).
+    // Gates the aggregator fast path across config epochs: AGG_COMMITs are
+    // epoch-tagged, so a peer must have observed the committed config before
+    // the leader may rely on the aggregator to deliver its commit index.
+    LogIndex commit_acked = 0;
   };
 
   // -- role transitions --
@@ -183,6 +238,22 @@ class RaftNode {
   void RequestRecovery(const RequestId& rid);
 
   bool IsReplicationTarget(LogIndex idx) const;
+
+  // -- membership internals --
+  bool AppendConfigEntry(MembershipConfigPtr config);
+  // Tracks a config observed at `idx` (leader append, follower append, or
+  // snapshot install) and reconciles role/timers with the new active config.
+  void TrackConfig(LogIndex idx, MembershipConfigPtr config);
+  // Drops configs introduced at or above `idx` (log truncation on conflict).
+  void RollbackConfigsAbove(LogIndex idx);
+  // Re-arms or cancels the election timer and clears retirement after the
+  // active config changed.
+  void ReconcileRoleWithConfig();
+  // Leader: appends the promotion config once a committed learner has caught
+  // up to within one append batch of the log tail.
+  void MaybePromoteLearners();
+  // True when this node may campaign: a live, non-retired voter.
+  bool CanCampaign() const;
 
   Simulator* sim_;
   RaftOptions options_;
@@ -219,6 +290,22 @@ class RaftNode {
   EventId election_timer_ = kInvalidEvent;
   EventId heartbeat_timer_ = kInvalidEvent;
   bool halted_ = false;
+
+  // Membership state. `configs_` holds the initial config (index 0) plus
+  // every config entry still in the log and not yet compacted below the
+  // committed one; the back is the active config. With static membership it
+  // stays a single element and every guard below degenerates to the
+  // pre-membership behaviour (committed_config_idx_ == 0).
+  std::vector<std::pair<LogIndex, MembershipConfigPtr>> configs_;
+  LogIndex committed_config_idx_ = 0;
+  bool retired_ = false;
+  // When this node last heard from a live leader; used to ignore votes
+  // requested by non-members (a removed server that never learned its own
+  // removal must not depose the leader — dissertation section 4.2.3).
+  TimeNs last_leader_contact_ = 0;
+  // Leader: time each active learner became one (committed), for the
+  // catch-up duration stat.
+  std::unordered_map<NodeId, TimeNs> learner_since_;
 
   ReplierScheduler scheduler_;
   RaftStats stats_;

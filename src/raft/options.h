@@ -14,6 +14,13 @@ struct RaftOptions {
   NodeId id = kInvalidNode;
   int32_t cluster_size = 3;
 
+  // Dynamic membership: number of nodes in the initial voter configuration.
+  // 0 means "all cluster_size nodes vote" (the static-membership default).
+  // When smaller than cluster_size, nodes [initial_voters, cluster_size) are
+  // spares: they run the full message handlers but hold no vote and arm no
+  // election timer until a committed config adds them (docs/membership.md).
+  int32_t initial_voters = 0;
+
   // Election timeout is drawn uniformly from [min, max] and re-armed on any
   // valid leader contact. The heartbeat doubles as the retransmission timer.
   TimeNs election_timeout_min = Millis(5);

@@ -12,7 +12,8 @@ ReplierScheduler::ReplierScheduler(int32_t cluster_size, NodeId self, ReplierPol
       bound_(bound),
       rng_(seed),
       assigned_(static_cast<size_t>(cluster_size)),
-      applied_(static_cast<size_t>(cluster_size), 0) {
+      applied_(static_cast<size_t>(cluster_size), 0),
+      is_member_(static_cast<size_t>(cluster_size), 1) {
   HC_CHECK_GT(cluster_size, 0);
   HC_CHECK_GT(bound, 0);
 }
@@ -56,6 +57,9 @@ NodeId ReplierScheduler::Assign(LogIndex idx) {
     // Reservoir-sample uniformly among eligible nodes.
     int32_t seen = 0;
     for (NodeId n = 0; n < cluster_size_; ++n) {
+      if (!is_member_[static_cast<size_t>(n)]) {
+        continue;
+      }
       if (!Eligible(n)) {
         continue;
       }
@@ -68,6 +72,9 @@ NodeId ReplierScheduler::Assign(LogIndex idx) {
     int64_t best = bound_;
     int32_t ties = 0;
     for (NodeId n = 0; n < cluster_size_; ++n) {
+      if (!is_member_[static_cast<size_t>(n)]) {
+        continue;
+      }
       const int64_t pending = PendingOf(n);
       if (pending >= bound_) {
         continue;
@@ -95,6 +102,21 @@ void ReplierScheduler::Reset() {
   for (auto& q : assigned_) {
     q.clear();
   }
+}
+
+void ReplierScheduler::SetMembers(const std::vector<NodeId>& members) {
+  std::vector<uint8_t> next(static_cast<size_t>(cluster_size_), 0);
+  for (NodeId n : members) {
+    if (n >= 0 && n < cluster_size_) {
+      next[static_cast<size_t>(n)] = 1;
+    }
+  }
+  for (NodeId n = 0; n < cluster_size_; ++n) {
+    if (!next[static_cast<size_t>(n)]) {
+      assigned_[static_cast<size_t>(n)].clear();
+    }
+  }
+  is_member_ = std::move(next);
 }
 
 }  // namespace hovercraft

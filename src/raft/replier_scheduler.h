@@ -35,6 +35,13 @@ class ReplierScheduler {
   // Forgets all assignments (leadership change).
   void Reset();
 
+  // Restricts eligibility to `members` (dynamic membership): non-members are
+  // skipped by Assign and their outstanding assignments are dropped — a
+  // removed replier will never reply, so its backlog must not count against
+  // the JBSQ shortest-queue comparison. Ids outside [0, cluster_size) are
+  // ignored. The default is all nodes eligible.
+  void SetMembers(const std::vector<NodeId>& members);
+
   ReplierPolicy policy() const { return policy_; }
   int64_t bound() const { return bound_; }
 
@@ -49,6 +56,10 @@ class ReplierScheduler {
   // Per node: assigned log indices not yet covered by its applied index.
   std::vector<std::deque<LogIndex>> assigned_;
   std::vector<LogIndex> applied_;
+  // Eligibility bitmap (1 = member). Checked before the per-node RNG draw so
+  // that with all nodes member (the static default) the draw sequence is
+  // identical to a build without membership support.
+  std::vector<uint8_t> is_member_;
 };
 
 }  // namespace hovercraft

@@ -284,27 +284,106 @@ TEST_F(FlowControlTest, CounterNeverGoesNegative) {
 }
 
 TEST_F(FlowControlTest, DuplicateFeedbackDoesNotCorruptAdmission) {
-  // The middlebox holds one register, not a request table: a duplicate
-  // FEEDBACK (e.g. two repliers answering the same request after a replier
-  // reassignment) decrements twice. This pins that the counter saturates at
-  // zero instead of going negative and silently widening the window.
+  // The ledger is per-rid: a duplicate FEEDBACK (e.g. two repliers answering
+  // the same request after a replier reassignment) releases the slot once
+  // and is a no-op afterwards. It must neither go negative nor release some
+  // *other* request's slot and silently widen the window.
   auto fc = MakeMiddlebox(2);
   SendRequest(*fc, 1);
   SendRequest(*fc, 2);
   EXPECT_EQ(fc->outstanding(), 2);
-  for (int i = 0; i < 4; ++i) {  // 2 legitimate + 2 duplicate
+  for (int i = 0; i < 4; ++i) {  // 1 legitimate + 3 duplicates
     server_a_->Send(fc->id(), std::make_shared<FeedbackMsg>(RequestId{client_->id(), 1}));
   }
   sim_.RunToCompletion();
-  EXPECT_EQ(fc->outstanding(), 0);
+  EXPECT_EQ(fc->outstanding(), 1);  // request 2 is still in flight
 
-  // Admission still behaves: capacity is 2, the third request is NACKed.
+  // Admission still behaves: one slot is free, so request 3 is admitted and
+  // request 4 is NACKed.
   SendRequest(*fc, 3);
   SendRequest(*fc, 4);
-  SendRequest(*fc, 5);
   EXPECT_EQ(fc->outstanding(), 2);
   EXPECT_EQ(fc->nacked(), 1u);
-  EXPECT_EQ(client_->Of<NackMsg>().back()->rid().seq, 5u);
+  EXPECT_EQ(client_->Of<NackMsg>().back()->rid().seq, 4u);
+
+  // Request 2's own FEEDBACK releases exactly its slot.
+  server_a_->Send(fc->id(), std::make_shared<FeedbackMsg>(RequestId{client_->id(), 2}));
+  sim_.RunToCompletion();
+  EXPECT_EQ(fc->outstanding(), 1);
+}
+
+TEST_F(FlowControlTest, LeaderChangeReconcilesOrphanedSlots) {
+  // Failover repair (DESIGN.md section 5c): a new leader announces itself,
+  // the middlebox hands it the open ledger, and the leader classifies each
+  // slot. Executed and unknown slots release immediately; pending ones wait
+  // for their own FEEDBACK.
+  auto fc = MakeMiddlebox(8);
+  SendRequest(*fc, 1);
+  SendRequest(*fc, 2);
+  SendRequest(*fc, 3);
+  EXPECT_EQ(fc->outstanding(), 3);
+
+  server_a_->Send(fc->id(), std::make_shared<FcLeaderChangeMsg>(server_a_->id()));
+  sim_.RunToCompletion();
+  auto queries = server_a_->Of<FcReconcileReq>();
+  ASSERT_EQ(queries.size(), 1u);
+  ASSERT_EQ(queries[0]->rids().size(), 3u);
+  EXPECT_EQ(fc->reconciles_started(), 1u);
+
+  // rid 1 executed (replier died before FEEDBACK), rid 2 still pending,
+  // rid 3 lost with the old leader.
+  server_a_->Send(fc->id(), std::make_shared<FcReconcileRep>(
+                                queries[0]->rids(),
+                                std::vector<FcSlotState>{FcSlotState::kExecuted,
+                                                         FcSlotState::kPending,
+                                                         FcSlotState::kUnknown}));
+  sim_.RunToCompletion();
+  EXPECT_EQ(fc->outstanding(), 1);  // only rid 2 remains charged
+  EXPECT_EQ(fc->reconciled_released(), 2u);
+  EXPECT_EQ(fc->force_released(), 0u);
+
+  // rid 2's own FEEDBACK converges the ledger to zero.
+  server_a_->Send(fc->id(), std::make_shared<FeedbackMsg>(RequestId{client_->id(), 2}));
+  sim_.RunToCompletion();
+  EXPECT_EQ(fc->outstanding(), 0);
+}
+
+TEST_F(FlowControlTest, ReconcileForceReleasesAfterBoundedRounds) {
+  // A leader that keeps reporting a slot as pending cannot pin the admission
+  // window forever: after kMaxReconcileRounds (16) the middlebox writes the
+  // slot off and counts the anomaly.
+  auto fc = MakeMiddlebox(8);
+  SendRequest(*fc, 1);
+  server_a_->Send(fc->id(), std::make_shared<FcLeaderChangeMsg>(server_a_->id()));
+  sim_.RunToCompletion();
+
+  for (int round = 1; round <= 16; ++round) {
+    auto queries = server_a_->Of<FcReconcileReq>();
+    ASSERT_EQ(queries.size(), static_cast<size_t>(round));
+    server_a_->Send(fc->id(),
+                    std::make_shared<FcReconcileRep>(
+                        queries.back()->rids(),
+                        std::vector<FcSlotState>{FcSlotState::kPending}));
+    sim_.RunToCompletion();
+  }
+  EXPECT_EQ(fc->outstanding(), 0);
+  EXPECT_EQ(fc->force_released(), 1u);
+  // The reconcile loop stopped: no further queries after the write-off.
+  EXPECT_EQ(server_a_->Of<FcReconcileReq>().size(), 16u);
+}
+
+TEST_F(FlowControlTest, RetransmitReusesItsAdmissionSlot) {
+  // A retransmitted rid that is already open must re-forward without opening
+  // (or being NACKed out of) a second slot: the original admission will be
+  // repaid exactly once.
+  auto fc = MakeMiddlebox(1);
+  SendRequest(*fc, 1);
+  EXPECT_EQ(fc->outstanding(), 1);
+  SendRequest(*fc, 1);  // retransmit of the admitted rid
+  EXPECT_EQ(fc->outstanding(), 1);
+  EXPECT_EQ(fc->nacked(), 0u);
+  EXPECT_EQ(fc->forwarded(), 2u);
+  EXPECT_EQ(server_a_->Of<RpcRequest>().size(), 2u);
 }
 
 TEST_F(FlowControlTest, NackedRequestLeavesNoResidualState) {

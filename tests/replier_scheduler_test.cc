@@ -168,6 +168,53 @@ TEST(ReplierSchedulerTest, JbsqEqualQueuesSpreadDeterministically) {
   }
 }
 
+TEST(ReplierSchedulerTest, SetMembersShrinksEligibleSet) {
+  // Dynamic membership: a removed node must stop receiving replier
+  // assignments immediately, and its queued work is written off (the node is
+  // gone — waiting for its applied index to advance would wedge the bound).
+  ReplierScheduler sched(4, 0, ReplierPolicy::kJbsq, /*bound=*/8, 9);
+  LogIndex idx = 1;
+  for (int i = 0; i < 8; ++i) {
+    sched.Assign(idx++);
+  }
+  EXPECT_GT(sched.PendingOf(3), 0);
+
+  sched.SetMembers({0, 1, 2});
+  EXPECT_EQ(sched.PendingOf(3), 0);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId n = sched.Assign(idx);
+    ASSERT_NE(n, 3);
+    if (n != kInvalidNode) {
+      sched.UpdateApplied(n, idx);
+    }
+    ++idx;
+  }
+
+  // A re-added node becomes eligible again.
+  sched.SetMembers({0, 1, 2, 3});
+  bool saw_three = false;
+  for (int i = 0; i < 50 && !saw_three; ++i) {
+    const NodeId n = sched.Assign(idx);
+    saw_three = (n == 3);
+    if (n != kInvalidNode) {
+      sched.UpdateApplied(n, idx);
+    }
+    ++idx;
+  }
+  EXPECT_TRUE(saw_three);
+}
+
+TEST(ReplierSchedulerTest, SetMembersRandomPolicyExcludesNonMembers) {
+  ReplierScheduler sched(3, 0, ReplierPolicy::kRandom, /*bound=*/1'000'000, 10);
+  sched.SetMembers({0, 2});
+  for (LogIndex i = 1; i <= 500; ++i) {
+    const NodeId n = sched.Assign(i);
+    ASSERT_NE(n, 1);
+    ASSERT_NE(n, kInvalidNode);
+    sched.UpdateApplied(n, i);
+  }
+}
+
 TEST(ReplierSchedulerTest, ResetClearsAssignments) {
   ReplierScheduler sched(2, 0, ReplierPolicy::kJbsq, 2, 8);
   sched.Assign(1);

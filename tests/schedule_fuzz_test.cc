@@ -92,12 +92,14 @@ class FuzzEnv final : public RaftNode::Env {
 
 class FuzzHarness {
  public:
-  FuzzHarness(int32_t n, uint64_t seed, bool metadata_mode, double drop_probability)
+  FuzzHarness(int32_t n, uint64_t seed, bool metadata_mode, double drop_probability,
+              int32_t initial_voters = 0)
       : rng_(seed), drop_probability_(drop_probability) {
     for (NodeId i = 0; i < n; ++i) {
       RaftOptions opts;
       opts.id = i;
       opts.cluster_size = n;
+      opts.initial_voters = initial_voters;
       opts.metadata_only = metadata_mode;
       opts.election_timeout_min = Millis(4);
       opts.election_timeout_max = Millis(12);
@@ -154,6 +156,49 @@ class FuzzHarness {
             << "two leaders in term " << node->term();
         (void)inserted;
       }
+    }
+  }
+
+  // Randomized reconfiguration schedule: at random times, ask whoever leads
+  // right then to add a random non-member or remove a random member (never
+  // below two). Rejected proposals (a change already in flight, no leader)
+  // are dropped on the floor — the next event simply tries again — so the
+  // schedule exercises proposal, rollback-on-truncation, learner catch-up
+  // and self-removal in arbitrary interleavings with crashes and loss.
+  void ArmChurn(TimeNs duration, int events) {
+    const int32_t n = static_cast<int32_t>(nodes_.size());
+    for (int i = 0; i < events; ++i) {
+      const TimeNs when =
+          static_cast<TimeNs>(rng_.NextBelow(static_cast<uint64_t>(duration)));
+      sim_.At(when, [this, n]() {
+        RaftNode* leader = nullptr;
+        for (auto& node : nodes_) {
+          if (!down_[static_cast<size_t>(node->id())] && node->IsLeader()) {
+            leader = node.get();
+            break;
+          }
+        }
+        if (leader == nullptr) {
+          return;
+        }
+        const MembershipConfig& cfg = leader->active_config();
+        std::vector<NodeId> in;
+        std::vector<NodeId> out;
+        for (NodeId id = 0; id < n; ++id) {
+          (cfg.IsMember(id) ? in : out).push_back(id);
+        }
+        const bool can_add = !out.empty();
+        const bool can_remove = in.size() > 2;
+        if (!can_add && !can_remove) {
+          return;
+        }
+        const bool add = can_add && (!can_remove || rng_.NextBool(0.5));
+        if (add) {
+          leader->StartAddServer(out[rng_.NextBelow(out.size())]);
+        } else {
+          leader->StartRemoveServer(in[rng_.NextBelow(in.size())]);
+        }
+      });
     }
   }
 
@@ -227,6 +272,12 @@ class FuzzHarness {
           if (ea.term == eb.term) {
             EXPECT_EQ(ea.noop, eb.noop) << "idx " << idx;
             EXPECT_EQ(ea.rid, eb.rid) << "idx " << idx;
+            // Config entries must agree too: same position, same membership.
+            EXPECT_EQ(ea.config != nullptr, eb.config != nullptr) << "idx " << idx;
+            if (ea.config != nullptr && eb.config != nullptr) {
+              EXPECT_EQ(ea.config->voters, eb.config->voters) << "idx " << idx;
+              EXPECT_EQ(ea.config->learners, eb.config->learners) << "idx " << idx;
+            }
             matched_suffix = true;
           } else {
             // Terms may differ only above both commit points, i.e. in
@@ -298,14 +349,22 @@ struct FuzzParam {
   int32_t nodes;
   bool metadata;
   int drop_permille;
+  // Dynamic membership: extra servers started outside the initial voter set,
+  // and how many randomized add/remove proposals to fire during the run.
+  int32_t spares = 0;
+  int churn_events = 0;
 };
 
 class ScheduleFuzzTest : public ::testing::TestWithParam<std::tuple<int, FuzzParam>> {};
 
 TEST_P(ScheduleFuzzTest, SafetyHoldsUnderRandomSchedules) {
   const auto [seed, param] = GetParam();
-  FuzzHarness harness(param.nodes, static_cast<uint64_t>(seed) * 7919 + 13, param.metadata,
-                      param.drop_permille / 1000.0);
+  FuzzHarness harness(param.nodes + param.spares, static_cast<uint64_t>(seed) * 7919 + 13,
+                      param.metadata, param.drop_permille / 1000.0,
+                      param.spares > 0 ? param.nodes : 0);
+  if (param.churn_events > 0) {
+    harness.ArmChurn(Millis(150), param.churn_events);
+  }
   harness.Run(/*client_requests=*/120, /*duration=*/Millis(150));
   if (::testing::Test::HasFatalFailure()) {
     return;
@@ -321,6 +380,17 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, 12),
                        ::testing::Values(FuzzParam{3, false, 20}, FuzzParam{3, true, 50},
                                          FuzzParam{5, true, 20}, FuzzParam{5, false, 100})));
+
+// Election safety and log matching must survive arbitrary interleavings of
+// reconfiguration with message loss, reordering and crashes: randomized
+// add/remove schedules against a 3-voter cluster with spares, in both the
+// full-log and metadata-only replication modes.
+INSTANTIATE_TEST_SUITE_P(
+    ChurnSchedules, ScheduleFuzzTest,
+    ::testing::Combine(::testing::Range(0, 12),
+                       ::testing::Values(FuzzParam{3, false, 20, 2, 12},
+                                         FuzzParam{3, true, 50, 2, 12},
+                                         FuzzParam{3, true, 20, 3, 20})));
 
 }  // namespace
 }  // namespace hovercraft

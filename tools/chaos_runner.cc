@@ -20,6 +20,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/chaos/nemesis.h"
 #include "src/chaos/runner.h"
@@ -34,6 +35,7 @@ struct CliOptions {
   std::string schedule = "random";
   uint64_t seed = 1;
   int32_t nodes = 3;
+  int32_t spares = 0;
   int32_t clients = 2;
   double rate = 4'000;
   int32_t keys = 8;
@@ -50,6 +52,10 @@ struct CliOptions {
   bool help = false;
   std::string trace_out;    // Chrome trace-event JSON path ("" = no tracing)
   std::string metrics_out;  // metrics registry JSON path ("" = no dump)
+  // Scripted membership events, parsed from --add-server-at-us /
+  // --remove-server-at-us ("TIME_US:NODE[,TIME_US:NODE...]").
+  std::vector<ChaosRunConfig::MembershipEvent> add_server_at;
+  std::vector<ChaosRunConfig::MembershipEvent> remove_server_at;
   TimeNs sample_interval = Micros(100);
   uint64_t max_trace_events = 4'000'000;
 };
@@ -61,6 +67,11 @@ void PrintUsage() {
       "  --seed=S                 replay seed (default 1)\n"
       "  --mode=vanilla|hovercraft|hovercraft++   (default hovercraft)\n"
       "  --nodes=N                cluster size (default 3)\n"
+      "  --spares=N               extra servers outside the initial config (default 0);\n"
+      "                           the churn-* schedules and --add-server-at-us draw on them\n"
+      "  --add-server-at-us=T:N   propose AddServer(node N) T microseconds into the load\n"
+      "                           window (repeatable; also takes a comma-separated list)\n"
+      "  --remove-server-at-us=T:N  same for RemoveServer; deterministic under --seed\n"
       "  --clients=N              load generators (default 2)\n"
       "  --rate=RPS               per-client offered load (default 4000)\n"
       "  --keys=K                 hot keyspace size (default 8)\n"
@@ -90,6 +101,27 @@ bool ParseFlag(const char* arg, const char* name, std::string& out) {
   return false;
 }
 
+// "500:3,1000:4" — membership events as microsecond-offset:node pairs.
+bool ParseMembershipEvents(const std::string& value,
+                           std::vector<ChaosRunConfig::MembershipEvent>& out) {
+  size_t pos = 0;
+  while (pos < value.size()) {
+    const size_t comma = value.find(',', pos);
+    const std::string item =
+        value.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= item.size()) {
+      return false;
+    }
+    ChaosRunConfig::MembershipEvent ev;
+    ev.at = Micros(std::atoll(item.substr(0, colon).c_str()));
+    ev.node = static_cast<NodeId>(std::atoi(item.substr(colon + 1).c_str()));
+    out.push_back(ev);
+    pos = comma == std::string::npos ? value.size() : comma + 1;
+  }
+  return true;
+}
+
 bool ParseOptions(int argc, char** argv, CliOptions& opts) {
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -116,6 +148,19 @@ bool ParseOptions(int argc, char** argv, CliOptions& opts) {
       opts.seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(a, "--nodes", v)) {
       opts.nodes = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--spares", v)) {
+      opts.spares = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--add-server-at-us", v)) {
+      if (!ParseMembershipEvents(v, opts.add_server_at)) {
+        std::fprintf(stderr, "bad --add-server-at-us=%s (want TIME_US:NODE[,...])\n", v.c_str());
+        return false;
+      }
+    } else if (ParseFlag(a, "--remove-server-at-us", v)) {
+      if (!ParseMembershipEvents(v, opts.remove_server_at)) {
+        std::fprintf(stderr, "bad --remove-server-at-us=%s (want TIME_US:NODE[,...])\n",
+                     v.c_str());
+        return false;
+      }
     } else if (ParseFlag(a, "--clients", v)) {
       opts.clients = std::atoi(v.c_str());
     } else if (ParseFlag(a, "--rate", v)) {
@@ -168,6 +213,9 @@ int Run(const CliOptions& opts) {
   config.schedule = opts.schedule;
   config.seed = opts.seed;
   config.nodes = opts.nodes;
+  config.spare_nodes = opts.spares;
+  config.add_server_at = opts.add_server_at;
+  config.remove_server_at = opts.remove_server_at;
   config.clients = opts.clients;
   config.rate_rps_per_client = opts.rate;
   config.keys = opts.keys;

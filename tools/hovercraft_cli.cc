@@ -15,6 +15,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/app/kvstore/service.h"
 #include "src/app/ycsb.h"
@@ -27,6 +28,11 @@ namespace {
 struct CliOptions {
   std::string mode = "hovercraft++";
   int32_t nodes = 3;
+  int32_t spares = 0;
+  // Scripted membership events ("TIME_US:NODE[,TIME_US:NODE...]"), offset
+  // from load start; deterministic under --seed.
+  std::vector<ExperimentConfig::MembershipEvent> add_server_at;
+  std::vector<ExperimentConfig::MembershipEvent> remove_server_at;
   std::string workload = "synthetic";
   double rate = 100e3;
   bool slo_search = false;
@@ -51,6 +57,10 @@ void PrintUsage() {
       "usage: hovercraft_cli [flags]\n"
       "  --mode=unrep|vanilla|hovercraft|hovercraft++   (default hovercraft++)\n"
       "  --nodes=N                cluster size (default 3)\n"
+      "  --spares=N               extra servers outside the initial config (default 0)\n"
+      "  --add-server-at-us=T:N   propose AddServer(node N) T microseconds after load\n"
+      "                           start (repeatable / comma-separated list)\n"
+      "  --remove-server-at-us=T:N  same for RemoveServer\n"
       "  --workload=synthetic|ycsbe\n"
       "  --rate=RPS               offered load (default 100000)\n"
       "  --slo-search             find max throughput under --slo-us instead\n"
@@ -75,6 +85,27 @@ bool ParseFlag(const char* arg, const char* name, std::string& out) {
   return false;
 }
 
+// "500:3,1000:4" — membership events as microsecond-offset:node pairs.
+bool ParseMembershipEvents(const std::string& value,
+                           std::vector<ExperimentConfig::MembershipEvent>& out) {
+  size_t pos = 0;
+  while (pos < value.size()) {
+    const size_t comma = value.find(',', pos);
+    const std::string item =
+        value.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= item.size()) {
+      return false;
+    }
+    ExperimentConfig::MembershipEvent ev;
+    ev.at = Micros(std::atoll(item.substr(0, colon).c_str()));
+    ev.node = static_cast<NodeId>(std::atoi(item.substr(colon + 1).c_str()));
+    out.push_back(ev);
+    pos = comma == std::string::npos ? value.size() : comma + 1;
+  }
+  return true;
+}
+
 bool ParseOptions(int argc, char** argv, CliOptions& opts) {
   for (int i = 1; i < argc; ++i) {
     std::string v;
@@ -85,6 +116,19 @@ bool ParseOptions(int argc, char** argv, CliOptions& opts) {
       opts.mode = v;
     } else if (ParseFlag(a, "--nodes", v)) {
       opts.nodes = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--spares", v)) {
+      opts.spares = std::atoi(v.c_str());
+    } else if (ParseFlag(a, "--add-server-at-us", v)) {
+      if (!ParseMembershipEvents(v, opts.add_server_at)) {
+        std::fprintf(stderr, "bad --add-server-at-us=%s (want TIME_US:NODE[,...])\n", v.c_str());
+        return false;
+      }
+    } else if (ParseFlag(a, "--remove-server-at-us", v)) {
+      if (!ParseMembershipEvents(v, opts.remove_server_at)) {
+        std::fprintf(stderr, "bad --remove-server-at-us=%s (want TIME_US:NODE[,...])\n",
+                     v.c_str());
+        return false;
+      }
     } else if (ParseFlag(a, "--workload", v)) {
       opts.workload = v;
     } else if (ParseFlag(a, "--rate", v)) {
@@ -155,6 +199,9 @@ int Run(const CliOptions& opts) {
   ExperimentConfig config;
   config.cluster.mode = mode;
   config.cluster.nodes = opts.nodes;
+  config.cluster.spare_nodes = opts.spares;
+  config.add_server_at = opts.add_server_at;
+  config.remove_server_at = opts.remove_server_at;
   config.cluster.replier_policy = policy;
   config.cluster.bounded_queue_depth = opts.bounded_queue;
   config.cluster.flow_control_threshold = opts.flow_control;
