@@ -5,6 +5,14 @@
 // min/median/max over several seeds. The classic trade-off: short timeouts
 // recover fast but false-trigger on delay spikes; long timeouts waste
 // milliseconds of availability per failure.
+//
+// Part two runs the rejoin-storm attack (docs/hardening.md) hardened vs
+// baseline: a follower is partitioned away under load, churns its term, and
+// rejoins. Without PreVote the rejoin deposes a healthy leader and stalls
+// the service for roughly an election timeout; with PreVote + CheckQuorum
+// the rejoin is absorbed without disruption. The bench exits nonzero if the
+// hardened configuration's downtime regresses past the baseline's, so it
+// doubles as a regression gate.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -101,10 +109,123 @@ void Run() {
   }
 }
 
+struct RejoinOutcome {
+  TimeNs stall = 0;           // longest completion gap after the rejoin
+  uint64_t term_delta = 0;    // cluster term growth caused by the rejoin
+  bool leader_deposed = false;
+};
+
+// Partition one follower away under steady load, let its election timer
+// churn, heal it, and measure how long the service stalls afterwards.
+RejoinOutcome MeasureRejoin(bool hardened, uint64_t seed) {
+  ClusterConfig config = benchutil::MakeClusterConfig(ClusterMode::kHovercRaftPP, 3,
+                                                      ReplierPolicy::kJbsq, 32, seed);
+  config.flow_control_threshold = 1000;
+  config.raft.pre_vote = hardened;
+  config.raft.check_quorum = hardened;
+  config.stagger_first_election = true;
+  Cluster cluster(config);
+  RejoinOutcome out;
+  if (cluster.WaitForLeader() == kInvalidNode) {
+    return out;
+  }
+
+  SyntheticWorkloadConfig workload;
+  workload.service_time = std::make_shared<FixedDistribution>(Micros(2));
+  auto client = std::make_unique<ClientHost>(
+      &cluster.sim(), config.costs, [&cluster]() { return cluster.ClientTarget(); },
+      std::make_unique<SyntheticWorkload>(workload), 50'000, seed ^ 0xD07);
+  cluster.network().Attach(client.get());
+
+  const TimeNs t0 = cluster.sim().Now();
+  client->StartLoad(t0, t0 + Millis(400));
+  cluster.sim().RunUntil(t0 + Millis(30));
+
+  const NodeId leader_before = cluster.LeaderId();
+  const Term term_before = cluster.server(leader_before).raft()->term();
+  NodeId victim = kInvalidNode;
+  for (NodeId node = 0; node < 3; ++node) {
+    if (node != leader_before) {
+      victim = node;
+      break;
+    }
+  }
+  // Isolate the victim long enough for several election timeouts to fire.
+  cluster.network().SetPartitions({{cluster.server_host(victim)}});
+  cluster.sim().RunUntil(cluster.sim().Now() + Millis(60));
+  cluster.network().ClearFaults();
+
+  // Watch the 100ms after the heal: the longest gap between completions is
+  // the service stall the rejoin caused.
+  const TimeNs heal_at = cluster.sim().Now();
+  uint64_t last_completed = client->total_completed();
+  TimeNs last_progress = heal_at;
+  while (cluster.sim().Now() < heal_at + Millis(100)) {
+    cluster.sim().RunUntil(cluster.sim().Now() + Micros(50));
+    const uint64_t completed = client->total_completed();
+    if (completed > last_completed) {
+      last_completed = completed;
+      last_progress = cluster.sim().Now();
+    } else {
+      out.stall = std::max(out.stall, cluster.sim().Now() - last_progress);
+    }
+  }
+
+  const NodeId leader_after = cluster.LeaderId();
+  Term term_after = term_before;
+  if (leader_after != kInvalidNode) {
+    term_after = cluster.server(leader_after).raft()->term();
+    out.leader_deposed = leader_after != leader_before;
+  }
+  out.term_delta = term_after > term_before ? term_after - term_before : 0;
+  out.leader_deposed = out.leader_deposed || out.term_delta > 0;
+  return out;
+}
+
+int RunRejoinStorm() {
+  benchutil::PrintHeader(
+      "Adversarial: rejoin-storm downtime, hardened (PreVote+CheckQuorum) vs baseline",
+      "docs/hardening.md attack battery; gate for the PreVote defense");
+
+  std::printf("%10s | %20s | %12s | %10s\n", "config", "stall (min/med/max)", "term growth",
+              "deposed");
+  TimeNs baseline_median = 0;
+  TimeNs hardened_median = 0;
+  for (const bool hardened : {false, true}) {
+    std::vector<TimeNs> stalls;
+    uint64_t term_growth = 0;
+    int deposed = 0;
+    for (uint64_t seed = 1; seed <= 9; ++seed) {
+      const RejoinOutcome o = MeasureRejoin(hardened, seed * 131);
+      stalls.push_back(o.stall);
+      term_growth += o.term_delta;
+      deposed += o.leader_deposed ? 1 : 0;
+    }
+    std::sort(stalls.begin(), stalls.end());
+    const TimeNs median = stalls[stalls.size() / 2];
+    std::printf("%10s | %5.2f / %5.2f / %5.2fms | %12llu | %7d/9\n",
+                hardened ? "hardened" : "baseline", static_cast<double>(stalls.front()) / 1e6,
+                static_cast<double>(median) / 1e6, static_cast<double>(stalls.back()) / 1e6,
+                static_cast<unsigned long long>(term_growth), deposed);
+    (hardened ? hardened_median : baseline_median) = median;
+  }
+
+  if (hardened_median > baseline_median) {
+    std::printf("FAIL: hardened rejoin downtime (%.2fms) regressed past baseline (%.2fms)\n",
+                static_cast<double>(hardened_median) / 1e6,
+                static_cast<double>(baseline_median) / 1e6);
+    return 1;
+  }
+  std::printf("OK: hardened median stall %.2fms <= baseline %.2fms\n",
+              static_cast<double>(hardened_median) / 1e6,
+              static_cast<double>(baseline_median) / 1e6);
+  return 0;
+}
+
 }  // namespace
 }  // namespace hovercraft
 
 int main() {
   hovercraft::Run();
-  return 0;
+  return hovercraft::RunRejoinStorm();
 }

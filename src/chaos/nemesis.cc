@@ -4,6 +4,7 @@
 
 #include "src/common/check.h"
 #include "src/obs/observability.h"
+#include "src/raft/messages.h"
 
 namespace hovercraft {
 namespace {
@@ -32,7 +33,8 @@ const std::vector<std::string>& Nemesis::ScheduleNames() {
       "none",           "partition-leader", "partition-halves",    "asym-leader",
       "delay",          "reorder",          "flap",                "crash-follower",
       "crash-leader",   "drop-replies",     "crash-replier",       "churn-cycle",
-      "churn-remove-leader",                "churn-add-partition", "random",
+      "churn-remove-leader",                "churn-add-partition", "rejoin-storm",
+      "forged-vote",    "timer-skew",       "stale-read-probe",    "random",
   };
   return kNames;
 }
@@ -131,6 +133,103 @@ void Nemesis::IsolateLeader() {
   const NodeId leader = CurrentLeaderOr(0);
   cluster_->network().SetPartitions({{cluster_->server_host(leader)}});
   Log("partition: isolate node " + std::to_string(leader) + " (leader)");
+}
+
+void Nemesis::IsolateFollower() {
+  // Rejoin-storm phase 1: cut a follower off completely. Without PreVote it
+  // keeps timing out and bumping its term in the dark; the heal turns that
+  // inflated term into a leader deposition. With PreVote its polls fail
+  // (no quorum reachable) and the term never moves.
+  const NodeId leader = CurrentLeaderOr(0);
+  isolated_node_ = PickFollower(leader);
+  cluster_->network().SetPartitions({{cluster_->server_host(isolated_node_)}});
+  Log("rejoin-storm: isolate node " + std::to_string(isolated_node_) +
+      " (term " + std::to_string(cluster_->server(isolated_node_).raft()->term()) + ")");
+}
+
+void Nemesis::HealIsolated() {
+  if (isolated_node_ == kInvalidNode) {
+    HealNetwork();
+    return;
+  }
+  const Term term = cluster_->server(isolated_node_).raft()->term();
+  cluster_->network().ClearFaults();
+  cut_links_.clear();
+  Log("rejoin-storm: heal, node " + std::to_string(isolated_node_) +
+      " rejoins at term " + std::to_string(term));
+  isolated_node_ = kInvalidNode;
+}
+
+void Nemesis::ForgedVotePressure() {
+  // Inject a crafted RequestVote — higher term, a real member's identity, an
+  // empty log — directly into every live server, modeling a spoofed or
+  // replayed vote packet. With CheckQuorum stickiness the recipients ignore
+  // it (live leader contact / own quorum evidence); without it the inflated
+  // term deposes the leader even though the "candidate" could never win.
+  const NodeId leader = CurrentLeaderOr(0);
+  const NodeId forged_id = PickFollower(leader);
+  Term max_term = 0;
+  for (NodeId node : cluster_->Members()) {
+    if (!cluster_->server(node).failed()) {
+      max_term = std::max(max_term, cluster_->server(node).raft()->term());
+    }
+  }
+  const RequestVoteReq forged(max_term + 100, forged_id, /*last_idx=*/0,
+                              /*last_term=*/0);
+  int injected = 0;
+  for (NodeId node : cluster_->Members()) {
+    if (node == forged_id || cluster_->server(node).failed()) {
+      continue;
+    }
+    cluster_->server(node).raft()->OnRequestVote(forged);
+    ++injected;
+  }
+  Log("forged-vote: injected term " + std::to_string(max_term + 100) +
+      " RequestVote as node " + std::to_string(forged_id) + " into " +
+      std::to_string(injected) + " node(s)");
+}
+
+void Nemesis::SkewFollowerTimer(double scale) {
+  // Timer-skew: shrink one follower's election timeout below the heartbeat
+  // interval, so it fires mid-heartbeat-gap on a perfectly healthy network.
+  // PreVote turns each firing into a failed poll; without it every firing is
+  // a real term bump and an election the cluster must absorb.
+  const NodeId victim = PickFollower(CurrentLeaderOr(0));
+  cluster_->server(victim).raft()->SkewElectionTimer(scale);
+  skewed_nodes_.push_back(victim);
+  Log("timer-skew: node " + std::to_string(victim) + " election timer x" +
+      std::to_string(scale));
+}
+
+void Nemesis::RestoreTimers() {
+  for (NodeId node : skewed_nodes_) {
+    cluster_->server(node).raft()->SkewElectionTimer(1.0);
+  }
+  Log("timer-skew: restore " + std::to_string(skewed_nodes_.size()) + " timer(s)");
+  skewed_nodes_.clear();
+}
+
+void Nemesis::StaleReadPartition() {
+  // Cut the leader's server-to-server links in both directions but leave its
+  // client-facing links (and the middleboxes) intact: the deposed-but-unaware
+  // leader keeps receiving multicast reads while the majority elects a new
+  // leader and commits fresh writes. A leader that honors its read lease
+  // refuses these reads once the lease expires; one that trusts a skewed
+  // lease serves stale values the linearizability checker will flag.
+  const NodeId leader = CurrentLeaderOr(0);
+  const HostId src = cluster_->server_host(leader);
+  for (NodeId node = 0; node < cluster_->total_node_count(); ++node) {
+    if (node == leader) {
+      continue;
+    }
+    const HostId dst = cluster_->server_host(node);
+    cluster_->network().BlockLink(src, dst);
+    cluster_->network().BlockLink(dst, src);
+    cut_links_.emplace_back(src, dst);
+    cut_links_.emplace_back(dst, src);
+  }
+  Log("stale-read-probe: cut node " + std::to_string(leader) +
+      " (leader) from peers, client links stay up");
 }
 
 void Nemesis::SplitHalves() {
@@ -312,6 +411,9 @@ void Nemesis::HealNetwork() {
 void Nemesis::HealAll() {
   HealNetwork();
   RestartDead();
+  if (!skewed_nodes_.empty()) {
+    RestoreTimers();
+  }
 }
 
 void Nemesis::Arm() {
@@ -397,6 +499,29 @@ void Nemesis::ArmScripted() {
     At(s + 3 * w / 16, [this] { AddSpare(); });
     At(s + w / 2, [this] { HealNetwork(); });
     At(s + 11 * w / 16, [this] { RemoveOne(false); });
+  } else if (name == "rejoin-storm") {
+    // Half the window in the dark is dozens of election-timeout firings —
+    // plenty of term inflation without PreVote, none with it. The long tail
+    // after the heal gives a deposed cluster time to look "recovered"; the
+    // disruption shows in leader_disruptions/max_term, not final liveness.
+    At(s + w / 8, [this] { IsolateFollower(); });
+    At(s + 5 * w / 8, [this] { HealIsolated(); });
+  } else if (name == "forged-vote") {
+    // Sustained pressure: a fresh forged vote every eighth of the window, so
+    // an undefended cluster is re-deposed as fast as it re-elects.
+    for (int i = 1; i <= 6; ++i) {
+      At(s + i * w / 8, [this] { ForgedVotePressure(); });
+    }
+  } else if (name == "timer-skew") {
+    // 0.02 x the [5,10]ms election timeout is 100-200us — below the mean
+    // AppendEntries inter-arrival gap under load (replication traffic, not
+    // just heartbeats, re-arms the election timer), so the skewed follower
+    // genuinely fires on an otherwise fault-free network.
+    At(s + w / 8, [this] { SkewFollowerTimer(0.02); });
+    At(s + 3 * w / 4, [this] { RestoreTimers(); });
+  } else if (name == "stale-read-probe") {
+    At(s + w / 8, [this] { StaleReadPartition(); });
+    At(s + 5 * w / 8, [this] { HealNetwork(); });
   } else if (name == "crash-replier") {
     // Mute a replier's client-facing links, let it execute in the dark for a
     // slice of the window, then crash it: every request it answered-but-not-

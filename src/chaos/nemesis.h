@@ -71,6 +71,16 @@ class Nemesis {
   void AddSpare();
   void RemoveOne(bool leader);
   void IsolateLeader();
+  // Adversarial attacks (docs/hardening.md): each reproduces a disruption
+  // from "From Consensus to Chaos" that PreVote / CheckQuorum / ReadIndex
+  // leases are supposed to neutralize. Run them with the defenses toggled
+  // off for the control (attack succeeds), on for the proof (no disruption).
+  void IsolateFollower();   // rejoin-storm: term inflation while cut off
+  void HealIsolated();
+  void ForgedVotePressure();  // inject crafted higher-term RequestVotes
+  void SkewFollowerTimer(double scale);  // timer-skew: one hyperactive timer
+  void RestoreTimers();
+  void StaleReadPartition();  // cut leader<->servers, keep client links
   void SplitHalves();
   void AsymBlockLeader();
   void InjectDelay(TimeNs extra);
@@ -100,6 +110,12 @@ class Nemesis {
   // kills exactly that node so the fault models "replier crashed between
   // execute and reply".
   NodeId replier_victim_ = kInvalidNode;
+  // Follower isolated by the rejoin-storm schedule, so the heal event can
+  // report which node rejoined (and with what term it comes back).
+  NodeId isolated_node_ = kInvalidNode;
+  // Nodes whose election timers SkewFollowerTimer scaled; RestoreTimers
+  // resets exactly these to 1.0.
+  std::vector<NodeId> skewed_nodes_;
 };
 
 }  // namespace hovercraft

@@ -1,5 +1,6 @@
 #include "src/chaos/runner.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -30,6 +31,12 @@ std::string ChaosRunResult::Describe() const {
     out << " " << m;
   }
   out << "\n"
+      << "hardening: disruptions=" << leader_disruptions << " max_term=" << max_term
+      << " prevote_rounds=" << prevote_rounds
+      << " stepdowns_cq=" << stepdowns_check_quorum
+      << " votes_ignored=" << votes_ignored_sticky
+      << " reads_served=" << read_index_served
+      << " reads_rejected=" << read_index_rejected << "\n"
       << "retry: retransmits=" << retransmits
       << " completed_after_retry=" << completed_after_retry << " abandoned=" << abandoned
       << " late_completions=" << late_completions << "\n"
@@ -58,6 +65,10 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
                        ? config.app_factory
                        : []() { return std::make_unique<KvService>(); };
   cc.server_template.dedup_enabled = config.dedup_enabled;
+  cc.raft.pre_vote = config.pre_vote;
+  cc.raft.check_quorum = config.check_quorum;
+  cc.raft.read_index = config.read_index;
+  cc.raft.read_lease_timeout = config.read_lease_timeout;
   // The stagger shortcut gives node 0 a permanently shorter election timeout.
   // Without pre-vote, a healed-but-stale node 0 then livelocks elections:
   // its 1-2 ms timer bumps the term faster than the 5-10 ms peers can elect.
@@ -181,12 +192,23 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
     result.abandoned += client->total_abandoned();
     result.late_completions += client->late_completions();
   }
+  uint64_t times_leader = 0;
   for (NodeId node = 0; node < cluster.total_node_count(); ++node) {
     const ServerStats& stats = cluster.server(node).server_stats();
     result.dedup_hits += stats.dedup_hits;
     result.dedup_replies += stats.dedup_replies;
     result.double_applies += stats.double_applies;
+    result.read_index_served += stats.read_index_local + stats.read_index_remote;
+    const RaftStats& rs = cluster.server(node).raft()->stats();
+    times_leader += rs.times_leader;
+    result.prevote_rounds += rs.prevote_rounds;
+    result.stepdowns_check_quorum += rs.stepdowns_check_quorum;
+    result.votes_ignored_sticky += rs.votes_ignored_sticky;
+    result.read_index_rejected += rs.read_index_rejected;
+    result.entries_appended += rs.entries_appended;
+    result.max_term = std::max(result.max_term, cluster.server(node).raft()->term());
   }
+  result.leader_disruptions = times_leader > 0 ? times_leader - 1 : 0;
   result.nemesis_events = nemesis.events();
   result.linearizability =
       CheckKvLinearizability(recorder.History(), config.checker_max_states);

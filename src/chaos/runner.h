@@ -63,6 +63,18 @@ struct ChaosRunConfig {
   // linearizability violation).
   bool dedup_enabled = true;
 
+  // Adversarial hardening toggles (docs/hardening.md), forwarded into every
+  // node's RaftOptions. The attack schedules ("rejoin-storm", "forged-vote",
+  // "timer-skew", "stale-read-probe") are meant to run twice: the relevant
+  // defense off as the control (the attack visibly succeeds) and on as the
+  // proof (no disruption, no stale read).
+  bool pre_vote = true;
+  bool check_quorum = true;
+  bool read_index = false;
+  // 0 keeps the strict election_timeout_min lease; widening it past the
+  // election timeout models lease clock skew (the stale-read control).
+  TimeNs read_lease_timeout = 0;
+
   // Override the replicated application; defaults to a KvService per node.
   // Exists so tests can plant a deliberately broken state machine and prove
   // the checker catches it.
@@ -115,6 +127,19 @@ struct ChaosRunResult {
   uint64_t dedup_hits = 0;
   uint64_t dedup_replies = 0;
   uint64_t double_applies = 0;
+  // Adversarial-hardening accounting (sums over all nodes; docs/hardening.md).
+  // leader_disruptions counts elections won beyond the initial one — the
+  // metric the attack controls drive up and the defenses hold at zero.
+  uint64_t leader_disruptions = 0;
+  Term max_term = 0;
+  uint64_t prevote_rounds = 0;
+  uint64_t stepdowns_check_quorum = 0;
+  uint64_t votes_ignored_sticky = 0;
+  uint64_t read_index_served = 0;
+  uint64_t read_index_rejected = 0;
+  // Total log entries appended cluster-wide: with read_index on, pure-read
+  // load must not grow it (reads never enter the log).
+  uint64_t entries_appended = 0;
   std::vector<std::string> nemesis_events;
   // Per node: "node 2: term=5 leader alive digest=..." — final state, for
   // diagnosing a failed run.

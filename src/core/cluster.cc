@@ -203,6 +203,11 @@ void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
     metrics->SetCounter(prefix + "server.unordered_gc", st.unordered_gc);
     metrics->SetCounter(prefix + "server.snapshots_restored", st.snapshots_restored);
     metrics->SetCounter(prefix + "server.fc_reconcile_answers", st.fc_reconcile_answers);
+    metrics->SetCounter(prefix + "server.read_index_local", st.read_index_local);
+    metrics->SetCounter(prefix + "server.read_index_forwarded", st.read_index_forwarded);
+    metrics->SetCounter(prefix + "server.read_index_remote", st.read_index_remote);
+    metrics->SetCounter(prefix + "server.read_index_queued", st.read_index_queued);
+    metrics->SetCounter(prefix + "server.read_index_dropped", st.read_index_dropped);
     if (s.raft() != nullptr) {
       const RaftStats& rs = s.raft()->stats();
       metrics->SetCounter(prefix + "raft.elections_started", rs.elections_started);
@@ -220,6 +225,14 @@ void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
       metrics->SetCounter(prefix + "raft.config_changes_aborted", rs.config_changes_aborted);
       metrics->SetCounter(prefix + "raft.learners_promoted", rs.learners_promoted);
       metrics->SetCounter(prefix + "raft.learner_catchup_ns_total", rs.learner_catchup_ns_total);
+      metrics->SetCounter(prefix + "raft.prevote_rounds", rs.prevote_rounds);
+      metrics->SetCounter(prefix + "raft.prevote_granted", rs.prevote_granted);
+      metrics->SetCounter(prefix + "raft.prevote_rejected", rs.prevote_rejected);
+      metrics->SetCounter(prefix + "raft.stepdowns_check_quorum", rs.stepdowns_check_quorum);
+      metrics->SetCounter(prefix + "raft.votes_ignored_sticky", rs.votes_ignored_sticky);
+      metrics->SetCounter(prefix + "raft.read_index_served", rs.read_index_served);
+      metrics->SetCounter(prefix + "raft.read_index_rejected", rs.read_index_rejected);
+      metrics->SetCounter(prefix + "raft.agg_fallbacks", rs.agg_fallbacks);
       metrics->SetGauge(prefix + "raft.commit_index",
                         static_cast<int64_t>(s.raft()->commit_index()));
       metrics->SetGauge(prefix + "raft.applied_index",

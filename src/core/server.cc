@@ -47,6 +47,7 @@ void ReplicatedServer::set_failed(bool failed_now) {
   }
   if (failed_now && !was_failed) {
     raft_->Halt();
+    pending_reads_.clear();  // volatile; clients re-issue leased reads
   } else if (!failed_now && was_failed) {
     raft_->Resume();
     ArmMaintenanceTimers();  // GC/compaction timers died with the process
@@ -175,6 +176,8 @@ void ReplicatedServer::HandleMessage(HostId src, const MessagePtr& msg) {
     raft_->OnInstallSnapshot(*snap);
   } else if (const auto* srep = dynamic_cast<const InstallSnapshotRep*>(msg.get())) {
     raft_->OnInstallSnapshotRep(*srep);
+  } else if (const auto* grant = dynamic_cast<const ReadIndexGrantMsg*>(msg.get())) {
+    OnReadIndexGrant(*grant);
   } else if (const auto* fcr = dynamic_cast<const FcReconcileReq*>(msg.get())) {
     OnFcReconcile(src, *fcr);
   } else {
@@ -234,6 +237,14 @@ void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request
       return;
     }
   }
+  // ReadIndex fast path (docs/hardening.md): a lease-holding leader serves
+  // read-only requests from its commit index — or forwards the grant to a
+  // caught-up replier — without appending a log entry. A failed lease falls
+  // through to the ordered path below, so reads never lose liveness.
+  if (config_.raft.read_index && request->read_only() && raft_->IsLeader() &&
+      TryServeReadIndex(request)) {
+    return;
+  }
   // A retransmitted read-only request may be re-ordered (re-execution is
   // side-effect free and regenerates the reply); dedup-disabled mode lets
   // write retransmits through too, which is exactly the double-apply anomaly
@@ -260,6 +271,92 @@ void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request
       unordered_.Insert(std::move(request), sim()->Now());
       return;
   }
+}
+
+bool ReplicatedServer::TryServeReadIndex(const std::shared_ptr<const RpcRequest>& request) {
+  const RaftNode::ReadGrant grant = raft_->AcquireReadIndex();
+  if (!grant.granted) {
+    return false;
+  }
+  // The admission slot charged to this read is repaid here, at grant time:
+  // the read never enters the log, so the apply path's first-instance
+  // FEEDBACK accounting never sees it. Retransmissions bypassed the
+  // middlebox and owe nothing — the same rule as everywhere else.
+  if (!request->is_retransmit() && flow_control_host_ != kInvalidHost) {
+    ++stats_.feedback_sent;
+    Send(flow_control_host_, std::make_shared<FeedbackMsg>(request->rid()));
+  }
+  if (grant.replier == node_id()) {
+    ++stats_.read_index_local;
+    if (apply_cursor_ >= grant.read_index) {
+      ExecuteLeasedRead(request);
+    } else {
+      ++stats_.read_index_queued;
+      pending_reads_.emplace_back(grant.read_index, request);
+    }
+    return true;
+  }
+  ++stats_.read_index_forwarded;
+  SendToPeer(grant.replier,
+             std::make_shared<ReadIndexGrantMsg>(node_id(), raft_->term(), grant.read_index,
+                                                 request->rid()));
+  return true;
+}
+
+void ReplicatedServer::OnReadIndexGrant(const ReadIndexGrantMsg& grant) {
+  // The payload arrived by client multicast and is parked in the unordered
+  // set (leased reads are never ordered, so it stays there until TTL GC). A
+  // miss means the multicast lost our copy: drop the grant — the client's
+  // retransmission re-delivers the payload and retries the read.
+  std::shared_ptr<const RpcRequest> request = unordered_.Lookup(grant.rid());
+  if (request == nullptr) {
+    ++stats_.read_index_dropped;
+    return;
+  }
+  ++stats_.read_index_remote;
+  if (apply_cursor_ >= grant.read_index()) {
+    ExecuteLeasedRead(request);
+  } else {
+    ++stats_.read_index_queued;
+    pending_reads_.emplace_back(grant.read_index(), std::move(request));
+  }
+}
+
+void ReplicatedServer::ExecuteLeasedRead(const std::shared_ptr<const RpcRequest>& request) {
+  // Executes against the current applied prefix, which covers the granted
+  // read index (the caller gated on apply_cursor_). The session table is
+  // untouched: it must remain a deterministic function of the applied log,
+  // and leased reads are invisible to the log.
+  ExecResult result = app_->Execute(*request);
+  ++stats_.ops_executed;
+  if (auto* tracer = obs::TracerOf(sim())) {
+    const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
+    tracer->MarkStage(request->rid(), obs::Stage::kApplyStart, node_id(), apply_start);
+    tracer->MarkStage(request->rid(), obs::Stage::kApplyEnd, node_id(),
+                      apply_start + result.service_time);
+    tracer->Complete(obs::TrackOfHost(id()), obs::kTidApp, "apply", apply_start,
+                     result.service_time);
+  }
+  // FEEDBACK was settled at grant time on the leader.
+  app_thread_.Submit(result.service_time,
+                     [this, rid = request->rid(), body = std::move(result.reply)]() {
+                       SendReply(rid, body, /*send_feedback=*/false);
+                     });
+}
+
+void ReplicatedServer::DrainPendingReads() {
+  if (pending_reads_.empty()) {
+    return;
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < pending_reads_.size(); ++i) {
+    if (apply_cursor_ >= pending_reads_[i].first) {
+      ExecuteLeasedRead(pending_reads_[i].second);
+    } else {
+      pending_reads_[kept++] = std::move(pending_reads_[i]);
+    }
+  }
+  pending_reads_.resize(kept);
 }
 
 void ReplicatedServer::OnFcReconcile(HostId src, const FcReconcileReq& req) {
@@ -349,6 +446,10 @@ void ReplicatedServer::OnCommitAdvanced(LogIndex commit) {
     ++apply_cursor_;
     ScheduleApply(apply_cursor_);
   }
+  // Execute runs synchronously at scheduling time, so the application state
+  // now reflects the prefix through apply_cursor_ — leased reads waiting on
+  // it observe every write they were granted against.
+  DrainPendingReads();
 }
 
 void ReplicatedServer::ScheduleApply(LogIndex idx) {

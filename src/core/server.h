@@ -66,6 +66,17 @@ struct ServerStats {
   uint64_t retransmits_inflight = 0;
   // Flow-control ledger reconciliation queries answered as leader.
   uint64_t fc_reconcile_answers = 0;
+  // ReadIndex fast path (docs/hardening.md): lease-protected reads that never
+  // enter the log. local = leader served it itself; forwarded = leader sent
+  // the grant to a caught-up replier; remote = this node served a forwarded
+  // grant; queued = held until the apply cursor reached the read index;
+  // dropped = forwarded grant whose payload was not in the unordered set
+  // (client multicast missed this node — the retransmit retries the read).
+  uint64_t read_index_local = 0;
+  uint64_t read_index_forwarded = 0;
+  uint64_t read_index_remote = 0;
+  uint64_t read_index_queued = 0;
+  uint64_t read_index_dropped = 0;
 };
 
 class ReplicatedServer final : public Host, public RaftNode::Env {
@@ -136,6 +147,17 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   void OnClientRequest(std::shared_ptr<const RpcRequest> request);
   void OnFcReconcile(HostId src, const FcReconcileReq& req);
   void ExecuteUnreplicated(const std::shared_ptr<const RpcRequest>& request);
+  // ReadIndex fast path (leader side): acquire a lease-protected read index
+  // and serve the read without a log entry. Returns false when no lease is
+  // available — the caller falls back to ordering the read through the log.
+  bool TryServeReadIndex(const std::shared_ptr<const RpcRequest>& request);
+  // Replier side of a forwarded grant: resolve the payload from the
+  // unordered set and serve once the apply cursor covers the read index.
+  void OnReadIndexGrant(const ReadIndexGrantMsg& grant);
+  // Execute a leased read against the current applied state (never touches
+  // the session table — the tables stay a pure function of the log).
+  void ExecuteLeasedRead(const std::shared_ptr<const RpcRequest>& request);
+  void DrainPendingReads();
   void ScheduleApply(LogIndex idx);
   void SendReply(const RequestId& rid, Body body, bool send_feedback = true);
   // Protocol CPU beyond raw byte handling, charged on the net thread.
@@ -161,6 +183,11 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
 
   // Apply pipeline: last log index handed to the app thread.
   LogIndex apply_cursor_ = 0;
+
+  // Leased reads waiting for the apply cursor to reach their read index;
+  // drained whenever the cursor advances. Volatile — lost on crash, and the
+  // client's retransmission timer re-issues the read.
+  std::vector<std::pair<LogIndex, std::shared_ptr<const RpcRequest>>> pending_reads_;
 
   // Maintenance timers; re-arming cancels the previous handle so restarts
   // never stack duplicate GC/compaction chains.

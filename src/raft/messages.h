@@ -161,40 +161,79 @@ class AppendEntriesRep final : public Message {
 
 class RequestVoteReq final : public Message {
  public:
-  RequestVoteReq(Term term, NodeId candidate, LogIndex last_idx, Term last_term)
-      : term_(term), candidate_(candidate), last_idx_(last_idx), last_term_(last_term) {}
+  // With pre_vote set the request is a PreVote poll (Raft dissertation
+  // section 9.6): `term` is the term the candidate *would* campaign at, and
+  // handling it must never mutate the receiver's term or vote.
+  RequestVoteReq(Term term, NodeId candidate, LogIndex last_idx, Term last_term,
+                 bool pre_vote = false)
+      : term_(term),
+        candidate_(candidate),
+        last_idx_(last_idx),
+        last_term_(last_term),
+        pre_vote_(pre_vote) {}
 
   int32_t PayloadBytes() const override { return kVoteBytes; }
-  const char* Name() const override { return "VOTE_REQ"; }
+  const char* Name() const override { return pre_vote_ ? "PREVOTE_REQ" : "VOTE_REQ"; }
 
   Term term() const { return term_; }
   NodeId candidate() const { return candidate_; }
   LogIndex last_idx() const { return last_idx_; }
   Term last_term() const { return last_term_; }
+  bool pre_vote() const { return pre_vote_; }
 
  private:
   Term term_;
   NodeId candidate_;
   LogIndex last_idx_;
   Term last_term_;
+  bool pre_vote_;
 };
 
 class RequestVoteRep final : public Message {
  public:
-  RequestVoteRep(NodeId from, Term term, bool granted)
-      : from_(from), term_(term), granted_(granted) {}
+  // Pre-vote replies echo the candidate's proposed term (not the voter's
+  // current term) so the pre-candidate can match them to its poll round.
+  RequestVoteRep(NodeId from, Term term, bool granted, bool pre_vote = false)
+      : from_(from), term_(term), granted_(granted), pre_vote_(pre_vote) {}
 
   int32_t PayloadBytes() const override { return kVoteBytes; }
-  const char* Name() const override { return "VOTE_REP"; }
+  const char* Name() const override { return pre_vote_ ? "PREVOTE_REP" : "VOTE_REP"; }
 
   NodeId from() const { return from_; }
   Term term() const { return term_; }
   bool granted() const { return granted_; }
+  bool pre_vote() const { return pre_vote_; }
 
  private:
   NodeId from_;
   Term term_;
   bool granted_;
+  bool pre_vote_;
+};
+
+// Leader-to-replier grant of a linearizable read (ReadIndex, dissertation
+// section 6.4): the leader confirmed its leadership lease and instructs
+// `replier` to answer `rid` from its local state machine once its applied
+// index reaches `read_index`. The request body travels separately via the
+// client multicast (unordered store); only metadata crosses the wire here.
+class ReadIndexGrantMsg final : public Message {
+ public:
+  ReadIndexGrantMsg(NodeId from, Term term, LogIndex read_index, RequestId rid)
+      : from_(from), term_(term), read_index_(read_index), rid_(rid) {}
+
+  int32_t PayloadBytes() const override { return kVoteBytes; }
+  const char* Name() const override { return "READ_INDEX_GRANT"; }
+
+  NodeId from() const { return from_; }
+  Term term() const { return term_; }
+  LogIndex read_index() const { return read_index_; }
+  const RequestId& rid() const { return rid_; }
+
+ private:
+  NodeId from_;
+  Term term_;
+  LogIndex read_index_;
+  RequestId rid_;
 };
 
 // Multicast by the aggregator when the commit index advances (paper

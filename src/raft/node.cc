@@ -94,18 +94,41 @@ void RaftNode::ArmElectionTimer() {
     return;
   }
   const TimeNs span = options_.election_timeout_max - options_.election_timeout_min;
-  const TimeNs delay =
+  TimeNs delay =
       options_.election_timeout_min +
       (span > 0 ? static_cast<TimeNs>(rng_.NextBelow(static_cast<uint64_t>(span))) : 0);
+  if (election_timer_scale_ != 1.0) {
+    // Timer-manipulation attack hook: the scale is applied after the draw, so
+    // the RNG sequence is byte-identical to an unskewed run.
+    delay = std::max<TimeNs>(static_cast<TimeNs>(static_cast<double>(delay) *
+                                                 election_timer_scale_),
+                             Micros(10));
+  }
   election_timer_ = sim_->After(delay, [this]() {
     election_timer_ = kInvalidEvent;
     if (halted_) {
       return;
     }
     if (role_ != RaftRole::kLeader) {
-      StartElection();
+      // With PreVote the timeout starts a non-disruptive poll; a majority of
+      // pre-votes then runs the real election synchronously.
+      if (options_.pre_vote) {
+        StartPreVote();
+      } else {
+        StartElection();
+      }
     }
   });
+}
+
+void RaftNode::SkewElectionTimer(double scale) {
+  HC_CHECK_GT(scale, 0.0);
+  election_timer_scale_ = scale;
+  // Re-arm so the skew takes effect now rather than after the pending (full
+  // length) timeout expires. Costs one RNG draw, like any other re-arm.
+  if (role_ != RaftRole::kLeader && election_timer_ != kInvalidEvent) {
+    ArmElectionTimer();
+  }
 }
 
 void RaftNode::ArmHeartbeatTimer() {
@@ -148,6 +171,104 @@ void RaftNode::OnHeartbeat() {
       env_->SendToAggregator(std::make_shared<AggVoteReq>(current_term_, committed_config_idx_));
     }
   }
+  if (options_.check_quorum || options_.read_index) {
+    // The aggregator fan-in hides follower replies from the leader, so
+    // CheckQuorum and the read lease would starve for evidence in ++ mode.
+    // Probe quiet voters with direct, stream-neutral heartbeat appends; the
+    // direct replies refresh last_response without disturbing the stream.
+    if (options_.use_aggregator && agg_active_) {
+      const TimeNs now = sim_->Now();
+      if (now - last_agg_commit_ >= CheckQuorumWindow()) {
+        // The probes keep proving followers alive, yet the aggregator has
+        // gone silent (a healthy one emits AGG_COMMIT every heartbeat): it
+        // died. Fall back to direct replication without deposing ourselves —
+        // before the probes existed, recovery required the followers to time
+        // out and elect a new leader. The heartbeat re-probes the aggregator
+        // and restores the switch fan-out when it comes back.
+        ++stats_.agg_fallbacks;
+        HC_LOG_INFO("node %d: aggregator silent; falling back to direct replication",
+                    options_.id);
+        if (auto* tracer = obs::TracerOf(sim_)) {
+          tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)),
+                          obs::kTidEvents, "agg-fallback", sim_->Now(),
+                          "term " + std::to_string(current_term_));
+        }
+        agg_active_ = false;
+        agg_inflight_ = 0;
+        for (PeerState& st : peers_) {
+          st.direct_mode = true;
+        }
+        TrySendAll();
+      } else {
+        for (NodeId p : active_config().voters) {
+          if (p == options_.id) {
+            continue;
+          }
+          PeerState& st = peers_[static_cast<size_t>(p)];
+          if (st.direct_mode) {
+            continue;  // direct appends already elicit direct replies
+          }
+          if (now - st.last_response >= CheckQuorumWindow() / 2 &&
+              now - st.last_probe >= options_.heartbeat_interval) {
+            SendQuorumProbe(p);
+          }
+        }
+      }
+    }
+    if (options_.check_quorum) {
+      MaybeStepDownWithoutQuorum();
+    }
+  }
+}
+
+void RaftNode::SendQuorumProbe(NodeId peer) {
+  PeerState& st = peers_[static_cast<size_t>(peer)];
+  st.last_probe = sim_->Now();
+  // Anchor the consistency check at the last agreed position: the follower
+  // answers success without touching its log, and the monotone max() updates
+  // on the reply path leave the aggregator-owned stream state intact. A
+  // follower that has diverged answers failure, which flips it to the direct
+  // repair path — exactly what a real heartbeat would do.
+  const LogIndex prev = std::max(st.match_idx, log_.first_index() - 1);
+  ++stats_.ae_sent;
+  env_->SendToPeer(peer,
+                   std::make_shared<AppendEntriesReq>(current_term_, options_.id, prev,
+                                                      log_.TermAt(prev), commit_idx_,
+                                                      std::vector<WireEntry>{}));
+}
+
+void RaftNode::MaybeStepDownWithoutQuorum() {
+  if (role_ != RaftRole::kLeader) {
+    return;
+  }
+  if (QuorumContactedWithin(CheckQuorumWindow())) {
+    return;
+  }
+  ++stats_.stepdowns_check_quorum;
+  HC_LOG_INFO("node %d: no quorum contact within election timeout; stepping down",
+              options_.id);
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
+                    "stepdown", sim_->Now(),
+                    "check-quorum term " + std::to_string(current_term_));
+  }
+  BecomeFollower(current_term_, false);
+}
+
+bool RaftNode::QuorumContactedWithin(TimeNs window) const {
+  const TimeNs floor = sim_->Now() - window;
+  int32_t contacted = 0;
+  for (NodeId p : active_config().voters) {
+    if (p == options_.id) {
+      ++contacted;  // a node always reaches itself
+      continue;
+    }
+    const PeerState& st = peers_[static_cast<size_t>(p)];
+    if (st.last_response > 0 && st.last_response >= floor) {
+      ++contacted;
+    }
+  }
+  return contacted >= active_config().majority();
 }
 
 // ---------------------------------------------------------------------------
@@ -162,6 +283,8 @@ void RaftNode::BecomeFollower(Term term, bool reset_vote) {
   } else if (reset_vote) {
     voted_for_ = kInvalidNode;
   }
+  AbandonPreVote();
+  lease_floor_ = sim_->Now();  // a deposed leader must never serve reads
   role_ = RaftRole::kFollower;
   agg_active_ = false;
   sim_->Cancel(heartbeat_timer_);  // stop heartbeats
@@ -172,10 +295,51 @@ void RaftNode::BecomeFollower(Term term, bool reset_vote) {
   ArmElectionTimer();
 }
 
+void RaftNode::StartPreVote() {
+  if (!CanCampaign()) {
+    return;
+  }
+  ++stats_.prevote_rounds;
+  pre_vote_active_ = true;
+  pre_vote_term_ = current_term_ + 1;
+  pre_votes_ = 1;  // our own pre-vote
+  HC_LOG_INFO("node %d starts pre-vote poll for term %llu", options_.id,
+              static_cast<unsigned long long>(pre_vote_term_));
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
+                    "prevote", sim_->Now(), "term " + std::to_string(pre_vote_term_));
+  }
+  // Retry the poll on silence. This is the cycle's only RNG draw: a winning
+  // poll enters StartElection with this timer still armed and draws nothing,
+  // so the draw order matches a non-PreVote run arm for arm.
+  ArmElectionTimer();
+  if (pre_votes_ >= active_config().majority()) {
+    StartElection();  // single-voter group
+    return;
+  }
+  auto req = std::make_shared<RequestVoteReq>(pre_vote_term_, options_.id, log_.last_index(),
+                                              log_.last_term(), /*pre_vote=*/true);
+  for (NodeId p : active_config().voters) {
+    if (p != options_.id) {
+      env_->SendToPeer(p, req);
+    }
+  }
+}
+
+void RaftNode::AbandonPreVote() {
+  pre_vote_active_ = false;
+  pre_vote_term_ = 0;
+  pre_votes_ = 0;
+}
+
 void RaftNode::StartElection() {
   if (!CanCampaign()) {
     return;
   }
+  // Entered from a winning pre-vote poll: its retry timer (armed at poll
+  // start) keeps covering this election, so don't draw a second timeout.
+  const bool timer_covered = pre_vote_active_;
+  AbandonPreVote();
   ++stats_.elections_started;
   role_ = RaftRole::kCandidate;
   ++current_term_;
@@ -189,7 +353,9 @@ void RaftNode::StartElection() {
     tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
                     "election", sim_->Now(), "term " + std::to_string(current_term_));
   }
-  ArmElectionTimer();  // retry on split vote
+  if (!timer_covered) {
+    ArmElectionTimer();  // retry on split vote
+  }
   if (votes_ >= active_config().majority()) {
     BecomeLeader();
     return;
@@ -205,6 +371,7 @@ void RaftNode::StartElection() {
 
 void RaftNode::BecomeLeader() {
   HC_CHECK(role_ != RaftRole::kLeader);
+  AbandonPreVote();
   role_ = RaftRole::kLeader;
   leader_hint_ = options_.id;
   ++stats_.times_leader;
@@ -226,7 +393,13 @@ void RaftNode::BecomeLeader() {
     // Until the aggregator handshake completes, replicate point-to-point.
     st.direct_mode = options_.use_aggregator;
     st.commit_acked = 0;
+    // CheckQuorum grace period: a fresh leader gets one full window to
+    // gather real responses before the quorum check may fire. Reads stay
+    // gated separately by the current-term commit requirement.
+    st.last_response = sim_->Now();
+    st.last_probe = 0;
   }
+  lease_floor_ = sim_->Now();
   agg_active_ = false;
   agg_inflight_ = 0;
   agg_commit_sent_ = 0;
@@ -312,6 +485,71 @@ bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request, bool all
   TryAnnounce();
   TrySendAll();
   return true;
+}
+
+RaftNode::ReadGrant RaftNode::AcquireReadIndex() {
+  ReadGrant grant;
+  if (!options_.read_index || role_ != RaftRole::kLeader) {
+    ++stats_.read_index_rejected;
+    return grant;
+  }
+  // A new leader's commit index is only known-current once it has committed
+  // an entry of its own term (Raft section 8); the leader no-op provides one
+  // within a round-trip of election.
+  if (log_.TermAt(commit_idx_) != current_term_) {
+    ++stats_.read_index_rejected;
+    return grant;
+  }
+  // Leader lease: a quorum of the active config's voters must have responded
+  // inside the lease window, and after the last config commit / role change —
+  // a quorum counted under an older voter set or term proves nothing.
+  const TimeNs window = options_.read_lease_timeout > 0 ? options_.read_lease_timeout
+                                                        : options_.election_timeout_min;
+  const TimeNs floor = std::max(sim_->Now() - window, lease_floor_);
+  int32_t contacted = 0;
+  for (NodeId p : active_config().voters) {
+    if (p == options_.id) {
+      ++contacted;
+      continue;
+    }
+    const PeerState& st = peers_[static_cast<size_t>(p)];
+    if (st.last_response > 0 && st.last_response >= floor) {
+      ++contacted;
+    }
+  }
+  if (contacted < active_config().majority()) {
+    ++stats_.read_index_rejected;
+    return grant;
+  }
+  ++stats_.read_index_served;
+  grant.granted = true;
+  grant.read_index = commit_idx_;
+  grant.replier = options_.id;
+  if (options_.assign_repliers) {
+    // Round-robin over voters already caught up to the read index, so a
+    // forwarded grant is servable on arrival. This deliberately bypasses the
+    // JBSQ scheduler: its bounded-queue accounting is repaid by log applies,
+    // which ReadIndex traffic never generates. Self is always eligible (the
+    // server layer queues the read until applied catches up), so selection
+    // terminates.
+    const auto& voters = active_config().voters;
+    for (size_t i = 0; i < voters.size(); ++i) {
+      const NodeId p = voters[(read_replier_rr_ + i) % voters.size()];
+      if (p == options_.id ||
+          peers_[static_cast<size_t>(p)].applied_idx >= grant.read_index) {
+        grant.replier = p;
+        read_replier_rr_ = (read_replier_rr_ + i + 1) % voters.size();
+        break;
+      }
+    }
+  }
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
+                    "read-index", sim_->Now(),
+                    "idx " + std::to_string(grant.read_index) + " replier " +
+                        std::to_string(grant.replier));
+  }
+  return grant;
 }
 
 // ---------------------------------------------------------------------------
@@ -733,6 +971,7 @@ void RaftNode::OnInstallSnapshot(const InstallSnapshotReq& req) {
   }
   leader_hint_ = req.leader();
   last_leader_contact_ = sim_->Now();
+  AbandonPreVote();
   ArmElectionTimer();
 
   if (req.last_included() > commit_idx_) {
@@ -787,6 +1026,7 @@ void RaftNode::OnInstallSnapshotRep(const InstallSnapshotRep& rep) {
     return;
   }
   PeerState& st = peers_[static_cast<size_t>(rep.from())];
+  st.last_response = sim_->Now();
   st.snapshot_inflight = false;
   if (rep.last_included() > 0) {
     st.match_idx = std::max(st.match_idx, rep.last_included());
@@ -858,6 +1098,9 @@ void RaftNode::SetCommit(LogIndex commit) {
       }
       committed_config_idx_ = c.first;
       ++stats_.config_changes_committed;
+      // Read leases do not survive a membership change: a quorum counted
+      // under the old voter set proves nothing about the new one.
+      lease_floor_ = sim_->Now();
       HC_LOG_INFO("node %d: config %s committed at idx %llu", options_.id,
                   c.second->Describe().c_str(), static_cast<unsigned long long>(c.first));
       if (auto* tracer = obs::TracerOf(sim_)) {
@@ -909,6 +1152,7 @@ void RaftNode::OnAppendEntries(const AppendEntriesReq& req, bool via_aggregator)
   }
   leader_hint_ = req.leader();
   last_leader_contact_ = sim_->Now();
+  AbandonPreVote();  // a live leader voids any poll in progress
   ArmElectionTimer();
 
   // Consistency check at prev. Anything at or below our compaction point is
@@ -1092,6 +1336,7 @@ void RaftNode::OnAppendEntriesRep(const AppendEntriesRep& rep) {
     return;
   }
   PeerState& st = peers_[static_cast<size_t>(rep.from())];
+  st.last_response = sim_->Now();  // current-term contact: CheckQuorum/lease evidence
   if (st.inflight > 0) {
     --st.inflight;
   }
@@ -1144,8 +1389,42 @@ void RaftNode::OnRequestVote(const RequestVoteReq& req) {
   // is ignored outright — before the term comparison, so its inflated term
   // cannot depose the leader. Never triggers with static membership (every
   // node is a member).
-  if (!active_config().IsMember(req.candidate()) && last_leader_contact_ > 0 &&
-      sim_->Now() - last_leader_contact_ < options_.election_timeout_min) {
+  const bool leader_is_live = last_leader_contact_ > 0 &&
+                              sim_->Now() - last_leader_contact_ < options_.election_timeout_min;
+  if (!active_config().IsMember(req.candidate()) && leader_is_live) {
+    return;
+  }
+  const bool self_leading =
+      role_ == RaftRole::kLeader && QuorumContactedWithin(CheckQuorumWindow());
+  if (req.pre_vote()) {
+    // Pre-vote poll (dissertation section 9.6): answered from current state,
+    // mutating nothing — no term bump, no vote record, no timer reset. The
+    // reply echoes the candidate's proposed term so it can tally the poll.
+    bool poll_granted = false;
+    if (req.term() > current_term_ && !leader_is_live && !self_leading) {
+      poll_granted = req.last_term() > log_.last_term() ||
+                     (req.last_term() == log_.last_term() &&
+                      req.last_idx() >= log_.last_index());
+    }
+    if (poll_granted) {
+      ++stats_.prevote_granted;
+    } else {
+      ++stats_.prevote_rejected;
+    }
+    env_->SendToPeer(req.candidate(), std::make_shared<RequestVoteRep>(
+                                          options_.id, req.term(), poll_granted,
+                                          /*pre_vote=*/true));
+    return;
+  }
+  if (options_.check_quorum && (leader_is_live || self_leading)) {
+    // Leader stickiness: while we hear a live leader — or we *are* one with
+    // fresh quorum contact — a real RequestVote (forged, replayed, or from a
+    // node whose timer was manipulated) is ignored outright, before the term
+    // comparison. No reply is sent: a rejection carrying our term would hand
+    // the (possibly forged) candidate id a back-door term bump via
+    // OnRequestVoteRep. A genuinely cut-off leader loses quorum contact
+    // within CheckQuorumWindow() and then yields to the higher term normally.
+    ++stats_.votes_ignored_sticky;
     return;
   }
   if (req.term() > current_term_) {
@@ -1168,6 +1447,20 @@ void RaftNode::OnRequestVote(const RequestVoteReq& req) {
 }
 
 void RaftNode::OnRequestVoteRep(const RequestVoteRep& rep) {
+  if (rep.pre_vote()) {
+    // Poll replies carry the *proposed* term; intercept them before the
+    // higher-term check or a granted reply would bump our term — exactly
+    // what PreVote exists to avoid.
+    if (!pre_vote_active_ || rep.term() != pre_vote_term_ || !rep.granted() ||
+        !active_config().IsVoter(rep.from())) {
+      return;
+    }
+    ++pre_votes_;
+    if (pre_votes_ >= active_config().majority()) {
+      StartElection();  // the poll's retry timer keeps covering the election
+    }
+    return;
+  }
   if (rep.term() > current_term_) {
     BecomeFollower(rep.term(), true);
     return;
@@ -1206,10 +1499,12 @@ void RaftNode::OnAggCommit(const AggCommitMsg& msg) {
     // AGG_COMMIT is leader liveness: the aggregator only emits it while a
     // current-term leader feeds it.
     last_leader_contact_ = sim_->Now();
+    AbandonPreVote();
     ArmElectionTimer();
   }
   if (role_ == RaftRole::kLeader) {
     agg_inflight_ = 0;
+    last_agg_commit_ = sim_->Now();
     const auto& applied = msg.applied();
     for (NodeId p = 0; p < options_.cluster_size && static_cast<size_t>(p) < applied.size();
          ++p) {
@@ -1220,6 +1515,9 @@ void RaftNode::OnAggCommit(const AggCommitMsg& msg) {
       if (applied[static_cast<size_t>(p)] > st.applied_idx) {
         st.applied_idx = applied[static_cast<size_t>(p)];
         scheduler_.UpdateApplied(p, st.applied_idx);
+        // Fresh apply progress is genuine evidence this follower is alive;
+        // the aggregator's max-over-time match register is not.
+        st.last_response = sim_->Now();
       }
     }
     if (!active_config().learners.empty()) {
@@ -1249,6 +1547,7 @@ void RaftNode::OnAggVoteRep(const AggVoteRep& rep) {
     return;  // the aggregator is configured for a different voter set
   }
   agg_active_ = true;
+  last_agg_commit_ = sim_->Now();  // start the silence clock at activation
   // Stream from the last quorum-confirmed point; overlapping entries are
   // deduplicated by the followers' consistency check.
   agg_next_idx_ = std::max(commit_idx_ + 1, log_.first_index());

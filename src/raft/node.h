@@ -16,6 +16,7 @@
 #ifndef SRC_RAFT_NODE_H_
 #define SRC_RAFT_NODE_H_
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,17 @@ struct RaftStats {
   // Total time learners spent catching up (committed-as-learner to
   // promotion-appended), for the mean catch-up duration metric.
   uint64_t learner_catchup_ns_total = 0;
+  // Adversarial hardening (docs/hardening.md).
+  uint64_t prevote_rounds = 0;         // pre-elections started
+  uint64_t prevote_granted = 0;        // pre-votes this node granted others
+  uint64_t prevote_rejected = 0;       // pre-votes this node denied others
+  uint64_t stepdowns_check_quorum = 0; // leader stepped down w/o quorum contact
+  uint64_t votes_ignored_sticky = 0;   // RequestVotes ignored under stickiness
+  uint64_t read_index_served = 0;      // linearizable reads granted a lease
+  uint64_t read_index_rejected = 0;    // grants refused (no lease / no term commit)
+  // Leader demoted a silent aggregator to direct replication (the quorum
+  // probes prove followers alive while AGG_COMMIT has gone quiet).
+  uint64_t agg_fallbacks = 0;
 };
 
 class RaftNode {
@@ -117,6 +129,43 @@ class RaftNode {
   // the reply through the totally-ordered path), and to model the naive
   // no-dedup retry behaviour the chaos tests prove broken.
   bool SubmitRequest(std::shared_ptr<const RpcRequest> request, bool allow_duplicate = false);
+
+  // --- linearizable reads (ReadIndex, leader only) ---
+  // Attempts to grant a lease-protected read: returns the commit index the
+  // read must observe plus the node chosen to serve it (self, or a caught-up
+  // member under replier assignment). Fails (granted == false) when this
+  // node is not the leader, options().read_index is off, no current-term
+  // entry has committed yet, or the leader lease has lapsed (no quorum
+  // contact within the lease window since the last config commit).
+  struct ReadGrant {
+    bool granted = false;
+    LogIndex read_index = 0;
+    NodeId replier = kInvalidNode;
+  };
+  ReadGrant AcquireReadIndex();
+
+  // True while a quorum of the active config's voters (self included) has
+  // responded within `window` ending now. CheckQuorum and the read lease are
+  // both defined in terms of this predicate.
+  bool QuorumContactedWithin(TimeNs window) const;
+
+  // The CheckQuorum evaluation window. Never tighter than a few heartbeat
+  // round-trips: the quiet-stream optimization makes follower replies arrive
+  // at best every other heartbeat, so a window equal to a 1-heartbeat
+  // election timeout (e.g. a staggered first election) would depose a
+  // perfectly healthy leader. Widening past election_timeout_min is safe
+  // here — CheckQuorum bounds the stale-leader window, it is not a safety
+  // invariant — whereas the read lease (AcquireReadIndex) must keep the
+  // strict election_timeout_min bound and therefore does not use this.
+  TimeNs CheckQuorumWindow() const {
+    return std::max(options_.election_timeout_min, 3 * options_.heartbeat_interval);
+  }
+
+  // Test hook for the election-timer manipulation attack: scales every
+  // subsequently armed election timeout by `scale` (0 < scale <= 1 fires
+  // early). Preserves the one-RNG-draw-per-arm discipline — the scale is
+  // applied after the draw.
+  void SkewElectionTimer(double scale);
 
   // --- message handlers, invoked by the hosting server ---
   void OnAppendEntries(const AppendEntriesReq& req, bool via_aggregator);
@@ -199,6 +248,13 @@ class RaftNode {
     bool direct_mode = false;      // ++: fell back to point-to-point
     bool snapshot_inflight = false;
     TimeNs last_send = 0;  // last AE/snapshot handed to this peer
+    // Last time any current-term reply from this peer reached us directly
+    // (AE/snapshot/vote reply). CheckQuorum and the read lease count a peer
+    // as "in contact" while this is fresh. In aggregator mode the leader
+    // sees no direct replies, so OnHeartbeat sends stream-neutral probe
+    // appends (SendQuorumProbe) to refresh it.
+    TimeNs last_response = 0;
+    TimeNs last_probe = 0;  // rate-limits quorum probes per peer
     // Highest commit index this peer has confirmed (from its AE replies).
     // Gates the aggregator fast path across config epochs: AGG_COMMITs are
     // epoch-tagged, so a peer must have observed the committed config before
@@ -209,7 +265,18 @@ class RaftNode {
   // -- role transitions --
   void BecomeFollower(Term term, bool reset_vote);
   void StartElection();
+  // PreVote (dissertation section 9.6): polls peers at current_term_+1
+  // without touching term/vote/role; a majority of grants triggers the real
+  // StartElection. Falls through to StartElection directly when disabled.
+  void StartPreVote();
+  void AbandonPreVote();
   void BecomeLeader();
+  // CheckQuorum: called from OnHeartbeat; steps the leader down when no
+  // quorum of voters has responded within an election timeout.
+  void MaybeStepDownWithoutQuorum();
+  // Direct, stream-neutral heartbeat append used as a liveness probe when
+  // the aggregator path hides follower replies from the leader.
+  void SendQuorumProbe(NodeId peer);
 
   // -- timers (cancellable handles: re-arming cancels the previous event in
   // O(1) instead of leaving a dead timer in the queue) --
@@ -275,12 +342,32 @@ class RaftNode {
   int32_t votes_ = 0;
   std::vector<PeerState> peers_;
 
+  // PreVote round state (volatile; meaningful only while pre_vote_active_).
+  bool pre_vote_active_ = false;
+  Term pre_vote_term_ = 0;  // the term the poll proposes (current_term_ + 1)
+  int32_t pre_votes_ = 0;
+
+  // Read lease floor: reads need quorum contact *after* this point. Bumped
+  // when a membership config commits (the quorum definition changed) and on
+  // every term/role change.
+  TimeNs lease_floor_ = 0;
+  // Round-robins lease-protected reads over caught-up members.
+  size_t read_replier_rr_ = 0;
+
+  // Election-timer skew injected by the timer-manipulation attack (1.0 = no
+  // skew; smaller fires earlier).
+  double election_timer_scale_ = 1.0;
+
   // Aggregator stream state (HovercRaft++, leader side).
   bool agg_active_ = false;
   LogIndex agg_next_idx_ = 1;
   uint32_t agg_inflight_ = 0;
   LogIndex agg_commit_sent_ = 0;
   TimeNs agg_last_send_ = 0;
+  // Last AGG_COMMIT accepted while leading; a healthy aggregator emits one
+  // every heartbeat, so silence past the CheckQuorum window (with the direct
+  // probes still answered) means the aggregator died, not the followers.
+  TimeNs last_agg_commit_ = 0;
 
   // Follower-side recovery state.
   std::unique_ptr<AppendEntriesReq> pending_ae_;

@@ -56,6 +56,40 @@ struct RaftOptions {
   // newest entries so a fresh leader can repair lagging followers.
   LogIndex log_retention_entries = 4096;
 
+  // --- Adversarial hardening (dissertation sections 9.6 and 6.4; see
+  // docs/hardening.md). Each defense is independently toggleable so the
+  // chaos battery can run attack schedules with and without it. ---
+
+  // PreVote: before a real election, poll a pre-election at term+1 that
+  // mutates no persistent state. A node that cannot win (stale log, or peers
+  // still hear a live leader) never increments its term, so a rejoining
+  // partitioned node cannot depose a healthy leader (term-storm defense).
+  bool pre_vote = true;
+
+  // CheckQuorum: a leader that has not heard from a quorum of the active
+  // config's voters within an election timeout steps down, bounding the
+  // stale-leader window. It also enables leader stickiness on the receive
+  // side: a follower in contact with a live leader ignores RequestVote
+  // outright (before the term comparison), defeating forged or replayed
+  // vote pressure. Stickiness without CheckQuorum would risk wedging a
+  // half-connected cluster, which is why the two share one flag.
+  bool check_quorum = true;
+
+  // ReadIndex + leader lease: serve linearizable read-only requests from the
+  // leader's commit index (or forward grants to caught-up repliers) without
+  // appending log entries. Off by default: the stock HovercRaft RO path
+  // load-balances reads *through* the log (sections 3.3/3.5) and fig11
+  // measures exactly that; ReadIndex is the opt-in fast path that takes
+  // read-mostly traffic off the ordering plane.
+  bool read_index = false;
+
+  // Leader lease window for ReadIndex: a read is granted only if a quorum of
+  // voters responded within this window (and after the last config commit).
+  // 0 means "use election_timeout_min", the largest window that is safe —
+  // a new leader cannot exist before that much silence. Tests inject lease
+  // "clock skew" by widening it past the safe bound.
+  TimeNs read_lease_timeout = 0;
+
   // Durability model: time to persist appended entries to the local write-
   // ahead log before acknowledging them (paper section 2.3). 0 models NVM /
   // battery-backed memory (the paper's assumption); ~10us models an NVMe

@@ -350,6 +350,187 @@ TEST(ChaosTest, ChurnRunsAreDeterministic) {
   EXPECT_EQ(a.node_states, b.node_states);
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial hardening battery (docs/hardening.md): each attack schedule
+// runs twice — defenses off as the control, proving the attack genuinely
+// succeeds against this codebase, and defenses on, proving the hardening
+// neutralizes it. Replay any case with e.g.
+//   chaos_runner --schedule=rejoin-storm --seed=2 --mode=hovercraft --no-prevote
+// ---------------------------------------------------------------------------
+
+// Rejoin storm: an isolated follower inflates its term in the dark; healing
+// turns that into a leader deposition. PreVote holds the term still.
+TEST(ChaosTest, RejoinStormNeutralizedByPreVote) {
+  ChaosRunConfig control = BaseConfig(ClusterMode::kHovercRaft, "rejoin-storm", 2);
+  control.pre_vote = false;
+  control.retry_enabled = true;
+  control.give_up = Millis(100);
+  const ChaosRunResult attacked = RunChaosSchedule(control);
+  // The attack succeeds: the rejoin deposed the leader and dragged the whole
+  // cluster to the storm's inflated term. Safety held regardless.
+  EXPECT_GE(attacked.leader_disruptions, 1u) << attacked.Describe();
+  EXPECT_TRUE(attacked.linearizability.linearizable) << attacked.Describe();
+
+  ChaosRunConfig defended = control;
+  defended.pre_vote = true;
+  const ChaosRunResult hardened = RunChaosSchedule(defended);
+  EXPECT_TRUE(hardened.ok()) << hardened.Describe();
+  EXPECT_EQ(hardened.leader_disruptions, 0u) << hardened.Describe();
+  EXPECT_LT(hardened.max_term, attacked.max_term) << hardened.Describe();
+  // The isolated node demonstrably ran (and lost) pre-elections instead.
+  EXPECT_GT(hardened.prevote_rounds, 0u) << hardened.Describe();
+}
+
+// Forged votes: crafted higher-term RequestVotes injected as a member.
+// CheckQuorum stickiness drops them cold; without it every injection is a
+// deposition.
+TEST(ChaosTest, ForgedVotesNeutralizedByStickiness) {
+  ChaosRunConfig control = BaseConfig(ClusterMode::kHovercRaft, "forged-vote", 3);
+  control.check_quorum = false;
+  control.retry_enabled = true;
+  control.give_up = Millis(100);
+  const ChaosRunResult attacked = RunChaosSchedule(control);
+  EXPECT_GE(attacked.leader_disruptions, 1u) << attacked.Describe();
+  EXPECT_GE(attacked.max_term, 100u) << attacked.Describe();
+  EXPECT_TRUE(attacked.linearizability.linearizable) << attacked.Describe();
+
+  ChaosRunConfig defended = control;
+  defended.check_quorum = true;
+  const ChaosRunResult hardened = RunChaosSchedule(defended);
+  EXPECT_TRUE(hardened.ok()) << hardened.Describe();
+  EXPECT_EQ(hardened.leader_disruptions, 0u) << hardened.Describe();
+  EXPECT_LT(hardened.max_term, 100u) << hardened.Describe();
+  EXPECT_GT(hardened.votes_ignored_sticky, 0u) << hardened.Describe();
+}
+
+// Timer skew: one follower's election timer fires below the heartbeat
+// interval on a healthy network. PreVote converts every firing into a failed
+// poll; without it each firing is a real term bump the cluster must absorb.
+TEST(ChaosTest, TimerSkewNeutralizedByPreVote) {
+  ChaosRunConfig control = BaseConfig(ClusterMode::kHovercRaft, "timer-skew", 4);
+  control.pre_vote = false;
+  control.retry_enabled = true;
+  control.give_up = Millis(100);
+  const ChaosRunResult attacked = RunChaosSchedule(control);
+  EXPECT_GE(attacked.leader_disruptions, 1u) << attacked.Describe();
+  EXPECT_TRUE(attacked.linearizability.linearizable) << attacked.Describe();
+
+  ChaosRunConfig defended = control;
+  defended.pre_vote = true;
+  const ChaosRunResult hardened = RunChaosSchedule(defended);
+  EXPECT_TRUE(hardened.ok()) << hardened.Describe();
+  EXPECT_EQ(hardened.leader_disruptions, 0u) << hardened.Describe();
+  EXPECT_GT(hardened.prevote_rounds, 0u) << hardened.Describe();
+}
+
+// Stale-read probe: the leader keeps its client-facing links while losing
+// its peers. With a skewed (widened) lease and no CheckQuorum it serves
+// reads from a frozen store while the majority commits fresh writes — the
+// Wing & Gong checker catches the stale values. With the strict lease (and
+// the other defenses on) every history stays linearizable.
+TEST(ChaosTest, StaleReadsCaughtThenPreventedByLease) {
+  ChaosRunConfig control = BaseConfig(ClusterMode::kHovercRaft, "stale-read-probe", 2);
+  control.read_index = true;
+  control.read_lease_timeout = Seconds(10);  // "clock skew": evidence never ages
+  control.check_quorum = false;              // the stale leader never steps down
+  control.retry_enabled = true;
+  control.give_up = Millis(100);
+  control.keys = 4;  // hot keyspace: reads race the new leader's writes
+  const ChaosRunResult attacked = RunChaosSchedule(control);
+  // Stale reads were served from the lease and flagged by the checker. A
+  // violation verdict is final regardless of search budget.
+  EXPECT_GT(attacked.read_index_served, 0u) << attacked.Describe();
+  EXPECT_FALSE(attacked.linearizability.linearizable) << attacked.Describe();
+  EXPECT_TRUE(attacked.linearizability.conclusive());
+
+  ChaosRunConfig defended = control;
+  defended.read_lease_timeout = 0;  // strict election_timeout_min lease
+  defended.check_quorum = true;
+  const ChaosRunResult hardened = RunChaosSchedule(defended);
+  EXPECT_TRUE(hardened.ok()) << hardened.Describe();
+  EXPECT_GT(hardened.read_index_served, 0u) << hardened.Describe();
+}
+
+// ReadIndex under leader failover: leased reads are real operations in the
+// checked history, and crashing the leader mid-window (pending reads die
+// with it, clients retransmit) must leave every history linearizable.
+TEST(ChaosTest, ReadIndexLinearizableAcrossLeaderFailover) {
+  for (const uint64_t seed : {1, 2, 3}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ChaosRunConfig config = BaseConfig(ClusterMode::kHovercRaft, "crash-leader", seed);
+    config.read_index = true;
+    config.retry_enabled = true;
+    config.give_up = Millis(100);
+    const ChaosRunResult result = RunChaosSchedule(config);
+    EXPECT_TRUE(result.ok()) << result.Describe();
+    EXPECT_GT(result.read_index_served, 0u) << result.Describe();
+    EXPECT_EQ(result.double_applies, 0u) << result.Describe();
+  }
+}
+
+// The paper's core RO claim, hardened: with ReadIndex on, read-only traffic
+// is served without a single log entry. Identical quiet runs with the fast
+// path on and off append the same number of (write) entries, and the delta
+// in executions is carried entirely by leases.
+TEST(ChaosTest, ReadIndexAppendsNothingForReads) {
+  ChaosRunConfig base = BaseConfig(ClusterMode::kHovercRaft, "none", 6);
+  ChaosRunConfig leased = base;
+  leased.read_index = true;
+  const ChaosRunResult ordered = RunChaosSchedule(base);
+  const ChaosRunResult fast = RunChaosSchedule(leased);
+  ASSERT_TRUE(ordered.ok()) << ordered.Describe();
+  ASSERT_TRUE(fast.ok()) << fast.Describe();
+  EXPECT_GT(fast.read_index_served, 0u) << fast.Describe();
+  // Same workload, same seed: every leased read is one log entry the
+  // ordered run appended and the fast-path run did not.
+  EXPECT_EQ(fast.entries_appended + 3 * fast.read_index_served,  // 3 replicas
+            ordered.entries_appended)
+      << "fast: " << fast.Describe() << "ordered: " << ordered.Describe();
+  EXPECT_EQ(fast.invoked, fast.completed) << fast.Describe();
+}
+
+// Attack runs replay deterministically, exactly like every other schedule —
+// the property that makes a CI failure reproducible from the command line.
+TEST(ChaosTest, AttackRunsAreDeterministic) {
+  ChaosRunConfig config = BaseConfig(ClusterMode::kHovercRaft, "rejoin-storm", 5);
+  config.pre_vote = false;
+  const ChaosRunResult a = RunChaosSchedule(config);
+  const ChaosRunResult b = RunChaosSchedule(config);
+  EXPECT_EQ(a.nemesis_events, b.nemesis_events);
+  EXPECT_EQ(a.invoked, b.invoked);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.max_term, b.max_term);
+  EXPECT_EQ(a.leader_disruptions, b.leader_disruptions);
+  EXPECT_EQ(a.node_states, b.node_states);
+}
+
+// The attack schedules with all defenses at their defaults, across modes:
+// no schedule may disrupt a hardened cluster.
+TEST(ChaosTest, HardenedClusterShrugsOffAllAttacks) {
+  const std::vector<std::string> schedules = {"rejoin-storm", "forged-vote", "timer-skew"};
+  const std::vector<ClusterMode> modes = {
+      ClusterMode::kVanillaRaft,
+      ClusterMode::kHovercRaft,
+      ClusterMode::kHovercRaftPP,
+  };
+  uint64_t case_index = 0;
+  for (const std::string& schedule : schedules) {
+    for (ClusterMode mode : modes) {
+      const uint64_t seed = 1 + (case_index % 5);
+      ++case_index;
+      SCOPED_TRACE("schedule=" + schedule + " mode=" + ModeName(mode) +
+                   " seed=" + std::to_string(seed));
+      ChaosRunConfig config = BaseConfig(mode, schedule, seed);
+      config.retry_enabled = true;
+      config.give_up = Millis(100);
+      const ChaosRunResult result = RunChaosSchedule(config);
+      EXPECT_TRUE(result.ok()) << result.Describe();
+      EXPECT_EQ(result.leader_disruptions, 0u) << result.Describe();
+      EXPECT_GT(result.completed, 200u) << result.Describe();
+    }
+  }
+}
+
 // Crash-restart schedules exercise the full repair path; the restarted node
 // must catch back up and agree byte-for-byte with its peers.
 TEST(ChaosTest, CrashRestartConverges) {

@@ -621,6 +621,253 @@ TEST(RaftNodeTest, HaltedNodeDoesNotInflateTerms) {
   EXPECT_EQ(h.env(victim).applied_rids.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial hardening: PreVote, CheckQuorum, ReadIndex (docs/hardening.md)
+// ---------------------------------------------------------------------------
+
+RaftOptions WithDefenses(bool pre_vote, bool check_quorum) {
+  RaftOptions opts;
+  opts.pre_vote = pre_vote;
+  opts.check_quorum = check_quorum;
+  return opts;
+}
+
+// The heart of PreVote: a pre-candidate polls without mutating anything. An
+// isolated follower runs pre-election after pre-election, never increments
+// its term, never becomes a real candidate — and rejoins harmlessly.
+TEST(RaftNodeTest, PreCandidateNeverIncrementsTerm) {
+  MiniHarness h(3);
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  const Term stable_term = h.node(leader).term();
+  const NodeId victim = (leader + 1) % 3;
+  h.drop_filter = [victim](NodeId from, NodeId to, const Message&) {
+    return from == victim || to == victim;
+  };
+  h.Run(Millis(500));  // dozens of election timeouts in the dark
+  EXPECT_EQ(h.node(victim).term(), stable_term);
+  EXPECT_EQ(h.node(victim).stats().elections_started, 0u);
+  EXPECT_GT(h.node(victim).stats().prevote_rounds, 5u);
+  EXPECT_NE(h.node(victim).role(), RaftRole::kCandidate);
+  // Rejoin: nothing happened. Same leader, same term, no election.
+  h.drop_filter = nullptr;
+  h.Run(Millis(100));
+  EXPECT_EQ(h.Leader(), leader);
+  EXPECT_EQ(h.node(leader).term(), stable_term);
+  EXPECT_EQ(h.node(victim).term(), stable_term);
+}
+
+// Control: the identical isolation without PreVote inflates the victim's
+// term, and the rejoin deposes a perfectly healthy leader — the disruption
+// PreVote exists to prevent.
+TEST(RaftNodeTest, RejoinDisruptsLeaderWithoutPreVote) {
+  MiniHarness h(3, WithDefenses(/*pre_vote=*/false, /*check_quorum=*/true));
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  const Term stable_term = h.node(leader).term();
+  const NodeId victim = (leader + 1) % 3;
+  h.drop_filter = [victim](NodeId from, NodeId to, const Message&) {
+    return from == victim || to == victim;
+  };
+  h.Run(Millis(500));
+  EXPECT_GT(h.node(victim).term(), stable_term + 3);  // term storm in the dark
+  h.drop_filter = nullptr;
+  h.Run(Millis(300));
+  // The inflated term tore down the leader (via its own AppendEntries being
+  // rejected at the higher term); the cluster had to re-elect.
+  uint64_t total_wins = 0;
+  for (NodeId n = 0; n < 3; ++n) {
+    total_wins += h.node(n).stats().times_leader;
+  }
+  EXPECT_GE(total_wins, 2u);
+  ASSERT_NE(h.Leader(), kInvalidNode);
+  EXPECT_GT(h.node(h.Leader()).term(), stable_term);
+}
+
+// A pre-candidate with a stale log loses the poll and never campaigns for
+// real: the up-to-date follower takes over after the leader dies.
+TEST(RaftNodeTest, PreElectionLostOnStaleLog) {
+  MiniHarness h(3);
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  // Commit entries everywhere except node 2.
+  h.drop_filter = [](NodeId, NodeId to, const Message&) { return to == 2; };
+  for (uint64_t i = 1; i <= 5; ++i) {
+    h.node(leader).SubmitRequest(MiniHarness::Req(1, i));
+  }
+  h.Run(Millis(50));
+  ASSERT_GT(h.node(leader).commit_index(), 0u);
+  h.drop_filter = nullptr;
+  h.Kill(leader);
+  h.Run(Millis(500));
+  const NodeId second = h.Leader();
+  ASSERT_NE(second, kInvalidNode);
+  EXPECT_NE(second, 2);
+  EXPECT_GE(h.node(second).log().last_index(), 5u);
+  // The stale node polled at least once, was refused on log freshness, and
+  // never started a term-bumping election of its own.
+  EXPECT_GE(h.node(2).stats().prevote_rounds, 1u);
+  EXPECT_EQ(h.node(2).stats().elections_started, 0u);
+}
+
+// RNG-draw parity: PreVote must not perturb the election-timer draw order
+// (one draw per arm, poll outcomes routed synchronously), so the same seeds
+// produce the same first leader at the same term with the defense on or off.
+TEST(RaftNodeTest, PreVotePreservesElectionTimeline) {
+  MiniHarness with(3, WithDefenses(true, true));
+  MiniHarness without(3, WithDefenses(false, true));
+  with.StartAll();
+  without.StartAll();
+  const NodeId leader_with = with.WaitForLeader();
+  const NodeId leader_without = without.WaitForLeader();
+  EXPECT_EQ(leader_with, leader_without);
+  EXPECT_EQ(with.node(leader_with).term(), without.node(leader_without).term());
+  with.Run(Millis(300));
+  without.Run(Millis(300));
+  EXPECT_EQ(with.Leader(), without.Leader());
+  EXPECT_EQ(with.node(leader_with).term(), without.node(leader_without).term());
+  EXPECT_EQ(with.node(leader_with).stats().elections_started,
+            without.node(leader_without).stats().elections_started);
+  // The pre-vote run actually used the pre-election path.
+  EXPECT_GE(with.node(leader_with).stats().prevote_rounds, 1u);
+  EXPECT_EQ(without.node(leader_without).stats().prevote_rounds, 0u);
+}
+
+// CheckQuorum: a leader that cannot reach a quorum steps down on its own
+// within the evaluation window instead of shouting into the void forever.
+TEST(RaftNodeTest, CheckQuorumLeaderStepsDownWhenCutOff) {
+  MiniHarness h(3);
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  h.drop_filter = [leader](NodeId from, NodeId to, const Message&) {
+    return from == leader || to == leader;
+  };
+  h.Run(Millis(100));
+  EXPECT_NE(h.node(leader).role(), RaftRole::kLeader);
+  EXPECT_EQ(h.node(leader).stats().stepdowns_check_quorum, 1u);
+  // The connected majority elected a replacement meanwhile.
+  const NodeId second = h.Leader();
+  ASSERT_NE(second, kInvalidNode);
+  EXPECT_NE(second, leader);
+}
+
+// Leader stickiness: a forged RequestVote at an absurd term — injected
+// straight into every node, bypassing the network — is ignored by followers
+// hearing a live leader and by the leader holding quorum contact.
+TEST(RaftNodeTest, ForgedVoteIgnoredUnderStickiness) {
+  MiniHarness h(3);
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  h.Run(Millis(20));  // let heartbeat replies build quorum evidence
+  const Term stable_term = h.node(leader).term();
+  const NodeId forged_id = (leader + 1) % 3;
+  const RequestVoteReq forged(stable_term + 100, forged_id, 0, 0);
+  for (NodeId n = 0; n < 3; ++n) {
+    h.node(n).OnRequestVote(forged);
+    EXPECT_GE(h.node(n).stats().votes_ignored_sticky, 1u) << "node " << n;
+  }
+  h.Run(Millis(100));
+  EXPECT_EQ(h.Leader(), leader);
+  EXPECT_EQ(h.node(leader).term(), stable_term);
+}
+
+// Control: without CheckQuorum the same forged packet adopts the inflated
+// term everywhere and deposes the leader, even though the "candidate" holds
+// no log and could never win.
+TEST(RaftNodeTest, ForgedVoteDeposesLeaderWithoutStickiness) {
+  MiniHarness h(3, WithDefenses(/*pre_vote=*/true, /*check_quorum=*/false));
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  const Term stable_term = h.node(leader).term();
+  const NodeId forged_id = (leader + 1) % 3;
+  const RequestVoteReq forged(stable_term + 100, forged_id, 0, 0);
+  for (NodeId n = 0; n < 3; ++n) {
+    h.node(n).OnRequestVote(forged);
+  }
+  EXPECT_NE(h.node(leader).role(), RaftRole::kLeader);
+  EXPECT_GE(h.node(leader).term(), stable_term + 100);
+  // Liveness recovers — at an inflated term, which is the disruption.
+  h.Run(Millis(300));
+  ASSERT_NE(h.Leader(), kInvalidNode);
+  EXPECT_GT(h.node(h.Leader()).term(), stable_term + 100);
+}
+
+// Election-timer skew: a follower whose timer fires below the heartbeat
+// interval keeps losing pre-elections against a live leader; no term moves.
+TEST(RaftNodeTest, SkewedTimerCannotDisruptWithPreVote) {
+  MiniHarness h(3);
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  const Term stable_term = h.node(leader).term();
+  const NodeId victim = (leader + 1) % 3;
+  h.node(victim).SkewElectionTimer(0.1);  // ~0.5-0.7ms vs 1ms heartbeats
+  h.Run(Millis(300));
+  EXPECT_EQ(h.Leader(), leader);
+  EXPECT_EQ(h.node(leader).term(), stable_term);
+  EXPECT_EQ(h.node(victim).stats().elections_started, 0u);
+  EXPECT_GE(h.node(victim).stats().prevote_rounds, 1u);
+  h.node(victim).SkewElectionTimer(1.0);
+  h.Run(Millis(100));
+  EXPECT_EQ(h.Leader(), leader);
+}
+
+// ReadIndex: the leader serves a linearizable read at its commit index
+// without appending anything; followers refuse.
+TEST(RaftNodeTest, ReadIndexGrantsAtCommitWithoutLogGrowth) {
+  RaftOptions opts;
+  opts.read_index = true;
+  MiniHarness h(3, opts);
+  h.StartAll();
+  const NodeId leader = h.WaitForLeader();
+  for (uint64_t i = 1; i <= 3; ++i) {
+    h.node(leader).SubmitRequest(MiniHarness::Req(1, i));
+  }
+  h.Run(Millis(50));
+  const LogIndex log_before = h.node(leader).log().last_index();
+  const RaftNode::ReadGrant grant = h.node(leader).AcquireReadIndex();
+  ASSERT_TRUE(grant.granted);
+  EXPECT_EQ(grant.read_index, h.node(leader).commit_index());
+  EXPECT_EQ(h.node(leader).log().last_index(), log_before);  // no entry appended
+  EXPECT_EQ(h.node(leader).stats().read_index_served, 1u);
+  const NodeId follower = (leader + 1) % 3;
+  EXPECT_FALSE(h.node(follower).AcquireReadIndex().granted);
+}
+
+// The lease is strict: a leader cut off from its quorum stops granting reads
+// once election_timeout_min passes — exactly when a new leader could exist.
+// With a skewed (widened) lease it would keep serving; that unsafe
+// configuration is the stale-read control the chaos battery runs.
+TEST(RaftNodeTest, ReadLeaseExpiresWithoutQuorumContact) {
+  RaftOptions opts;
+  opts.read_index = true;
+  opts.check_quorum = false;  // isolate lease behaviour from stepdown
+  MiniHarness strict(3, opts);
+  strict.StartAll();
+  const NodeId leader = strict.WaitForLeader();
+  strict.node(leader).SubmitRequest(MiniHarness::Req(1, 1));
+  strict.Run(Millis(5));
+  ASSERT_TRUE(strict.node(leader).AcquireReadIndex().granted);
+  strict.drop_filter = [leader](NodeId from, NodeId to, const Message&) {
+    return from == leader || to == leader;
+  };
+  strict.Run(Millis(30));  // well past election_timeout_min
+  EXPECT_TRUE(strict.node(leader).IsLeader());  // no CheckQuorum: still "leads"
+  EXPECT_FALSE(strict.node(leader).AcquireReadIndex().granted);
+  EXPECT_GE(strict.node(leader).stats().read_index_rejected, 1u);
+
+  opts.read_lease_timeout = Seconds(10);  // skewed lease: evidence never ages
+  MiniHarness skewed(3, opts);
+  skewed.StartAll();
+  const NodeId leader2 = skewed.WaitForLeader();
+  skewed.node(leader2).SubmitRequest(MiniHarness::Req(1, 1));
+  skewed.Run(Millis(5));
+  skewed.drop_filter = [leader2](NodeId from, NodeId to, const Message&) {
+    return from == leader2 || to == leader2;
+  };
+  skewed.Run(Millis(30));
+  EXPECT_TRUE(skewed.node(leader2).AcquireReadIndex().granted);  // the hazard
+}
+
 // A follower whose hint lies below the leader's compaction point must be
 // repaired by snapshot (triggered from the failure-reply path, not only
 // from heartbeats).

@@ -93,14 +93,16 @@ class FuzzEnv final : public RaftNode::Env {
 class FuzzHarness {
  public:
   FuzzHarness(int32_t n, uint64_t seed, bool metadata_mode, double drop_probability,
-              int32_t initial_voters = 0)
-      : rng_(seed), drop_probability_(drop_probability) {
+              int32_t initial_voters = 0, bool read_index = false,
+              TimeNs max_delay = Millis(2))
+      : rng_(seed), drop_probability_(drop_probability), max_delay_(max_delay) {
     for (NodeId i = 0; i < n; ++i) {
       RaftOptions opts;
       opts.id = i;
       opts.cluster_size = n;
       opts.initial_voters = initial_voters;
       opts.metadata_only = metadata_mode;
+      opts.read_index = read_index;
       opts.election_timeout_min = Millis(4);
       opts.election_timeout_max = Millis(12);
       opts.heartbeat_interval = Millis(1);
@@ -119,8 +121,11 @@ class FuzzHarness {
     if (down_[static_cast<size_t>(from)] || rng_.NextBool(drop_probability_)) {
       return;
     }
-    // Random delay in [1us, 2ms]: reordering across in-flight messages.
-    const TimeNs delay = Micros(1) + static_cast<TimeNs>(rng_.NextBelow(Millis(2)));
+    // Random delay in [1us, max_delay_]: reordering across in-flight
+    // messages. The read-lease runs tighten the bound so the lease window
+    // (election_timeout_min) dominates message skew by a wide margin.
+    const TimeNs delay =
+        Micros(1) + static_cast<TimeNs>(rng_.NextBelow(static_cast<uint64_t>(max_delay_)));
     sim_.After(delay, [this, to, msg = std::move(msg)]() {
       if (down_[static_cast<size_t>(to)]) {
         return;
@@ -197,6 +202,69 @@ class FuzzHarness {
           leader->StartAddServer(out[rng_.NextBelow(out.size())]);
         } else {
           leader->StartRemoveServer(in[rng_.NextBelow(in.size())]);
+        }
+      });
+    }
+  }
+
+  // Randomized adversarial schedule (docs/hardening.md): forged higher-term
+  // RequestVotes injected under a member's identity and election-timer skews
+  // planted and later restored. With the defenses at their defaults these
+  // must never break election safety (RecordLeaders asserts I1 on every
+  // delivery) or log matching, and the cluster must still make progress.
+  void ArmAttacks(TimeNs duration, int events) {
+    const int32_t n = static_cast<int32_t>(nodes_.size());
+    for (int i = 0; i < events; ++i) {
+      const TimeNs when =
+          static_cast<TimeNs>(rng_.NextBelow(static_cast<uint64_t>(duration)));
+      const bool forge = rng_.NextBool(0.5);
+      sim_.At(when, [this, n, forge]() {
+        const NodeId target = static_cast<NodeId>(rng_.NextBelow(static_cast<uint64_t>(n)));
+        if (down_[static_cast<size_t>(target)]) {
+          return;
+        }
+        if (forge) {
+          Term max_term = 0;
+          for (const auto& node : nodes_) {
+            max_term = std::max(max_term, node->term());
+          }
+          const NodeId forged_id =
+              static_cast<NodeId>(rng_.NextBelow(static_cast<uint64_t>(n)));
+          nodes_[static_cast<size_t>(target)]->OnRequestVote(
+              RequestVoteReq(max_term + 50, forged_id, /*last_idx=*/0, /*last_term=*/0));
+        } else {
+          nodes_[static_cast<size_t>(target)]->SkewElectionTimer(0.05 +
+                                                                 0.2 * rng_.NextDouble());
+          sim_.After(Millis(10), [this, target]() {
+            nodes_[static_cast<size_t>(target)]->SkewElectionTimer(1.0);
+          });
+        }
+        RecordLeaders();
+      });
+    }
+  }
+
+  // Read-linearizability probes: at random times ask whoever leads for a
+  // ReadIndex grant and assert it covers everything committed anywhere so
+  // far. A stale leader whose lease lapsed must refuse; a grant below the
+  // global commit watermark would be a stale read.
+  void ArmReadProbes(TimeNs duration, int events) {
+    for (int i = 0; i < events; ++i) {
+      const TimeNs when =
+          static_cast<TimeNs>(rng_.NextBelow(static_cast<uint64_t>(duration)));
+      sim_.At(when, [this]() {
+        for (auto& node : nodes_) {
+          if (down_[static_cast<size_t>(node->id())] || !node->IsLeader()) {
+            continue;
+          }
+          const LogIndex watermark = commit_watermark_;
+          const RaftNode::ReadGrant grant = node->AcquireReadIndex();
+          if (grant.granted) {
+            ++reads_granted_;
+            EXPECT_GE(grant.read_index, watermark)
+                << "stale ReadIndex grant from node " << node->id() << " at term "
+                << node->term();
+          }
         }
       });
     }
@@ -315,10 +383,15 @@ class FuzzHarness {
   Simulator sim_;
   Rng rng_;
   double drop_probability_;
+  TimeNs max_delay_;
   std::vector<std::unique_ptr<FuzzEnv>> envs_;
   std::vector<std::unique_ptr<RaftNode>> nodes_;
   std::vector<bool> down_;
   std::map<Term, NodeId> leader_of_term_;
+  // Highest commit index observed on any node, ever (committed prefixes
+  // agree by log matching, so a bare index is comparable cluster-wide).
+  LogIndex commit_watermark_ = 0;
+  uint64_t reads_granted_ = 0;
 };
 
 void FuzzEnv::SendToPeer(NodeId peer, MessagePtr msg) {
@@ -326,6 +399,7 @@ void FuzzEnv::SendToPeer(NodeId peer, MessagePtr msg) {
 }
 
 void FuzzEnv::OnCommitAdvanced(LogIndex commit) {
+  harness_->commit_watermark_ = std::max(harness_->commit_watermark_, commit);
   RaftNode& node = *harness_->nodes_[static_cast<size_t>(self_)];
   while (applied_idx_ < commit) {
     ++applied_idx_;
@@ -353,6 +427,14 @@ struct FuzzParam {
   // and how many randomized add/remove proposals to fire during the run.
   int32_t spares = 0;
   int churn_events = 0;
+  // Adversarial hardening: randomized forged-vote/timer-skew injections, and
+  // ReadIndex probes checked against the global commit watermark.
+  int attack_events = 0;
+  int read_probes = 0;
+  // Per-delivery delay bound. The read-probe runs tighten it so the lease
+  // argument (no new leader within election_timeout_min of quorum contact)
+  // holds with a wide margin over message skew.
+  TimeNs max_delay = Millis(2);
 };
 
 class ScheduleFuzzTest : public ::testing::TestWithParam<std::tuple<int, FuzzParam>> {};
@@ -361,9 +443,16 @@ TEST_P(ScheduleFuzzTest, SafetyHoldsUnderRandomSchedules) {
   const auto [seed, param] = GetParam();
   FuzzHarness harness(param.nodes + param.spares, static_cast<uint64_t>(seed) * 7919 + 13,
                       param.metadata, param.drop_permille / 1000.0,
-                      param.spares > 0 ? param.nodes : 0);
+                      param.spares > 0 ? param.nodes : 0,
+                      /*read_index=*/param.read_probes > 0, param.max_delay);
   if (param.churn_events > 0) {
     harness.ArmChurn(Millis(150), param.churn_events);
+  }
+  if (param.attack_events > 0) {
+    harness.ArmAttacks(Millis(150), param.attack_events);
+  }
+  if (param.read_probes > 0) {
+    harness.ArmReadProbes(Millis(150), param.read_probes);
   }
   harness.Run(/*client_requests=*/120, /*duration=*/Millis(150));
   if (::testing::Test::HasFatalFailure()) {
@@ -373,6 +462,10 @@ TEST_P(ScheduleFuzzTest, SafetyHoldsUnderRandomSchedules) {
   // Progress: the cluster committed at least part of the workload even under
   // crashes and loss (liveness smoke, not an invariant).
   EXPECT_GT(harness.TotalApplied(), 10u);
+  if (param.read_probes > 0) {
+    // The probes genuinely exercised the lease path.
+    EXPECT_GT(harness.reads_granted_, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -391,6 +484,24 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(FuzzParam{3, false, 20, 2, 12},
                                          FuzzParam{3, true, 50, 2, 12},
                                          FuzzParam{3, true, 20, 3, 20})));
+
+// Randomized attack schedules: forged votes and timer skews interleaved with
+// drops and crashes. Election safety and log matching must hold with the
+// defenses at their defaults, and the cluster must keep committing.
+INSTANTIATE_TEST_SUITE_P(
+    AttackSchedules, ScheduleFuzzTest,
+    ::testing::Combine(::testing::Range(0, 12),
+                       ::testing::Values(FuzzParam{3, false, 20, 0, 0, 16},
+                                         FuzzParam{3, true, 50, 0, 0, 16},
+                                         FuzzParam{5, true, 20, 0, 0, 24})));
+
+// Read-lease probes under attack + loss: every granted ReadIndex must cover
+// the global commit watermark (no stale grants), across seeds.
+INSTANTIATE_TEST_SUITE_P(
+    ReadLeaseSchedules, ScheduleFuzzTest,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(FuzzParam{3, false, 20, 0, 0, 8, 40, Micros(200)},
+                                         FuzzParam{3, true, 50, 0, 0, 0, 40, Micros(200)})));
 
 }  // namespace
 }  // namespace hovercraft

@@ -45,6 +45,13 @@ struct CliOptions {
   uint64_t max_states = 4'000'000;
   bool retries = false;
   bool no_dedup = false;
+  // Adversarial-hardening toggles (docs/hardening.md). The defenses default
+  // on, matching RaftOptions; the --no-* flags re-open the attack surface so
+  // a control run can demonstrate what each defense prevents.
+  bool no_prevote = false;
+  bool no_check_quorum = false;
+  bool read_index = false;
+  TimeNs read_lease_timeout = 0;  // 0 = election_timeout_min (strict lease)
   TimeNs retry_backoff = Micros(500);
   uint32_t retry_max_attempts = 0;
   bool list_schedules = false;
@@ -64,6 +71,9 @@ void PrintUsage() {
   std::printf(
       "usage: chaos_runner [flags]\n"
       "  --schedule=NAME          fault schedule (default random); see --list-schedules\n"
+      "  --attack=NAME            alias for --schedule, reads better for the adversarial\n"
+      "                           schedules (rejoin-storm, forged-vote, timer-skew,\n"
+      "                           stale-read-probe)\n"
       "  --seed=S                 replay seed (default 1)\n"
       "  --mode=vanilla|hovercraft|hovercraft++   (default hovercraft)\n"
       "  --nodes=N                cluster size (default 3)\n"
@@ -84,6 +94,14 @@ void PrintUsage() {
       "  --retry-max-attempts=N   abandon after N transmissions (0 = give-up timer only)\n"
       "  --no-dedup               disable the server session table (demonstrates\n"
       "                           the double-apply anomaly under --retries)\n"
+      "  --no-prevote             disable the PreVote phase (control runs: rejoin-storm\n"
+      "                           and timer-skew then depose the leader)\n"
+      "  --no-check-quorum        disable CheckQuorum + leader stickiness (control runs:\n"
+      "                           forged-vote then deposes the leader)\n"
+      "  --read-index             serve read-only ops through ReadIndex leases instead\n"
+      "                           of the replicated log\n"
+      "  --read-lease-timeout-us=N  override the lease window (0 = election_timeout_min);\n"
+      "                           large values model clock skew and yield stale reads\n"
       "  --trace-out=PATH         write a Chrome trace-event JSON (Perfetto-loadable)\n"
       "  --metrics-out=PATH       write the metrics registry as JSON\n"
       "  --sample-interval-us=N   queue-depth sampling period (default 100)\n"
@@ -136,6 +154,16 @@ bool ParseOptions(int argc, char** argv, CliOptions& opts) {
       opts.retries = true;
     } else if (std::strcmp(a, "--no-dedup") == 0) {
       opts.no_dedup = true;
+    } else if (std::strcmp(a, "--no-prevote") == 0) {
+      opts.no_prevote = true;
+    } else if (std::strcmp(a, "--no-check-quorum") == 0) {
+      opts.no_check_quorum = true;
+    } else if (std::strcmp(a, "--read-index") == 0) {
+      opts.read_index = true;
+    } else if (ParseFlag(a, "--read-lease-timeout-us", v)) {
+      opts.read_lease_timeout = Micros(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--attack", v)) {
+      opts.schedule = v;
     } else if (ParseFlag(a, "--retry-backoff-us", v)) {
       opts.retry_backoff = Micros(std::atoll(v.c_str()));
     } else if (ParseFlag(a, "--retry-max-attempts", v)) {
@@ -227,12 +255,18 @@ int Run(const CliOptions& opts) {
   config.retry_initial_backoff = opts.retry_backoff;
   config.retry_max_attempts = opts.retry_max_attempts;
   config.dedup_enabled = !opts.no_dedup;
+  config.pre_vote = !opts.no_prevote;
+  config.check_quorum = !opts.no_check_quorum;
+  config.read_index = opts.read_index;
+  config.read_lease_timeout = opts.read_lease_timeout;
 
   std::printf(
-      "chaos_runner: mode=%s schedule=%s seed=%llu nodes=%d duration=%lldms retries=%d dedup=%d\n",
+      "chaos_runner: mode=%s schedule=%s seed=%llu nodes=%d duration=%lldms retries=%d dedup=%d "
+      "prevote=%d check_quorum=%d read_index=%d\n",
       opts.mode.c_str(), opts.schedule.c_str(), static_cast<unsigned long long>(opts.seed),
       opts.nodes, static_cast<long long>(opts.duration / 1'000'000), opts.retries ? 1 : 0,
-      opts.no_dedup ? 0 : 1);
+      opts.no_dedup ? 0 : 1, opts.no_prevote ? 0 : 1, opts.no_check_quorum ? 0 : 1,
+      opts.read_index ? 1 : 0);
   std::unique_ptr<obs::Observability> observability;
   const bool want_obs = !opts.trace_out.empty() || !opts.metrics_out.empty();
   if (want_obs) {

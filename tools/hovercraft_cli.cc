@@ -49,6 +49,10 @@ struct CliOptions {
   TimeNs measure = Millis(300);
   uint64_t seed = 42;
   int32_t clients = 8;
+  // Adversarial-hardening toggles (docs/hardening.md); defenses default on.
+  bool no_prevote = false;
+  bool no_check_quorum = false;
+  bool read_index = false;
   bool help = false;
 };
 
@@ -73,7 +77,11 @@ void PrintUsage() {
       "  --bounded-queue=B        replier queue bound (default 128)\n"
       "  --flow-control=N         middlebox in-flight cap (0 = off)\n"
       "  --warmup-ms=M --measure-ms=M\n"
-      "  --clients=N --seed=S\n");
+      "  --clients=N --seed=S\n"
+      "  --no-prevote             disable the PreVote phase\n"
+      "  --no-check-quorum        disable CheckQuorum + leader stickiness\n"
+      "  --read-index             serve the --read-only fraction through ReadIndex\n"
+      "                           leases instead of the replicated log\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string& out) {
@@ -161,6 +169,12 @@ bool ParseOptions(int argc, char** argv, CliOptions& opts) {
       opts.clients = std::atoi(v.c_str());
     } else if (ParseFlag(a, "--seed", v)) {
       opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(a, "--no-prevote") == 0) {
+      opts.no_prevote = true;
+    } else if (std::strcmp(a, "--no-check-quorum") == 0) {
+      opts.no_check_quorum = true;
+    } else if (std::strcmp(a, "--read-index") == 0) {
+      opts.read_index = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return false;
@@ -206,6 +220,9 @@ int Run(const CliOptions& opts) {
   config.cluster.bounded_queue_depth = opts.bounded_queue;
   config.cluster.flow_control_threshold = opts.flow_control;
   config.cluster.seed = opts.seed;
+  config.cluster.raft.pre_vote = !opts.no_prevote;
+  config.cluster.raft.check_quorum = !opts.no_check_quorum;
+  config.cluster.raft.read_index = opts.read_index;
   config.client_count = opts.clients;
   config.warmup = opts.warmup;
   config.measure = opts.measure;
@@ -241,9 +258,11 @@ int Run(const CliOptions& opts) {
     return 2;
   }
 
-  std::printf("# mode=%s nodes=%d workload=%s policy=%s seed=%llu\n", opts.mode.c_str(),
-              opts.nodes, opts.workload.c_str(), opts.policy.c_str(),
-              static_cast<unsigned long long>(opts.seed));
+  std::printf("# mode=%s nodes=%d workload=%s policy=%s seed=%llu prevote=%d check_quorum=%d"
+              " read_index=%d\n",
+              opts.mode.c_str(), opts.nodes, opts.workload.c_str(), opts.policy.c_str(),
+              static_cast<unsigned long long>(opts.seed), opts.no_prevote ? 0 : 1,
+              opts.no_check_quorum ? 0 : 1, opts.read_index ? 1 : 0);
 
   if (opts.slo_search) {
     const SloResult r =
