@@ -45,6 +45,38 @@ void Run() {
                 static_cast<double>(m.p99_ns) / 1e3, r.max_rps_under_slo / 1e3);
     std::fflush(stdout);
   }
+
+  // Group commit vs sync-per-append (docs/durability.md). With one serial
+  // flush device per node, coalescing concurrent barriers into the next
+  // unstarted flush is what keeps a priced fsync off the per-request critical
+  // path: sync-per-append queues a full-price barrier behind every append,
+  // so the WAL device itself becomes the bottleneck long before the CPU.
+  std::printf("\n%-14s %18s %16s %18s\n", "device", "fsync policy", "p99 @ 200kRPS",
+              "max kRPS (SLO)");
+  const struct {
+    const char* name;
+    FsyncPolicy policy;
+  } policies[] = {
+      {"group-commit", FsyncPolicy::kGroupCommit},
+      {"sync-per-append", FsyncPolicy::kSyncPerAppend},
+  };
+  for (const Device& device : devices) {
+    if (device.persist == 0) {
+      continue;  // a free fsync makes the policies indistinguishable
+    }
+    for (const auto& p : policies) {
+      ExperimentConfig config = benchutil::MakeSyntheticExperiment(
+          ClusterMode::kHovercRaftPP, 3, workload, ReplierPolicy::kLeaderOnly, 128, 42);
+      config.cluster.raft.persist_latency = device.persist;
+      config.cluster.server_template.fsync_policy = p.policy;
+      const LoadMetrics m = RunLoadPoint(config, 200e3);
+      const SloResult r =
+          FindMaxThroughputUnderSlo(config, benchutil::kSlo, 50e3, 1'050e3, 5);
+      std::printf("%-14s %18s %13.1fus %15.0fk\n", device.name, p.name,
+                  static_cast<double>(m.p99_ns) / 1e3, r.max_rps_under_slo / 1e3);
+      std::fflush(stdout);
+    }
+  }
 }
 
 }  // namespace

@@ -34,7 +34,9 @@ const std::vector<std::string>& Nemesis::ScheduleNames() {
       "delay",          "reorder",          "flap",                "crash-follower",
       "crash-leader",   "drop-replies",     "crash-replier",       "churn-cycle",
       "churn-remove-leader",                "churn-add-partition", "rejoin-storm",
-      "forged-vote",    "timer-skew",       "stale-read-probe",    "random",
+      "forged-vote",    "timer-skew",       "stale-read-probe",    "disk-power-fail",
+      "disk-torn-write",                    "disk-corrupt-entry",  "disk-fsync-stall",
+      "random",
   };
   return kNames;
 }
@@ -402,6 +404,106 @@ void Nemesis::RestartDead() {
   }
 }
 
+void Nemesis::PowerCycleAll(TimeNs outage, bool torn) {
+  // Whole-cluster power loss: every live member's disk crashes at the same
+  // instant (losing its unsynced suffix; `torn` leaves a partial final
+  // record), then all of them restart through WAL recovery after `outage`.
+  // Committed-and-acknowledged data survives iff it was fsynced before the
+  // ack — which is exactly what the fsync-policy control toggles.
+  int cut = 0;
+  for (NodeId node : cluster_->Members()) {
+    ReplicatedServer& server = cluster_->server(node);
+    if (server.failed()) {
+      continue;
+    }
+    if (torn && server.disk() != nullptr) {
+      server.disk()->set_next_crash_torn();
+    }
+    cluster_->PowerFailNode(node);
+    ++cut;
+  }
+  Log("disk: power-fail " + std::to_string(cut) + " node(s)" + (torn ? " (torn)" : ""));
+  At(cluster_->sim().Now() + outage, [this] { RestartDead(); });
+}
+
+void Nemesis::DiskCorruptionCycle(TimeNs follower_outage, TimeNs leader_outage) {
+  // Media corruption of durable, committed state. Target: on every follower,
+  // the newest applied non-noop write entry still present in its WAL — an
+  // entry whose reply a client may already hold. The leader is fail-stopped
+  // (disk and memory intact, no power loss) so its log stays pristine and
+  // protocol-aware recovery always has an intact copy to re-fetch from; the
+  // stagger (followers restart quickly, leader slowly) gives the naive
+  // control a window in which the amnesiac followers hold a quorum among
+  // themselves. A power-failed leader would also lose its unsynced suffix —
+  // entries committed through the follower pair's acks could then vanish
+  // from every copy at once, which no recovery protocol can undo.
+  const NodeId leader = CurrentLeaderOr(0);
+  std::vector<NodeId> cycled;
+  for (NodeId node : cluster_->Members()) {
+    ReplicatedServer& server = cluster_->server(node);
+    if (node == leader || server.failed() || server.raft() == nullptr ||
+        server.storage() == nullptr) {
+      continue;
+    }
+    const RaftLog& log = server.raft()->log();
+    bool corrupted = false;
+    for (LogIndex idx = server.raft()->applied_index(); idx >= log.first_index() && idx > 0;
+         --idx) {
+      const LogEntry& e = log.At(idx);
+      if (!e.noop && !e.read_only && server.storage()->CorruptEntry(idx)) {
+        Log("disk: corrupt entry " + std::to_string(idx) + " on node " + std::to_string(node));
+        corrupted = true;
+        break;
+      }
+    }
+    if (!corrupted) {
+      Log("disk: corrupt skipped on node " + std::to_string(node) +
+          " (no applied write entry in WAL)");
+    }
+    cluster_->PowerFailNode(node);
+    cycled.push_back(node);
+  }
+  Log("disk: power-fail " + std::to_string(cycled.size()) + " follower(s)");
+  At(cluster_->sim().Now() + follower_outage, [this, cycled] {
+    for (NodeId node : cycled) {
+      cluster_->RestartNode(node);
+      Log("restart: node " + std::to_string(node));
+    }
+  });
+  if (!cluster_->server(leader).failed()) {
+    cluster_->KillNode(leader);
+    Log("disk: fail-stop node " + std::to_string(leader) + " (leader, slow restart)");
+    At(cluster_->sim().Now() + leader_outage, [this, leader] {
+      cluster_->RestartNode(leader);
+      Log("restart: node " + std::to_string(leader) + " (leader)");
+    });
+  }
+}
+
+void Nemesis::StallDisks(TimeNs extra) {
+  int stalled = 0;
+  for (NodeId node : cluster_->Members()) {
+    SimDisk* disk = cluster_->server(node).disk();
+    if (disk != nullptr) {
+      disk->set_stall(extra);
+      ++stalled;
+    }
+  }
+  disks_stalled_ = stalled > 0;
+  Log("disk: fsync stall +" + FormatMs(extra) + " on " + std::to_string(stalled) + " disk(s)");
+}
+
+void Nemesis::HealDisks() {
+  for (NodeId node = 0; node < cluster_->total_node_count(); ++node) {
+    SimDisk* disk = cluster_->server(node).disk();
+    if (disk != nullptr) {
+      disk->set_stall(0);
+    }
+  }
+  disks_stalled_ = false;
+  Log("disk: heal fsync stalls");
+}
+
 void Nemesis::HealNetwork() {
   cluster_->network().ClearFaults();
   cut_links_.clear();
@@ -413,6 +515,9 @@ void Nemesis::HealAll() {
   RestartDead();
   if (!skewed_nodes_.empty()) {
     RestoreTimers();
+  }
+  if (disks_stalled_) {
+    HealDisks();
   }
 }
 
@@ -522,6 +627,28 @@ void Nemesis::ArmScripted() {
   } else if (name == "stale-read-probe") {
     At(s + w / 8, [this] { StaleReadPartition(); });
     At(s + 5 * w / 8, [this] { HealNetwork(); });
+  } else if (name == "disk-power-fail") {
+    // Two whole-cluster power cycles: acked writes straddle the cuts, so any
+    // ack that outran its fsync is exposed as lost committed data.
+    At(s + w / 4, [this] { PowerCycleAll(Millis(2), /*torn=*/false); });
+    At(s + 5 * w / 8, [this] { PowerCycleAll(Millis(2), /*torn=*/false); });
+  } else if (name == "disk-torn-write") {
+    // Same cuts, but each crash leaves a torn final record: recovery must
+    // CRC-detect the partial tail and truncate exactly to the synced prefix.
+    At(s + w / 4, [this] { PowerCycleAll(Millis(2), /*torn=*/true); });
+    At(s + 5 * w / 8, [this] { PowerCycleAll(Millis(2), /*torn=*/true); });
+  } else if (name == "disk-corrupt-entry") {
+    // One corruption cycle in mid-window so plenty of committed traffic
+    // exists to corrupt, and the long leader outage gives the amnesiac
+    // followers time to form a quorum if recovery lets them.
+    At(s + w / 4, [this] { DiskCorruptionCycle(Millis(2), Millis(20)); });
+  } else if (name == "disk-fsync-stall") {
+    // Gray disk, then a power cut in the middle of the stall: a policy that
+    // acks ahead of the (now glacial) fsync has a deep unsynced backlog to
+    // lose; fsync-before-ack merely slows down.
+    At(s + w / 8, [this] { StallDisks(Micros(500)); });
+    At(s + w / 2, [this] { PowerCycleAll(Millis(2), /*torn=*/false); });
+    At(s + 5 * w / 8, [this] { HealDisks(); });
   } else if (name == "crash-replier") {
     // Mute a replier's client-facing links, let it execute in the dark for a
     // slice of the window, then crash it: every request it answered-but-not-

@@ -94,6 +94,23 @@ class Nemesis {
   void RestartDead();
   void HealNetwork();
   void HealAll();
+  // Disk-fault schedules (docs/durability.md). PowerCycleAll cuts power to
+  // every live member simultaneously — their disks lose the unsynced suffix
+  // (a torn final record when `torn`) — and restarts them through WAL
+  // recovery after `outage`. Under fsync-before-ack this is harmless; under
+  // the ack-before-sync control the cluster-wide loss of acknowledged
+  // writes is a linearizability violation the checker flags.
+  void PowerCycleAll(TimeNs outage, bool torn);
+  // Flips a byte inside a committed, applied write entry on every follower's
+  // WAL, power-cycles the followers quickly, and fail-stops the leader (disk
+  // intact) with a slow restart: the followers must either come back suspect
+  // and wait for the leader's repair (protocol-aware recovery) or silently
+  // truncate committed entries and elect each other over the amnesia
+  // (--no-recovery control).
+  void DiskCorruptionCycle(TimeNs follower_outage, TimeNs leader_outage);
+  // Gray disk: every subsequent fsync costs `extra` more on every member.
+  void StallDisks(TimeNs extra);
+  void HealDisks();
 
   void ArmScripted();
   void ArmRandom();
@@ -116,6 +133,8 @@ class Nemesis {
   // Nodes whose election timers SkewFollowerTimer scaled; RestoreTimers
   // resets exactly these to 1.0.
   std::vector<NodeId> skewed_nodes_;
+  // StallDisks is active; HealAll clears it exactly once.
+  bool disks_stalled_ = false;
 };
 
 }  // namespace hovercraft

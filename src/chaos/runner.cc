@@ -41,7 +41,14 @@ std::string ChaosRunResult::Describe() const {
       << " completed_after_retry=" << completed_after_retry << " abandoned=" << abandoned
       << " late_completions=" << late_completions << "\n"
       << "dedup: hits=" << dedup_hits << " cached_replies=" << dedup_replies
-      << " double_applies=" << double_applies << "\n";
+      << " double_applies=" << double_applies << "\n"
+      << "storage: recoveries=" << wal_recoveries << " torn=" << torn_truncations
+      << " corrupt=" << corrupt_records << " suspect=" << suspect_recoveries
+      << " repaired=" << suspect_repaired
+      << " acks_deferred=" << acks_deferred_persist
+      << " acks_dropped=" << acks_dropped_crash
+      << " bytes_lost=" << disk_bytes_lost
+      << " committed_overwritten=" << committed_overwritten << "\n";
   for (const std::string& state : node_states) {
     out << state << "\n";
   }
@@ -69,6 +76,9 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   cc.raft.check_quorum = config.check_quorum;
   cc.raft.read_index = config.read_index;
   cc.raft.read_lease_timeout = config.read_lease_timeout;
+  cc.raft.persist_latency = config.persist_latency;
+  cc.server_template.fsync_policy = config.fsync_policy;
+  cc.server_template.wal_recovery = config.wal_recovery;
   // The stagger shortcut gives node 0 a permanently shorter election timeout.
   // Without pre-vote, a healed-but-stale node 0 then livelocks elections:
   // its 1-2 ms timer bumps the term faster than the 5-10 ms peers can elect.
@@ -206,7 +216,19 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
     result.votes_ignored_sticky += rs.votes_ignored_sticky;
     result.read_index_rejected += rs.read_index_rejected;
     result.entries_appended += rs.entries_appended;
+    result.acks_deferred_persist += rs.acks_deferred_persist;
+    result.acks_dropped_crash += rs.acks_dropped_crash;
+    result.suspect_repaired += rs.suspect_repaired;
+    result.committed_overwritten += rs.committed_overwritten;
     result.max_term = std::max(result.max_term, cluster.server(node).raft()->term());
+    if (const StableStorage* storage = cluster.server(node).storage(); storage != nullptr) {
+      const StorageStats& ss = storage->stats();
+      result.wal_recoveries += ss.recoveries;
+      result.torn_truncations += ss.torn_truncations;
+      result.corrupt_records += ss.corrupt_records;
+      result.suspect_recoveries += ss.suspect_recoveries;
+      result.disk_bytes_lost += cluster.server(node).disk()->stats().bytes_lost;
+    }
   }
   result.leader_disruptions = times_leader > 0 ? times_leader - 1 : 0;
   result.nemesis_events = nemesis.events();

@@ -16,6 +16,7 @@
 
 #include "src/chaos/linearizability.h"
 #include "src/common/types.h"
+#include "src/storage/fsync_policy.h"
 
 namespace hovercraft {
 
@@ -74,6 +75,15 @@ struct ChaosRunConfig {
   // 0 keeps the strict election_timeout_min lease; widening it past the
   // election timeout models lease clock skew (the stale-read control).
   TimeNs read_lease_timeout = 0;
+
+  // Durability knobs (docs/durability.md), forwarded into every node's disk
+  // and storage layer. The disk-* schedules run paired: defaults as the
+  // defended proof (zero violations), fsync_policy=kAckBeforeSync (for the
+  // power-fail/torn/stall faults) or wal_recovery=false (for corruption) as
+  // the control whose violations show the fault genuinely bites.
+  TimeNs persist_latency = 0;
+  FsyncPolicy fsync_policy = FsyncPolicy::kGroupCommit;
+  bool wal_recovery = true;
 
   // Override the replicated application; defaults to a KvService per node.
   // Exists so tests can plant a deliberately broken state machine and prove
@@ -140,6 +150,19 @@ struct ChaosRunResult {
   // Total log entries appended cluster-wide: with read_index on, pure-read
   // load must not grow it (reads never enter the log).
   uint64_t entries_appended = 0;
+  // Durability accounting (sums over all nodes; docs/durability.md).
+  uint64_t wal_recoveries = 0;
+  uint64_t torn_truncations = 0;
+  uint64_t corrupt_records = 0;
+  uint64_t suspect_recoveries = 0;
+  uint64_t suspect_repaired = 0;
+  uint64_t acks_deferred_persist = 0;
+  uint64_t acks_dropped_crash = 0;
+  uint64_t disk_bytes_lost = 0;
+  // Entries below a node's commit index overwritten by a new leader — the
+  // committed-data-loss anomaly itself. Zero in every defended run; the
+  // unsafe controls drive it (see RaftStats::committed_overwritten).
+  uint64_t committed_overwritten = 0;
   std::vector<std::string> nemesis_events;
   // Per node: "node 2: term=5 leader alive digest=..." — final state, for
   // diagnosing a failed run.

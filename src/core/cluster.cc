@@ -233,10 +233,38 @@ void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
       metrics->SetCounter(prefix + "raft.read_index_served", rs.read_index_served);
       metrics->SetCounter(prefix + "raft.read_index_rejected", rs.read_index_rejected);
       metrics->SetCounter(prefix + "raft.agg_fallbacks", rs.agg_fallbacks);
+      metrics->SetCounter(prefix + "raft.acks_deferred_persist", rs.acks_deferred_persist);
+      metrics->SetCounter(prefix + "raft.acks_dropped_crash", rs.acks_dropped_crash);
+      metrics->SetCounter(prefix + "raft.campaigns_blocked_suspect",
+                          rs.campaigns_blocked_suspect);
+      metrics->SetCounter(prefix + "raft.suspect_repaired", rs.suspect_repaired);
       metrics->SetGauge(prefix + "raft.commit_index",
                         static_cast<int64_t>(s.raft()->commit_index()));
       metrics->SetGauge(prefix + "raft.applied_index",
                         static_cast<int64_t>(s.raft()->applied_index()));
+      metrics->SetGauge(prefix + "raft.durable_index",
+                        static_cast<int64_t>(s.raft()->durable_index()));
+    }
+    if (s.storage() != nullptr) {
+      const StorageStats& ss = s.storage()->stats();
+      metrics->SetCounter(prefix + "storage.entry_records", ss.entry_records);
+      metrics->SetCounter(prefix + "storage.meta_records", ss.meta_records);
+      metrics->SetCounter(prefix + "storage.snapshots_saved", ss.snapshots_saved);
+      metrics->SetCounter(prefix + "storage.recoveries", ss.recoveries);
+      metrics->SetCounter(prefix + "storage.recovered_entries", ss.recovered_entries);
+      metrics->SetCounter(prefix + "storage.torn_truncations", ss.torn_truncations);
+      metrics->SetCounter(prefix + "storage.corrupt_records", ss.corrupt_records);
+      metrics->SetCounter(prefix + "storage.suspect_recoveries", ss.suspect_recoveries);
+      metrics->SetCounter(prefix + "storage.segments_dropped", ss.segments_dropped);
+      const SimDiskStats& ds = s.disk()->stats();
+      metrics->SetCounter(prefix + "disk.appends", ds.appends);
+      metrics->SetCounter(prefix + "disk.bytes_written", ds.bytes_written);
+      metrics->SetCounter(prefix + "disk.syncs", ds.syncs);
+      metrics->SetCounter(prefix + "disk.crashes", ds.crashes);
+      metrics->SetCounter(prefix + "disk.bytes_lost", ds.bytes_lost);
+      metrics->SetCounter(prefix + "disk.torn_crashes", ds.torn_crashes);
+      metrics->SetCounter(prefix + "disk.flips", ds.flips);
+      metrics->SetCounter(prefix + "disk.stall_ns", ds.stall_ns);
     }
     metrics->SetGauge(prefix + "net_thread.busy_ns", s.net_thread().total_busy());
     metrics->SetGauge(prefix + "app_thread.busy_ns", s.app_thread().total_busy());
@@ -321,6 +349,15 @@ void Cluster::KillNode(NodeId node) {
   HC_CHECK_GE(node, 0);
   HC_CHECK_LT(static_cast<size_t>(node), servers_.size());
   servers_[static_cast<size_t>(node)]->set_failed(true);
+}
+
+void Cluster::PowerFailNode(NodeId node) {
+  if (node == kInvalidNode) {
+    return;
+  }
+  HC_CHECK_GE(node, 0);
+  HC_CHECK_LT(static_cast<size_t>(node), servers_.size());
+  servers_[static_cast<size_t>(node)]->PowerFail();
 }
 
 void Cluster::RestartNode(NodeId node) {

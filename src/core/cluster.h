@@ -102,11 +102,21 @@ class Cluster {
   void KillNode(NodeId node);
   void KillLeader() { KillNode(LeaderId()); }
 
-  // Restarts a killed node: persistent state (term, vote, log, snapshot and
-  // the applied application state it determines) is replayed intact; soft
-  // state (the unordered set) is lost; the node rejoins as a follower and
-  // is caught up by the leader via AppendEntries or InstallSnapshot. No-op
-  // on a live node.
+  // Power loss: like KillNode, but the node's simulated disk crashes too —
+  // the unsynced WAL suffix (and any not-yet-durable acknowledgement) is
+  // genuinely lost, and RestartNode will run WAL recovery instead of
+  // resuming from process memory. No-op on an already-failed node.
+  void PowerFailNode(NodeId node);
+
+  // Restarts a killed node. After a fail-stop kill, process memory is intact
+  // and the node resumes where it halted. After PowerFailNode, only what was
+  // fsynced survives: the node replays its WAL (hard state, log, snapshot),
+  // CRC-validates every record, truncates any torn unsynced tail, reloads
+  // app + session state from its latest local snapshot, and rejoins as a
+  // follower — suspect (barred from campaigning) if durable bytes were lost,
+  // until the leader's AppendEntries / InstallSnapshot path has re-fetched
+  // them. Soft state (the unordered set) is lost either way. No-op on a
+  // live node.
   void RestartNode(NodeId node);
 
   // Number of nodes currently not failed.

@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/obs/observability.h"
 #include "src/raft/messages.h"
+#include "src/raft/wal_codec.h"
 
 namespace hovercraft {
 
@@ -19,7 +20,14 @@ ReplicatedServer::ReplicatedServer(Simulator* sim, const CostModel& costs,
       app_thread_(sim) {
   HC_CHECK(app_ != nullptr);
   if (IsReplicated()) {
+    // Disk seed decorrelated from the raft RNG stream so adding durability
+    // does not perturb existing election/jitter draws. The fsync cost is the
+    // paper's persist_latency knob; zero keeps syncs inline and event-free.
+    disk_ = std::make_unique<SimDisk>(sim, seed ^ 0x5EEDD15Cu, config_.raft.persist_latency);
+    storage_ = std::make_unique<StableStorage>(disk_.get(), config_.fsync_policy);
     raft_ = std::make_unique<RaftNode>(sim, seed, config_.raft, this);
+    raft_->set_storage(storage_.get());
+    genesis_app_state_ = app_->SnapshotState();
   }
 }
 
@@ -34,6 +42,9 @@ void ReplicatedServer::Wire(std::vector<HostId> node_hosts, HostId aggregator_ho
 
 void ReplicatedServer::Start() {
   if (raft_ != nullptr) {
+    // Genesis snapshot: recovery always finds a durable floor to replay from,
+    // even if the node power-fails before the first compaction.
+    PersistLocalSnapshot();
     raft_->Start();
     ArmMaintenanceTimers();
   }
@@ -54,17 +65,97 @@ void ReplicatedServer::set_failed(bool failed_now) {
   }
 }
 
+void ReplicatedServer::PowerFail() {
+  if (failed()) {
+    return;
+  }
+  set_failed(true);
+  if (storage_ != nullptr) {
+    // Power loss: the unsynced WAL suffix is discarded (possibly leaving a
+    // torn final record) and every pending durability barrier dies with the
+    // process — no ack can fire from the grave.
+    storage_->Crash();
+    needs_recovery_ = true;
+  }
+}
+
 void ReplicatedServer::Restart() {
   if (!failed()) {
     return;
   }
   // The unordered set lived in DRAM of the crashed process; requests the log
   // references but the set no longer holds are re-fetched point-to-point by
-  // the recovery path when the node catches up. The session table survives
-  // for the same reason the application state does: it is the deterministic
-  // replay of the applied log prefix, which is persistent.
+  // the recovery path when the node catches up.
   unordered_.Clear();
+  if (needs_recovery_) {
+    // Power-fail restart: process memory is gone; rebuild everything from
+    // the disk before the node rejoins.
+    RecoverFromStorage();
+  }
   set_failed(false);
+}
+
+void ReplicatedServer::PersistLocalSnapshot() {
+  // Blob layout: [u8 has_config]([u64 config_idx][config])?[wire body] where
+  // the wire body is CaptureSnapshot()'s [sessions][app bytes] format. The
+  // membership config rides along so a recovered node whose whole log was
+  // compacted away still knows who its peers are.
+  RaftNode::Env::SnapshotCapture capture = CaptureSnapshot();
+  const LogIndex idx = capture.last_included;
+  const Term term = idx == 0 ? 0 : raft_->log().TermAt(idx);
+  auto [config_idx, config] = raft_->ConfigCoveringIndex(idx);
+  BufferWriter w;
+  w.PutU8(config != nullptr ? 1 : 0);
+  if (config != nullptr) {
+    w.PutU64(config_idx);
+    EncodeConfig(*config, &w);
+  }
+  w.PutBytes(*capture.state);
+  storage_->SaveSnapshot(idx, term, w.TakeBytes());
+  local_snapshot_idx_ = idx;
+}
+
+void ReplicatedServer::RecoverFromStorage() {
+  StableStorage::Recovery rec = storage_->Recover(config_.wal_recovery);
+  needs_recovery_ = false;
+  LogIndex applied = 0;
+  MembershipConfigPtr snap_config;
+  LogIndex snap_config_idx = 0;
+  if (rec.has_snapshot) {
+    BufferReader r(rec.snapshot_payload);
+    uint8_t has_config = 0;
+    HC_CHECK(r.GetU8(has_config).ok());
+    if (has_config != 0) {
+      HC_CHECK(r.GetU64(snap_config_idx).ok());
+      snap_config = DecodeConfig(&r);
+      HC_CHECK(snap_config != nullptr);
+    }
+    const Status sessions_ok = sessions_.Restore(&r);
+    HC_CHECK(sessions_ok.ok());
+    std::vector<uint8_t> app_bytes;
+    HC_CHECK(r.GetBytes(r.remaining(), app_bytes).ok());
+    HC_CHECK(app_->RestoreState(MakeBody(std::move(app_bytes))).ok());
+    applied = rec.snapshot_index;
+  } else {
+    // The snapshot itself was unreadable — fall back to the pristine image.
+    // A log tail whose base is not index zero cannot be replayed into state,
+    // so discard it; the node stays suspect (it may have acknowledged those
+    // entries) and the leader re-seeds it by state transfer.
+    sessions_.Clear();
+    HC_CHECK(app_->RestoreState(genesis_app_state_).ok());
+    if (rec.base_index != 0) {
+      rec.entries.clear();
+      rec.base_index = 0;
+      rec.base_term = 0;
+      rec.suspect = true;
+    }
+  }
+  // Entries at or below `applied` are already reflected in the reloaded
+  // state; the raft layer re-applies forward from there as commit re-advances.
+  apply_cursor_ = applied;
+  local_snapshot_idx_ = applied;
+  pending_reads_.clear();
+  raft_->RestartFromRecovery(rec, applied, std::move(snap_config), snap_config_idx);
 }
 
 void ReplicatedServer::ArmMaintenanceTimers() {
@@ -109,6 +200,12 @@ void ReplicatedServer::CompactNow() {
   const LogIndex applied = raft_->applied_index();
   if (applied > config_.straggler_lag_entries) {
     target = std::max(target, applied - config_.straggler_lag_entries);
+  }
+  if (storage_ != nullptr && apply_cursor_ > local_snapshot_idx_) {
+    // A covering snapshot must be durable before CompactLog journals the
+    // compact record and prunes WAL segments below the new base — a power
+    // fail in between must still find a replayable floor.
+    PersistLocalSnapshot();
   }
   raft_->CompactLog(target);
 }
@@ -618,7 +715,9 @@ RaftNode::Env::SnapshotCapture ReplicatedServer::CaptureSnapshot() {
   return capture;
 }
 
-void ReplicatedServer::RestoreSnapshot(const Body& state, LogIndex last_included) {
+void ReplicatedServer::RestoreSnapshot(const Body& state, LogIndex last_included,
+                                       Term included_term, MembershipConfigPtr config,
+                                       LogIndex config_idx) {
   HC_CHECK(state != nullptr);
   BufferReader r(*state);
   const Status sessions_ok = sessions_.Restore(&r);
@@ -631,6 +730,20 @@ void ReplicatedServer::RestoreSnapshot(const Body& state, LogIndex last_included
   ++stats_.snapshots_restored;
   if (last_included > apply_cursor_) {
     apply_cursor_ = last_included;
+  }
+  if (storage_ != nullptr) {
+    // Persist the received image before the raft layer journals the covering
+    // truncate/compact records: a power fail right after the compact must
+    // still find a snapshot at least as new as the new log base.
+    BufferWriter w;
+    w.PutU8(config != nullptr ? 1 : 0);
+    if (config != nullptr) {
+      w.PutU64(config_idx);
+      EncodeConfig(*config, &w);
+    }
+    w.PutBytes(*state);
+    storage_->SaveSnapshot(last_included, included_term, w.TakeBytes());
+    local_snapshot_idx_ = std::max(local_snapshot_idx_, last_included);
   }
 }
 

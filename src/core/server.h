@@ -26,6 +26,9 @@
 #include "src/r2p2/messages.h"
 #include "src/raft/node.h"
 #include "src/raft/options.h"
+#include "src/storage/fsync_policy.h"
+#include "src/storage/sim_disk.h"
+#include "src/storage/stable_storage.h"
 
 namespace hovercraft {
 
@@ -45,6 +48,16 @@ struct ServerConfig {
   // at-least-once retries — the chaos harness uses that to demonstrate the
   // double-apply anomaly the table exists to prevent.
   bool dedup_enabled = true;
+  // Durable storage (docs/durability.md). Replicated nodes journal hard state
+  // and log entries to a per-node SimDisk whose fsync cost is
+  // raft.persist_latency. Group commit acks after durability while coalescing
+  // concurrent barriers; ack-before-sync is the unsafe chaos control.
+  FsyncPolicy fsync_policy = FsyncPolicy::kGroupCommit;
+  // Protocol-aware WAL recovery on restart after a power failure. Disabled
+  // only by the chaos control: damage below the durable frontier is then
+  // silently truncated (the classic unsafe repair) instead of quarantined
+  // behind the suspect gate and re-fetched from the leader.
+  bool wal_recovery = true;
 };
 
 struct ServerStats {
@@ -98,12 +111,24 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   // the network interface (fail-stop model).
   void set_failed(bool failed) override;
 
-  // Process restart after a crash. Persistent state (term, vote, log,
-  // snapshot — and the application state, which is the deterministic replay
-  // of the applied prefix of that log) survives; soft state (the unordered
-  // request set) is lost. The node rejoins as a follower and any entries it
-  // missed are repaired through the normal AppendEntries / InstallSnapshot
-  // recovery path. No-op on a live node.
+  // Power loss: fails the node AND crashes its simulated disk, so everything
+  // beyond the last fsync frontier — the unsynced WAL suffix and any
+  // acknowledgement whose durability barrier had not completed — is genuinely
+  // gone. The next Restart() runs WAL recovery. No-op on a failed node.
+  void PowerFail();
+
+  // Process restart after a crash. After a plain fail-stop (set_failed) the
+  // process memory is intact and the node simply resumes. After PowerFail()
+  // only the disk is trusted: recovery replays the WAL (CRC-validating every
+  // record), truncates a torn unsynced tail, reloads the session table and
+  // application state from the latest local snapshot, and re-applies forward.
+  // If durable bytes were lost (corruption, mid-stream damage) the node comes
+  // back as a *suspect* follower — it may vote but not campaign until its
+  // commit index covers everything it may ever have acknowledged — and the
+  // missing entries are re-fetched from the leader through the normal
+  // AppendEntries / InstallSnapshot repair path instead of being silently
+  // truncated away. Soft state (the unordered request set, leased reads) is
+  // lost either way. No-op on a live node.
   void Restart();
 
   // --- RaftNode::Env ---
@@ -113,7 +138,8 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   void ConsumeUnordered(const RequestId& rid) override;
   void StoreRecovered(const RequestId& rid, std::shared_ptr<const RpcRequest> request) override;
   SnapshotCapture CaptureSnapshot() override;
-  void RestoreSnapshot(const Body& state, LogIndex last_included) override;
+  void RestoreSnapshot(const Body& state, LogIndex last_included, Term included_term,
+                       MembershipConfigPtr config, LogIndex config_idx) override;
   void OnCommitAdvanced(LogIndex commit) override;
   void OnLeadershipChanged(bool is_leader) override;
   void OnConfigCommitted(const MembershipConfig& config, LogIndex idx) override;
@@ -140,6 +166,11 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   NodeId node_id() const { return config_.raft.id; }
   const ServerConfig& config() const { return config_; }
   SerialResource& app_thread() { return app_thread_; }
+  // Durable storage (null for kUnreplicated). Exposed for the disk-fault
+  // nemesis and metrics export.
+  StableStorage* storage() { return storage_.get(); }
+  const StableStorage* storage() const { return storage_.get(); }
+  SimDisk* disk() { return disk_.get(); }
 
  private:
   bool IsReplicated() const { return config_.mode != ClusterMode::kUnreplicated; }
@@ -166,9 +197,18 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   void ArmGcTimer();
   void ArmCompactionTimer();
   void CompactNow();
+  // Writes the local snapshot (config + sessions + app state through
+  // apply_cursor_) to the disk; the durable floor WAL replay restarts from.
+  void PersistLocalSnapshot();
+  // Post-power-fail recovery: WAL replay + snapshot reload + raft restart.
+  void RecoverFromStorage();
 
   ServerConfig config_;
   std::unique_ptr<StateMachine> app_;
+  // Simulated durable media + WAL (replicated modes only); declared before
+  // raft_ so storage outlives the node that writes to it.
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<StableStorage> storage_;
   std::unique_ptr<RaftNode> raft_;
   SerialResource app_thread_;
   UnorderedStore unordered_;
@@ -183,6 +223,16 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
 
   // Apply pipeline: last log index handed to the app thread.
   LogIndex apply_cursor_ = 0;
+
+  // Pristine application image captured at construction: the recovery target
+  // of last resort when the on-disk snapshot itself is unreadable.
+  Body genesis_app_state_;
+  // Last index covered by the on-disk snapshot; compaction skips the write
+  // when the apply cursor has not moved past it.
+  LogIndex local_snapshot_idx_ = 0;
+  // Set by PowerFail(): the disk crashed, so Restart() must run WAL recovery
+  // instead of resuming from (now untrustworthy) process memory.
+  bool needs_recovery_ = false;
 
   // Leased reads waiting for the apply cursor to reach their read index;
   // drained whenever the cursor advances. Volatile — lost on crash, and the

@@ -6,6 +6,7 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/obs/observability.h"
+#include "src/raft/wal_codec.h"
 
 namespace hovercraft {
 
@@ -48,6 +49,7 @@ void RaftNode::Start() {
   if (active_config().voters.size() == 1) {
     // Degenerate single-voter group: immediately leader.
     current_term_ = 1;
+    PersistHardState();
     BecomeLeader();
     return;
   }
@@ -60,6 +62,11 @@ void RaftNode::Start() {
 
 void RaftNode::Halt() {
   halted_ = true;
+  // Fence every deferred persist completion scheduled before the crash: a
+  // killed process must never acknowledge entries from the grave, even if it
+  // later restarts with its memory image intact (Resume). The leader simply
+  // retransmits and gets a fresh ack.
+  ++restart_epoch_;
 }
 
 void RaftNode::Resume() {
@@ -77,7 +84,142 @@ void RaftNode::Resume() {
 }
 
 bool RaftNode::CanCampaign() const {
-  return !halted_ && !retired_ && active_config().IsVoter(options_.id);
+  // A suspect node (its recovery discarded durable bytes) may vote but must
+  // not campaign: with part of its acknowledged log missing it could win an
+  // election and un-commit data a client saw completed. It becomes eligible
+  // again once its commit index covers everything it may ever have acked
+  // (MaybeClearSuspect), repaired through the ordinary append/snapshot path.
+  return !halted_ && !retired_ && !suspect_ && active_config().IsVoter(options_.id);
+}
+
+// ---------------------------------------------------------------------------
+// Durable storage plumbing (docs/durability.md)
+// ---------------------------------------------------------------------------
+
+void RaftNode::PersistHardState() {
+  if (storage_ == nullptr) {
+    return;
+  }
+  if (current_term_ == persisted_term_ && voted_for_ == persisted_vote_) {
+    return;
+  }
+  persisted_term_ = current_term_;
+  persisted_vote_ = voted_for_;
+  storage_->PersistHardState(current_term_, voted_for_);
+}
+
+void RaftNode::StorageAppendEntry(LogIndex idx) {
+  if (storage_ == nullptr) {
+    return;
+  }
+  const LogEntry& e = log_.At(idx);
+  storage_->AppendEntry(idx, e.term, e.replier, EncodeWalEntry(e));
+}
+
+void RaftNode::ScheduleDurability(LogIndex tail) {
+  if (storage_ == nullptr || tail <= durable_index_) {
+    return;
+  }
+  // The completion fence: the callback is only meaningful while the process
+  // incarnation that scheduled it is still running (epoch) and the log still
+  // holds the same entry at `tail` (term — a conflicting truncation replaces
+  // it with an entry of a different term, never the same one).
+  const uint64_t epoch = restart_epoch_;
+  const Term tail_term = log_.TermAt(tail);
+  storage_->Sync([this, tail, tail_term, epoch]() {
+    if (halted_ || epoch != restart_epoch_) {
+      ++stats_.acks_dropped_crash;
+      return;
+    }
+    if (tail <= durable_index_) {
+      return;
+    }
+    if (tail > log_.last_index() ||
+        (tail >= log_.first_index() && log_.TermAt(tail) != tail_term)) {
+      return;  // truncated or replaced since the barrier was scheduled
+    }
+    durable_index_ = tail;
+    if (role_ == RaftRole::kLeader) {
+      // The leader's own quorum contribution just advanced.
+      AdvanceCommitFromMatches();
+    }
+  });
+}
+
+void RaftNode::MaybeClearSuspect() {
+  if (!suspect_ || commit_idx_ < suspect_floor_) {
+    return;
+  }
+  suspect_ = false;
+  ++stats_.suspect_repaired;
+  HC_LOG_INFO("node %d: suspect repaired (commit %llu >= floor %llu); campaigning re-enabled",
+              options_.id, static_cast<unsigned long long>(commit_idx_),
+              static_cast<unsigned long long>(suspect_floor_));
+  if (auto* tracer = obs::TracerOf(sim_)) {
+    tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
+                    "suspect-repaired", sim_->Now(),
+                    "floor " + std::to_string(suspect_floor_));
+  }
+  if (role_ == RaftRole::kFollower && election_timer_ == kInvalidEvent && CanCampaign()) {
+    ArmElectionTimer();
+  }
+}
+
+void RaftNode::RestartFromRecovery(const StableStorage::Recovery& rec, LogIndex applied,
+                                   MembershipConfigPtr snap_config,
+                                   LogIndex snap_config_idx) {
+  HC_CHECK(storage_ != nullptr);
+  ++restart_epoch_;
+  current_term_ = rec.term;
+  voted_for_ = rec.voted_for;
+  persisted_term_ = rec.term;
+  persisted_vote_ = rec.voted_for;
+  log_.ResetTo(rec.base_index, rec.base_term);
+  // Rebuild the config stack from durable sources only: the snapshot's
+  // embedded config (or the construction-time initial config) as the base,
+  // plus config entries found in the recovered log suffix.
+  configs_.clear();
+  if (snap_config != nullptr) {
+    configs_.emplace_back(snap_config_idx, std::move(snap_config));
+  } else {
+    const int32_t initial_voters =
+        options_.initial_voters > 0 ? std::min(options_.initial_voters, options_.cluster_size)
+                                    : options_.cluster_size;
+    configs_.emplace_back(LogIndex{0}, MakeInitialConfig(initial_voters));
+  }
+  for (const StableStorage::RecoveredEntry& re : rec.entries) {
+    LogEntry entry;
+    entry.term = re.term;
+    entry.replier = re.replier;
+    const bool ok = DecodeWalEntry(re.payload, &entry);
+    HC_CHECK(ok);  // the record passed its CRC; the payload must parse
+    const LogIndex idx = log_.Append(std::move(entry));
+    HC_CHECK_EQ(idx, re.idx);
+    if (log_.At(idx).config != nullptr && idx > configs_.back().first) {
+      configs_.emplace_back(idx, log_.At(idx).config);
+    }
+  }
+  role_ = RaftRole::kFollower;
+  leader_hint_ = kInvalidNode;
+  votes_ = 0;
+  AbandonPreVote();
+  // Everything that survived recovery is durable by construction; commit and
+  // applied resume at the server's restored snapshot point and re-advance as
+  // the leader confirms (commit is volatile in Raft).
+  durable_index_ = log_.last_index();
+  applied_idx_ = std::min(applied, log_.last_index());
+  commit_idx_ = applied_idx_;
+  announced_idx_ = log_.last_index();
+  committed_config_idx_ = configs_.front().first;
+  pending_ae_.reset();
+  recovery_inflight_.clear();
+  suspect_ = rec.suspect;
+  suspect_floor_ = rec.suspect_floor;
+  if (suspect_) {
+    HC_LOG_INFO("node %d: suspect recovery; campaigning blocked until commit >= %llu",
+                options_.id, static_cast<unsigned long long>(suspect_floor_));
+  }
+  MaybeClearSuspect();
 }
 
 void RaftNode::ArmElectionTimer() {
@@ -87,9 +229,12 @@ void RaftNode::ArmElectionTimer() {
   // under the epoch scheme, so pinned-seed runs are unchanged.
   sim_->Cancel(election_timer_);
   if (!CanCampaign()) {
-    // Learners, spares, and retired nodes never campaign; the guard sits
-    // before the RNG draw, which is fine for determinism because it can only
-    // trigger on runs that changed membership.
+    // Learners, spares, retired and suspect nodes never campaign; the guard
+    // sits before the RNG draw, which is fine for determinism because it can
+    // only trigger on runs that changed membership or recovered from faults.
+    if (suspect_) {
+      ++stats_.campaigns_blocked_suspect;
+    }
     election_timer_ = kInvalidEvent;
     return;
   }
@@ -283,6 +428,7 @@ void RaftNode::BecomeFollower(Term term, bool reset_vote) {
   } else if (reset_vote) {
     voted_for_ = kInvalidNode;
   }
+  PersistHardState();
   AbandonPreVote();
   lease_floor_ = sim_->Now();  // a deposed leader must never serve reads
   role_ = RaftRole::kFollower;
@@ -344,6 +490,7 @@ void RaftNode::StartElection() {
   role_ = RaftRole::kCandidate;
   ++current_term_;
   voted_for_ = options_.id;
+  PersistHardState();  // the self-vote must survive a crash
   votes_ = 1;
   leader_hint_ = kInvalidNode;
   HC_LOG_INFO("node %d starts election for term %llu", options_.id,
@@ -430,6 +577,8 @@ void RaftNode::BecomeLeader() {
     noop.replier = options_.id;
     const LogIndex idx = log_.Append(std::move(noop));
     ++stats_.entries_appended;
+    StorageAppendEntry(idx);
+    ScheduleDurability(idx);
     if (!options_.assign_repliers) {
       announced_idx_ = idx;
     }
@@ -476,6 +625,8 @@ bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request, bool all
   }
   const LogIndex idx = log_.Append(std::move(entry));
   ++stats_.entries_appended;
+  StorageAppendEntry(idx);
+  ScheduleDurability(idx);
   if (auto* tracer = obs::TracerOf(sim_)) {
     tracer->MarkStage(rid, obs::Stage::kOrdered, options_.id, sim_->Now());
   }
@@ -607,6 +758,8 @@ bool RaftNode::AppendConfigEntry(MembershipConfigPtr config) {
   entry.config = std::move(config);
   const LogIndex idx = log_.Append(std::move(entry));
   ++stats_.entries_appended;
+  StorageAppendEntry(idx);
+  ScheduleDurability(idx);
   ++stats_.config_changes_proposed;
   HC_LOG_INFO("node %d proposes config %s at idx %llu", options_.id,
               log_.At(idx).config->Describe().c_str(), static_cast<unsigned long long>(idx));
@@ -749,6 +902,9 @@ void RaftNode::TryAnnounce() {
     LogEntry& entry = log_.At(idx);
     if (entry.noop) {
       entry.replier = options_.id;
+      if (storage_ != nullptr) {
+        storage_->AppendAnnounce(idx, entry.replier);
+      }
       announced_idx_ = idx;
       changed = true;
       continue;
@@ -760,6 +916,12 @@ void RaftNode::TryAnnounce() {
       break;
     }
     entry.replier = replier;
+    if (storage_ != nullptr) {
+      // Record the assignment so a restarted leader keeps it immutable; the
+      // record rides on the next data barrier (an unsynced loss is benign —
+      // the entries themselves replicate with the replier field).
+      storage_->AppendAnnounce(idx, replier);
+    }
     announced_idx_ = idx;
     changed = true;
     if (auto* tracer = obs::TracerOf(sim_)) {
@@ -929,6 +1091,21 @@ void RaftNode::MaybeSendAggAppend(bool heartbeat) {
   env_->SendToAggregator(std::move(msg));
 }
 
+std::pair<LogIndex, MembershipConfigPtr> RaftNode::ConfigCoveringIndex(LogIndex idx) const {
+  MembershipConfigPtr config;
+  LogIndex config_idx = 0;
+  for (const auto& c : configs_) {
+    if (c.first <= idx) {
+      config_idx = c.first;
+      config = c.second;
+    }
+  }
+  if (config_idx == 0) {
+    config = nullptr;  // construction-time initial config; peers rebuild it
+  }
+  return {config_idx, std::move(config)};
+}
+
 void RaftNode::SendSnapshot(NodeId peer) {
   PeerState& st = peers_[static_cast<size_t>(peer)];
   Env::SnapshotCapture capture = env_->CaptureSnapshot();
@@ -943,17 +1120,7 @@ void RaftNode::SendSnapshot(NodeId peer) {
   // log starts here still learns the membership. Elided while it is still
   // the construction-time initial config (every node already has that), which
   // keeps the wire image of static-membership runs unchanged.
-  MembershipConfigPtr snap_config;
-  LogIndex snap_config_idx = 0;
-  for (const auto& c : configs_) {
-    if (c.first <= capture.last_included) {
-      snap_config_idx = c.first;
-      snap_config = c.second;
-    }
-  }
-  if (snap_config_idx == 0) {
-    snap_config = nullptr;
-  }
+  auto [snap_config_idx, snap_config] = ConfigCoveringIndex(capture.last_included);
   env_->SendToPeer(peer, std::make_shared<InstallSnapshotReq>(
                              current_term_, options_.id, capture.last_included,
                              log_.TermAt(capture.last_included), std::move(capture.state),
@@ -987,9 +1154,23 @@ void RaftNode::OnInstallSnapshot(const InstallSnapshotReq& req) {
       RollbackConfigsAbove(req.last_included() + 1);
       log_.ResetTo(req.last_included(), req.included_term());
     }
-    env_->RestoreSnapshot(req.state(), req.last_included());
+    env_->RestoreSnapshot(req.state(), req.last_included(), req.included_term(), req.config(),
+                          req.config_idx());
+    if (storage_ != nullptr) {
+      // The server persisted the received snapshot in RestoreSnapshot; now
+      // the WAL can drop (or cut) everything the snapshot covers. The state
+      // transfer is also what repairs a suspect node whose own history was
+      // damaged beyond the log.
+      if (!kept_suffix) {
+        storage_->AppendTruncate(req.last_included() + 1);
+      }
+      storage_->AppendCompact(req.last_included(), req.included_term());
+      durable_index_ =
+          std::min(std::max(durable_index_, req.last_included()), log_.last_index());
+    }
     commit_idx_ = req.last_included();
     applied_idx_ = std::max(applied_idx_, req.last_included());
+    MaybeClearSuspect();
     pending_ae_.reset();
     if (req.config() != nullptr) {
       // The snapshot's config becomes our committed base; config entries in
@@ -1053,10 +1234,19 @@ void RaftNode::AdvanceCommitFromMatches() {
   // not a voter of the active config and therefore does not count toward the
   // quorum that commits its own removal (dissertation section 4.2.2).
   const MembershipConfig& cfg = active_config();
+  // The leader's own contribution is capped at its durable index: an entry
+  // only counts toward the commit quorum once it is in the leader's WAL too,
+  // or a majority-of-one of crashed-and-recovered nodes could un-commit it.
+  // Under kAckBeforeSync (the chaos control) the cap is deliberately absent —
+  // that IS the unsafe semantics the control exists to demonstrate.
+  const LogIndex self_match =
+      (storage_ != nullptr && storage_->policy() != FsyncPolicy::kAckBeforeSync)
+          ? durable_index_
+          : log_.last_index();
   std::vector<LogIndex> matches;
   matches.reserve(cfg.voters.size());
   for (NodeId p : cfg.voters) {
-    matches.push_back(p == options_.id ? log_.last_index()
+    matches.push_back(p == options_.id ? self_match
                                        : peers_[static_cast<size_t>(p)].match_idx);
   }
   const int32_t majority = cfg.majority();
@@ -1087,6 +1277,7 @@ void RaftNode::SetCommit(LogIndex commit) {
     }
   }
   commit_idx_ = commit;
+  MaybeClearSuspect();
 
   // Membership configs that just committed: record the epoch, tell the
   // hosting layer (multicast groups, aggregator registers, retirement), and
@@ -1192,13 +1383,60 @@ void RaftNode::OnAppendEntries(const AppendEntriesReq& req, bool via_aggregator)
   auto rep = std::make_shared<AppendEntriesRep>(options_.id, current_term_, true, outcome.match,
                                                 applied_idx_, log_.last_index(),
                                                 outcome.waiting_recovery, commit_idx_);
-  // Durability: the acknowledged entries must hit the local WAL first.
-  // Persist writes are issued in arrival order, so deferred replies stay
-  // FIFO and the leader's match index remains monotone.
+  // Durability: the acknowledged entries must hit the local WAL first. The
+  // flush device completes barriers in order, so deferred replies stay FIFO
+  // and the leader's match index remains monotone.
   const NodeId reply_leader = req.leader();
-  if (options_.persist_latency > 0 && !req.entries().empty()) {
+  if (storage_ != nullptr) {
+    const bool unsafe_ack = storage_->policy() == FsyncPolicy::kAckBeforeSync;
+    if (!unsafe_ack && outcome.match > durable_index_) {
+      // Sync-before-ack: withhold the reply until the barrier covers every
+      // acknowledged entry. The fence drops it when the process crashed (or
+      // the term moved on) in the persist window — a killed node never acks
+      // from the grave; the leader simply retransmits after the restart.
+      const uint64_t epoch = restart_epoch_;
+      const Term term = current_term_;
+      const LogIndex tail = outcome.match;
+      const Term tail_term = log_.TermAt(tail);
+      const bool inline_done = storage_->Sync(
+          [this, rep, via_aggregator, reply_leader, epoch, term, tail, tail_term]() {
+            if (halted_ || epoch != restart_epoch_ || term != current_term_) {
+              ++stats_.acks_dropped_crash;
+              return;
+            }
+            if (tail > durable_index_ && tail <= log_.last_index() &&
+                (tail < log_.first_index() || log_.TermAt(tail) == tail_term)) {
+              durable_index_ = tail;
+            }
+            if (via_aggregator) {
+              env_->SendToAggregator(rep);
+            } else {
+              env_->SendToPeer(reply_leader, rep);
+            }
+          });
+      if (!inline_done) {
+        ++stats_.acks_deferred_persist;
+      }
+      return;
+    }
+    if (unsafe_ack && outcome.match > durable_index_) {
+      // The unsafe chaos control: ack immediately, flush lazily. A power
+      // failure in the window un-commits entries the leader already counted.
+      ScheduleDurability(outcome.match);
+    }
+  } else if (options_.persist_latency > 0 && !req.entries().empty()) {
+    // Storage-less harnesses keep the flat persist-delay model, now fenced on
+    // the restart epoch and term so a node killed (or deposed) inside the
+    // persist window never acknowledges from the grave.
+    const uint64_t epoch = restart_epoch_;
+    const Term term = current_term_;
+    ++stats_.acks_deferred_persist;
     sim_->After(options_.persist_latency,
-                [this, rep = std::move(rep), via_aggregator, reply_leader]() {
+                [this, rep = std::move(rep), via_aggregator, reply_leader, epoch, term]() {
+                  if (halted_ || epoch != restart_epoch_ || term != current_term_) {
+                    ++stats_.acks_dropped_crash;
+                    return;
+                  }
                   if (via_aggregator) {
                     env_->SendToAggregator(rep);
                   } else {
@@ -1230,10 +1468,30 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
         continue;  // already have it
       }
       // Conflict: a stale extension from a deposed leader. Committed entries
-      // can never conflict, so truncation is safe.
-      HC_CHECK_GT(idx, commit_idx_);
+      // can never conflict while durability holds, so truncation is safe.
+      if (idx <= commit_idx_) {
+        // Reachable only when the durability contract was deliberately broken
+        // (the ack-before-sync / naive-recovery chaos controls): a quorum
+        // lost acknowledged entries and the new leader is overwriting data we
+        // committed. Roll our watermarks back and keep running — the point of
+        // the control is to let the linearizability checker see the damage,
+        // not to abort the simulation.
+        ++stats_.committed_overwritten;
+        HC_LOG_WARN("node %d: leader overwrote committed idx %llu (commit %llu) — "
+                    "durability was violated upstream",
+                    options_.id, static_cast<unsigned long long>(idx),
+                    static_cast<unsigned long long>(commit_idx_));
+        commit_idx_ = idx - 1;
+        applied_idx_ = std::min(applied_idx_, idx - 1);
+        announced_idx_ = std::min(announced_idx_, idx - 1);
+        committed_config_idx_ = std::min(committed_config_idx_, idx - 1);
+      }
       RollbackConfigsAbove(idx);
       log_.TruncateFrom(idx);
+      if (storage_ != nullptr) {
+        storage_->AppendTruncate(idx);
+        durable_index_ = std::min(durable_index_, idx - 1);
+      }
     }
     HC_CHECK_EQ(idx, log_.last_index() + 1);
 
@@ -1272,6 +1530,7 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
     }
     log_.Append(std::move(entry));
     ++stats_.entries_appended;
+    StorageAppendEntry(idx);
     outcome.match = idx;
     if (w.config != nullptr) {
       // Effective on append (dissertation section 4.1): quorum and role
@@ -1364,6 +1623,19 @@ void RaftNode::OnAppendEntriesRep(const AppendEntriesRep& rep) {
       MaybeSendAppend(rep.from(), false);
     }
   } else {
+    if (rep.last_hint() < st.match_idx) {
+      // The follower's log ends below what it once acknowledged: its WAL
+      // recovery cut damaged entries out (it rejoined suspect). match_idx is
+      // normally a monotone lower bound — durability-gated acks make it so —
+      // but a media-corruption recovery is the one event that regresses it.
+      // Without this reset the clamp below would pin next_idx above the
+      // follower's log forever and repair would livelock. Dropping match is
+      // always safe: it only forces re-replication, and commit never moves
+      // backward. (A reordered stale reject can trip this spuriously; the
+      // next successful ack simply re-raises match, costing one resend.)
+      st.match_idx = 0;
+      ++stats_.match_regressions;
+    }
     // Do not clamp to the compaction point here: a follower whose hint lies
     // below first_index needs a state transfer, which MaybeSendAppend
     // triggers when it sees next_idx below the log's first index.
@@ -1396,12 +1668,19 @@ void RaftNode::OnRequestVote(const RequestVoteReq& req) {
   }
   const bool self_leading =
       role_ == RaftRole::kLeader && QuorumContactedWithin(CheckQuorumWindow());
+  // A suspect replica (recovery cut its durable log below entries it may have
+  // acknowledged — see RestartFromRecovery) must not endorse a candidate whose
+  // log ends below its suspect floor: electing such a leader could overwrite
+  // entries this node acked, whose replies a client may already hold.
+  // Refusing is always safe; at worst the election waits for a candidate —
+  // typically the old leader — whose log covers everything we ever acked.
+  const bool floor_ok = !suspect_ || req.last_idx() >= suspect_floor_;
   if (req.pre_vote()) {
     // Pre-vote poll (dissertation section 9.6): answered from current state,
     // mutating nothing — no term bump, no vote record, no timer reset. The
     // reply echoes the candidate's proposed term so it can tally the poll.
     bool poll_granted = false;
-    if (req.term() > current_term_ && !leader_is_live && !self_leading) {
+    if (req.term() > current_term_ && !leader_is_live && !self_leading && floor_ok) {
       poll_granted = req.last_term() > log_.last_term() ||
                      (req.last_term() == log_.last_term() &&
                       req.last_idx() >= log_.last_index());
@@ -1436,9 +1715,10 @@ void RaftNode::OnRequestVote(const RequestVoteReq& req) {
     const bool up_to_date =
         req.last_term() > log_.last_term() ||
         (req.last_term() == log_.last_term() && req.last_idx() >= log_.last_index());
-    if (up_to_date) {
+    if (up_to_date && floor_ok) {
       granted = true;
       voted_for_ = req.candidate();
+      PersistHardState();  // the vote is a durable promise
       ArmElectionTimer();
     }
   }
@@ -1593,7 +1873,14 @@ void RaftNode::CompactLog(LogIndex idx) {
   }
   safe = std::min(safe, log_.last_index() - options_.log_retention_entries);
   if (safe >= log_.first_index()) {
+    const Term safe_term = log_.TermAt(safe);
     log_.CompactPrefix(safe);
+    if (storage_ != nullptr) {
+      // The hosting server saved a covering snapshot before calling us, so
+      // dropping whole WAL segments below the new base is recoverable.
+      storage_->AppendCompact(safe, safe_term);
+      durable_index_ = std::max(durable_index_, safe);
+    }
   }
 }
 

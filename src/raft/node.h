@@ -29,6 +29,7 @@
 #include "src/raft/options.h"
 #include "src/raft/replier_scheduler.h"
 #include "src/sim/simulator.h"
+#include "src/storage/stable_storage.h"
 
 namespace hovercraft {
 
@@ -66,6 +67,20 @@ struct RaftStats {
   // Leader demoted a silent aggregator to direct replication (the quorum
   // probes prove followers alive while AGG_COMMIT has gone quiet).
   uint64_t agg_fallbacks = 0;
+  // Durable storage (docs/durability.md).
+  uint64_t acks_deferred_persist = 0;   // AE replies held behind an fsync
+  uint64_t acks_dropped_crash = 0;      // deferred replies fenced off by a restart
+  uint64_t campaigns_blocked_suspect = 0;  // election arms refused while suspect
+  uint64_t suspect_repaired = 0;        // suspect cleared by commit catch-up
+  // Leader saw a follower's log end below its recorded match index and reset
+  // the match floor — the follower's recovery cut acknowledged entries out
+  // (it rejoined suspect) and repair restarts from its actual log tail.
+  uint64_t match_regressions = 0;
+  // A leader overwrote entries below our commit index — committed data was
+  // un-committed. Impossible while fsync-before-ack and protocol-aware
+  // recovery hold; the unsafe chaos controls drive it nonzero, and the run
+  // degrades gracefully so the linearizability checker can flag the damage.
+  uint64_t committed_overwritten = 0;
 };
 
 class RaftNode {
@@ -91,7 +106,12 @@ class RaftNode {
       LogIndex last_included = 0;
     };
     virtual SnapshotCapture CaptureSnapshot() = 0;
-    virtual void RestoreSnapshot(const Body& state, LogIndex last_included) = 0;
+    // `included_term` and the covering membership config (possibly null) ride
+    // along so hosts with durable storage can persist the received snapshot
+    // with everything a later power-fail recovery needs.
+    virtual void RestoreSnapshot(const Body& state, LogIndex last_included,
+                                 Term included_term, MembershipConfigPtr config,
+                                 LogIndex config_idx) = 0;
     // Commit index advanced; the server applies log entries in order and
     // reports completion through OnApplied.
     virtual void OnCommitAdvanced(LogIndex commit) = 0;
@@ -111,12 +131,38 @@ class RaftNode {
 
   RaftNode(Simulator* sim, uint64_t seed, const RaftOptions& options, Env* env);
 
+  // Attaches durable storage. Call before Start(); null (the default) keeps
+  // the pre-durability in-memory behaviour for lightweight test harnesses.
+  // Every subsequent term/vote/log mutation is mirrored into the WAL, and
+  // follower acks are withheld until the acknowledged entries are durable
+  // (unless the policy is kAckBeforeSync — the unsafe chaos control).
+  void set_storage(StableStorage* storage) { storage_ = storage; }
+
   // Arms the election timer. Call once after construction.
   void Start();
 
+  // Reinitializes persistent state from a WAL recovery (power-fail restart).
+  // Replaces term/vote/log wholesale; `applied` is the index the hosting
+  // server restored its application state to (its local snapshot point) —
+  // commit and applied resume there and re-advance as the leader confirms.
+  // A suspect recovery (durable bytes lost) leaves the node unable to
+  // campaign until commit_index reaches rec.suspect_floor; the missing
+  // entries arrive through the ordinary AppendEntries / InstallSnapshot
+  // repair path. `snap_config`/`snap_config_idx` carry the membership config
+  // embedded in the server's restored snapshot (null with static membership
+  // or no snapshot): it becomes the committed config base, with any config
+  // entries in the recovered log suffix stacked above it.
+  void RestartFromRecovery(const StableStorage::Recovery& rec, LogIndex applied,
+                           MembershipConfigPtr snap_config = nullptr,
+                           LogIndex snap_config_idx = 0);
+
   // Fail-stop crash injection: a halted node's timers stop firing (its host
-  // already drops all traffic). Resume models a process restart with the
-  // persistent state (term, vote, log) intact: it rejoins as a follower.
+  // already drops all traffic), and any persist completion scheduled before
+  // the halt is fenced off — a node killed inside the persist window never
+  // acks from the grave. Resume models a process restart with the in-memory
+  // image intact (the pre-durability fail-stop model); a power-fail restart
+  // instead goes through RestartFromRecovery, which replays the WAL and
+  // genuinely loses the unsynced suffix.
   void Halt();
   void Resume();
   bool halted() const { return halted_; }
@@ -219,6 +265,13 @@ class RaftNode {
   LogIndex commit_index() const { return commit_idx_; }
   LogIndex applied_index() const { return applied_idx_; }
   LogIndex announced_index() const { return announced_idx_; }
+  // Highest log index known durable in the local WAL (== last_index with no
+  // storage attached). The leader's own quorum contribution is capped here.
+  LogIndex durable_index() const {
+    return storage_ == nullptr ? log_.last_index() : durable_index_;
+  }
+  bool suspect() const { return suspect_; }
+  LogIndex suspect_floor() const { return suspect_floor_; }
   const RaftLog& log() const { return log_; }
   const RaftOptions& options() const { return options_; }
   const RaftStats& stats() const { return stats_; }
@@ -235,6 +288,12 @@ class RaftNode {
   LogIndex active_config_idx() const { return configs_.back().first; }
   LogIndex committed_config_idx() const { return committed_config_idx_; }
   bool ConfigChangeInFlight() const { return active_config_idx() > commit_idx_; }
+  // Latest membership config at or below `idx` plus the log index it was
+  // appended at. Returns {0, nullptr} while only the construction-time initial
+  // config applies (recovery rebuilds that one from `initial_voters`). Hosts
+  // use this to stamp local snapshots with the config a power-fail recovery
+  // must come back with.
+  std::pair<LogIndex, MembershipConfigPtr> ConfigCoveringIndex(LogIndex idx) const;
   bool retired() const { return retired_; }
 
  private:
@@ -306,6 +365,18 @@ class RaftNode {
 
   bool IsReplicationTarget(LogIndex idx) const;
 
+  // -- durable storage internals (no-ops with storage_ == nullptr) --
+  // Mirrors the freshly appended entry at `idx` into the WAL.
+  void StorageAppendEntry(LogIndex idx);
+  // Persists term/vote when either changed since the last persist.
+  void PersistHardState();
+  // Schedules an fsync covering the log through `tail`; the completion
+  // callback (fenced on restart epoch and log identity) advances
+  // durable_index_ and, on the leader, re-evaluates the commit quorum.
+  void ScheduleDurability(LogIndex tail);
+  // Clears suspect mode once commit caught up to everything possibly acked.
+  void MaybeClearSuspect();
+
   // -- membership internals --
   bool AppendConfigEntry(MembershipConfigPtr config);
   // Tracks a config observed at `idx` (leader append, follower append, or
@@ -327,11 +398,25 @@ class RaftNode {
   Env* env_;
   Rng rng_;
 
-  // Persistent state (kept in memory; the simulated machines lose it only on
-  // permanent crash, which matches the paper's fail-stop model).
+  // Persistent state. With storage_ attached every mutation is mirrored into
+  // the WAL and survives exactly as far as the fsync discipline allows; with
+  // no storage it is kept in memory only (the pre-durability fail-stop model
+  // still used by lightweight unit-test harnesses).
   Term current_term_ = 0;
   NodeId voted_for_ = kInvalidNode;
   RaftLog log_;
+
+  // Durable storage state (docs/durability.md). restart_epoch_ fences every
+  // deferred persist callback: a callback captured under an older epoch (the
+  // process crashed and recovered in between) must not ack or advance
+  // durability.
+  StableStorage* storage_ = nullptr;
+  LogIndex durable_index_ = 0;
+  uint64_t restart_epoch_ = 0;
+  Term persisted_term_ = 0;
+  NodeId persisted_vote_ = kInvalidNode;
+  bool suspect_ = false;
+  LogIndex suspect_floor_ = 0;
 
   // Volatile state.
   RaftRole role_ = RaftRole::kFollower;

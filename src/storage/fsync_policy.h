@@ -1,0 +1,50 @@
+// Fsync discipline for the simulated WAL (docs/durability.md).
+#ifndef SRC_STORAGE_FSYNC_POLICY_H_
+#define SRC_STORAGE_FSYNC_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hovercraft {
+
+enum class FsyncPolicy : uint8_t {
+  // Ack after durable; at most one flush in flight, later appends coalesce
+  // onto the next flush (group commit). The safe default.
+  kGroupCommit = 0,
+  // Ack after durable; every append batch gets its own flush, queued on the
+  // serial device. Shows the un-batched throughput ceiling of a slow device.
+  kSyncPerAppend = 1,
+  // Ack immediately, flush lazily in the background. Unsafe: a power failure
+  // un-commits acknowledged writes. Exists as the chaos control.
+  kAckBeforeSync = 2,
+};
+
+inline const char* FsyncPolicyName(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kGroupCommit:
+      return "group-commit";
+    case FsyncPolicy::kSyncPerAppend:
+      return "sync-per-append";
+    case FsyncPolicy::kAckBeforeSync:
+      return "ack-before-sync";
+  }
+  return "?";
+}
+
+// Returns true and sets `out` when `name` matches a policy flag value.
+inline bool ParseFsyncPolicy(const std::string& name, FsyncPolicy* out) {
+  if (name == "group-commit") {
+    *out = FsyncPolicy::kGroupCommit;
+  } else if (name == "sync-per-append") {
+    *out = FsyncPolicy::kSyncPerAppend;
+  } else if (name == "ack-before-sync") {
+    *out = FsyncPolicy::kAckBeforeSync;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hovercraft
+
+#endif  // SRC_STORAGE_FSYNC_POLICY_H_

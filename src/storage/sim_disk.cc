@@ -1,0 +1,199 @@
+#include "src/storage/sim_disk.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+
+void SimDisk::Append(const std::string& file, const uint8_t* data, size_t len) {
+  File& f = files_[file];
+  f.data.insert(f.data.end(), data, data + len);
+  ++stats_.appends;
+  stats_.bytes_written += len;
+}
+
+void SimDisk::Truncate(const std::string& file, size_t size) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return;
+  }
+  File& f = it->second;
+  if (size < f.data.size()) {
+    f.data.resize(size);
+  }
+  f.synced = std::min(f.synced, f.data.size());
+}
+
+void SimDisk::WriteAndSync(const std::string& file, std::vector<uint8_t> bytes) {
+  File& f = files_[file];
+  stats_.bytes_written += bytes.size();
+  ++stats_.appends;
+  f.data = std::move(bytes);
+  f.synced = f.data.size();
+}
+
+void SimDisk::Delete(const std::string& file) { files_.erase(file); }
+
+bool SimDisk::Sync(SyncCallback cb, bool coalesce) {
+  const TimeNs latency = sync_latency_ + stall_;
+  if (latency == 0 && !flush_running_ && queue_.empty()) {
+    // Fast path: an idle zero-latency device completes the barrier inline,
+    // scheduling nothing — the persist_latency=0 timeline is untouched.
+    MarkAllSynced();
+    ++stats_.syncs;
+    if (cb) {
+      cb();
+    }
+    return true;
+  }
+  // Group commit may only ride a flush that has NOT started yet: a running
+  // flush captured its frontier at start and does not cover bytes appended
+  // since. (The running op stays at queue_.front() until it completes, so
+  // "an unstarted op exists" means the queue is deeper than the running one.)
+  const bool unstarted_pending = queue_.size() > (flush_running_ ? 1u : 0u);
+  if (coalesce && unstarted_pending) {
+    if (cb) {
+      queue_.back().callbacks.push_back(std::move(cb));
+    }
+  } else {
+    FlushOp op;
+    if (cb) {
+      op.callbacks.push_back(std::move(cb));
+    }
+    queue_.push_back(std::move(op));
+  }
+  if (!flush_running_) {
+    StartNextFlush();
+  }
+  return false;
+}
+
+void SimDisk::SyncNow() {
+  MarkAllSynced();
+  ++stats_.syncs;
+  // Pending priced flushes keep running: their data is already durable, and
+  // completing them early here would reorder ack timing relative to the
+  // serial-device model.
+}
+
+void SimDisk::StartNextFlush() {
+  HC_CHECK(!flush_running_);
+  while (!queue_.empty()) {
+    flush_running_ = true;
+    running_frontier_.clear();
+    for (const auto& [name, f] : files_) {
+      running_frontier_[name] = f.data.size();
+    }
+    const TimeNs latency = sync_latency_ + stall_;
+    stats_.stall_ns += static_cast<uint64_t>(stall_);
+    if (latency > 0) {
+      flush_event_ = sim_->After(latency, [this]() { CompleteFlush(); });
+      return;
+    }
+    // Zero-latency queued op (reachable when a stall heals with ops queued,
+    // or when callbacks enqueue while draining): complete inline.
+    FinishFront();
+    if (flush_running_) {
+      return;  // a callback re-armed a priced flush
+    }
+  }
+}
+
+void SimDisk::CompleteFlush() {
+  flush_event_ = kInvalidEvent;
+  FinishFront();
+  if (!flush_running_ && !queue_.empty()) {
+    StartNextFlush();
+  }
+}
+
+void SimDisk::FinishFront() {
+  ++stats_.syncs;
+  for (const auto& [name, size] : running_frontier_) {
+    auto it = files_.find(name);
+    if (it != files_.end()) {
+      it->second.synced = std::max(it->second.synced, std::min(size, it->second.data.size()));
+    }
+  }
+  running_frontier_.clear();
+  HC_CHECK(!queue_.empty());
+  FlushOp op = std::move(queue_.front());
+  queue_.pop_front();
+  flush_running_ = false;
+  for (auto& cb : op.callbacks) {
+    cb();
+  }
+}
+
+void SimDisk::MarkAllSynced() {
+  for (auto& [name, f] : files_) {
+    f.synced = f.data.size();
+  }
+}
+
+void SimDisk::Crash() {
+  ++stats_.crashes;
+  const bool torn = next_crash_torn_;
+  next_crash_torn_ = false;
+  for (auto& [name, f] : files_) {
+    size_t keep = f.synced;
+    const size_t unsynced = f.data.size() - f.synced;
+    if (torn && unsynced > 0) {
+      // A torn write: a strict prefix of the unsynced tail made it to the
+      // platter, cutting the final record(s) mid-byte-stream.
+      keep += static_cast<size_t>(rng_() % unsynced);
+      ++stats_.torn_crashes;
+    }
+    stats_.bytes_lost += f.data.size() - keep;
+    f.data.resize(keep);
+    f.synced = f.data.size();
+  }
+  // The process died: pending barriers and their callbacks die with it.
+  queue_.clear();
+  running_frontier_.clear();
+  flush_running_ = false;
+  if (flush_event_ != kInvalidEvent) {
+    sim_->Cancel(flush_event_);
+    flush_event_ = kInvalidEvent;
+  }
+}
+
+bool SimDisk::FlipByte(const std::string& file, size_t offset) {
+  auto it = files_.find(file);
+  if (it == files_.end() || offset >= it->second.data.size()) {
+    return false;
+  }
+  it->second.data[offset] ^= 0x40;
+  ++stats_.flips;
+  return true;
+}
+
+const std::vector<uint8_t>& SimDisk::Read(const std::string& file) const {
+  static const std::vector<uint8_t> kEmpty;
+  auto it = files_.find(file);
+  return it == files_.end() ? kEmpty : it->second.data;
+}
+
+size_t SimDisk::Size(const std::string& file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.data.size();
+}
+
+size_t SimDisk::SyncedSize(const std::string& file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? 0 : it->second.synced;
+}
+
+std::vector<std::string> SimDisk::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [name, f] : files_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      out.push_back(name);
+    }
+  }
+  return out;  // std::map iteration order is already sorted
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,131 @@
+// Simulated durable media for one node.
+//
+// A SimDisk is a set of named byte files plus a flush engine. Writes land in
+// the volatile tail of a file immediately; they only become durable when a
+// sync barrier that covers them completes. The flush engine is a serial
+// device: one sync is in flight at a time, each costing `sync_latency` (the
+// node's RaftOptions::persist_latency) plus any injected stall, so
+// sync-per-append queues while group commit coalesces. With a zero effective
+// latency a sync completes inline — no simulator event is scheduled — which
+// keeps the default persist_latency=0 configurations on exactly the event
+// timeline they had before durability was modelled.
+//
+// Crashing the disk models power loss: the unsynced suffix of every file is
+// discarded (torn mode keeps a partial prefix of it — a torn final record)
+// and every pending sync callback dies with the process, so nothing can ack
+// from the grave. FlipByte models media corruption of already-durable bytes.
+#ifndef SRC_STORAGE_SIM_DISK_H_
+#define SRC_STORAGE_SIM_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace hovercraft {
+
+struct SimDiskStats {
+  uint64_t appends = 0;
+  uint64_t bytes_written = 0;
+  uint64_t syncs = 0;            // completed barriers (inline ones included)
+  uint64_t crashes = 0;
+  uint64_t bytes_lost = 0;       // unsynced bytes dropped by crashes
+  uint64_t torn_crashes = 0;     // crashes that left a partial unsynced tail
+  uint64_t flips = 0;            // injected corruption events
+  uint64_t stall_ns = 0;         // total extra sync latency injected
+};
+
+class SimDisk {
+ public:
+  using SyncCallback = std::function<void()>;
+
+  SimDisk(Simulator* sim, uint64_t seed, TimeNs sync_latency)
+      : sim_(sim), rng_(seed), sync_latency_(sync_latency) {}
+  SimDisk(const SimDisk&) = delete;
+  SimDisk& operator=(const SimDisk&) = delete;
+
+  // --- writes ---------------------------------------------------------------
+  void Append(const std::string& file, const uint8_t* data, size_t len);
+  // Truncates `file` to `size` bytes (clamping the durable watermark too).
+  void Truncate(const std::string& file, size_t size);
+  // Atomic replace-and-sync, the simulated write-to-temp + rename idiom used
+  // for snapshot files: after the call the whole content is durable.
+  void WriteAndSync(const std::string& file, std::vector<uint8_t> bytes);
+  void Delete(const std::string& file);
+
+  // --- durability -----------------------------------------------------------
+  // Requests a whole-device barrier: everything written before the covering
+  // flush *starts* is durable when `cb` runs. With `coalesce`, the request
+  // piggybacks on an already-queued (not yet started) flush — group commit.
+  // Returns true when the barrier completed inline (zero effective latency
+  // and an idle device); `cb` has then already run.
+  bool Sync(SyncCallback cb, bool coalesce);
+  // Synchronous zero-cost barrier: marks everything written so far durable.
+  // Used for rare off-data-path records (hard state, snapshot metadata) whose
+  // latency the model deliberately does not price (docs/durability.md).
+  void SyncNow();
+
+  // --- faults ---------------------------------------------------------------
+  // Power loss. Drops the unsynced suffix of every file and aborts pending
+  // flush callbacks. In torn mode (one-shot, armed by the nemesis) a random
+  // partial prefix of the unsynced tail survives — a torn final record.
+  void Crash();
+  void set_next_crash_torn() { next_crash_torn_ = true; }
+  // Flips one bit of an already-written byte. Returns false when the file is
+  // missing or shorter than `offset`.
+  bool FlipByte(const std::string& file, size_t offset);
+  // Gray-disk injection: every subsequent flush costs `extra` more.
+  void set_stall(TimeNs extra) { stall_ = extra; }
+  TimeNs stall() const { return stall_; }
+
+  // --- reads ----------------------------------------------------------------
+  bool Exists(const std::string& file) const { return files_.count(file) != 0; }
+  const std::vector<uint8_t>& Read(const std::string& file) const;
+  size_t Size(const std::string& file) const;
+  size_t SyncedSize(const std::string& file) const;
+  // Sorted names of the files whose name starts with `prefix`.
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  const SimDiskStats& stats() const { return stats_; }
+
+ private:
+  struct File {
+    std::vector<uint8_t> data;
+    size_t synced = 0;  // durable watermark: data[0, synced) survives a crash
+  };
+  // One queued barrier; the covered frontier is captured when the flush
+  // starts (group-commit semantics), not when it was requested.
+  struct FlushOp {
+    std::vector<SyncCallback> callbacks;
+  };
+
+  void StartNextFlush();
+  void CompleteFlush();
+  void FinishFront();
+  void MarkAllSynced();
+
+  Simulator* sim_;
+  std::mt19937_64 rng_;
+  TimeNs sync_latency_;
+  TimeNs stall_ = 0;
+  bool next_crash_torn_ = false;
+
+  std::map<std::string, File> files_;
+  std::deque<FlushOp> queue_;
+  bool flush_running_ = false;
+  EventId flush_event_ = kInvalidEvent;
+  // Frontier of the in-flight flush: file -> size captured at start.
+  std::map<std::string, size_t> running_frontier_;
+
+  SimDiskStats stats_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_STORAGE_SIM_DISK_H_

@@ -1,0 +1,418 @@
+#include "src/storage/stable_storage.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/buffer.h"
+#include "src/common/check.h"
+
+namespace hovercraft {
+
+namespace {
+
+constexpr size_t kRecordHeaderBytes = 4 + 1 + 8;  // len, type, crc
+constexpr char kSnapshotFile[] = "snapshot";
+
+uint64_t RecordCrc(uint8_t type, std::span<const uint8_t> payload) {
+  const uint8_t t[1] = {type};
+  return Fnv1aHash(payload, Fnv1aHash(std::span<const uint8_t>(t, 1)));
+}
+
+}  // namespace
+
+std::string StableStorage::SegmentName(uint64_t seq) const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "wal-%08llu", static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+StableStorage::Segment& StableStorage::WritableSegment() {
+  if (segments_.empty()) {
+    segments_.push_back(Segment{1, 0});
+    return segments_.back();
+  }
+  Segment& cur = segments_.back();
+  if (!in_baseline_ && disk_->Size(SegmentName(cur.seq)) >= segment_bytes_) {
+    segments_.push_back(Segment{cur.seq + 1, 0});
+    WriteBaseline();
+  }
+  return segments_.back();
+}
+
+void StableStorage::WriteBaseline() {
+  // A freshly rotated segment restates the compaction point and the hard
+  // state, so recovery can start from any retained segment prefix.
+  in_baseline_ = true;
+  {
+    BufferWriter w(16);
+    w.PutU64(base_idx_);
+    w.PutU64(base_term_);
+    AppendRecord(RecordType::kCompact, w.bytes());
+  }
+  {
+    BufferWriter w(16);
+    w.PutU64(static_cast<uint64_t>(term_));
+    w.PutI64(static_cast<int64_t>(voted_for_));
+    AppendRecord(RecordType::kHardState, w.bytes());
+  }
+  in_baseline_ = false;
+}
+
+void StableStorage::AppendRecord(RecordType type, const std::vector<uint8_t>& payload) {
+  Segment& seg = WritableSegment();
+  const std::string file = SegmentName(seg.seq);
+  BufferWriter w(kRecordHeaderBytes + payload.size());
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(RecordCrc(static_cast<uint8_t>(type), payload));
+  w.PutBytes(payload);
+  disk_->Append(file, w.bytes().data(), w.bytes().size());
+}
+
+void StableStorage::PersistHardState(Term term, NodeId voted_for) {
+  term_ = term;
+  voted_for_ = voted_for;
+  BufferWriter w(16);
+  w.PutU64(static_cast<uint64_t>(term));
+  w.PutI64(static_cast<int64_t>(voted_for));
+  AppendRecord(RecordType::kHardState, w.bytes());
+  ++stats_.meta_records;
+  // A vote/term promise must never be forgotten across a crash; its sync is
+  // deliberately priced at zero (rare, off the data path).
+  disk_->SyncNow();
+}
+
+void StableStorage::AppendEntry(LogIndex idx, Term term, NodeId replier,
+                                std::span<const uint8_t> payload) {
+  BufferWriter w(24 + payload.size());
+  w.PutU64(idx);
+  w.PutU64(static_cast<uint64_t>(term));
+  w.PutI64(static_cast<int64_t>(replier));
+  w.PutBytes(payload);
+  Segment& seg = WritableSegment();  // rotate before capturing the offset
+  const std::string file = SegmentName(seg.seq);
+  entry_locations_[idx] = {file, disk_->Size(file)};
+  seg.max_entry_idx = std::max(seg.max_entry_idx, idx);
+  AppendRecord(RecordType::kEntry, w.bytes());
+  ++stats_.entry_records;
+}
+
+void StableStorage::AppendAnnounce(LogIndex idx, NodeId replier) {
+  BufferWriter w(16);
+  w.PutU64(idx);
+  w.PutI64(static_cast<int64_t>(replier));
+  AppendRecord(RecordType::kAnnounce, w.bytes());
+  ++stats_.meta_records;
+}
+
+void StableStorage::AppendTruncate(LogIndex from) {
+  BufferWriter w(8);
+  w.PutU64(from);
+  AppendRecord(RecordType::kTruncate, w.bytes());
+  ++stats_.meta_records;
+  entry_locations_.erase(entry_locations_.lower_bound(from), entry_locations_.end());
+}
+
+void StableStorage::AppendCompact(LogIndex base_idx, Term base_term) {
+  base_idx_ = base_idx;
+  base_term_ = base_term;
+  BufferWriter w(16);
+  w.PutU64(base_idx);
+  w.PutU64(base_term);
+  AppendRecord(RecordType::kCompact, w.bytes());
+  ++stats_.meta_records;
+  entry_locations_.erase(entry_locations_.begin(), entry_locations_.upper_bound(base_idx));
+  // Drop the longest prefix of segments made obsolete by the new base. Only
+  // a prefix is safe: a later segment's truncate/announce records may refer
+  // to entries stored in any earlier retained segment.
+  while (segments_.size() > 1 && segments_.front().max_entry_idx <= base_idx) {
+    disk_->Delete(SegmentName(segments_.front().seq));
+    segments_.erase(segments_.begin());
+    ++stats_.segments_dropped;
+  }
+}
+
+void StableStorage::SaveSnapshot(LogIndex idx, Term term, std::vector<uint8_t> payload) {
+  BufferWriter w(28 + payload.size());
+  w.PutU64(idx);
+  w.PutU64(static_cast<uint64_t>(term));
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutBytes(payload);
+  const uint64_t crc = Fnv1aHash(w.bytes());
+  BufferWriter file(8 + w.size());
+  file.PutU64(crc);
+  file.PutBytes(w.bytes());
+  disk_->WriteAndSync(kSnapshotFile, file.TakeBytes());
+  ++stats_.snapshots_saved;
+}
+
+bool StableStorage::Sync(std::function<void()> cb) {
+  const bool coalesce = policy_ != FsyncPolicy::kSyncPerAppend;
+  return disk_->Sync(std::move(cb), coalesce);
+}
+
+bool StableStorage::CorruptEntry(LogIndex idx) {
+  auto it = entry_locations_.find(idx);
+  if (it == entry_locations_.end()) {
+    return false;
+  }
+  // First payload byte of the record: inside the CRC-covered region.
+  return disk_->FlipByte(it->second.first, it->second.second + kRecordHeaderBytes);
+}
+
+StableStorage::Recovery StableStorage::Recover(bool protocol_aware) {
+  ++stats_.recoveries;
+  Recovery rec;
+  segments_.clear();
+  entry_locations_.clear();
+
+  // --- snapshot file --------------------------------------------------------
+  if (disk_->Exists(kSnapshotFile)) {
+    const std::vector<uint8_t>& raw = disk_->Read(kSnapshotFile);
+    BufferReader r(raw);
+    uint64_t crc = 0;
+    uint64_t idx = 0;
+    uint64_t term = 0;
+    uint32_t len = 0;
+    bool ok = r.GetU64(crc).ok() && r.GetU64(idx).ok() && r.GetU64(term).ok() &&
+              r.GetU32(len).ok() && r.remaining() == len;
+    if (ok) {
+      ok = crc == Fnv1aHash(std::span<const uint8_t>(raw).subspan(8));
+    }
+    if (ok) {
+      rec.has_snapshot = true;
+      rec.snapshot_index = idx;
+      rec.snapshot_term = term;
+      rec.snapshot_payload.assign(raw.begin() + static_cast<ptrdiff_t>(raw.size() - len),
+                                  raw.end());
+    } else {
+      // A damaged snapshot loses durable applied state below the log base;
+      // the node must be repaired by an InstallSnapshot from the leader.
+      rec.suspect = true;
+    }
+  }
+
+  // --- WAL segments ---------------------------------------------------------
+  std::vector<std::string> files = disk_->List("wal-");
+  bool hole = false;
+  LogIndex hole_idx = 0;
+  bool midstream_break = false;
+  bool stop_all = false;  // naive-mode silent truncation tripped
+  LogIndex durable_tail = 0;
+
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string& file = files[fi];
+    uint64_t seq = 0;
+    if (std::sscanf(file.c_str(), "wal-%llu", reinterpret_cast<unsigned long long*>(&seq)) != 1) {
+      continue;
+    }
+    if (stop_all) {
+      disk_->Delete(file);
+      continue;
+    }
+    segments_.push_back(Segment{seq, 0});
+    Segment& seg = segments_.back();
+    const std::vector<uint8_t>& bytes = disk_->Read(file);
+    size_t off = 0;
+    while (off < bytes.size()) {
+      uint32_t len = 0;
+      uint8_t type = 0;
+      uint64_t crc = 0;
+      bool framed = bytes.size() - off >= kRecordHeaderBytes;
+      if (framed) {
+        BufferReader hdr(std::span<const uint8_t>(bytes).subspan(off, kRecordHeaderBytes));
+        HC_CHECK(hdr.GetU32(len).ok() && hdr.GetU8(type).ok() && hdr.GetU64(crc).ok());
+        framed = bytes.size() - off - kRecordHeaderBytes >= len;
+      }
+      if (!framed) {
+        // The byte stream ends mid-record. At the physical tail of the WAL
+        // this is a torn write (unsynced, hence unacked): truncate it. A
+        // CRC-valid record beyond the break — found by resyncing on the next
+        // plausible header — proves the break sits *inside* durable data
+        // (e.g. a flipped length field), so the entries beyond it are lost:
+        // suspect territory, and their indices still raise the suspect floor.
+        bool data_beyond = fi + 1 < files.size();
+        if (protocol_aware) {
+          size_t probe = off + 1;
+          while (probe + kRecordHeaderBytes <= bytes.size()) {
+            BufferReader phdr(
+                std::span<const uint8_t>(bytes).subspan(probe, kRecordHeaderBytes));
+            uint32_t plen = 0;
+            uint8_t ptype = 0;
+            uint64_t pcrc = 0;
+            HC_CHECK(phdr.GetU32(plen).ok() && phdr.GetU8(ptype).ok() && phdr.GetU64(pcrc).ok());
+            if (ptype >= 1 && ptype <= 5 &&
+                plen <= bytes.size() - probe - kRecordHeaderBytes) {
+              const auto ppayload =
+                  std::span<const uint8_t>(bytes).subspan(probe + kRecordHeaderBytes, plen);
+              if (pcrc == RecordCrc(ptype, ppayload)) {
+                data_beyond = true;
+                if (static_cast<RecordType>(ptype) == RecordType::kEntry) {
+                  BufferReader pr(ppayload);
+                  uint64_t pidx = 0;
+                  if (pr.GetU64(pidx).ok()) {
+                    durable_tail = std::max<LogIndex>(durable_tail, pidx);
+                  }
+                }
+                probe += kRecordHeaderBytes + plen;  // re-framed: walk records
+                continue;
+              }
+            }
+            ++probe;
+          }
+        }
+        if (data_beyond) {
+          midstream_break = true;
+          ++stats_.corrupt_records;
+        } else {
+          ++stats_.torn_truncations;
+        }
+        disk_->Truncate(file, off);
+        break;
+      }
+      const auto payload = std::span<const uint8_t>(bytes).subspan(off + kRecordHeaderBytes, len);
+      const LogIndex next_expected =
+          rec.entries.empty() ? rec.base_index + 1 : rec.entries.back().idx + 1;
+      if (crc != RecordCrc(type, payload)) {
+        ++stats_.corrupt_records;
+        if (!protocol_aware) {
+          // Naive recovery: silently truncate the log at the damage and
+          // carry on as if the WAL simply ended here.
+          disk_->Truncate(file, off);
+          stop_all = true;
+          break;
+        }
+        if (!hole) {
+          hole = true;
+          hole_idx = next_expected;
+        }
+        off += kRecordHeaderBytes + len;
+        continue;
+      }
+      BufferReader r(payload);
+      switch (static_cast<RecordType>(type)) {
+        case RecordType::kHardState: {
+          uint64_t term = 0;
+          int64_t vote = 0;
+          if (r.GetU64(term).ok() && r.GetI64(vote).ok()) {
+            rec.term = static_cast<Term>(term);
+            rec.voted_for = static_cast<NodeId>(vote);
+          }
+          break;
+        }
+        case RecordType::kEntry: {
+          uint64_t idx = 0;
+          uint64_t term = 0;
+          int64_t replier = 0;
+          if (r.GetU64(idx).ok() && r.GetU64(term).ok() && r.GetI64(replier).ok()) {
+            durable_tail = std::max<LogIndex>(durable_tail, idx);
+            if (idx > rec.base_index) {
+              while (!rec.entries.empty() && rec.entries.back().idx >= idx) {
+                rec.entries.pop_back();
+              }
+              RecoveredEntry e;
+              e.idx = idx;
+              e.term = static_cast<Term>(term);
+              e.replier = static_cast<NodeId>(replier);
+              e.payload.assign(payload.begin() + 24, payload.end());
+              rec.entries.push_back(std::move(e));
+              entry_locations_[idx] = {file, off};
+              seg.max_entry_idx = std::max(seg.max_entry_idx, idx);
+              if (hole && idx <= hole_idx) {
+                hole = false;  // a later overwrite re-covered the damage
+              }
+            }
+          }
+          break;
+        }
+        case RecordType::kAnnounce: {
+          uint64_t idx = 0;
+          int64_t replier = 0;
+          if (r.GetU64(idx).ok() && r.GetI64(replier).ok()) {
+            auto it = std::lower_bound(
+                rec.entries.begin(), rec.entries.end(), static_cast<LogIndex>(idx),
+                [](const RecoveredEntry& e, LogIndex i) { return e.idx < i; });
+            if (it != rec.entries.end() && it->idx == static_cast<LogIndex>(idx)) {
+              it->replier = static_cast<NodeId>(replier);
+            }
+          }
+          break;
+        }
+        case RecordType::kTruncate: {
+          uint64_t from = 0;
+          if (r.GetU64(from).ok()) {
+            while (!rec.entries.empty() && rec.entries.back().idx >= static_cast<LogIndex>(from)) {
+              rec.entries.pop_back();
+            }
+            entry_locations_.erase(entry_locations_.lower_bound(from), entry_locations_.end());
+          }
+          break;
+        }
+        case RecordType::kCompact: {
+          uint64_t bidx = 0;
+          uint64_t bterm = 0;
+          if (r.GetU64(bidx).ok() && r.GetU64(bterm).ok() && bidx > rec.base_index) {
+            rec.base_index = bidx;
+            rec.base_term = static_cast<Term>(bterm);
+            while (!rec.entries.empty() && rec.entries.front().idx <= rec.base_index) {
+              rec.entries.erase(rec.entries.begin());
+            }
+            entry_locations_.erase(entry_locations_.begin(),
+                                   entry_locations_.upper_bound(bidx));
+            if (hole && hole_idx <= rec.base_index) {
+              hole = false;  // the damage fell below a durable snapshot
+            }
+          }
+          break;
+        }
+      }
+      off += kRecordHeaderBytes + len;
+    }
+  }
+
+  // --- finalize -------------------------------------------------------------
+  if (hole && hole_idx > rec.base_index) {
+    auto it = std::lower_bound(rec.entries.begin(), rec.entries.end(), hole_idx,
+                               [](const RecoveredEntry& e, LogIndex i) { return e.idx < i; });
+    rec.entries.erase(it, rec.entries.end());
+    rec.suspect = true;
+    // The rotted record itself was durable — and if it was an entry, its
+    // index was at least hole_idx (its payload can't be trusted to say).
+    // The floor must cover it, or a hole in the *last* record would leave
+    // the node free to campaign without the entry it may have acked.
+    durable_tail = std::max(durable_tail, hole_idx);
+  }
+  if (midstream_break) {
+    rec.suspect = true;
+  }
+  // Enforce contiguity from base+1; anything beyond a gap is unreachable and
+  // discarding it means durable loss.
+  LogIndex expected = rec.base_index + 1;
+  for (size_t i = 0; i < rec.entries.size(); ++i) {
+    if (rec.entries[i].idx != expected) {
+      rec.entries.resize(i);
+      rec.suspect = true;
+      break;
+    }
+    ++expected;
+  }
+  const LogIndex kept_tail = rec.entries.empty() ? rec.base_index : rec.entries.back().idx;
+  entry_locations_.erase(entry_locations_.upper_bound(kept_tail), entry_locations_.end());
+  rec.suspect_floor = std::max(durable_tail, rec.base_index);
+  if (rec.suspect) {
+    ++stats_.suspect_recoveries;
+  }
+  stats_.recovered_entries += rec.entries.size();
+
+  if (segments_.empty()) {
+    segments_.push_back(Segment{1, 0});
+  }
+  term_ = rec.term;
+  voted_for_ = rec.voted_for;
+  base_idx_ = rec.base_index;
+  base_term_ = rec.base_term;
+  return rec;
+}
+
+}  // namespace hovercraft

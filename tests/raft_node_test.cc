@@ -47,7 +47,8 @@ class MiniEnv final : public RaftNode::Env {
     }
     return SnapshotCapture{MakeBody(w.TakeBytes()), applied_};
   }
-  void RestoreSnapshot(const Body& state, LogIndex last_included) override {
+  void RestoreSnapshot(const Body& state, LogIndex last_included, Term /*included_term*/,
+                       MembershipConfigPtr /*config*/, LogIndex /*config_idx*/) override {
     BufferReader r(*state);
     uint64_t applied = 0;
     uint64_t count = 0;

@@ -54,7 +54,8 @@ class FuzzEnv final : public RaftNode::Env {
     }
     return SnapshotCapture{MakeBody(w.TakeBytes()), applied_idx_};
   }
-  void RestoreSnapshot(const Body& state, LogIndex last_included) override {
+  void RestoreSnapshot(const Body& state, LogIndex last_included, Term /*included_term*/,
+                       MembershipConfigPtr /*config*/, LogIndex /*config_idx*/) override {
     BufferReader r(*state);
     uint64_t applied_count = 0;
     uint64_t count = 0;

@@ -1,0 +1,341 @@
+// Unit coverage for the simulated durable-storage layer: SimDisk barrier and
+// crash semantics, and StableStorage's WAL framing, recovery rules, and
+// corruption handling (docs/durability.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+#include "src/storage/fsync_policy.h"
+#include "src/storage/sim_disk.h"
+#include "src/storage/stable_storage.h"
+
+namespace hovercraft {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> b) { return std::vector<uint8_t>(b); }
+
+void Append(SimDisk* disk, const std::string& file, const std::vector<uint8_t>& b) {
+  disk->Append(file, b.data(), b.size());
+}
+
+// ---------------------------------------------------------------------------
+// SimDisk
+// ---------------------------------------------------------------------------
+
+TEST(SimDiskTest, ZeroLatencySyncCompletesInlineAndSchedulesNothing) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 0);
+  Append(&disk, "f", Bytes({1, 2, 3}));
+  bool ran = false;
+  EXPECT_TRUE(disk.Sync([&]() { ran = true; }, /*coalesce=*/true));
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(disk.SyncedSize("f"), 3u);
+  // Nothing was scheduled: the simulator has no pending events.
+  EXPECT_EQ(sim.RunToCompletion(), 0u);
+}
+
+TEST(SimDiskTest, PricedSyncCompletesAfterLatency) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 500);
+  Append(&disk, "f", Bytes({1, 2, 3}));
+  TimeNs done_at = -1;
+  EXPECT_FALSE(disk.Sync([&]() { done_at = sim.Now(); }, true));
+  EXPECT_EQ(disk.SyncedSize("f"), 0u);
+  sim.RunToCompletion();
+  EXPECT_EQ(done_at, 500);
+  EXPECT_EQ(disk.SyncedSize("f"), 3u);
+}
+
+TEST(SimDiskTest, CrashDropsUnsyncedSuffixAndPendingCallbacks) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 500);
+  Append(&disk, "f", Bytes({1, 2, 3, 4}));
+  bool ran = false;
+  disk.Sync([&]() { ran = true; }, true);
+  disk.Crash();
+  sim.RunToCompletion();
+  EXPECT_FALSE(ran);  // the process died; nothing acks from the grave
+  EXPECT_EQ(disk.Size("f"), 0u);
+  EXPECT_EQ(disk.stats().bytes_lost, 4u);
+}
+
+TEST(SimDiskTest, CrashKeepsSyncedPrefix) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 0);
+  Append(&disk, "f", Bytes({1, 2}));
+  disk.SyncNow();
+  Append(&disk, "f", Bytes({3, 4, 5}));
+  disk.Crash();
+  EXPECT_EQ(disk.Read("f"), Bytes({1, 2}));
+}
+
+TEST(SimDiskTest, TornCrashKeepsStrictPrefixOfUnsyncedTail) {
+  Simulator sim;
+  SimDisk disk(&sim, 7, 0);
+  Append(&disk, "f", Bytes({1, 2}));
+  disk.SyncNow();
+  Append(&disk, "f", Bytes({3, 4, 5, 6}));
+  disk.set_next_crash_torn();
+  disk.Crash();
+  // The synced prefix always survives; at most a strict prefix of the
+  // unsynced tail does.
+  ASSERT_GE(disk.Size("f"), 2u);
+  ASSERT_LT(disk.Size("f"), 6u);
+  EXPECT_EQ(disk.Read("f")[0], 1);
+  EXPECT_EQ(disk.Read("f")[1], 2);
+}
+
+// Regression: a barrier requested while a flush is already in flight must NOT
+// ride that flush — its frontier was captured at start and does not cover
+// bytes appended since. Riding it acked unsynced entries, which a power
+// failure then un-committed (found by the disk-corrupt-entry chaos pair).
+TEST(SimDiskTest, CoalescedSyncNeverRidesTheRunningFlush) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 500);
+  Append(&disk, "f", Bytes({1}));
+  disk.Sync(nullptr, true);  // starts the flush; frontier = 1 byte
+  Append(&disk, "f", Bytes({2, 3}));
+  size_t covered_at_cb = 0;
+  disk.Sync([&]() { covered_at_cb = disk.SyncedSize("f"); }, /*coalesce=*/true);
+  sim.RunToCompletion();
+  EXPECT_EQ(covered_at_cb, 3u);  // the callback's barrier covers both appends
+}
+
+TEST(SimDiskTest, GroupCommitCoalescesQueuedBarriers) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 500);
+  Append(&disk, "f", Bytes({1}));
+  disk.Sync(nullptr, true);  // running flush
+  int callbacks = 0;
+  for (int i = 0; i < 5; ++i) {
+    Append(&disk, "f", Bytes({static_cast<uint8_t>(i)}));
+    disk.Sync([&]() { ++callbacks; }, /*coalesce=*/true);
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(callbacks, 5);
+  // One running flush + one coalesced group: two priced barriers, not six.
+  EXPECT_EQ(disk.stats().syncs, 2u);
+}
+
+TEST(SimDiskTest, StallPricesEverySubsequentBarrier) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 100);
+  disk.set_stall(900);
+  Append(&disk, "f", Bytes({1}));
+  TimeNs done_at = -1;
+  disk.Sync([&]() { done_at = sim.Now(); }, true);
+  sim.RunToCompletion();
+  EXPECT_EQ(done_at, 1000);
+  disk.set_stall(0);
+}
+
+TEST(SimDiskTest, FlipByteOnlyTouchesExistingBytes) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 0);
+  Append(&disk, "f", Bytes({0x00, 0x10}));
+  EXPECT_FALSE(disk.FlipByte("missing", 0));
+  EXPECT_FALSE(disk.FlipByte("f", 2));
+  EXPECT_TRUE(disk.FlipByte("f", 1));
+  EXPECT_NE(disk.Read("f")[1], 0x10);
+}
+
+// ---------------------------------------------------------------------------
+// StableStorage
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> Payload(uint8_t tag) { return std::vector<uint8_t>(8, tag); }
+
+TEST(StableStorageTest, HardStateAndEntriesRoundTrip) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 0);
+  StableStorage storage(&disk, FsyncPolicy::kGroupCommit);
+  storage.PersistHardState(3, 1);
+  for (LogIndex i = 1; i <= 5; ++i) {
+    storage.AppendEntry(i, 3, /*replier=*/2, Payload(static_cast<uint8_t>(i)));
+  }
+  storage.Sync(nullptr);
+
+  StableStorage::Recovery rec = storage.Recover(/*protocol_aware=*/true);
+  EXPECT_EQ(rec.term, 3u);
+  EXPECT_EQ(rec.voted_for, 1);
+  EXPECT_EQ(rec.base_index, 0u);
+  ASSERT_EQ(rec.entries.size(), 5u);
+  EXPECT_FALSE(rec.suspect);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rec.entries[i].idx, i + 1);
+    EXPECT_EQ(rec.entries[i].term, 3u);
+    EXPECT_EQ(rec.entries[i].replier, 2);
+    EXPECT_EQ(rec.entries[i].payload, Payload(static_cast<uint8_t>(i + 1)));
+  }
+}
+
+TEST(StableStorageTest, CrashLosesUnsyncedEntriesOnly) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 500);
+  StableStorage storage(&disk, FsyncPolicy::kGroupCommit);
+  storage.PersistHardState(1, kInvalidNode);
+  storage.AppendEntry(1, 1, 0, Payload(1));
+  storage.AppendEntry(2, 1, 0, Payload(2));
+  storage.Sync(nullptr);
+  sim.RunToCompletion();  // barrier covers entries 1-2
+  storage.AppendEntry(3, 1, 0, Payload(3));
+  storage.Crash();
+
+  StableStorage::Recovery rec = storage.Recover(true);
+  ASSERT_EQ(rec.entries.size(), 2u);
+  EXPECT_EQ(rec.entries.back().idx, 2u);
+  // Losing an unsynced (hence unacked) suffix is clean, not suspect.
+  EXPECT_FALSE(rec.suspect);
+  EXPECT_EQ(storage.stats().torn_truncations, 0u);
+}
+
+TEST(StableStorageTest, TornTailIsTruncatedWithoutSuspicion) {
+  Simulator sim;
+  SimDisk disk(&sim, 11, 500);
+  StableStorage storage(&disk, FsyncPolicy::kGroupCommit);
+  storage.AppendEntry(1, 1, 0, Payload(1));
+  storage.Sync(nullptr);
+  sim.RunToCompletion();
+  storage.AppendEntry(2, 1, 0, Payload(2));
+  disk.set_next_crash_torn();
+  storage.Crash();
+
+  StableStorage::Recovery rec = storage.Recover(true);
+  ASSERT_EQ(rec.entries.size(), 1u);
+  EXPECT_FALSE(rec.suspect);
+  // A partial record at the physical end is a torn write, not corruption.
+  EXPECT_EQ(storage.stats().corrupt_records, 0u);
+}
+
+TEST(StableStorageTest, CorruptedCommittedEntryMakesRecoverySuspect) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 0);
+  StableStorage storage(&disk, FsyncPolicy::kGroupCommit);
+  for (LogIndex i = 1; i <= 4; ++i) {
+    storage.AppendEntry(i, 1, 0, Payload(static_cast<uint8_t>(i)));
+  }
+  storage.Sync(nullptr);
+  ASSERT_TRUE(storage.CorruptEntry(2));
+
+  StableStorage::Recovery rec = storage.Recover(true);
+  // The log is cut at the damage: entries 2-4 are gone even though 3 and 4
+  // are intact — contiguity is what replay can vouch for.
+  ASSERT_EQ(rec.entries.size(), 1u);
+  EXPECT_EQ(rec.entries[0].idx, 1u);
+  EXPECT_TRUE(rec.suspect);
+  // The floor covers everything that was ever durable, so the node cannot
+  // campaign until a leader has re-fed it all four entries.
+  EXPECT_GE(rec.suspect_floor, 4u);
+  EXPECT_EQ(storage.stats().corrupt_records, 1u);
+  EXPECT_EQ(storage.stats().suspect_recoveries, 1u);
+}
+
+TEST(StableStorageTest, NaiveRecoveryTruncatesSilently) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 0);
+  StableStorage storage(&disk, FsyncPolicy::kGroupCommit);
+  for (LogIndex i = 1; i <= 4; ++i) {
+    storage.AppendEntry(i, 1, 0, Payload(static_cast<uint8_t>(i)));
+  }
+  storage.Sync(nullptr);
+  ASSERT_TRUE(storage.CorruptEntry(2));
+
+  StableStorage::Recovery rec = storage.Recover(/*protocol_aware=*/false);
+  ASSERT_EQ(rec.entries.size(), 1u);
+  EXPECT_FALSE(rec.suspect);  // the unsafe control: amnesia without the flag
+  EXPECT_EQ(storage.stats().suspect_recoveries, 0u);
+}
+
+TEST(StableStorageTest, TruncateRecordRewindsReplay) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 0);
+  StableStorage storage(&disk, FsyncPolicy::kGroupCommit);
+  storage.AppendEntry(1, 1, 0, Payload(1));
+  storage.AppendEntry(2, 1, 0, Payload(2));
+  storage.AppendEntry(3, 1, 0, Payload(3));
+  storage.AppendTruncate(2);  // conflict: entries 2-3 were replaced
+  storage.AppendEntry(2, 2, 0, Payload(9));
+  storage.Sync(nullptr);
+
+  StableStorage::Recovery rec = storage.Recover(true);
+  ASSERT_EQ(rec.entries.size(), 2u);
+  EXPECT_EQ(rec.entries[1].idx, 2u);
+  EXPECT_EQ(rec.entries[1].term, 2u);
+  EXPECT_EQ(rec.entries[1].payload, Payload(9));
+}
+
+TEST(StableStorageTest, CompactDropsWholeSegmentsBelowBase) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 0);
+  // Tiny segments force rotation every few records.
+  StableStorage storage(&disk, FsyncPolicy::kGroupCommit, /*segment_bytes=*/256);
+  for (LogIndex i = 1; i <= 40; ++i) {
+    storage.AppendEntry(i, 1, 0, Payload(static_cast<uint8_t>(i)));
+  }
+  storage.Sync(nullptr);
+  ASSERT_GT(disk.List("wal-").size(), 1u);
+  storage.AppendCompact(30, 1);
+  EXPECT_GT(storage.stats().segments_dropped, 0u);
+
+  StableStorage::Recovery rec = storage.Recover(true);
+  EXPECT_EQ(rec.base_index, 30u);
+  EXPECT_EQ(rec.base_term, 1u);
+  ASSERT_EQ(rec.entries.size(), 10u);
+  EXPECT_EQ(rec.entries.front().idx, 31u);
+  EXPECT_FALSE(rec.suspect);
+}
+
+TEST(StableStorageTest, SnapshotRoundTripsAndSurvivesCrash) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 500);
+  StableStorage storage(&disk, FsyncPolicy::kGroupCommit);
+  storage.SaveSnapshot(12, 2, Payload(7));
+  storage.Crash();  // snapshots are synced inline; the crash loses nothing
+
+  StableStorage::Recovery rec = storage.Recover(true);
+  ASSERT_TRUE(rec.has_snapshot);
+  EXPECT_EQ(rec.snapshot_index, 12u);
+  EXPECT_EQ(rec.snapshot_term, 2u);
+  EXPECT_EQ(rec.snapshot_payload, Payload(7));
+  EXPECT_FALSE(rec.suspect);
+}
+
+TEST(StableStorageTest, DamagedSnapshotMarksRecoverySuspect) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 0);
+  StableStorage storage(&disk, FsyncPolicy::kGroupCommit);
+  storage.SaveSnapshot(12, 2, Payload(7));
+  ASSERT_TRUE(disk.FlipByte("snapshot", disk.Size("snapshot") - 1));
+
+  StableStorage::Recovery rec = storage.Recover(true);
+  EXPECT_FALSE(rec.has_snapshot);
+  EXPECT_TRUE(rec.suspect);
+}
+
+TEST(StableStorageTest, SyncPerAppendDoesNotCoalesce) {
+  Simulator sim;
+  SimDisk disk(&sim, 1, 500);
+  StableStorage storage(&disk, FsyncPolicy::kSyncPerAppend);
+  for (LogIndex i = 1; i <= 3; ++i) {
+    storage.AppendEntry(i, 1, 0, Payload(static_cast<uint8_t>(i)));
+    storage.Sync(nullptr);
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(disk.stats().syncs, 3u);  // one priced barrier per append
+
+  SimDisk disk2(&sim, 1, 500);
+  StableStorage grouped(&disk2, FsyncPolicy::kGroupCommit);
+  for (LogIndex i = 1; i <= 3; ++i) {
+    grouped.AppendEntry(i, 1, 0, Payload(static_cast<uint8_t>(i)));
+    grouped.Sync(nullptr);
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(disk2.stats().syncs, 2u);  // running barrier + one coalesced group
+}
+
+}  // namespace
+}  // namespace hovercraft

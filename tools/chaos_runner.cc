@@ -52,6 +52,12 @@ struct CliOptions {
   bool no_check_quorum = false;
   bool read_index = false;
   TimeNs read_lease_timeout = 0;  // 0 = election_timeout_min (strict lease)
+  // Durability knobs (docs/durability.md). persist_latency < 0 means "pick a
+  // default": 500us for the disk-* schedules (so an unsynced window exists to
+  // lose), 0 otherwise.
+  TimeNs persist_latency = -1;
+  std::string fsync_policy = "group-commit";
+  bool no_recovery = false;
   TimeNs retry_backoff = Micros(500);
   uint32_t retry_max_attempts = 0;
   bool list_schedules = false;
@@ -102,6 +108,17 @@ void PrintUsage() {
       "                           of the replicated log\n"
       "  --read-lease-timeout-us=N  override the lease window (0 = election_timeout_min);\n"
       "                           large values model clock skew and yield stale reads\n"
+      "  --disk-fault=NAME        alias for --schedule, reads better for the disk-fault\n"
+      "                           schedules (disk-power-fail, disk-torn-write,\n"
+      "                           disk-corrupt-entry, disk-fsync-stall)\n"
+      "  --persist-latency-us=N   fsync cost per durability barrier (default 500 for the\n"
+      "                           disk-* schedules, 0 otherwise)\n"
+      "  --fsync-policy=NAME      group-commit (default) | sync-per-append |\n"
+      "                           ack-before-sync (control: acks outrun the disk, so a\n"
+      "                           power fail loses acknowledged writes)\n"
+      "  --no-recovery            disable protocol-aware WAL recovery (control: damage\n"
+      "                           below the durable frontier is silently truncated\n"
+      "                           instead of quarantined + re-fetched from the leader)\n"
       "  --trace-out=PATH         write a Chrome trace-event JSON (Perfetto-loadable)\n"
       "  --metrics-out=PATH       write the metrics registry as JSON\n"
       "  --sample-interval-us=N   queue-depth sampling period (default 100)\n"
@@ -162,8 +179,16 @@ bool ParseOptions(int argc, char** argv, CliOptions& opts) {
       opts.read_index = true;
     } else if (ParseFlag(a, "--read-lease-timeout-us", v)) {
       opts.read_lease_timeout = Micros(std::atoll(v.c_str()));
+    } else if (std::strcmp(a, "--no-recovery") == 0) {
+      opts.no_recovery = true;
     } else if (ParseFlag(a, "--attack", v)) {
       opts.schedule = v;
+    } else if (ParseFlag(a, "--disk-fault", v)) {
+      opts.schedule = v;
+    } else if (ParseFlag(a, "--persist-latency-us", v)) {
+      opts.persist_latency = Micros(std::atoll(v.c_str()));
+    } else if (ParseFlag(a, "--fsync-policy", v)) {
+      opts.fsync_policy = v;
     } else if (ParseFlag(a, "--retry-backoff-us", v)) {
       opts.retry_backoff = Micros(std::atoll(v.c_str()));
     } else if (ParseFlag(a, "--retry-max-attempts", v)) {
@@ -259,14 +284,29 @@ int Run(const CliOptions& opts) {
   config.check_quorum = !opts.no_check_quorum;
   config.read_index = opts.read_index;
   config.read_lease_timeout = opts.read_lease_timeout;
+  if (!ParseFsyncPolicy(opts.fsync_policy, &config.fsync_policy)) {
+    std::fprintf(stderr,
+                 "bad --fsync-policy=%s (want group-commit | sync-per-append | "
+                 "ack-before-sync)\n",
+                 opts.fsync_policy.c_str());
+    return 2;
+  }
+  config.wal_recovery = !opts.no_recovery;
+  // The disk-* schedules need a nonzero fsync window or there is nothing to
+  // lose; elsewhere the default stays at the paper's persist_latency=0.
+  const bool disk_schedule = opts.schedule.rfind("disk-", 0) == 0;
+  config.persist_latency =
+      opts.persist_latency >= 0 ? opts.persist_latency : (disk_schedule ? Micros(500) : 0);
 
   std::printf(
       "chaos_runner: mode=%s schedule=%s seed=%llu nodes=%d duration=%lldms retries=%d dedup=%d "
-      "prevote=%d check_quorum=%d read_index=%d\n",
+      "prevote=%d check_quorum=%d read_index=%d persist_us=%lld fsync=%s recovery=%d\n",
       opts.mode.c_str(), opts.schedule.c_str(), static_cast<unsigned long long>(opts.seed),
       opts.nodes, static_cast<long long>(opts.duration / 1'000'000), opts.retries ? 1 : 0,
       opts.no_dedup ? 0 : 1, opts.no_prevote ? 0 : 1, opts.no_check_quorum ? 0 : 1,
-      opts.read_index ? 1 : 0);
+      opts.read_index ? 1 : 0,
+      static_cast<long long>(config.persist_latency / 1'000),
+      FsyncPolicyName(config.fsync_policy), config.wal_recovery ? 1 : 0);
   std::unique_ptr<obs::Observability> observability;
   const bool want_obs = !opts.trace_out.empty() || !opts.metrics_out.empty();
   if (want_obs) {
