@@ -17,6 +17,7 @@
 #include "src/core/cluster.h"
 #include "src/loadgen/experiment.h"
 #include "src/loadgen/workload.h"
+#include "src/obs/critical_path.h"
 #include "src/obs/observability.h"
 
 namespace hovercraft {
@@ -164,14 +165,53 @@ class BenchIo {
 
   // The standard latency/throughput curve step shared by the fig benches:
   // run one load point with metrics scoped under "<system>/r<rps>/", print
-  // the usual curve line, and record the uniform summary.
+  // the usual curve line plus the tail_attribution table (per-stage blame
+  // over the p50/p99/p99.9 populations, from the always-on flight recorder),
+  // and record the uniform summary. Each attribution row's per-stage blame
+  // must sum to its end-to-end latency within 1% — a violated sum marks the
+  // whole bench failed (the blame decomposition is a checked output, not a
+  // best-effort annotation).
   LoadMetrics RunCurvePoint(const char* system, ExperimentConfig config, double rate_rps) {
     const std::string scope = PointScope(system, rate_rps);
     Attach(&config, scope);
+    obs::CriticalPath critical_path;
+    config.cluster.critical_path = &critical_path;
     const LoadMetrics m = RunLoadPoint(config, rate_rps);
     PrintCurvePoint(system, m);
     RecordLoadPoint(scope, m);
+    EmitTailAttribution(scope, critical_path);
     return m;
+  }
+
+  // Prints + records the critical-path blame table for one load point and
+  // enforces the telescoping-sum acceptance gate.
+  void EmitTailAttribution(const std::string& scope, const obs::CriticalPath& critical_path) {
+    if (critical_path.completed() == 0) {
+      return;
+    }
+    std::printf("%s", critical_path.AttributionTable(scope).c_str());
+    const double err = critical_path.MaxSumError();
+    if (err > 0.01) {
+      std::fprintf(stderr,
+                   "tail_attribution: blame sum off by %.3f%% (> 1%%) at %s — "
+                   "stage instrumentation lost a segment\n",
+                   err * 100.0, scope.c_str());
+      Fail();
+    }
+    if (obs_ != nullptr) {
+      obs::MetricsRegistry& reg = obs_->metrics();
+      for (const obs::CriticalPath::Row& row : critical_path.Attribution()) {
+        const std::string base = scope + "tail." + row.population + ".";
+        reg.SetGauge(base + "e2e_ns", std::llround(row.e2e_ns));
+        reg.SetGauge(base + "count", static_cast<int64_t>(row.count));
+        for (size_t s = 0; s < obs::kStageCount; ++s) {
+          if (row.blame_ns[s] > 0) {
+            reg.SetGauge(base + "blame." + obs::StageName(static_cast<obs::Stage>(s)) + "_ns",
+                         std::llround(row.blame_ns[s]));
+          }
+        }
+      }
+    }
   }
 
   // SLO-search step shared by fig8/fig9: scope the cluster metrics and the

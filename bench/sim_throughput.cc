@@ -41,6 +41,7 @@
 #include "bench/bench_common.h"
 #include "src/common/check.h"
 #include "src/common/random.h"
+#include "src/obs/flight_recorder.h"
 #include "src/sim/reference_heap.h"
 #include "src/sim/simulator.h"
 
@@ -101,14 +102,29 @@ struct Workload {
   Rng rng;
   Shape shape;
   int64_t target;
+  // When set, every fr_interval-th fired event also records one
+  // flight-recorder event, pricing the always-on black box against the bare
+  // loop (ISSUE 8 perf gate). interval=1 is the worst plausible density;
+  // interval=10 matches what instrumented cluster runs actually record
+  // (roughly one FR event per ten simulator events). The null check is
+  // exactly the production recorder-absent fast path, so both sides of the
+  // comparison pay it.
+  obs::FlightRecorder* fr = nullptr;
+  int fr_interval = 1;
+  int fr_countdown = 1;
   RunResult r;
 
   Workload(Shape s, uint64_t seed, int64_t target_events)
       : rng(seed), shape(s), target(target_events) {}
 
   void Fire() {
-    r.checksum = r.checksum * 1099511628211ull + static_cast<uint64_t>(sim.Now()) + 1;
+    const TimeNs now = sim.Now();
+    r.checksum = r.checksum * 1099511628211ull + static_cast<uint64_t>(now) + 1;
     ++r.executed;
+    if (fr != nullptr && --fr_countdown == 0) {
+      fr_countdown = fr_interval;
+      fr->Record(now, 0, obs::FrType::kStage, r.executed, static_cast<uint64_t>(now));
+    }
     if (r.scheduled >= target) {
       return;  // drain phase
     }
@@ -129,9 +145,13 @@ struct Workload {
 };
 
 template <typename Scheduler>
-RunResult RunShape(Shape shape, uint64_t seed, int64_t target_events) {
+RunResult RunShape(Shape shape, uint64_t seed, int64_t target_events,
+                   obs::FlightRecorder* fr = nullptr, int fr_interval = 1) {
   constexpr int kWindow = 4096;
   auto w = std::make_unique<Workload<Scheduler>>(shape, seed, target_events);
+  w->fr = fr;
+  w->fr_interval = fr_interval;
+  w->fr_countdown = fr_interval;
 
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < kWindow; ++i) {
@@ -182,6 +202,41 @@ void Run(benchutil::BenchIo& io, uint64_t seed, int64_t events) {
     io.RecordCounter(scope + "cancelled", static_cast<uint64_t>(wheel.cancelled));
   }
   std::printf("\nspeedup = heap ns/event over wheel ns/event; >1 means the wheel is faster.\n");
+
+  // Always-on flight-recorder tax: uniform shape on the production wheel at
+  // two recording densities. interval=10 is what instrumented cluster runs
+  // actually record (~1 FR event per 10 simulator events) — the ISSUE 8
+  // acceptance gate (CI perf-smoke) requires its overhead_pct <= 105.
+  // interval=1 records on every single simulator event, a worst case no real
+  // workload reaches; it is gated loosely (<= 120) as a backstop against the
+  // record path itself getting an order of magnitude slower. Off/on runs are
+  // interleaved and each takes its best of 5, so frequency drift hits all
+  // sides alike.
+  obs::FlightRecorder fr(obs::FlightRecorder::kDefaultDepth);
+  int64_t off_ps = INT64_MAX;
+  int64_t on1_ps = INT64_MAX;
+  int64_t on10_ps = INT64_MAX;
+  for (int i = 0; i < 5; ++i) {
+    off_ps = std::min(off_ps,
+                      RunShape<Simulator>(Shape::kUniform, seed, events, nullptr).PsPerEvent());
+    on10_ps = std::min(
+        on10_ps, RunShape<Simulator>(Shape::kUniform, seed, events, &fr, 10).PsPerEvent());
+    on1_ps = std::min(
+        on1_ps, RunShape<Simulator>(Shape::kUniform, seed, events, &fr, 1).PsPerEvent());
+  }
+  const int64_t overhead_pct = on10_ps * 100 / std::max<int64_t>(1, off_ps);
+  const int64_t worst_case_pct = on1_ps * 100 / std::max<int64_t>(1, off_ps);
+  std::printf("\nflight recorder (uniform/wheel, best of 5): off %.1f ns/ev, "
+              "on %.1f ns/ev at 1-in-10 density (cost %lld%%), "
+              "%.1f ns/ev at 1-in-1 worst case (cost %lld%%)\n",
+              static_cast<double>(off_ps) / 1000.0, static_cast<double>(on10_ps) / 1000.0,
+              static_cast<long long>(overhead_pct), static_cast<double>(on1_ps) / 1000.0,
+              static_cast<long long>(worst_case_pct));
+  io.RecordGauge("sim_throughput/flight_recorder/off_ps_per_event", off_ps);
+  io.RecordGauge("sim_throughput/flight_recorder/on_ps_per_event", on10_ps);
+  io.RecordGauge("sim_throughput/flight_recorder/overhead_pct", overhead_pct);
+  io.RecordGauge("sim_throughput/flight_recorder/worst_case_ps_per_event", on1_ps);
+  io.RecordGauge("sim_throughput/flight_recorder/worst_case_overhead_pct", worst_case_pct);
 }
 
 }  // namespace

@@ -10,7 +10,9 @@
 #include "src/chaos/nemesis.h"
 #include "src/core/cluster.h"
 #include "src/loadgen/client.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/observability.h"
+#include "src/obs/watchdog.h"
 
 namespace hovercraft {
 
@@ -48,7 +50,8 @@ std::string ChaosRunResult::Describe() const {
       << " acks_deferred=" << acks_deferred_persist
       << " acks_dropped=" << acks_dropped_crash
       << " bytes_lost=" << disk_bytes_lost
-      << " committed_overwritten=" << committed_overwritten << "\n";
+      << " committed_overwritten=" << committed_overwritten << "\n"
+      << "watchdog: " << watchdog_summary << "\n";
   for (const std::string& state : node_states) {
     out << state << "\n";
   }
@@ -85,10 +88,34 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   // Chaos runs need the symmetric timeouts real deployments would have.
   cc.stagger_first_election = false;
   cc.obs = config.obs;
+
+  // Flight recorder + watchdog. The runner owns the recorder (rather than
+  // letting the cluster build its default) so the watchdog can dump it on a
+  // violation, and so the dump carries the repro command for this run.
+  std::unique_ptr<obs::FlightRecorder> flight_recorder;
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (config.flight_recorder_depth > 0) {
+    flight_recorder = std::make_unique<obs::FlightRecorder>(config.flight_recorder_depth);
+    flight_recorder->set_repro(config.repro);
+    flight_recorder->set_dump_path(config.dump_path);
+    if (config.watchdog) {
+      watchdog = std::make_unique<obs::Watchdog>(flight_recorder.get());
+    }
+  }
+  cc.flight_recorder_depth = config.flight_recorder_depth;
+  cc.flight_recorder = flight_recorder.get();
+  cc.watchdog = watchdog.get();
   Cluster cluster(cc);
 
   ChaosRunResult result;
   if (cluster.WaitForLeader() == kInvalidNode) {
+    if (watchdog != nullptr) {
+      result.watchdog_ok = watchdog->ok();
+      result.watchdog_summary = watchdog->Summary();
+    }
+    if (flight_recorder != nullptr) {
+      flight_recorder->DumpNow("chaos run failed to elect a leader");
+    }
     return result;  // leader_alive stays false
   }
 
@@ -138,6 +165,41 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
   }
   for (const auto& ev : config.remove_server_at) {
     cluster.sim().At(t0 + ev.at, [&cluster, ev]() { cluster.RemoveServer(ev.node); });
+  }
+
+  // Watchdog mutation testing: mid-window, record a synthetic event stream
+  // that violates exactly one invariant. Node ids and terms sit far outside
+  // anything the real run produces, so the injected violation is
+  // attributable in the dump and collateral-free for per-node state.
+  if (flight_recorder != nullptr && !config.inject_violation.empty()) {
+    obs::FlightRecorder* fr = flight_recorder.get();
+    Simulator* sim = &cluster.sim();
+    const std::string code = config.inject_violation;
+    sim->At(t0 + config.duration / 2, [fr, sim, code]() {
+      const TimeNs now = sim->Now();
+      constexpr uint64_t kBigTerm = 1'000'000'000ull;
+      const auto leader = static_cast<uint64_t>(obs::FrRole::kLeader);
+      if (code == "dual-leader") {
+        // Two leaders claim the same term: election safety broken.
+        fr->Record(now, 90, obs::FrType::kRole, kBigTerm, leader);
+        fr->Record(now, 91, obs::FrType::kRole, kBigTerm, leader);
+      } else if (code == "commit-regression") {
+        // A new leader truncated the log below a node's commit index.
+        fr->Record(now, 92, obs::FrType::kCommitLoss, 5, 10);
+      } else if (code == "lease-overlap") {
+        // A grant below the cluster commit watermark: a deposed leader's
+        // lease overlapped the new leader's tenure (stale read hazard).
+        fr->Record(now, 93, obs::FrType::kCommit, kBigTerm, kBigTerm);
+        fr->Record(now, 94, obs::FrType::kLeaseGrant, 1, 94);
+      } else if (code == "double-apply") {
+        // The session table let an already-executed write re-apply.
+        fr->Record(now, 95, obs::FrType::kApply, 999'999, 1, 1);
+      } else if (code == "flow-leak") {
+        // The ledger reports more open slots than the event stream sums.
+        fr->Record(now, kInvalidNode, obs::FrType::kFlow, 1'000'000, 1,
+                   static_cast<uint32_t>(obs::FrFlowOp::kClose));
+      }
+    });
   }
 
   if (config.obs != nullptr) {
@@ -231,9 +293,24 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
     }
   }
   result.leader_disruptions = times_leader > 0 ? times_leader - 1 : 0;
+  if (flight_recorder != nullptr) {
+    result.recorder_events = flight_recorder->recorded();
+  }
+  if (watchdog != nullptr) {
+    result.watchdog_ok = watchdog->ok();
+    result.watchdog_events = watchdog->events();
+    result.watchdog_checks = watchdog->checks();
+    result.watchdog_violations = watchdog->violations_total();
+    result.watchdog_summary = watchdog->Summary();
+  }
   result.nemesis_events = nemesis.events();
   result.linearizability =
       CheckKvLinearizability(recorder.History(), config.checker_max_states);
+  // A failed verdict dumps the black box (idempotent: a watchdog violation
+  // or CHECK failure that already dumped wins, keeping the earliest window).
+  if (flight_recorder != nullptr && !result.ok()) {
+    flight_recorder->DumpNow("chaos verdict failure");
+  }
   return result;
 }
 

@@ -108,6 +108,25 @@ struct ChaosRunConfig {
   // the run records traces/metrics into it and exports the cluster counters
   // at the end. Nemesis faults double as trace annotations.
   obs::Observability* obs = nullptr;
+
+  // Always-on flight recorder: per-node ring depth (0 disables recording and
+  // with it the watchdog). Independent of `obs` — post-mortem dumps work
+  // with tracing off.
+  size_t flight_recorder_depth = 512;
+  // Online invariant watchdog over the recorder stream (docs/observability.md
+  // has the invariant catalog). On by default: every defended chaos run is
+  // expected to be violation-free, and a violation fails ok(). Controls that
+  // intentionally break an invariant keep it on and assert it fires.
+  bool watchdog = true;
+  // Mutation testing: at the midpoint of the load window, inject a synthetic
+  // event stream that violates exactly one invariant, proving the watchdog
+  // detects it. Codes: dual-leader, commit-regression, lease-overlap,
+  // double-apply, flow-leak. Empty = no injection.
+  std::string inject_violation;
+  // Flight-recorder dump file written on the first violation/CHECK failure
+  // ("" = stderr summary only) and the repro command printed with it.
+  std::string dump_path;
+  std::string repro;
 };
 
 struct ChaosRunResult {
@@ -168,9 +187,19 @@ struct ChaosRunResult {
   // diagnosing a failed run.
   std::vector<std::string> node_states;
 
+  // Watchdog verdict (zero violations required when the watchdog ran; a run
+  // with the watchdog off reports watchdog_ok=true and summary "off").
+  bool watchdog_ok = true;
+  uint64_t watchdog_events = 0;
+  uint64_t watchdog_checks = 0;
+  uint64_t watchdog_violations = 0;
+  std::string watchdog_summary = "off";
+  // Total flight-recorder events this run produced (0 when depth=0).
+  uint64_t recorder_events = 0;
+
   bool ok() const {
     return leader_alive && digests_converged && linearizability.linearizable &&
-           linearizability.conclusive();
+           linearizability.conclusive() && watchdog_ok;
   }
   // Multi-line report for test failure messages.
   std::string Describe() const;

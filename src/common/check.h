@@ -9,8 +9,33 @@
 
 namespace hovercraft {
 
+// Optional hook run once, just before abort, when a CHECK fails. The flight
+// recorder (src/obs/flight_recorder.h) installs one so every CHECK failure
+// dumps the last events of the run plus a repro command. The hook is cleared
+// before it runs, so a CHECK failure inside the hook cannot recurse.
+using CheckFailureHook = void (*)();
+
+inline CheckFailureHook& CheckFailureHookSlot() {
+  static CheckFailureHook hook = nullptr;
+  return hook;
+}
+
+// Returns the previously installed hook (restore it when done).
+inline CheckFailureHook SetCheckFailureHook(CheckFailureHook hook) {
+  CheckFailureHook& slot = CheckFailureHookSlot();
+  CheckFailureHook previous = slot;
+  slot = hook;
+  return previous;
+}
+
 [[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
   std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", expr, file, line);
+  CheckFailureHook& slot = CheckFailureHookSlot();
+  if (slot != nullptr) {
+    CheckFailureHook hook = slot;
+    slot = nullptr;  // no recursion if the hook itself CHECK-fails
+    hook();
+  }
   std::abort();
 }
 

@@ -5,7 +5,10 @@
 
 #include "src/common/check.h"
 #include "src/common/logging.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/observability.h"
+#include "src/obs/watchdog.h"
 
 namespace hovercraft {
 
@@ -15,6 +18,24 @@ Cluster::Cluster(const ClusterConfig& config)
   HC_CHECK_GT(config_.nodes, 0);
   if (config_.obs != nullptr) {
     sim_.set_observability(config_.obs);
+  }
+  // Flight recorder: attached before any server is built so the very first
+  // role transition is already on record. An external recorder (shared by a
+  // harness across clusters) wins over the owned default; depth 0 opts out.
+  if (config_.flight_recorder != nullptr) {
+    active_recorder_ = config_.flight_recorder;
+  } else if (config_.flight_recorder_depth > 0) {
+    owned_recorder_ = std::make_unique<obs::FlightRecorder>(config_.flight_recorder_depth);
+    active_recorder_ = owned_recorder_.get();
+  }
+  if (active_recorder_ != nullptr) {
+    sim_.set_flight_recorder(active_recorder_);
+    if (config_.watchdog != nullptr) {
+      active_recorder_->AddSink(config_.watchdog);
+    }
+    if (config_.critical_path != nullptr) {
+      active_recorder_->AddSink(config_.critical_path);
+    }
   }
   const bool replicated = config_.mode != ClusterMode::kUnreplicated;
   HC_CHECK_GE(config_.spare_nodes, 0);
@@ -115,6 +136,17 @@ Cluster::~Cluster() {
   if (config_.obs != nullptr) {
     config_.obs->ClearSamplers();
   }
+  // Detach the (non-owning) sinks before the recorder — or the recorder's
+  // owner, for an external one — goes away.
+  if (active_recorder_ != nullptr) {
+    if (config_.watchdog != nullptr) {
+      active_recorder_->RemoveSink(config_.watchdog);
+    }
+    if (config_.critical_path != nullptr) {
+      active_recorder_->RemoveSink(config_.critical_path);
+    }
+    sim_.set_flight_recorder(nullptr);
+  }
 }
 
 void Cluster::InstallObservability() {
@@ -153,6 +185,12 @@ void Cluster::InstallObservability() {
                   [s]() { return s->app_thread().queue_length(); });
     o->AddSampler(scope + "nic_tx.depth",
                   [s]() { return s->nic_tx().queue_length(); });
+    if (s->disk() != nullptr) {
+      // WAL flush-queue depth: fsyncs waiting behind the in-flight one
+      // (group-commit pressure; storage observability satellite).
+      o->AddSampler(scope + "storage.flush_queue.depth",
+                    [s]() { return static_cast<int64_t>(s->disk()->queue_depth()); });
+    }
     if (s->raft() != nullptr) {
       o->AddSampler(scope + "raft.commit_lag", [s]() {
         return static_cast<int64_t>(s->raft()->commit_index() - s->raft()->applied_index());
@@ -260,6 +298,7 @@ void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
       metrics->SetCounter(prefix + "disk.appends", ds.appends);
       metrics->SetCounter(prefix + "disk.bytes_written", ds.bytes_written);
       metrics->SetCounter(prefix + "disk.syncs", ds.syncs);
+      metrics->SetCounter(prefix + "disk.sync_coalesced", ds.coalesced);
       metrics->SetCounter(prefix + "disk.crashes", ds.crashes);
       metrics->SetCounter(prefix + "disk.bytes_lost", ds.bytes_lost);
       metrics->SetCounter(prefix + "disk.torn_crashes", ds.torn_crashes);

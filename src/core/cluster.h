@@ -22,8 +22,11 @@
 namespace hovercraft {
 
 namespace obs {
+class CriticalPath;
+class FlightRecorder;
 class MetricsRegistry;
 class Observability;
+class Watchdog;
 }  // namespace obs
 
 struct ClusterConfig {
@@ -63,6 +66,23 @@ struct ClusterConfig {
   // Prefix for metric names in ExportMetrics, e.g. "hovercraft/r80000/";
   // lets several load points share one registry without colliding.
   std::string obs_scope;
+
+  // Always-on flight recorder: the cluster owns a FlightRecorder with this
+  // many slots per node and attaches it to its simulator, independent of the
+  // obs bundle above — post-mortem dumps work even with tracing off. 0
+  // disables recording entirely (the one-branch hot-path check still runs,
+  // but finds no recorder).
+  size_t flight_recorder_depth = 512;
+  // External recorder override (non-owning). When set, the cluster attaches
+  // this instead of building its own; flight_recorder_depth is ignored.
+  // Lets a harness share one recorder (and its sinks) across clusters.
+  obs::FlightRecorder* flight_recorder = nullptr;
+  // Optional online sinks (non-owning), attached to whichever recorder is
+  // active and detached in the destructor. The watchdog checks cross-node
+  // safety invariants on every event; the critical-path analyzer accumulates
+  // per-stage tail attribution.
+  obs::Watchdog* watchdog = nullptr;
+  obs::CriticalPath* critical_path = nullptr;
 };
 
 class Cluster {
@@ -174,6 +194,13 @@ class Cluster {
 
   ClusterConfig config_;
   Simulator sim_;
+  // Default flight recorder, built when no external one is supplied and
+  // flight_recorder_depth > 0. Declared before net_/servers_ so it outlives
+  // every host that records into it.
+  std::unique_ptr<obs::FlightRecorder> owned_recorder_;
+  // Whichever recorder (owned or external) the sinks were attached to; the
+  // destructor detaches them from here.
+  obs::FlightRecorder* active_recorder_ = nullptr;
   Network net_;
   std::vector<std::unique_ptr<ReplicatedServer>> servers_;
   std::vector<HostId> server_hosts_;

@@ -18,24 +18,29 @@ void FlowControl::HandleMessage(HostId src, const MessagePtr& msg) {
   if (const auto* req = dynamic_cast<const RpcRequest*>(msg.get())) {
     if (threshold_ > 0 && outstanding() >= threshold_ && open_.count(req->rid()) == 0) {
       ++nacked_;
+      obs::MarkStageAll(sim(), req->rid(), obs::Stage::kNacked, kInvalidNode, sim()->Now());
       if (auto* tracer = obs::TracerOf(sim())) {
-        tracer->MarkStage(req->rid(), obs::Stage::kNacked, kInvalidNode, sim()->Now());
         tracer->Instant(obs::TrackOfHost(id()), obs::kTidEvents, "nack", sim()->Now(),
                         "outstanding " + std::to_string(outstanding()) + "/" +
                             std::to_string(threshold_));
       }
+      RecordFlowOp(obs::FrFlowOp::kNack);
       Send(src, std::make_shared<NackMsg>(req->rid()));
       return;
     }
     // Admission is per rid: a retransmitted attempt re-uses its slot instead
     // of opening a second one that no FEEDBACK would ever repay.
-    open_.insert(req->rid());
+    if (open_.insert(req->rid()).second) {
+      RecordFlowOp(obs::FrFlowOp::kOpen);
+    }
     ++forwarded_;
     Send(group_, msg);
     return;
   }
   if (const auto* fb = dynamic_cast<const FeedbackMsg*>(msg.get())) {
-    open_.erase(fb->rid());  // idempotent: duplicate FEEDBACK is a no-op
+    if (open_.erase(fb->rid()) > 0) {  // idempotent: duplicate FEEDBACK is a no-op
+      RecordFlowOp(obs::FrFlowOp::kClose);
+    }
     return;
   }
   if (const auto* lc = dynamic_cast<const FcLeaderChangeMsg*>(msg.get())) {
@@ -67,6 +72,7 @@ void FlowControl::HandleMessage(HostId src, const MessagePtr& msg) {
       }
       if (open_.erase(rep->rids()[i]) > 0) {
         ++reconciled_released_;
+        RecordFlowOp(obs::FrFlowOp::kClose);
       }
     }
     if (reconcile_rounds_ >= kMaxReconcileRounds) {
@@ -75,6 +81,7 @@ void FlowControl::HandleMessage(HostId src, const MessagePtr& msg) {
       for (const RequestId& rid : reconcile_pending_) {
         if (open_.erase(rid) > 0) {
           ++force_released_;
+          RecordFlowOp(obs::FrFlowOp::kForceRelease);
           HC_LOG_WARN("flow control: force-released slot for rid {%d,%llu}", rid.client,
                       static_cast<unsigned long long>(rid.seq));
         }
@@ -89,6 +96,17 @@ void FlowControl::HandleMessage(HostId src, const MessagePtr& msg) {
     return;
   }
   HC_LOG_WARN("flow control: unexpected message %s", msg->Name());
+}
+
+void FlowControl::RecordFlowOp(obs::FrFlowOp op) {
+  // Ledger event for the watchdog's balance invariant: `a` is the open-slot
+  // count *after* the operation, so the event stream and the reported ledger
+  // must always agree — any drift is a leaked or double-released slot.
+  if (auto* fr = obs::FrOf(sim())) {
+    fr->Record(sim()->Now(), kInvalidNode, obs::FrType::kFlow,
+               static_cast<uint64_t>(open_.size()), static_cast<uint64_t>(threshold_),
+               static_cast<uint32_t>(op));
+  }
 }
 
 void FlowControl::SendReconcileQuery() {

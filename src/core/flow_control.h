@@ -24,6 +24,7 @@
 
 #include "src/common/types.h"
 #include "src/net/host.h"
+#include "src/obs/flight_recorder.h"
 #include "src/r2p2/request_id.h"
 
 namespace hovercraft {
@@ -54,6 +55,9 @@ class FlowControl final : public Host {
   static constexpr TimeNs kReconcileInterval = Millis(1);
 
   void SendReconcileQuery();
+  // Flight-recorder ledger event (open/close/nack/force-release), feeding the
+  // watchdog's flow-balance invariant. Called only on actual state changes.
+  void RecordFlowOp(obs::FrFlowOp op);
 
   Addr group_;
   int64_t threshold_;

@@ -24,7 +24,9 @@ ReplicatedServer::ReplicatedServer(Simulator* sim, const CostModel& costs,
     // does not perturb existing election/jitter draws. The fsync cost is the
     // paper's persist_latency knob; zero keeps syncs inline and event-free.
     disk_ = std::make_unique<SimDisk>(sim, seed ^ 0x5EEDD15Cu, config_.raft.persist_latency);
+    disk_->set_node(config_.raft.id);
     storage_ = std::make_unique<StableStorage>(disk_.get(), config_.fsync_policy);
+    storage_->set_node(config_.raft.id);
     raft_ = std::make_unique<RaftNode>(sim, seed, config_.raft, this);
     raft_->set_storage(storage_.get());
     genesis_app_state_ = app_->SnapshotState();
@@ -287,9 +289,7 @@ void ReplicatedServer::HandleMessage(HostId src, const MessagePtr& msg) {
 // ---------------------------------------------------------------------------
 
 void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request) {
-  if (auto* tracer = obs::TracerOf(sim())) {
-    tracer->MarkStage(request->rid(), obs::Stage::kReplicaRx, node_id(), sim()->Now());
-  }
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kReplicaRx, node_id(), sim()->Now());
   if (request->policy() == R2p2Policy::kUnrestricted) {
     // Non-replicated request (paper section 6.1): served by whichever
     // replica the client picked, bypassing consensus, with the possibility
@@ -383,13 +383,14 @@ bool ReplicatedServer::TryServeReadIndex(const std::shared_ptr<const RpcRequest>
     ++stats_.feedback_sent;
     Send(flow_control_host_, std::make_shared<FeedbackMsg>(request->rid()));
   }
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kReadGranted, node_id(), sim()->Now());
   if (grant.replier == node_id()) {
     ++stats_.read_index_local;
     if (apply_cursor_ >= grant.read_index) {
-      ExecuteLeasedRead(request);
+      ExecuteLeasedRead(request, sim()->Now());
     } else {
       ++stats_.read_index_queued;
-      pending_reads_.emplace_back(grant.read_index, request);
+      pending_reads_.push_back(PendingRead{grant.read_index, sim()->Now(), request});
     }
     return true;
   }
@@ -411,26 +412,35 @@ void ReplicatedServer::OnReadIndexGrant(const ReadIndexGrantMsg& grant) {
     return;
   }
   ++stats_.read_index_remote;
+  obs::MarkStageAll(sim(), grant.rid(), obs::Stage::kReadGranted, node_id(), sim()->Now());
   if (apply_cursor_ >= grant.read_index()) {
-    ExecuteLeasedRead(request);
+    ExecuteLeasedRead(request, sim()->Now());
   } else {
     ++stats_.read_index_queued;
-    pending_reads_.emplace_back(grant.read_index(), std::move(request));
+    pending_reads_.push_back(PendingRead{grant.read_index(), sim()->Now(), std::move(request)});
   }
 }
 
-void ReplicatedServer::ExecuteLeasedRead(const std::shared_ptr<const RpcRequest>& request) {
+void ReplicatedServer::ExecuteLeasedRead(const std::shared_ptr<const RpcRequest>& request,
+                                         TimeNs granted) {
   // Executes against the current applied prefix, which covers the granted
   // read index (the caller gated on apply_cursor_). The session table is
   // untouched: it must remain a deterministic function of the applied log,
   // and leased reads are invisible to the log.
   ExecResult result = app_->Execute(*request);
   ++stats_.ops_executed;
+  if (auto* o = obs::ObsOf(sim())) {
+    // Grant-to-execution wait: zero on the immediate path, the apply-cursor
+    // catch-up lag for queued reads. Puts leased reads on the per-stage map.
+    o->metrics()
+        .GetHistogram(obs::NodeScope(node_id()) + "raft.read_index_wait_ns")
+        .Record(sim()->Now() - granted);
+  }
+  const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyStart, node_id(), apply_start);
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyEnd, node_id(),
+                    apply_start + result.service_time);
   if (auto* tracer = obs::TracerOf(sim())) {
-    const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
-    tracer->MarkStage(request->rid(), obs::Stage::kApplyStart, node_id(), apply_start);
-    tracer->MarkStage(request->rid(), obs::Stage::kApplyEnd, node_id(),
-                      apply_start + result.service_time);
     tracer->Complete(obs::TrackOfHost(id()), obs::kTidApp, "apply", apply_start,
                      result.service_time);
   }
@@ -447,8 +457,8 @@ void ReplicatedServer::DrainPendingReads() {
   }
   size_t kept = 0;
   for (size_t i = 0; i < pending_reads_.size(); ++i) {
-    if (apply_cursor_ >= pending_reads_[i].first) {
-      ExecuteLeasedRead(pending_reads_[i].second);
+    if (apply_cursor_ >= pending_reads_[i].read_index) {
+      ExecuteLeasedRead(pending_reads_[i].request, pending_reads_[i].granted);
     } else {
       pending_reads_[kept++] = std::move(pending_reads_[i]);
     }
@@ -521,11 +531,11 @@ void ReplicatedServer::ExecuteUnreplicated(const std::shared_ptr<const RpcReques
   // bypass the middlebox as well.
   const bool send_feedback =
       (config_.mode == ClusterMode::kUnreplicated) && !request->is_retransmit();
+  const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyStart, node_id(), apply_start);
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyEnd, node_id(),
+                    apply_start + result.service_time);
   if (auto* tracer = obs::TracerOf(sim())) {
-    const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
-    tracer->MarkStage(request->rid(), obs::Stage::kApplyStart, node_id(), apply_start);
-    tracer->MarkStage(request->rid(), obs::Stage::kApplyEnd, node_id(),
-                      apply_start + result.service_time);
     tracer->Complete(obs::TrackOfHost(id()), obs::kTidApp, "apply", apply_start,
                      result.service_time);
   }
@@ -607,6 +617,10 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
   if (duplicate) {
     ++stats_.double_applies;  // dedup disabled: the anomaly, made visible
   }
+  if (auto* fr = obs::FrOf(sim())) {
+    fr->Record(sim()->Now(), self, obs::FrType::kApply,
+               static_cast<uint64_t>(entry.rid.client), entry.rid.seq, duplicate ? 1u : 0u);
+  }
 
   // Execute now (in log order — the state machine sees exactly the committed
   // prefix) and charge the service time to the app thread; the reply leaves
@@ -621,14 +635,15 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
   const bool reply_here = (entry.replier == self);
   const RequestId rid = entry.rid;
   const bool send_feedback = first_instance;
+  const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
+  if (reply_here) {
+    // Stage marks follow the designated replier — the copy whose execution
+    // produces the reply the client is waiting on.
+    obs::MarkStageAll(sim(), rid, obs::Stage::kApplyStart, self, apply_start);
+    obs::MarkStageAll(sim(), rid, obs::Stage::kApplyEnd, self,
+                      apply_start + result.service_time);
+  }
   if (auto* tracer = obs::TracerOf(sim())) {
-    const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
-    if (reply_here) {
-      // Stage marks follow the designated replier — the copy whose execution
-      // produces the reply the client is waiting on.
-      tracer->MarkStage(rid, obs::Stage::kApplyStart, self, apply_start);
-      tracer->MarkStage(rid, obs::Stage::kApplyEnd, self, apply_start + result.service_time);
-    }
     tracer->Complete(obs::TrackOfHost(id()), obs::kTidApp, "apply", apply_start,
                      result.service_time);
   }
@@ -652,9 +667,7 @@ void ReplicatedServer::SendReply(const RequestId& rid, Body body, bool send_feed
     return;
   }
   ++stats_.replies_sent;
-  if (auto* tracer = obs::TracerOf(sim())) {
-    tracer->MarkStage(rid, obs::Stage::kReplySent, node_id(), sim()->Now());
-  }
+  obs::MarkStageAll(sim(), rid, obs::Stage::kReplySent, node_id(), sim()->Now());
   // R2P2 lets the reply's source differ from the request's destination — the
   // mechanism enabling reply load balancing (paper section 3.3).
   Send(rid.client, std::make_shared<RpcResponse>(rid, std::move(body)));

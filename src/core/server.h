@@ -187,7 +187,9 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   void OnReadIndexGrant(const ReadIndexGrantMsg& grant);
   // Execute a leased read against the current applied state (never touches
   // the session table — the tables stay a pure function of the log).
-  void ExecuteLeasedRead(const std::shared_ptr<const RpcRequest>& request);
+  // `granted` is when the lease grant covered this read, for the
+  // raft.read_index_wait_ns histogram (grant -> execution).
+  void ExecuteLeasedRead(const std::shared_ptr<const RpcRequest>& request, TimeNs granted);
   void DrainPendingReads();
   void ScheduleApply(LogIndex idx);
   void SendReply(const RequestId& rid, Body body, bool send_feedback = true);
@@ -237,7 +239,12 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   // Leased reads waiting for the apply cursor to reach their read index;
   // drained whenever the cursor advances. Volatile — lost on crash, and the
   // client's retransmission timer re-issues the read.
-  std::vector<std::pair<LogIndex, std::shared_ptr<const RpcRequest>>> pending_reads_;
+  struct PendingRead {
+    LogIndex read_index;
+    TimeNs granted;  // when the lease grant covered this read
+    std::shared_ptr<const RpcRequest> request;
+  };
+  std::vector<PendingRead> pending_reads_;
 
   // Maintenance timers; re-arming cancels the previous handle so restarts
   // never stack duplicate GC/compaction chains.

@@ -101,9 +101,7 @@ void ClientHost::SendOne() {
   if (observer_ != nullptr) {
     observer_->OnInvoke(id(), seq, policy, request->body(), now);
   }
-  if (auto* tracer = obs::TracerOf(sim())) {
-    tracer->MarkStage(rid, obs::Stage::kClientSend, kInvalidNode, now);
-  }
+  obs::MarkStageAll(sim(), rid, obs::Stage::kClientSend, kInvalidNode, now);
   Send(dst, std::move(request));
   if (retry_policy_.enabled) {
     ArmRetryTimer(seq, 1);
@@ -145,8 +143,8 @@ void ClientHost::ArmRetryTimer(uint64_t seq, uint32_t attempt) {
     ++pending.attempts;
     ++total_retransmits_;
     const RequestId rid{id(), seq};
+    obs::MarkStageAll(sim(), rid, obs::Stage::kRetransmit, kInvalidNode, now);
     if (auto* tracer = obs::TracerOf(sim())) {
-      tracer->MarkStage(rid, obs::Stage::kRetransmit, kInvalidNode, now);
       tracer->Instant(obs::kClusterPid, obs::kTidEvents, "retransmit", now,
                       "c" + std::to_string(id()) + ":" + std::to_string(seq) +
                           " attempt " + std::to_string(pending.attempts));
@@ -211,9 +209,7 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
         timeseries_->Record(sim()->Now(), latency);
       }
       ResolveForAck(seq);
-      if (auto* tracer = obs::TracerOf(sim())) {
-        tracer->MarkStage(resp->rid(), obs::Stage::kComplete, kInvalidNode, sim()->Now());
-      }
+      obs::MarkStageAll(sim(), resp->rid(), obs::Stage::kComplete, kInvalidNode, sim()->Now());
       if (observer_ != nullptr) {
         observer_->OnComplete(id(), seq, resp->body(), sim()->Now());
       }
@@ -236,9 +232,7 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
         timeseries_->Record(sim()->Now(), latency);
       }
       ResolveForAck(seq);
-      if (auto* tracer = obs::TracerOf(sim())) {
-        tracer->MarkStage(resp->rid(), obs::Stage::kComplete, kInvalidNode, sim()->Now());
-      }
+      obs::MarkStageAll(sim(), resp->rid(), obs::Stage::kComplete, kInvalidNode, sim()->Now());
       if (observer_ != nullptr) {
         observer_->OnComplete(id(), seq, resp->body(), sim()->Now());
       }

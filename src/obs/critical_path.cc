@@ -1,0 +1,188 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hovercraft {
+namespace obs {
+namespace {
+
+constexpr TimeNs kUnseen = -1;
+
+struct Population {
+  const char* name;
+  double quantile;
+};
+constexpr Population kPopulations[] = {
+    {"p50", 0.50},
+    {"p99", 0.99},
+    {"p99.9", 0.999},
+};
+
+}  // namespace
+
+void CriticalPath::OnFrEvent(const FrEvent& event) {
+  if (event.type != FrType::kStage) {
+    return;
+  }
+  const Stage stage = static_cast<Stage>(event.c);
+  const RequestId rid{static_cast<HostId>(event.a), event.b};
+  if (stage == Stage::kNacked) {
+    // Flow control pushed the request back; it will be retried under a new
+    // client-send mark, so the partial chain is not a completed request.
+    pending_.erase(rid);
+    return;
+  }
+  auto [it, inserted] = pending_.try_emplace(rid);
+  if (inserted) {
+    it->second.marks.fill(kUnseen);
+  }
+  TimeNs& mark = it->second.marks[static_cast<size_t>(stage)];
+  if (mark == kUnseen) {
+    mark = event.ts;
+  }
+  if (stage == Stage::kComplete) {
+    Finalize(rid, it->second);
+    pending_.erase(it);
+  }
+}
+
+void CriticalPath::Finalize(const RequestId& rid, Pending& pending) {
+  (void)rid;
+  const TimeNs start = pending.marks[static_cast<size_t>(Stage::kClientSend)];
+  const TimeNs end = pending.marks[static_cast<size_t>(Stage::kComplete)];
+  if (start == kUnseen || end < start) {
+    return;  // partial chain (e.g. recorder attached mid-flight)
+  }
+  // Order the in-window marks by (timestamp, pipeline position) and blame
+  // each consecutive delta on the stage it ended at. The deltas telescope:
+  // their sum is exactly end - start.
+  struct Mark {
+    TimeNs ts;
+    size_t stage;
+  };
+  std::array<Mark, kStageCount> chain;
+  size_t n = 0;
+  for (size_t s = 0; s < kStageCount; ++s) {
+    const TimeNs ts = pending.marks[s];
+    if (ts != kUnseen && ts >= start && ts <= end) {
+      chain[n++] = Mark{ts, s};
+    }
+  }
+  std::sort(chain.begin(), chain.begin() + n, [](const Mark& lhs, const Mark& rhs) {
+    return lhs.ts != rhs.ts ? lhs.ts < rhs.ts : lhs.stage < rhs.stage;
+  });
+  Done done;
+  done.e2e = end - start;
+  for (size_t i = 1; i < n; ++i) {
+    done.blame[chain[i].stage] += chain[i].ts - chain[i - 1].ts;
+  }
+  done_.push_back(done);
+}
+
+std::vector<CriticalPath::Row> CriticalPath::Attribution() const {
+  std::vector<Row> rows;
+  if (done_.empty()) {
+    return rows;
+  }
+  std::vector<const Done*> by_e2e;
+  by_e2e.reserve(done_.size());
+  for (const Done& d : done_) {
+    by_e2e.push_back(&d);
+  }
+  std::stable_sort(by_e2e.begin(), by_e2e.end(),
+                   [](const Done* lhs, const Done* rhs) { return lhs->e2e < rhs->e2e; });
+  const size_t n = by_e2e.size();
+  for (const Population& pop : kPopulations) {
+    // A narrow rank window around the percentile: wide enough to average out
+    // one odd request, narrow enough to stay representative of the tail.
+    const size_t center =
+        static_cast<size_t>(std::llround(pop.quantile * static_cast<double>(n - 1)));
+    const size_t window = std::max<size_t>(1, n / 200);
+    const size_t lo = center >= window ? center - window : 0;
+    const size_t hi = std::min(n - 1, center + window);
+    Row row;
+    row.population = pop.name;
+    row.percentile_ns = by_e2e[center]->e2e;
+    for (size_t i = lo; i <= hi; ++i) {
+      ++row.count;
+      row.e2e_ns += static_cast<double>(by_e2e[i]->e2e);
+      for (size_t s = 0; s < kStageCount; ++s) {
+        row.blame_ns[s] += static_cast<double>(by_e2e[i]->blame[s]);
+      }
+    }
+    row.e2e_ns /= static_cast<double>(row.count);
+    for (double& blame : row.blame_ns) {
+      blame /= static_cast<double>(row.count);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string CriticalPath::AttributionTable(const std::string& label) const {
+  std::ostringstream out;
+  out << "tail_attribution";
+  if (!label.empty()) {
+    out << " [" << label << "]";
+  }
+  out << " (" << done_.size() << " requests)\n";
+  const std::vector<Row> rows = Attribution();
+  if (rows.empty()) {
+    out << "  (no completed requests)\n";
+    return out.str();
+  }
+  // Print only stages that carry blame in some population.
+  std::vector<size_t> stages;
+  for (size_t s = 0; s < kStageCount; ++s) {
+    for (const Row& row : rows) {
+      if (row.blame_ns[s] > 0) {
+        stages.push_back(s);
+        break;
+      }
+    }
+  }
+  char buf[160];
+  out << "  population        count         e2e_us   percentile_us\n";
+  for (const Row& row : rows) {
+    std::snprintf(buf, sizeof(buf), "  %-10s %10" PRIu64 " %14.3f %14.3f\n",
+                  row.population, row.count, row.e2e_ns / 1e3,
+                  static_cast<double>(row.percentile_ns) / 1e3);
+    out << buf;
+    for (size_t s : stages) {
+      if (row.blame_ns[s] <= 0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), "    %-22s %10.3f us  (%4.1f%%)\n",
+                    StageName(static_cast<Stage>(s)), row.blame_ns[s] / 1e3,
+                    100.0 * row.blame_ns[s] / row.e2e_ns);
+      out << buf;
+    }
+  }
+  return out.str();
+}
+
+double CriticalPath::MaxSumError() const {
+  double worst = 0;
+  for (const Row& row : Attribution()) {
+    double sum = 0;
+    for (double blame : row.blame_ns) {
+      sum += blame;
+    }
+    if (row.e2e_ns > 0) {
+      worst = std::max(worst, std::abs(sum - row.e2e_ns) / row.e2e_ns);
+    }
+  }
+  return worst;
+}
+
+void CriticalPath::Clear() {
+  pending_.clear();
+  done_.clear();
+}
+
+}  // namespace obs
+}  // namespace hovercraft

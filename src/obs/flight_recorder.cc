@@ -1,0 +1,200 @@
+#include "src/obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+namespace obs {
+namespace {
+
+// Latest-constructed recorder; the CHECK-failure hook dumps this one.
+FlightRecorder* g_active = nullptr;
+
+void DumpActiveOnCheckFailure() {
+  if (g_active != nullptr) {
+    g_active->DumpNow("CHECK failure");
+  }
+}
+
+// Chrome trace timestamps are microseconds; keep nanosecond precision as a
+// fixed three-decimal fraction (same format as the tracer, so the dump and a
+// full trace of the identical run line up sample for sample).
+void AppendTs(std::string& out, TimeNs ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000, ns % 1000);
+  out += buf;
+}
+
+}  // namespace
+
+const char* FrTypeName(FrType type) {
+  switch (type) {
+    case FrType::kStage:
+      return "stage";
+    case FrType::kRole:
+      return "role";
+    case FrType::kCommit:
+      return "commit";
+    case FrType::kCommitLoss:
+      return "commit_loss";
+    case FrType::kDurable:
+      return "durable";
+    case FrType::kLeaseGrant:
+      return "lease_grant";
+    case FrType::kLeaseExpire:
+      return "lease_expire";
+    case FrType::kConfig:
+      return "config";
+    case FrType::kWalFlush:
+      return "wal_flush";
+    case FrType::kRecovery:
+      return "recovery";
+    case FrType::kApply:
+      return "apply";
+    case FrType::kFlow:
+      return "flow";
+    case FrType::kViolation:
+      return "violation";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t depth) {
+  size_t rounded = 1;
+  while (rounded < depth) {
+    rounded <<= 1;
+  }
+  mask_ = rounded - 1;
+  rings_.reserve(8);
+  g_active = this;
+  SetCheckFailureHook(&DumpActiveOnCheckFailure);
+}
+
+FlightRecorder::~FlightRecorder() {
+  if (g_active == this) {
+    g_active = nullptr;
+  }
+}
+
+FlightRecorder* FlightRecorder::active() { return g_active; }
+
+void FlightRecorder::GrowRing(size_t idx) {
+  // Allocate densely through idx so the hot-path guard stays a single
+  // limit compare (no per-ring null check). Node ids are small and dense in
+  // practice, so the worst case is a handful of idle slabs.
+  rings_.resize(idx + 1);
+  for (size_t i = ring_limit_; i <= idx; ++i) {
+    slabs_.push_back(std::make_unique<FrEvent[]>(mask_ + 1));
+    rings_[i].events = slabs_.back().get();
+  }
+  ring_limit_ = idx + 1;
+}
+
+void FlightRecorder::Dispatch(const FrEvent& event) {
+  for (int i = 0; i < sink_count_; ++i) {
+    sinks_[i]->OnFrEvent(event);
+  }
+}
+
+void FlightRecorder::AddSink(Sink* sink) {
+  HC_CHECK(sink != nullptr);
+  HC_CHECK_LT(sink_count_, kMaxSinks);
+  sinks_[sink_count_++] = sink;
+}
+
+void FlightRecorder::RemoveSink(Sink* sink) {
+  for (int i = 0; i < sink_count_; ++i) {
+    if (sinks_[i] == sink) {
+      for (int j = i; j + 1 < sink_count_; ++j) {
+        sinks_[j] = sinks_[j + 1];
+      }
+      sinks_[--sink_count_] = nullptr;
+      return;
+    }
+  }
+}
+
+void FlightRecorder::WriteDump(std::ostream& out) const {
+  // Collect the surviving window of every ring, then merge by (ts, node, seq)
+  // so the dump is a single deterministic cluster-wide timeline.
+  std::vector<const FrEvent*> merged;
+  for (const Ring& ring : rings_) {
+    if (ring.count == 0) {
+      continue;
+    }
+    const uint64_t kept = std::min<uint64_t>(ring.count, mask_ + 1);
+    for (uint64_t i = ring.count - kept; i < ring.count; ++i) {
+      merged.push_back(&ring.events[i & mask_]);
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const FrEvent* a, const FrEvent* b) {
+    if (a->ts != b->ts) return a->ts < b->ts;
+    if (a->node != b->node) return a->node < b->node;
+    return a->seq < b->seq;
+  });
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& obj) {
+    out << (first ? "\n" : ",\n") << obj;
+    first = false;
+  };
+  // Track metadata: one process per node ring that recorded anything.
+  std::vector<int32_t> pids;
+  for (size_t idx = 0; idx < rings_.size(); ++idx) {
+    if (rings_[idx].count > 0) {
+      pids.push_back(static_cast<int32_t>(idx));
+    }
+  }
+  for (int32_t pid : pids) {
+    const std::string name =
+        pid == 0 ? std::string("cluster") : "node " + std::to_string(pid - 1);
+    emit("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"args\":{\"name\":\"" + name + "\"}}");
+  }
+  for (const FrEvent* e : merged) {
+    std::string obj = "{\"ph\":\"i\",\"name\":\"";
+    obj += FrTypeName(e->type);
+    obj += "\",\"cat\":\"fr\",\"pid\":" + std::to_string(static_cast<int32_t>(e->node + 1)) +
+           ",\"tid\":0,\"ts\":";
+    AppendTs(obj, e->ts);
+    obj += ",\"s\":\"t\",\"args\":{\"a\":" + std::to_string(e->a) +
+           ",\"b\":" + std::to_string(e->b) + ",\"c\":" + std::to_string(e->c) +
+           ",\"seq\":" + std::to_string(e->seq) + "}}";
+    emit(obj);
+  }
+  out << "\n],\"otherData\":{\"recorded\":" << recorded() << ",\"dumped\":" << merged.size()
+      << ",\"repro\":\"" << repro_ << "\"}}";
+  out << "\n";
+}
+
+void FlightRecorder::DumpNow(const char* reason) {
+  if (dumped_) {
+    return;
+  }
+  dumped_ = true;
+  if (!dump_path_.empty()) {
+    std::ofstream out(dump_path_, std::ios::binary);
+    if (out) {
+      WriteDump(out);
+      std::fprintf(stderr, "flight recorder: %s — dumped last events to %s (%llu recorded)\n",
+                   reason, dump_path_.c_str(), static_cast<unsigned long long>(recorded()));
+    } else {
+      std::fprintf(stderr, "flight recorder: %s — cannot write %s\n", reason,
+                   dump_path_.c_str());
+    }
+  } else {
+    std::fprintf(stderr, "flight recorder: %s — %llu events recorded (no --dump-out path)\n",
+                 reason, static_cast<unsigned long long>(recorded()));
+  }
+  if (!repro_.empty()) {
+    std::fprintf(stderr, "flight recorder: repro: %s\n", repro_.c_str());
+  }
+}
+
+}  // namespace obs
+}  // namespace hovercraft

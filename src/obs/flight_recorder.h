@@ -1,0 +1,189 @@
+// Always-on flight recorder: a fixed-size, slab-allocated per-node ring of
+// compact binary events, recorded even when JSON tracing is off.
+//
+// The recorder is the black box of a run. Every node continuously records
+// stage marks, role/term changes, commit/durable-index advances, lease
+// grants, config changes and WAL flush boundaries into a power-of-two ring;
+// the hot path is one branch (is a recorder installed?) plus one 48-byte
+// store, with zero allocation after construction. When something goes wrong —
+// a CHECK failure, a watchdog violation, a chaos verdict failure — the last
+// `depth` events per node are dumped as a deterministic, replay-matching
+// Chrome trace together with a one-line repro command, so the moments before
+// the failure are always recoverable without re-running under a tracer.
+//
+// Subscribers (obs::Watchdog, obs::CriticalPath) observe the same hook
+// stream through Sink; they are passive readers and never schedule simulator
+// events, so recording cannot perturb the run it observes (the same
+// zero-perturbation contract the tracer keeps, asserted by tests and CI).
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace hovercraft {
+namespace obs {
+
+// Event kinds. The a/b/c payload fields are typed per kind (see the comment
+// on each); `node` is the acting Raft node, kInvalidNode for cluster-scope
+// events (client stages, flow control).
+enum class FrType : uint8_t {
+  kStage = 0,     // a=rid.client, b=rid.seq, c=Stage
+  kRole,          // a=term, b=FrRole, c=1 if the node is recovery-suspect
+  kCommit,        // a=committed idx, b=entry term at idx, c=raft term (low 32)
+  kCommitLoss,    // a=new last idx, b=old commit idx (committed entries overwritten)
+  kDurable,       // a=durable idx, b=restart epoch
+  kLeaseGrant,    // a=read_index, b=designated replier (as u64), c=term (low 32)
+  kLeaseExpire,   // a=rejection count, c=term (low 32) — grant refused, lease stale
+  kConfig,        // a=config log idx, b=member count
+  kWalFlush,      // a=durable idx covered, b=flush latency ns
+  kRecovery,      // a=FrRecovery, b=kind-specific (floor, bytes, idx)
+  kApply,         // a=rid.client, b=rid.seq, c=1 if session table says duplicate
+  kFlow,          // a=open slots after the op, b=threshold, c=FrFlowOp
+  kViolation,     // a=WatchdogCode — recorded by the watchdog at detection
+};
+constexpr size_t kFrTypeCount = 13;
+const char* FrTypeName(FrType type);
+
+// kRole payload b.
+enum class FrRole : uint8_t { kFollower = 0, kPreCandidate, kCandidate, kLeader };
+
+// kRecovery payload a.
+enum class FrRecovery : uint8_t {
+  kRestart = 0,    // node restarted from WAL; b = recovered commit baseline
+  kTornTail,       // torn unsynced tail truncated; b = bytes dropped
+  kCrcHole,        // CRC-failed record, durable bytes lost; b = record offset
+  kSuspectEnter,   // recovery lost durable data; b = suspect_floor
+  kSuspectRepair,  // commit caught back up to the suspect floor; b = commit
+  kTruncate,       // conflicting (uncommitted) log suffix cut; b = new durable idx.
+                   // Legitimately lowers the durable index — the watchdog resets
+                   // its durable-monotonicity floor here, never the commit floor.
+};
+
+// kFlow payload c.
+enum class FrFlowOp : uint8_t { kOpen = 0, kClose, kNack, kForceRelease };
+
+struct alignas(16) FrEvent {
+  TimeNs ts = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t seq = 0;  // per-node record order; (ts, node, seq) is the
+                     // deterministic dump ordering
+  uint32_t c = 0;
+  NodeId node = kInvalidNode;
+  FrType type = FrType::kStage;
+};
+static_assert(sizeof(FrEvent) == 48, "hot-path store is three 16-byte writes");
+
+class FlightRecorder {
+ public:
+  // Passive subscriber to the recorded stream. Sinks must not schedule
+  // simulator events or mutate simulation state.
+  class Sink {
+   public:
+    virtual ~Sink() = default;
+    virtual void OnFrEvent(const FrEvent& event) = 0;
+  };
+
+  static constexpr size_t kDefaultDepth = 512;
+
+  // `depth` is the per-node ring capacity, rounded up to a power of two.
+  explicit FlightRecorder(size_t depth = kDefaultDepth);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Hot path: one bounds check, one ring store, one sink branch. Inline so
+  // the always-on cost stays within the perf-smoke gate (<= 5% on
+  // sim_throughput's event loop).
+  void Record(TimeNs ts, NodeId node, FrType type, uint64_t a = 0, uint64_t b = 0,
+              uint32_t c = 0) {
+    const size_t idx = static_cast<size_t>(node + 1);  // kInvalidNode -> ring 0
+    if (idx >= ring_limit_) [[unlikely]] {
+      GrowRing(idx);  // allocates slabs densely, so idx < ring_limit_ => slab exists
+    }
+    Ring& ring = rings_[idx];
+    const uint64_t n = ring.count++;
+    FrEvent* slot = ring.events + (n & mask_);
+    *slot = FrEvent{ts, a, b, n, c, node, type};  // one aligned 48-byte store
+    if (sink_count_ != 0) [[unlikely]] {
+      Dispatch(*slot);
+    }
+  }
+
+  void AddSink(Sink* sink);
+  void RemoveSink(Sink* sink);
+
+  // Total events recorded (including those that have rotated out of a ring).
+  uint64_t recorded() const {
+    uint64_t total = 0;
+    for (const Ring& ring : rings_) {
+      total += ring.count;
+    }
+    return total;
+  }
+  size_t depth() const { return mask_ + 1; }
+
+  // One-line command that reproduces the run being recorded, e.g.
+  // "chaos_runner --schedule=flap --seed=3". Printed with every dump.
+  void set_repro(std::string command) { repro_ = std::move(command); }
+  const std::string& repro() const { return repro_; }
+
+  // File the next DumpNow writes ("" = stderr summary only).
+  void set_dump_path(std::string path) { dump_path_ = std::move(path); }
+  const std::string& dump_path() const { return dump_path_; }
+
+  // Writes the surviving events of every ring, merged and sorted by
+  // (ts, seq), as deterministic Chrome trace-event JSON. The same run at the
+  // same seed produces byte-identical output (replay-matching: the events
+  // are a pure function of the simulation).
+  void WriteDump(std::ostream& out) const;
+
+  // Failure path: writes dump_path_ (when set) and prints a one-line summary
+  // plus the repro command to stderr. Reentrancy-safe and idempotent per
+  // process — only the first dump writes, so a violation dump is not
+  // overwritten by the verdict-failure dump that follows it.
+  void DumpNow(const char* reason);
+
+  // The process-wide recorder the CHECK-failure hook dumps (latest
+  // constructed recorder wins; cleared on destruction).
+  static FlightRecorder* active();
+
+ private:
+  // 16 bytes so rings_[idx] is shift addressing on the hot path; the slab
+  // itself is owned by slabs_.
+  struct Ring {
+    FrEvent* events = nullptr;  // slab of `depth` slots
+    uint64_t count = 0;         // total records; head = count & mask
+  };
+
+  void GrowRing(size_t idx);
+  void Dispatch(const FrEvent& event);
+
+  // Hot-path members first: Record touches mask_, ring_limit_, sink_count_
+  // and the rings_ data pointer, all within the object's first cache line.
+  size_t mask_;
+  size_t ring_limit_ = 0;  // rings_[0..ring_limit_) all have slabs
+  int sink_count_ = 0;
+  std::vector<Ring> rings_;
+  std::vector<std::unique_ptr<FrEvent[]>> slabs_;
+  static constexpr int kMaxSinks = 2;  // watchdog + critical-path analyzer
+  Sink* sinks_[kMaxSinks] = {nullptr, nullptr};
+  std::string repro_;
+  std::string dump_path_;
+  bool dumped_ = false;
+};
+
+// Hot-path accessor: one pointer load + branch when no recorder is installed.
+inline FlightRecorder* FrOf(const Simulator* sim) { return sim->flight_recorder(); }
+
+}  // namespace obs
+}  // namespace hovercraft
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/tracer.h"
 #include "src/sim/simulator.h"
@@ -71,6 +72,21 @@ inline Observability* ObsOf(const Simulator* sim) { return sim->observability();
 inline Tracer* TracerOf(const Simulator* sim) {
   Observability* o = ObsOf(sim);
   return o == nullptr ? nullptr : o->tracer();
+}
+
+// Dual-recording stage mark: the JSON tracer (only when tracing is on) and
+// the always-on flight recorder (whenever one is installed) both see every
+// pipeline stage, so the critical-path analyzer and post-mortem dumps work
+// without a tracer attached.
+inline void MarkStageAll(const Simulator* sim, const RequestId& rid, Stage stage,
+                         NodeId node, TimeNs ts) {
+  if (Tracer* tracer = TracerOf(sim)) {
+    tracer->MarkStage(rid, stage, node, ts);
+  }
+  if (FlightRecorder* fr = sim->flight_recorder()) {
+    fr->Record(ts, node, FrType::kStage, static_cast<uint64_t>(rid.client), rid.seq,
+               static_cast<uint32_t>(stage));
+  }
 }
 
 }  // namespace obs

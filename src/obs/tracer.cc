@@ -66,6 +66,8 @@ constexpr BreakdownSpec kBreakdown[] = {
     {Stage::kReplicaRx, Stage::kOrdered, "ordering (rx->ordered)"},
     {Stage::kOrdered, Stage::kDispatched, "dispatch (ordered->assigned)"},
     {Stage::kOrdered, Stage::kCommitted, "commit (ordered->committed)"},
+    {Stage::kReplicaRx, Stage::kReadGranted, "read wait (rx->granted)"},
+    {Stage::kReadGranted, Stage::kApplyStart, "read dispatch (granted->apply)"},
     {Stage::kCommitted, Stage::kApplyStart, "apply queue (committed->apply)"},
     {Stage::kApplyStart, Stage::kApplyEnd, "apply (execute)"},
     {Stage::kApplyEnd, Stage::kReplySent, "reply send (apply->tx)"},
@@ -89,6 +91,8 @@ const char* StageName(Stage stage) {
       return "committed";
     case Stage::kDispatched:
       return "dispatched";
+    case Stage::kReadGranted:
+      return "read_granted";
     case Stage::kApplyStart:
       return "apply_start";
     case Stage::kApplyEnd:

@@ -52,13 +52,14 @@ enum class Stage : uint8_t {
   kOrdered,         // leader appended the entry (append_entries ordering)
   kCommitted,       // entry covered by the commit index
   kDispatched,      // JBSQ/random replier assignment announced
+  kReadGranted,     // ReadIndex lease grant covered this read-only request
   kApplyStart,      // state-machine execution began on the app thread
   kApplyEnd,        // state-machine execution finished
   kReplySent,       // reply handed to the replier's NIC
   kComplete,        // client received the (first) reply
   kNacked,          // flow control pushed the request back (terminal)
 };
-constexpr size_t kStageCount = 11;
+constexpr size_t kStageCount = 12;
 const char* StageName(Stage stage);
 
 class Tracer {

@@ -10,6 +10,19 @@
 
 namespace hovercraft {
 
+namespace {
+
+// Flight-recorder role transition: a=term, b=FrRole, c=recovery-suspect flag
+// (the watchdog's election-safety and suspect-floor invariants key off this).
+void RecordRole(Simulator* sim, NodeId node, Term term, obs::FrRole role, bool suspect) {
+  if (auto* fr = obs::FrOf(sim)) {
+    fr->Record(sim->Now(), node, obs::FrType::kRole, term,
+               static_cast<uint64_t>(role), suspect ? 1u : 0u);
+  }
+}
+
+}  // namespace
+
 const char* RaftRoleName(RaftRole role) {
   switch (role) {
     case RaftRole::kFollower:
@@ -126,7 +139,8 @@ void RaftNode::ScheduleDurability(LogIndex tail) {
   // it with an entry of a different term, never the same one).
   const uint64_t epoch = restart_epoch_;
   const Term tail_term = log_.TermAt(tail);
-  storage_->Sync([this, tail, tail_term, epoch]() {
+  const TimeNs scheduled = sim_->Now();
+  storage_->Sync([this, tail, tail_term, epoch, scheduled]() {
     if (halted_ || epoch != restart_epoch_) {
       ++stats_.acks_dropped_crash;
       return;
@@ -139,6 +153,11 @@ void RaftNode::ScheduleDurability(LogIndex tail) {
       return;  // truncated or replaced since the barrier was scheduled
     }
     durable_index_ = tail;
+    if (auto* fr = obs::FrOf(sim_)) {
+      fr->Record(sim_->Now(), options_.id, obs::FrType::kDurable, tail, epoch);
+      fr->Record(sim_->Now(), options_.id, obs::FrType::kWalFlush, tail,
+                 static_cast<uint64_t>(sim_->Now() - scheduled));
+    }
     if (role_ == RaftRole::kLeader) {
       // The leader's own quorum contribution just advanced.
       AdvanceCommitFromMatches();
@@ -159,6 +178,10 @@ void RaftNode::MaybeClearSuspect() {
     tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
                     "suspect-repaired", sim_->Now(),
                     "floor " + std::to_string(suspect_floor_));
+  }
+  if (auto* fr = obs::FrOf(sim_)) {
+    fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+               static_cast<uint64_t>(obs::FrRecovery::kSuspectRepair), commit_idx_);
   }
   if (role_ == RaftRole::kFollower && election_timer_ == kInvalidEvent && CanCampaign()) {
     ArmElectionTimer();
@@ -218,6 +241,14 @@ void RaftNode::RestartFromRecovery(const StableStorage::Recovery& rec, LogIndex 
   if (suspect_) {
     HC_LOG_INFO("node %d: suspect recovery; campaigning blocked until commit >= %llu",
                 options_.id, static_cast<unsigned long long>(suspect_floor_));
+  }
+  if (auto* fr = obs::FrOf(sim_)) {
+    fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+               static_cast<uint64_t>(obs::FrRecovery::kRestart), commit_idx_);
+    if (suspect_) {
+      fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+                 static_cast<uint64_t>(obs::FrRecovery::kSuspectEnter), suspect_floor_);
+    }
   }
   MaybeClearSuspect();
 }
@@ -438,6 +469,7 @@ void RaftNode::BecomeFollower(Term term, bool reset_vote) {
   if (was_leader) {
     env_->OnLeadershipChanged(false);
   }
+  RecordRole(sim_, options_.id, current_term_, obs::FrRole::kFollower, suspect_);
   ArmElectionTimer();
 }
 
@@ -455,6 +487,7 @@ void RaftNode::StartPreVote() {
     tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
                     "prevote", sim_->Now(), "term " + std::to_string(pre_vote_term_));
   }
+  RecordRole(sim_, options_.id, pre_vote_term_, obs::FrRole::kPreCandidate, suspect_);
   // Retry the poll on silence. This is the cycle's only RNG draw: a winning
   // poll enters StartElection with this timer still armed and draws nothing,
   // so the draw order matches a non-PreVote run arm for arm.
@@ -500,6 +533,7 @@ void RaftNode::StartElection() {
     tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
                     "election", sim_->Now(), "term " + std::to_string(current_term_));
   }
+  RecordRole(sim_, options_.id, current_term_, obs::FrRole::kCandidate, suspect_);
   if (!timer_covered) {
     ArmElectionTimer();  // retry on split vote
   }
@@ -528,6 +562,7 @@ void RaftNode::BecomeLeader() {
     tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
                     "leader", sim_->Now(), "term " + std::to_string(current_term_));
   }
+  RecordRole(sim_, options_.id, current_term_, obs::FrRole::kLeader, suspect_);
 
   for (NodeId p = 0; p < options_.cluster_size; ++p) {
     PeerState& st = peers_[static_cast<size_t>(p)];
@@ -627,9 +662,7 @@ bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request, bool all
   ++stats_.entries_appended;
   StorageAppendEntry(idx);
   ScheduleDurability(idx);
-  if (auto* tracer = obs::TracerOf(sim_)) {
-    tracer->MarkStage(rid, obs::Stage::kOrdered, options_.id, sim_->Now());
-  }
+  obs::MarkStageAll(sim_, rid, obs::Stage::kOrdered, options_.id, sim_->Now());
   if (!options_.assign_repliers) {
     announced_idx_ = idx;
   }
@@ -669,7 +702,19 @@ RaftNode::ReadGrant RaftNode::AcquireReadIndex() {
     }
   }
   if (contacted < active_config().majority()) {
+    // The lease lapsed: no quorum contact inside the window, so serving the
+    // read locally could race a newer leader. Refuse and let the server fall
+    // back to the commit path.
     ++stats_.read_index_rejected;
+    if (auto* tracer = obs::TracerOf(sim_)) {
+      tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
+                      "lease-expired", sim_->Now(),
+                      "term " + std::to_string(current_term_));
+    }
+    if (auto* fr = obs::FrOf(sim_)) {
+      fr->Record(sim_->Now(), options_.id, obs::FrType::kLeaseExpire,
+                 stats_.read_index_rejected, 0, static_cast<uint32_t>(current_term_));
+    }
     return grant;
   }
   ++stats_.read_index_served;
@@ -699,6 +744,11 @@ RaftNode::ReadGrant RaftNode::AcquireReadIndex() {
                     "read-index", sim_->Now(),
                     "idx " + std::to_string(grant.read_index) + " replier " +
                         std::to_string(grant.replier));
+  }
+  if (auto* fr = obs::FrOf(sim_)) {
+    fr->Record(sim_->Now(), options_.id, obs::FrType::kLeaseGrant, grant.read_index,
+               static_cast<uint64_t>(grant.replier),
+               static_cast<uint32_t>(current_term_));
   }
   return grant;
 }
@@ -924,9 +974,7 @@ void RaftNode::TryAnnounce() {
     }
     announced_idx_ = idx;
     changed = true;
-    if (auto* tracer = obs::TracerOf(sim_)) {
-      tracer->MarkStage(entry.rid, obs::Stage::kDispatched, replier, sim_->Now());
-    }
+    obs::MarkStageAll(sim_, entry.rid, obs::Stage::kDispatched, replier, sim_->Now());
   }
   if (changed) {
     TrySendAll();
@@ -1165,8 +1213,15 @@ void RaftNode::OnInstallSnapshot(const InstallSnapshotReq& req) {
         storage_->AppendTruncate(req.last_included() + 1);
       }
       storage_->AppendCompact(req.last_included(), req.included_term());
+      const LogIndex durable_before = durable_index_;
       durable_index_ =
           std::min(std::max(durable_index_, req.last_included()), log_.last_index());
+      if (durable_index_ < durable_before) {
+        if (auto* fr = obs::FrOf(sim_)) {
+          fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+                     static_cast<uint64_t>(obs::FrRecovery::kTruncate), durable_index_);
+        }
+      }
     }
     commit_idx_ = req.last_included();
     applied_idx_ = std::max(applied_idx_, req.last_included());
@@ -1266,13 +1321,18 @@ void RaftNode::SetCommit(LogIndex commit) {
   if (commit == commit_idx_) {
     return;
   }
-  if (auto* tracer = obs::TracerOf(sim_)) {
-    // Every entry in (commit_idx_, commit] is newly committed; those indices
-    // sit above the compaction point (base <= applied <= old commit).
+  // Every entry in (commit_idx_, commit] is newly committed; those indices
+  // sit above the compaction point (base <= applied <= old commit).
+  auto* fr = obs::FrOf(sim_);
+  if (obs::TracerOf(sim_) != nullptr || fr != nullptr) {
     for (LogIndex idx = commit_idx_ + 1; idx <= commit; ++idx) {
       const LogEntry& e = log_.At(idx);
       if (!e.noop) {
-        tracer->MarkStage(e.rid, obs::Stage::kCommitted, options_.id, sim_->Now());
+        obs::MarkStageAll(sim_, e.rid, obs::Stage::kCommitted, options_.id, sim_->Now());
+      }
+      if (fr != nullptr) {
+        fr->Record(sim_->Now(), options_.id, obs::FrType::kCommit, idx, e.term,
+                   static_cast<uint32_t>(current_term_));
       }
     }
   }
@@ -1297,6 +1357,10 @@ void RaftNode::SetCommit(LogIndex commit) {
       if (auto* tracer = obs::TracerOf(sim_)) {
         tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
                         "config-committed", sim_->Now(), c.second->Describe());
+      }
+      if (auto* fr2 = obs::FrOf(sim_)) {
+        fr2->Record(sim_->Now(), options_.id, obs::FrType::kConfig, c.first,
+                    c.second->members.size());
       }
       if (role_ == RaftRole::kLeader) {
         for (NodeId l : c.second->learners) {
@@ -1481,6 +1545,10 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
                     "durability was violated upstream",
                     options_.id, static_cast<unsigned long long>(idx),
                     static_cast<unsigned long long>(commit_idx_));
+        if (auto* fr = obs::FrOf(sim_)) {
+          fr->Record(sim_->Now(), options_.id, obs::FrType::kCommitLoss, idx - 1,
+                     commit_idx_);
+        }
         commit_idx_ = idx - 1;
         applied_idx_ = std::min(applied_idx_, idx - 1);
         announced_idx_ = std::min(announced_idx_, idx - 1);
@@ -1491,6 +1559,10 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
       if (storage_ != nullptr) {
         storage_->AppendTruncate(idx);
         durable_index_ = std::min(durable_index_, idx - 1);
+        if (auto* fr = obs::FrOf(sim_)) {
+          fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+                     static_cast<uint64_t>(obs::FrRecovery::kTruncate), durable_index_);
+        }
       }
     }
     HC_CHECK_EQ(idx, log_.last_index() + 1);

@@ -34,7 +34,8 @@
 namespace hovercraft {
 
 namespace obs {
-class Observability;  // src/obs/observability.h; attached but never owned
+class Observability;   // src/obs/observability.h; attached but never owned
+class FlightRecorder;  // src/obs/flight_recorder.h; attached but never owned
 }
 
 // Token for a scheduled event, usable with Simulator::Cancel. Encodes a pool
@@ -72,6 +73,13 @@ class Simulator {
   // and branch when nothing is installed. The simulator does not own it.
   obs::Observability* observability() const { return observability_; }
   void set_observability(obs::Observability* observability) { observability_ = observability; }
+
+  // Always-on flight recorder (src/obs/flight_recorder.h). Unlike the
+  // observability bundle, the topology owner (Cluster) installs one by
+  // default; the hooks cost one branch and one ring store when present and
+  // one pointer load and branch when absent. The simulator does not own it.
+  obs::FlightRecorder* flight_recorder() const { return flight_recorder_; }
+  void set_flight_recorder(obs::FlightRecorder* recorder) { flight_recorder_ = recorder; }
 
   // Schedules `fn` to run at absolute virtual time `when`. CHECK-fails when
   // `when < Now()`: scheduling into the past would silently reorder history.
@@ -210,6 +218,7 @@ class Simulator {
 
   TimeNs now_ = 0;
   obs::Observability* observability_ = nullptr;
+  obs::FlightRecorder* flight_recorder_ = nullptr;
 
   uint64_t next_seq_ = 1;
   uint64_t executed_ = 0;

@@ -4,8 +4,25 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/obs/observability.h"
 
 namespace hovercraft {
+
+void SimDisk::set_node(NodeId node) {
+  node_ = node;
+  fsync_metric_.clear();
+}
+
+void SimDisk::RecordFsyncLatency(TimeNs latency) {
+  auto* o = obs::ObsOf(sim_);
+  if (o == nullptr || node_ == kInvalidNode) {
+    return;
+  }
+  if (fsync_metric_.empty()) {
+    fsync_metric_ = obs::NodeScope(node_) + "storage.fsync_ns";
+  }
+  o->metrics().GetHistogram(fsync_metric_).Record(latency);
+}
 
 void SimDisk::Append(const std::string& file, const uint8_t* data, size_t len) {
   File& f = files_[file];
@@ -43,6 +60,7 @@ bool SimDisk::Sync(SyncCallback cb, bool coalesce) {
     // scheduling nothing — the persist_latency=0 timeline is untouched.
     MarkAllSynced();
     ++stats_.syncs;
+    RecordFsyncLatency(0);
     if (cb) {
       cb();
     }
@@ -54,11 +72,13 @@ bool SimDisk::Sync(SyncCallback cb, bool coalesce) {
   // "an unstarted op exists" means the queue is deeper than the running one.)
   const bool unstarted_pending = queue_.size() > (flush_running_ ? 1u : 0u);
   if (coalesce && unstarted_pending) {
+    ++stats_.coalesced;  // group commit: this barrier rides the queued flush
     if (cb) {
       queue_.back().callbacks.push_back(std::move(cb));
     }
   } else {
     FlushOp op;
+    op.requested = sim_->Now();
     if (cb) {
       op.callbacks.push_back(std::move(cb));
     }
@@ -122,6 +142,7 @@ void SimDisk::FinishFront() {
   FlushOp op = std::move(queue_.front());
   queue_.pop_front();
   flush_running_ = false;
+  RecordFsyncLatency(sim_->Now() - op.requested);
   for (auto& cb : op.callbacks) {
     cb();
   }

@@ -34,6 +34,7 @@ struct SimDiskStats {
   uint64_t appends = 0;
   uint64_t bytes_written = 0;
   uint64_t syncs = 0;            // completed barriers (inline ones included)
+  uint64_t coalesced = 0;        // barriers that piggybacked on a queued flush
   uint64_t crashes = 0;
   uint64_t bytes_lost = 0;       // unsynced bytes dropped by crashes
   uint64_t torn_crashes = 0;     // crashes that left a partial unsynced tail
@@ -93,6 +94,13 @@ class SimDisk {
   std::vector<std::string> List(const std::string& prefix) const;
 
   const SimDiskStats& stats() const { return stats_; }
+  Simulator* sim() const { return sim_; }
+  // Barriers waiting for (or holding) the flush engine; the per-node
+  // flush-queue depth sampler reads this.
+  size_t queue_depth() const { return queue_.size(); }
+  // Names the node this disk belongs to, scoping the fsync latency histogram
+  // ("node3/storage.fsync_ns").
+  void set_node(NodeId node);
 
  private:
   struct File {
@@ -102,8 +110,13 @@ class SimDisk {
   // One queued barrier; the covered frontier is captured when the flush
   // starts (group-commit semantics), not when it was requested.
   struct FlushOp {
+    TimeNs requested = 0;  // for the fsync latency histogram
     std::vector<SyncCallback> callbacks;
   };
+
+  // Request-to-completion barrier latency (queueing included) into the
+  // per-node "storage.fsync_ns" histogram; no-op without observability.
+  void RecordFsyncLatency(TimeNs latency);
 
   void StartNextFlush();
   void CompleteFlush();
@@ -115,6 +128,8 @@ class SimDisk {
   TimeNs sync_latency_;
   TimeNs stall_ = 0;
   bool next_crash_torn_ = false;
+  NodeId node_ = kInvalidNode;
+  std::string fsync_metric_;  // cached histogram name, built on first record
 
   std::map<std::string, File> files_;
   std::deque<FlushOp> queue_;

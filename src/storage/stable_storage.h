@@ -128,6 +128,9 @@ class StableStorage {
 
   FsyncPolicy policy() const { return policy_; }
   void set_policy(FsyncPolicy p) { policy_ = p; }
+  // Names the owning node so recovery trace instants and flight-recorder
+  // events carry the right scope.
+  void set_node(NodeId node) { node_ = node; }
   SimDisk* disk() { return disk_; }
   const StorageStats& stats() const { return stats_; }
 
@@ -147,6 +150,7 @@ class StableStorage {
   SimDisk* disk_;
   FsyncPolicy policy_;
   size_t segment_bytes_;
+  NodeId node_ = kInvalidNode;
 
   std::vector<Segment> segments_;
   // Mirrors of the latest persisted values, used for rotation baselines.

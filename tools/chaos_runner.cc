@@ -65,6 +65,13 @@ struct CliOptions {
   bool help = false;
   std::string trace_out;    // Chrome trace-event JSON path ("" = no tracing)
   std::string metrics_out;  // metrics registry JSON path ("" = no dump)
+  // Flight recorder + watchdog (docs/observability.md). Both default on;
+  // --no-watchdog keeps recording but stops invariant checking, and
+  // --flight-recorder-depth=0 turns the recorder (and watchdog) off entirely.
+  size_t flight_recorder_depth = 512;
+  bool no_watchdog = false;
+  std::string dump_out;           // flight-recorder dump path on failure
+  std::string inject_violation;   // watchdog mutation test code
   // Scripted membership events, parsed from --add-server-at-us /
   // --remove-server-at-us ("TIME_US:NODE[,TIME_US:NODE...]").
   std::vector<ChaosRunConfig::MembershipEvent> add_server_at;
@@ -119,6 +126,17 @@ void PrintUsage() {
       "  --no-recovery            disable protocol-aware WAL recovery (control: damage\n"
       "                           below the durable frontier is silently truncated\n"
       "                           instead of quarantined + re-fetched from the leader)\n"
+      "  --flight-recorder-depth=N  per-node black-box ring size (default 512; 0 turns\n"
+      "                           the recorder and the watchdog off)\n"
+      "  --no-watchdog            keep recording but skip online invariant checking\n"
+      "  --dump-out=PATH          write the flight-recorder dump (Chrome trace JSON) on\n"
+      "                           the first violation / failed verdict (default stderr\n"
+      "                           summary only)\n"
+      "  --inject-violation=CODE  watchdog mutation test: mid-run, inject a synthetic\n"
+      "                           event stream violating one invariant; the run must\n"
+      "                           FAIL with that code. Codes: dual-leader,\n"
+      "                           commit-regression, lease-overlap, double-apply,\n"
+      "                           flow-leak\n"
       "  --trace-out=PATH         write a Chrome trace-event JSON (Perfetto-loadable)\n"
       "  --metrics-out=PATH       write the metrics registry as JSON\n"
       "  --sample-interval-us=N   queue-depth sampling period (default 100)\n"
@@ -228,6 +246,14 @@ bool ParseOptions(int argc, char** argv, CliOptions& opts) {
       opts.flow_control = std::atoll(v.c_str());
     } else if (ParseFlag(a, "--max-states", v)) {
       opts.max_states = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (std::strcmp(a, "--no-watchdog") == 0) {
+      opts.no_watchdog = true;
+    } else if (ParseFlag(a, "--flight-recorder-depth", v)) {
+      opts.flight_recorder_depth = static_cast<size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(a, "--dump-out", v)) {
+      opts.dump_out = v;
+    } else if (ParseFlag(a, "--inject-violation", v)) {
+      opts.inject_violation = v;
     } else if (ParseFlag(a, "--trace-out", v)) {
       opts.trace_out = v;
     } else if (ParseFlag(a, "--metrics-out", v)) {
@@ -244,7 +270,7 @@ bool ParseOptions(int argc, char** argv, CliOptions& opts) {
   return true;
 }
 
-int Run(const CliOptions& opts) {
+int Run(const CliOptions& opts, const std::string& repro) {
   if (opts.verbose) {
     SetLogLevel(LogLevel::kInfo);
   }
@@ -292,6 +318,30 @@ int Run(const CliOptions& opts) {
     return 2;
   }
   config.wal_recovery = !opts.no_recovery;
+  config.flight_recorder_depth = opts.flight_recorder_depth;
+  config.watchdog = !opts.no_watchdog;
+  config.dump_path = opts.dump_out;
+  config.repro = repro;
+  if (!opts.inject_violation.empty()) {
+    const char* kCodes[] = {"dual-leader", "commit-regression", "lease-overlap",
+                            "double-apply", "flow-leak"};
+    bool known = false;
+    for (const char* code : kCodes) {
+      known = known || opts.inject_violation == code;
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "bad --inject-violation=%s (want dual-leader | commit-regression | "
+                   "lease-overlap | double-apply | flow-leak)\n",
+                   opts.inject_violation.c_str());
+      return 2;
+    }
+    if (opts.flight_recorder_depth == 0) {
+      std::fprintf(stderr, "--inject-violation needs the flight recorder on\n");
+      return 2;
+    }
+    config.inject_violation = opts.inject_violation;
+  }
   // The disk-* schedules need a nonzero fsync window or there is nothing to
   // lose; elsewhere the default stays at the paper's persist_latency=0.
   const bool disk_schedule = opts.schedule.rfind("disk-", 0) == 0;
@@ -300,13 +350,15 @@ int Run(const CliOptions& opts) {
 
   std::printf(
       "chaos_runner: mode=%s schedule=%s seed=%llu nodes=%d duration=%lldms retries=%d dedup=%d "
-      "prevote=%d check_quorum=%d read_index=%d persist_us=%lld fsync=%s recovery=%d\n",
+      "prevote=%d check_quorum=%d read_index=%d persist_us=%lld fsync=%s recovery=%d "
+      "fr_depth=%zu watchdog=%d\n",
       opts.mode.c_str(), opts.schedule.c_str(), static_cast<unsigned long long>(opts.seed),
       opts.nodes, static_cast<long long>(opts.duration / 1'000'000), opts.retries ? 1 : 0,
       opts.no_dedup ? 0 : 1, opts.no_prevote ? 0 : 1, opts.no_check_quorum ? 0 : 1,
       opts.read_index ? 1 : 0,
       static_cast<long long>(config.persist_latency / 1'000),
-      FsyncPolicyName(config.fsync_policy), config.wal_recovery ? 1 : 0);
+      FsyncPolicyName(config.fsync_policy), config.wal_recovery ? 1 : 0,
+      config.flight_recorder_depth, config.watchdog ? 1 : 0);
   std::unique_ptr<obs::Observability> observability;
   const bool want_obs = !opts.trace_out.empty() || !opts.metrics_out.empty();
   if (want_obs) {
@@ -372,5 +424,12 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  return hovercraft::Run(opts);
+  // The exact invocation, printed with every flight-recorder dump so a
+  // failure is replayable straight from the artifact.
+  std::string repro = "chaos_runner";
+  for (int i = 1; i < argc; ++i) {
+    repro += " ";
+    repro += argv[i];
+  }
+  return hovercraft::Run(opts, repro);
 }
