@@ -1,0 +1,118 @@
+// End-to-end wire-path perf gate (ISSUE 9): events-per-request under the
+// Figure 7 setup, batched vs unbatched transport.
+//
+// The simulator's per-request CPU cost is deterministic: executed_events /
+// completed_requests is identical on every machine for a pinned seed. That
+// ratio is what the zero-copy + eRPC-batching work optimizes — every message
+// send costs a TX-CPU, NIC and delivery event, and coalescing k small
+// messages into one frame collapses those pipelines k-fold. This bench runs
+// the same pinned-seed load point with transport batching off and on and
+// gates on the measured reduction:
+//
+//   events_per_req (batched) must be >= 2x smaller than unbatched, and
+//   batched throughput must not fall below 90% of unbatched.
+//
+// Recorded gauges (under fig7_events_gate/):
+//   unbatched/events_per_req_milli, batched/events_per_req_milli  (det.)
+//   speedup_pct           100 * unbatched / batched   (det.; gate >= 200)
+//   <side>/krps_per_core  completed kRPS per wall-clock second, i.e. the
+//                         simulated-core throughput of this machine (wall
+//                         time -> informational, not gated)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace hovercraft {
+namespace {
+
+struct Side {
+  LoadMetrics metrics;
+  double wall_seconds = 0;
+  int64_t EventsPerReqMilli() const {
+    return metrics.completed == 0
+               ? 0
+               : static_cast<int64_t>(metrics.executed_events * 1000 / metrics.completed);
+  }
+  int64_t KrpsPerCore() const {
+    return wall_seconds <= 0
+               ? 0
+               : static_cast<int64_t>(static_cast<double>(metrics.completed) / wall_seconds / 1e3);
+  }
+};
+
+Side RunSide(benchutil::BenchIo& io, const char* name, bool batching, double rate) {
+  SyntheticWorkloadConfig workload;
+  workload.request_bytes = 24;
+  workload.reply_bytes = 8;
+  workload.service_time = std::make_shared<FixedDistribution>(Micros(1));
+
+  ExperimentConfig config = benchutil::MakeSyntheticExperiment(
+      ClusterMode::kHovercRaft, 3, workload, ReplierPolicy::kLeaderOnly, 128, 42);
+  config.cluster.costs.tx_batching = batching;
+  // The doorbell delay bounds the coalescing latency tax; 20us against the
+  // paper's 500us SLO. Under it, back-to-back protocol messages (client
+  // requests, AE metadata, acks, feedback) share frames.
+  config.cluster.costs.tx_batch_delay_ns = Micros(20);
+  io.Attach(&config, benchutil::BenchIo::PointScope(name, rate));
+
+  Side side;
+  const auto t0 = std::chrono::steady_clock::now();
+  side.metrics = RunLoadPoint(config, rate);
+  side.wall_seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  benchutil::PrintCurvePoint(name, side.metrics);
+  std::printf("%-14s executed_events=%llu  events/req=%.1f  krps_per_core=%lld (wall)\n\n", name,
+              static_cast<unsigned long long>(side.metrics.executed_events),
+              static_cast<double>(side.EventsPerReqMilli()) / 1000.0,
+              static_cast<long long>(side.KrpsPerCore()));
+
+  const std::string scope = std::string("fig7_events_gate/") + name + "/";
+  io.RecordCounter(scope + "executed_events", side.metrics.executed_events);
+  io.RecordCounter(scope + "completed", side.metrics.completed);
+  io.RecordGauge(scope + "events_per_req_milli", side.EventsPerReqMilli());
+  io.RecordGauge(scope + "achieved_rps", static_cast<int64_t>(side.metrics.achieved_rps));
+  io.RecordGauge(scope + "p99_ns", side.metrics.p99_ns);
+  return side;
+}
+
+}  // namespace
+}  // namespace hovercraft
+
+int main(int argc, char** argv) {
+  using namespace hovercraft;
+  benchutil::BenchIo io(argc, argv);
+  benchutil::PrintHeader(
+      "fig7_events_gate: simulator events per request, transport batching off vs on",
+      "ISSUE 9 (eRPC-style transport batching; Figure 7 setup)");
+
+  const double rate = 600e3;
+  const Side unbatched = RunSide(io, "unbatched", false, rate);
+  const Side batched = RunSide(io, "batched", true, rate);
+
+  const int64_t epr_unbatched = unbatched.EventsPerReqMilli();
+  const int64_t epr_batched = batched.EventsPerReqMilli();
+  const int64_t speedup_pct =
+      epr_batched == 0 ? 0 : epr_unbatched * 100 / epr_batched;
+  std::printf("events/req: unbatched=%.1f batched=%.1f  ->  %lld%%  [gate: >= 200%%]\n",
+              static_cast<double>(epr_unbatched) / 1000.0,
+              static_cast<double>(epr_batched) / 1000.0, static_cast<long long>(speedup_pct));
+  io.RecordGauge("fig7_events_gate/speedup_pct", speedup_pct);
+  io.RecordGauge("fig7_events_gate/unbatched/krps_per_core", unbatched.KrpsPerCore());
+  io.RecordGauge("fig7_events_gate/batched/krps_per_core", batched.KrpsPerCore());
+
+  if (speedup_pct < 200) {
+    std::fprintf(stderr, "FAIL: batching reduced events/req by only %lld%% (gate: >= 200%%)\n",
+                 static_cast<long long>(speedup_pct));
+    io.Fail();
+  }
+  if (static_cast<double>(batched.metrics.completed) <
+      0.9 * static_cast<double>(unbatched.metrics.completed)) {
+    std::fprintf(stderr, "FAIL: batched run completed %llu vs unbatched %llu (< 90%%)\n",
+                 static_cast<unsigned long long>(batched.metrics.completed),
+                 static_cast<unsigned long long>(unbatched.metrics.completed));
+    io.Fail();
+  }
+  return io.Finish();
+}

@@ -9,8 +9,15 @@
 // simulator (with batching, control traffic and FEEDBACK included) and
 // prints them next to the analytical model. Doubles as the aggregation
 // ablation: the ++ column is flat in N.
+//
+// A second table splits logical messages from physical frames (ISSUE 9):
+// per-request frames and wire bytes at the leader, with eRPC-style transport
+// coalescing off and on. Logical counts are invariant under coalescing — the
+// protocol doesn't change — but the frame column collapses when small
+// messages share frames.
 #include <cstdio>
 #include <utility>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/loadgen/client.h"
@@ -21,16 +28,22 @@ namespace {
 struct Counts {
   double rx = 0;
   double tx = 0;
+  double rx_frames = 0;
+  double tx_frames = 0;
+  double rx_wire_bytes = 0;
+  double tx_wire_bytes = 0;
 };
 
 Counts MeasureLeader(benchutil::BenchIo& io, const std::string& scope, ClusterMode mode,
-                     int32_t nodes) {
+                     int32_t nodes, bool tx_batching) {
   SyntheticWorkloadConfig workload;
   workload.service_time = std::make_shared<FixedDistribution>(Micros(1));
   ReplierPolicy policy =
       (mode == ClusterMode::kVanillaRaft) ? ReplierPolicy::kLeaderOnly : ReplierPolicy::kJbsq;
   ExperimentConfig config =
       benchutil::MakeSyntheticExperiment(mode, nodes, workload, policy, 128, 42);
+  config.cluster.costs.tx_batching = tx_batching;
+  config.cluster.costs.tx_batch_delay_ns = Micros(20);
   io.Attach(&config, scope);
 
   Cluster cluster(config.cluster);
@@ -57,8 +70,14 @@ Counts MeasureLeader(benchutil::BenchIo& io, const std::string& scope, ClusterMo
   if (requests == 0) {
     return Counts{};
   }
-  return Counts{static_cast<double>(after.rx_msgs - before.rx_msgs) / requests,
-                static_cast<double>(after.tx_msgs - before.tx_msgs) / requests};
+  Counts c;
+  c.rx = static_cast<double>(after.rx_msgs - before.rx_msgs) / requests;
+  c.tx = static_cast<double>(after.tx_msgs - before.tx_msgs) / requests;
+  c.rx_frames = static_cast<double>(after.rx_physical_frames - before.rx_physical_frames) / requests;
+  c.tx_frames = static_cast<double>(after.tx_physical_frames - before.tx_physical_frames) / requests;
+  c.rx_wire_bytes = static_cast<double>(after.rx_wire_bytes - before.rx_wire_bytes) / requests;
+  c.tx_wire_bytes = static_cast<double>(after.tx_wire_bytes - before.tx_wire_bytes) / requests;
+  return c;
 }
 
 void Run(benchutil::BenchIo& io) {
@@ -77,11 +96,18 @@ void Run(benchutil::BenchIo& io) {
 
   std::printf("%-14s %4s | %9s %9s | %9s %9s\n", "system", "N", "Rx meas", "Rx model",
               "Tx meas", "Tx model");
+  struct Row {
+    const System* system;
+    int32_t n;
+    Counts plain;
+  };
+  std::vector<Row> rows;
   for (const System& system : systems) {
     for (int32_t n : {3, 5, 7, 9}) {
       const std::string scope =
           std::string(system.name) + "/N" + std::to_string(n) + "/";
-      const Counts c = MeasureLeader(io, scope, system.mode, n);
+      const Counts c = MeasureLeader(io, scope, system.mode, n, /*tx_batching=*/false);
+      rows.push_back(Row{&system, n, c});
       double rx_model = 0;
       double tx_model = 0;
       switch (system.mode) {
@@ -113,7 +139,43 @@ void Run(benchutil::BenchIo& io) {
   std::printf(
       "note: measured counts include batching (several log entries per\n"
       "append_entries lower the per-request message cost below the model)\n"
-      "plus FEEDBACK flow-control traffic in the HovercRaft modes.\n");
+      "plus FEEDBACK flow-control traffic in the HovercRaft modes.\n\n");
+
+  // Physical layer: logical messages stay fixed while eRPC-style transport
+  // coalescing packs them into fewer frames. "coalesced" re-runs the same
+  // pinned-seed experiment with tx_batching on (20us doorbell).
+  std::printf("physical layer at the leader, per request:\n");
+  std::printf("%-14s %4s | %7s %7s | %7s %7s | %9s | %9s\n", "system", "N", "frames", "frames",
+              "wire B", "wire B", "msgs/frm", "msgs/frm");
+  std::printf("%-14s %4s | %7s %7s | %7s %7s | %9s | %9s\n", "", "", "plain", "coal.", "plain",
+              "coal.", "plain", "coal.");
+  for (const Row& row : rows) {
+    const std::string scope =
+        std::string(row.system->name) + "/N" + std::to_string(row.n) + "/coalesced/";
+    const Counts coal = MeasureLeader(io, scope, row.system->mode, row.n, /*tx_batching=*/true);
+    const double frames_plain = row.plain.rx_frames + row.plain.tx_frames;
+    const double frames_coal = coal.rx_frames + coal.tx_frames;
+    const double msgs_plain = row.plain.rx + row.plain.tx;
+    const double msgs_coal = coal.rx + coal.tx;
+    std::printf("%-14s %4d | %7.2f %7.2f | %7.0f %7.0f | %9.2f | %9.2f\n", row.system->name,
+                row.n, frames_plain, frames_coal, row.plain.rx_wire_bytes + row.plain.tx_wire_bytes,
+                coal.rx_wire_bytes + coal.tx_wire_bytes,
+                frames_plain == 0 ? 0 : msgs_plain / frames_plain,
+                frames_coal == 0 ? 0 : msgs_coal / frames_coal);
+    const std::string plain_scope =
+        std::string(row.system->name) + "/N" + std::to_string(row.n) + "/";
+    io.RecordGauge(plain_scope + "leader.frames_per_req_milli",
+                   std::llround(frames_plain * 1000));
+    io.RecordGauge(scope + "leader.frames_per_req_milli", std::llround(frames_coal * 1000));
+    io.RecordGauge(plain_scope + "leader.wire_bytes_per_req",
+                   std::llround(row.plain.rx_wire_bytes + row.plain.tx_wire_bytes));
+    io.RecordGauge(scope + "leader.wire_bytes_per_req",
+                   std::llround(coal.rx_wire_bytes + coal.tx_wire_bytes));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nnote: coalesced wire bytes include 4B per-message batch framing; the\n"
+      "per-type split is exported as net.bytes_on_wire.{tx,rx}.<type>.\n");
 }
 
 }  // namespace

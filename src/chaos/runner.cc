@@ -75,6 +75,8 @@ ChaosRunResult RunChaosSchedule(const ChaosRunConfig& config) {
                        ? config.app_factory
                        : []() { return std::make_unique<KvService>(); };
   cc.server_template.dedup_enabled = config.dedup_enabled;
+  cc.costs.tx_batching = config.tx_batching;
+  cc.costs.tx_batch_delay_ns = config.tx_batch_delay_ns;
   cc.raft.pre_vote = config.pre_vote;
   cc.raft.check_quorum = config.check_quorum;
   cc.raft.read_index = config.read_index;

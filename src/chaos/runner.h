@@ -52,6 +52,13 @@ struct ChaosRunConfig {
   int64_t flow_control_threshold = 0;
   int64_t bounded_queue_depth = 64;
 
+  // eRPC-style transport batching (CostModel::tx_batching), forwarded into
+  // the cluster's cost model. Batching must be verdict-invariant: the
+  // transport-batching tests run every schedule twice — batched and not —
+  // and require identical chaos outcomes.
+  bool tx_batching = false;
+  TimeNs tx_batch_delay_ns = 0;
+
   // Client retransmission (exactly-once stress). Disabled by default: the
   // legacy schedules run fire-and-forget clients; the reply-facing schedules
   // need retries to make progress at all.

@@ -228,6 +228,20 @@ void Cluster::ExportMetrics(obs::MetricsRegistry* metrics) {
     metrics->SetCounter(prefix + "net.rx_frames", net.rx_frames);
     metrics->SetCounter(prefix + "net.tx_payload_bytes", net.tx_payload_bytes);
     metrics->SetCounter(prefix + "net.rx_payload_bytes", net.rx_payload_bytes);
+    // Physical-layer view: frames that actually crossed the link (a coalesced
+    // batch is one frame) and wire bytes including framing + sub-headers.
+    metrics->SetCounter(prefix + "net.tx_physical_frames", net.tx_physical_frames);
+    metrics->SetCounter(prefix + "net.rx_physical_frames", net.rx_physical_frames);
+    metrics->SetCounter(prefix + "net.tx_batches", net.tx_batches);
+    metrics->SetCounter(prefix + "net.rx_batches", net.rx_batches);
+    metrics->SetCounter(prefix + "net.tx_wire_bytes", net.tx_wire_bytes);
+    metrics->SetCounter(prefix + "net.rx_wire_bytes", net.rx_wire_bytes);
+    for (const auto& [type, bytes] : net.tx_wire_bytes_by_type) {
+      metrics->SetCounter(prefix + "net.bytes_on_wire.tx." + type, bytes);
+    }
+    for (const auto& [type, bytes] : net.rx_wire_bytes_by_type) {
+      metrics->SetCounter(prefix + "net.bytes_on_wire.rx." + type, bytes);
+    }
     const ServerStats& st = s.server_stats();
     metrics->SetCounter(prefix + "server.client_requests", st.client_requests);
     metrics->SetCounter(prefix + "server.replies_sent", st.replies_sent);

@@ -79,6 +79,7 @@ LoadMetrics RunLoadPoint(const ExperimentConfig& config, double rate_rps) {
   metrics.mean_ns = merged.Mean();
   metrics.p50_ns = merged.Percentile(50);
   metrics.p99_ns = merged.Percentile(99);
+  metrics.executed_events = cluster.sim().executed_events();
   if (o != nullptr) {
     cluster.ExportMetrics(&o->metrics());
   }

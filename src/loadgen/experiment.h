@@ -50,6 +50,10 @@ struct LoadMetrics {
   uint64_t completed = 0;
   uint64_t nacked = 0;
   uint64_t lost = 0;
+  // Simulator events executed over the whole run (warmup + measure + drain).
+  // executed_events / completed is the deterministic proxy for per-request
+  // simulator CPU cost that the wire-path perf gate tracks.
+  uint64_t executed_events = 0;
 };
 
 // Runs one fixed offered load and reports the window metrics.

@@ -1,7 +1,9 @@
 #include "src/net/host.h"
 
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/net/network.h"
@@ -14,19 +16,111 @@ Host::Host(Simulator* sim, const CostModel& costs, Kind kind)
   HC_CHECK(sim != nullptr);
 }
 
+void Host::set_failed(bool failed) {
+  failed_ = failed;
+  if (failed_) {
+    // Fail-stop: messages still coalescing never reached the NIC. Cancel the
+    // doorbells so a dead host schedules nothing further.
+    for (auto& [dst, batch] : tx_batches_) {
+      if (batch.flush_event != kInvalidEvent) {
+        sim_->Cancel(batch.flush_event);
+        batch.flush_event = kInvalidEvent;
+      }
+      batch.msgs.clear();
+      batch.bytes = 0;
+      batch.extra_cpu = 0;
+    }
+  }
+}
+
 void Host::Send(Addr dst, MessagePtr msg, TimeNs extra_cpu) {
   HC_CHECK(network_ != nullptr);
   HC_CHECK(msg != nullptr);
   if (failed_) {
     return;
   }
+  // Logical accounting happens at send time regardless of coalescing.
   const int32_t bytes = msg->PayloadBytes();
   counters_.tx_msgs++;
   counters_.tx_frames += static_cast<uint64_t>(costs_.FramesFor(bytes));
   counters_.tx_payload_bytes += static_cast<uint64_t>(bytes);
   counters_.tx_by_type[msg->Name()]++;
 
-  Packet packet{id_, dst, std::move(msg)};
+  if (costs_.tx_batching && bytes <= costs_.tx_batch_small_bytes) {
+    EnqueueBatched(dst, std::move(msg), extra_cpu);
+    return;
+  }
+  TransmitPacket(Packet{id_, dst, std::move(msg)}, extra_cpu);
+}
+
+void Host::EnqueueBatched(Addr dst, MessagePtr msg, TimeNs extra_cpu) {
+  TxBatch& batch = tx_batches_[dst];
+  const int64_t slot = msg->PayloadBytes() + BatchMsg::kPerMessageHeaderBytes;
+  // A batch frame never exceeds one MTU payload: flush what is queued before
+  // a message that would overflow it.
+  if (!batch.msgs.empty() && batch.bytes + slot > costs_.mtu_payload_bytes) {
+    FlushBatch(dst);
+  }
+  batch.msgs.push_back(std::move(msg));
+  batch.bytes += slot;
+  batch.extra_cpu += extra_cpu;
+  if (static_cast<int32_t>(batch.msgs.size()) >= costs_.tx_batch_max_msgs) {
+    FlushBatch(dst);
+    return;
+  }
+  if (batch.flush_event == kInvalidEvent) {
+    // Doorbell: with delay 0 this still runs after every event of the
+    // current simulated instant, coalescing all sends issued within it.
+    batch.flush_event =
+        sim_->After(costs_.tx_batch_delay_ns, [this, dst]() { FlushBatch(dst); });
+  }
+}
+
+void Host::FlushBatch(Addr dst) {
+  auto it = tx_batches_.find(dst);
+  if (it == tx_batches_.end()) {
+    return;
+  }
+  TxBatch& batch = it->second;
+  if (batch.flush_event != kInvalidEvent) {
+    sim_->Cancel(batch.flush_event);  // no-op when called from the doorbell itself
+    batch.flush_event = kInvalidEvent;
+  }
+  if (batch.msgs.empty()) {
+    return;
+  }
+  std::vector<MessagePtr> msgs = std::move(batch.msgs);
+  const TimeNs extra_cpu = batch.extra_cpu;
+  batch.msgs.clear();
+  batch.bytes = 0;
+  batch.extra_cpu = 0;
+  // A lone message goes out unwrapped — the sub-header tax is only paid when
+  // there is actual company.
+  MessagePtr out = msgs.size() == 1 ? std::move(msgs[0])
+                                    : std::make_shared<BatchMsg>(std::move(msgs));
+  TransmitPacket(Packet{id_, dst, std::move(out)}, extra_cpu);
+}
+
+void Host::TransmitPacket(Packet packet, TimeNs extra_cpu) {
+  const int32_t bytes = packet.msg->PayloadBytes();
+  counters_.tx_physical_frames += static_cast<uint64_t>(costs_.FramesFor(bytes));
+  counters_.tx_wire_bytes += static_cast<uint64_t>(costs_.WireBytesFor(bytes));
+  if (const auto* batch = dynamic_cast<const BatchMsg*>(packet.msg.get())) {
+    counters_.tx_batches++;
+    int64_t member_bytes = 0;
+    for (const MessagePtr& m : batch->messages()) {
+      const int64_t slot = m->PayloadBytes() + BatchMsg::kPerMessageHeaderBytes;
+      counters_.tx_wire_bytes_by_type[m->Name()] += static_cast<uint64_t>(slot);
+      member_bytes += slot;
+    }
+    // Frame-level overhead of the batch itself, so per-type sums telescope.
+    counters_.tx_wire_bytes_by_type["BATCH"] +=
+        static_cast<uint64_t>(costs_.WireBytesFor(bytes) - member_bytes);
+  } else {
+    counters_.tx_wire_bytes_by_type[packet.msg->Name()] +=
+        static_cast<uint64_t>(costs_.WireBytesFor(bytes));
+  }
+
   if (kind_ == Kind::kDevice) {
     // Line-rate device: no CPU queueing; the pipeline latency is paid on the
     // receive side, so transmission is immediate.
@@ -68,16 +162,45 @@ void Host::Receive(HostId src, MessagePtr msg) {
     return;
   }
   const int32_t bytes = msg->PayloadBytes();
-  counters_.rx_msgs++;
-  counters_.rx_frames += static_cast<uint64_t>(costs_.FramesFor(bytes));
-  counters_.rx_payload_bytes += static_cast<uint64_t>(bytes);
-  counters_.rx_by_type[msg->Name()]++;
+  counters_.rx_physical_frames += static_cast<uint64_t>(costs_.FramesFor(bytes));
+  counters_.rx_wire_bytes += static_cast<uint64_t>(costs_.WireBytesFor(bytes));
+  const auto* batch = dynamic_cast<const BatchMsg*>(msg.get());
+  if (batch != nullptr) {
+    counters_.rx_batches++;
+    int64_t member_bytes = 0;
+    for (const MessagePtr& m : batch->messages()) {
+      const int32_t b = m->PayloadBytes();
+      counters_.rx_msgs++;
+      counters_.rx_frames += static_cast<uint64_t>(costs_.FramesFor(b));
+      counters_.rx_payload_bytes += static_cast<uint64_t>(b);
+      counters_.rx_by_type[m->Name()]++;
+      const int64_t slot = b + BatchMsg::kPerMessageHeaderBytes;
+      counters_.rx_wire_bytes_by_type[m->Name()] += static_cast<uint64_t>(slot);
+      member_bytes += slot;
+    }
+    counters_.rx_wire_bytes_by_type["BATCH"] +=
+        static_cast<uint64_t>(costs_.WireBytesFor(bytes) - member_bytes);
+  } else {
+    counters_.rx_msgs++;
+    counters_.rx_frames += static_cast<uint64_t>(costs_.FramesFor(bytes));
+    counters_.rx_payload_bytes += static_cast<uint64_t>(bytes);
+    counters_.rx_by_type[msg->Name()]++;
+    counters_.rx_wire_bytes_by_type[msg->Name()] +=
+        static_cast<uint64_t>(costs_.WireBytesFor(bytes));
+  }
 
   if (kind_ == Kind::kDevice) {
     // Fixed pipeline latency, unbounded parallelism (the ASIC runs at line
     // rate regardless of message rate).
     sim_->After(costs_.aggregator_latency_ns, [this, src, msg = std::move(msg)]() {
-      if (!failed_) {
+      if (failed_) {
+        return;
+      }
+      if (const auto* b = dynamic_cast<const BatchMsg*>(msg.get())) {
+        for (const MessagePtr& m : b->messages()) {
+          HandleMessage(src, m);
+        }
+      } else {
         HandleMessage(src, msg);
       }
     });
@@ -88,8 +211,17 @@ void Host::Receive(HostId src, MessagePtr msg) {
     tracer->Complete(obs::TrackOfHost(id_), obs::kTidNet,
                      std::string("rx ") + msg->Name(), start, costs_.RxCpu(bytes));
   }
+  // One RxCpu charge for the whole frame — the batch's per-frame saving —
+  // then the members dispatch in queue order within the same event.
   net_thread_.Submit(costs_.RxCpu(bytes), [this, src, msg = std::move(msg)]() {
-    if (!failed_) {
+    if (failed_) {
+      return;
+    }
+    if (const auto* b = dynamic_cast<const BatchMsg*>(msg.get())) {
+      for (const MessagePtr& m : b->messages()) {
+        HandleMessage(src, m);
+      }
+    } else {
       HandleMessage(src, msg);
     }
   });

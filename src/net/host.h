@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/types.h"
 #include "src/net/packet.h"
@@ -22,6 +23,14 @@ namespace hovercraft {
 
 class Network;
 
+// Logical counters (tx_msgs/rx_msgs, *_frames, *_by_type) count the typed
+// protocol messages the endpoints exchange; a coalesced BatchMsg contributes
+// its members, never itself. Physical counters (*_physical_frames,
+// *_batches, *_wire_bytes*) count what actually crosses the link: a batch is
+// one frame, wire bytes include per-frame framing and per-member sub-headers,
+// and the batch's own overhead is attributed to the pseudo-type "BATCH" so
+// the per-type wire-byte sums telescope to the totals exactly. With batching
+// off, physical frames == logical frames.
 struct NetCounters {
   uint64_t tx_msgs = 0;
   uint64_t rx_msgs = 0;
@@ -29,8 +38,16 @@ struct NetCounters {
   uint64_t rx_frames = 0;
   uint64_t tx_payload_bytes = 0;
   uint64_t rx_payload_bytes = 0;
+  uint64_t tx_physical_frames = 0;
+  uint64_t rx_physical_frames = 0;
+  uint64_t tx_batches = 0;
+  uint64_t rx_batches = 0;
+  uint64_t tx_wire_bytes = 0;
+  uint64_t rx_wire_bytes = 0;
   std::unordered_map<std::string, uint64_t> tx_by_type;
   std::unordered_map<std::string, uint64_t> rx_by_type;
+  std::unordered_map<std::string, uint64_t> tx_wire_bytes_by_type;
+  std::unordered_map<std::string, uint64_t> rx_wire_bytes_by_type;
 
   void Clear() { *this = NetCounters(); }
 };
@@ -61,7 +78,9 @@ class Host {
 
   // A failed host neither sends nor receives. Used for crash injection;
   // subclasses extend it to halt their own timers (fail-stop semantics).
-  virtual void set_failed(bool failed) { failed_ = failed; }
+  // Failing discards any messages still coalescing in TX batch queues — they
+  // never reached the NIC.
+  virtual void set_failed(bool failed);
   bool failed() const { return failed_; }
 
   HostId id() const { return id_; }
@@ -83,6 +102,21 @@ class Host {
   Network* network() const { return network_; }
 
  private:
+  // One coalescing queue per destination address (unicast or multicast —
+  // fan-out of a batched frame happens in the fabric, like any frame).
+  struct TxBatch {
+    std::vector<MessagePtr> msgs;
+    int64_t bytes = 0;        // payload + per-member sub-headers
+    TimeNs extra_cpu = 0;     // summed protocol CPU of the queued messages
+    EventId flush_event = kInvalidEvent;
+  };
+
+  void EnqueueBatched(Addr dst, MessagePtr msg, TimeNs extra_cpu);
+  void FlushBatch(Addr dst);
+  // Physical transmission: charges TX CPU + NIC serialization (servers) or
+  // leaves immediately (devices), and does the physical-frame accounting.
+  void TransmitPacket(Packet packet, TimeNs extra_cpu);
+
   Simulator* sim_;
   const CostModel& costs_;
   Kind kind_;
@@ -92,6 +126,7 @@ class Host {
   SerialResource net_thread_;
   SerialResource nic_tx_;
   NetCounters counters_;
+  std::unordered_map<Addr, TxBatch> tx_batches_;
 };
 
 }  // namespace hovercraft

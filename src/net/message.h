@@ -9,6 +9,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 namespace hovercraft {
 
@@ -25,6 +27,33 @@ class Message {
 };
 
 using MessagePtr = std::shared_ptr<const Message>;
+
+// A coalesced transport frame: several small logical messages to the same
+// destination packed into one physical frame (eRPC-style TX batching, see
+// CostModel::tx_batching). Each member costs a small sub-header on the wire;
+// counters treat the members as the logical messages and the BatchMsg itself
+// as one physical frame. Never constructed unless batching is enabled, and
+// never nested.
+class BatchMsg final : public Message {
+ public:
+  // Per-member sub-header: u16 length + u8 type + u8 reserved.
+  static constexpr int32_t kPerMessageHeaderBytes = 4;
+
+  explicit BatchMsg(std::vector<MessagePtr> msgs) : msgs_(std::move(msgs)) {
+    for (const MessagePtr& m : msgs_) {
+      total_ += m->PayloadBytes() + kPerMessageHeaderBytes;
+    }
+  }
+
+  int32_t PayloadBytes() const override { return total_; }
+  const char* Name() const override { return "BATCH"; }
+
+  const std::vector<MessagePtr>& messages() const { return msgs_; }
+
+ private:
+  std::vector<MessagePtr> msgs_;
+  int32_t total_ = 0;
+};
 
 }  // namespace hovercraft
 

@@ -1,7 +1,9 @@
 #include "src/net/network.h"
 
+#include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/common/check.h"
 #include "src/obs/observability.h"
@@ -118,32 +120,70 @@ void Network::Transmit(Packet packet) {
 void Network::DeliverCopy(const Packet& packet, HostId dst) {
   HC_CHECK_GE(dst, 0);
   HC_CHECK_LT(static_cast<size_t>(dst), hosts_.size());
-  // Every drop cause below counts once per copy, so a multicast message
-  // suppressed for k of its destinations adds k to dropped_msgs_.
+  // Drop and deliver counters are per logical message copy: a coalesced
+  // BatchMsg counts as its member count, so the fabric totals are invariant
+  // under batching. A multicast message suppressed for k of its destinations
+  // still adds k to dropped_msgs_.
+  const BatchMsg* batch = dynamic_cast<const BatchMsg*>(packet.msg.get());
+  const uint64_t logical = batch != nullptr
+                               ? static_cast<uint64_t>(batch->messages().size())
+                               : 1;
   if (Partitioned(packet.src, dst) ||
       blocked_links_.count(LinkKey(packet.src, dst)) != 0) {
-    ++dropped_msgs_;
-    ++dropped_by_fault_;
+    dropped_msgs_ += logical;
+    dropped_by_fault_ += logical;
     TraceDrop(packet, dst, "fault");
     return;
   }
-  if (drop_filter_ && drop_filter_(packet, dst)) {
-    ++dropped_msgs_;
-    TraceDrop(packet, dst, "filter");
-    return;
+  MessagePtr to_deliver = packet.msg;
+  if (drop_filter_) {
+    if (batch != nullptr) {
+      // Targeted filters match logical messages, so each member faces the
+      // filter individually; survivors travel on in a rebuilt batch. A
+      // physical frame loss, by contrast, takes the whole batch (below).
+      std::vector<MessagePtr> kept;
+      kept.reserve(batch->messages().size());
+      for (const MessagePtr& m : batch->messages()) {
+        const Packet member{packet.src, packet.dst, m};
+        if (drop_filter_(member, dst)) {
+          ++dropped_msgs_;
+          TraceDrop(member, dst, "filter");
+        } else {
+          kept.push_back(m);
+        }
+      }
+      if (kept.empty()) {
+        return;
+      }
+      if (kept.size() != batch->messages().size()) {
+        to_deliver = kept.size() == 1
+                         ? std::move(kept[0])
+                         : std::make_shared<BatchMsg>(std::move(kept));
+      }
+    } else if (drop_filter_(packet, dst)) {
+      ++dropped_msgs_;
+      TraceDrop(packet, dst, "filter");
+      return;
+    }
   }
+  const BatchMsg* surviving_batch = dynamic_cast<const BatchMsg*>(to_deliver.get());
+  const uint64_t delivering =
+      surviving_batch != nullptr
+          ? static_cast<uint64_t>(surviving_batch->messages().size())
+          : 1;
   if (loss_probability_ > 0.0) {
-    // A message survives only if every frame does.
-    const int32_t frames = costs_.FramesFor(packet.msg->PayloadBytes());
+    // A message survives only if every frame does; a batch is one frame, so
+    // losing it loses every member.
+    const int32_t frames = costs_.FramesFor(to_deliver->PayloadBytes());
     for (int32_t i = 0; i < frames; ++i) {
       if (rng_.NextBool(loss_probability_)) {
-        ++dropped_msgs_;
+        dropped_msgs_ += delivering;
         TraceDrop(packet, dst, "loss");
         return;
       }
     }
   }
-  ++delivered_msgs_;
+  delivered_msgs_ += delivering;
   TimeNs delay = costs_.link_propagation_ns;
   if (!link_delay_.empty()) {
     auto it = link_delay_.find(LinkKey(packet.src, dst));
@@ -161,7 +201,10 @@ void Network::DeliverCopy(const Packet& packet, HostId dst) {
   // a multicast packet fans out to k destinations that outlive the switch
   // event independently, so this per-copy refcount bump is semantically
   // required (receivers share the immutable message, never the packet).
-  sim_->After(delay, [host, src = packet.src, msg = packet.msg]() { host->Receive(src, msg); });
+  // `to_deliver` is usually that shared reference; when a drop filter thinned
+  // a batch, it is this destination's private rebuilt frame.
+  sim_->After(delay,
+              [host, src = packet.src, msg = std::move(to_deliver)]() { host->Receive(src, msg); });
 }
 
 void Network::TraceDrop(const Packet& packet, HostId dst, const char* cause) {

@@ -13,9 +13,19 @@ constexpr uint64_t kSeqLowMask = 0xFFFFull;
 
 std::vector<WirePacket> SerializeBody(const WireHeader& header, const Body& body,
                                       size_t mtu_payload) {
-  static const std::vector<uint8_t> kEmpty;
-  const std::vector<uint8_t>& bytes = body == nullptr ? kEmpty : *body;
+  const std::span<const uint8_t> bytes =
+      body == nullptr ? std::span<const uint8_t>() : body->bytes();
   return Fragment(header, bytes, mtu_payload);
+}
+
+void EncodeRequestExtension(const RpcRequest& request,
+                            uint8_t (&ext)[kRequestExtensionBytes]) {
+  for (size_t i = 0; i < 4; ++i) {
+    ext[i] = static_cast<uint8_t>(request.attempt() >> (8 * i));
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    ext[4 + i] = static_cast<uint8_t>(request.ack_watermark() >> (8 * i));
+  }
 }
 
 }  // namespace
@@ -42,7 +52,7 @@ std::vector<WirePacket> SerializeRequest(const RpcRequest& request, size_t mtu_p
   // Requests carry a fixed extension ahead of the application body: the
   // attempt counter and the client's acknowledged-sequence watermark (the
   // retransmission / session-GC fields, see RpcRequest). Symmetric with the
-  // strip in DecodeR2p2Message.
+  // strip in DecodeR2p2View.
   std::vector<uint8_t> framed(kRequestExtensionBytes);
   for (size_t i = 0; i < 4; ++i) {
     framed[i] = static_cast<uint8_t>(request.attempt() >> (8 * i));
@@ -73,8 +83,38 @@ std::vector<WirePacket> SerializeNack(const NackMsg& nack) {
   return SerializeBody(h, nullptr, kWireHeaderBytes);
 }
 
-Result<DecodedR2p2Message> DecodeR2p2Message(const Reassembler::Complete& complete) {
-  DecodedR2p2Message out;
+void SerializeRequestInto(BufPool& pool, const RpcRequest& request, size_t mtu_payload,
+                          std::vector<BufRef>& out) {
+  const WireHeader h = HeaderForRequest(request.rid(), request.policy(), WireType::kRequest);
+  uint8_t ext[kRequestExtensionBytes];
+  EncodeRequestExtension(request, ext);
+  const std::span<const uint8_t> body =
+      request.body() == nullptr ? std::span<const uint8_t>() : request.body()->bytes();
+  Fragment(pool, h, ext, body, mtu_payload, out);
+}
+
+void SerializeResponseInto(BufPool& pool, const RpcResponse& response, size_t mtu_payload,
+                           std::vector<BufRef>& out) {
+  const WireHeader h =
+      HeaderForRequest(response.rid(), R2p2Policy::kUnrestricted, WireType::kResponse);
+  const std::span<const uint8_t> body =
+      response.body() == nullptr ? std::span<const uint8_t>() : response.body()->bytes();
+  Fragment(pool, h, body, mtu_payload, out);
+}
+
+void SerializeFeedbackInto(BufPool& pool, const FeedbackMsg& feedback, std::vector<BufRef>& out) {
+  const WireHeader h =
+      HeaderForRequest(feedback.rid(), R2p2Policy::kUnrestricted, WireType::kFeedback);
+  Fragment(pool, h, {}, kWireHeaderBytes, out);
+}
+
+void SerializeNackInto(BufPool& pool, const NackMsg& nack, std::vector<BufRef>& out) {
+  const WireHeader h = HeaderForRequest(nack.rid(), R2p2Policy::kUnrestricted, WireType::kNack);
+  Fragment(pool, h, {}, kWireHeaderBytes, out);
+}
+
+Result<R2p2MessageView> DecodeR2p2View(const Reassembler::Complete& complete) {
+  R2p2MessageView out;
   out.type = complete.header.type;
   out.rid = RequestIdFromHeader(complete.header);
   switch (complete.header.type) {
@@ -96,23 +136,46 @@ Result<DecodedR2p2Message> DecodeR2p2Message(const Reassembler::Complete& comple
       if (attempt == 0) {
         return InvalidArgumentError("request attempt counter must start at 1");
       }
-      out.request = std::make_shared<RpcRequest>(
-          out.rid, static_cast<R2p2Policy>(complete.header.policy),
-          MakeBody(std::vector<uint8_t>(complete.body.begin() + kRequestExtensionBytes,
-                                        complete.body.end())),
-          attempt, watermark);
+      out.policy = static_cast<R2p2Policy>(complete.header.policy);
+      out.attempt = attempt;
+      out.ack_watermark = watermark;
+      // Zero-copy: the application body is a sub-slice of the arrival
+      // buffer, sharing its refcount — the extension bytes are skipped by
+      // offset, never stripped by copying.
+      out.body = complete.body.Slice(kRequestExtensionBytes,
+                                     complete.body.size() - kRequestExtensionBytes);
       return out;
     }
-    case WireType::kResponse: {
-      out.response =
-          std::make_shared<RpcResponse>(out.rid, MakeBody(std::vector<uint8_t>(complete.body)));
+    case WireType::kResponse:
+      out.body = complete.body;
       return out;
-    }
     case WireType::kFeedback:
     case WireType::kNack:
       return out;
     default:
       return InvalidArgumentError("unsupported wire type for R2P2 decode");
+  }
+}
+
+Result<DecodedR2p2Message> DecodeR2p2Message(const Reassembler::Complete& complete) {
+  Result<R2p2MessageView> view = DecodeR2p2View(complete);
+  if (!view.ok()) {
+    return view.status();
+  }
+  const R2p2MessageView& v = view.value();
+  DecodedR2p2Message out;
+  out.type = v.type;
+  out.rid = v.rid;
+  switch (v.type) {
+    case WireType::kRequest:
+      out.request =
+          std::make_shared<RpcRequest>(v.rid, v.policy, v.body, v.attempt, v.ack_watermark);
+      return out;
+    case WireType::kResponse:
+      out.response = std::make_shared<RpcResponse>(v.rid, v.body);
+      return out;
+    default:
+      return out;
   }
 }
 

@@ -5,12 +5,20 @@
 // DPDK deployment would use verbatim; the simulator skips it on the hot path
 // but conformance tests and microbenches exercise it end-to-end so the wire
 // format stays honest.
+//
+// Two API tiers:
+//  - the pooled/zero-copy tier (SerializeInto / DecodeR2p2View) writes frames
+//    in place into slab-pooled buffers and decodes bodies as refcounted
+//    slices of the arrival buffer — allocation-free in steady state;
+//  - the legacy vector tier is kept as the copying conformance reference
+//    (the two are asserted byte-identical by serdes_test).
 #ifndef SRC_R2P2_SERDES_H_
 #define SRC_R2P2_SERDES_H_
 
 #include <memory>
 #include <vector>
 
+#include "src/common/buf_pool.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/r2p2/messages.h"
@@ -32,13 +40,41 @@ RequestId RequestIdFromHeader(const WireHeader& header);
 // state rides as the first bytes of the fragmented payload.
 constexpr size_t kRequestExtensionBytes = 12;
 
-// Fragments a client request / response / control message into wire packets.
+// Fragments a client request / response / control message into wire packets
+// (legacy copying tier).
 std::vector<WirePacket> SerializeRequest(const RpcRequest& request, size_t mtu_payload);
 std::vector<WirePacket> SerializeResponse(const RpcResponse& response, size_t mtu_payload);
 std::vector<WirePacket> SerializeFeedback(const FeedbackMsg& feedback);
 std::vector<WirePacket> SerializeNack(const NackMsg& nack);
 
-// Reassembled message -> typed object. The header type selects the variant.
+// Zero-copy tier: header + extension + payload are written in place into
+// pooled frames appended to `out` (cleared first, capacity reused). The
+// request extension is gathered into the frame directly — no intermediate
+// buffer is built.
+void SerializeRequestInto(BufPool& pool, const RpcRequest& request, size_t mtu_payload,
+                          std::vector<BufRef>& out);
+void SerializeResponseInto(BufPool& pool, const RpcResponse& response, size_t mtu_payload,
+                           std::vector<BufRef>& out);
+void SerializeFeedbackInto(BufPool& pool, const FeedbackMsg& feedback, std::vector<BufRef>& out);
+void SerializeNackInto(BufPool& pool, const NackMsg& nack, std::vector<BufRef>& out);
+
+// Zero-allocation decode: a plain value struct whose body is a refcounted
+// slice of the reassembled arrival buffer (no copy, no shared_ptr control
+// block). The slice pins the underlying pooled buffer; the pool must outlive
+// it (see BufPool ownership rules).
+struct R2p2MessageView {
+  WireType type = WireType::kRequest;
+  RequestId rid;
+  R2p2Policy policy = R2p2Policy::kUnrestricted;
+  uint32_t attempt = 0;       // kRequest only
+  uint64_t ack_watermark = 0;  // kRequest only
+  Body body;                  // null for FEEDBACK/NACK
+};
+
+Result<R2p2MessageView> DecodeR2p2View(const Reassembler::Complete& complete);
+
+// Reassembled message -> typed object (legacy tier; allocates the typed
+// wrapper but the body stays a zero-copy slice).
 struct DecodedR2p2Message {
   WireType type = WireType::kRequest;
   std::shared_ptr<RpcRequest> request;    // kRequest

@@ -53,6 +53,25 @@ struct CostModel {
   // the CPU tax on VanillaRaft's full-payload replication (Figure 8).
   double ae_payload_byte_ns = 0.9;
 
+  // ---- eRPC-style transport batching (off by default) ----
+  // When enabled, small messages headed to the same destination are coalesced
+  // into one physical frame: the sender queues them per link and flushes on a
+  // doorbell (an event at the end of the current simulated instant when the
+  // delay is 0, or after the bounded delay below), when the batch reaches
+  // tx_batch_max_msgs, or when one more message would overflow the MTU
+  // payload. The receiver pays the per-frame RX cost once for the whole
+  // batch. Off by default: batching changes event interleavings, so pinned
+  // trace expectations are recorded unbatched and the ablation flips this.
+  bool tx_batching = false;
+  // Doorbell delay: how long the first queued message may wait for company.
+  // 0 still coalesces everything sent within the same simulated instant.
+  TimeNs tx_batch_delay_ns = 0;
+  // Cap on logical messages per batch frame.
+  int32_t tx_batch_max_msgs = 32;
+  // Only messages at most this large are eligible (large messages fill
+  // frames on their own; batching them would only add latency).
+  int32_t tx_batch_small_bytes = 512;
+
   // Derived helpers -----------------------------------------------------
   int32_t FramesFor(int32_t payload_bytes) const {
     if (payload_bytes <= 0) {

@@ -21,7 +21,11 @@ Body PatternBody(size_t n) {
   return MakeBody(std::move(bytes));
 }
 
-Result<DecodedR2p2Message> RoundTrip(const std::vector<WirePacket>& packets, Rng* shuffle_rng) {
+// Decoded bodies are zero-copy slices of the reassembly pool, so the caller
+// owns the pool and must declare it before any decoded message it keeps
+// (BufPool ownership rules: the pool's leak check runs at its destruction).
+Result<DecodedR2p2Message> RoundTrip(BufPool& pool, const std::vector<WirePacket>& packets,
+                                     Rng* shuffle_rng) {
   std::vector<size_t> order(packets.size());
   for (size_t i = 0; i < order.size(); ++i) {
     order[i] = i;
@@ -31,7 +35,7 @@ Result<DecodedR2p2Message> RoundTrip(const std::vector<WirePacket>& packets, Rng
       std::swap(order[i - 1], order[shuffle_rng->NextBelow(i)]);
     }
   }
-  Reassembler reassembler;
+  Reassembler reassembler(&pool);
   for (size_t i = 0; i < order.size(); ++i) {
     Result<bool> done = reassembler.Feed(packets[order[i]], 0);
     if (!done.ok()) {
@@ -52,10 +56,11 @@ TEST(SerdesTest, RequestIdentityRoundTrip) {
 }
 
 TEST(SerdesTest, SmallRequestRoundTrip) {
+  BufPool pool;
   RpcRequest req(RequestId{7, 99}, R2p2Policy::kReplicatedReqRo, PatternBody(24));
   auto packets = SerializeRequest(req, kMtu);
   ASSERT_EQ(packets.size(), 1u);
-  auto decoded = RoundTrip(packets, nullptr);
+  auto decoded = RoundTrip(pool, packets, nullptr);
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded.value().type, WireType::kRequest);
   ASSERT_NE(decoded.value().request, nullptr);
@@ -65,11 +70,12 @@ TEST(SerdesTest, SmallRequestRoundTrip) {
 }
 
 TEST(SerdesTest, LargeResponseRoundTripShuffled) {
+  BufPool pool;
   RpcResponse resp(RequestId{3, 1234567ull}, PatternBody(60'000));
   auto packets = SerializeResponse(resp, kMtu);
   EXPECT_GT(packets.size(), 40u);
   Rng rng(5);
-  auto decoded = RoundTrip(packets, &rng);
+  auto decoded = RoundTrip(pool, packets, &rng);
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded.value().type, WireType::kResponse);
   ASSERT_NE(decoded.value().response, nullptr);
@@ -78,48 +84,52 @@ TEST(SerdesTest, LargeResponseRoundTripShuffled) {
 }
 
 TEST(SerdesTest, EmptyBodyRequest) {
+  BufPool pool;
   RpcRequest req(RequestId{1, 1}, R2p2Policy::kReplicatedReq, nullptr);
   auto packets = SerializeRequest(req, kMtu);
   ASSERT_EQ(packets.size(), 1u);
-  auto decoded = RoundTrip(packets, nullptr);
+  auto decoded = RoundTrip(pool, packets, nullptr);
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.value().request->body()->size(), 0u);
 }
 
 TEST(SerdesTest, FeedbackAndNackCarryIdentityOnly) {
+  BufPool pool;
   const RequestId rid{9, 777};
   auto fb = SerializeFeedback(FeedbackMsg(rid));
   ASSERT_EQ(fb.size(), 1u);
-  auto decoded_fb = RoundTrip(fb, nullptr);
+  auto decoded_fb = RoundTrip(pool, fb, nullptr);
   ASSERT_TRUE(decoded_fb.ok());
   EXPECT_EQ(decoded_fb.value().type, WireType::kFeedback);
   EXPECT_EQ(decoded_fb.value().rid, rid);
 
   auto nack = SerializeNack(NackMsg(rid));
-  auto decoded_nack = RoundTrip(nack, nullptr);
+  auto decoded_nack = RoundTrip(pool, nack, nullptr);
   ASSERT_TRUE(decoded_nack.ok());
   EXPECT_EQ(decoded_nack.value().type, WireType::kNack);
   EXPECT_EQ(decoded_nack.value().rid, rid);
 }
 
 TEST(SerdesTest, PolicySurvivesTheWire) {
+  BufPool pool;
   for (R2p2Policy policy : {R2p2Policy::kUnrestricted, R2p2Policy::kReplicatedReq,
                             R2p2Policy::kReplicatedReqRo}) {
     RpcRequest req(RequestId{2, 5}, policy, PatternBody(8));
-    auto decoded = RoundTrip(SerializeRequest(req, kMtu), nullptr);
+    auto decoded = RoundTrip(pool, SerializeRequest(req, kMtu), nullptr);
     ASSERT_TRUE(decoded.ok());
     EXPECT_EQ(decoded.value().request->policy(), policy);
   }
 }
 
 TEST(SerdesTest, AttemptAndWatermarkSurviveTheWire) {
+  BufPool pool;
   // The exactly-once extension rides in the request body: attempt number and
   // the client's ack watermark must round-trip, and the payload after them
   // must be untouched.
   RpcRequest req(RequestId{4, 17}, R2p2Policy::kReplicatedReq, PatternBody(40),
                  /*attempt=*/3, /*ack_watermark=*/0x1122334455667788ull);
   EXPECT_TRUE(req.is_retransmit());
-  auto decoded = RoundTrip(SerializeRequest(req, kMtu), nullptr);
+  auto decoded = RoundTrip(pool, SerializeRequest(req, kMtu), nullptr);
   ASSERT_TRUE(decoded.ok());
   const RpcRequest& out = *decoded.value().request;
   EXPECT_EQ(out.attempt(), 3u);
@@ -131,7 +141,7 @@ TEST(SerdesTest, AttemptAndWatermarkSurviveTheWire) {
   RpcRequest fresh(RequestId{4, 18}, R2p2Policy::kReplicatedReq, PatternBody(8));
   EXPECT_EQ(fresh.attempt(), 1u);
   EXPECT_FALSE(fresh.is_retransmit());
-  auto fresh_decoded = RoundTrip(SerializeRequest(fresh, kMtu), nullptr);
+  auto fresh_decoded = RoundTrip(pool, SerializeRequest(fresh, kMtu), nullptr);
   ASSERT_TRUE(fresh_decoded.ok());
   EXPECT_EQ(fresh_decoded.value().request->attempt(), 1u);
   EXPECT_EQ(fresh_decoded.value().request->ack_watermark(), 0u);
