@@ -46,9 +46,15 @@ void Host::Send(Addr dst, MessagePtr msg, TimeNs extra_cpu) {
   counters_.tx_payload_bytes += static_cast<uint64_t>(bytes);
   counters_.tx_by_type[msg->Name()]++;
 
-  if (costs_.tx_batching && bytes <= costs_.tx_batch_small_bytes) {
-    EnqueueBatched(dst, std::move(msg), extra_cpu);
-    return;
+  if (costs_.tx_batching) {
+    if (bytes <= costs_.tx_batch_small_bytes) {
+      EnqueueBatched(dst, std::move(msg), extra_cpu);
+      return;
+    }
+    // An unbatched message must not overtake small messages already
+    // coalescing toward the same destination: flush them first so
+    // per-destination send order stays FIFO.
+    FlushBatch(dst);
   }
   TransmitPacket(Packet{id_, dst, std::move(msg)}, extra_cpu);
 }

@@ -101,12 +101,35 @@ void Reassembler::Partial::SetFragment(uint16_t id) {
   bitmap_spill[spill] |= bit;
 }
 
+bool Reassembler::Partial::HasFragmentAtOrAbove(uint16_t id) const {
+  const size_t first_word = id / 64;
+  const uint64_t head_mask = ~uint64_t{0} << (id % 64);
+  for (size_t w = first_word; w < 4; ++w) {
+    const uint64_t mask = w == first_word ? head_mask : ~uint64_t{0};
+    if ((bitmap[w] & mask) != 0) {
+      return true;
+    }
+  }
+  for (size_t s = 0; s < bitmap_spill.size(); ++s) {
+    const size_t w = s + 4;
+    if (w < first_word) {
+      continue;
+    }
+    const uint64_t mask = w == first_word ? head_mask : ~uint64_t{0};
+    if ((bitmap_spill[s] & mask) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Reassembler::Partial::Reset() {
   first_header = WireHeader();
   key = Key{};
   older = newer = nullptr;
   created = 0;
   buf.reset();
+  buf_used = 0;
   frag_size = 0;
   expected = 0;
   received = 0;
@@ -157,12 +180,23 @@ Result<bool> Reassembler::FeedInternal(std::span<const uint8_t> packet, const Bu
   if (h.first && h.packet_id != 0) {
     return InvalidArgumentError("FIRST flag on nonzero fragment index");
   }
+  const Key key{h.src_ip, h.src_port, h.req_id, static_cast<uint8_t>(h.type)};
   if (h.first && h.last) {
     if (h.packet_count != 1) {
       return InvalidArgumentError("FIRST|LAST fragment with packet_count != 1");
     }
-    // Single-fragment fast path: never touches the pending map. Fed as a
-    // pooled frame, the body is a refcounted slice of the frame itself
+    // A single-fragment message supersedes any partial buffered under the
+    // same key (fragments of an earlier multi-fragment attempt): drop it so
+    // later retransmits cannot combine into a spurious duplicate completion.
+    // The empty() guard keeps the steady-state fast path free of hashing.
+    if (!pending_.empty()) {
+      auto stale = pending_.find(key);
+      if (stale != pending_.end()) {
+        Erase(stale);
+      }
+    }
+    // Single-fragment fast path: never inserts into the pending map. Fed as
+    // a pooled frame, the body is a refcounted slice of the frame itself
     // (zero memcpy); fed as a raw span, it is copied once into a pooled
     // buffer so the completed body is pool-backed either way.
     completed_.header = h;
@@ -183,7 +217,6 @@ Result<bool> Reassembler::FeedInternal(std::span<const uint8_t> packet, const Bu
     return InvalidArgumentError("LAST fragment at index 0 missing FIRST flag");
   }
 
-  const Key key{h.src_ip, h.src_port, h.req_id, static_cast<uint8_t>(h.type)};
   auto it = pending_.find(key);
   if (it == pending_.end()) {
     it = Insert(key, now);
@@ -222,6 +255,19 @@ Result<bool> Reassembler::FeedInternal(std::span<const uint8_t> packet, const Bu
   } else if (p.frag_size != 0 && payload.size() > p.frag_size) {
     return InvalidArgumentError("oversized final fragment");
   }
+  if (h.first) {
+    // FIRST just established the fragment count. Fragments that arrived
+    // before it bypassed the range check above, so their bits (and received
+    // counts) could otherwise complete a message with real fragments absent.
+    // Any of them at or beyond the count — or a LAST anywhere but the final
+    // index — means the buffered state is corrupt; drop all of it so a clean
+    // retransmission round can rebuild the message.
+    if (p.HasFragmentAtOrAbove(h.packet_count) ||
+        (p.have_last && p.last_id != h.packet_count - 1)) {
+      Erase(it);
+      return InvalidArgumentError("pre-FIRST fragment inconsistent with packet count");
+    }
+  }
 
   // All validation passed: commit this fragment.
   p.SetFragment(h.packet_id);
@@ -259,6 +305,7 @@ Result<bool> Reassembler::FeedInternal(std::span<const uint8_t> packet, const Bu
       EnsureCapacity(p, needed);
       if (!payload.empty()) {
         std::memcpy(p.buf.data() + offset, payload.data(), payload.size());
+        p.buf_used = std::max(p.buf_used, static_cast<uint32_t>(offset + payload.size()));
       }
     }
     if (p.staged_last_valid) {
@@ -268,6 +315,7 @@ Result<bool> Reassembler::FeedInternal(std::span<const uint8_t> packet, const Bu
       EnsureCapacity(p, needed);
       if (!p.staged_last.empty()) {
         std::memcpy(p.buf.data() + offset, p.staged_last.data(), p.staged_last.size());
+        p.buf_used = std::max(p.buf_used, static_cast<uint32_t>(offset + p.staged_last.size()));
       }
       p.staged_last.clear();
       p.staged_last_valid = false;
@@ -324,9 +372,12 @@ void Reassembler::EnsureCapacity(Partial& partial, size_t needed) {
     return;
   }
   // Cold path: fragments arrived before FIRST fixed the total, and a later
-  // index outgrew the initial guess. Copy into a bigger pooled buffer.
+  // index outgrew the initial guess. Copy into a bigger pooled buffer — only
+  // the bytes actually written, never the recycled slack beyond them.
   BufRef grown = pool_->Allocate(needed);
-  std::memcpy(grown.data(), partial.buf.data(), partial.buf.capacity());
+  if (partial.buf_used > 0) {
+    std::memcpy(grown.data(), partial.buf.data(), partial.buf_used);
+  }
   partial.buf = std::move(grown);
 }
 

@@ -113,6 +113,7 @@ class Reassembler {
     Partial* newer = nullptr;
     TimeNs created = 0;
     BufRef buf;                    // single assembly buffer
+    uint32_t buf_used = 0;         // high-water mark of bytes written to buf
     uint32_t frag_size = 0;        // payload bytes of each non-final fragment
     uint16_t expected = 0;         // packet_count from FIRST; 0 until seen
     uint16_t received = 0;         // distinct fragments placed
@@ -127,6 +128,8 @@ class Reassembler {
 
     bool TestFragment(uint16_t id) const;
     void SetFragment(uint16_t id);
+    // True if any received-fragment bit at index >= id is set.
+    bool HasFragmentAtOrAbove(uint16_t id) const;
     void Reset();
   };
   using Map = std::unordered_map<Key, Partial, KeyHash>;

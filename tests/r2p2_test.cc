@@ -214,6 +214,94 @@ TEST(PacketizerTest, RejectsFragmentIndexBeyondCount) {
   EXPECT_FALSE(r.Feed(pkt, 0).ok());
 }
 
+// Regression (reviewer repro): fragments with out-of-range ids that arrive
+// before FIRST must not count toward completion — otherwise a message can
+// "complete" with real fragments absent, leaking recycled pool memory.
+TEST(PacketizerTest, RejectsPreFirstFragmentBeyondDeclaredCount) {
+  const std::vector<uint8_t> body = PatternBody(44);  // 6 fragments at mtu 8
+  auto packets = Fragment(SampleHeader(), body, 8);
+  ASSERT_EQ(packets.size(), 6u);
+
+  Reassembler r;
+  ASSERT_TRUE(r.Feed(packets[5], 0).ok());  // LAST(5) before FIRST
+  // Bogus fragments 7 and 8: in-range checks are impossible until FIRST.
+  for (uint16_t id : {uint16_t{7}, uint16_t{8}}) {
+    WireHeader bogus = SampleHeader();
+    bogus.first = false;
+    bogus.last = false;
+    bogus.packet_id = id;
+    std::vector<uint8_t> pkt(kWireHeaderBytes + 8);
+    EncodeWireHeader(bogus, pkt);
+    ASSERT_TRUE(r.Feed(pkt, 0).ok());
+  }
+  // FIRST reveals packet_count = 6: the buffered ids 7/8 are impossible, so
+  // the whole partial is rejected rather than left able to complete short.
+  EXPECT_FALSE(r.Feed(packets[0], 0).ok());
+  EXPECT_EQ(r.pending(), 0u);
+  // Real fragments 1 and 2 must not now complete the dropped message.
+  ASSERT_TRUE(r.Feed(packets[1], 0).ok());
+  Result<bool> done = r.Feed(packets[2], 0);
+  ASSERT_TRUE(done.ok());
+  EXPECT_FALSE(done.value());
+  // A clean retransmission round still reassembles correctly.
+  Reassembler clean;
+  for (size_t i = 0; i < packets.size(); ++i) {
+    Result<bool> fed = clean.Feed(packets[i], 0);
+    ASSERT_TRUE(fed.ok());
+    EXPECT_EQ(fed.value(), i == packets.size() - 1);
+  }
+  EXPECT_EQ(clean.TakeCompleted().body, body);
+}
+
+TEST(PacketizerTest, RejectsPreFirstLastAtWrongIndex) {
+  Reassembler r;
+  // LAST at index 2 arrives before FIRST.
+  WireHeader last = SampleHeader();
+  last.first = false;
+  last.last = true;
+  last.packet_id = 2;
+  std::vector<uint8_t> last_pkt(kWireHeaderBytes + 4);
+  EncodeWireHeader(last, last_pkt);
+  ASSERT_TRUE(r.Feed(last_pkt, 0).ok());
+  // FIRST then declares 6 fragments: index 2 cannot be the final one.
+  WireHeader first = SampleHeader();
+  first.first = true;
+  first.last = false;
+  first.packet_id = 0;
+  first.packet_count = 6;
+  std::vector<uint8_t> first_pkt(kWireHeaderBytes + 8);
+  EncodeWireHeader(first, first_pkt);
+  EXPECT_FALSE(r.Feed(first_pkt, 0).ok());
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+// Regression: a single-fragment FIRST|LAST message must erase a stale partial
+// buffered under the same key, so fragments of an earlier multi-fragment
+// attempt cannot later combine with retransmits into a duplicate completion.
+TEST(PacketizerTest, SingleFragmentSupersedesStalePartial) {
+  const std::vector<uint8_t> multi_body = PatternBody(3000);
+  auto multi = Fragment(SampleHeader(), multi_body, 1436);
+  ASSERT_EQ(multi.size(), 3u);
+  const std::vector<uint8_t> single_body = PatternBody(80);
+  auto single = Fragment(SampleHeader(), single_body, 1436);
+  ASSERT_EQ(single.size(), 1u);
+
+  Reassembler r;
+  ASSERT_TRUE(r.Feed(multi[0], 0).ok());
+  EXPECT_EQ(r.pending(), 1u);
+  Result<bool> done = r.Feed(single[0], 0);
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done.value());
+  EXPECT_EQ(r.TakeCompleted().body, single_body);
+  EXPECT_EQ(r.pending(), 0u);
+  // The stale FIRST is gone: remaining fragments of the old attempt cannot
+  // complete a second message.
+  ASSERT_TRUE(r.Feed(multi[1], 0).ok());
+  Result<bool> tail = r.Feed(multi[2], 0);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_FALSE(tail.value());
+}
+
 // ---------------------------------------------------------------------------
 // Message types
 // ---------------------------------------------------------------------------

@@ -148,6 +148,37 @@ TEST(TransportBatchingTest, LargeMessagesBypassTheQueue) {
   EXPECT_EQ(a.counters().tx_physical_frames, 2u);
 }
 
+// Regression: an unbatched (large) message must not overtake small messages
+// already coalescing toward the same destination — it flushes them first, so
+// per-destination delivery order stays FIFO even with a long doorbell.
+TEST(TransportBatchingTest, UnbatchedSendFlushesQueuedSmallMessagesFirst) {
+  BatchingFixture f;
+  f.costs.tx_batch_delay_ns = Micros(50);  // the flush must come from the large send
+  SinkHost a(&f.sim, f.costs);
+  SinkHost b(&f.sim, f.costs);
+  f.net.Attach(&a);
+  f.net.Attach(&b);
+
+  f.sim.At(0, [&]() {
+    a.Send(b.id(), SmallRequest(a.id(), 1));
+    a.Send(b.id(), SmallRequest(a.id(), 2));
+    a.Send(b.id(), SmallRequest(a.id(), 3, f.costs.tx_batch_small_bytes + 1));
+  });
+  f.sim.RunToCompletion();
+
+  ASSERT_EQ(b.received.size(), 3u);
+  for (size_t i = 0; i < b.received.size(); ++i) {
+    const auto* req = dynamic_cast<const RpcRequest*>(b.received[i].msg.get());
+    ASSERT_NE(req, nullptr);
+    EXPECT_EQ(req->rid().seq, i + 1);
+  }
+  // Two physical frames: the flushed two-message batch, then the large one —
+  // both well before the doorbell would have fired.
+  EXPECT_EQ(a.counters().tx_batches, 1u);
+  EXPECT_EQ(a.counters().tx_physical_frames, 2u);
+  EXPECT_LT(b.received.back().at, Micros(50));
+}
+
 TEST(TransportBatchingTest, FullBatchFlushesWithoutWaiting) {
   BatchingFixture f;
   f.costs.tx_batch_delay_ns = Micros(50);  // long doorbell to prove the cap flushes
