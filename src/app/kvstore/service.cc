@@ -4,6 +4,7 @@
 
 #include "src/common/buffer.h"
 #include "src/common/check.h"
+#include "src/r2p2/shard.h"
 
 namespace hovercraft {
 
@@ -233,6 +234,34 @@ Status KvService::RestoreState(const Body& snapshot) {
   }
   applied_ = applied;
   mutation_digest_ = digest;
+  return Status::Ok();
+}
+
+Body KvService::CaptureRange(uint32_t lo_slot, uint32_t hi_slot) const {
+  BufferWriter w(4096);
+  store_.SerializePartTo(w, [lo_slot, hi_slot](std::string_view key) {
+    const uint32_t slot = ShardSlotOf(key);
+    return slot >= lo_slot && slot <= hi_slot;
+  });
+  return MakeBody(w.TakeBytes());
+}
+
+Status KvService::InstallRange(const Body& range) {
+  if (range == nullptr) {
+    return InvalidArgumentError("null range payload");
+  }
+  BufferReader r(*range);
+  // Installed keys do not bump applied_ or mutation_digest_: those track the
+  // group's own executed log, and all replicas install the same bytes from
+  // the same log entry, so digests stay converged either way.
+  return store_.MergeFrom(r);
+}
+
+Status KvService::DropRange(uint32_t lo_slot, uint32_t hi_slot) {
+  store_.EraseIf([lo_slot, hi_slot](std::string_view key) {
+    const uint32_t slot = ShardSlotOf(key);
+    return slot >= lo_slot && slot <= hi_slot;
+  });
   return Status::Ok();
 }
 

@@ -40,6 +40,13 @@ class KvService final : public StateMachine {
   Body SnapshotState() const override;
   Status RestoreState(const Body& snapshot) override;
 
+  // Shard-move range handoff: keys are selected by ShardSlotOf(key), the
+  // same hash the router uses, so a moved range carries exactly the keys
+  // whose requests will be redirected to the destination group.
+  Body CaptureRange(uint32_t lo_slot, uint32_t hi_slot) const override;
+  Status InstallRange(const Body& range) override;
+  Status DropRange(uint32_t lo_slot, uint32_t hi_slot) override;
+
   const KvStore& store() const { return store_; }
   KvStore& store() { return store_; }
 

@@ -299,35 +299,115 @@ namespace {
 
 enum class ValueTag : uint8_t { kString = 0, kHash = 1, kList = 2, kSet = 3 };
 
+void SerializeEntry(BufferWriter& out, const std::string& key, const KvStore::Value& value) {
+  out.PutString(key);
+  if (const auto* s = std::get_if<KvStore::StringValue>(&value)) {
+    out.PutU8(static_cast<uint8_t>(ValueTag::kString));
+    out.PutString(*s);
+  } else if (const auto* h = std::get_if<KvStore::HashValue>(&value)) {
+    out.PutU8(static_cast<uint8_t>(ValueTag::kHash));
+    out.PutU64(h->size());
+    for (const auto& [field, v] : *h) {
+      out.PutString(field);
+      out.PutString(v);
+    }
+  } else if (const auto* l = std::get_if<KvStore::ListValue>(&value)) {
+    out.PutU8(static_cast<uint8_t>(ValueTag::kList));
+    out.PutU64(l->size());
+    for (const std::string& item : *l) {
+      out.PutString(item);
+    }
+  } else if (const auto* set = std::get_if<KvStore::SetValue>(&value)) {
+    out.PutU8(static_cast<uint8_t>(ValueTag::kSet));
+    out.PutU64(set->size());
+    for (const std::string& member : *set) {
+      out.PutString(member);
+    }
+  }
+}
+
+Status DeserializeEntry(BufferReader& in, std::string& key, KvStore::Value& value) {
+  uint8_t tag = 0;
+  if (Status s = in.GetString(key); !s.ok()) {
+    return s;
+  }
+  if (Status s = in.GetU8(tag); !s.ok()) {
+    return s;
+  }
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kString: {
+      std::string v;
+      if (Status s = in.GetString(v); !s.ok()) {
+        return s;
+      }
+      value = std::move(v);
+      return Status::Ok();
+    }
+    case ValueTag::kHash: {
+      uint64_t n = 0;
+      if (Status s = in.GetU64(n); !s.ok()) {
+        return s;
+      }
+      KvStore::HashValue h;
+      h.reserve(n);
+      for (uint64_t j = 0; j < n; ++j) {
+        std::string field;
+        std::string v;
+        if (Status s = in.GetString(field); !s.ok()) {
+          return s;
+        }
+        if (Status s = in.GetString(v); !s.ok()) {
+          return s;
+        }
+        h.emplace(std::move(field), std::move(v));
+      }
+      value = std::move(h);
+      return Status::Ok();
+    }
+    case ValueTag::kList: {
+      uint64_t n = 0;
+      if (Status s = in.GetU64(n); !s.ok()) {
+        return s;
+      }
+      KvStore::ListValue l;
+      for (uint64_t j = 0; j < n; ++j) {
+        std::string item;
+        if (Status s = in.GetString(item); !s.ok()) {
+          return s;
+        }
+        l.push_back(std::move(item));
+      }
+      value = std::move(l);
+      return Status::Ok();
+    }
+    case ValueTag::kSet: {
+      uint64_t n = 0;
+      if (Status s = in.GetU64(n); !s.ok()) {
+        return s;
+      }
+      KvStore::SetValue set;
+      set.reserve(n);
+      for (uint64_t j = 0; j < n; ++j) {
+        std::string member;
+        if (Status s = in.GetString(member); !s.ok()) {
+          return s;
+        }
+        set.insert(std::move(member));
+      }
+      value = std::move(set);
+      return Status::Ok();
+    }
+    default:
+      return InvalidArgumentError("unknown kv value tag");
+  }
+}
+
 }  // namespace
 
 void KvStore::SerializeTo(BufferWriter& out) const {
   out.PutU64(map_.size());
   for (const auto& [key, value] : map_) {
-    out.PutString(key);
-    if (const auto* s = std::get_if<StringValue>(&value)) {
-      out.PutU8(static_cast<uint8_t>(ValueTag::kString));
-      out.PutString(*s);
-    } else if (const auto* h = std::get_if<HashValue>(&value)) {
-      out.PutU8(static_cast<uint8_t>(ValueTag::kHash));
-      out.PutU64(h->size());
-      for (const auto& [field, v] : *h) {
-        out.PutString(field);
-        out.PutString(v);
-      }
-    } else if (const auto* l = std::get_if<ListValue>(&value)) {
-      out.PutU8(static_cast<uint8_t>(ValueTag::kList));
-      out.PutU64(l->size());
-      for (const std::string& item : *l) {
-        out.PutString(item);
-      }
-    } else if (const auto* set = std::get_if<SetValue>(&value)) {
-      out.PutU8(static_cast<uint8_t>(ValueTag::kSet));
-      out.PutU64(set->size());
-      for (const std::string& member : *set) {
-        out.PutString(member);
-      }
-    }
+    SerializeEntry(out, key, value);
   }
 }
 
@@ -340,82 +420,58 @@ Status KvStore::DeserializeFrom(BufferReader& in) {
   fresh.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     std::string key;
-    uint8_t tag = 0;
-    if (Status s = in.GetString(key); !s.ok()) {
+    Value value;
+    if (Status s = DeserializeEntry(in, key, value); !s.ok()) {
       return s;
     }
-    if (Status s = in.GetU8(tag); !s.ok()) {
-      return s;
-    }
-    switch (static_cast<ValueTag>(tag)) {
-      case ValueTag::kString: {
-        std::string v;
-        if (Status s = in.GetString(v); !s.ok()) {
-          return s;
-        }
-        fresh.emplace(std::move(key), std::move(v));
-        break;
-      }
-      case ValueTag::kHash: {
-        uint64_t n = 0;
-        if (Status s = in.GetU64(n); !s.ok()) {
-          return s;
-        }
-        HashValue h;
-        h.reserve(n);
-        for (uint64_t j = 0; j < n; ++j) {
-          std::string field;
-          std::string v;
-          if (Status s = in.GetString(field); !s.ok()) {
-            return s;
-          }
-          if (Status s = in.GetString(v); !s.ok()) {
-            return s;
-          }
-          h.emplace(std::move(field), std::move(v));
-        }
-        fresh.emplace(std::move(key), std::move(h));
-        break;
-      }
-      case ValueTag::kList: {
-        uint64_t n = 0;
-        if (Status s = in.GetU64(n); !s.ok()) {
-          return s;
-        }
-        ListValue l;
-        for (uint64_t j = 0; j < n; ++j) {
-          std::string item;
-          if (Status s = in.GetString(item); !s.ok()) {
-            return s;
-          }
-          l.push_back(std::move(item));
-        }
-        fresh.emplace(std::move(key), std::move(l));
-        break;
-      }
-      case ValueTag::kSet: {
-        uint64_t n = 0;
-        if (Status s = in.GetU64(n); !s.ok()) {
-          return s;
-        }
-        SetValue set;
-        set.reserve(n);
-        for (uint64_t j = 0; j < n; ++j) {
-          std::string member;
-          if (Status s = in.GetString(member); !s.ok()) {
-            return s;
-          }
-          set.insert(std::move(member));
-        }
-        fresh.emplace(std::move(key), std::move(set));
-        break;
-      }
-      default:
-        return InvalidArgumentError("unknown kv value tag");
-    }
+    fresh.insert_or_assign(std::move(key), std::move(value));
   }
   map_ = std::move(fresh);
   return Status::Ok();
+}
+
+void KvStore::SerializePartTo(BufferWriter& out, const KeyPredicate& pred) const {
+  uint64_t matched = 0;
+  for (const auto& [key, value] : map_) {
+    if (pred(key)) {
+      ++matched;
+    }
+  }
+  out.PutU64(matched);
+  for (const auto& [key, value] : map_) {
+    if (pred(key)) {
+      SerializeEntry(out, key, value);
+    }
+  }
+}
+
+Status KvStore::MergeFrom(BufferReader& in) {
+  uint64_t count = 0;
+  if (Status s = in.GetU64(count); !s.ok()) {
+    return s;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    Value value;
+    if (Status s = DeserializeEntry(in, key, value); !s.ok()) {
+      return s;
+    }
+    map_.insert_or_assign(std::move(key), std::move(value));
+  }
+  return Status::Ok();
+}
+
+size_t KvStore::EraseIf(const KeyPredicate& pred) {
+  size_t erased = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (pred(it->first)) {
+      it = map_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
 }
 
 }  // namespace hovercraft

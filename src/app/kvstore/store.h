@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -76,6 +77,18 @@ class KvStore {
   // the current contents.
   void SerializeTo(BufferWriter& out) const;
   Status DeserializeFrom(BufferReader& in);
+
+  // --- Shard-move range handoff (src/shard). The predicate selects keys by
+  // name, keeping the store agnostic of the shard hash. ---
+  using KeyPredicate = std::function<bool(std::string_view)>;
+  // Serializes only the keys matching `pred`, same wire format as
+  // SerializeTo (so MergeFrom reads either).
+  void SerializePartTo(BufferWriter& out, const KeyPredicate& pred) const;
+  // Inserts the payload's keys into the current contents (replacing on
+  // collision), instead of wiping the store like DeserializeFrom.
+  Status MergeFrom(BufferReader& in);
+  // Removes all keys matching `pred`; returns how many were erased.
+  size_t EraseIf(const KeyPredicate& pred);
 
  private:
   const Value* Find(std::string_view key) const;

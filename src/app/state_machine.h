@@ -44,6 +44,26 @@ class StateMachine {
   // a fresh instance must reproduce Digest()/ApplyCount() exactly.
   virtual Body SnapshotState() const = 0;
   virtual Status RestoreState(const Body& snapshot) = 0;
+
+  // --- Shard-move range handoff (src/shard, docs/sharding.md). A live shard
+  // move freezes a slot range at the source group, captures exactly that
+  // range, installs it at the destination, and finally drops it from the
+  // source. Slots are ShardSlotOf(key) values (src/r2p2/shard.h). The
+  // defaults refuse, so only shard-aware applications participate. ---
+  virtual Body CaptureRange(uint32_t lo_slot, uint32_t hi_slot) const {
+    (void)lo_slot;
+    (void)hi_slot;
+    return nullptr;
+  }
+  virtual Status InstallRange(const Body& range) {
+    (void)range;
+    return FailedPreconditionError("state machine does not support shard moves");
+  }
+  virtual Status DropRange(uint32_t lo_slot, uint32_t hi_slot) {
+    (void)lo_slot;
+    (void)hi_slot;
+    return FailedPreconditionError("state machine does not support shard moves");
+  }
 };
 
 }  // namespace hovercraft

@@ -55,6 +55,7 @@ class ChaosKvWorkload final : public Workload {
     Op out;
     out.body = EncodeKvCommand(cmd);
     out.read_only = cmd.IsReadOnly();
+    out.shard_slot = ShardSlotOf(cmd.key);
     return out;
   }
 

@@ -28,6 +28,18 @@ constexpr HostId kInvalidHost = -1;
 using NodeId = int32_t;
 constexpr NodeId kInvalidNode = -1;
 
+// Identifies one consensus group (shard) when several HovercRaft groups
+// share a fabric (src/shard). Deliberately a distinct type from NodeId —
+// node ids are group-local, group ids are fabric-global — so the two can
+// never be mixed up in a signature.
+struct GroupId {
+  int32_t value = -1;
+  constexpr bool valid() const { return value >= 0; }
+  constexpr bool operator==(GroupId other) const { return value == other.value; }
+  constexpr bool operator!=(GroupId other) const { return value != other.value; }
+};
+constexpr GroupId kInvalidGroup{-1};
+
 // Raft log positions and terms. Log indices are 1-based; 0 means "none".
 using LogIndex = uint64_t;
 using Term = uint64_t;

@@ -58,6 +58,16 @@ struct ClusterConfig {
   // real contention).
   bool stagger_first_election = true;
 
+  // Sharded composition (src/shard): borrow an external simulator and
+  // network instead of owning them, so N groups share one fabric and one
+  // virtual clock. Both non-owning and set together (or neither); they must
+  // outlive the cluster. A borrowing cluster never touches simulator-level
+  // singletons — observability, flight recorder and sinks are the sharded
+  // harness's job — so `obs`, `flight_recorder*` and `watchdog` below are
+  // ignored in this mode.
+  Simulator* external_sim = nullptr;
+  Network* external_net = nullptr;
+
   // Observability bundle (tracing + metrics + samplers). Non-owning; null
   // leaves every hook disabled. The cluster attaches it to its simulator,
   // names the trace tracks, and registers queue-depth samplers for its
@@ -92,8 +102,8 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  Simulator& sim() { return sim_; }
-  Network& network() { return net_; }
+  Simulator& sim() { return *sim_; }
+  Network& network() { return *net_; }
   const ClusterConfig& config() const { return config_; }
 
   // Runs the simulator until a leader exists (replicated modes). Returns the
@@ -192,8 +202,15 @@ class Cluster {
   // Idempotent per config index — every replica reports the same commit.
   void ApplyCommittedConfig(NodeId self, const MembershipConfig& config, LogIndex idx);
 
+  // True when this cluster borrowed its simulator/network (sharded
+  // composition) rather than owning them.
+  bool borrowed() const { return config_.external_sim != nullptr; }
+
   ClusterConfig config_;
-  Simulator sim_;
+  // Owned when the config does not borrow an external one; sim_/net_ point
+  // at whichever is active so the rest of the class is agnostic.
+  std::unique_ptr<Simulator> owned_sim_;
+  Simulator* sim_;
   // Default flight recorder, built when no external one is supplied and
   // flight_recorder_depth > 0. Declared before net_/servers_ so it outlives
   // every host that records into it.
@@ -201,7 +218,8 @@ class Cluster {
   // Whichever recorder (owned or external) the sinks were attached to; the
   // destructor detaches them from here.
   obs::FlightRecorder* active_recorder_ = nullptr;
-  Network net_;
+  std::unique_ptr<Network> owned_net_;
+  Network* net_;
   std::vector<std::unique_ptr<ReplicatedServer>> servers_;
   std::vector<HostId> server_hosts_;
   std::unique_ptr<Aggregator> aggregator_;

@@ -8,6 +8,7 @@
 #include "src/common/logging.h"
 #include "src/obs/observability.h"
 #include "src/r2p2/messages.h"
+#include "src/r2p2/shard.h"
 
 namespace hovercraft {
 
@@ -16,6 +17,17 @@ FlowControl::FlowControl(Simulator* sim, const CostModel& costs, Addr group, int
 
 void FlowControl::HandleMessage(HostId src, const MessagePtr& msg) {
   if (const auto* req = dynamic_cast<const RpcRequest*>(msg.get())) {
+    // Shard gate first, before any ledger state is touched: a request for a
+    // slot this group does not serve is redirected with the current map
+    // epoch, so the client refreshes its map and retries at the owner.
+    if (shard_gate_ && IsDataSlot(req->shard_slot())) {
+      const uint64_t epoch = shard_gate_(req->shard_slot());
+      if (epoch != 0) {
+        ++wrong_shard_nacked_;
+        Send(src, std::make_shared<WrongShardNack>(req->rid(), epoch));
+        return;
+      }
+    }
     if (threshold_ > 0 && outstanding() >= threshold_ && open_.count(req->rid()) == 0) {
       ++nacked_;
       obs::MarkStageAll(sim(), req->rid(), obs::Stage::kNacked, kInvalidNode, sim()->Now());
@@ -103,7 +115,7 @@ void FlowControl::RecordFlowOp(obs::FrFlowOp op) {
   // count *after* the operation, so the event stream and the reported ledger
   // must always agree — any drift is a leaked or double-released slot.
   if (auto* fr = obs::FrOf(sim())) {
-    fr->Record(sim()->Now(), kInvalidNode, obs::FrType::kFlow,
+    fr->Record(sim()->Now(), obs_node_, obs::FrType::kFlow,
                static_cast<uint64_t>(open_.size()), static_cast<uint64_t>(threshold_),
                static_cast<uint32_t>(op));
   }

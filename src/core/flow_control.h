@@ -19,6 +19,7 @@
 #define SRC_CORE_FLOW_CONTROL_H_
 
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
 #include <vector>
 
@@ -40,9 +41,24 @@ class FlowControl final : public Host {
   // admissions multicast to the new member set; open slots are untouched.
   void SetGroup(Addr group) { group_ = group; }
 
+  // Sharding (src/shard): consulted BEFORE admission for data slots. Returns
+  // 0 when this group serves the slot per the authoritative ShardMap, else
+  // the map's current epoch — the request is answered with a
+  // WrongShardNack(epoch) and no admission slot is ever charged, so a
+  // redirect can never leak ledger state.
+  using ShardGateFn = std::function<uint64_t(uint32_t slot)>;
+  void set_shard_gate(ShardGateFn gate) { shard_gate_ = std::move(gate); }
+
+  // Observability namespace for ledger events. Default kInvalidNode (the
+  // historic single-group stream); sharded runs assign each group's
+  // middlebox a pseudo-node inside the group's obs range so its node-
+  // filtered watchdog still sees the flow-balance stream.
+  void set_obs_node(NodeId node) { obs_node_ = node; }
+
   int64_t outstanding() const { return static_cast<int64_t>(open_.size()); }
   uint64_t forwarded() const { return forwarded_; }
   uint64_t nacked() const { return nacked_; }
+  uint64_t wrong_shard_nacked() const { return wrong_shard_nacked_; }
   uint64_t reconciles_started() const { return reconciles_started_; }
   uint64_t reconciled_released() const { return reconciled_released_; }
   uint64_t force_released() const { return force_released_; }
@@ -61,9 +77,12 @@ class FlowControl final : public Host {
 
   Addr group_;
   int64_t threshold_;
+  ShardGateFn shard_gate_;
+  NodeId obs_node_ = kInvalidNode;
   std::unordered_set<RequestId, RequestIdHash> open_;
   uint64_t forwarded_ = 0;
   uint64_t nacked_ = 0;
+  uint64_t wrong_shard_nacked_ = 0;
 
   // Reconcile state (one in flight at a time; a new leader restarts it).
   HostId leader_ = kInvalidHost;

@@ -19,14 +19,15 @@ ReplicatedServer::ReplicatedServer(Simulator* sim, const CostModel& costs,
       app_(std::move(app)),
       app_thread_(sim) {
   HC_CHECK(app_ != nullptr);
+  InitShardState();
   if (IsReplicated()) {
     // Disk seed decorrelated from the raft RNG stream so adding durability
     // does not perturb existing election/jitter draws. The fsync cost is the
     // paper's persist_latency knob; zero keeps syncs inline and event-free.
     disk_ = std::make_unique<SimDisk>(sim, seed ^ 0x5EEDD15Cu, config_.raft.persist_latency);
-    disk_->set_node(config_.raft.id);
+    disk_->set_node(obs_node_id());
     storage_ = std::make_unique<StableStorage>(disk_.get(), config_.fsync_policy);
-    storage_->set_node(config_.raft.id);
+    storage_->set_node(obs_node_id());
     raft_ = std::make_unique<RaftNode>(sim, seed, config_.raft, this);
     raft_->set_storage(storage_.get());
     genesis_app_state_ = app_->SnapshotState();
@@ -34,6 +35,26 @@ ReplicatedServer::ReplicatedServer(Simulator* sim, const CostModel& costs,
 }
 
 ReplicatedServer::~ReplicatedServer() = default;
+
+void ReplicatedServer::InitShardState() {
+  shard_ = ShardServeState{};
+  shard_.sharded = config_.sharded;
+  if (!config_.sharded) {
+    return;
+  }
+  // Everything outside the owned set starts dropped: this group rejects
+  // those slots until a committed install entry hands them over.
+  std::vector<bool> owned(kShardSlots, false);
+  for (uint32_t slot : config_.shard_owned_slots) {
+    HC_CHECK(IsDataSlot(slot));
+    owned[slot] = true;
+  }
+  for (uint32_t slot = 0; slot < kShardSlots; ++slot) {
+    if (!owned[slot]) {
+      shard_.Drop(slot, slot);
+    }
+  }
+}
 
 void ReplicatedServer::Wire(std::vector<HostId> node_hosts, HostId aggregator_host,
                             HostId flow_control_host) {
@@ -99,7 +120,7 @@ void ReplicatedServer::Restart() {
 
 void ReplicatedServer::PersistLocalSnapshot() {
   // Blob layout: [u8 has_config]([u64 config_idx][config])?[wire body] where
-  // the wire body is CaptureSnapshot()'s [sessions][app bytes] format. The
+  // the wire body is CaptureSnapshot()'s [sessions][shard][app bytes]. The
   // membership config rides along so a recovered node whose whole log was
   // compacted away still knows who its peers are.
   RaftNode::Env::SnapshotCapture capture = CaptureSnapshot();
@@ -134,6 +155,7 @@ void ReplicatedServer::RecoverFromStorage() {
     }
     const Status sessions_ok = sessions_.Restore(&r);
     HC_CHECK(sessions_ok.ok());
+    HC_CHECK(shard_.Restore(&r).ok());
     std::vector<uint8_t> app_bytes;
     HC_CHECK(r.GetBytes(r.remaining(), app_bytes).ok());
     HC_CHECK(app_->RestoreState(MakeBody(std::move(app_bytes))).ok());
@@ -144,6 +166,7 @@ void ReplicatedServer::RecoverFromStorage() {
     // so discard it; the node stays suspect (it may have acknowledged those
     // entries) and the leader re-seeds it by state transfer.
     sessions_.Clear();
+    InitShardState();
     HC_CHECK(app_->RestoreState(genesis_app_state_).ok());
     if (rec.base_index != 0) {
       rec.entries.clear();
@@ -289,7 +312,7 @@ void ReplicatedServer::HandleMessage(HostId src, const MessagePtr& msg) {
 // ---------------------------------------------------------------------------
 
 void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request) {
-  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kReplicaRx, node_id(), sim()->Now());
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kReplicaRx, obs_node_id(), sim()->Now());
   if (request->policy() == R2p2Policy::kUnrestricted) {
     // Non-replicated request (paper section 6.1): served by whichever
     // replica the client picked, bypassing consensus, with the possibility
@@ -317,6 +340,29 @@ void ReplicatedServer::OnClientRequest(std::shared_ptr<const RpcRequest> request
       // Retransmissions bypass the flow-control middlebox, so no FEEDBACK
       // is owed for a cached reply.
       SendReply(request->rid(), std::move(cached), /*send_feedback=*/false);
+    }
+    return;
+  }
+  // Shard gate at the ordering entrance: the leader refuses to order data
+  // requests for slots this group does not serve (moved away, mid-move
+  // frozen, or never owned — a client raced a ShardMap epoch bump). The
+  // redirect tells the client to refresh its map and resend; the session
+  // table is deliberately untouched, so a rejected rid can execute at its
+  // real owner without this group's table disagreeing with its peers'.
+  // Follower copies of a foreign multicast just park in the unordered set
+  // and age out via TTL GC.
+  if (config_.sharded && raft_->IsLeader() && IsDataSlot(request->shard_slot()) &&
+      !shard_.Serves(request->shard_slot())) {
+    ++stats_.wrong_shard_nacks;
+    Send(request->rid().client, std::make_shared<WrongShardNack>(request->rid(), 0));
+    // A first attempt was admitted by this group's middlebox but will never
+    // be ordered here — repay its slot now (the redirected resend bypasses
+    // admission, so nothing else will). Repay is rid-keyed and idempotent at
+    // the ledger, so a parked copy later rejected at apply cannot double-
+    // close the slot.
+    if (!request->is_retransmit() && flow_control_host_ != kInvalidHost) {
+      ++stats_.feedback_sent;
+      Send(flow_control_host_, std::make_shared<FeedbackMsg>(request->rid()));
     }
     return;
   }
@@ -383,7 +429,8 @@ bool ReplicatedServer::TryServeReadIndex(const std::shared_ptr<const RpcRequest>
     ++stats_.feedback_sent;
     Send(flow_control_host_, std::make_shared<FeedbackMsg>(request->rid()));
   }
-  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kReadGranted, node_id(), sim()->Now());
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kReadGranted, obs_node_id(),
+                    sim()->Now());
   if (grant.replier == node_id()) {
     ++stats_.read_index_local;
     if (apply_cursor_ >= grant.read_index) {
@@ -412,7 +459,7 @@ void ReplicatedServer::OnReadIndexGrant(const ReadIndexGrantMsg& grant) {
     return;
   }
   ++stats_.read_index_remote;
-  obs::MarkStageAll(sim(), grant.rid(), obs::Stage::kReadGranted, node_id(), sim()->Now());
+  obs::MarkStageAll(sim(), grant.rid(), obs::Stage::kReadGranted, obs_node_id(), sim()->Now());
   if (apply_cursor_ >= grant.read_index()) {
     ExecuteLeasedRead(request, sim()->Now());
   } else {
@@ -433,12 +480,12 @@ void ReplicatedServer::ExecuteLeasedRead(const std::shared_ptr<const RpcRequest>
     // Grant-to-execution wait: zero on the immediate path, the apply-cursor
     // catch-up lag for queued reads. Puts leased reads on the per-stage map.
     o->metrics()
-        .GetHistogram(obs::NodeScope(node_id()) + "raft.read_index_wait_ns")
+        .GetHistogram(obs::NodeScope(obs_node_id()) + "raft.read_index_wait_ns")
         .Record(sim()->Now() - granted);
   }
   const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
-  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyStart, node_id(), apply_start);
-  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyEnd, node_id(),
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyStart, obs_node_id(), apply_start);
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyEnd, obs_node_id(),
                     apply_start + result.service_time);
   if (auto* tracer = obs::TracerOf(sim())) {
     tracer->Complete(obs::TrackOfHost(id()), obs::kTidApp, "apply", apply_start,
@@ -523,7 +570,7 @@ void ReplicatedServer::ExecuteUnreplicated(const std::shared_ptr<const RpcReques
   ExecResult result = app_->Execute(*request);
   ++stats_.ops_executed;
   if (track_session) {
-    sessions_.Record(request->rid(), result.reply);
+    sessions_.Record(request->rid(), result.reply, request->shard_slot());
   }
   // An unreplicated server wired behind an R2P2 router / flow-control box
   // owes FEEDBACK per completion; unrestricted requests inside a replicated
@@ -532,8 +579,8 @@ void ReplicatedServer::ExecuteUnreplicated(const std::shared_ptr<const RpcReques
   const bool send_feedback =
       (config_.mode == ClusterMode::kUnreplicated) && !request->is_retransmit();
   const TimeNs apply_start = std::max(sim()->Now(), app_thread_.busy_until());
-  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyStart, node_id(), apply_start);
-  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyEnd, node_id(),
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyStart, obs_node_id(), apply_start);
+  obs::MarkStageAll(sim(), request->rid(), obs::Stage::kApplyEnd, obs_node_id(),
                     apply_start + result.service_time);
   if (auto* tracer = obs::TracerOf(sim())) {
     tracer->Complete(obs::TrackOfHost(id()), obs::kTidApp, "apply", apply_start,
@@ -569,9 +616,47 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
   }
   HC_CHECK(entry.request != nullptr);
 
+  // Shard-control entries (freeze / install / gc) take their own apply path:
+  // they mutate the serve state and the moved ranges, not the application.
+  if (config_.sharded && entry.request->shard_slot() == kShardCtlSlot) {
+    ApplyShardCtl(idx, entry);
+    return;
+  }
+
   // Session-table GC rides in the log entry: every replica raises the
   // client's ack watermark at the same log position (deterministic state).
   sessions_.Acknowledge(entry.rid.client, entry.ack_watermark);
+
+  // Apply-time shard gate: a data entry for a slot this group no longer
+  // serves (ordered before the freeze committed, or re-drained after a GC)
+  // must not execute — the capture that moved the range excludes it, so
+  // executing here would fork state against the destination group. Every
+  // replica evaluates the same log-derived serve state at the same position,
+  // so all of them skip it identically. Nothing is recorded in the session
+  // table: the rid stays free to execute at its real owner. The replier
+  // redirects the waiting client, and the first ordered instance repays the
+  // admission slot the entry still holds.
+  if (config_.sharded && IsDataSlot(entry.request->shard_slot()) &&
+      !shard_.Serves(entry.request->shard_slot())) {
+    ++stats_.wrong_shard_rejects;
+    const bool reject_feedback =
+        !sessions_.Executed(entry.rid) && entry.replier == self;
+    app_thread_.Submit(0, [this, idx, rid = entry.rid,
+                           reply_here = entry.replier == self, reject_feedback]() {
+      raft_->OnApplied(idx);
+      if (failed()) {
+        return;
+      }
+      if (reply_here) {
+        Send(rid.client, std::make_shared<WrongShardNack>(rid, 0));
+      }
+      if (reject_feedback && flow_control_host_ != kInvalidHost) {
+        ++stats_.feedback_sent;
+        Send(flow_control_host_, std::make_shared<FeedbackMsg>(rid));
+      }
+    });
+    return;
+  }
 
   // Is this the first ordered instance of this rid? Every replica evaluates
   // the same session state at the same log position, so the answer is
@@ -588,7 +673,7 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
     // (paper section 3.5). Still mark the rid as seen so this replica's
     // session table stays identical to the replier's.
     ++stats_.ro_skipped;
-    sessions_.Record(entry.rid, nullptr);
+    sessions_.Record(entry.rid, nullptr, entry.request->shard_slot());
     app_thread_.Submit(0, [this, idx]() { raft_->OnApplied(idx); });
     return;
   }
@@ -618,7 +703,7 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
     ++stats_.double_applies;  // dedup disabled: the anomaly, made visible
   }
   if (auto* fr = obs::FrOf(sim())) {
-    fr->Record(sim()->Now(), self, obs::FrType::kApply,
+    fr->Record(sim()->Now(), obs_node_id(), obs::FrType::kApply,
                static_cast<uint64_t>(entry.rid.client), entry.rid.seq, duplicate ? 1u : 0u);
   }
 
@@ -631,7 +716,8 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
   // retransmitted read is always re-executed for freshness, so there is
   // nothing to cache — the entry only pins down "first instance" above and
   // keeps every replica's session table byte-identical).
-  sessions_.Record(entry.rid, entry.read_only ? nullptr : result.reply);
+  sessions_.Record(entry.rid, entry.read_only ? nullptr : result.reply,
+                   entry.request->shard_slot());
   const bool reply_here = (entry.replier == self);
   const RequestId rid = entry.rid;
   const bool send_feedback = first_instance;
@@ -639,8 +725,8 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
   if (reply_here) {
     // Stage marks follow the designated replier — the copy whose execution
     // produces the reply the client is waiting on.
-    obs::MarkStageAll(sim(), rid, obs::Stage::kApplyStart, self, apply_start);
-    obs::MarkStageAll(sim(), rid, obs::Stage::kApplyEnd, self,
+    obs::MarkStageAll(sim(), rid, obs::Stage::kApplyStart, obs_node_id(), apply_start);
+    obs::MarkStageAll(sim(), rid, obs::Stage::kApplyEnd, obs_node_id(),
                       apply_start + result.service_time);
   }
   if (auto* tracer = obs::TracerOf(sim())) {
@@ -662,12 +748,94 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
                      });
 }
 
+void ReplicatedServer::ApplyShardCtl(LogIndex idx, const LogEntry& entry) {
+  const NodeId self = node_id();
+  // A duplicate control entry (a parked multicast copy re-drained into the
+  // log by a new leader after the original committed) must be a no-op: a
+  // freeze is idempotent, but re-running an install would roll the moved
+  // range back below writes committed after the cutover. Control rids are
+  // recorded in the same session table as data writes, so Executed() here is
+  // the same deterministic, replicated dedup the data path uses.
+  if (sessions_.Executed(entry.rid)) {
+    ++stats_.dedup_hits;
+    app_thread_.Submit(0, [this, idx]() { raft_->OnApplied(idx); });
+    return;
+  }
+  sessions_.Acknowledge(entry.rid.client, entry.ack_watermark);
+  ShardOp op;
+  const Status decoded = DecodeShardOp(entry.request->body(), &op);
+  HC_CHECK(decoded.ok());
+  const bool reply_here = (entry.replier == self);
+  Body reply;
+  TimeNs cost = costs().ae_fixed_ns;
+  switch (op.kind) {
+    case ShardOpKind::kFreeze: {
+      shard_.Freeze(op.lo, op.hi);
+      ++stats_.shard_freezes;
+      // Only the designated replier builds the capture: it is not replicated
+      // state (every replica could produce the identical bytes) — it travels
+      // to the coordinator in the reply and reaches the destination group
+      // inside the install entry.
+      if (reply_here) {
+        BufferWriter w;
+        sessions_.SerializeRange(&w, op.lo, op.hi);
+        const Body app_range = app_->CaptureRange(op.lo, op.hi);
+        HC_CHECK(app_range != nullptr);
+        w.PutBytes(*app_range);
+        reply = MakeBody(w.TakeBytes());
+        cost += static_cast<TimeNs>(costs().ae_payload_byte_ns *
+                                    static_cast<double>(reply->size()));
+      }
+      break;
+    }
+    case ShardOpKind::kInstall: {
+      HC_CHECK(op.payload != nullptr);
+      BufferReader r(op.payload->bytes());
+      HC_CHECK(sessions_.MergeRange(&r).ok());
+      std::vector<uint8_t> app_bytes;
+      HC_CHECK(r.GetBytes(r.remaining(), app_bytes).ok());
+      HC_CHECK(app_->InstallRange(MakeBody(std::move(app_bytes))).ok());
+      shard_.Install(op.lo, op.hi);
+      ++stats_.shard_installs;
+      cost += static_cast<TimeNs>(costs().ae_payload_byte_ns *
+                                  static_cast<double>(op.payload->size()));
+      break;
+    }
+    case ShardOpKind::kGc: {
+      sessions_.DropRange(op.lo, op.hi);
+      HC_CHECK(app_->DropRange(op.lo, op.hi).ok());
+      shard_.Drop(op.lo, op.hi);
+      ++stats_.shard_gcs;
+      break;
+    }
+  }
+  // Every replica records the same marker (the capture reply above is sent
+  // but never cached — the coordinator uses a fresh rid per retry, so the
+  // cache would serve nothing). The marker is what makes duplicates no-ops.
+  sessions_.Record(entry.rid, MakeBody(std::vector<uint8_t>{1}), kShardCtlSlot);
+  if (auto* fr = obs::FrOf(sim())) {
+    fr->Record(sim()->Now(), obs_node_id(), obs::FrType::kApply,
+               static_cast<uint64_t>(entry.rid.client), entry.rid.seq, 0u);
+  }
+  const bool send_feedback = !entry.read_only;  // ctl ops are writes; repay once
+  if (reply_here && reply == nullptr) {
+    reply = MakeBody(std::vector<uint8_t>{1});  // install/gc ack
+  }
+  app_thread_.Submit(cost, [this, idx, rid = entry.rid, reply_here, send_feedback,
+                            body = std::move(reply)]() {
+    raft_->OnApplied(idx);
+    if (reply_here) {
+      SendReply(rid, body, send_feedback);
+    }
+  });
+}
+
 void ReplicatedServer::SendReply(const RequestId& rid, Body body, bool send_feedback) {
   if (failed()) {
     return;
   }
   ++stats_.replies_sent;
-  obs::MarkStageAll(sim(), rid, obs::Stage::kReplySent, node_id(), sim()->Now());
+  obs::MarkStageAll(sim(), rid, obs::Stage::kReplySent, obs_node_id(), sim()->Now());
   // R2P2 lets the reply's source differ from the request's destination — the
   // mechanism enabling reply load balancing (paper section 3.3).
   Send(rid.client, std::make_shared<RpcResponse>(rid, std::move(body)));
@@ -715,10 +883,13 @@ RaftNode::Env::SnapshotCapture ReplicatedServer::CaptureSnapshot() {
   // prefix through apply_cursor_. The session table is maintained at the
   // same points, so it is captured alongside: a straggler repaired by state
   // transfer must keep recognizing retransmits of compacted-away requests.
-  // Layout: [session table (self-delimiting)][application state bytes].
+  // The shard serve state is log-derived the same way and travels too, so a
+  // repaired straggler gates exactly like its peers.
+  // Layout: [session table][shard serve state][application state bytes].
   SnapshotCapture capture;
   BufferWriter w;
   sessions_.Serialize(&w);
+  shard_.Serialize(&w);
   const Body app_state = app_->SnapshotState();
   if (app_state != nullptr) {
     w.PutBytes(*app_state);
@@ -735,6 +906,8 @@ void ReplicatedServer::RestoreSnapshot(const Body& state, LogIndex last_included
   BufferReader r(*state);
   const Status sessions_ok = sessions_.Restore(&r);
   HC_CHECK(sessions_ok.ok());
+  const Status shard_ok = shard_.Restore(&r);
+  HC_CHECK(shard_ok.ok());
   std::vector<uint8_t> app_bytes;
   const Status app_ok = r.GetBytes(r.remaining(), app_bytes);
   HC_CHECK(app_ok.ok());

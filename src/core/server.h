@@ -24,6 +24,7 @@
 #include "src/core/unordered_store.h"
 #include "src/net/host.h"
 #include "src/r2p2/messages.h"
+#include "src/r2p2/shard.h"
 #include "src/raft/node.h"
 #include "src/raft/options.h"
 #include "src/storage/fsync_policy.h"
@@ -58,6 +59,14 @@ struct ServerConfig {
   // silently truncated (the classic unsafe repair) instead of quarantined
   // behind the suspect gate and re-fetched from the leader.
   bool wal_recovery = true;
+  // Multi-group sharding (src/shard, docs/sharding.md). When set, this
+  // server belongs to one of several consensus groups partitioning the
+  // keyspace: it serves only the slots in shard_owned_slots, rejects data
+  // entries for foreign slots at arrival and at apply (WrongShardNack), and
+  // applies kShardCtlSlot control entries (freeze / install / gc) that move
+  // slot ranges between groups.
+  bool sharded = false;
+  std::vector<uint32_t> shard_owned_slots;
 };
 
 struct ServerStats {
@@ -90,6 +99,15 @@ struct ServerStats {
   uint64_t read_index_remote = 0;
   uint64_t read_index_queued = 0;
   uint64_t read_index_dropped = 0;
+  // Sharding (src/shard): requests redirected because this group does not
+  // serve their slot — at leader arrival, and at apply time for entries
+  // ordered before a freeze took effect.
+  uint64_t wrong_shard_nacks = 0;
+  uint64_t wrong_shard_rejects = 0;
+  // Shard-move control entries applied (freeze / install / gc).
+  uint64_t shard_freezes = 0;
+  uint64_t shard_installs = 0;
+  uint64_t shard_gcs = 0;
 };
 
 class ReplicatedServer final : public Host, public RaftNode::Env {
@@ -164,6 +182,11 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   const UnorderedStore& unordered() const { return unordered_; }
   const SessionTable& sessions() const { return sessions_; }
   NodeId node_id() const { return config_.raft.id; }
+  // Observability namespace: the group-local node id shifted into this
+  // group's disjoint range, so rings/metrics/watchdog state never alias
+  // across groups sharing one fabric.
+  NodeId obs_node_id() const { return config_.raft.obs_id(); }
+  const ShardServeState& shard_state() const { return shard_; }
   const ServerConfig& config() const { return config_; }
   SerialResource& app_thread() { return app_thread_; }
   // Durable storage (null for kUnreplicated). Exposed for the disk-fault
@@ -192,6 +215,14 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   void ExecuteLeasedRead(const std::shared_ptr<const RpcRequest>& request, TimeNs granted);
   void DrainPendingReads();
   void ScheduleApply(LogIndex idx);
+  // Applies a kShardCtlSlot entry: freeze (replier captures the range),
+  // install (all replicas merge it), or gc (all replicas drop it). Dedup'd
+  // through the session table like any write, so a re-drained duplicate of a
+  // control entry can never re-run a move step.
+  void ApplyShardCtl(LogIndex idx, const LogEntry& entry);
+  // Resets shard_ to the configured initial ownership (ctor, and the
+  // recovery path of last resort when the on-disk snapshot is unreadable).
+  void InitShardState();
   void SendReply(const RequestId& rid, Body body, bool send_feedback = true);
   // Protocol CPU beyond raw byte handling, charged on the net thread.
   TimeNs ProtocolCpu(const Message& msg) const;
@@ -218,6 +249,10 @@ class ReplicatedServer final : public Host, public RaftNode::Env {
   // prefix, so it survives Restart() alongside the application state and
   // travels inside snapshots (serialized ahead of the app bytes).
   SessionTable sessions_;
+  // Which slots this group currently serves. Mutated ONLY by applying
+  // committed control entries (and snapshot restore), never by arrival-time
+  // state, so every replica gates every log entry identically.
+  ShardServeState shard_;
 
   std::vector<HostId> node_hosts_;
   HostId aggregator_host_ = kInvalidHost;

@@ -20,14 +20,19 @@
 #include "src/common/types.h"
 #include "src/r2p2/messages.h"
 #include "src/r2p2/request_id.h"
+#include "src/r2p2/shard.h"
 
 namespace hovercraft {
 
 class SessionTable {
  public:
   // Records the reply for an executed request. Idempotent for a given rid
-  // (re-recording overwrites, but callers consult Executed() first).
-  void Record(const RequestId& rid, Body reply);
+  // (re-recording overwrites, but callers consult Executed() first). `slot`
+  // tags the entry with the shard slot of the key it wrote, so a live shard
+  // move can hand exactly the moved range's dedup state to the destination
+  // group (SerializeRange / DropRange); kNoShardSlot for unsharded servers
+  // and control entries.
+  void Record(const RequestId& rid, Body reply, uint32_t slot = kNoShardSlot);
 
   // True when the request has already been executed: either its reply is
   // still cached, or its sequence sits at or below the client's ack
@@ -49,6 +54,25 @@ class SessionTable {
   void Serialize(BufferWriter* w) const;
   Status Restore(BufferReader* r);
 
+  // --- Shard-move range handoff (docs/sharding.md). ---
+  // SerializeRange emits the cached replies whose slot tag falls in
+  // [lo, hi] — the exactly-once state that must travel with the moved keys.
+  // Ack watermarks are deliberately NOT transferred: a watermark only rises
+  // after the client has resolved every reply at or below it, so any request
+  // the destination could still see is either above the watermark (its reply
+  // is in the range payload) or genuinely new.
+  void SerializeRange(BufferWriter* w, uint32_t lo, uint32_t hi) const;
+  // Merges a SerializeRange payload into this table. Entries at or below a
+  // client's local ack watermark are dropped (the client already resolved
+  // them); existing entries for the same rid are kept (the local copy was
+  // recorded by this group's own log and wins).
+  Status MergeRange(BufferReader* r);
+  // Drops cached replies whose slot tag falls in [lo, hi] — the source
+  // group's GC step after a move commits. Sessions left with no replies and
+  // a zero watermark are erased entirely (same condition on every replica,
+  // so tables stay byte-identical).
+  void DropRange(uint32_t lo, uint32_t hi);
+
   void Clear() { sessions_.clear(); }
 
   size_t client_count() const { return sessions_.size(); }
@@ -56,11 +80,15 @@ class SessionTable {
   uint64_t AckWatermark(HostId client) const;
 
  private:
+  struct Cached {
+    Body reply;
+    uint32_t slot = kNoShardSlot;
+  };
   struct ClientSession {
     uint64_t ack_watermark = 0;
     // seq -> reply, only for seq > ack_watermark. Ordered for deterministic
     // serialization (snapshot bytes must be identical across replicas).
-    std::map<uint64_t, Body> replies;
+    std::map<uint64_t, Cached> replies;
   };
 
   // Ordered by client id, same determinism requirement as above.

@@ -45,6 +45,12 @@ Addr ClientHost::ResolveTarget(const Pending& pending) {
   if (pending.unrestricted) {
     return unrestricted_targets_[rng_.NextBelow(unrestricted_targets_.size())];
   }
+  if (shard_route_ != nullptr && IsDataSlot(pending.shard_slot)) {
+    const ShardRoute route = shard_route_(pending.shard_slot);
+    // Retries and post-redirect resends take the retry path (group
+    // multicast), matching the unsharded bypass-the-middlebox semantics.
+    return pending.attempts > 1 ? route.retry : route.ingress;
+  }
   // Re-resolved per attempt: retries chase the current leader / retry path.
   if (retry_target_ != nullptr && pending.attempts > 1) {
     return retry_target_();
@@ -89,10 +95,11 @@ void ClientHost::SendOne() {
   pending.first_sent = now;
   pending.policy = policy;
   pending.body = std::move(op.body);
+  pending.shard_slot = op.shard_slot;
   pending.unrestricted = unrestricted;
   const Addr dst = ResolveTarget(pending);
-  auto request =
-      std::make_shared<RpcRequest>(rid, policy, pending.body, /*attempt=*/1, ack_floor_);
+  auto request = std::make_shared<RpcRequest>(rid, policy, pending.body, /*attempt=*/1,
+                                              ack_floor_, pending.shard_slot);
   outstanding_.emplace(seq, std::move(pending));
   ++total_sent_;
   if (InWindow(now)) {
@@ -150,7 +157,8 @@ void ClientHost::ArmRetryTimer(uint64_t seq, uint32_t attempt) {
                           " attempt " + std::to_string(pending.attempts));
     }
     auto request = std::make_shared<RpcRequest>(rid, pending.policy, pending.body,
-                                                pending.attempts, ack_floor_);
+                                                pending.attempts, ack_floor_,
+                                                pending.shard_slot);
     Send(ResolveTarget(pending), std::move(request));
     ArmRetryTimer(seq, pending.attempts);
   });
@@ -239,6 +247,41 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
       return;
     }
     return;  // duplicate reply (already completed) — suppressed
+  }
+  if (const auto* wrong = dynamic_cast<const WrongShardNack*>(msg.get())) {
+    auto it = outstanding_.find(wrong->rid().seq);
+    if (it == outstanding_.end() || shard_route_ == nullptr) {
+      return;  // already resolved, abandoned, or not a sharded client
+    }
+    Pending& pending = it->second;
+    ++total_redirects_;
+    if (pending.redirects >= kMaxImmediateRedirects) {
+      // Stop chasing back-to-back; the armed retry timer re-resolves the
+      // route at backoff pace (the slot is mid-move and frozen everywhere).
+      return;
+    }
+    ++pending.redirects;
+    ++pending.attempts;
+    sim()->Cancel(pending.retry_timer);
+    const TimeNs now = sim()->Now();
+    if (auto* tracer = obs::TracerOf(sim())) {
+      tracer->Instant(obs::kClusterPid, obs::kTidEvents, "wrong-shard", now,
+                      "c" + std::to_string(id()) + ":" + std::to_string(wrong->rid().seq) +
+                          " slot " + std::to_string(pending.shard_slot) + " epoch " +
+                          std::to_string(wrong->epoch()));
+    }
+    // Refresh the map view (inside ResolveTarget) and resend at the new
+    // owner. Still the same logical invocation: no observer event, and the
+    // bumped attempt count marks the resend a retransmit server-side.
+    const RequestId rid{id(), wrong->rid().seq};
+    auto request = std::make_shared<RpcRequest>(rid, pending.policy, pending.body,
+                                                pending.attempts, ack_floor_,
+                                                pending.shard_slot);
+    Send(ResolveTarget(pending), std::move(request));
+    if (retry_policy_.enabled) {
+      ArmRetryTimer(wrong->rid().seq, pending.attempts);
+    }
+    return;
   }
   if (const auto* nack = dynamic_cast<const NackMsg*>(msg.get())) {
     auto it = outstanding_.find(nack->rid().seq);

@@ -70,6 +70,23 @@ class ClientHost final : public Host {
   // group, bypassing the flow-control middlebox (see Cluster::RetryTarget).
   void set_retry_target(TargetFn target) { retry_target_ = std::move(target); }
 
+  // Sharded routing (src/shard): ops tagged with a data slot resolve their
+  // destination through the route function instead of target_/retry_target_.
+  // Calling the function models refreshing the client's ShardMap view from
+  // the control plane; it returns the slot's owner ingress (admission path),
+  // its retry path (group multicast, bypassing the middlebox), and the map
+  // epoch the answer came from. On NACK_WRONG_SHARD the client re-resolves
+  // and resends immediately (bounded; the retry backoff takes over past the
+  // cap), so a request launched against a stale map chases the slot across a
+  // live move without ever counting as more than one logical invocation.
+  struct ShardRoute {
+    uint64_t epoch = 0;
+    Addr ingress = kInvalidHost;
+    Addr retry = kInvalidHost;
+  };
+  using ShardRouteFn = std::function<ShardRoute(uint32_t slot)>;
+  void EnableSharding(ShardRouteFn route) { shard_route_ = std::move(route); }
+
   // Generates arrivals in [start, stop).
   void StartLoad(TimeNs start, TimeNs stop);
 
@@ -114,6 +131,7 @@ class ClientHost final : public Host {
   uint64_t total_sent() const { return total_sent_; }
   uint64_t total_completed() const { return total_completed_; }
   uint64_t total_retransmits() const { return total_retransmits_; }
+  uint64_t total_redirects() const { return total_redirects_; }
   uint64_t total_abandoned() const { return total_abandoned_; }
   uint64_t completed_after_retry() const { return completed_after_retry_; }
   uint64_t late_completions() const { return late_completions_; }
@@ -121,12 +139,19 @@ class ClientHost final : public Host {
   // or NACKed); piggybacked on outgoing requests for session-table GC.
   uint64_t ack_watermark() const { return ack_floor_; }
 
+  // A redirected request resends at most this many times back-to-back; past
+  // the cap the regular retry backoff paces the chase (a move's freeze
+  // window can outlast any fixed redirect budget).
+  static constexpr uint32_t kMaxImmediateRedirects = 16;
+
  private:
   struct Pending {
     TimeNs first_sent = 0;
     R2p2Policy policy = R2p2Policy::kReplicatedReq;
     Body body;
     uint32_t attempts = 1;
+    uint32_t shard_slot = kNoShardSlot;
+    uint32_t redirects = 0;
     bool unrestricted = false;
     // Armed retry timer, cancelled O(1) when the request resolves. If the
     // timer already fired, the handle is stale and Cancel is a no-op.
@@ -145,6 +170,7 @@ class ClientHost final : public Host {
 
   TargetFn target_;
   TargetFn retry_target_;  // null = use target_
+  ShardRouteFn shard_route_;  // null = unsharded routing
   std::unique_ptr<Workload> workload_;
   double rate_rps_;
   Rng rng_;
@@ -177,6 +203,7 @@ class ClientHost final : public Host {
   uint64_t total_sent_ = 0;
   uint64_t total_completed_ = 0;
   uint64_t total_retransmits_ = 0;
+  uint64_t total_redirects_ = 0;
   uint64_t total_abandoned_ = 0;
   uint64_t completed_after_retry_ = 0;
   uint64_t late_completions_ = 0;

@@ -15,6 +15,7 @@
 #include "src/common/random.h"
 #include "src/common/types.h"
 #include "src/r2p2/messages.h"
+#include "src/r2p2/shard.h"
 #include "src/sim/distributions.h"
 
 namespace hovercraft {
@@ -27,6 +28,9 @@ class Workload {
     // True for reads that tolerate staleness: sent with the kUnrestricted
     // policy straight to one replica, bypassing consensus (section 6.1).
     bool unrestricted = false;
+    // Hash slot of the op's key for sharded deployments; kNoShardSlot for
+    // unsharded runs (never gated by shard middleware).
+    uint32_t shard_slot = kNoShardSlot;
   };
 
   virtual ~Workload() = default;
@@ -40,13 +44,29 @@ struct SyntheticWorkloadConfig {
   // Fraction of the read-only requests that tolerate stale data and skip
   // consensus entirely.
   double unrestricted_fraction = 0.0;
+  // Sharded runs: tag each op with a uniformly random data slot in
+  // [shard_slot_lo, shard_slot_hi] so the load spreads over the owning
+  // groups (the synthetic service has no real keys). The determinism tests
+  // narrow the range to one group's slots.
+  bool random_shard_slot = false;
+  uint32_t shard_slot_lo = 0;
+  uint32_t shard_slot_hi = kShardSlots - 1;
+  // > 0: draw the slot Zipfian-skewed instead of uniform (rank 0 =
+  // shard_slot_lo is the hottest). Makes hot-shard imbalance measurable —
+  // the load a rebalancer exists to move.
+  double shard_zipf_theta = 0.0;
   std::shared_ptr<const ServiceTimeDistribution> service_time =
       std::make_shared<FixedDistribution>(Micros(1));
 };
 
 class SyntheticWorkload final : public Workload {
  public:
-  explicit SyntheticWorkload(SyntheticWorkloadConfig config) : config_(std::move(config)) {}
+  explicit SyntheticWorkload(SyntheticWorkloadConfig config) : config_(std::move(config)) {
+    if (config_.random_shard_slot && config_.shard_zipf_theta > 0.0) {
+      slot_zipf_ = std::make_unique<ZipfianGenerator>(
+          config_.shard_slot_hi - config_.shard_slot_lo + 1, config_.shard_zipf_theta);
+    }
+  }
 
   Op Next(Rng& rng) override {
     SyntheticOp op;
@@ -58,11 +78,18 @@ class SyntheticWorkload final : public Workload {
     if (out.read_only && config_.unrestricted_fraction > 0.0) {
       out.unrestricted = rng.NextBool(config_.unrestricted_fraction);
     }
+    if (config_.random_shard_slot) {
+      const uint64_t span = config_.shard_slot_hi - config_.shard_slot_lo + 1;
+      out.shard_slot =
+          config_.shard_slot_lo +
+          static_cast<uint32_t>(slot_zipf_ ? slot_zipf_->Next(rng) : rng.NextBelow(span));
+    }
     return out;
   }
 
  private:
   SyntheticWorkloadConfig config_;
+  std::unique_ptr<ZipfianGenerator> slot_zipf_;
 };
 
 class YcsbEWorkload final : public Workload {
@@ -74,6 +101,7 @@ class YcsbEWorkload final : public Workload {
     Op out;
     out.body = EncodeKvCommand(cmd);
     out.read_only = cmd.IsReadOnly();
+    out.shard_slot = ShardSlotOf(cmd.key);
     return out;
   }
 

@@ -172,6 +172,21 @@ void FlightRecorder::WriteDump(std::ostream& out) const {
   out << "\n";
 }
 
+std::vector<FrEvent> FlightRecorder::NodeEvents(NodeId node) const {
+  std::vector<FrEvent> out;
+  const size_t idx = static_cast<size_t>(node + 1);
+  if (idx >= rings_.size()) {
+    return out;
+  }
+  const Ring& ring = rings_[idx];
+  const uint64_t kept = std::min<uint64_t>(ring.count, mask_ + 1);
+  out.reserve(kept);
+  for (uint64_t i = ring.count - kept; i < ring.count; ++i) {
+    out.push_back(ring.events[i & mask_]);
+  }
+  return out;
+}
+
 void FlightRecorder::DumpNow(const char* reason) {
   if (dumped_) {
     return;

@@ -145,6 +145,11 @@ class FlightRecorder {
   // are a pure function of the simulation).
   void WriteDump(std::ostream& out) const;
 
+  // Surviving events of one node's ring, oldest first. Test-facing: the
+  // shard determinism test compares group-0 rings byte-for-byte between runs
+  // with different group counts.
+  std::vector<FrEvent> NodeEvents(NodeId node) const;
+
   // Failure path: writes dump_path_ (when set) and prints a one-line summary
   // plus the repro command to stderr. Reentrancy-safe and idempotent per
   // process — only the first dump writes, so a violation dump is not
@@ -173,8 +178,11 @@ class FlightRecorder {
   int sink_count_ = 0;
   std::vector<Ring> rings_;
   std::vector<std::unique_ptr<FrEvent[]>> slabs_;
-  static constexpr int kMaxSinks = 2;  // watchdog + critical-path analyzer
-  Sink* sinks_[kMaxSinks] = {nullptr, nullptr};
+  // Sized for sharded runs: one node-filtered watchdog per consensus group
+  // (src/shard supports several groups on one fabric) plus the critical-path
+  // analyzer.
+  static constexpr int kMaxSinks = 10;
+  Sink* sinks_[kMaxSinks] = {};
   std::string repro_;
   std::string dump_path_;
   bool dumped_ = false;

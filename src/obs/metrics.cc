@@ -30,32 +30,39 @@ std::string FormatDouble(double v) {
 std::string NodeScope(NodeId node) { return "node" + std::to_string(node) + "/"; }
 
 void MetricsRegistry::AddCounter(const std::string& name, uint64_t delta) {
-  counters_[name] += delta;
+  std::string storage;
+  counters_[Key(name, storage)] += delta;
 }
 
 void MetricsRegistry::SetCounter(const std::string& name, uint64_t value) {
-  counters_[name] = value;
+  std::string storage;
+  counters_[Key(name, storage)] = value;
 }
 
 uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
-  auto it = counters_.find(name);
+  std::string storage;
+  auto it = counters_.find(Key(name, storage));
   return it == counters_.end() ? 0 : it->second;
 }
 
 void MetricsRegistry::SetGauge(const std::string& name, int64_t value) {
-  gauges_[name] = value;
+  std::string storage;
+  gauges_[Key(name, storage)] = value;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
-  auto it = histograms_.find(name);
+  std::string storage;
+  const std::string& key = Key(name, storage);
+  auto it = histograms_.find(key);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(name, Histogram()).first;
+    it = histograms_.emplace(key, Histogram()).first;
   }
   return it->second;
 }
 
 void MetricsRegistry::Sample(const std::string& name, TimeNs t, int64_t value) {
-  series_[name].emplace_back(t, value);
+  std::string storage;
+  series_[Key(name, storage)].emplace_back(t, value);
 }
 
 void MetricsRegistry::Clear() {

@@ -62,6 +62,9 @@ void Watchdog::Report(WatchdogCode code, const FrEvent& event, std::string detai
 }
 
 void Watchdog::OnFrEvent(const FrEvent& event) {
+  if (filtered_ && (event.node < filter_lo_ || event.node >= filter_hi_)) {
+    return;
+  }
   ++events_;
   switch (event.type) {
     case FrType::kRole: {

@@ -58,6 +58,20 @@ class Watchdog : public FlightRecorder::Sink {
   // leading up to the violation.
   explicit Watchdog(FlightRecorder* recorder = nullptr) : recorder_(recorder) {}
 
+  // Restricts this instance to events with node in [lo, hi). Sharded runs
+  // (src/shard) attach one watchdog per consensus group to the shared
+  // recorder: each group gets a disjoint obs-node range, so the per-term
+  // leader table, the commit watermark and the flow-ledger balance stay
+  // group-local instead of tripping on cross-group interleavings. With a
+  // filter set, events recorded under kInvalidNode are dropped too — every
+  // group-scoped component (including its flow-control middlebox) must
+  // record under a node id inside the group's range.
+  void set_node_filter(NodeId lo, NodeId hi) {
+    filter_lo_ = lo;
+    filter_hi_ = hi;
+    filtered_ = true;
+  }
+
   void OnFrEvent(const FrEvent& event) override;
 
   bool ok() const { return violations_total_ == 0; }
@@ -77,6 +91,9 @@ class Watchdog : public FlightRecorder::Sink {
   void Report(WatchdogCode code, const FrEvent& event, std::string detail);
 
   FlightRecorder* recorder_;
+  bool filtered_ = false;
+  NodeId filter_lo_ = 0;
+  NodeId filter_hi_ = 0;
   uint64_t checks_ = 0;
   uint64_t events_ = 0;
   uint64_t violations_total_ = 0;

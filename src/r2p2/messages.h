@@ -113,6 +113,13 @@ inline int32_t BodySize(const Body& body) {
   return body == nullptr ? 0 : static_cast<int32_t>(body->size());
 }
 
+// Shard routing (src/r2p2/shard.h, src/shard): requests carry the hash slot
+// of the key they touch so middleboxes and servers can reject misrouted
+// traffic without decoding the application body. kNoShardSlot marks an
+// unsharded request (single-group deployments, synthetic workloads) and is
+// never gated.
+constexpr uint32_t kNoShardSlot = 0xFFFFFFFFu;
+
 class RpcRequest final : public Message {
  public:
   // `attempt` counts transmissions of this rid (1 = original send); clients
@@ -120,14 +127,16 @@ class RpcRequest final : public Message {
   // request. `ack_watermark` is the client's acknowledged-sequence floor:
   // every seq <= watermark has been resolved at the client (reply or NACK
   // received), so servers may garbage-collect cached replies at or below it
-  // (Raft section 8 client sessions).
+  // (Raft section 8 client sessions). `shard_slot` is the key's hash slot
+  // for sharded deployments (kNoShardSlot = unsharded, never gated).
   RpcRequest(RequestId rid, R2p2Policy policy, Body body, uint32_t attempt = 1,
-             uint64_t ack_watermark = 0)
+             uint64_t ack_watermark = 0, uint32_t shard_slot = kNoShardSlot)
       : rid_(rid),
         policy_(policy),
         body_(std::move(body)),
         attempt_(attempt),
-        ack_watermark_(ack_watermark) {}
+        ack_watermark_(ack_watermark),
+        shard_slot_(shard_slot) {}
 
   int32_t PayloadBytes() const override { return BodySize(body_); }
   const char* Name() const override { return "REQUEST"; }
@@ -139,6 +148,7 @@ class RpcRequest final : public Message {
   uint32_t attempt() const { return attempt_; }
   bool is_retransmit() const { return attempt_ > 1; }
   uint64_t ack_watermark() const { return ack_watermark_; }
+  uint32_t shard_slot() const { return shard_slot_; }
 
  private:
   RequestId rid_;
@@ -146,6 +156,7 @@ class RpcRequest final : public Message {
   Body body_;
   uint32_t attempt_;
   uint64_t ack_watermark_;
+  uint32_t shard_slot_;
 };
 
 class RpcResponse final : public Message {
@@ -190,6 +201,27 @@ class NackMsg final : public Message {
 
  private:
   RequestId rid_;
+};
+
+// Sent to the client when a request's shard slot is not served where it
+// landed (stale ShardMap at the client, or a range frozen mid-move). The
+// client refreshes its map view and re-sends; unlike a flow NACK this does
+// not resolve the operation. `epoch` is the sender's map-epoch hint when it
+// has one (middlebox gate) or 0 when it only knows "not mine" (server apply
+// path); clients refetch on any wrong-shard NACK, so the hint is advisory.
+class WrongShardNack final : public Message {
+ public:
+  WrongShardNack(RequestId rid, uint64_t epoch) : rid_(rid), epoch_(epoch) {}
+
+  int32_t PayloadBytes() const override { return 24; }
+  const char* Name() const override { return "NACK_WRONG_SHARD"; }
+
+  const RequestId& rid() const { return rid_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  RequestId rid_;
+  uint64_t epoch_;
 };
 
 // --- flow-control ledger reconciliation (failover repair) -------------------

@@ -53,7 +53,15 @@ void R2p2Router::Dispatch(const MessagePtr& msg, int32_t server) {
 }
 
 void R2p2Router::HandleMessage(HostId src, const MessagePtr& msg) {
-  if (dynamic_cast<const RpcRequest*>(msg.get()) != nullptr) {
+  if (const auto* req = dynamic_cast<const RpcRequest*>(msg.get())) {
+    if (shard_gate_ && IsDataSlot(req->shard_slot())) {
+      const uint64_t epoch = shard_gate_(req->shard_slot());
+      if (epoch != 0) {
+        ++stats_.wrong_shard_nacked;
+        Send(src, std::make_shared<WrongShardNack>(req->rid(), epoch));
+        return;
+      }
+    }
     const int32_t server = PickServer();
     if (server < 0) {
       // Every bounded queue is full: hold centrally, in arrival order —

@@ -12,12 +12,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "src/common/random.h"
 #include "src/common/types.h"
 #include "src/net/host.h"
 #include "src/net/packet.h"
+#include "src/r2p2/shard.h"
 
 namespace hovercraft {
 
@@ -33,9 +35,17 @@ class R2p2Router final : public Host {
 
   void HandleMessage(HostId src, const MessagePtr& msg) override;
 
+  // Sharding (src/shard): consulted before queueing for data slots. Returns
+  // 0 when this router's group serves the slot, else the ShardMap epoch the
+  // refusal is based on; the request is answered with NACK_WRONG_SHARD and
+  // never queued, so redirects cannot occupy JBSQ slots.
+  using ShardGateFn = std::function<uint64_t(uint32_t slot)>;
+  void set_shard_gate(ShardGateFn gate) { shard_gate_ = std::move(gate); }
+
   struct RouterStats {
     uint64_t forwarded = 0;
     uint64_t held_central = 0;  // requests that waited in the central queue
+    uint64_t wrong_shard_nacked = 0;
     size_t central_queue_peak = 0;
   };
   const RouterStats& router_stats() const { return stats_; }
@@ -50,6 +60,7 @@ class R2p2Router final : public Host {
   std::vector<HostId> servers_;
   RouterPolicy policy_;
   int64_t queue_bound_;
+  ShardGateFn shard_gate_;
   Rng rng_;
   std::vector<int64_t> outstanding_;
   std::deque<MessagePtr> central_;

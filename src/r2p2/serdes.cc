@@ -26,6 +26,9 @@ void EncodeRequestExtension(const RpcRequest& request,
   for (size_t i = 0; i < 8; ++i) {
     ext[4 + i] = static_cast<uint8_t>(request.ack_watermark() >> (8 * i));
   }
+  for (size_t i = 0; i < 4; ++i) {
+    ext[12 + i] = static_cast<uint8_t>(request.shard_slot() >> (8 * i));
+  }
 }
 
 }  // namespace
@@ -59,6 +62,9 @@ std::vector<WirePacket> SerializeRequest(const RpcRequest& request, size_t mtu_p
   }
   for (size_t i = 0; i < 8; ++i) {
     framed[4 + i] = static_cast<uint8_t>(request.ack_watermark() >> (8 * i));
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    framed[12 + i] = static_cast<uint8_t>(request.shard_slot() >> (8 * i));
   }
   if (request.body() != nullptr) {
     framed.insert(framed.end(), request.body()->begin(), request.body()->end());
@@ -133,12 +139,17 @@ Result<R2p2MessageView> DecodeR2p2View(const Reassembler::Complete& complete) {
       for (size_t i = 0; i < 8; ++i) {
         watermark |= static_cast<uint64_t>(complete.body[4 + i]) << (8 * i);
       }
+      uint32_t shard_slot = 0;
+      for (size_t i = 0; i < 4; ++i) {
+        shard_slot |= static_cast<uint32_t>(complete.body[12 + i]) << (8 * i);
+      }
       if (attempt == 0) {
         return InvalidArgumentError("request attempt counter must start at 1");
       }
       out.policy = static_cast<R2p2Policy>(complete.header.policy);
       out.attempt = attempt;
       out.ack_watermark = watermark;
+      out.shard_slot = shard_slot;
       // Zero-copy: the application body is a sub-slice of the arrival
       // buffer, sharing its refcount — the extension bytes are skipped by
       // offset, never stripped by copying.
@@ -168,8 +179,8 @@ Result<DecodedR2p2Message> DecodeR2p2Message(const Reassembler::Complete& comple
   out.rid = v.rid;
   switch (v.type) {
     case WireType::kRequest:
-      out.request =
-          std::make_shared<RpcRequest>(v.rid, v.policy, v.body, v.attempt, v.ack_watermark);
+      out.request = std::make_shared<RpcRequest>(v.rid, v.policy, v.body, v.attempt,
+                                                 v.ack_watermark, v.shard_slot);
       return out;
     case WireType::kResponse:
       out.response = std::make_shared<RpcResponse>(v.rid, v.body);

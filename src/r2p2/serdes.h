@@ -35,10 +35,11 @@ WireHeader HeaderForRequest(const RequestId& rid, R2p2Policy policy, WireType ty
 RequestId RequestIdFromHeader(const WireHeader& header);
 
 // Every kRequest carries a fixed extension between the R2P2 header and the
-// application body: attempt counter (u32) + client ack watermark (u64). The
-// 16-byte header has no spare fields, so the retransmission / session-GC
-// state rides as the first bytes of the fragmented payload.
-constexpr size_t kRequestExtensionBytes = 12;
+// application body: attempt counter (u32) + client ack watermark (u64) +
+// shard slot (u32, kNoShardSlot when unsharded). The 16-byte header has no
+// spare fields, so the retransmission / session-GC / shard-routing state
+// rides as the first bytes of the fragmented payload.
+constexpr size_t kRequestExtensionBytes = 16;
 
 // Fragments a client request / response / control message into wire packets
 // (legacy copying tier).
@@ -66,9 +67,10 @@ struct R2p2MessageView {
   WireType type = WireType::kRequest;
   RequestId rid;
   R2p2Policy policy = R2p2Policy::kUnrestricted;
-  uint32_t attempt = 0;       // kRequest only
+  uint32_t attempt = 0;        // kRequest only
   uint64_t ack_watermark = 0;  // kRequest only
-  Body body;                  // null for FEEDBACK/NACK
+  uint32_t shard_slot = kNoShardSlot;  // kRequest only
+  Body body;                   // null for FEEDBACK/NACK
 };
 
 Result<R2p2MessageView> DecodeR2p2View(const Reassembler::Complete& complete);

@@ -1,0 +1,147 @@
+#include "src/r2p2/shard.h"
+
+#include <utility>
+#include <vector>
+
+namespace hovercraft {
+
+uint64_t ShardKeyHash(std::string_view key) {
+  // FNV-1a 64-bit.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+const char* ShardOpKindName(ShardOpKind kind) {
+  switch (kind) {
+    case ShardOpKind::kFreeze:
+      return "FREEZE";
+    case ShardOpKind::kInstall:
+      return "INSTALL";
+    case ShardOpKind::kGc:
+      return "GC";
+  }
+  return "?";
+}
+
+Body EncodeShardOp(const ShardOp& op) {
+  BufferWriter w(32 + (op.payload == nullptr ? 0 : op.payload->size()));
+  w.PutU8(static_cast<uint8_t>(op.kind));
+  w.PutU32(op.lo);
+  w.PutU32(op.hi);
+  if (op.payload == nullptr) {
+    w.PutU32(0);
+  } else {
+    w.PutU32(static_cast<uint32_t>(op.payload->size()));
+    w.PutBytes(op.payload->bytes());
+  }
+  return MakeBody(w.TakeBytes());
+}
+
+Status DecodeShardOp(const Body& body, ShardOp* out) {
+  if (body == nullptr) {
+    return InvalidArgumentError("shard op with no body");
+  }
+  BufferReader r(body->bytes());
+  uint8_t kind = 0;
+  uint32_t payload_len = 0;
+  if (Status s = r.GetU8(kind); !s.ok()) {
+    return s;
+  }
+  if (kind > static_cast<uint8_t>(ShardOpKind::kGc)) {
+    return InvalidArgumentError("bad shard op kind");
+  }
+  if (Status s = r.GetU32(out->lo); !s.ok()) {
+    return s;
+  }
+  if (Status s = r.GetU32(out->hi); !s.ok()) {
+    return s;
+  }
+  if (out->lo > out->hi || out->hi >= kShardSlots) {
+    return InvalidArgumentError("bad shard op slot range");
+  }
+  if (Status s = r.GetU32(payload_len); !s.ok()) {
+    return s;
+  }
+  std::vector<uint8_t> payload;
+  if (Status s = r.GetBytes(payload_len, payload); !s.ok()) {
+    return s;
+  }
+  out->kind = static_cast<ShardOpKind>(kind);
+  out->payload = payload_len == 0 ? Body(nullptr) : MakeBody(std::move(payload));
+  if (!r.AtEnd()) {
+    return InvalidArgumentError("trailing bytes after shard op");
+  }
+  return Status::Ok();
+}
+
+void ShardServeState::Freeze(uint32_t lo, uint32_t hi) {
+  for (uint32_t s = lo; s <= hi && s < kShardSlots; ++s) {
+    frozen_.insert(s);
+  }
+}
+
+void ShardServeState::Drop(uint32_t lo, uint32_t hi) {
+  for (uint32_t s = lo; s <= hi && s < kShardSlots; ++s) {
+    frozen_.erase(s);
+    dropped_.insert(s);
+  }
+}
+
+void ShardServeState::Install(uint32_t lo, uint32_t hi) {
+  for (uint32_t s = lo; s <= hi && s < kShardSlots; ++s) {
+    frozen_.erase(s);
+    dropped_.erase(s);
+  }
+}
+
+void ShardServeState::Serialize(BufferWriter* w) const {
+  w->PutU32(static_cast<uint32_t>(frozen_.size()));
+  for (uint32_t s : frozen_) {
+    w->PutU32(s);
+  }
+  w->PutU32(static_cast<uint32_t>(dropped_.size()));
+  for (uint32_t s : dropped_) {
+    w->PutU32(s);
+  }
+}
+
+Status ShardServeState::Restore(BufferReader* r) {
+  std::set<uint32_t> frozen;
+  std::set<uint32_t> dropped;
+  uint32_t n = 0;
+  if (Status s = r->GetU32(n); !s.ok()) {
+    return s;
+  }
+  if (n > kShardSlots) {
+    return InvalidArgumentError("bad frozen slot count");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t slot = 0;
+    if (Status s = r->GetU32(slot); !s.ok()) {
+      return s;
+    }
+    frozen.insert(slot);
+  }
+  if (Status s = r->GetU32(n); !s.ok()) {
+    return s;
+  }
+  if (n > kShardSlots) {
+    return InvalidArgumentError("bad dropped slot count");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t slot = 0;
+    if (Status s = r->GetU32(slot); !s.ok()) {
+      return s;
+    }
+    dropped.insert(slot);
+  }
+  frozen_ = std::move(frozen);
+  dropped_ = std::move(dropped);
+  return Status::Ok();
+}
+
+}  // namespace hovercraft

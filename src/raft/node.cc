@@ -154,8 +154,8 @@ void RaftNode::ScheduleDurability(LogIndex tail) {
     }
     durable_index_ = tail;
     if (auto* fr = obs::FrOf(sim_)) {
-      fr->Record(sim_->Now(), options_.id, obs::FrType::kDurable, tail, epoch);
-      fr->Record(sim_->Now(), options_.id, obs::FrType::kWalFlush, tail,
+      fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kDurable, tail, epoch);
+      fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kWalFlush, tail,
                  static_cast<uint64_t>(sim_->Now() - scheduled));
     }
     if (role_ == RaftRole::kLeader) {
@@ -180,7 +180,7 @@ void RaftNode::MaybeClearSuspect() {
                     "floor " + std::to_string(suspect_floor_));
   }
   if (auto* fr = obs::FrOf(sim_)) {
-    fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+    fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kRecovery,
                static_cast<uint64_t>(obs::FrRecovery::kSuspectRepair), commit_idx_);
   }
   if (role_ == RaftRole::kFollower && election_timer_ == kInvalidEvent && CanCampaign()) {
@@ -243,10 +243,10 @@ void RaftNode::RestartFromRecovery(const StableStorage::Recovery& rec, LogIndex 
                 options_.id, static_cast<unsigned long long>(suspect_floor_));
   }
   if (auto* fr = obs::FrOf(sim_)) {
-    fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+    fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kRecovery,
                static_cast<uint64_t>(obs::FrRecovery::kRestart), commit_idx_);
     if (suspect_) {
-      fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+      fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kRecovery,
                  static_cast<uint64_t>(obs::FrRecovery::kSuspectEnter), suspect_floor_);
     }
   }
@@ -469,7 +469,7 @@ void RaftNode::BecomeFollower(Term term, bool reset_vote) {
   if (was_leader) {
     env_->OnLeadershipChanged(false);
   }
-  RecordRole(sim_, options_.id, current_term_, obs::FrRole::kFollower, suspect_);
+  RecordRole(sim_, options_.obs_id(), current_term_, obs::FrRole::kFollower, suspect_);
   ArmElectionTimer();
 }
 
@@ -487,7 +487,7 @@ void RaftNode::StartPreVote() {
     tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
                     "prevote", sim_->Now(), "term " + std::to_string(pre_vote_term_));
   }
-  RecordRole(sim_, options_.id, pre_vote_term_, obs::FrRole::kPreCandidate, suspect_);
+  RecordRole(sim_, options_.obs_id(), pre_vote_term_, obs::FrRole::kPreCandidate, suspect_);
   // Retry the poll on silence. This is the cycle's only RNG draw: a winning
   // poll enters StartElection with this timer still armed and draws nothing,
   // so the draw order matches a non-PreVote run arm for arm.
@@ -533,7 +533,7 @@ void RaftNode::StartElection() {
     tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
                     "election", sim_->Now(), "term " + std::to_string(current_term_));
   }
-  RecordRole(sim_, options_.id, current_term_, obs::FrRole::kCandidate, suspect_);
+  RecordRole(sim_, options_.obs_id(), current_term_, obs::FrRole::kCandidate, suspect_);
   if (!timer_covered) {
     ArmElectionTimer();  // retry on split vote
   }
@@ -562,7 +562,7 @@ void RaftNode::BecomeLeader() {
     tracer->Instant(obs::TrackOfHost(static_cast<HostId>(options_.id)), obs::kTidEvents,
                     "leader", sim_->Now(), "term " + std::to_string(current_term_));
   }
-  RecordRole(sim_, options_.id, current_term_, obs::FrRole::kLeader, suspect_);
+  RecordRole(sim_, options_.obs_id(), current_term_, obs::FrRole::kLeader, suspect_);
 
   for (NodeId p = 0; p < options_.cluster_size; ++p) {
     PeerState& st = peers_[static_cast<size_t>(p)];
@@ -662,7 +662,7 @@ bool RaftNode::SubmitRequest(std::shared_ptr<const RpcRequest> request, bool all
   ++stats_.entries_appended;
   StorageAppendEntry(idx);
   ScheduleDurability(idx);
-  obs::MarkStageAll(sim_, rid, obs::Stage::kOrdered, options_.id, sim_->Now());
+  obs::MarkStageAll(sim_, rid, obs::Stage::kOrdered, options_.obs_id(), sim_->Now());
   if (!options_.assign_repliers) {
     announced_idx_ = idx;
   }
@@ -712,7 +712,7 @@ RaftNode::ReadGrant RaftNode::AcquireReadIndex() {
                       "term " + std::to_string(current_term_));
     }
     if (auto* fr = obs::FrOf(sim_)) {
-      fr->Record(sim_->Now(), options_.id, obs::FrType::kLeaseExpire,
+      fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kLeaseExpire,
                  stats_.read_index_rejected, 0, static_cast<uint32_t>(current_term_));
     }
     return grant;
@@ -746,7 +746,7 @@ RaftNode::ReadGrant RaftNode::AcquireReadIndex() {
                         std::to_string(grant.replier));
   }
   if (auto* fr = obs::FrOf(sim_)) {
-    fr->Record(sim_->Now(), options_.id, obs::FrType::kLeaseGrant, grant.read_index,
+    fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kLeaseGrant, grant.read_index,
                static_cast<uint64_t>(grant.replier),
                static_cast<uint32_t>(current_term_));
   }
@@ -974,7 +974,8 @@ void RaftNode::TryAnnounce() {
     }
     announced_idx_ = idx;
     changed = true;
-    obs::MarkStageAll(sim_, entry.rid, obs::Stage::kDispatched, replier, sim_->Now());
+    obs::MarkStageAll(sim_, entry.rid, obs::Stage::kDispatched,
+                      options_.obs_node_base + replier, sim_->Now());
   }
   if (changed) {
     TrySendAll();
@@ -1218,7 +1219,7 @@ void RaftNode::OnInstallSnapshot(const InstallSnapshotReq& req) {
           std::min(std::max(durable_index_, req.last_included()), log_.last_index());
       if (durable_index_ < durable_before) {
         if (auto* fr = obs::FrOf(sim_)) {
-          fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+          fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kRecovery,
                      static_cast<uint64_t>(obs::FrRecovery::kTruncate), durable_index_);
         }
       }
@@ -1328,10 +1329,10 @@ void RaftNode::SetCommit(LogIndex commit) {
     for (LogIndex idx = commit_idx_ + 1; idx <= commit; ++idx) {
       const LogEntry& e = log_.At(idx);
       if (!e.noop) {
-        obs::MarkStageAll(sim_, e.rid, obs::Stage::kCommitted, options_.id, sim_->Now());
+        obs::MarkStageAll(sim_, e.rid, obs::Stage::kCommitted, options_.obs_id(), sim_->Now());
       }
       if (fr != nullptr) {
-        fr->Record(sim_->Now(), options_.id, obs::FrType::kCommit, idx, e.term,
+        fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kCommit, idx, e.term,
                    static_cast<uint32_t>(current_term_));
       }
     }
@@ -1359,7 +1360,7 @@ void RaftNode::SetCommit(LogIndex commit) {
                         "config-committed", sim_->Now(), c.second->Describe());
       }
       if (auto* fr2 = obs::FrOf(sim_)) {
-        fr2->Record(sim_->Now(), options_.id, obs::FrType::kConfig, c.first,
+        fr2->Record(sim_->Now(), options_.obs_id(), obs::FrType::kConfig, c.first,
                     c.second->members.size());
       }
       if (role_ == RaftRole::kLeader) {
@@ -1546,7 +1547,7 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
                     options_.id, static_cast<unsigned long long>(idx),
                     static_cast<unsigned long long>(commit_idx_));
         if (auto* fr = obs::FrOf(sim_)) {
-          fr->Record(sim_->Now(), options_.id, obs::FrType::kCommitLoss, idx - 1,
+          fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kCommitLoss, idx - 1,
                      commit_idx_);
         }
         commit_idx_ = idx - 1;
@@ -1560,7 +1561,7 @@ RaftNode::AppendOutcome RaftNode::AppendResolvedEntries(const AppendEntriesReq& 
         storage_->AppendTruncate(idx);
         durable_index_ = std::min(durable_index_, idx - 1);
         if (auto* fr = obs::FrOf(sim_)) {
-          fr->Record(sim_->Now(), options_.id, obs::FrType::kRecovery,
+          fr->Record(sim_->Now(), options_.obs_id(), obs::FrType::kRecovery,
                      static_cast<uint64_t>(obs::FrRecovery::kTruncate), durable_index_);
         }
       }

@@ -14,6 +14,15 @@ struct RaftOptions {
   NodeId id = kInvalidNode;
   int32_t cluster_size = 3;
 
+  // Offset added to `id` for every flight-recorder / stage-mark emission.
+  // Raft node ids are group-local (0..n-1); when several consensus groups
+  // share one fabric (src/shard) each group gets a disjoint base so their
+  // rings, watchdog invariants and dumps never alias. 0 = the historic
+  // single-group namespace.
+  NodeId obs_node_base = 0;
+
+  NodeId obs_id() const { return obs_node_base + id; }
+
   // Dynamic membership: number of nodes in the initial voter configuration.
   // 0 means "all cluster_size nodes vote" (the static-membership default).
   // When smaller than cluster_size, nodes [initial_voters, cluster_size) are

@@ -77,6 +77,7 @@ std::vector<uint8_t> EncodeWalEntry(const LogEntry& entry) {
     w.PutU8(static_cast<uint8_t>(req.policy()));
     w.PutU32(req.attempt());
     w.PutU64(req.ack_watermark());
+    w.PutU32(req.shard_slot());
     if (req.body() != nullptr) {
       w.PutU32(static_cast<uint32_t>(req.body()->size()));
       w.PutBytes(*req.body());
@@ -105,17 +106,19 @@ bool DecodeWalEntry(std::span<const uint8_t> bytes, LogEntry* out) {
     uint8_t policy = 0;
     uint32_t attempt = 0;
     uint64_t ack = 0;
+    uint32_t shard_slot = 0;
     uint32_t body_len = 0;
     if (!r.GetU8(policy).ok() || !r.GetU32(attempt).ok() || !r.GetU64(ack).ok() ||
-        !r.GetU32(body_len).ok() || r.remaining() < body_len) {
+        !r.GetU32(shard_slot).ok() || !r.GetU32(body_len).ok() || r.remaining() < body_len) {
       return false;
     }
     std::vector<uint8_t> body;
     if (!r.GetBytes(body_len, body).ok()) {
       return false;
     }
-    out->request = std::make_shared<RpcRequest>(out->rid, static_cast<R2p2Policy>(policy),
-                                                MakeBody(std::move(body)), attempt, ack);
+    out->request =
+        std::make_shared<RpcRequest>(out->rid, static_cast<R2p2Policy>(policy),
+                                     MakeBody(std::move(body)), attempt, ack, shard_slot);
   }
   if ((flags & kHasConfig) != 0) {
     out->config = DecodeConfig(&r);

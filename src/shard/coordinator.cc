@@ -1,0 +1,201 @@
+#include "src/shard/coordinator.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/obs/observability.h"
+#include "src/r2p2/messages.h"
+
+namespace hovercraft {
+
+ShardCoordinator::ShardCoordinator(Simulator* sim, const CostModel& costs, ShardMap* map,
+                                   std::vector<ShardGroupEndpoints> groups)
+    : Host(sim, costs, Kind::kServer), map_(map), groups_(std::move(groups)) {
+  HC_CHECK(map_ != nullptr);
+  HC_CHECK_EQ(static_cast<int32_t>(groups_.size()), map_->group_count());
+}
+
+void ShardCoordinator::StartMove(uint32_t lo, uint32_t hi, GroupId dest) {
+  Move m;
+  m.lo = lo;
+  m.hi = hi;
+  m.dest = dest;
+  queue_.push_back(m);
+  if (phase_ == Phase::kIdle) {
+    BeginNext();
+  }
+}
+
+void ShardCoordinator::BeginNext() {
+  while (!queue_.empty()) {
+    Move m = queue_.front();
+    queue_.pop_front();
+    m.source = map_->OwnerOf(m.lo);
+    if (!map_->BeginMove(m.lo, m.hi, m.dest)) {
+      ++stats_.moves_rejected;
+      HC_LOG_WARN("shard coordinator: rejected move [%u,%u] -> group %d", m.lo, m.hi,
+                  m.dest.value);
+      continue;
+    }
+    ++stats_.moves_started;
+    current_ = m;
+    phase_ = Phase::kFreezing;
+    attempts_in_phase_ = 0;
+    if (auto* tracer = obs::TracerOf(sim())) {
+      tracer->Instant(obs::kClusterPid, obs::kTidEvents, "shard-move-start", sim()->Now(),
+                      "[" + std::to_string(m.lo) + "," + std::to_string(m.hi) + "] g" +
+                          std::to_string(m.source.value) + " -> g" +
+                          std::to_string(m.dest.value));
+    }
+    ShardOp op;
+    op.kind = ShardOpKind::kFreeze;
+    op.lo = m.lo;
+    op.hi = m.hi;
+    SendCtl(m.source, std::move(op));
+    return;
+  }
+  phase_ = Phase::kIdle;
+}
+
+void ShardCoordinator::SendCtl(GroupId group, ShardOp op) {
+  HC_CHECK(group.valid());
+  HC_CHECK_LT(static_cast<size_t>(group.value), groups_.size());
+  inflight_group_ = group;
+  inflight_op_ = op;
+  const uint64_t seq = next_seq_++;
+  inflight_seq_ = seq;
+  ++attempts_in_phase_;
+  ++stats_.ctl_sent;
+  const RequestId rid{id(), seq};
+  auto request = std::make_shared<RpcRequest>(rid, R2p2Policy::kReplicatedReq,
+                                              EncodeShardOp(inflight_op_), /*attempt=*/1,
+                                              ack_floor_, kShardCtlSlot);
+  Send(groups_[static_cast<size_t>(group.value)].ingress, std::move(request));
+  sim()->Cancel(retry_timer_);
+  retry_timer_ = sim()->After(kCtlRetryInterval, [this]() {
+    retry_timer_ = kInvalidEvent;
+    if (phase_ == Phase::kIdle) {
+      return;
+    }
+    if (attempts_in_phase_ >= kCtlRetryBudget) {
+      FailMove();
+      return;
+    }
+    ++stats_.ctl_retries;
+    SendCtl(inflight_group_, inflight_op_);
+  });
+}
+
+void ShardCoordinator::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
+  if (const auto* resp = dynamic_cast<const RpcResponse*>(msg.get())) {
+    if (phase_ == Phase::kIdle || resp->rid().seq != inflight_seq_) {
+      return;  // late reply from a superseded (retried) control rid
+    }
+    // Sequential rids, one outstanding: this reply resolves every seq
+    // allocated so far (abandoned retry rids are never retransmitted, so the
+    // groups may GC their session entries).
+    ack_floor_ = inflight_seq_;
+    sim()->Cancel(retry_timer_);
+    retry_timer_ = kInvalidEvent;
+    OnPhaseReply(resp->body());
+    return;
+  }
+  if (const auto* nack = dynamic_cast<const NackMsg*>(msg.get())) {
+    if (phase_ == Phase::kIdle || nack->rid().seq != inflight_seq_) {
+      return;
+    }
+    // Admission-control NACK under load: back off briefly, then resend under
+    // a fresh rid (a NACKed rid was never admitted and never will execute).
+    ++stats_.ctl_nacked;
+    sim()->Cancel(retry_timer_);
+    retry_timer_ = sim()->After(Micros(200), [this]() {
+      retry_timer_ = kInvalidEvent;
+      if (phase_ == Phase::kIdle) {
+        return;
+      }
+      if (attempts_in_phase_ >= kCtlRetryBudget) {
+        FailMove();
+        return;
+      }
+      ++stats_.ctl_retries;
+      SendCtl(inflight_group_, inflight_op_);
+    });
+    return;
+  }
+  // WrongShardNack cannot happen (control ops are never slot-gated); anything
+  // else is unexpected.
+  if (dynamic_cast<const WrongShardNack*>(msg.get()) == nullptr) {
+    HC_LOG_WARN("shard coordinator: unexpected message %s", msg->Name());
+  }
+}
+
+void ShardCoordinator::OnPhaseReply(const Body& reply) {
+  switch (phase_) {
+    case Phase::kFreezing: {
+      capture_ = reply;
+      stats_.capture_bytes += static_cast<uint64_t>(BodySize(reply));
+      phase_ = Phase::kInstalling;
+      attempts_in_phase_ = 0;
+      ShardOp op;
+      op.kind = ShardOpKind::kInstall;
+      op.lo = current_.lo;
+      op.hi = current_.hi;
+      op.payload = capture_;
+      SendCtl(current_.dest, std::move(op));
+      return;
+    }
+    case Phase::kInstalling: {
+      // The destination committed (and applied) the install: cutover. From
+      // this epoch on, the gates route the range's new traffic to the
+      // destination, whose merged session table preserves exactly-once for
+      // in-flight retransmissions.
+      map_->CommitMove(current_.lo, current_.hi, current_.dest);
+      if (auto* tracer = obs::TracerOf(sim())) {
+        tracer->Instant(obs::kClusterPid, obs::kTidEvents, "shard-move-cutover", sim()->Now(),
+                        "[" + std::to_string(current_.lo) + "," +
+                            std::to_string(current_.hi) + "] epoch " +
+                            std::to_string(map_->epoch()));
+      }
+      phase_ = Phase::kGc;
+      attempts_in_phase_ = 0;
+      ShardOp op;
+      op.kind = ShardOpKind::kGc;
+      op.lo = current_.lo;
+      op.hi = current_.hi;
+      SendCtl(current_.source, std::move(op));
+      return;
+    }
+    case Phase::kGc: {
+      ++stats_.moves_completed;
+      capture_ = nullptr;
+      phase_ = Phase::kIdle;
+      BeginNext();
+      return;
+    }
+    case Phase::kIdle:
+      return;
+  }
+}
+
+void ShardCoordinator::FailMove() {
+  ++stats_.moves_failed;
+  HC_LOG_WARN("shard coordinator: move [%u,%u] g%d->g%d gave up in phase %d", current_.lo,
+              current_.hi, current_.source.value, current_.dest.value,
+              static_cast<int>(phase_));
+  // Before the cutover committed, ownership never changed: unfreeze so the
+  // source's gate serves the range again. (The source replicas may have
+  // applied the freeze and keep rejecting at apply time — a liveness wart of
+  // the give-up path; the retry budget is sized so tests never reach it.)
+  // After the cutover (GC phase), the move is semantically done and only the
+  // source's garbage survives.
+  if (phase_ != Phase::kGc) {
+    map_->AbortMove(current_.lo, current_.hi);
+  }
+  capture_ = nullptr;
+  phase_ = Phase::kIdle;
+  BeginNext();
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,121 @@
+// The shard-move coordinator: the management-plane host that drives two-phase
+// slot-range moves between consensus groups (docs/sharding.md).
+//
+// A move is three control requests, each an ordinary replicated R2P2 request
+// tagged kShardCtlSlot and committed through the affected group's own log:
+//
+//   1. FREEZE [lo,hi]  -> source group.  Applying it stops the source serving
+//      the range; the designated replier returns a capture of the range's
+//      session-table entries and application state taken *at the freeze's
+//      apply point* — the same point on every replica, after every previously
+//      ordered write and before every subsequently rejected one.
+//   2. INSTALL [lo,hi] + capture -> destination group. Applying it merges the
+//      capture; its commit is the cutover point inside the destination.
+//      When the reply arrives the coordinator commits the move in the
+//      authoritative ShardMap (epoch bump) — from here the gates route new
+//      traffic to the destination.
+//   3. GC [lo,hi] -> source group. Applying it deletes the moved range and
+//      its cached replies; the range is redirect-only at the source.
+//
+// Exactly-once survives the move because the capture carries the source's
+// cached replies for the range: a retransmit that lands at the destination
+// after cutover hits the merged session table and is answered from cache,
+// never re-executed. Moves run one at a time, FIFO.
+//
+// Every retry uses a fresh request id: control ops are idempotent by
+// construction (re-freezing a frozen range captures identical bytes,
+// re-installing merges nothing new, re-GC'ing an empty range is a no-op), and
+// a fresh rid sidesteps the session-table cache returning the 1-byte ack
+// marker where the coordinator needs the capture payload.
+#ifndef SRC_SHARD_COORDINATOR_H_
+#define SRC_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/host.h"
+#include "src/shard/shard_map.h"
+
+namespace hovercraft {
+
+// Where a group is reachable: its admission ingress (flow-control middlebox)
+// and the replication multicast the retries would use.
+struct ShardGroupEndpoints {
+  Addr ingress = kInvalidHost;
+  Addr group = kInvalidHost;
+};
+
+class ShardCoordinator final : public Host {
+ public:
+  ShardCoordinator(Simulator* sim, const CostModel& costs, ShardMap* map,
+                   std::vector<ShardGroupEndpoints> groups);
+
+  // Enqueues a move of [lo, hi] to `dest`; the source is the owner when the
+  // move reaches the head of the queue. A move the map then refuses to
+  // freeze (bad range, already owned by dest, overlapping another freeze) is
+  // counted in stats().moves_rejected and skipped.
+  void StartMove(uint32_t lo, uint32_t hi, GroupId dest);
+
+  void HandleMessage(HostId src, const MessagePtr& msg) override;
+
+  bool idle() const { return phase_ == Phase::kIdle && queue_.empty(); }
+
+  struct CoordinatorStats {
+    uint64_t moves_started = 0;
+    uint64_t moves_completed = 0;
+    uint64_t moves_rejected = 0;  // map refused the freeze (overlap/unknown)
+    uint64_t moves_failed = 0;    // retry budget exhausted mid-protocol
+    uint64_t ctl_sent = 0;
+    uint64_t ctl_retries = 0;
+    uint64_t ctl_nacked = 0;      // admission NACKs on control requests
+    uint64_t capture_bytes = 0;   // total freeze-capture payload moved
+  };
+  const CoordinatorStats& stats() const { return stats_; }
+
+ private:
+  // Control requests are retried with a fresh rid at this cadence until the
+  // phase's reply arrives; a move that cannot make progress within the budget
+  // is abandoned (frozen ranges are unfrozen if the cutover never happened).
+  static constexpr TimeNs kCtlRetryInterval = Millis(2);
+  static constexpr uint32_t kCtlRetryBudget = 256;
+
+  enum class Phase { kIdle, kFreezing, kInstalling, kGc };
+
+  struct Move {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    GroupId source = kInvalidGroup;
+    GroupId dest = kInvalidGroup;
+  };
+
+  void BeginNext();
+  // Sends this phase's control op to `group` under a fresh rid and re-arms
+  // the retry timer.
+  void SendCtl(GroupId group, ShardOp op);
+  void OnPhaseReply(const Body& reply);
+  void FailMove();
+
+  ShardMap* map_;
+  std::vector<ShardGroupEndpoints> groups_;
+
+  std::deque<Move> queue_;
+  Phase phase_ = Phase::kIdle;
+  Move current_;
+  Body capture_;  // freeze reply, forwarded in the install
+
+  uint64_t next_seq_ = 1;
+  uint64_t inflight_seq_ = 0;  // only this rid's reply advances the phase
+  uint64_t ack_floor_ = 0;     // all seqs <= floor resolved; piggybacked
+  GroupId inflight_group_ = kInvalidGroup;
+  ShardOp inflight_op_;
+  uint32_t attempts_in_phase_ = 0;
+  EventId retry_timer_ = kInvalidEvent;
+
+  CoordinatorStats stats_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_SHARD_COORDINATOR_H_

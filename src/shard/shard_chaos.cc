@@ -1,0 +1,206 @@
+#include "src/shard/shard_chaos.h"
+
+#include <array>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "src/app/kvstore/service.h"
+#include "src/chaos/history.h"
+#include "src/chaos/kv_workload.h"
+#include "src/obs/flight_recorder.h"
+#include "src/shard/sharded_cluster.h"
+
+namespace hovercraft {
+
+std::string ShardChaosResult::Describe() const {
+  std::ostringstream out;
+  out << "leaders_alive=" << leaders_alive << " digests_converged=" << digests_converged
+      << " linearizable=" << linearizability.linearizable
+      << " conclusive=" << linearizability.conclusive() << "\n"
+      << "moves: started=" << moves_started << " completed=" << moves_completed
+      << " failed=" << moves_failed << " epoch=" << final_epoch
+      << " capture_bytes=" << capture_bytes << "\n"
+      << "ops: invoked=" << invoked << " completed=" << completed << " nacked=" << nacked
+      << " open=" << linearizability.open_ops << " states=" << linearizability.states_explored
+      << "\n";
+  if (!linearizability.failure_key.empty()) {
+    out << "non-linearizable key: " << linearizability.failure_key << "\n";
+  }
+  out << "redirects=" << redirects << " wrong_shard_nacks=" << wrong_shard_nacks
+      << " retransmits=" << retransmits << " abandoned=" << abandoned << "\n"
+      << "dedup: hits=" << dedup_hits << " cached_replies=" << dedup_replies
+      << " double_applies=" << double_applies << "\n"
+      << "watchdog: " << watchdog_summary << "\n";
+  return out.str();
+}
+
+ShardChaosResult RunShardChaos(const ShardChaosConfig& config) {
+  ShardedClusterConfig sc;
+  sc.groups = config.groups;
+  sc.nodes_per_group = config.nodes_per_group;
+  sc.mode = ClusterMode::kHovercRaft;
+  sc.app_factory = []() { return std::make_unique<KvService>(); };
+  sc.replier_policy = ReplierPolicy::kJbsq;
+  sc.flow_control_threshold = config.flow_control_threshold;
+  sc.seed = config.seed;
+  // Symmetric election timeouts, as in the unsharded chaos runs: the stagger
+  // shortcut livelocks a healed stale node 0.
+  sc.stagger_first_election = true;
+  ShardedCluster sharded(sc);
+  if (sharded.flight_recorder() != nullptr) {
+    sharded.flight_recorder()->set_repro(config.repro);
+    sharded.flight_recorder()->set_dump_path(config.dump_path);
+  }
+
+  ShardChaosResult result;
+  if (!sharded.WaitForAllLeaders()) {
+    if (sharded.flight_recorder() != nullptr) {
+      sharded.flight_recorder()->DumpNow("shard chaos: a group failed to elect a leader");
+    }
+    return result;  // leaders_alive stays false
+  }
+
+  KvHistoryRecorder recorder;
+  std::vector<std::unique_ptr<ClientHost>> clients;
+  for (int32_t i = 0; i < config.clients; ++i) {
+    ChaosKvWorkloadConfig wc;
+    wc.keys = config.keys;
+    wc.value_tag = static_cast<uint64_t>(i);
+    // The static target is a fallback only; every op carries a data slot and
+    // resolves through the shard route.
+    auto client = std::make_unique<ClientHost>(
+        &sharded.sim(), sharded.config().costs,
+        [&sharded]() { return sharded.group(GroupId{0}).ClientTarget(); },
+        std::make_unique<ChaosKvWorkload>(wc), config.rate_rps_per_client,
+        config.seed * 1000 + static_cast<uint64_t>(i));
+    // One-lookup-behind map cache: a resolve returns the previously fetched
+    // route and refreshes the cache. Post-cutover sends therefore hit the old
+    // owner first and take the NACK(wrong_shard) redirect path, like a real
+    // client with a cached map would.
+    auto cache = std::make_shared<std::array<ClientHost::ShardRoute, kShardSlots>>();
+    client->EnableSharding([&sharded, cache](uint32_t slot) {
+      ClientHost::ShardRoute stale = (*cache)[slot];
+      (*cache)[slot] = sharded.RouteOf(slot);
+      return stale.epoch == 0 ? (*cache)[slot] : stale;
+    });
+    client->set_outstanding_limit(config.outstanding_limit, config.give_up);
+    // Retries are load-bearing here: a request caught by a freeze window
+    // chases the moving range via wrong-shard redirects, and past the
+    // redirect cap the backoff timer re-resolves the route until the cutover
+    // lands.
+    ClientHost::RetryPolicy rp;
+    rp.enabled = true;
+    rp.initial_backoff = Micros(500);
+    rp.max_backoff = Millis(4);
+    client->set_retry_policy(rp);
+    client->set_observer(&recorder);
+    sharded.network().Attach(client.get());
+    clients.push_back(std::move(client));
+  }
+
+  const TimeNs t0 = sharded.sim().Now();
+
+  // Default schedule: move group 0's whole initial range to group 1 a third
+  // of the way in, and back at two thirds.
+  std::vector<ShardChaosConfig::MoveEvent> moves = config.moves;
+  if (moves.empty() && config.groups > 1) {
+    const std::vector<uint32_t> g0 = sharded.shard_map().SlotsOf(GroupId{0});
+    ShardChaosConfig::MoveEvent there;
+    there.at = config.duration / 3;
+    there.lo = g0.front();
+    there.hi = g0.back();
+    there.dest = 1;
+    ShardChaosConfig::MoveEvent back = there;
+    back.at = 2 * config.duration / 3;
+    back.dest = 0;
+    moves.push_back(there);
+    moves.push_back(back);
+  }
+  for (const auto& mv : moves) {
+    sharded.sim().At(t0 + mv.at, [&sharded, mv]() {
+      sharded.StartMove(mv.lo, mv.hi, GroupId{mv.dest});
+    });
+  }
+
+  if (config.kill_leader_mid_move && !moves.empty()) {
+    const auto first = moves.front();
+    sharded.sim().At(t0 + first.at + Millis(1), [&sharded, first]() {
+      const GroupId source = sharded.shard_map().OwnerOf(first.lo);
+      // By now the range is frozen and the owner unchanged; kill that
+      // group's leader so the freeze/capture overlaps a failover.
+      Cluster& cluster = sharded.group(source.valid() ? source : GroupId{0});
+      cluster.KillLeader();
+    });
+    sharded.sim().At(t0 + first.at + Millis(21), [&sharded, first]() {
+      const GroupId source = sharded.shard_map().OwnerOf(first.lo);
+      Cluster& cluster = sharded.group(source.valid() ? source : GroupId{0});
+      for (NodeId n = 0; n < cluster.total_node_count(); ++n) {
+        if (cluster.server(n).failed()) {
+          cluster.RestartNode(n);
+        }
+      }
+    });
+  }
+
+  for (auto& client : clients) {
+    client->StartLoad(t0, t0 + config.duration);
+  }
+  sharded.sim().RunUntil(t0 + config.duration + config.settle);
+
+  result.leaders_alive = true;
+  result.digests_converged = true;
+  for (int32_t g = 0; g < config.groups; ++g) {
+    Cluster& cluster = sharded.group(GroupId{g});
+    if (cluster.LeaderId() == kInvalidNode) {
+      result.leaders_alive = false;
+    }
+    uint64_t digest0 = 0;
+    bool first = true;
+    for (NodeId n = 0; n < cluster.total_node_count(); ++n) {
+      if (cluster.server(n).failed()) {
+        continue;
+      }
+      const uint64_t digest = cluster.server(n).app().Digest();
+      if (first) {
+        digest0 = digest;
+        first = false;
+      } else if (digest != digest0) {
+        result.digests_converged = false;
+      }
+    }
+    for (NodeId n = 0; n < cluster.total_node_count(); ++n) {
+      const ServerStats& st = cluster.server(n).server_stats();
+      result.dedup_hits += st.dedup_hits;
+      result.dedup_replies += st.dedup_replies;
+      result.double_applies += st.double_applies;
+    }
+  }
+
+  result.invoked = recorder.invoked();
+  result.completed = recorder.completed();
+  result.nacked = recorder.nacked();
+  for (const auto& client : clients) {
+    result.redirects += client->total_redirects();
+    result.retransmits += client->total_retransmits();
+    result.abandoned += client->total_abandoned();
+  }
+  result.wrong_shard_nacks = sharded.TotalWrongShardNacks();
+  const ShardCoordinator::CoordinatorStats& cs = sharded.coordinator().stats();
+  result.moves_started = cs.moves_started;
+  result.moves_completed = cs.moves_completed;
+  result.moves_failed = cs.moves_failed;
+  result.capture_bytes = cs.capture_bytes;
+  result.final_epoch = sharded.shard_map().epoch();
+
+  result.watchdog_ok = sharded.AllWatchdogsOk();
+  result.watchdog_summary = sharded.WatchdogSummary();
+  result.linearizability =
+      CheckKvLinearizability(recorder.History(), config.checker_max_states);
+  if (sharded.flight_recorder() != nullptr && !result.ok()) {
+    sharded.flight_recorder()->DumpNow("shard chaos verdict failure");
+  }
+  return result;
+}
+
+}  // namespace hovercraft

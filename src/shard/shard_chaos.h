@@ -1,0 +1,100 @@
+// Sharded chaos: live shard moves under open-loop load, with the client-
+// observed history checked for linearizability (Wing & Gong) across the move.
+//
+// The schedule is the sharding analogue of src/chaos: N groups over one
+// fabric serve a small hot keyspace while the coordinator moves slot ranges
+// between groups mid-window — by default group 0's entire initial range to
+// group 1 a third of the way in, and back again at two thirds, so install
+// and GC both run in both directions while every affected key stays under
+// contention. Optionally the source group's leader is killed right after the
+// first move starts (move + failover compounded).
+//
+// Pass criteria (the shard-chaos CI job asserts these on pinned seeds):
+// every group ends with a live leader and converged replica digests, the
+// global history is linearizable and conclusive, no server ever
+// double-applied, and every per-group watchdog stayed silent.
+#ifndef SRC_SHARD_SHARD_CHAOS_H_
+#define SRC_SHARD_SHARD_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chaos/linearizability.h"
+#include "src/common/types.h"
+
+namespace hovercraft {
+
+struct ShardChaosConfig {
+  int32_t groups = 2;
+  int32_t nodes_per_group = 3;
+  uint64_t seed = 1;
+
+  int32_t clients = 4;
+  double rate_rps_per_client = 20'000;  // 4 clients = 80 kRPS aggregate
+  int32_t keys = 16;
+  size_t outstanding_limit = 8;
+  TimeNs give_up = Millis(30);
+
+  TimeNs duration = Millis(120);
+  TimeNs settle = Millis(80);
+
+  // Per-group admission threshold; <= 0 disables the cap.
+  int64_t flow_control_threshold = 0;
+
+  // Scripted moves, offset from the start of the load window. Empty = the
+  // default there-and-back schedule described above.
+  struct MoveEvent {
+    TimeNs at = 0;
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    int32_t dest = 0;
+  };
+  std::vector<MoveEvent> moves;
+
+  // Kill the first move's source-group leader 1 ms after the move starts and
+  // restart it 20 ms later: freeze, failover and flow-ledger reconcile all
+  // overlap.
+  bool kill_leader_mid_move = false;
+
+  uint64_t checker_max_states = 4'000'000;
+  std::string repro;
+  std::string dump_path;
+};
+
+struct ShardChaosResult {
+  bool leaders_alive = false;       // every group has a live leader at the end
+  bool digests_converged = false;   // within every group
+  LinearizabilityResult linearizability;
+  bool watchdog_ok = true;
+  std::string watchdog_summary = "off";
+
+  uint64_t moves_started = 0;
+  uint64_t moves_completed = 0;
+  uint64_t moves_failed = 0;
+  uint64_t final_epoch = 0;
+
+  size_t invoked = 0;
+  size_t completed = 0;
+  size_t nacked = 0;
+  uint64_t redirects = 0;          // client-side wrong-shard redirect resends
+  uint64_t wrong_shard_nacks = 0;  // middlebox + server gates
+  uint64_t retransmits = 0;
+  uint64_t abandoned = 0;
+  uint64_t dedup_hits = 0;
+  uint64_t dedup_replies = 0;
+  uint64_t double_applies = 0;
+  uint64_t capture_bytes = 0;
+
+  bool ok() const {
+    return leaders_alive && digests_converged && linearizability.linearizable &&
+           linearizability.conclusive() && watchdog_ok && double_applies == 0;
+  }
+  std::string Describe() const;
+};
+
+ShardChaosResult RunShardChaos(const ShardChaosConfig& config);
+
+}  // namespace hovercraft
+
+#endif  // SRC_SHARD_SHARD_CHAOS_H_

@@ -1,0 +1,82 @@
+#include "src/shard/shard_map.h"
+
+#include "src/common/check.h"
+
+namespace hovercraft {
+
+ShardMap::ShardMap(int32_t groups)
+    : groups_(groups), owner_(kShardSlots), frozen_(kShardSlots, false) {
+  HC_CHECK_GT(groups, 0);
+  HC_CHECK_LE(static_cast<uint32_t>(groups), kShardSlots);
+  for (uint32_t s = 0; s < kShardSlots; ++s) {
+    owner_[s] = GroupId{static_cast<int32_t>(
+        static_cast<uint64_t>(s) * static_cast<uint64_t>(groups) / kShardSlots)};
+  }
+}
+
+GroupId ShardMap::OwnerOf(uint32_t slot) const {
+  if (!IsDataSlot(slot)) {
+    return kInvalidGroup;
+  }
+  return owner_[slot];
+}
+
+bool ShardMap::IsFrozen(uint32_t slot) const {
+  return IsDataSlot(slot) && frozen_[slot];
+}
+
+bool ShardMap::ServesAt(GroupId group, uint32_t slot) const {
+  if (!IsDataSlot(slot)) {
+    return true;  // control/unsharded traffic is never gated by the map
+  }
+  return owner_[slot] == group && !frozen_[slot];
+}
+
+bool ShardMap::BeginMove(uint32_t lo, uint32_t hi, GroupId dest) {
+  if (!IsDataSlot(lo) || !IsDataSlot(hi) || lo > hi || !dest.valid() ||
+      dest.value >= groups_) {
+    return false;
+  }
+  const GroupId source = owner_[lo];
+  if (source == dest) {
+    return false;  // nothing to move
+  }
+  for (uint32_t s = lo; s <= hi; ++s) {
+    if (frozen_[s] || owner_[s] != source) {
+      return false;
+    }
+  }
+  for (uint32_t s = lo; s <= hi; ++s) {
+    frozen_[s] = true;
+  }
+  return true;
+}
+
+void ShardMap::CommitMove(uint32_t lo, uint32_t hi, GroupId dest) {
+  HC_CHECK(IsDataSlot(lo) && IsDataSlot(hi) && lo <= hi);
+  for (uint32_t s = lo; s <= hi; ++s) {
+    owner_[s] = dest;
+    frozen_[s] = false;
+  }
+  ++epoch_;
+}
+
+void ShardMap::AbortMove(uint32_t lo, uint32_t hi) {
+  HC_CHECK(IsDataSlot(lo) && IsDataSlot(hi) && lo <= hi);
+  for (uint32_t s = lo; s <= hi; ++s) {
+    frozen_[s] = false;
+  }
+  ++epoch_;
+}
+
+std::vector<uint32_t> ShardMap::SlotsOf(GroupId group) const {
+  std::vector<uint32_t> slots;
+  for (uint32_t s = 0; s < kShardSlots; ++s) {
+    if (owner_[s] == group) {
+      slots.push_back(s);
+    }
+  }
+  return slots;
+}
+
+}  // namespace hovercraft

@@ -1,0 +1,66 @@
+// The replicated ShardMap: which consensus group owns which hash slots, and
+// which slots are mid-move (docs/sharding.md).
+//
+// The map is versioned by a monotonically increasing epoch. Every ownership
+// change — a move's cutover, or an abort unfreezing a range — bumps it, so a
+// client holding an old view can always tell its answer is stale from the
+// epoch a NACK_WRONG_SHARD carries. In the simulation the authoritative copy
+// lives with the coordinator (the control plane); clients "refresh" by
+// re-reading it through their route function, which models fetching the map
+// from a config service.
+#ifndef SRC_SHARD_SHARD_MAP_H_
+#define SRC_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"  // GroupId
+#include "src/r2p2/shard.h"
+
+namespace hovercraft {
+
+class ShardMap {
+ public:
+  // Contiguous initial assignment: group g owns slots
+  // [g * kShardSlots / groups, (g + 1) * kShardSlots / groups). Epoch starts
+  // at 1 so "0" is always free to mean "this group serves the slot" in the
+  // middlebox shard-gate protocol.
+  explicit ShardMap(int32_t groups);
+
+  uint64_t epoch() const { return epoch_; }
+  int32_t group_count() const { return groups_; }
+
+  GroupId OwnerOf(uint32_t slot) const;
+  bool IsFrozen(uint32_t slot) const;
+
+  // True when `group` currently serves `slot`: it is the owner and the slot
+  // is not mid-move. This is the predicate the per-group shard gates use.
+  bool ServesAt(GroupId group, uint32_t slot) const;
+
+  // Marks [lo, hi] mid-move (still owned by the source). Fails — and changes
+  // nothing — if the range is invalid, any slot is already frozen, or the
+  // slots are not all owned by one group. Freezing does not bump the epoch:
+  // ownership is unchanged, and the frozen window is reported through the
+  // gates, not the map version.
+  bool BeginMove(uint32_t lo, uint32_t hi, GroupId dest);
+
+  // Cutover: assigns [lo, hi] to `dest`, unfreezes it, bumps the epoch.
+  void CommitMove(uint32_t lo, uint32_t hi, GroupId dest);
+
+  // Abandons a move: unfreezes [lo, hi] with ownership unchanged and bumps
+  // the epoch (clients that saw redirects must refresh).
+  void AbortMove(uint32_t lo, uint32_t hi);
+
+  // All slots currently owned by `group`, ascending.
+  std::vector<uint32_t> SlotsOf(GroupId group) const;
+
+ private:
+  int32_t groups_;
+  uint64_t epoch_ = 1;
+  std::vector<GroupId> owner_;  // size kShardSlots
+  std::vector<bool> frozen_;    // size kShardSlots
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_SHARD_SHARD_MAP_H_

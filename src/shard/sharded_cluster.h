@@ -1,0 +1,146 @@
+// Multi-Raft sharding: N independent HovercRaft consensus groups composed
+// over ONE simulated fabric and one virtual clock (docs/sharding.md).
+//
+// Each group is an ordinary Cluster built in borrowed mode (it shares the
+// ShardedCluster's Simulator and Network instead of owning its own), with its
+// own Raft instance, session tables, flow-control ledger, aggregator epoch
+// and metrics namespace ("shard<g>."). Group identity is a first-class
+// GroupId; nothing about a group's internals knows its global position except
+// through two narrow seams:
+//   - the obs-node base: group g's nodes record flight-recorder/metrics
+//     events as obs ids [g*stride, g*stride+nodes), with one extra pseudo-
+//     node per group for its flow-control middlebox, so per-group watchdogs
+//     can filter the shared event stream without cross-group aliasing;
+//   - the shard gates: each group's middlebox consults the authoritative
+//     ShardMap before admission and redirects wrong-shard requests.
+//
+// Determinism contract: group 0's execution (and its recorded event stream)
+// is byte-identical whether 1 or 4 groups share the fabric, provided group
+// 0's traffic is identical. This holds because groups are built in order
+// (group 0's host ids never depend on how many groups follow — attach group
+// clients from the per_group_hook for the same reason), per-group seeds
+// derive from the group id alone, and the fault-free fabric consumes no
+// shared randomness.
+#ifndef SRC_SHARD_SHARDED_CLUSTER_H_
+#define SRC_SHARD_SHARDED_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/loadgen/client.h"
+#include "src/shard/coordinator.h"
+#include "src/shard/shard_map.h"
+
+namespace hovercraft {
+
+namespace obs {
+class FlightRecorder;
+class MetricsRegistry;
+class Watchdog;
+}  // namespace obs
+
+struct ShardedClusterConfig {
+  int32_t groups = 2;
+  int32_t nodes_per_group = 3;
+  ClusterMode mode = ClusterMode::kHovercRaft;  // must be a multicast mode
+  std::function<std::unique_ptr<StateMachine>()> app_factory;
+
+  ReplierPolicy replier_policy = ReplierPolicy::kJbsq;
+  int64_t bounded_queue_depth = 128;
+  // Per-group admission threshold; <= 0 disables the cap.
+  int64_t flow_control_threshold = 0;
+
+  CostModel costs;
+  RaftOptions raft;
+  ServerConfig server_template;
+  uint64_t seed = 1;
+  bool stagger_first_election = true;
+
+  // Shared always-on flight recorder depth (0 disables recording and the
+  // watchdogs). One per-group watchdog is attached as a sink, node-filtered
+  // to the group's obs range.
+  size_t flight_recorder_depth = 512;
+  bool watchdog = true;
+
+  // Prefix for ExportMetrics; each group appends "shard<g>." to it.
+  std::string obs_scope;
+
+  // Invoked right after each group's cluster is built, in group order. Attach
+  // group-local clients here: host ids are allocated in attach order, so a
+  // client attached from the hook gets the same id regardless of how many
+  // groups are built afterwards (the determinism contract above).
+  std::function<void(GroupId, Cluster&)> per_group_hook;
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(const ShardedClusterConfig& config);
+  ~ShardedCluster();
+  ShardedCluster(const ShardedCluster&) = delete;
+  ShardedCluster& operator=(const ShardedCluster&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Network& network() { return net_; }
+  const ShardedClusterConfig& config() const { return config_; }
+
+  int32_t group_count() const { return config_.groups; }
+  Cluster& group(GroupId g) { return *groups_[static_cast<size_t>(g.value)]; }
+  const Cluster& group(GroupId g) const { return *groups_[static_cast<size_t>(g.value)]; }
+
+  ShardMap& shard_map() { return map_; }
+  const ShardMap& shard_map() const { return map_; }
+  ShardCoordinator& coordinator() { return *coordinator_; }
+
+  // Obs-node numbering: stride per group (nodes + 1 middlebox pseudo-node).
+  int32_t ObsStride() const { return config_.nodes_per_group + 1; }
+  NodeId ObsBaseOf(GroupId g) const { return g.value * ObsStride(); }
+
+  obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
+  obs::Watchdog* group_watchdog(GroupId g) {
+    return watchdogs_.empty() ? nullptr : watchdogs_[static_cast<size_t>(g.value)].get();
+  }
+  bool AllWatchdogsOk() const;
+  std::string WatchdogSummary() const;
+
+  // Runs the simulator until every group elected a leader (or deadline).
+  // Returns true when all groups have one.
+  bool WaitForAllLeaders(TimeNs deadline = Seconds(2));
+
+  // Current route for a slot against the authoritative map: owner group's
+  // admission ingress and retry path plus the map epoch. Plug straight into
+  // ClientHost::EnableSharding.
+  ClientHost::ShardRoute RouteOf(uint32_t slot) const;
+
+  // Kicks off a two-phase move of [lo, hi] to `dest` (FIFO behind any move
+  // already in flight).
+  void StartMove(uint32_t lo, uint32_t hi, GroupId dest) {
+    coordinator_->StartMove(lo, hi, dest);
+  }
+
+  // Cross-group sums.
+  uint64_t TotalExecuted() const;
+  uint64_t TotalReplies() const;
+  uint64_t TotalWrongShardNacks() const;  // middlebox + server gates
+  uint64_t TotalDoubleApplies() const;
+
+  // Every group's counters under "<obs_scope>shard<g>." plus the shard-wide
+  // control-plane counters under "<obs_scope>shard/".
+  void ExportMetrics(obs::MetricsRegistry* metrics);
+
+ private:
+  ShardedClusterConfig config_;
+  Simulator sim_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::vector<std::unique_ptr<obs::Watchdog>> watchdogs_;
+  Network net_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<Cluster>> groups_;
+  std::unique_ptr<ShardCoordinator> coordinator_;
+};
+
+}  // namespace hovercraft
+
+#endif  // SRC_SHARD_SHARDED_CLUSTER_H_

@@ -1,0 +1,119 @@
+// Unit tests for the epoch-versioned ShardMap (src/shard/shard_map.h).
+#include "src/shard/shard_map.h"
+
+#include <gtest/gtest.h>
+
+namespace hovercraft {
+namespace {
+
+TEST(ShardMapTest, InitialAssignmentIsContiguousAndTotal) {
+  ShardMap map(4);
+  EXPECT_EQ(map.epoch(), 1u);  // starts at 1: gate return 0 always means "serves"
+  for (uint32_t s = 0; s < kShardSlots; ++s) {
+    EXPECT_EQ(map.OwnerOf(s).value, static_cast<int32_t>(s / 16)) << "slot " << s;
+    EXPECT_FALSE(map.IsFrozen(s));
+  }
+  for (int32_t g = 0; g < 4; ++g) {
+    const auto slots = map.SlotsOf(GroupId{g});
+    ASSERT_EQ(slots.size(), 16u);
+    EXPECT_EQ(slots.front(), static_cast<uint32_t>(g) * 16);
+    EXPECT_EQ(slots.back(), static_cast<uint32_t>(g) * 16 + 15);
+  }
+}
+
+TEST(ShardMapTest, SingleGroupOwnsEverything) {
+  ShardMap map(1);
+  EXPECT_EQ(map.SlotsOf(GroupId{0}).size(), kShardSlots);
+  for (uint32_t s = 0; s < kShardSlots; ++s) {
+    EXPECT_TRUE(map.ServesAt(GroupId{0}, s));
+  }
+}
+
+TEST(ShardMapTest, ControlAndInvalidSlotsAreAlwaysServed) {
+  ShardMap map(2);
+  // Non-data slots are never shard-gated anywhere.
+  EXPECT_TRUE(map.ServesAt(GroupId{0}, kShardCtlSlot));
+  EXPECT_TRUE(map.ServesAt(GroupId{1}, kShardCtlSlot));
+  EXPECT_TRUE(map.ServesAt(GroupId{0}, kNoShardSlot));
+  EXPECT_TRUE(map.ServesAt(GroupId{1}, kNoShardSlot));
+}
+
+TEST(ShardMapTest, FreezeStopsServiceWithoutEpochBump) {
+  ShardMap map(2);
+  ASSERT_TRUE(map.ServesAt(GroupId{0}, 3));
+  ASSERT_TRUE(map.BeginMove(0, 7, GroupId{1}));
+  // Ownership unchanged, service suspended, epoch unchanged (the freeze is
+  // reported through the gates, not the map version).
+  EXPECT_EQ(map.epoch(), 1u);
+  EXPECT_EQ(map.OwnerOf(3), GroupId{0});
+  EXPECT_TRUE(map.IsFrozen(3));
+  EXPECT_FALSE(map.ServesAt(GroupId{0}, 3));
+  EXPECT_FALSE(map.ServesAt(GroupId{1}, 3));
+  // Slots outside the range are untouched.
+  EXPECT_TRUE(map.ServesAt(GroupId{0}, 8));
+}
+
+TEST(ShardMapTest, CommitMoveTransfersOwnershipAndBumpsEpoch) {
+  ShardMap map(2);
+  ASSERT_TRUE(map.BeginMove(0, 7, GroupId{1}));
+  map.CommitMove(0, 7, GroupId{1});
+  EXPECT_EQ(map.epoch(), 2u);
+  for (uint32_t s = 0; s <= 7; ++s) {
+    EXPECT_EQ(map.OwnerOf(s), GroupId{1});
+    EXPECT_FALSE(map.IsFrozen(s));
+    EXPECT_TRUE(map.ServesAt(GroupId{1}, s));
+    EXPECT_FALSE(map.ServesAt(GroupId{0}, s));
+  }
+  // The rest of group 0's range is unaffected.
+  for (uint32_t s = 8; s < 32; ++s) {
+    EXPECT_EQ(map.OwnerOf(s), GroupId{0});
+  }
+}
+
+TEST(ShardMapTest, AbortMoveRestoresServiceAndBumpsEpoch) {
+  ShardMap map(2);
+  ASSERT_TRUE(map.BeginMove(4, 9, GroupId{1}));
+  map.AbortMove(4, 9);
+  EXPECT_EQ(map.epoch(), 2u);  // clients that saw redirects must refresh
+  for (uint32_t s = 4; s <= 9; ++s) {
+    EXPECT_EQ(map.OwnerOf(s), GroupId{0});
+    EXPECT_TRUE(map.ServesAt(GroupId{0}, s));
+  }
+}
+
+TEST(ShardMapTest, BeginMoveRejectsBadRanges) {
+  ShardMap map(2);
+  EXPECT_FALSE(map.BeginMove(7, 3, GroupId{1}));             // inverted
+  EXPECT_FALSE(map.BeginMove(0, kShardSlots, GroupId{1}));   // out of range
+  EXPECT_FALSE(map.BeginMove(0, 7, GroupId{5}));             // no such group
+  EXPECT_FALSE(map.BeginMove(0, 7, GroupId{0}));             // dest == source
+  EXPECT_FALSE(map.BeginMove(30, 34, GroupId{1}));           // spans two owners
+  ASSERT_TRUE(map.BeginMove(0, 7, GroupId{1}));
+  EXPECT_FALSE(map.BeginMove(4, 11, GroupId{1}));            // overlaps a frozen slot
+  EXPECT_EQ(map.epoch(), 1u);                                // rejections change nothing
+}
+
+TEST(ShardMapTest, MoveBackAfterCommit) {
+  ShardMap map(2);
+  ASSERT_TRUE(map.BeginMove(0, 31, GroupId{1}));
+  map.CommitMove(0, 31, GroupId{1});
+  EXPECT_TRUE(map.SlotsOf(GroupId{0}).empty());
+  ASSERT_TRUE(map.BeginMove(0, 31, GroupId{0}));
+  map.CommitMove(0, 31, GroupId{0});
+  EXPECT_EQ(map.epoch(), 3u);
+  EXPECT_EQ(map.SlotsOf(GroupId{0}).size(), 32u);
+}
+
+TEST(ShardMapTest, ShardSlotOfIsStableAndInRange) {
+  // The client, middlebox and server all hash keys independently; the slot
+  // function must be pure and bounded.
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const uint32_t slot = ShardSlotOf(key);
+    EXPECT_LT(slot, kShardSlots);
+    EXPECT_EQ(slot, ShardSlotOf(key));
+  }
+}
+
+}  // namespace
+}  // namespace hovercraft
