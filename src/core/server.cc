@@ -750,12 +750,14 @@ void ReplicatedServer::ScheduleApply(LogIndex idx) {
 
 void ReplicatedServer::ApplyShardCtl(LogIndex idx, const LogEntry& entry) {
   const NodeId self = node_id();
-  // A duplicate control entry (a parked multicast copy re-drained into the
-  // log by a new leader after the original committed) must be a no-op: a
-  // freeze is idempotent, but re-running an install would roll the moved
-  // range back below writes committed after the cutover. Control rids are
-  // recorded in the same session table as data writes, so Executed() here is
-  // the same deterministic, replicated dedup the data path uses.
+  // A duplicate control entry under the SAME rid (a parked multicast copy
+  // re-drained into the log by a new leader after the original committed)
+  // must be a no-op: re-running an install would roll the moved range back
+  // below writes committed after the cutover. Control rids are recorded in
+  // the same session table as data writes, so Executed() here is the same
+  // deterministic, replicated dedup the data path uses. Duplicates under a
+  // DIFFERENT rid — abandoned coordinator retries — are caught below by the
+  // move-id fence instead.
   if (sessions_.Executed(entry.rid)) {
     ++stats_.dedup_hits;
     app_thread_.Submit(0, [this, idx]() { raft_->OnApplied(idx); });
@@ -768,45 +770,96 @@ void ReplicatedServer::ApplyShardCtl(LogIndex idx, const LogEntry& entry) {
   const bool reply_here = (entry.replier == self);
   Body reply;
   TimeNs cost = costs().ae_fixed_ns;
-  switch (op.kind) {
-    case ShardOpKind::kFreeze: {
-      shard_.Freeze(op.lo, op.hi);
-      ++stats_.shard_freezes;
-      // Only the designated replier builds the capture: it is not replicated
-      // state (every replica could produce the identical bytes) — it travels
-      // to the coordinator in the reply and reaches the destination group
-      // inside the install entry.
-      if (reply_here) {
-        BufferWriter w;
-        sessions_.SerializeRange(&w, op.lo, op.hi);
-        const Body app_range = app_->CaptureRange(op.lo, op.hi);
-        HC_CHECK(app_range != nullptr);
-        w.PutBytes(*app_range);
-        reply = MakeBody(w.TakeBytes());
-        cost += static_cast<TimeNs>(costs().ae_payload_byte_ns *
-                                    static_cast<double>(reply->size()));
-      }
-      break;
-    }
-    case ShardOpKind::kInstall: {
-      HC_CHECK(op.payload != nullptr);
-      BufferReader r(op.payload->bytes());
-      HC_CHECK(sessions_.MergeRange(&r).ok());
-      std::vector<uint8_t> app_bytes;
-      HC_CHECK(r.GetBytes(r.remaining(), app_bytes).ok());
-      HC_CHECK(app_->InstallRange(MakeBody(std::move(app_bytes))).ok());
-      shard_.Install(op.lo, op.hi);
-      ++stats_.shard_installs;
+  // The designated replier's capture is not replicated state (every replica
+  // could produce the identical bytes) — it travels to the coordinator in the
+  // reply and reaches the destination group inside the install entry. While
+  // the range is frozen the capture is stable: the apply-time gate rejects
+  // every data write to it, so re-capturing for a freeze retry yields the
+  // bytes the first freeze would have returned.
+  auto build_capture = [this, &op]() {
+    BufferWriter w;
+    sessions_.SerializeRange(&w, op.lo, op.hi);
+    const Body app_range = app_->CaptureRange(op.lo, op.hi);
+    HC_CHECK(app_range != nullptr);
+    w.PutBytes(*app_range);
+    return MakeBody(w.TakeBytes());
+  };
+  // Move-id fence: the coordinator retries each phase under fresh rids, so an
+  // abandoned attempt parked in a follower's unordered store is NOT in the
+  // session table and can be re-drained into the log arbitrarily late — after
+  // the phase already ran under a sibling rid, after the cutover, even after
+  // a later move handed the range back. Re-running it would roll an installed
+  // range back below post-cutover writes or GC live keys, so anything at or
+  // below the replicated watermark mutates nothing. The fence is evaluated at
+  // the apply point against log-derived state: every replica skips the same
+  // entries identically.
+  if (!shard_.AdvanceCtlWatermark(ShardCtlKeyOf(op.move_id, op.kind))) {
+    ++stats_.shard_ctl_stale;
+    // Still answer: the usual fenced entry is the coordinator's live retry of
+    // a phase whose committed reply was lost, and that retry needs the phase
+    // result (for a freeze, the capture). Replies to long-abandoned rids are
+    // ignored by the coordinator's sequence check.
+    if (reply_here && op.kind == ShardOpKind::kFreeze) {
+      reply = build_capture();
       cost += static_cast<TimeNs>(costs().ae_payload_byte_ns *
-                                  static_cast<double>(op.payload->size()));
-      break;
+                                  static_cast<double>(reply->size()));
     }
-    case ShardOpKind::kGc: {
-      sessions_.DropRange(op.lo, op.hi);
-      HC_CHECK(app_->DropRange(op.lo, op.hi).ok());
-      shard_.Drop(op.lo, op.hi);
-      ++stats_.shard_gcs;
-      break;
+  } else {
+    switch (op.kind) {
+      case ShardOpKind::kFreeze: {
+        shard_.Freeze(op.lo, op.hi);
+        ++stats_.shard_freezes;
+        if (reply_here) {
+          reply = build_capture();
+          cost += static_cast<TimeNs>(costs().ae_payload_byte_ns *
+                                      static_cast<double>(reply->size()));
+        }
+        break;
+      }
+      case ShardOpKind::kInstall: {
+        HC_CHECK(op.payload != nullptr);
+        // Self-cleaning: clear whatever the range left behind here (e.g. the
+        // residue of an earlier aborted move whose uninstall never reached
+        // this group) so the installed state is exactly the capture.
+        sessions_.DropRange(op.lo, op.hi);
+        HC_CHECK(app_->DropRange(op.lo, op.hi).ok());
+        BufferReader r(op.payload->bytes());
+        HC_CHECK(sessions_.MergeRange(&r).ok());
+        std::vector<uint8_t> app_bytes;
+        HC_CHECK(r.GetBytes(r.remaining(), app_bytes).ok());
+        HC_CHECK(app_->InstallRange(MakeBody(std::move(app_bytes))).ok());
+        shard_.Install(op.lo, op.hi);
+        ++stats_.shard_installs;
+        cost += static_cast<TimeNs>(costs().ae_payload_byte_ns *
+                                    static_cast<double>(op.payload->size()));
+        break;
+      }
+      case ShardOpKind::kGc: {
+        sessions_.DropRange(op.lo, op.hi);
+        HC_CHECK(app_->DropRange(op.lo, op.hi).ok());
+        shard_.Drop(op.lo, op.hi);
+        ++stats_.shard_gcs;
+        break;
+      }
+      case ShardOpKind::kUnfreeze: {
+        // Move abort at the source: serve the range again (the freeze may or
+        // may not have committed — unfreezing an unfrozen range is a no-op)
+        // and fence the aborted move's parked freeze copies.
+        shard_.Unfreeze(op.lo, op.hi);
+        ++stats_.shard_unfreezes;
+        break;
+      }
+      case ShardOpKind::kUninstall: {
+        // Move abort at the destination: discard whatever the aborted move
+        // installed — data, session entries, serve state — and fence its
+        // parked install copies. If no install committed the range is already
+        // dropped/empty and this is a no-op.
+        sessions_.DropRange(op.lo, op.hi);
+        HC_CHECK(app_->DropRange(op.lo, op.hi).ok());
+        shard_.Drop(op.lo, op.hi);
+        ++stats_.shard_uninstalls;
+        break;
+      }
     }
   }
   // Every replica records the same marker (the capture reply above is sent

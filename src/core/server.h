@@ -104,10 +104,16 @@ struct ServerStats {
   // ordered before a freeze took effect.
   uint64_t wrong_shard_nacks = 0;
   uint64_t wrong_shard_rejects = 0;
-  // Shard-move control entries applied (freeze / install / gc).
+  // Shard-move control entries applied (freeze / install / gc, plus the
+  // abort ops: unfreeze at the source, uninstall at the destination).
   uint64_t shard_freezes = 0;
   uint64_t shard_installs = 0;
   uint64_t shard_gcs = 0;
+  uint64_t shard_unfreezes = 0;
+  uint64_t shard_uninstalls = 0;
+  // Control entries rejected by the move-id fence (ShardCtlKeyOf): stale
+  // duplicates re-drained into the log after the step already ran.
+  uint64_t shard_ctl_stale = 0;
 };
 
 class ReplicatedServer final : public Host, public RaftNode::Env {

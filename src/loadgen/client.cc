@@ -256,8 +256,9 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
     Pending& pending = it->second;
     ++total_redirects_;
     if (pending.redirects >= kMaxImmediateRedirects) {
-      // Stop chasing back-to-back; the armed retry timer re-resolves the
-      // route at backoff pace (the slot is mid-move and frozen everywhere).
+      // Stop chasing back-to-back; the retry timer armed by the last redirect
+      // resend re-resolves the route at backoff pace (the slot is mid-move
+      // and frozen everywhere).
       return;
     }
     ++pending.redirects;
@@ -278,9 +279,12 @@ void ClientHost::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
                                                 pending.attempts, ack_floor_,
                                                 pending.shard_slot);
     Send(ResolveTarget(pending), std::move(request));
-    if (retry_policy_.enabled) {
-      ArmRetryTimer(wrong->rid().seq, pending.attempts);
-    }
+    // Always armed, even with the retry policy disabled: a redirected request
+    // has no other resend path, and past the immediate-redirect cap the
+    // handler above relies on this timer — without it the operation would
+    // hang outstanding forever. The policy's backoff fields have usable
+    // defaults regardless of `enabled`.
+    ArmRetryTimer(wrong->rid().seq, pending.attempts);
     return;
   }
   if (const auto* nack = dynamic_cast<const NackMsg*>(msg.get())) {

@@ -23,13 +23,41 @@ const char* ShardOpKindName(ShardOpKind kind) {
       return "INSTALL";
     case ShardOpKind::kGc:
       return "GC";
+    case ShardOpKind::kUnfreeze:
+      return "UNFREEZE";
+    case ShardOpKind::kUninstall:
+      return "UNINSTALL";
   }
   return "?";
 }
 
+uint64_t ShardCtlKeyOf(uint64_t move_id, ShardOpKind kind) {
+  // Step ordinals within one move; the two abort ops share the top ordinal
+  // (they target different groups) so an abort fences every parked op of its
+  // own move.
+  uint64_t step = 0;
+  switch (kind) {
+    case ShardOpKind::kFreeze:
+      step = 0;
+      break;
+    case ShardOpKind::kInstall:
+      step = 1;
+      break;
+    case ShardOpKind::kGc:
+      step = 2;
+      break;
+    case ShardOpKind::kUnfreeze:
+    case ShardOpKind::kUninstall:
+      step = 3;
+      break;
+  }
+  return move_id * 4 + step;
+}
+
 Body EncodeShardOp(const ShardOp& op) {
-  BufferWriter w(32 + (op.payload == nullptr ? 0 : op.payload->size()));
+  BufferWriter w(40 + (op.payload == nullptr ? 0 : op.payload->size()));
   w.PutU8(static_cast<uint8_t>(op.kind));
+  w.PutU64(op.move_id);
   w.PutU32(op.lo);
   w.PutU32(op.hi);
   if (op.payload == nullptr) {
@@ -51,8 +79,11 @@ Status DecodeShardOp(const Body& body, ShardOp* out) {
   if (Status s = r.GetU8(kind); !s.ok()) {
     return s;
   }
-  if (kind > static_cast<uint8_t>(ShardOpKind::kGc)) {
+  if (kind > static_cast<uint8_t>(ShardOpKind::kUninstall)) {
     return InvalidArgumentError("bad shard op kind");
+  }
+  if (Status s = r.GetU64(out->move_id); !s.ok()) {
+    return s;
   }
   if (Status s = r.GetU32(out->lo); !s.ok()) {
     return s;
@@ -98,7 +129,22 @@ void ShardServeState::Install(uint32_t lo, uint32_t hi) {
   }
 }
 
+void ShardServeState::Unfreeze(uint32_t lo, uint32_t hi) {
+  for (uint32_t s = lo; s <= hi && s < kShardSlots; ++s) {
+    frozen_.erase(s);
+  }
+}
+
+bool ShardServeState::AdvanceCtlWatermark(uint64_t key) {
+  if (key <= ctl_watermark_) {
+    return false;
+  }
+  ctl_watermark_ = key;
+  return true;
+}
+
 void ShardServeState::Serialize(BufferWriter* w) const {
+  w->PutU64(ctl_watermark_);
   w->PutU32(static_cast<uint32_t>(frozen_.size()));
   for (uint32_t s : frozen_) {
     w->PutU32(s);
@@ -112,7 +158,11 @@ void ShardServeState::Serialize(BufferWriter* w) const {
 Status ShardServeState::Restore(BufferReader* r) {
   std::set<uint32_t> frozen;
   std::set<uint32_t> dropped;
+  uint64_t watermark = 0;
   uint32_t n = 0;
+  if (Status s = r->GetU64(watermark); !s.ok()) {
+    return s;
+  }
   if (Status s = r->GetU32(n); !s.ok()) {
     return s;
   }
@@ -141,6 +191,7 @@ Status ShardServeState::Restore(BufferReader* r) {
   }
   frozen_ = std::move(frozen);
   dropped_ = std::move(dropped);
+  ctl_watermark_ = watermark;
   return Status::Ok();
 }
 

@@ -47,7 +47,7 @@ inline uint32_t ShardSlotOf(std::string_view key) {
 }
 
 // --- shard-control operations -----------------------------------------------
-// The three log-riding steps of a two-phase range move (docs/sharding.md):
+// The log-riding steps of a two-phase range move (docs/sharding.md):
 //   kFreeze  [lo,hi]          source stops serving the range; the designated
 //                             replier captures sessions+app state for it and
 //                             returns the capture to the coordinator.
@@ -56,17 +56,29 @@ inline uint32_t ShardSlotOf(std::string_view key) {
 //                             point inside the destination group).
 //   kGc      [lo,hi]          source deletes the moved range and its cached
 //                             replies; the range is now redirect-only there.
+// and the two abort steps a move that gives up before its cutover commits
+// through the same logs (so aborting is replicated state, like the move):
+//   kUninstall [lo,hi]        destination discards whatever the aborted move
+//                             installed (data, session entries, serve state)
+//                             and fences the move's parked install copies.
+//   kUnfreeze  [lo,hi]        source serves the range again and fences the
+//                             move's parked freeze copies.
 
 enum class ShardOpKind : uint8_t {
   kFreeze = 0,
   kInstall = 1,
   kGc = 2,
+  kUnfreeze = 3,
+  kUninstall = 4,
 };
 
 const char* ShardOpKindName(ShardOpKind kind);
 
 struct ShardOp {
   ShardOpKind kind = ShardOpKind::kFreeze;
+  // Fencing tag: which move (coordinator-issued, strictly increasing) this op
+  // belongs to. See ShardCtlKeyOf.
+  uint64_t move_id = 0;
   uint32_t lo = 0;  // inclusive slot range
   uint32_t hi = 0;  // inclusive
   Body payload;     // kInstall only: [session range][app range] capture
@@ -74,6 +86,19 @@ struct ShardOp {
 
 Body EncodeShardOp(const ShardOp& op);
 Status DecodeShardOp(const Body& body, ShardOp* out);
+
+// Fencing key of a control op: move id, then the op's protocol step within
+// the move (freeze < install < gc < unfreeze/uninstall). The coordinator
+// issues moves with strictly increasing ids and drives the phases of a move
+// strictly in sequence (it only advances after the previous phase's op
+// committed), so the sequence of control ops a group legitimately applies has
+// strictly increasing keys. Any op ordered at or below the group's applied
+// watermark is therefore a stale duplicate — typically an abandoned retry
+// (the coordinator retries under fresh rids) that sat parked in a follower's
+// unordered store and was re-drained into the log by a later leader — and is
+// rejected at apply time; re-running it could roll a moved range back below
+// post-cutover writes or GC a range the group owns again.
+uint64_t ShardCtlKeyOf(uint64_t move_id, ShardOpKind kind);
 
 // --- per-server serve state -------------------------------------------------
 // Which slots this replica executes. Mutated ONLY by applying shard-control
@@ -101,18 +126,30 @@ class ShardServeState {
   void Drop(uint32_t lo, uint32_t hi);
   // kInstall: the range arrives here (clears dropped/frozen for it).
   void Install(uint32_t lo, uint32_t hi);
+  // kUnfreeze (move abort at the source): the range serves again. Dropped
+  // slots stay dropped — an abort never grants ownership.
+  void Unfreeze(uint32_t lo, uint32_t hi);
+
+  // Control-op fence (ShardCtlKeyOf). Advances the watermark and returns
+  // true when `key` is newer than everything applied so far; returns false —
+  // and the caller must treat the op as a stale no-op — otherwise. Replicated
+  // state: advanced only at the apply point, so identical across a group's
+  // replicas at equal positions and carried by snapshots.
+  bool AdvanceCtlWatermark(uint64_t key);
+  uint64_t ctl_watermark() const { return ctl_watermark_; }
 
   const std::set<uint32_t>& frozen() const { return frozen_; }
   const std::set<uint32_t>& dropped() const { return dropped_; }
 
   // Rides inside server snapshots between the session table and the app
-  // bytes; an unsharded server serializes an empty state (8 bytes).
+  // bytes; an unsharded server serializes an empty state (16 bytes).
   void Serialize(BufferWriter* w) const;
   Status Restore(BufferReader* r);
 
  private:
   std::set<uint32_t> frozen_;
   std::set<uint32_t> dropped_;
+  uint64_t ctl_watermark_ = 0;
 };
 
 }  // namespace hovercraft

@@ -40,6 +40,7 @@ void ShardCoordinator::BeginNext() {
       continue;
     }
     ++stats_.moves_started;
+    m.move_id = next_move_id_++;
     current_ = m;
     phase_ = Phase::kFreezing;
     attempts_in_phase_ = 0;
@@ -51,6 +52,7 @@ void ShardCoordinator::BeginNext() {
     }
     ShardOp op;
     op.kind = ShardOpKind::kFreeze;
+    op.move_id = m.move_id;
     op.lo = m.lo;
     op.hi = m.hi;
     SendCtl(m.source, std::move(op));
@@ -76,16 +78,25 @@ void ShardCoordinator::SendCtl(GroupId group, ShardOp op) {
   sim()->Cancel(retry_timer_);
   retry_timer_ = sim()->After(kCtlRetryInterval, [this]() {
     retry_timer_ = kInvalidEvent;
-    if (phase_ == Phase::kIdle) {
-      return;
-    }
-    if (attempts_in_phase_ >= kCtlRetryBudget) {
-      FailMove();
-      return;
-    }
-    ++stats_.ctl_retries;
-    SendCtl(inflight_group_, inflight_op_);
+    RetryCtlOrFail();
   });
+}
+
+void ShardCoordinator::RetryCtlOrFail() {
+  if (phase_ == Phase::kIdle) {
+    return;
+  }
+  // Abort phases have no budget: an abandoned abort would leave the map and
+  // the group's replicated serve state permanently disagreeing (a frozen
+  // range the map says is served, or a stale installed copy at the
+  // destination). Retrying forever is safe — the ops are fenced and
+  // idempotent — and completes as soon as the group has a leader again.
+  if (!IsAbortPhase(phase_) && attempts_in_phase_ >= retry_budget_) {
+    FailMove();
+    return;
+  }
+  ++stats_.ctl_retries;
+  SendCtl(inflight_group_, inflight_op_);
 }
 
 void ShardCoordinator::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
@@ -112,15 +123,7 @@ void ShardCoordinator::HandleMessage(HostId /*src*/, const MessagePtr& msg) {
     sim()->Cancel(retry_timer_);
     retry_timer_ = sim()->After(Micros(200), [this]() {
       retry_timer_ = kInvalidEvent;
-      if (phase_ == Phase::kIdle) {
-        return;
-      }
-      if (attempts_in_phase_ >= kCtlRetryBudget) {
-        FailMove();
-        return;
-      }
-      ++stats_.ctl_retries;
-      SendCtl(inflight_group_, inflight_op_);
+      RetryCtlOrFail();
     });
     return;
   }
@@ -140,6 +143,7 @@ void ShardCoordinator::OnPhaseReply(const Body& reply) {
       attempts_in_phase_ = 0;
       ShardOp op;
       op.kind = ShardOpKind::kInstall;
+      op.move_id = current_.move_id;
       op.lo = current_.lo;
       op.hi = current_.hi;
       op.payload = capture_;
@@ -162,6 +166,7 @@ void ShardCoordinator::OnPhaseReply(const Body& reply) {
       attempts_in_phase_ = 0;
       ShardOp op;
       op.kind = ShardOpKind::kGc;
+      op.move_id = current_.move_id;
       op.lo = current_.lo;
       op.hi = current_.hi;
       SendCtl(current_.source, std::move(op));
@@ -169,9 +174,28 @@ void ShardCoordinator::OnPhaseReply(const Body& reply) {
     }
     case Phase::kGc: {
       ++stats_.moves_completed;
-      capture_ = nullptr;
-      phase_ = Phase::kIdle;
-      BeginNext();
+      FinishMove();
+      return;
+    }
+    case Phase::kAbortingDst: {
+      // The destination committed the uninstall: nothing the aborted move
+      // installed survives there, and its parked install copies are fenced.
+      // Now un-freeze the source.
+      BeginAbort(/*uninstall_dest=*/false);
+      return;
+    }
+    case Phase::kAbortingSrc: {
+      // The source committed the unfreeze and serves the range again; only
+      // now flip the map so clients routed back to the source are accepted.
+      map_->AbortMove(current_.lo, current_.hi);
+      ++stats_.moves_aborted;
+      if (auto* tracer = obs::TracerOf(sim())) {
+        tracer->Instant(obs::kClusterPid, obs::kTidEvents, "shard-move-aborted", sim()->Now(),
+                        "[" + std::to_string(current_.lo) + "," +
+                            std::to_string(current_.hi) + "] epoch " +
+                            std::to_string(map_->epoch()));
+      }
+      FinishMove();
       return;
     }
     case Phase::kIdle:
@@ -179,23 +203,59 @@ void ShardCoordinator::OnPhaseReply(const Body& reply) {
   }
 }
 
-void ShardCoordinator::FailMove() {
-  ++stats_.moves_failed;
-  HC_LOG_WARN("shard coordinator: move [%u,%u] g%d->g%d gave up in phase %d", current_.lo,
-              current_.hi, current_.source.value, current_.dest.value,
-              static_cast<int>(phase_));
-  // Before the cutover committed, ownership never changed: unfreeze so the
-  // source's gate serves the range again. (The source replicas may have
-  // applied the freeze and keep rejecting at apply time — a liveness wart of
-  // the give-up path; the retry budget is sized so tests never reach it.)
-  // After the cutover (GC phase), the move is semantically done and only the
-  // source's garbage survives.
-  if (phase_ != Phase::kGc) {
-    map_->AbortMove(current_.lo, current_.hi);
-  }
+void ShardCoordinator::FinishMove() {
   capture_ = nullptr;
   phase_ = Phase::kIdle;
   BeginNext();
+}
+
+void ShardCoordinator::FailMove() {
+  ++stats_.moves_failed;
+  HC_LOG_WARN("shard coordinator: move %llu [%u,%u] g%d->g%d gave up in phase %d",
+              static_cast<unsigned long long>(current_.move_id), current_.lo, current_.hi,
+              current_.source.value, current_.dest.value, static_cast<int>(phase_));
+  switch (phase_) {
+    case Phase::kFreezing:
+      // No install was ever sent; un-freezing the source is the whole abort.
+      BeginAbort(/*uninstall_dest=*/false);
+      return;
+    case Phase::kInstalling:
+      // An install may have committed at the destination (its reply lost):
+      // discard it there before the source resumes serving, or the
+      // destination would silently keep a stale copy of a range it does not
+      // own — and a parked install could resurrect it later.
+      BeginAbort(/*uninstall_dest=*/true);
+      return;
+    case Phase::kGc:
+      // The cutover committed: the move is semantically done and the map
+      // already routes to the destination. Only the source's garbage survives
+      // (a frozen, redirect-only range); a future move back installs over it,
+      // and its parked GC copies are exactly the deletion the move owed.
+      FinishMove();
+      return;
+    case Phase::kIdle:
+    case Phase::kAbortingDst:
+    case Phase::kAbortingSrc:
+      HC_CHECK(false);  // abort phases retry without a budget
+      return;
+  }
+}
+
+void ShardCoordinator::BeginAbort(bool uninstall_dest) {
+  attempts_in_phase_ = 0;
+  ShardOp op;
+  op.move_id = current_.move_id;
+  op.lo = current_.lo;
+  op.hi = current_.hi;
+  if (uninstall_dest) {
+    phase_ = Phase::kAbortingDst;
+    op.kind = ShardOpKind::kUninstall;
+    SendCtl(current_.dest, std::move(op));
+  } else {
+    phase_ = Phase::kAbortingSrc;
+    op.kind = ShardOpKind::kUnfreeze;
+    SendCtl(current_.source, std::move(op));
+  }
 }
 
 }  // namespace hovercraft

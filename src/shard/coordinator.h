@@ -22,11 +22,25 @@
 // after cutover hits the merged session table and is answered from cache,
 // never re-executed. Moves run one at a time, FIFO.
 //
-// Every retry uses a fresh request id: control ops are idempotent by
-// construction (re-freezing a frozen range captures identical bytes,
-// re-installing merges nothing new, re-GC'ing an empty range is a no-op), and
-// a fresh rid sidesteps the session-table cache returning the 1-byte ack
-// marker where the coordinator needs the capture payload.
+// Every move carries a unique, strictly increasing move id, stamped on each
+// of its control ops. Retries of a phase use a fresh request id (the
+// session-table cache would return the 1-byte ack marker where the
+// coordinator needs the capture payload), which means abandoned attempts are
+// unknown to the session table — a parked copy re-drained into a group's log
+// after a leader change would re-run the step arbitrarily late. The servers
+// fence those with the replicated per-group control watermark
+// (ShardCtlKeyOf): an op at or below the highest applied (move, step) key
+// mutates nothing, and its designated replier re-answers with the phase
+// result so a live lost-reply retry still completes the phase.
+//
+// A move that exhausts its retry budget before the cutover aborts through
+// the same logs: UNINSTALL at the destination (discards anything an install
+// left there and fences the move's parked installs), then UNFREEZE at the
+// source (serves the range again, fences parked freezes), then the map-level
+// abort. The abort ops retry WITHOUT a budget: giving up would leave the map
+// and a group's replicated serve state permanently disagreeing, and — like
+// any replicated operation — their completion needs only that the group
+// regains a functioning leader. The FIFO queue blocks behind an abort.
 #ifndef SRC_SHARD_COORDINATOR_H_
 #define SRC_SHARD_COORDINATOR_H_
 
@@ -67,6 +81,7 @@ class ShardCoordinator final : public Host {
     uint64_t moves_completed = 0;
     uint64_t moves_rejected = 0;  // map refused the freeze (overlap/unknown)
     uint64_t moves_failed = 0;    // retry budget exhausted mid-protocol
+    uint64_t moves_aborted = 0;   // abort protocol ran to completion
     uint64_t ctl_sent = 0;
     uint64_t ctl_retries = 0;
     uint64_t ctl_nacked = 0;      // admission NACKs on control requests
@@ -74,16 +89,25 @@ class ShardCoordinator final : public Host {
   };
   const CoordinatorStats& stats() const { return stats_; }
 
+  // Tests shrink the budget so the abort path is reachable in milliseconds.
+  void set_retry_budget(uint32_t budget) { retry_budget_ = budget; }
+
  private:
   // Control requests are retried with a fresh rid at this cadence until the
   // phase's reply arrives; a move that cannot make progress within the budget
-  // is abandoned (frozen ranges are unfrozen if the cutover never happened).
+  // is abandoned through the replicated abort protocol (kAbortingDst /
+  // kAbortingSrc), which itself retries without a budget.
   static constexpr TimeNs kCtlRetryInterval = Millis(2);
   static constexpr uint32_t kCtlRetryBudget = 256;
 
-  enum class Phase { kIdle, kFreezing, kInstalling, kGc };
+  enum class Phase { kIdle, kFreezing, kInstalling, kGc, kAbortingDst, kAbortingSrc };
+
+  static bool IsAbortPhase(Phase phase) {
+    return phase == Phase::kAbortingDst || phase == Phase::kAbortingSrc;
+  }
 
   struct Move {
+    uint64_t move_id = 0;
     uint32_t lo = 0;
     uint32_t hi = 0;
     GroupId source = kInvalidGroup;
@@ -94,8 +118,15 @@ class ShardCoordinator final : public Host {
   // Sends this phase's control op to `group` under a fresh rid and re-arms
   // the retry timer.
   void SendCtl(GroupId group, ShardOp op);
+  // Shared by the retry timer and the NACK backoff: give up on the move if
+  // the phase's budget is spent (abort phases have none), else resend.
+  void RetryCtlOrFail();
   void OnPhaseReply(const Body& reply);
   void FailMove();
+  // Enters the abort protocol: kAbortingDst first when an install may have
+  // reached the destination, else straight to kAbortingSrc.
+  void BeginAbort(bool uninstall_dest);
+  void FinishMove();
 
   ShardMap* map_;
   std::vector<ShardGroupEndpoints> groups_;
@@ -106,6 +137,8 @@ class ShardCoordinator final : public Host {
   Body capture_;  // freeze reply, forwarded in the install
 
   uint64_t next_seq_ = 1;
+  uint64_t next_move_id_ = 1;
+  uint32_t retry_budget_ = kCtlRetryBudget;
   uint64_t inflight_seq_ = 0;  // only this rid's reply advances the phase
   uint64_t ack_floor_ = 0;     // all seqs <= floor resolved; piggybacked
   GroupId inflight_group_ = kInvalidGroup;

@@ -198,6 +198,7 @@ void ShardedCluster::ExportMetrics(obs::MetricsRegistry* metrics) {
   metrics->SetCounter(scope + "moves_completed", cs.moves_completed);
   metrics->SetCounter(scope + "moves_rejected", cs.moves_rejected);
   metrics->SetCounter(scope + "moves_failed", cs.moves_failed);
+  metrics->SetCounter(scope + "moves_aborted", cs.moves_aborted);
   metrics->SetCounter(scope + "ctl_sent", cs.ctl_sent);
   metrics->SetCounter(scope + "ctl_retries", cs.ctl_retries);
   metrics->SetCounter(scope + "ctl_nacked", cs.ctl_nacked);

@@ -4,16 +4,22 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <functional>
+#include <map>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
 
+#include "src/app/kvstore/command.h"
 #include "src/app/kvstore/service.h"
 #include "src/app/synthetic.h"
 #include "src/chaos/kv_workload.h"
+#include "src/common/buffer.h"
 #include "src/loadgen/client.h"
 #include "src/loadgen/workload.h"
 #include "src/obs/metrics.h"
+#include "src/r2p2/shard.h"
 #include "src/shard/sharded_cluster.h"
 
 namespace hovercraft {
@@ -25,6 +31,111 @@ ShardedClusterConfig BaseConfig(int32_t groups) {
   cfg.nodes_per_group = 3;
   cfg.seed = 11;
   return cfg;
+}
+
+// Bare client: sends hand-built requests (kv commands, raw shard-control
+// ops) straight at a group's admission ingress and records replies by seq.
+// Used to plant a specific key and to inject the stale parked-copy control
+// entries a re-drain after a leader change would produce.
+class InjectorHost final : public Host {
+ public:
+  InjectorHost(Simulator* sim, const CostModel& costs) : Host(sim, costs, Kind::kServer) {}
+
+  void HandleMessage(HostId /*src*/, const MessagePtr& msg) override {
+    if (const auto* resp = dynamic_cast<const RpcResponse*>(msg.get())) {
+      replies_[resp->rid().seq] = resp->body();
+    }
+  }
+
+  uint64_t SendRequest(Addr dst, Body body, uint32_t slot) {
+    const uint64_t seq = next_seq_++;
+    Send(dst, std::make_shared<RpcRequest>(RequestId{id(), seq}, R2p2Policy::kReplicatedReq,
+                                           std::move(body), /*attempt=*/1,
+                                           /*ack_watermark=*/0, slot));
+    return seq;
+  }
+
+  bool HasReply(uint64_t seq) const { return replies_.count(seq) != 0; }
+  const Body& ReplyOf(uint64_t seq) const { return replies_.at(seq); }
+
+ private:
+  uint64_t next_seq_ = 1;
+  std::map<uint64_t, Body> replies_;
+};
+
+bool StepUntil(ShardedCluster& sharded, TimeNs deadline, const std::function<bool()>& done) {
+  while (!done() && sharded.sim().Now() < deadline) {
+    if (!sharded.sim().Step()) {
+      break;
+    }
+  }
+  return done();
+}
+
+std::string KeyInRange(uint32_t lo, uint32_t hi) {
+  for (int i = 0;; ++i) {
+    std::string key = "k" + std::to_string(i);
+    const uint32_t slot = ShardSlotOf(key);
+    if (slot >= lo && slot <= hi) {
+      return key;
+    }
+  }
+}
+
+Body SetCmd(const std::string& key, const std::string& value) {
+  KvCommand cmd;
+  cmd.op = KvOpcode::kSet;
+  cmd.key = key;
+  cmd.value = value;
+  return EncodeKvCommand(cmd);
+}
+
+Body GetCmd(const std::string& key) {
+  KvCommand cmd;
+  cmd.op = KvOpcode::kGet;
+  cmd.key = key;
+  return EncodeKvCommand(cmd);
+}
+
+std::string ValueOf(const Body& reply) {
+  Result<KvReply> decoded = DecodeKvReply(reply);
+  if (!decoded.ok() || decoded.value().status != KvReplyStatus::kOk ||
+      decoded.value().values.empty()) {
+    return "";
+  }
+  return decoded.value().values[0];
+}
+
+// The install payload an abandoned coordinator retry would carry: an empty
+// session range plus a capture of `key` bound to `value`.
+Body StaleInstallPayload(const std::string& key, const std::string& value, uint32_t lo,
+                         uint32_t hi) {
+  KvService scratch;
+  KvCommand set;
+  set.op = KvOpcode::kSet;
+  set.key = key;
+  set.value = value;
+  scratch.Apply(set);
+  const Body app = scratch.CaptureRange(lo, hi);
+  BufferWriter w;
+  w.PutU32(0);  // no cached session replies in the stale capture
+  w.PutBytes(*app);
+  return MakeBody(w.TakeBytes());
+}
+
+uint64_t SumCtlStale(Cluster& cluster) {
+  uint64_t total = 0;
+  for (NodeId n = 0; n < cluster.total_node_count(); ++n) {
+    total += cluster.server(n).server_stats().shard_ctl_stale;
+  }
+  return total;
+}
+
+void ExpectGroupConverged(Cluster& cluster, int32_t g) {
+  const uint64_t digest0 = cluster.server(0).app().Digest();
+  for (NodeId n = 1; n < cluster.total_node_count(); ++n) {
+    EXPECT_EQ(cluster.server(n).app().Digest(), digest0) << "group " << g << " node " << n;
+  }
 }
 
 TEST(ShardedClusterTest, ScaleOutSpreadsLoadAcrossGroups) {
@@ -198,6 +309,183 @@ TEST(ShardedClusterTest, MetricsNamespacesDoNotAlias) {
   EXPECT_NE(dump.find("shard/moves_completed"), std::string::npos);
   EXPECT_EQ(metrics.CounterValue("shard/moves_completed"), 0u);
   EXPECT_EQ(dump.find("shard2."), std::string::npos);  // only 2 groups exist
+}
+
+// REVIEW fence regression: an abandoned install retry from a completed move,
+// re-drained into the destination's log after the cutover (simulated here by
+// injecting it directly), must not roll the range back below post-cutover
+// writes.
+TEST(ShardedClusterTest, StaleInstallAfterCutoverIsFenced) {
+  ShardedClusterConfig cfg = BaseConfig(2);
+  cfg.app_factory = []() { return std::make_unique<KvService>(); };
+  ShardedCluster sharded(cfg);
+  ASSERT_TRUE(sharded.WaitForAllLeaders());
+  InjectorHost inj(&sharded.sim(), sharded.config().costs);
+  sharded.network().Attach(&inj);
+
+  const auto g0_slots = sharded.shard_map().SlotsOf(GroupId{0});
+  const uint32_t lo = g0_slots.front(), hi = g0_slots.back();
+  const std::string key = KeyInRange(lo, hi);
+  const uint32_t slot = ShardSlotOf(key);
+
+  // v1 at the source, then move the range, then v2 at the destination.
+  uint64_t seq = inj.SendRequest(sharded.group(GroupId{0}).ClientTarget(), SetCmd(key, "v1"),
+                                 slot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(20),
+                        [&]() { return inj.HasReply(seq); }));
+  sharded.StartMove(lo, hi, GroupId{1});
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(40), [&]() {
+    return sharded.coordinator().stats().moves_completed == 1;
+  }));
+  seq = inj.SendRequest(sharded.group(GroupId{1}).ClientTarget(), SetCmd(key, "v2"), slot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(20),
+                        [&]() { return inj.HasReply(seq); }));
+
+  // The stale parked copy: move 1's install under a fresh rid, carrying a
+  // capture that predates v2. Unfenced, applying it would resurrect "stale".
+  ShardOp parked;
+  parked.kind = ShardOpKind::kInstall;
+  parked.move_id = 1;
+  parked.lo = lo;
+  parked.hi = hi;
+  parked.payload = StaleInstallPayload(key, "stale", lo, hi);
+  seq = inj.SendRequest(sharded.group(GroupId{1}).ClientTarget(), EncodeShardOp(parked),
+                        kShardCtlSlot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(20),
+                        [&]() { return inj.HasReply(seq); }));
+
+  EXPECT_GT(SumCtlStale(sharded.group(GroupId{1})), 0u);
+  seq = inj.SendRequest(sharded.group(GroupId{1}).ClientTarget(), GetCmd(key), slot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(20),
+                        [&]() { return inj.HasReply(seq); }));
+  EXPECT_EQ(ValueOf(inj.ReplyOf(seq)), "v2");
+  sharded.sim().RunUntil(sharded.sim().Now() + Millis(5));
+  for (int32_t g = 0; g < 2; ++g) {
+    ExpectGroupConverged(sharded.group(GroupId{g}), g);
+  }
+  EXPECT_TRUE(sharded.AllWatchdogsOk()) << sharded.WatchdogSummary();
+}
+
+// REVIEW fence regression: after a there-and-back move, move 1's parked GC
+// re-drained at the original owner must not delete the keys it owns again.
+TEST(ShardedClusterTest, StaleGcAfterMoveBackIsFenced) {
+  ShardedClusterConfig cfg = BaseConfig(2);
+  cfg.app_factory = []() { return std::make_unique<KvService>(); };
+  ShardedCluster sharded(cfg);
+  ASSERT_TRUE(sharded.WaitForAllLeaders());
+  InjectorHost inj(&sharded.sim(), sharded.config().costs);
+  sharded.network().Attach(&inj);
+
+  const auto g0_slots = sharded.shard_map().SlotsOf(GroupId{0});
+  const uint32_t lo = g0_slots.front(), hi = g0_slots.back();
+  const std::string key = KeyInRange(lo, hi);
+  const uint32_t slot = ShardSlotOf(key);
+
+  sharded.StartMove(lo, hi, GroupId{1});
+  sharded.StartMove(lo, hi, GroupId{0});
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(60), [&]() {
+    return sharded.coordinator().stats().moves_completed == 2;
+  }));
+  uint64_t seq = inj.SendRequest(sharded.group(GroupId{0}).ClientTarget(), SetCmd(key, "v2"),
+                                 slot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(20),
+                        [&]() { return inj.HasReply(seq); }));
+
+  // Move 1's GC (source = group 0) under a fresh rid, arbitrarily late.
+  ShardOp parked;
+  parked.kind = ShardOpKind::kGc;
+  parked.move_id = 1;
+  parked.lo = lo;
+  parked.hi = hi;
+  seq = inj.SendRequest(sharded.group(GroupId{0}).ClientTarget(), EncodeShardOp(parked),
+                        kShardCtlSlot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(20),
+                        [&]() { return inj.HasReply(seq); }));
+
+  EXPECT_GT(SumCtlStale(sharded.group(GroupId{0})), 0u);
+  // The key survives and the range still serves at group 0.
+  seq = inj.SendRequest(sharded.group(GroupId{0}).ClientTarget(), GetCmd(key), slot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(20),
+                        [&]() { return inj.HasReply(seq); }));
+  EXPECT_EQ(ValueOf(inj.ReplyOf(seq)), "v2");
+  sharded.sim().RunUntil(sharded.sim().Now() + Millis(5));
+  for (int32_t g = 0; g < 2; ++g) {
+    ExpectGroupConverged(sharded.group(GroupId{g}), g);
+  }
+  EXPECT_TRUE(sharded.AllWatchdogsOk()) << sharded.WatchdogSummary();
+}
+
+// REVIEW abort regression: a move whose destination is down exhausts its
+// retry budget, runs the replicated abort protocol once the destination
+// heals, and leaves the source serving the range again — not frozen forever.
+TEST(ShardedClusterTest, FailedMoveAbortsAndSourceServesAgain) {
+  ShardedClusterConfig cfg = BaseConfig(2);
+  cfg.app_factory = []() { return std::make_unique<KvService>(); };
+  ShardedCluster sharded(cfg);
+  ASSERT_TRUE(sharded.WaitForAllLeaders());
+  sharded.coordinator().set_retry_budget(4);
+  InjectorHost inj(&sharded.sim(), sharded.config().costs);
+  sharded.network().Attach(&inj);
+
+  const auto g0_slots = sharded.shard_map().SlotsOf(GroupId{0});
+  const uint32_t lo = g0_slots.front(), hi = g0_slots.back();
+  const std::string key = KeyInRange(lo, hi);
+  const uint32_t slot = ShardSlotOf(key);
+
+  uint64_t seq = inj.SendRequest(sharded.group(GroupId{0}).ClientTarget(), SetCmd(key, "v1"),
+                                 slot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(20),
+                        [&]() { return inj.HasReply(seq); }));
+
+  // Destination down: the freeze commits at the live source, the install
+  // burns the budget, the move fails into the abort protocol and parks there
+  // (aborts retry without a budget).
+  for (NodeId n = 0; n < sharded.group(GroupId{1}).total_node_count(); ++n) {
+    sharded.group(GroupId{1}).KillNode(n);
+  }
+  sharded.StartMove(lo, hi, GroupId{1});
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(100), [&]() {
+    return sharded.coordinator().stats().moves_failed == 1;
+  }));
+  EXPECT_TRUE(sharded.shard_map().IsFrozen(lo));  // abort not yet committed
+
+  for (NodeId n = 0; n < sharded.group(GroupId{1}).total_node_count(); ++n) {
+    sharded.group(GroupId{1}).RestartNode(n);
+  }
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(500), [&]() {
+    return sharded.coordinator().stats().moves_aborted == 1;
+  }));
+
+  // Ownership never moved; the freeze is undone everywhere; the epoch bump
+  // tells redirected clients to refresh.
+  EXPECT_TRUE(sharded.coordinator().idle());
+  EXPECT_EQ(sharded.coordinator().stats().moves_completed, 0u);
+  EXPECT_EQ(sharded.shard_map().epoch(), 2u);
+  for (uint32_t s : g0_slots) {
+    EXPECT_EQ(sharded.shard_map().OwnerOf(s), GroupId{0});
+    EXPECT_FALSE(sharded.shard_map().IsFrozen(s));
+  }
+  uint64_t unfreezes = 0;
+  for (NodeId n = 0; n < sharded.group(GroupId{0}).total_node_count(); ++n) {
+    unfreezes += sharded.group(GroupId{0}).server(n).server_stats().shard_unfreezes;
+  }
+  EXPECT_GT(unfreezes, 0u);
+  uint64_t uninstalls = 0;
+  for (NodeId n = 0; n < sharded.group(GroupId{1}).total_node_count(); ++n) {
+    uninstalls += sharded.group(GroupId{1}).server(n).server_stats().shard_uninstalls;
+  }
+  EXPECT_GT(uninstalls, 0u);
+
+  // The range is writable at the source again.
+  seq = inj.SendRequest(sharded.group(GroupId{0}).ClientTarget(), SetCmd(key, "v2"), slot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(40),
+                        [&]() { return inj.HasReply(seq); }));
+  seq = inj.SendRequest(sharded.group(GroupId{0}).ClientTarget(), GetCmd(key), slot);
+  ASSERT_TRUE(StepUntil(sharded, sharded.sim().Now() + Millis(40),
+                        [&]() { return inj.HasReply(seq); }));
+  EXPECT_EQ(ValueOf(inj.ReplyOf(seq)), "v2");
+  EXPECT_EQ(sharded.TotalDoubleApplies(), 0u);
+  EXPECT_TRUE(sharded.AllWatchdogsOk()) << sharded.WatchdogSummary();
 }
 
 }  // namespace

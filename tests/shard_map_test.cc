@@ -104,6 +104,85 @@ TEST(ShardMapTest, MoveBackAfterCommit) {
   EXPECT_EQ(map.SlotsOf(GroupId{0}).size(), 32u);
 }
 
+TEST(ShardOpCodecTest, RoundTripsMoveIdAndAbortKinds) {
+  for (ShardOpKind kind : {ShardOpKind::kFreeze, ShardOpKind::kInstall, ShardOpKind::kGc,
+                           ShardOpKind::kUnfreeze, ShardOpKind::kUninstall}) {
+    ShardOp op;
+    op.kind = kind;
+    op.move_id = 42;
+    op.lo = 3;
+    op.hi = 9;
+    if (kind == ShardOpKind::kInstall) {
+      op.payload = MakeBody(std::vector<uint8_t>{1, 2, 3});
+    }
+    ShardOp out;
+    ASSERT_TRUE(DecodeShardOp(EncodeShardOp(op), &out).ok());
+    EXPECT_EQ(out.kind, kind);
+    EXPECT_EQ(out.move_id, 42u);
+    EXPECT_EQ(out.lo, 3u);
+    EXPECT_EQ(out.hi, 9u);
+    EXPECT_EQ(BodySize(out.payload), BodySize(op.payload));
+  }
+}
+
+TEST(ShardOpCodecTest, CtlKeyOrdersMoveStepsStrictly) {
+  // Within a move: freeze < install < gc < unfreeze == uninstall; every op of
+  // move m sorts below every op of move m+1.
+  const uint64_t f1 = ShardCtlKeyOf(1, ShardOpKind::kFreeze);
+  const uint64_t i1 = ShardCtlKeyOf(1, ShardOpKind::kInstall);
+  const uint64_t g1 = ShardCtlKeyOf(1, ShardOpKind::kGc);
+  const uint64_t u1 = ShardCtlKeyOf(1, ShardOpKind::kUnfreeze);
+  EXPECT_LT(f1, i1);
+  EXPECT_LT(i1, g1);
+  EXPECT_LT(g1, u1);
+  EXPECT_EQ(u1, ShardCtlKeyOf(1, ShardOpKind::kUninstall));
+  EXPECT_LT(u1, ShardCtlKeyOf(2, ShardOpKind::kFreeze));
+}
+
+TEST(ShardServeStateTest, CtlWatermarkFencesStaleKeys) {
+  ShardServeState state;
+  state.sharded = true;
+  EXPECT_TRUE(state.AdvanceCtlWatermark(ShardCtlKeyOf(1, ShardOpKind::kFreeze)));
+  EXPECT_TRUE(state.AdvanceCtlWatermark(ShardCtlKeyOf(1, ShardOpKind::kGc)));
+  // A re-drained duplicate of either step, or of any earlier move, fences.
+  EXPECT_FALSE(state.AdvanceCtlWatermark(ShardCtlKeyOf(1, ShardOpKind::kGc)));
+  EXPECT_FALSE(state.AdvanceCtlWatermark(ShardCtlKeyOf(1, ShardOpKind::kFreeze)));
+  // The next move's ops pass.
+  EXPECT_TRUE(state.AdvanceCtlWatermark(ShardCtlKeyOf(2, ShardOpKind::kInstall)));
+  EXPECT_EQ(state.ctl_watermark(), ShardCtlKeyOf(2, ShardOpKind::kInstall));
+}
+
+TEST(ShardServeStateTest, UnfreezeRestoresServiceButNeverOwnership) {
+  ShardServeState state;
+  state.sharded = true;
+  state.Drop(10, 12);    // never owned here
+  state.Freeze(0, 4);    // owned, mid-move
+  EXPECT_FALSE(state.Serves(2));
+  state.Unfreeze(0, 12);  // abort: unfreeze the whole range
+  EXPECT_TRUE(state.Serves(2));
+  EXPECT_FALSE(state.Serves(11));  // dropped slots stay dropped
+}
+
+TEST(ShardServeStateTest, SerializeRoundTripsCtlWatermark) {
+  ShardServeState state;
+  state.sharded = true;
+  state.Freeze(1, 2);
+  state.Drop(40, 41);
+  ASSERT_TRUE(state.AdvanceCtlWatermark(ShardCtlKeyOf(7, ShardOpKind::kGc)));
+  BufferWriter w;
+  state.Serialize(&w);
+  const std::vector<uint8_t> bytes = w.TakeBytes();
+  BufferReader r(bytes);
+  ShardServeState restored;
+  restored.sharded = true;
+  ASSERT_TRUE(restored.Restore(&r).ok());
+  EXPECT_EQ(restored.ctl_watermark(), ShardCtlKeyOf(7, ShardOpKind::kGc));
+  EXPECT_EQ(restored.frozen(), state.frozen());
+  EXPECT_EQ(restored.dropped(), state.dropped());
+  // A stale key from an earlier move is still fenced after the round trip.
+  EXPECT_FALSE(restored.AdvanceCtlWatermark(ShardCtlKeyOf(7, ShardOpKind::kFreeze)));
+}
+
 TEST(ShardMapTest, ShardSlotOfIsStableAndInRange) {
   // The client, middlebox and server all hash keys independently; the slot
   // function must be pure and bounded.

@@ -181,5 +181,32 @@ TEST(ShardRouterTest, RedirectCapFallsBackToRetryPacing) {
   EXPECT_EQ(client->total_abandoned(), 0u);
 }
 
+// REVIEW regression: with the retry policy left disabled (the default), a
+// redirected op must still be paced by a resend timer past the immediate
+// cap — not hang forever with no armed timer the moment a redirect resend
+// gets NACKed again.
+TEST(ShardRouterTest, RedirectsWithoutRetryPolicyStillComplete) {
+  TwoGroupRig rig;
+  rig.owner = 1;  // pinned-stale map, exactly like the cap test...
+  auto client = rig.MakeClient(
+      [&rig](uint32_t) { return rig.RouteTo(0); },
+      20'000, 7);
+  // ...but no set_retry_policy call: redirects are the only resend path.
+  client->set_outstanding_limit(8, Millis(50));
+  rig.sim.At(Millis(5), [&rig]() {
+    rig.owner = 0;
+    ++rig.epoch;
+  });
+  client->StartLoad(0, Micros(400));
+  rig.sim.RunUntil(Millis(40));
+
+  ASSERT_GE(client->total_sent(), 1u);
+  EXPECT_EQ(client->total_completed(), client->total_sent());
+  EXPECT_GE(client->total_redirects(), ClientHost::kMaxImmediateRedirects);
+  // Past the cap, the always-armed redirect timer carried the op to the heal.
+  EXPECT_GT(client->total_retransmits(), 0u);
+  EXPECT_EQ(client->total_abandoned(), 0u);
+}
+
 }  // namespace
 }  // namespace hovercraft
